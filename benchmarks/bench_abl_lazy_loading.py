@@ -1,0 +1,68 @@
+"""ABL-LAZY: lazy vs eager complex-object loading (paper §4.6).
+
+"Complex objects with embedded references to other objects are displayed
+in a 'lazy' manner.  First only the top-level object is brought into the
+memory ... the corresponding objects and the related display methods are
+loaded only if the user selects the appropriate buttons."
+
+The ablation compares objects fetched (and time) when sequencing through
+the whole employee cluster lazily versus an eager strategy that fetches
+every transitively referenced object on each step — the design choice's
+cost when the user never clicks any reference button.
+"""
+
+from repro.ode.database import Database
+from repro.ode.oid import Oid
+
+
+def _lazy_walk(database):
+    """Sequencing only: the paper's behaviour.  One fetch per object."""
+    fetches = 0
+    for oid in database.objects.cluster("employee").oids():
+        database.objects.get_buffer(oid)
+        fetches += 1
+    return fetches
+
+
+def _eager_walk(database, depth=2):
+    """Fetch each object plus everything it references, transitively."""
+    fetches = 0
+    for oid in database.objects.cluster("employee").oids():
+        frontier = [(oid, 0)]
+        while frontier:
+            current, level = frontier.pop()
+            buffer = database.objects.get_buffer(current)
+            fetches += 1
+            if level >= depth:
+                continue
+            for value in buffer.values.values():
+                if isinstance(value, Oid):
+                    frontier.append((value, level + 1))
+                elif isinstance(value, list):
+                    frontier.extend(
+                        (item, level + 1) for item in value
+                        if isinstance(item, Oid))
+    return fetches
+
+
+def test_abl_lazy_bench(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        fetches = benchmark(_lazy_walk, database)
+    assert fetches == 55
+
+
+def test_abl_eager_baseline_bench(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        fetches = benchmark(_eager_walk, database)
+    # eager pays for every referenced dept, manager, and colleague
+    assert fetches > 55 * 10
+
+
+def test_abl_lazy_fetches_far_fewer(demo_root):
+    """The headline shape: lazy needs an order of magnitude fewer fetches."""
+    with Database.open(demo_root / "lab.odb") as database:
+        lazy = _lazy_walk(database)
+        eager = _eager_walk(database)
+    print(f"\nABL-LAZY: lazy={lazy} fetches, eager={eager} fetches, "
+          f"ratio={eager / lazy:.1f}x")
+    assert eager / lazy > 10

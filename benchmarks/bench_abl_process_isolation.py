@@ -1,0 +1,74 @@
+"""ABL-PROC: process structure and failure isolation (paper §4.6).
+
+"If there are bugs in this [display] code, then only the corresponding
+object-interactor process will be affected but not the whole OdeView."
+
+The scenario crashes the employee display function and verifies every
+other process keeps serving; the benchmarks time a display call through an
+interactor (the isolation boundary's overhead) vs a direct registry call.
+"""
+
+import pytest
+
+from repro.dynlink.protocol import DisplayRequest
+from repro.dynlink.registry import DisplayRegistry
+from repro.errors import ProcessCrashedError
+from repro.ode.database import Database
+from repro.procmodel.interactors import DbInteractor, ObjectInteractor
+from repro.procmodel.manager import ProcessManager
+
+
+def test_abl_proc_crash_containment(demo_root, tmp_path):
+    import shutil
+
+    # work on a copy: we are about to break the employee display module
+    target = tmp_path / "lab.odb"
+    shutil.copytree(demo_root / "lab.odb", target)
+    with Database.open(target) as database:
+        (database.display_dir / "employee.py").write_text(
+            "FORMATS = ('text',)\n"
+            "def display(buffer, request):\n"
+            "    raise RuntimeError('designer bug')\n")
+        manager = ProcessManager()
+        manager.spawn(DbInteractor("dbi", database))
+        manager.spawn(ObjectInteractor("oi.employee", database, "employee"))
+        manager.spawn(ObjectInteractor("oi.department", database,
+                                       "department"))
+        oid = manager.call("oi.employee", "next")
+        with pytest.raises(ProcessCrashedError):
+            manager.call("oi.employee", "display", oid=oid,
+                         request=DisplayRequest(window_prefix="w"))
+        crashed = [p.name for p in manager.crashed_processes()]
+        alive = [p.name for p in manager.alive_processes()]
+        print(f"\nABL-PROC: crashed={crashed} alive={alive}")
+        assert crashed == ["oi.employee"]
+        assert set(alive) == {"dbi", "oi.department"}
+        # the rest of OdeView still serves requests
+        assert manager.call("dbi", "class_info",
+                            class_name="employee")["count"] == 55
+        dept_oid = manager.call("oi.department", "next")
+        resources = manager.call("oi.department", "display", oid=dept_oid,
+                                 request=DisplayRequest(window_prefix="d"))
+        assert "db research" in resources.windows[0].content
+
+
+def test_abl_proc_bench_display_via_interactor(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        manager = ProcessManager()
+        manager.spawn(ObjectInteractor("oi", database, "employee"))
+        oid = manager.call("oi", "next")
+        request = DisplayRequest(window_prefix="w")
+        resources = benchmark(manager.call, "oi", "display", oid=oid,
+                              request=request)
+    assert "rakesh" in resources.windows[0].content
+
+
+def test_abl_proc_bench_display_direct(benchmark, demo_root):
+    """Baseline without the process boundary."""
+    with Database.open(demo_root / "lab.odb") as database:
+        registry = DisplayRegistry(database)
+        oid = database.objects.cluster("employee").first()
+        buffer = database.objects.get_buffer(oid)
+        request = DisplayRequest(window_prefix="w")
+        resources = benchmark(registry.display, buffer, request)
+    assert "rakesh" in resources.windows[0].content

@@ -1,0 +1,86 @@
+"""ABL-SYNC: synchronized-browsing cost vs network depth.
+
+Figure 10 shows a three-window network; how does one ``next`` scale as the
+displayed reference chain grows?  This bench builds linked-list networks
+of increasing depth and reports the time per synchronized step — the
+series behaves linearly in the number of refreshed nodes, which is the
+shape the §4.4 design (one recursive subtree traversal) predicts.
+"""
+
+import time
+
+import pytest
+
+from repro.core.navigation import SetNode
+from repro.core.sync import sequence
+from repro.ode.classdef import Attribute, OdeClass
+from repro.ode.database import Database
+from repro.ode.types import IntType, RefType
+
+CHAIN_LENGTH = 40
+DEPTHS = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def chain_db(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sync-depth")
+    database = Database.create(root / "chain.odb")
+    database.define_class(OdeClass("link", attributes=(
+        Attribute("n", IntType()),
+        Attribute("next_link", RefType("link")),
+    )))
+    objects = database.objects
+    oids = [objects.new_object("link", {"n": n}) for n in range(CHAIN_LENGTH)]
+    objects.begin()
+    for position, oid in enumerate(oids):
+        objects.update(oid, {
+            "next_link": oids[(position + 1) % CHAIN_LENGTH]})
+    objects.commit()
+    yield database
+    database.close()
+
+
+def _build_network(database, depth):
+    root = SetNode(database.objects, "link", f"sync.d{depth}")
+    root.next()
+    node = root
+    for _level in range(depth):
+        node = node.child("next_link")
+    return root
+
+
+def _step(root):
+    report = sequence(root, "next")
+    if report.result is None:
+        root.reset()
+        report = sequence(root, "next")
+    return report
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_abl_sync_bench_depth(benchmark, chain_db, depth):
+    root = _build_network(chain_db, depth)
+    report = benchmark(_step, root)
+    assert report.nodes_refreshed == depth + 1
+
+
+def test_abl_sync_depth_series(chain_db):
+    """The series a figure would plot: per-step time grows ~linearly."""
+    rows = []
+    for depth in DEPTHS:
+        root = _build_network(chain_db, depth)
+        _step(root)  # warm
+        start = time.perf_counter()
+        for _ in range(30):
+            _step(root)
+        elapsed = (time.perf_counter() - start) / 30
+        rows.append((depth, elapsed * 1e6))
+    print("\nABL-SYNC depth  us/step")
+    for depth, micros in rows:
+        print(f"  {depth:5d}  {micros:8.1f}")
+    # linear-ish: deepest network costs clearly more than the shallowest,
+    # but not catastrophically (no quadratic blowup)
+    shallow = rows[0][1]
+    deep = rows[-1][1]
+    assert deep > shallow
+    assert deep < shallow * DEPTHS[-1] * 10

@@ -1,0 +1,51 @@
+"""EXT-P: projection (paper §5.1).
+
+The project button, displaylist, and the bit vector: a partial view of an
+employee showing only name and id, preserved across sequencing.  The
+micro-benchmark compares full vs projected display-call cost.
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.app.session("lab").open_object_set("employee")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        panel = session.open_projection(browser)
+        session.app.click(panel.attribute_button_name("name"))
+        session.app.click(panel.attribute_button_name("id"))
+        session.app.click(f"{panel.window_name}.apply")
+        session.click_control(browser, "next")  # projection persists
+        return session.snapshot("ext_projection"), list(browser.bitvec)
+
+
+def test_ext_projection_scenario(benchmark, demo_root):
+    rendering, bits = benchmark.pedantic(_scenario, args=(demo_root,),
+                                         rounds=3, iterations=1)
+    assert "name  : narain" in rendering
+    assert "id    : 1" in rendering
+    assert "hired" not in rendering.split("project")[0]  # filtered out
+    assert bits == [True, True, False, False, False, False]
+    save_artifact("ext_projection", rendering)
+
+
+def test_ext_projection_bench_bitvector_display(benchmark, demo_root):
+    from repro.dynlink.protocol import BitVector, DisplayRequest
+    from repro.dynlink.registry import DisplayRegistry
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "lab.odb") as database:
+        registry = DisplayRegistry(database)
+        oid = database.objects.cluster("employee").first()
+        buffer = database.objects.get_buffer(oid)
+        displaylist = registry.displaylist("employee")
+        request = DisplayRequest(
+            window_prefix="bench",
+            bitvec=BitVector.from_selection(displaylist, ["name"]))
+        resources = benchmark(registry.display, buffer, request)
+    assert resources.windows[0].content == "name  : rakesh"

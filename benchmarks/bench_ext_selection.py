@@ -1,0 +1,66 @@
+"""EXT-S: selection (paper §5.2).
+
+Both predicate-construction schemes — the operator menus and the QBE-style
+condition box — validated against the selectlist, compiled, and pushed down
+to the object manager.  The micro-benchmarks time the pushdown scan and
+compare it with a no-predicate scan of the same cluster.
+"""
+
+from conftest import save_artifact
+
+from repro.core.selection import SelectionBuilder
+from repro.core.session import UserSession
+from repro.ode.database import Database
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.select_into_browser(
+            "lab", "employee", "years_service > 12 && id < 20")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        return session.snapshot("ext_selection"), browser.node.member_count()
+
+
+def test_ext_selection_scenario(benchmark, demo_root):
+    rendering, matches = benchmark.pedantic(_scenario, args=(demo_root,),
+                                            rounds=3, iterations=1)
+    assert matches == 3
+    assert "[3 in set]" in rendering or "[1/3]" in rendering
+    save_artifact("ext_selection", rendering)
+
+
+def test_ext_selection_menu_scheme(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        def menu_select():
+            builder = SelectionBuilder(database, "employee")
+            builder.add_condition("id", ">=", 10)
+            builder.add_condition("id", "<", 20)
+            return builder.count_matches()
+
+        matches = benchmark(menu_select)
+    assert matches == 10
+
+
+def test_ext_selection_bench_pushdown_scan(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        builder = SelectionBuilder(database, "employee")
+        builder.set_condition('id % 5 == 0')
+        predicate = builder.build()
+
+        def scan():
+            return sum(1 for _ in database.objects.select("employee",
+                                                          predicate))
+
+        matches = benchmark(scan)
+    assert matches == 11
+
+
+def test_ext_selection_bench_full_scan_baseline(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        def scan():
+            return sum(1 for _ in database.objects.select("employee"))
+
+        total = benchmark(scan)
+    assert total == 55

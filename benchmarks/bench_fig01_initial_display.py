@@ -1,0 +1,29 @@
+"""FIG-1: the initial display (paper Figure 1).
+
+"Upon entering OdeView, the user is presented with a scrollable 'database'
+window containing the names and iconified images of the current Ode
+databases."  The scenario benchmark times entering OdeView (database
+discovery + database-window construction + first render) and saves the
+regenerated figure.
+"""
+
+from conftest import save_artifact
+
+from repro.core.app import OdeView
+
+
+def _scenario(root):
+    app = OdeView(root, screen_width=220)
+    rendering = app.render()
+    app.shutdown()
+    return rendering
+
+
+def test_fig01_scenario(benchmark, demo_root):
+    rendering = benchmark.pedantic(_scenario, args=(demo_root,),
+                                   rounds=3, iterations=1)
+    assert "Ode databases" in rendering
+    assert "[ATT] lab" in rendering
+    assert "[DOC] papers" in rendering
+    assert "[UNI] university" in rendering
+    save_artifact("fig01_initial_display", rendering)

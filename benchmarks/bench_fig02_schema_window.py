@@ -1,0 +1,39 @@
+"""FIG-2: the lab database schema window (paper Figure 2).
+
+Clicking the ATT icon opens the class-relationship window: the inheritance
+DAG of the lab database, drawn by a placement algorithm that minimises
+crossovers.  Two benchmarks: the full open-database flow, and the pure DAG
+placement step on the lab schema.
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+from repro.dagplace import place
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        placement = session.app.session("lab").schema.placement
+        return session.snapshot("fig02"), placement.crossings
+
+
+def test_fig02_scenario(benchmark, demo_root):
+    rendering, crossings = benchmark.pedantic(_scenario, args=(demo_root,),
+                                              rounds=3, iterations=1)
+    assert "lab: class relationships" in rendering
+    for node in ("[employee]", "[department]", "[manager]"):
+        assert node in rendering
+    assert crossings == 0  # the lab DAG draws without crossovers
+    save_artifact("fig02_schema_window", rendering)
+
+
+def test_fig02_bench_dag_placement(benchmark, demo_root):
+    from repro.data.labdb import open_lab_database
+
+    with open_lab_database(demo_root / "lab.odb") as database:
+        nodes = database.schema.class_names()
+        edges = database.schema.edges()
+    placement = benchmark(place, nodes, edges)
+    assert placement.crossings == 0

@@ -1,0 +1,40 @@
+"""FIG-3: the class information window for employee (paper Figure 3).
+
+"Clicking on employee shows that it has no superclass, one subclass
+manager, and that there are 55 objects in the employee cluster."
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        session.click_class_node("lab", "employee")
+        return session.snapshot("fig03")
+
+
+def test_fig03_scenario(benchmark, demo_root):
+    rendering = benchmark.pedantic(_scenario, args=(demo_root,),
+                                   rounds=3, iterations=1)
+    assert "class employee" in rendering
+    assert "objects in cluster : 55" in rendering
+    assert "(none)" in rendering        # no superclasses
+    assert "[manager]" in rendering     # the single subclass
+    save_artifact("fig03_class_info_employee", rendering)
+
+
+def test_fig03_bench_class_info_request(benchmark, demo_root):
+    """The db-interactor round trip behind a node click."""
+    from repro.ode.database import Database
+    from repro.procmodel.interactors import DbInteractor
+    from repro.procmodel.manager import ProcessManager
+
+    with Database.open(demo_root / "lab.odb") as database:
+        manager = ProcessManager()
+        manager.spawn(DbInteractor("dbi", database))
+        info = benchmark(manager.call, "dbi", "class_info",
+                         class_name="employee")
+    assert info["count"] == 55

@@ -1,0 +1,39 @@
+"""FIG-4: the class definition window (paper Figure 4).
+
+The class information window's definition button shows the class as O++
+source.  The micro-benchmark times catalog -> canonical-source printing.
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        session.click_class_node("lab", "employee")
+        session.click_definition_button("lab", "employee")
+        return session.snapshot("fig04")
+
+
+def test_fig04_scenario(benchmark, demo_root):
+    rendering = benchmark.pedantic(_scenario, args=(demo_root,),
+                                   rounds=3, iterations=1)
+    assert "persistent class employee {" in rendering
+    assert "char name[20];" in rendering
+    assert "department *dept;" in rendering
+    assert "int years_service() const;" in rendering
+    assert "constraint:" in rendering
+    assert "[objects]" in rendering
+    save_artifact("fig04_class_definition", rendering)
+
+
+def test_fig04_bench_definition_printing(benchmark, demo_root):
+    from repro.ode.database import Database
+    from repro.ode.opp.printer import class_definition_source
+
+    with Database.open(demo_root / "lab.odb") as database:
+        source = benchmark(class_definition_source, database.schema,
+                           "employee")
+    assert source.startswith("persistent class employee {")

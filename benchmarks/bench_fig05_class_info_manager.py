@@ -1,0 +1,44 @@
+"""FIG-5: the class information window for manager (paper Figure 5).
+
+"Clicking on manager opens up another window that shows that manager is
+the subclass of employee as well as department, that it has no subclasses,
+and there are 7 instances of managers."  Reached through the employee
+window's subclass button — "browsing ... can be freely mixed."
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        session.click_class_node("lab", "employee")
+        session.app.click("lab.info.employee.subs.manager")
+        return session.snapshot("fig05")
+
+
+def test_fig05_scenario(benchmark, demo_root):
+    rendering = benchmark.pedantic(_scenario, args=(demo_root,),
+                                   rounds=3, iterations=1)
+    assert "class manager" in rendering
+    assert "objects in cluster : 7" in rendering
+    assert "[employee]" in rendering
+    assert "[department]" in rendering
+    save_artifact("fig05_class_info_manager", rendering)
+
+
+def test_fig05_bench_mro_queries(benchmark, demo_root):
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "lab.odb") as database:
+        def queries():
+            return (database.schema.superclasses("manager"),
+                    database.schema.subclasses("manager"),
+                    database.schema.mro("manager"))
+
+        supers, subs, mro = benchmark(queries)
+    assert supers == ["employee", "department"]
+    assert subs == []
+    assert mro == ["manager", "employee", "department"]

@@ -1,0 +1,70 @@
+"""FIG-6: an employee object in text and picture form (paper Figure 6).
+
+The object-set window's panel offers one button per display format; after
+clicking both, the object shows in both forms and the cluster's display
+state is remembered.  The micro-benchmark times one dynamically linked
+display-function call (text format).
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        session.click_class_node("lab", "employee")
+        session.click_definition_button("lab", "employee")
+        browser = session.click_objects_button("lab", "employee")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        session.click_format_button(browser, "picture")
+        remembered = session.app.ctx.display_state.formats_for(
+            "lab", "employee")
+        return session.snapshot("fig06"), remembered
+
+
+def test_fig06_scenario(benchmark, demo_root):
+    rendering, remembered = benchmark.pedantic(_scenario, args=(demo_root,),
+                                               rounds=3, iterations=1)
+    assert "name  : rakesh" in rendering
+    assert "hired : 1975-01-01" in rendering
+    assert "#" in rendering                       # portrait pixels
+    assert remembered == ["text", "picture"]      # display state (§3.2)
+    save_artifact("fig06_object_display", rendering)
+
+
+def test_fig06_svg_artifact(demo_root):
+    """The same figure rendered by the SVG backend (saved, not timed)."""
+    from pathlib import Path
+
+    from conftest import ARTIFACTS
+    from repro.core.session import UserSession
+    from repro.windowing.svgbackend import SvgBackend
+
+    with UserSession(demo_root, backend=SvgBackend(),
+                     screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.app.session("lab").open_object_set("employee")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        session.click_format_button(browser, "picture")
+        svg = session.snapshot("fig06-svg")
+    assert svg.startswith("<svg")
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / "fig06_object_display.svg").write_text(svg + "\n")
+
+
+def test_fig06_bench_display_call(benchmark, demo_root):
+    from repro.dynlink.protocol import DisplayRequest
+    from repro.dynlink.registry import DisplayRegistry
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "lab.odb") as database:
+        registry = DisplayRegistry(database)
+        oid = database.objects.cluster("employee").first()
+        buffer = database.objects.get_buffer(oid)
+        request = DisplayRequest(window_prefix="bench")
+        resources = benchmark(registry.display, buffer, request)
+    assert "rakesh" in resources.windows[0].content

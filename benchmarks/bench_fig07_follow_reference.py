@@ -1,0 +1,43 @@
+"""FIG-7: the employee's department (paper Figure 7).
+
+Clicking the dept reference button opens an *object window* (no control
+panel) for the referenced department.  The micro-benchmark times the
+reference fetch: buffer read -> attribute -> target buffer.
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.app.session("lab").open_object_set("employee")
+        session.click_control(browser, "next")
+        dept = session.click_reference_button(browser, "dept")
+        session.click_format_button(dept, "text")
+        return session.snapshot("fig07"), dept.is_set
+
+
+def test_fig07_scenario(benchmark, demo_root):
+    rendering, is_set = benchmark.pedantic(_scenario, args=(demo_root,),
+                                           rounds=3, iterations=1)
+    assert "department : db research" in rendering
+    assert "manager    : -> manager:0" in rendering
+    assert not is_set  # single reference -> object window, not a set window
+    save_artifact("fig07_follow_reference", rendering)
+
+
+def test_fig07_bench_reference_chase(benchmark, demo_root):
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "lab.odb") as database:
+        oid = database.objects.cluster("employee").first()
+
+        def chase():
+            employee = database.objects.get_buffer(oid)
+            return database.objects.get_buffer(employee.value("dept"))
+
+        dept = benchmark(chase)
+    assert dept.value("dname") == "db research"

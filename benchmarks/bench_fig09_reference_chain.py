@@ -1,0 +1,49 @@
+"""FIG-9: the employee's manager via a reference chain (paper Figure 9).
+
+The user sets up employee -> department -> manager, all displayed
+simultaneously.  The manager display is the synthesized fallback (the lab
+database ships no manager display module) — paper §4.1's rudimentary
+display function in action.
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.app.session("lab").open_object_set("employee")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        dept = session.click_reference_button(browser, "dept")
+        session.click_format_button(dept, "text")
+        mgr = session.click_reference_button(dept, "mgr")
+        session.click_format_button(mgr, "text")
+        return session.snapshot("fig09")
+
+
+def test_fig09_scenario(benchmark, demo_root):
+    rendering = benchmark.pedantic(_scenario, args=(demo_root,),
+                                   rounds=3, iterations=1)
+    assert "rakesh" in rendering          # the employee (display module)
+    assert "db research" in rendering     # the department (display module)
+    assert "stroustrup" in rendering      # the manager (synthesized display)
+    save_artifact("fig09_reference_chain", rendering)
+
+
+def test_fig09_bench_chain_setup(benchmark, demo_root):
+    """Building the three-node navigation network, lazily."""
+    from repro.core.navigation import SetNode
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "lab.odb") as database:
+        def build_chain():
+            root = SetNode(database.objects, "employee", "bench.chain")
+            root.next()
+            mgr = root.child("dept").child("mgr")
+            return mgr.current
+
+        manager_oid = benchmark(build_chain)
+    assert manager_oid.cluster == "manager"

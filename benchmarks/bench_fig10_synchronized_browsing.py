@@ -1,0 +1,60 @@
+"""FIG-10: synchronized browsing (paper Figure 10 / §4.4).
+
+With the employee -> department -> manager network displayed, clicking
+next on the employee object-set propagates the sequencing over the whole
+network — including closed windows.  The micro-benchmark times one
+synchronized next over the full network.
+"""
+
+from conftest import save_artifact
+
+from repro.core.session import UserSession
+
+
+def _scenario(root):
+    with UserSession(root, screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.app.session("lab").open_object_set("employee")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        dept = session.click_reference_button(browser, "dept")
+        session.click_format_button(dept, "text")
+        mgr = session.click_reference_button(dept, "mgr")
+        session.click_format_button(mgr, "text")
+        report = browser.next()           # THE synchronized click
+        return session.snapshot("fig10"), report
+
+
+def test_fig10_scenario(benchmark, demo_root):
+    rendering, report = benchmark.pedantic(_scenario, args=(demo_root,),
+                                           rounds=3, iterations=1)
+    assert "narain" in rendering        # the next employee...
+    assert "languages" in rendering     # ...their department...
+    assert "kernighan" in rendering     # ...and its manager, all refreshed
+    assert set(report.refreshed_paths) == {
+        report.at, f"{report.at}.dept", f"{report.at}.dept.mgr"}
+    save_artifact("fig10_synchronized_browsing", rendering)
+
+
+def test_fig10_bench_sync_propagation(benchmark, demo_root):
+    """One next over an employee->dept->(mgr, employees) network."""
+    from repro.core.navigation import SetNode
+    from repro.core.sync import sequence
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "lab.odb") as database:
+        root = SetNode(database.objects, "employee", "bench.sync")
+        root.next()
+        dept = root.child("dept")
+        dept.child("mgr")
+        dept.child("employees")
+
+        def synchronized_step():
+            report = sequence(root, "next")
+            if report.result is None:
+                root.reset()
+                report = sequence(root, "next")
+            return report
+
+        report = benchmark(synchronized_step)
+    assert report.nodes_refreshed == 4

@@ -1,0 +1,100 @@
+"""SUB-BEHAVIOUR: the cost of constraints and triggers on the write path.
+
+O++ attaches constraints and triggers to objects (paper §1); every create
+and update pays for them.  These benches measure update throughput on a
+bare class, a class with two compiled constraints, and a class whose
+trigger actually fires on every update — the overhead a class designer
+buys with each declaration.
+"""
+
+import pytest
+
+from repro.ode.database import Database
+
+BARE = """
+persistent class bare {
+  public:
+    int level;
+};
+"""
+
+CONSTRAINED = """
+persistent class constrained {
+  public:
+    int level;
+  constraint:
+    level >= 0;
+    level <= 1000000;
+};
+"""
+
+TRIGGERED = """
+persistent class triggered {
+  public:
+    int level;
+    int clamped;
+  trigger:
+    mark : level > 0 ==> clamped = level * 2;
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def behaviour_db(tmp_path_factory):
+    root = tmp_path_factory.mktemp("behaviour")
+    database = Database.create(root / "b.odb")
+    database.define_from_source(BARE + CONSTRAINED + TRIGGERED)
+    yield database
+    database.close()
+
+
+def _update_loop(database, class_name):
+    oid = database.objects.new_object(class_name, {"level": 1})
+    counter = [1]
+
+    def update():
+        counter[0] += 1
+        database.objects.update(oid, {"level": counter[0]})
+
+    return update
+
+
+def test_sub_behaviour_bench_bare_update(benchmark, behaviour_db):
+    benchmark(_update_loop(behaviour_db, "bare"))
+
+
+def test_sub_behaviour_bench_constrained_update(benchmark, behaviour_db):
+    benchmark(_update_loop(behaviour_db, "constrained"))
+
+
+def test_sub_behaviour_bench_triggered_update(benchmark, behaviour_db):
+    benchmark(_update_loop(behaviour_db, "triggered"))
+
+
+def test_sub_behaviour_trigger_fires(behaviour_db):
+    oid = behaviour_db.objects.new_object("triggered", {"level": 0})
+    behaviour_db.objects.update(oid, {"level": 21})  # triggers fire on update
+    buffer = behaviour_db.objects.get_buffer(oid)
+    assert buffer.value("clamped") == 42
+
+
+def test_sub_behaviour_overhead_shape(behaviour_db):
+    """Constraints cost a little; a firing trigger costs more (it re-runs
+    the constraint pass) — but both stay the same order of magnitude."""
+    import time
+
+    def measure(class_name):
+        update = _update_loop(behaviour_db, class_name)
+        start = time.perf_counter()
+        for _ in range(150):
+            update()
+        return time.perf_counter() - start
+
+    bare = measure("bare")
+    constrained = measure("constrained")
+    triggered = measure("triggered")
+    print(f"\nSUB-BEHAVIOUR per-150-updates: bare={bare * 1e3:.1f}ms "
+          f"constrained={constrained * 1e3:.1f}ms "
+          f"triggered={triggered * 1e3:.1f}ms")
+    assert constrained < bare * 5
+    assert triggered < bare * 10

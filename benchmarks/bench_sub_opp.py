@@ -1,0 +1,66 @@
+"""SUB-OPP: the O++ language front end.
+
+Parsing throughput for class definitions (the class-definition window
+path) and predicate compile + evaluate throughput (the selection path).
+"""
+
+from repro.data.labdb import LAB_SCHEMA_SOURCE
+from repro.ode.database import Database
+from repro.ode.opp.parser import parse_expression, parse_program
+from repro.ode.opp.predicate import PredicateEvaluator
+from repro.ode.opp.typecheck import build_schema, check_selection_predicate
+
+PREDICATE = ('years_service > 10 && (id % 2 == 0 || name < "m") '
+             '&& size(name) >= 3')
+
+
+def test_sub_opp_bench_parse_schema(benchmark):
+    program = benchmark(parse_program, LAB_SCHEMA_SOURCE)
+    assert len(program.classes) == 3
+
+
+def test_sub_opp_bench_build_schema(benchmark):
+    program = parse_program(LAB_SCHEMA_SOURCE)
+    schema = benchmark(build_schema, program)
+    assert schema.has_class("manager")
+
+
+def test_sub_opp_bench_parse_predicate(benchmark):
+    expr = benchmark(parse_expression, PREDICATE)
+    assert expr is not None
+
+
+def test_sub_opp_bench_typecheck_predicate(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        expr = parse_expression(PREDICATE)
+        benchmark(check_selection_predicate, expr, "employee",
+                  database.schema)
+
+
+def test_sub_opp_bench_evaluate_predicate(benchmark, demo_root):
+    with Database.open(demo_root / "lab.odb") as database:
+        evaluator = PredicateEvaluator(database.objects)
+        expr = parse_expression(PREDICATE)
+        buffers = list(database.objects.select("employee"))
+
+        def evaluate_all():
+            return sum(1 for buffer in buffers
+                       if evaluator.matches(expr, buffer))
+
+        matches = benchmark(evaluate_all)
+    assert 0 < matches < 55
+
+
+def test_sub_opp_bench_cross_object_predicate(benchmark, demo_root):
+    """Predicates that chase references cost extra fetches — measure them."""
+    with Database.open(demo_root / "lab.odb") as database:
+        evaluator = PredicateEvaluator(database.objects)
+        expr = parse_expression('dept->dname == "db research"')
+        buffers = list(database.objects.select("employee"))
+
+        def evaluate_all():
+            return sum(1 for buffer in buffers
+                       if evaluator.matches(expr, buffer))
+
+        matches = benchmark(evaluate_all)
+    assert matches == 8

@@ -1,0 +1,99 @@
+"""SUB-STORE: the object store substrate.
+
+Throughput of the storage path OdeView's browsing sits on: object writes,
+point reads through the buffer pool, cluster scans, reopen (index rebuild
+from self-describing pages), and WAL recovery.
+"""
+
+import pytest
+
+from repro.ode.codec import encode_object
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+
+
+def _populate(store, count=500):
+    store.begin()
+    for number in range(count):
+        oid = Oid("bench", "item", number)
+        store.put(oid, encode_object(oid, "item", {
+            "name": f"item-{number}", "value": number,
+            "tags": [number % 7, number % 11],
+        }))
+    store.commit()
+
+
+@pytest.fixture
+def populated(tmp_path):
+    with ObjectStore(tmp_path / "bench") as store:
+        _populate(store)
+        yield store
+
+
+def test_sub_store_bench_batch_insert(benchmark, tmp_path):
+    counter = [0]
+
+    def insert_batch():
+        directory = tmp_path / f"ins{counter[0]}"
+        counter[0] += 1
+        with ObjectStore(directory) as store:
+            _populate(store, 200)
+            return store.cluster_size("item")
+
+    size = benchmark.pedantic(insert_batch, rounds=5, iterations=1)
+    assert size == 200
+
+
+def test_sub_store_bench_point_reads(benchmark, populated):
+    oids = [Oid("bench", "item", n) for n in range(0, 500, 7)]
+
+    def read_all():
+        return sum(len(populated.get(oid)) for oid in oids)
+
+    total = benchmark(read_all)
+    assert total > 0
+
+
+def test_sub_store_bench_cluster_scan(benchmark, populated):
+    def scan():
+        return sum(1 for n in populated.cluster_numbers("item")
+                   if populated.get(Oid("bench", "item", n)))
+
+    count = benchmark(scan)
+    assert count == 500
+
+
+def test_sub_store_bench_update_in_place(benchmark, populated):
+    oid = Oid("bench", "item", 250)
+    counter = [0]
+
+    def update():
+        counter[0] += 1
+        populated.put(oid, encode_object(oid, "item", {
+            "name": "updated", "value": counter[0], "tags": []}))
+
+    benchmark(update)
+
+
+def test_sub_store_bench_reopen_rebuild(benchmark, tmp_path):
+    directory = tmp_path / "reopen"
+    with ObjectStore(directory) as store:
+        _populate(store)
+
+    def reopen():
+        with ObjectStore(directory) as store:
+            return store.cluster_size("item")
+
+    size = benchmark(reopen)
+    assert size == 500
+
+
+def test_sub_store_bench_buffer_pool_hit_rate(populated):
+    """Scanning twice: the second pass should be nearly all pool hits."""
+    for _pass in range(2):
+        for number in populated.cluster_numbers("item"):
+            populated.get(Oid("bench", "item", number))
+    stats = populated.pool.stats
+    print(f"\nSUB-STORE pool: hits={stats.hits} misses={stats.misses} "
+          f"hit_rate={stats.hit_rate:.2%}")
+    assert stats.hit_rate > 0.5

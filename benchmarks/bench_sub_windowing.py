@@ -1,0 +1,68 @@
+"""SUB-WINDOWING: rendering throughput of the backends.
+
+Every browsing step re-renders; these benches measure a full-session
+screen (the Figure 9 state) under each backend, plus raster scaling and
+the schema window's edge-art generation.
+"""
+
+import pytest
+
+from repro.core.session import UserSession
+from repro.windowing.nullbackend import NullBackend
+from repro.windowing.raster import procedural_portrait
+from repro.windowing.svgbackend import SvgBackend
+from repro.windowing.textbackend import TextBackend
+
+_BACKENDS = {
+    "text": TextBackend,
+    "null": NullBackend,
+    "svg": SvgBackend,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(_BACKENDS))
+def loaded_session(request, demo_root):
+    backend = _BACKENDS[request.param]()
+    with UserSession(demo_root, backend=backend, screen_width=220) as session:
+        session.click_database_icon("lab")
+        browser = session.app.session("lab").open_object_set("employee")
+        session.click_control(browser, "next")
+        session.click_format_button(browser, "text")
+        session.click_format_button(browser, "picture")
+        dept = session.click_reference_button(browser, "dept")
+        session.click_format_button(dept, "text")
+        mgr = session.click_reference_button(dept, "mgr")
+        session.click_format_button(mgr, "text")
+        yield request.param, session
+
+
+def test_windowing_bench_render(benchmark, loaded_session):
+    name, session = loaded_session
+    rendering = benchmark(session.app.render)
+    assert rendering
+
+
+def test_windowing_bench_raster_scale(benchmark):
+    image = procedural_portrait(7, 32)
+    scaled = benchmark(image.scale, 12, 12)
+    assert (scaled.width, scaled.height) == (12, 12)
+
+
+def test_windowing_bench_smooth(benchmark):
+    image = procedural_portrait(7, 24)
+    benchmark(image.smooth)
+
+
+def test_windowing_bench_edge_art(benchmark, demo_root):
+    from repro.core.schemabrowser import render_edge_art
+    from repro.dagplace import place
+    from repro.ode.database import Database
+
+    with Database.open(demo_root / "university.odb") as database:
+        nodes = database.schema.class_names()
+        edges = database.schema.edges()
+    placement = place(nodes, edges, separation=16.0)
+    column_of = {name: int(placement.x_of[name]) + 4 for name in nodes}
+    labels = {name: name for name in nodes}
+    art = benchmark(render_edge_art, placement, column_of, labels, 160, 24)
+    assert "|" in art

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark follows the same shape:
+
+* a *scenario* reproduces the figure's window state through the scripted
+  session driver, asserts the paper's load-bearing facts, and writes the
+  rendering to ``benchmarks/artifacts/<figure>.txt`` (the reproduction's
+  "screenshot");
+* a *benchmark* times the figure's hot operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.session import UserSession
+from repro.data.documents import make_documents_database
+from repro.data.labdb import make_lab_database
+from repro.data.universitydb import make_university_database
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def demo_root(tmp_path_factory):
+    """A root directory with all three demo databases, built once."""
+    root = tmp_path_factory.mktemp("odeview-bench")
+    make_lab_database(root).close()
+    make_documents_database(root).close()
+    make_university_database(root).close()
+    return root
+
+
+@pytest.fixture
+def user_session(demo_root):
+    with UserSession(demo_root, screen_width=220) as session:
+        yield session
+
+
+def save_artifact(name: str, rendering: str) -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / f"{name}.txt").write_text(rendering + "\n")

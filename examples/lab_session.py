@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's full §3 sample session, replayed click by click.
+
+Reproduces every figure of "OdeView: The Graphical Interface to Ode"
+(SIGMOD 1990): schema browsing (Figures 1-5), object browsing (Figure 6),
+complex objects (Figures 7-8), reference chains (Figure 9), and
+synchronized browsing (Figure 10).  Each step prints the regenerated
+screen.
+
+Run:  python examples/lab_session.py
+"""
+
+import tempfile
+
+from repro import UserSession, make_lab_database
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="odeview-session-")
+    make_lab_database(root).close()
+
+    with UserSession(root, screen_width=200) as s:
+        print("=== Figure 1: initial display ===")
+        print(s.snapshot("fig1"))
+
+        s.click_database_icon("lab")
+        print("\n=== Figure 2: lab database schema (DAG placement) ===")
+        print(s.snapshot("fig2"))
+
+        s.click_class_node("lab", "employee")
+        print("\n=== Figure 3: class information window for employee ===")
+        print(s.snapshot("fig3"))
+
+        s.click_definition_button("lab", "employee")
+        print("\n=== Figure 4: class definition (O++ source) ===")
+        print(s.snapshot("fig4"))
+
+        s.app.click("lab.info.employee.subs.manager")
+        print("\n=== Figure 5: class information window for manager ===")
+        print(s.snapshot("fig5"))
+
+        browser = s.click_objects_button("lab", "employee")
+        s.click_control(browser, "next")
+        s.click_format_button(browser, "text")
+        s.click_format_button(browser, "picture")
+        print("\n=== Figure 6: employee object, text + picture ===")
+        print(s.snapshot("fig6"))
+
+        dept = s.click_reference_button(browser, "dept")
+        s.click_format_button(dept, "text")
+        print("\n=== Figure 7: employee's department ===")
+        print(s.snapshot("fig7"))
+
+        colleagues = s.click_reference_button(dept, "employees")
+        s.click_control(colleagues, "next")
+        s.click_control(colleagues, "next")
+        s.click_format_button(colleagues, "text")
+        print("\n=== Figure 8: employee's colleague ===")
+        print(s.snapshot("fig8"))
+
+        mgr = s.click_reference_button(dept, "mgr")
+        s.click_format_button(mgr, "text")
+        print("\n=== Figure 9: employee's manager (chain of references) ===")
+        print(s.snapshot("fig9"))
+
+        s.click_control(browser, "next")
+        print("\n=== Figure 10: synchronized browsing after one 'next' ===")
+        print(s.snapshot("fig10"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's lab database and browse it with OdeView.
+
+Creates the lab (ATT) database in a temporary directory, opens it in
+OdeView, sequences to the first employee, and shows it in text and picture
+form — the state of the paper's Figure 6 — all through the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+
+from repro import OdeView, make_lab_database
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="odeview-quickstart-")
+    make_lab_database(root).close()
+
+    app = OdeView(root, screen_width=150)
+    print("=== Figure 1: the database window ===")
+    print(app.render())
+
+    session = app.open_database("lab")
+    print("\n=== Figure 2: the lab schema window ===")
+    print(app.render())
+
+    browser = session.open_object_set("employee")
+    browser.next()                   # the control panel's next button
+    browser.toggle_format("text")    # the text display button
+    browser.toggle_format("picture")  # the picture display button
+    print("\n=== Figure 6: an employee in text and picture form ===")
+    print(app.render())
+
+    app.shutdown()
+
+
+if __name__ == "__main__":
+    main()

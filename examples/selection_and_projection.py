@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The §5 extensions: projection, selection, and join views.
+
+* Projection: the displaylist + bit vector mechanism showing a partial
+  view of employees.
+* Selection: both the menu scheme and the QBE-style condition box, pushed
+  down to the object manager.
+* Join views: employees joined with their departments, both sides
+  displayed simultaneously by their own display functions.
+
+Run:  python examples/selection_and_projection.py
+"""
+
+import tempfile
+
+from repro import UserSession, make_lab_database
+from repro.core.joins import JoinView, equi_join
+from repro.core.selection import SelectionBuilder
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="odeview-ext-")
+    make_lab_database(root).close()
+
+    with UserSession(root, screen_width=200) as s:
+        s.click_database_icon("lab")
+        db_session = s.app.session("lab")
+
+        # --- projection (§5.1) -------------------------------------------
+        browser = db_session.open_object_set("employee")
+        s.click_control(browser, "next")
+        s.click_format_button(browser, "text")
+        print("displaylist for employee:", browser.displaylist())
+        browser.project(["name", "id"])
+        print("\n=== projected onto {name, id} ===")
+        print(s.app.render())
+        browser.clear_projection()
+
+        # --- selection via menus (§5.2) ----------------------------------
+        builder = SelectionBuilder(db_session.database, "employee",
+                                   db_session.registry)
+        print("\nselectlist for employee:", builder.attributes())
+        builder.add_condition("years_service", ">", 12)
+        builder.add_condition("id", "<", 20)
+        print("menu-built predicate:", builder.source())
+        print("matches:", builder.count_matches())
+
+        # --- selection via the condition box (§5.2) ----------------------
+        filtered = s.select_into_browser("lab", "employee",
+                                         'id % 10 == 0 && name != "rakesh"')
+        while True:
+            report = filtered.next()
+            if report.result is None:
+                break
+            print("selected:", report.result,
+                  filtered.node.buffer().value("name"))
+
+        # --- join views (§5.3) --------------------------------------------
+        pairs = equi_join(db_session.database, "employee", "dept->dname",
+                          "department", "dname")
+        print(f"\nequi-join employee.dept->dname == department.dname: "
+              f"{len(pairs)} pairs")
+        view = JoinView(s.app.ctx, db_session.database, pairs[:3],
+                        registry=db_session.registry)
+        view.next()
+        print("\n=== first join pair, both sides displayed ===")
+        print(s.app.render())
+        view.destroy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Versioned objects, statistics, vacuum, and backup on the university DB.
+
+Shows the operational side of the reproduction: browse a *versioned* class
+(every update snapshots the previous state — O++ versioned objects), watch
+the statistics window, vacuum the store after churn, and round-trip the
+whole database through a logical backup.
+
+Run:  python examples/university_maintenance.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import OdeView
+from repro.core import StatisticsWindow
+from repro.data import make_university_database
+from repro.ode.backup import dump_to_file, load_from_file
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="odeview-uni-"))
+    database = make_university_database(root)
+
+    # churn a versioned course: every update snapshots the old state
+    course = database.objects.cluster("course").first()
+    for enrollment in (130, 145, 160):
+        database.objects.update(course, {"enrollment": enrollment})
+    print("course versions recorded:",
+          database.objects.versions.version_count(course))
+    database.close()
+
+    app = OdeView(root, screen_width=200)
+    session = app.open_database("university")
+
+    browser = session.open_object_set("course")
+    browser.next()
+    browser.toggle_format("text")
+    browser.show_versions()           # the versions button
+    print("\n=== course with its version history ===")
+    print(app.render())
+
+    StatisticsWindow(session)
+    print("\n=== statistics window ===")
+    print(app.render().split("university: statistics", 1)[1][:600])
+
+    # churn then vacuum
+    scratch = [session.database.objects.new_object("student",
+                                                   {"name": f"temp{i}",
+                                                    "age": 20})
+               for i in range(40)]
+    for oid in scratch:
+        session.database.objects.delete(oid)
+    print("\nfragmentation before vacuum:",
+          f"{session.database.store.fragmentation():.0%}")
+    reclaimed = session.database.vacuum()
+    print(f"vacuum reclaimed {reclaimed} page(s); fragmentation now",
+          f"{session.database.store.fragmentation():.0%}")
+
+    # logical backup round trip
+    backup_file = root / "university.json"
+    dump_to_file(session.database, backup_file)
+    app.shutdown()
+    restored = load_from_file(backup_file, root / "copies" / "university.odb")
+    print("\nrestored copy:", restored.objects.count("course"), "courses,",
+          restored.objects.versions.version_count(
+              restored.objects.cluster("course").first()), "versions kept")
+    restored.close()
+
+
+if __name__ == "__main__":
+    main()

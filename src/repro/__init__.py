@@ -1,0 +1,51 @@
+"""repro-odeview: a reproduction of "OdeView: The Graphical Interface to Ode"
+(Agrawal, Gehani & Srinivasan, SIGMOD 1990).
+
+Layers (bottom-up):
+
+* :mod:`repro.ode` — the Ode substrate: O++ data model, schema, slotted-page
+  object store with buffer pool and WAL, object manager, versions.
+* :mod:`repro.ode.opp` — the O++ language front end (class definitions and
+  selection predicates).
+* :mod:`repro.dagplace` — layered DAG placement for the schema window.
+* :mod:`repro.windowing` — generic window types, a headless text backend,
+  and a structural null backend.
+* :mod:`repro.dynlink` — run-time loading of per-class display functions
+  and the OdeView<->display-function protocol.
+* :mod:`repro.procmodel` — the master / db-interactor / object-interactor
+  process structure with crash isolation.
+* :mod:`repro.core` — OdeView: schema browsing, object browsing,
+  synchronized browsing, projection, selection, join views.
+* :mod:`repro.data` — the paper's lab (ATT) database and other demo data.
+
+Quickstart::
+
+    from repro import OdeView, make_lab_database
+    make_lab_database("/tmp/odeview-demo").close()
+    app = OdeView("/tmp/odeview-demo")
+    session = app.open_database("lab")
+    browser = session.open_object_set("employee")
+    browser.next()
+    browser.toggle_format("text")
+    print(app.render())
+"""
+
+from repro.core.app import DbSession, OdeView
+from repro.core.session import UserSession
+from repro.data.labdb import make_lab_database, open_lab_database
+from repro.errors import OdeError
+from repro.ode.database import Database, discover_databases
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DbSession",
+    "OdeError",
+    "OdeView",
+    "UserSession",
+    "__version__",
+    "discover_databases",
+    "make_lab_database",
+    "open_lab_database",
+]

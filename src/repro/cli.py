@@ -1,0 +1,356 @@
+"""An interactive terminal front end for OdeView.
+
+Run ``python -m repro <root-directory>`` to browse the Ode databases under
+a directory from a command prompt.  Every command maps onto the same
+public API the windowed session driver uses, so the CLI is a third
+"version of OdeView" in the paper's sense — a different interface over the
+identical display protocol.
+
+Commands::
+
+  help                       this text
+  databases                  list databases (the Figure 1 window)
+  open <db>                  open a database (schema window appears)
+  close <db>                 close a database
+  schema <db>                redraw the schema window
+  zoom <db> in|out           zoom the schema window
+  info <db> <class>          class information window (Figures 3/5)
+  def <db> <class>           class definition window (Figure 4)
+  objects <db> <class>       open an object-set window; becomes current
+  select <db> <class> <pred> open a filtered object set (condition box)
+  next | prev | reset        sequence the current object set
+  show <format>              toggle a display format on the current set
+  follow <attr>              follow a reference; child becomes current
+  back                       make the parent browser current again
+  use <n>                    switch current browser (see 'browsers')
+  browsers                   list open object browsers
+  project <a,b,...>          project the current browser onto attributes
+  unproject                  clear the projection
+  scroll <window> <delta>    scroll a scrollable window
+  raise <window>             bring a top-level window to the front
+  stats <db>                 open/refresh the database statistics window
+  vacuum <db>                rewrite the page file densely
+  render                     draw the screen
+  quit                       leave
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import OdeError, OdeViewError
+from repro.core.app import OdeView
+from repro.core.objectbrowser import ObjectBrowser
+from repro.core.selection import SelectionBuilder
+
+
+class CommandError(OdeViewError):
+    """Bad CLI input (unknown command, wrong arguments)."""
+
+
+class OdeViewCli:
+    """A line-command driver over one OdeView application."""
+
+    def __init__(self, root: str, screen_width: int = 150,
+                 privileged: bool = False):
+        self.app = OdeView(root, screen_width=screen_width,
+                           privileged=privileged)
+        self.browsers: List[ObjectBrowser] = []
+        self.current: Optional[ObjectBrowser] = None
+        self._stats_windows: Dict[str, object] = {}
+        self.done = False
+
+    # -- dispatch --------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the text to show the user."""
+        words = shlex.split(line)
+        if not words:
+            return ""
+        command, args = words[0], words[1:]
+        handler = self._handlers().get(command)
+        if handler is None:
+            raise CommandError(
+                f"unknown command {command!r}; try 'help'")
+        return handler(args)
+
+    def run(self, stdin=None, stdout=None) -> None:  # pragma: no cover - repl
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        stdout.write("OdeView. Type 'help' for commands.\n")
+        stdout.write(self.execute("databases") + "\n")
+        while not self.done:
+            stdout.write("odeview> ")
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            try:
+                result = self.execute(line)
+            except OdeError as exc:
+                result = f"error: {exc}"
+            if result:
+                stdout.write(result + "\n")
+        self.app.shutdown()
+
+    def _handlers(self) -> Dict[str, Callable[[List[str]], str]]:
+        return {
+            "help": self.cmd_help,
+            "databases": self.cmd_databases,
+            "open": self.cmd_open,
+            "close": self.cmd_close,
+            "schema": self.cmd_schema,
+            "zoom": self.cmd_zoom,
+            "info": self.cmd_info,
+            "def": self.cmd_def,
+            "objects": self.cmd_objects,
+            "select": self.cmd_select,
+            "next": self.cmd_next,
+            "prev": self.cmd_prev,
+            "reset": self.cmd_reset,
+            "show": self.cmd_show,
+            "follow": self.cmd_follow,
+            "back": self.cmd_back,
+            "use": self.cmd_use,
+            "browsers": self.cmd_browsers,
+            "project": self.cmd_project,
+            "unproject": self.cmd_unproject,
+            "scroll": self.cmd_scroll,
+            "raise": self.cmd_raise,
+            "stats": self.cmd_stats,
+            "vacuum": self.cmd_vacuum,
+            "render": self.cmd_render,
+            "quit": self.cmd_quit,
+        }
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _need(args: List[str], count: int, usage: str) -> None:
+        if len(args) < count:
+            raise CommandError(f"usage: {usage}")
+
+    def _current(self) -> ObjectBrowser:
+        if self.current is None:
+            raise CommandError("no current object set; use 'objects' first")
+        return self.current
+
+    def _track(self, browser: ObjectBrowser) -> ObjectBrowser:
+        if browser not in self.browsers:
+            self.browsers.append(browser)
+        self.current = browser
+        return browser
+
+    @staticmethod
+    def _status(browser: ObjectBrowser) -> str:
+        current = browser.node.current
+        if current is None:
+            return f"{browser.path}: (before first)"
+        return f"{browser.path}: {current}"
+
+    # -- commands -------------------------------------------------------------------
+
+    def cmd_help(self, _args: List[str]) -> str:
+        return __doc__.split("Commands::", 1)[1].strip("\n")
+
+    def cmd_databases(self, _args: List[str]) -> str:
+        directories = self.app.database_directories()
+        if not directories:
+            return "(no Ode databases found)"
+        lines = ["databases:"]
+        for directory in directories:
+            name = directory.name.removesuffix(".odb")
+            state = "open" if name in self.app.sessions else "closed"
+            lines.append(f"  {self.app._icon_text(directory)} {name} ({state})")
+        return "\n".join(lines)
+
+    def cmd_open(self, args: List[str]) -> str:
+        self._need(args, 1, "open <db>")
+        session = self.app.open_database(args[0])
+        classes = ", ".join(session.database.schema.class_names())
+        return f"opened {args[0]}; classes: {classes}"
+
+    def cmd_close(self, args: List[str]) -> str:
+        self._need(args, 1, "close <db>")
+        session = self.app.session(args[0])
+        self.browsers = [b for b in self.browsers
+                         if b not in session.object_sets]
+        if self.current in session.object_sets:
+            self.current = self.browsers[-1] if self.browsers else None
+        self.app.close_database(args[0])
+        return f"closed {args[0]}"
+
+    def cmd_schema(self, args: List[str]) -> str:
+        self._need(args, 1, "schema <db>")
+        self.app.session(args[0]).schema.rebuild()
+        return self.app.render()
+
+    def cmd_zoom(self, args: List[str]) -> str:
+        self._need(args, 2, "zoom <db> in|out")
+        schema = self.app.session(args[0]).schema
+        if args[1] == "in":
+            schema.zoom_in()
+        elif args[1] == "out":
+            schema.zoom_out()
+        else:
+            raise CommandError("usage: zoom <db> in|out")
+        return self.app.render()
+
+    def cmd_info(self, args: List[str]) -> str:
+        self._need(args, 2, "info <db> <class>")
+        self.app.session(args[0]).schema.open_class_info(args[1])
+        return self.app.render()
+
+    def cmd_def(self, args: List[str]) -> str:
+        self._need(args, 2, "def <db> <class>")
+        self.app.session(args[0]).schema.open_class_definition(args[1])
+        return self.app.render()
+
+    def cmd_objects(self, args: List[str]) -> str:
+        self._need(args, 2, "objects <db> <class>")
+        browser = self.app.session(args[0]).open_object_set(args[1])
+        self._track(browser)
+        return (f"object set over {args[1]} "
+                f"({browser.node.member_count()} objects); "
+                f"formats: {', '.join(browser.formats)}")
+
+    def cmd_select(self, args: List[str]) -> str:
+        self._need(args, 3, "select <db> <class> <predicate>")
+        db, class_name = args[0], args[1]
+        condition = " ".join(args[2:])
+        session = self.app.session(db)
+        builder = SelectionBuilder(session.database, class_name,
+                                   session.registry,
+                                   privileged=self.app.ctx.privileged)
+        builder.set_condition(condition)
+        browser = session.open_object_set(class_name,
+                                          predicate=builder.build())
+        self._track(browser)
+        return (f"selected {browser.node.member_count()} of "
+                f"{session.database.objects.count(class_name)} "
+                f"{class_name} objects")
+
+    def cmd_next(self, _args: List[str]) -> str:
+        browser = self._current()
+        browser.next()
+        return self._status(browser)
+
+    def cmd_prev(self, _args: List[str]) -> str:
+        browser = self._current()
+        browser.previous()
+        return self._status(browser)
+
+    def cmd_reset(self, _args: List[str]) -> str:
+        browser = self._current()
+        browser.reset()
+        return self._status(browser)
+
+    def cmd_show(self, args: List[str]) -> str:
+        self._need(args, 1, "show <format>")
+        browser = self._current()
+        browser.toggle_format(args[0])
+        state = "open" if args[0] in browser.open_formats else "closed"
+        return f"{args[0]} display {state}\n" + self.app.render()
+
+    def cmd_follow(self, args: List[str]) -> str:
+        self._need(args, 1, "follow <attr>")
+        child = self._current().open_reference(args[0])
+        self._track(child)
+        return self._status(child)
+
+    def cmd_back(self, _args: List[str]) -> str:
+        browser = self._current()
+        parent_path = browser.node.parent.path if browser.node.parent else None
+        if parent_path is None:
+            raise CommandError("already at a root object set")
+        for candidate in self.browsers:
+            if candidate.path == parent_path:
+                self.current = candidate
+                return self._status(candidate)
+        raise CommandError("parent browser is gone")
+
+    def cmd_use(self, args: List[str]) -> str:
+        self._need(args, 1, "use <n>")
+        try:
+            index = int(args[0])
+            browser = self.browsers[index]
+        except (ValueError, IndexError):
+            raise CommandError("usage: use <n>  (see 'browsers')") from None
+        self.current = browser
+        return self._status(browser)
+
+    def cmd_browsers(self, _args: List[str]) -> str:
+        if not self.browsers:
+            return "(no open object browsers)"
+        lines = []
+        for index, browser in enumerate(self.browsers):
+            marker = "*" if browser is self.current else " "
+            lines.append(f"{marker}[{index}] {self._status(browser)}")
+        return "\n".join(lines)
+
+    def cmd_project(self, args: List[str]) -> str:
+        self._need(args, 1, "project <a,b,...>")
+        attributes = [part.strip() for part in " ".join(args).split(",")
+                      if part.strip()]
+        browser = self._current()
+        browser.project(attributes)
+        return f"projected onto {attributes}\n" + self.app.render()
+
+    def cmd_unproject(self, _args: List[str]) -> str:
+        browser = self._current()
+        browser.clear_projection()
+        return "projection cleared"
+
+    def cmd_scroll(self, args: List[str]) -> str:
+        self._need(args, 2, "scroll <window> <delta>")
+        try:
+            delta = int(args[1])
+        except ValueError:
+            raise CommandError("usage: scroll <window> <delta>") from None
+        offset = self.app.screen.scroll(args[0], delta)
+        return f"{args[0]} scrolled to line {offset}\n" + self.app.render()
+
+    def cmd_raise(self, args: List[str]) -> str:
+        self._need(args, 1, "raise <window>")
+        self.app.screen.raise_window(args[0])
+        return self.app.render()
+
+    def cmd_stats(self, args: List[str]) -> str:
+        self._need(args, 1, "stats <db>")
+        from repro.core.statistics import StatisticsWindow
+
+        session = self.app.session(args[0])
+        window = self._stats_windows.get(args[0])
+        if window is None:
+            window = StatisticsWindow(session)
+            self._stats_windows[args[0]] = window
+        else:
+            window.refresh()
+        return self.app.render()
+
+    def cmd_vacuum(self, args: List[str]) -> str:
+        self._need(args, 1, "vacuum <db>")
+        session = self.app.session(args[0])
+        reclaimed = session.database.vacuum()
+        fragmentation = session.database.store.fragmentation()
+        return (f"vacuumed {args[0]}: {reclaimed} page(s) reclaimed, "
+                f"fragmentation now {fragmentation:.0%}")
+
+    def cmd_render(self, _args: List[str]) -> str:
+        return self.app.render()
+
+    def cmd_quit(self, _args: List[str]) -> str:
+        self.done = True
+        return "bye"
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - entry
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro <root-directory>", file=sys.stderr)
+        return 2
+    cli = OdeViewCli(argv[0])
+    cli.run()
+    return 0

@@ -1,0 +1,42 @@
+"""OdeView itself: the application, browsers, sync, and extensions."""
+
+from repro.core.app import DbSession, OdeView
+from repro.core.joins import JoinView, equi_join
+from repro.core.navigation import Node, RefNode, SetNode, reference_attributes
+from repro.core.objectbrowser import DisplayStateMemory, ObjectBrowser, UiContext
+from repro.core.projection import ProjectionPanel
+from repro.core.schemabrowser import SchemaBrowser
+from repro.core.queryplan import QueryPlan, SelectionPlanner
+from repro.core.selection import SelectionBuilder, select_objects, used_attributes
+from repro.core.selectionpanel import SelectionPanel
+from repro.core.session import UserSession
+from repro.core.statistics import StatisticsWindow, gather_statistics
+from repro.core.sync import SyncReport, network_paths, sequence
+
+__all__ = [
+    "DbSession",
+    "DisplayStateMemory",
+    "JoinView",
+    "Node",
+    "ObjectBrowser",
+    "OdeView",
+    "ProjectionPanel",
+    "QueryPlan",
+    "RefNode",
+    "SchemaBrowser",
+    "SelectionBuilder",
+    "SelectionPanel",
+    "SelectionPlanner",
+    "SetNode",
+    "StatisticsWindow",
+    "SyncReport",
+    "UiContext",
+    "UserSession",
+    "equi_join",
+    "gather_statistics",
+    "network_paths",
+    "reference_attributes",
+    "select_objects",
+    "sequence",
+    "used_attributes",
+]

@@ -1,0 +1,133 @@
+"""Projection (paper §5.1).
+
+"When a user wants to see a partial view of an object, the user clicks a
+'project' button that results in a set of buttons being created, one each
+for the displayable attributes of the object.  An ALL button is also
+created... OdeView calls the displaylist function of the corresponding
+class, uses the list of attributes returned to create the buttons, and
+makes a bit vector corresponding to the attributes selected by the user."
+
+The bit vector then travels to the display function inside the
+:class:`~repro.dynlink.protocol.DisplayRequest`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ProjectionError
+from repro.core.objectbrowser import ObjectBrowser
+from repro.windowing.wintypes import at, below, button, panel
+
+
+class ProjectionPanel:
+    """The attribute-button panel the 'project' button pops up."""
+
+    def __init__(self, browser: ObjectBrowser):
+        self.browser = browser
+        self.displaylist: List[str] = browser.displaylist()
+        if not self.displaylist:
+            raise ProjectionError(
+                f"class {browser.node.class_name!r} has an empty displaylist"
+            )
+        self.selected: List[str] = []
+        self._window_name = f"{browser.path}.projpanel"
+        self._build()
+        browser.ctx.screen.on_click(
+            browser.project_button_name(), lambda _event: self.toggle_visible()
+        )
+
+    # -- names ------------------------------------------------------------------
+
+    @property
+    def window_name(self) -> str:
+        return self._window_name
+
+    def attribute_button_name(self, attr: str) -> str:
+        return f"{self._window_name}.attr.{attr}"
+
+    # -- windows ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        screen = self.browser.ctx.screen
+        children = []
+        previous = None
+        for attr in self.displaylist:
+            name = self.attribute_button_name(attr)
+            place = at(0, 0) if previous is None else below(previous)
+            children.append(button(name, f"  {attr}", f"proj:{attr}",
+                                   placement=place))
+            previous = name
+        children.append(button(f"{self._window_name}.all", "ALL", "proj-all",
+                               placement=below(previous)))
+        children.append(button(f"{self._window_name}.apply", "apply",
+                               "proj-apply",
+                               placement=right_anchor(previous)))
+        children.append(button(f"{self._window_name}.clear", "clear",
+                               "proj-clear",
+                               placement=below(f"{self._window_name}.all")))
+        screen.create(panel(self._window_name, tuple(children),
+                            title="project"))
+        for attr in self.displaylist:
+            screen.on_click(
+                self.attribute_button_name(attr),
+                lambda _event, a=attr: self.toggle_attribute(a),
+            )
+        screen.on_click(f"{self._window_name}.all",
+                        lambda _event: self.select_all())
+        screen.on_click(f"{self._window_name}.apply",
+                        lambda _event: self.apply())
+        screen.on_click(f"{self._window_name}.clear",
+                        lambda _event: self.clear())
+
+    def toggle_visible(self) -> None:
+        screen = self.browser.ctx.screen
+        window = screen.get(self._window_name)
+        if window.is_open:
+            screen.close(self._window_name)
+        else:
+            screen.open(self._window_name)
+
+    def _update_labels(self) -> None:
+        screen = self.browser.ctx.screen
+        for attr in self.displaylist:
+            marker = "* " if attr in self.selected else "  "
+            screen.set_content(self.attribute_button_name(attr),
+                               f"{marker}{attr}")
+
+    # -- selection --------------------------------------------------------------------
+
+    def toggle_attribute(self, attr: str) -> None:
+        if attr not in self.displaylist:
+            raise ProjectionError(f"{attr!r} is not in the displaylist")
+        if attr in self.selected:
+            self.selected.remove(attr)
+        else:
+            self.selected.append(attr)
+        self._update_labels()
+
+    def select_all(self) -> None:
+        self.selected = list(self.displaylist)
+        self._update_labels()
+
+    def apply(self) -> None:
+        """Build the bit vector and re-display (paper §5.1)."""
+        if not self.selected:
+            raise ProjectionError("no attributes selected to project on")
+        # keep displaylist order, not click order
+        ordered = [attr for attr in self.displaylist if attr in self.selected]
+        self.browser.project(ordered)
+
+    def clear(self) -> None:
+        self.selected = []
+        self._update_labels()
+        self.browser.clear_projection()
+
+
+def right_anchor(name: Optional[str]):
+    """Placement right of *name* (panel-local helper)."""
+    from repro.windowing.wintypes import right_of
+
+    if name is None:
+        return at(0, 0)
+    return right_of(name)

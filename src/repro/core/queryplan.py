@@ -1,0 +1,159 @@
+"""Index-aware planning for pushed-down selections.
+
+The object manager filters objects during cluster scans (paper §5.2); when
+an :class:`~repro.ode.index.AttributeIndex` exists for an attribute used
+in a sargable conjunct (``attr op literal``), the planner probes the index
+to fetch only candidate OIDs and evaluates the *residual* predicate on
+those.  The ABL-INDEX benchmark measures the scan-vs-probe shape.
+
+The planner is deliberately simple — one index probe per query, best
+conjunct chosen by kind (equality beats range beats nothing) — which is
+all a browsing workload needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.ode.database import Database
+from repro.ode.objectmanager import ObjectBuffer
+from repro.ode.oid import Oid
+from repro.ode.opp import ast
+from repro.ode.opp.predicate import PredicateEvaluator
+
+_EQ = "=="
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
+    """Flatten a tree of ``&&`` into its conjuncts."""
+    if isinstance(expr, ast.Binary) and expr.op == "&&":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def join_conjuncts(conjuncts: List[ast.Expr]) -> Optional[ast.Expr]:
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for part in conjuncts[1:]:
+        expr = ast.Binary("&&", expr, part)
+    return expr
+
+
+def sargable(conjunct: ast.Expr) -> Optional[Tuple[str, str, Any]]:
+    """``(attribute, op, literal)`` if the conjunct is index-usable."""
+    if not isinstance(conjunct, ast.Binary):
+        return None
+    op = conjunct.op
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ast.Name) and isinstance(right, ast.Literal):
+        attribute, literal = left.ident, right.value
+    elif isinstance(right, ast.Name) and isinstance(left, ast.Literal):
+        attribute, literal = right.ident, left.value
+        # mirror the comparison: 3 < x  ==  x > 3
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    else:
+        return None
+    if op not in (_EQ,) + _RANGE_OPS:
+        return None
+    if literal is None:
+        return None
+    return attribute, op, literal
+
+
+@dataclass
+class QueryPlan:
+    """How one selection will be executed."""
+
+    class_name: str
+    access: str                         # "index-eq" | "index-range" | "scan"
+    index_attribute: Optional[str]
+    candidates: Optional[List[int]]     # OID numbers from the probe
+    residual: Optional[ast.Expr]        # still checked per object
+
+    def explain(self) -> str:
+        """Human-readable plan, in the EXPLAIN tradition."""
+        from repro.ode.opp.printer import expr_to_source
+
+        parts = [f"select from cluster {self.class_name!r}"]
+        if self.access == "scan":
+            parts.append("  access: full cluster scan")
+        else:
+            parts.append(
+                f"  access: {self.access} probe on "
+                f"{self.class_name}.{self.index_attribute} "
+                f"({len(self.candidates or [])} candidates)")
+        if self.residual is not None:
+            parts.append(f"  filter: {expr_to_source(self.residual)}")
+        return "\n".join(parts)
+
+
+class SelectionPlanner:
+    """Plans and executes validated selection expressions."""
+
+    def __init__(self, database: Database, privileged: bool = False):
+        self.database = database
+        self.privileged = privileged
+        self._evaluator = PredicateEvaluator(database.objects,
+                                             privileged=privileged)
+
+    def plan(self, class_name: str, expr: ast.Expr) -> QueryPlan:
+        indexes = self.database.objects.indexes
+        conjuncts = split_conjuncts(expr)
+        best: Optional[Tuple[int, int, Tuple[str, str, Any]]] = None
+        for position, conjunct in enumerate(conjuncts):
+            probe = sargable(conjunct)
+            if probe is None:
+                continue
+            attribute, op, _literal = probe
+            if indexes.get(class_name, attribute) is None:
+                continue
+            rank = 0 if op == _EQ else 1  # prefer equality probes
+            if best is None or rank < best[0]:
+                best = (rank, position, probe)
+        if best is None:
+            return QueryPlan(class_name=class_name, access="scan",
+                             index_attribute=None, candidates=None,
+                             residual=expr)
+        _rank, position, (attribute, op, literal) = best
+        index = indexes.get(class_name, attribute)
+        if op == _EQ:
+            numbers = index.equal(literal)
+            access = "index-eq"
+        else:
+            bounds = {
+                "<": dict(high=literal, include_high=False),
+                "<=": dict(high=literal, include_high=True),
+                ">": dict(low=literal, include_low=False),
+                ">=": dict(low=literal, include_low=True),
+            }[op]
+            numbers = index.range(**bounds)
+            access = "index-range"
+        residual = join_conjuncts(
+            [c for i, c in enumerate(conjuncts) if i != position])
+        return QueryPlan(class_name=class_name, access=access,
+                         index_attribute=attribute, candidates=numbers,
+                         residual=residual)
+
+    def execute(self, plan: QueryPlan) -> Iterator[ObjectBuffer]:
+        objects = self.database.objects
+        if plan.access == "scan":
+            predicate = None
+            if plan.residual is not None:
+                predicate = self._evaluator.compile(plan.residual)
+            yield from objects.select(plan.class_name, predicate)
+            return
+        database_name = objects.database
+        for number in plan.candidates or ():
+            oid = Oid(database_name, plan.class_name, number)
+            if not objects.exists(oid):
+                continue  # index may lag a raw store mutation
+            buffer = objects.get_buffer(oid)
+            if plan.residual is None or self._evaluator.matches(
+                    plan.residual, buffer):
+                yield buffer
+
+    def select(self, class_name: str, expr: ast.Expr) -> List[ObjectBuffer]:
+        return list(self.execute(self.plan(class_name, expr)))

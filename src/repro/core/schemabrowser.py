@@ -1,0 +1,306 @@
+"""Schema browsing: the schema window, class information window, and class
+definition window.
+
+Paper §3.1: clicking a database icon opens a "class relationship" window
+showing the inheritance DAG, drawn by a placement algorithm that minimises
+crossovers, with zoom in/out.  Clicking a class node opens a "class
+information" window with three subwindows — superclasses, subclasses, and
+meta data (e.g. "there are 55 objects in the employee cluster") — plus a
+button that shows the class definition (Figure 4).  Clicking a superclass
+or subclass opens *its* information window, and "browsing through the class
+information and relationship windows can be freely mixed."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.objectbrowser import UiContext
+from repro.dagplace import Placement, place
+from repro.ode.database import Database
+from repro.windowing.wintypes import (
+    WindowSpec,
+    at,
+    below,
+    button,
+    panel,
+    right_of,
+    text_window,
+)
+
+#: Vertical cells per DAG layer: a 3-row button box plus 2 connector rows.
+_ROW_HEIGHT = 5
+_BUTTON_ROWS = 3
+
+
+def render_edge_art(placement: Placement, column_of: Dict[str, int],
+                    label_of: Dict[str, str], width: int,
+                    height: int) -> str:
+    """ASCII edge art for the schema DAG (node buttons overlay this)."""
+    grid = [[" "] * max(width, 1) for _ in range(max(height, 1))]
+
+    def plot(row: int, col: int, char: str) -> None:
+        if 0 <= row < height and 0 <= col < width:
+            if grid[row][col] == " " or char == "+":
+                grid[row][col] = char
+
+    def draw_segment(col_a: int, row_a: int, col_b: int, row_b: int) -> None:
+        steps = max(row_b - row_a, 1)
+        previous_col = col_a
+        # stop one row short of the destination so the target button's
+        # border row stays clean
+        for step in range(1, steps):
+            row = row_a + step
+            col = col_a + (col_b - col_a) * step // steps
+            if col == previous_col:
+                plot(row, col, "|")
+            elif col > previous_col:
+                for c in range(previous_col + 1, col + 1):
+                    plot(row, c, "\\" if c == col else "_")
+            else:
+                for c in range(col, previous_col):
+                    plot(row, c, "/" if c == col else "_")
+            previous_col = col
+
+    for src, dst in placement.edges:
+        src_row = placement.layer_of[src] * _ROW_HEIGHT + _BUTTON_ROWS - 1
+        dst_row = placement.layer_of[dst] * _ROW_HEIGHT
+        points: List[Tuple[int, int]] = [(column_of[src], src_row)]
+        for bend_x, bend_layer in placement.bend_points.get((src, dst), ()):
+            points.append((int(round(bend_x)), bend_layer * _ROW_HEIGHT + 1))
+        points.append((column_of[dst], dst_row))
+        for (col_a, row_a), (col_b, row_b) in zip(points, points[1:]):
+            draw_segment(col_a, row_a, col_b, row_b)
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+class SchemaBrowser:
+    """Schema-level windows for one open database."""
+
+    def __init__(self, ctx: UiContext, database: Database,
+                 interactor_name: str, on_objects=None):
+        self.ctx = ctx
+        self.database = database
+        self._interactor = interactor_name
+        self._on_objects = on_objects  # callback: the 'objects' button (§3.2)
+        self.zoom = 0                      # 0 normal, >0 zoomed in, <0 out
+        self.info_open: List[str] = []     # class info windows, open order
+        self.def_open: List[str] = []
+        self._build_schema_window()
+
+    # -- names -------------------------------------------------------------------
+
+    @property
+    def db(self) -> str:
+        return self.database.name
+
+    def schema_window_name(self) -> str:
+        return f"{self.db}.schema"
+
+    def node_button_name(self, class_name: str) -> str:
+        return f"{self.db}.schema.node.{class_name}"
+
+    def info_window_name(self, class_name: str) -> str:
+        return f"{self.db}.info.{class_name}"
+
+    def def_window_name(self, class_name: str) -> str:
+        return f"{self.db}.def.{class_name}"
+
+    # -- the schema (class relationship) window ---------------------------------------
+
+    def _node_label(self, class_name: str) -> str:
+        if self.zoom < 0:
+            return class_name[:3]
+        return class_name
+
+    def _build_schema_window(self) -> None:
+        graph = self.ctx.processes.call(self._interactor, "schema_graph")
+        nodes: List[str] = graph["nodes"]
+        edges: List[Tuple[str, str]] = [tuple(edge) for edge in graph["edges"]]
+        screen = self.ctx.screen
+        if screen.has(self.schema_window_name()):
+            screen.destroy(self.schema_window_name())
+        if not nodes:
+            screen.create(
+                panel(
+                    self.schema_window_name(),
+                    (text_window(f"{self.db}.schema.art", "(empty schema)"),),
+                    title=f"{self.db}: class relationships",
+                )
+            )
+            return
+        labels = {name: self._node_label(name) for name in nodes}
+        # 1 abstract unit = 1 character column; keep boxes from overlapping.
+        max_label = max(len(label) for label in labels.values())
+        separation = max_label + 6 + 4 * max(self.zoom, 0)
+        placement = place(nodes, edges, separation=float(separation))
+        column_of = {}
+        for name in nodes:
+            box_width = len(labels[name]) + 4  # [label] + border
+            column_of[name] = int(round(placement.x_of[name])) + box_width // 2
+        self.placement = placement
+        height = placement.depth * _ROW_HEIGHT - 2
+        width = max(
+            int(round(placement.x_of[name])) + len(labels[name]) + 5
+            for name in nodes
+        )
+        art = render_edge_art(placement, column_of, labels, width, height)
+        children: List[WindowSpec] = [
+            text_window(f"{self.db}.schema.art", art,
+                        width=width, height=height)
+        ]
+        for name in nodes:
+            children.append(
+                button(
+                    self.node_button_name(name),
+                    labels[name],
+                    f"class:{name}",
+                    placement=at(
+                        int(round(placement.x_of[name])),
+                        placement.layer_of[name] * _ROW_HEIGHT,
+                    ),
+                )
+            )
+        screen.create(
+            panel(
+                self.schema_window_name(),
+                tuple(children),
+                title=f"{self.db}: class relationships",
+            )
+        )
+        for name in nodes:
+            screen.on_click(
+                self.node_button_name(name),
+                lambda _event, c=name: self.open_class_info(c),
+            )
+
+    def zoom_in(self) -> None:
+        self.zoom += 1
+        self._build_schema_window()
+
+    def zoom_out(self) -> None:
+        self.zoom -= 1
+        self._build_schema_window()
+
+    def rebuild(self) -> None:
+        """Re-read the schema (after evolution) and redraw the DAG."""
+        self._build_schema_window()
+
+    # -- the class information window (Figures 3 and 5) ------------------------------------
+
+    def open_class_info(self, class_name: str) -> str:
+        """Click a schema node: open the class information window."""
+        # Validate user input here: a bad name must not crash the
+        # db-interactor process (it serves the whole session).
+        self.database.schema.get_class(class_name)
+        info = self.ctx.processes.call(
+            self._interactor, "class_info", class_name=class_name
+        )
+        screen = self.ctx.screen
+        window_name = self.info_window_name(class_name)
+        if screen.has(window_name):
+            screen.destroy(window_name)
+        if window_name in self.info_open:
+            self.info_open.remove(window_name)
+
+        children: List[WindowSpec] = []
+
+        def listing(tag: str, title: str, names: List[str],
+                    placement) -> str:
+            """A subwindow listing related classes as clickable buttons."""
+            inner: List[WindowSpec] = []
+            previous = None
+            for related in names:
+                spec_name = f"{window_name}.{tag}.{related}"
+                inner.append(
+                    button(
+                        spec_name, related, f"class:{related}",
+                        placement=(at(0, 0) if previous is None
+                                   else below(previous)),
+                    )
+                )
+                previous = spec_name
+            if not inner:
+                inner.append(
+                    text_window(f"{window_name}.{tag}.none", "(none)",
+                                placement=at(0, 0))
+                )
+            children.append(
+                panel(f"{window_name}.{tag}", tuple(inner), title=title,
+                      placement=placement)
+            )
+            return f"{window_name}.{tag}"
+
+        supers_name = listing("supers", "superclasses",
+                              info["superclasses"], at(0, 0))
+        subs_name = listing("subs", "subclasses",
+                            info["subclasses"], right_of(supers_name))
+        meta_lines = [
+            f"objects in cluster : {info['count']}",
+            f"versioned          : {'yes' if info['versioned'] else 'no'}",
+        ]
+        children.append(
+            text_window(
+                f"{window_name}.meta", "\n".join(meta_lines),
+                title="meta data", placement=right_of(subs_name),
+                scrollable=True, height=3,
+            )
+        )
+        children.append(
+            button(f"{window_name}.showdef", "definition",
+                   f"definition:{class_name}",
+                   placement=below(supers_name))
+        )
+        screen.create(
+            panel(window_name, tuple(children),
+                  title=f"class {class_name}")
+        )
+        self.info_open.append(window_name)
+        for related in info["superclasses"]:
+            screen.on_click(
+                f"{window_name}.supers.{related}",
+                lambda _event, c=related: self.open_class_info(c),
+            )
+        for related in info["subclasses"]:
+            screen.on_click(
+                f"{window_name}.subs.{related}",
+                lambda _event, c=related: self.open_class_info(c),
+            )
+        screen.on_click(
+            f"{window_name}.showdef",
+            lambda _event, c=class_name: self.open_class_definition(c),
+        )
+        return window_name
+
+    # -- the class definition window (Figure 4) ----------------------------------------------
+
+    def open_class_definition(self, class_name: str) -> str:
+        """The class-definition window: canonical O++ source + objects button."""
+        self.database.schema.get_class(class_name)
+        source = self.ctx.processes.call(
+            self._interactor, "class_definition", class_name=class_name
+        )
+        screen = self.ctx.screen
+        window_name = self.def_window_name(class_name)
+        if screen.has(window_name):
+            screen.destroy(window_name)
+        if window_name in self.def_open:
+            self.def_open.remove(window_name)
+        text_name = f"{window_name}.source"
+        children = (
+            text_window(text_name, source, scrollable=True,
+                        placement=at(0, 0)),
+            button(f"{window_name}.objects", "objects",
+                   f"objects:{class_name}", placement=below(text_name)),
+        )
+        screen.create(
+            panel(window_name, children,
+                  title=f"{class_name} definition")
+        )
+        self.def_open.append(window_name)
+        if self._on_objects is not None:
+            screen.on_click(
+                f"{window_name}.objects",
+                lambda _event, c=class_name: self._on_objects(c),
+            )
+        return window_name

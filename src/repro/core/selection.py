@@ -1,0 +1,193 @@
+"""Selection (paper §5.2).
+
+Two predicate-construction schemes, exactly as the paper proposes:
+
+* the **menu scheme** ("a predicate is formed by selecting from a menu of
+  attribute names and operators and typing in values") — good for simple
+  predicates;
+* the **condition box** ("similar to QBE and type in the selection
+  condition as a string") — good for complex ones.
+
+Both validate that every attribute used comes from the class's
+``selectlist`` (synthesized when the designer provided none), type-check
+the predicate, and compile it to a callable the object manager applies
+while scanning — the pushdown of §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Set
+
+from repro.errors import SelectionError, TypeCheckError
+from repro.dynlink.registry import DisplayRegistry
+from repro.ode.database import Database
+from repro.ode.opp import ast
+from repro.ode.opp.parser import parse_expression
+from repro.ode.opp.predicate import PredicateEvaluator
+from repro.ode.opp.printer import expr_to_source
+from repro.ode.opp.typecheck import check_selection_predicate
+
+#: Operators the menu scheme offers.
+MENU_OPERATORS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def used_attributes(expr: ast.Expr) -> Set[str]:
+    """Every bare attribute name a predicate mentions (its root names)."""
+    names: Set[str] = set()
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.Name):
+            names.add(node.ident)
+        elif isinstance(node, ast.FieldAccess):
+            visit(node.base)
+        elif isinstance(node, ast.Index):
+            visit(node.base)
+            visit(node.subscript)
+        elif isinstance(node, ast.Call):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, ast.Unary):
+            visit(node.operand)
+        elif isinstance(node, ast.Binary):
+            visit(node.left)
+            visit(node.right)
+
+    visit(expr)
+    return names
+
+
+class SelectionBuilder:
+    """Builds a validated, compiled selection predicate for one class."""
+
+    def __init__(self, database: Database, class_name: str,
+                 registry: Optional[DisplayRegistry] = None,
+                 privileged: bool = False):
+        database.schema.get_class(class_name)
+        self.database = database
+        self.class_name = class_name
+        self.registry = registry or DisplayRegistry(database)
+        self.privileged = privileged
+        self._conjuncts: List[ast.Expr] = []
+        self._condition: Optional[ast.Expr] = None
+
+    # -- what the user may select on -----------------------------------------------
+
+    def attributes(self) -> List[str]:
+        """The selectlist: "the user must be informed as to what attributes
+        can be used to construct the selection predicate" (§5.2)."""
+        return self.registry.selectlist(self.class_name)
+
+    def operators(self) -> tuple:
+        return MENU_OPERATORS
+
+    # -- scheme 1: menus ---------------------------------------------------------------
+
+    def add_condition(self, attribute: str, operator: str, value: Any) -> None:
+        """One menu-built comparison; conditions AND together."""
+        if attribute not in self.attributes():
+            raise SelectionError(
+                f"attribute {attribute!r} is not in the selectlist of "
+                f"{self.class_name!r}"
+            )
+        if operator not in MENU_OPERATORS:
+            raise SelectionError(f"unknown operator {operator!r}")
+        if isinstance(value, str):
+            literal: ast.Expr = ast.Literal(value)
+        elif isinstance(value, bool):
+            literal = ast.Literal(value)
+        elif isinstance(value, (int, float)):
+            literal = ast.Literal(value)
+        else:
+            raise SelectionError(
+                f"menu values must be scalars, got {type(value).__name__}"
+            )
+        self._conjuncts.append(
+            ast.Binary(operator, ast.Name(attribute), literal)
+        )
+
+    # -- scheme 2: the condition box ------------------------------------------------------
+
+    def set_condition(self, source: str) -> None:
+        """Type a predicate string into the QBE-style condition box."""
+        expr = parse_expression(source)
+        self._validate(expr)
+        self._condition = expr
+
+    # -- build ------------------------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        parts: List[ast.Expr] = list(self._conjuncts)
+        if self._condition is not None:
+            parts.append(self._condition)
+        if not parts:
+            raise SelectionError("no selection condition given")
+        expr = parts[0]
+        for part in parts[1:]:
+            expr = ast.Binary("&&", expr, part)
+        return expr
+
+    def source(self) -> str:
+        return expr_to_source(self.expression())
+
+    def _validate(self, expr: ast.Expr) -> None:
+        allowed = set(self.attributes())
+        used = used_attributes(expr)
+        outside = used - allowed
+        if outside:
+            raise SelectionError(
+                f"attributes not in the selectlist of {self.class_name!r}: "
+                f"{sorted(outside)}"
+            )
+        try:
+            check_selection_predicate(
+                expr, self.class_name, self.database.schema,
+                privileged=self.privileged,
+            )
+        except TypeCheckError as exc:
+            raise SelectionError(f"bad selection predicate: {exc}") from exc
+
+    def build(self) -> Callable[[Any], bool]:
+        """Validate and compile: the callable handed to the object manager."""
+        expr = self.expression()
+        self._validate(expr)
+        evaluator = PredicateEvaluator(
+            self.database.objects, privileged=self.privileged
+        )
+        return evaluator.compile(expr)
+
+    def count_matches(self) -> int:
+        predicate = self.build()
+        return sum(
+            1 for _buffer in self.database.objects.select(self.class_name,
+                                                          predicate)
+        )
+
+    # -- index-aware execution ---------------------------------------------------
+
+    def plan(self):
+        """An index-aware :class:`~repro.core.queryplan.QueryPlan`."""
+        from repro.core.queryplan import SelectionPlanner
+
+        expr = self.expression()
+        self._validate(expr)
+        planner = SelectionPlanner(self.database, privileged=self.privileged)
+        return planner.plan(self.class_name, expr)
+
+    def execute(self):
+        """Validate, plan, and run the selection (index probe when possible)."""
+        from repro.core.queryplan import SelectionPlanner
+
+        expr = self.expression()
+        self._validate(expr)
+        planner = SelectionPlanner(self.database, privileged=self.privileged)
+        return list(planner.execute(planner.plan(self.class_name, expr)))
+
+
+def select_objects(database: Database, class_name: str, condition: str,
+                   registry: Optional[DisplayRegistry] = None,
+                   privileged: bool = False):
+    """One-call pushdown selection: buffers matching a condition string."""
+    builder = SelectionBuilder(database, class_name, registry, privileged)
+    builder.set_condition(condition)
+    predicate = builder.build()
+    return list(database.objects.select(class_name, predicate))

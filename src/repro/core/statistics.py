@@ -1,0 +1,88 @@
+"""The database statistics window.
+
+Not a paper figure, but the kind of companion window a production release
+of OdeView would ship: one glance at the open database's clusters, index
+coverage, buffer-pool behaviour, and dynamic-linker cache — the numbers
+the EXPERIMENTS.md ablations are about, live.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.windowing.wintypes import at, panel, text_window
+
+
+def gather_statistics(db_session) -> List[Tuple[str, str]]:
+    """(label, value) rows for one open database."""
+    database = db_session.database
+    objects = database.objects
+    rows: List[Tuple[str, str]] = []
+    rows.append(("schema version", str(database.schema.version)))
+    rows.append(("classes", str(len(database.schema.class_names()))))
+    for class_name in database.schema.class_names():
+        rows.append((f"cluster {class_name}",
+                     f"{objects.count(class_name)} objects"))
+    indexes = objects.indexes.indexes()
+    if indexes:
+        for index in indexes:
+            rows.append((f"index {index.class_name}.{index.attribute}",
+                         f"{len(index)} entries"))
+    else:
+        rows.append(("indexes", "(none)"))
+    rows.append(("fragmentation",
+                 f"{database.store.fragmentation():.0%} of page space dead"))
+    stats = database.store.pool.stats
+    rows.append(("pool hits / misses",
+                 f"{stats.hits} / {stats.misses} "
+                 f"({stats.hit_rate:.0%} hit rate)"))
+    rows.append(("pool evictions", str(stats.evictions)))
+    loader = db_session.registry.loader.stats
+    rows.append(("display modules loaded", str(loader.loads)))
+    rows.append(("display cache hits", str(loader.cache_hits)))
+    return rows
+
+
+class StatisticsWindow:
+    """A refreshable window of the statistics above."""
+
+    def __init__(self, db_session):
+        self.session = db_session
+        self.window_name = f"{db_session.name}.stats"
+        self._build()
+
+    def _format(self) -> str:
+        rows = gather_statistics(self.session)
+        width = max(len(label) for label, _value in rows)
+        return "\n".join(f"{label.ljust(width)} : {value}"
+                         for label, value in rows)
+
+    def _build(self) -> None:
+        screen = self.session.app.ctx.screen
+        if screen.has(self.window_name):
+            screen.destroy(self.window_name)
+        children = (
+            text_window(f"{self.window_name}.body", self._format(),
+                        scrollable=True, placement=at(0, 0)),
+            # a refresh button, wired below
+        )
+        screen.create(panel(
+            self.window_name, children,
+            title=f"{self.session.name}: statistics"))
+        from repro.windowing.wintypes import button
+
+        screen.create(
+            button(f"{self.window_name}.refresh", "refresh", "refresh"),
+        )
+        screen.on_click(f"{self.window_name}.refresh",
+                        lambda _event: self.refresh())
+
+    def refresh(self) -> None:
+        screen = self.session.app.ctx.screen
+        screen.set_content(f"{self.window_name}.body", self._format())
+
+    def destroy(self) -> None:
+        screen = self.session.app.ctx.screen
+        for name in (self.window_name, f"{self.window_name}.refresh"):
+            if screen.has(name):
+                screen.destroy(name)

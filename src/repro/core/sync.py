@@ -1,0 +1,83 @@
+"""Synchronized browsing (paper §3.4, §4.4).
+
+"Once the user has displayed a network of objects and the user applies a
+sequencing operation to any object in this network, the sequencing
+operation is automatically propagated over the network."
+
+The propagation machinery itself lives in the navigation tree
+(:meth:`Node._set_current` recursively pulls every child from its parent);
+this module adds the measurable wrapper: apply a sequencing operation at a
+node and report exactly which part of the subtree was refreshed — including
+nodes whose windows are closed, which the paper calls out explicitly
+("the refreshing is done irrespective of whether window is open or
+closed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import OdeViewError
+from repro.core.navigation import Node, SetNode
+from repro.ode.oid import Oid
+
+SEQUENCING_OPS = ("next", "previous", "reset")
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one sequencing operation touched."""
+
+    op: str
+    at: str                           # path of the node the user clicked
+    result: Optional[Oid]             # new current object of that node
+    refreshed_paths: tuple            # every node refreshed, tree order
+    refresh_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def nodes_refreshed(self) -> int:
+        return len(self.refreshed_paths)
+
+
+def subtree_refresh_counts(node: Node) -> Dict[str, int]:
+    return {descendant.path: descendant.refreshes for descendant in node.walk()}
+
+
+def sequence(node: Node, op: str) -> SyncReport:
+    """Apply a control-panel operation at *node* and propagate (paper §4.4).
+
+    The subtree rooted at *node* is refreshed recursively; ancestors are
+    untouched (the paper propagates along embedded references, i.e. down
+    the window tree).
+    """
+    if op not in SEQUENCING_OPS:
+        raise OdeViewError(f"unknown sequencing operation {op!r}")
+    if not isinstance(node, SetNode):
+        raise OdeViewError(
+            f"node {node.path!r} has no control panel (not an object set)"
+        )
+    before = subtree_refresh_counts(node)
+    if op == "next":
+        result = node.next()
+    elif op == "previous":
+        result = node.previous()
+    else:
+        node.reset()
+        result = None
+    after = subtree_refresh_counts(node)
+    refreshed = tuple(
+        path for path in after if after[path] > before.get(path, 0)
+    )
+    return SyncReport(
+        op=op,
+        at=node.path,
+        result=result,
+        refreshed_paths=refreshed,
+        refresh_counts=after,
+    )
+
+
+def network_paths(root: Node) -> List[str]:
+    """Every node path in the displayed network, tree order."""
+    return [descendant.path for descendant in root.walk()]

@@ -1,0 +1,17 @@
+"""Layered DAG placement (the schema window's drawing algorithm)."""
+
+from repro.dagplace.layering import assign_layers, check_dag, layers_to_rows
+from repro.dagplace.layout import Placement, place, place_naive
+from repro.dagplace.ordering import count_crossings, count_crossings_between, order_layers
+
+__all__ = [
+    "Placement",
+    "assign_layers",
+    "check_dag",
+    "count_crossings",
+    "count_crossings_between",
+    "layers_to_rows",
+    "order_layers",
+    "place",
+    "place_naive",
+]

@@ -1,0 +1,97 @@
+"""The DAG placement facade.
+
+``place(nodes, edges)`` runs the full layered pipeline — layering,
+virtual-node insertion, barycenter crossing minimisation, coordinate
+assignment — and returns a :class:`Placement` the schema window renders.
+``place_naive`` skips crossing minimisation (declaration order), which the
+ABL-DAG benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.dagplace.coords import assign_coordinates
+from repro.dagplace.layering import assign_layers, insert_virtual_nodes, layers_to_rows
+from repro.dagplace.ordering import count_crossings, order_layers
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def _is_virtual(node: Node) -> bool:
+    return isinstance(node, tuple) and len(node) == 3 and node[0] == "virtual"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A computed drawing: per-node positions plus quality metrics."""
+
+    nodes: Tuple[Node, ...]
+    edges: Tuple[Edge, ...]
+    layer_of: Dict[Node, int]
+    x_of: Dict[Node, float]
+    rows: Tuple[Tuple[Node, ...], ...]          # real nodes only, final order
+    crossings: int
+    bend_points: Dict[Edge, Tuple[Tuple[float, int], ...]]  # virtual node coords
+
+    @property
+    def depth(self) -> int:
+        return len(self.rows)
+
+    def position(self, node: Node) -> Tuple[float, int]:
+        return self.x_of[node], self.layer_of[node]
+
+    def width(self) -> float:
+        return max(self.x_of.values(), default=0.0)
+
+
+def place(nodes: Sequence[Node], edges: Iterable[Edge],
+          minimise_crossings: bool = True,
+          separation: float = 4.0,
+          max_sweeps: int = 8) -> Placement:
+    """Place a DAG (or forest of DAGs, as a schema is)."""
+    nodes = list(nodes)
+    edges = list(edges)
+    layer = assign_layers(nodes, edges)
+    rows = layers_to_rows(layer, nodes)
+    rows, segment_edges, virtual_of_edge = insert_virtual_nodes(rows, edges, layer)
+    expanded_layer = dict(layer)
+    for row_index, row in enumerate(rows):
+        for node in row:
+            expanded_layer[node] = row_index
+
+    if minimise_crossings:
+        rows = order_layers(rows, segment_edges, max_sweeps=max_sweeps)
+    crossings = count_crossings(rows, segment_edges)
+    x_of = assign_coordinates(rows, segment_edges, separation=separation)
+
+    bend_points: Dict[Edge, Tuple[Tuple[float, int], ...]] = {}
+    for edge, chain in virtual_of_edge.items():
+        bend_points[edge] = tuple(
+            (x_of[virtual], expanded_layer[virtual]) for virtual in chain
+        )
+
+    real_rows = tuple(
+        tuple(node for node in row if not _is_virtual(node)) for row in rows
+    )
+    real_x = {node: x for node, x in x_of.items() if not _is_virtual(node)}
+    real_layer = {
+        node: depth for node, depth in expanded_layer.items() if not _is_virtual(node)
+    }
+    return Placement(
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        layer_of=real_layer,
+        x_of=real_x,
+        rows=real_rows,
+        crossings=crossings,
+        bend_points=bend_points,
+    )
+
+
+def place_naive(nodes: Sequence[Node], edges: Iterable[Edge],
+                separation: float = 4.0) -> Placement:
+    """Layering + declaration order, no crossing minimisation (baseline)."""
+    return place(nodes, edges, minimise_crossings=False, separation=separation)

@@ -1,0 +1,25 @@
+"""Demo databases: the paper's lab (ATT) database and companions."""
+
+from repro.data.documents import make_documents_database
+from repro.data.labdb import (
+    LAB_DEPARTMENT_COUNT,
+    LAB_EMPLOYEE_COUNT,
+    LAB_MANAGER_COUNT,
+    bind_lab_behaviours,
+    make_lab_database,
+    open_lab_database,
+)
+from repro.data.synthetic import make_synthetic_database
+from repro.data.universitydb import make_university_database
+
+__all__ = [
+    "LAB_DEPARTMENT_COUNT",
+    "LAB_EMPLOYEE_COUNT",
+    "LAB_MANAGER_COUNT",
+    "bind_lab_behaviours",
+    "make_documents_database",
+    "make_lab_database",
+    "make_synthetic_database",
+    "make_university_database",
+    "open_lab_database",
+]

@@ -1,0 +1,205 @@
+"""The documents database: multiple views and embedded semantics.
+
+Paper §4.1 motivates two display-function requirements this database
+exercises:
+
+* (4) "a document object may be viewed in text form, in Postscript form,
+  or as a bitmap" — the ``document`` class offers exactly those three
+  display formats;
+* (5) "suppose that one of the components of an object is a string that
+  represents the name of the file containing some pictorial description of
+  the object.  Displaying the string itself will not be of much value
+  compared to displaying the pictorial representation which may require
+  processing of the pictorial description" — ``figure_file`` names a file
+  under the database's ``figures/`` directory holding a digit-grid bitmap
+  description, which the bitmap display *processes* into a raster.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.ode.database import Database
+
+DOCUMENT_SCHEMA_SOURCE = """
+persistent class author {
+  public:
+    char name[24];
+    char affiliation[32];
+};
+
+persistent class document {
+  public:
+    char title[40];
+    author *written_by;
+    String body;
+    char figure_file[32];
+    int year;
+};
+"""
+
+DOCUMENT_DISPLAY_MODULE = '''\
+"""Display functions for documents: text, PostScript, and bitmap views.
+
+The bitmap view demonstrates embedded semantics (paper section 4.1 point
+5): figure_file is a string naming a figure description; the display
+function processes the description into a raster instead of showing the
+string.
+"""
+
+from pathlib import Path
+
+from repro.dynlink.protocol import (
+    DisplayResources,
+    RasterImage,
+    raster_window,
+    text_window,
+)
+
+FORMATS = ("text", "postscript", "bitmap")
+
+FIGURES_DIR = Path(__file__).resolve().parent.parent / "figures"
+
+_DISPLAYLIST = ["title", "written_by", "body", "year", "figure_file"]
+
+
+def _load_figure(name):
+    """Process a digit-grid figure description into a raster (16 shades)."""
+    path = FIGURES_DIR / name
+    rows = []
+    for line in path.read_text().strip().split("\\n"):
+        rows.append([int(ch, 16) * 17 for ch in line.strip()])
+    return RasterImage.from_rows(rows)
+
+
+def display(buffer, request):
+    if request.format_name == "bitmap":
+        image = _load_figure(buffer.value("figure_file"))
+        return DisplayResources("bitmap", (
+            raster_window(request.window_name("bitmap"), image,
+                          title=buffer.value("title")),
+        ))
+    if request.format_name == "postscript":
+        body = buffer.value("body")
+        ps = "\\n".join([
+            "%!PS-Adobe-1.0",
+            "%%Title: " + buffer.value("title"),
+            "/Times-Roman findfont 12 scalefont setfont",
+            "72 720 moveto",
+            "(" + body.replace("(", "\\\\(").replace(")", "\\\\)") + ") show",
+            "showpage",
+        ])
+        return DisplayResources("postscript", (
+            text_window(request.window_name("ps"), ps,
+                        title="PostScript", scrollable=True, height=6),
+        ))
+    lines = []
+    if request.wants("title", _DISPLAYLIST):
+        lines.append("title  : " + buffer.value("title"))
+    if request.wants("year", _DISPLAYLIST):
+        lines.append("year   : %d" % buffer.value("year"))
+    if request.wants("written_by", _DISPLAYLIST):
+        ref = buffer.value("written_by")
+        lines.append("author : -> %s:%d" % (ref.cluster, ref.number)
+                     if ref else "author : (none)")
+    if request.wants("body", _DISPLAYLIST):
+        lines.append("body   : " + buffer.value("body"))
+    return DisplayResources("text", (
+        text_window(request.window_name("text"), "\\n".join(lines),
+                    title=buffer.value("title")),
+    ))
+
+
+def displaylist():
+    return list(_DISPLAYLIST)
+
+
+def selectlist():
+    return ["title", "year"]
+'''
+
+_FIGURES = {
+    "ode-arch.fig": [
+        "0000000000000000",
+        "0ffffffffffffff0",
+        "0f111111f222222f",
+        "0f111111f222222f",
+        "0ffffffffffffff0",
+        "0000ff0000ff0000",
+        "0000ff0000ff0000",
+        "0ffffffffffffff0",
+        "0f333333333333f0",
+        "0ffffffffffffff0",
+        "0000000000000000",
+    ],
+    "kiview.fig": [
+        "ffffffffffff",
+        "f0000000000f",
+        "f0ffff0ff00f",
+        "f0f00f0f0f0f",
+        "f0ffff0f0f0f",
+        "f0f0000f0f0f",
+        "f0f0000ff00f",
+        "f0000000000f",
+        "ffffffffffff",
+    ],
+    "sig.fig": [
+        "0123456789abcdef",
+        "123456789abcdef0",
+        "23456789abcdef01",
+        "3456789abcdef012",
+        "456789abcdef0123",
+    ],
+}
+
+_AUTHORS = [
+    ("agrawal", "AT&T Bell Laboratories"),
+    ("gehani", "AT&T Bell Laboratories"),
+    ("motro", "U. Southern California"),
+    ("maier", "Oregon Graduate Center"),
+]
+
+_DOCUMENTS = [
+    ("Ode: The Language and the Data Model", 0, 1989, "ode-arch.fig",
+     "O++ extends C++ with persistence, sets, constraints, and triggers."),
+    ("Rationale for O++ Persistence", 1, 1989, "ode-arch.fig",
+     "Design choices behind persistence and query processing in O++."),
+    ("The Design of KIVIEW", 2, 1988, "kiview.fig",
+     "An object-oriented browser with synchronized browsing."),
+    ("Displaying Database Objects", 3, 1986, "sig.fig",
+     "SIG generates displays of complex objects from recipes."),
+    ("OdeView: The Graphical Interface to Ode", 0, 1990, "ode-arch.fig",
+     "Schema browsing, object browsing, and synchronized browsing for Ode."),
+]
+
+
+def make_documents_database(root: Union[str, Path],
+                            name: str = "papers") -> Database:
+    """Create the documents database under *root* and return it open."""
+    root = Path(root)
+    database = Database.create(root / f"{name}.odb")
+    database.set_icon("[DOC]")
+    database.define_from_source(DOCUMENT_SCHEMA_SOURCE)
+    (database.display_dir / "document.py").write_text(DOCUMENT_DISPLAY_MODULE)
+
+    figures_dir = database.directory / "figures"
+    figures_dir.mkdir(exist_ok=True)
+    for figure_name, rows in _FIGURES.items():
+        (figures_dir / figure_name).write_text("\n".join(rows) + "\n")
+
+    objects = database.objects
+    author_oids = [
+        objects.new_object("author", {"name": author, "affiliation": where})
+        for author, where in _AUTHORS
+    ]
+    for title, author_index, year, figure, body in _DOCUMENTS:
+        objects.new_object("document", {
+            "title": title,
+            "written_by": author_oids[author_index],
+            "body": body,
+            "figure_file": figure,
+            "year": year,
+        })
+    database.schema.validate()
+    return database

@@ -1,0 +1,60 @@
+"""Synthetic databases for scaling experiments.
+
+The lab database is deliberately paper-sized (55 employees).  The scaling
+benches need the same *shape* at arbitrary size: one "fact" class with
+scalar attributes and a reference, one referenced class, deterministic
+contents.  ``make_synthetic_database`` builds it in one transaction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.ode.database import Database
+
+SYNTHETIC_SCHEMA_SOURCE = """
+persistent class sensor {
+  public:
+    char label[16];
+    int zone;
+};
+
+persistent class reading {
+  public:
+    int seq;
+    int value;
+    char tag[12];
+    sensor *source;
+};
+"""
+
+
+def make_synthetic_database(root: Union[str, Path], readings: int,
+                            sensors: int = 20,
+                            name: str = "synthetic") -> Database:
+    """Create a database with *readings* fact objects; returns it open."""
+    if readings < 0 or sensors <= 0:
+        raise ValueError("readings must be >= 0 and sensors > 0")
+    root = Path(root)
+    database = Database.create(root / f"{name}.odb")
+    database.define_from_source(SYNTHETIC_SCHEMA_SOURCE)
+    objects = database.objects
+    objects.begin()
+    sensor_oids = [
+        objects.new_object("sensor", {
+            "label": f"sensor-{index:03d}",
+            "zone": index % 5,
+        })
+        for index in range(sensors)
+    ]
+    for sequence in range(readings):
+        objects.new_object("reading", {
+            "seq": sequence,
+            "value": (sequence * 37) % 1000,
+            "tag": f"t{sequence % 16:x}",
+            "source": sensor_oids[sequence % sensors],
+        })
+    objects.commit()
+    database.schema.validate()
+    return database

@@ -1,0 +1,131 @@
+"""The university database: a deeper inheritance DAG.
+
+The lab database's hierarchy is tiny; the schema window and the DAG
+placement ablation (ABL-DAG) need a hierarchy with real crossing potential.
+This schema has three layers, two diamonds, and multiple inheritance —
+"the hierarchy relationship between classes is a set of dags" (paper §3.1).
+
+It is also the versioning demo: ``course`` is a *versioned* class, so every
+update snapshots the previous state (O++ versioned objects, paper §1).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.ode.database import Database
+from repro.ode.oid import Oid
+
+UNIVERSITY_SCHEMA_SOURCE = """
+persistent class person {
+  public:
+    char name[24];
+    int age;
+};
+
+persistent class unit {
+  public:
+    char uname[24];
+};
+
+persistent class student : public person {
+  public:
+    double gpa;
+    unit *major;
+};
+
+persistent class staff : public person {
+  public:
+    double pay;
+    unit *works_in;
+};
+
+persistent class faculty : public staff {
+  public:
+    char rank[16];
+};
+
+persistent class ta : public student, public staff {
+  public:
+    int hours;
+};
+
+persistent class professor : public faculty {
+  public:
+    set<student*> advisees;
+};
+
+versioned persistent class course {
+  public:
+    char code[12];
+    char ctitle[32];
+    professor *taught_by;
+    set<ta*> assistants;
+    int enrollment;
+};
+"""
+
+_UNITS = ["mathematics", "computing", "physics"]
+_STUDENT_NAMES = ["ana", "bob", "cara", "dev", "eli", "fay", "gus", "hana",
+                  "ivo", "june", "kai", "lena"]
+_TA_NAMES = ["milo", "nora", "otto", "pia"]
+_FACULTY_NAMES = ["prof_knuth", "prof_dijkstra", "prof_hopper"]
+_COURSES = [
+    ("cs101", "Intro to Computing", 120),
+    ("cs240", "Databases", 80),
+    ("ma201", "Linear Algebra", 95),
+]
+
+
+def make_university_database(root: Union[str, Path],
+                             name: str = "university") -> Database:
+    """Create the university database under *root* and return it open."""
+    root = Path(root)
+    database = Database.create(root / f"{name}.odb")
+    database.set_icon("[UNI]")
+    database.define_from_source(UNIVERSITY_SCHEMA_SOURCE)
+    objects = database.objects
+
+    unit_oids = [
+        objects.new_object("unit", {"uname": unit}) for unit in _UNITS
+    ]
+    student_oids: List[Oid] = []
+    for index, student in enumerate(_STUDENT_NAMES):
+        student_oids.append(objects.new_object("student", {
+            "name": student,
+            "age": 19 + index % 6,
+            "gpa": 2.5 + (index % 4) * 0.4,
+            "major": unit_oids[index % len(unit_oids)],
+        }))
+    professor_oids: List[Oid] = []
+    for index, prof in enumerate(_FACULTY_NAMES):
+        professor_oids.append(objects.new_object("professor", {
+            "name": prof,
+            "age": 45 + index * 7,
+            "pay": 90_000.0 + index * 10_000,
+            "works_in": unit_oids[index % len(unit_oids)],
+            "rank": "full" if index == 0 else "associate",
+            "advisees": student_oids[index::len(_FACULTY_NAMES)],
+        }))
+    ta_oids: List[Oid] = []
+    for index, ta_name in enumerate(_TA_NAMES):
+        ta_oids.append(objects.new_object("ta", {
+            "name": ta_name,
+            "age": 23 + index,
+            "gpa": 3.4,
+            "major": unit_oids[index % len(unit_oids)],
+            "pay": 18_000.0,
+            "works_in": unit_oids[(index + 1) % len(unit_oids)],
+            "hours": 10 + 2 * index,
+        }))
+    for index, (code, ctitle, enrollment) in enumerate(_COURSES):
+        objects.new_object("course", {
+            "code": code,
+            "ctitle": ctitle,
+            "taught_by": professor_oids[index % len(professor_oids)],
+            "assistants": ta_oids[index::len(_COURSES)],
+            "enrollment": enrollment,
+        })
+    database.schema.validate()
+    return database

@@ -1,0 +1,24 @@
+"""Dynamic linking of display functions + the display protocol."""
+
+from repro.dynlink.loader import DisplayModuleLoader, LoaderStats
+from repro.dynlink.protocol import (
+    BitVector,
+    DisplayRequest,
+    DisplayResources,
+    ensure_display_resources,
+)
+from repro.dynlink.registry import DisplayRegistry
+from repro.dynlink.synthesize import format_value, synthesize_display, visible_attributes
+
+__all__ = [
+    "BitVector",
+    "DisplayModuleLoader",
+    "DisplayRegistry",
+    "DisplayRequest",
+    "DisplayResources",
+    "LoaderStats",
+    "ensure_display_resources",
+    "format_value",
+    "synthesize_display",
+    "visible_attributes",
+]

@@ -1,0 +1,155 @@
+"""The communication protocol between OdeView and display functions.
+
+This module is the *entire* surface a class designer sees — the "principle
+of separation" (paper §4.2): "The class writer should not have to know the
+specifics of object display (windowing) software and the display software
+should not have to know about object types."
+
+A display module is a Python file named after its class in the database's
+``display/`` directory.  It may define:
+
+``FORMATS``
+    Tuple of display format names the class offers, e.g.
+    ``("text", "picture")``.  The object panel creates one button per
+    format (paper §3.2).  Defaults to ``("text",)``.
+
+``display(buffer, request) -> DisplayResources``
+    Build the windows for one format.  *buffer* is the object buffer the
+    object manager produced (values, public names, computed attributes);
+    *request* is a :class:`DisplayRequest` naming the format and carrying
+    the projection bit vector (paper §5.1).  The return value is pure
+    window-spec data.
+
+``displaylist() -> sequence of attribute names``
+    The attributes on which projection may be performed (paper §5.1).
+
+``selectlist() -> sequence of attribute names``
+    The attributes usable in selection predicates (paper §5.2).
+
+Each of these is optional; OdeView synthesizes rudimentary fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import DisplayProtocolError, ProjectionError
+# Re-exported so display modules import ONLY this module:
+from repro.windowing.raster import RasterImage, procedural_portrait  # noqa: F401
+from repro.windowing.wintypes import (  # noqa: F401
+    DisplayResources,
+    Placement,
+    ROOT,
+    WindowKind,
+    WindowSpec,
+    at,
+    below,
+    button,
+    menu,
+    oid_button,
+    panel,
+    raster_window,
+    right_of,
+    text_window,
+)
+
+
+class BitVector:
+    """The projection bit vector of paper §5.1.
+
+    "OdeView ... makes a bit vector corresponding to the attributes
+    selected by the user.  The bit positions correspond to the positions of
+    the attributes returned by displaylist."
+    """
+
+    def __init__(self, bits: Sequence[bool]):
+        self._bits: Tuple[bool, ...] = tuple(bool(bit) for bit in bits)
+
+    @classmethod
+    def all_set(cls, length: int) -> "BitVector":
+        return cls([True] * length)
+
+    @classmethod
+    def from_selection(cls, displaylist: Sequence[str],
+                       selected: Sequence[str]) -> "BitVector":
+        unknown = set(selected) - set(displaylist)
+        if unknown:
+            raise ProjectionError(
+                f"attributes not in displaylist: {sorted(unknown)}"
+            )
+        chosen = set(selected)
+        return cls([name in chosen for name in displaylist])
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __getitem__(self, index: int) -> bool:
+        return self._bits[index]
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BitVector) and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def select(self, displaylist: Sequence[str]) -> Tuple[str, ...]:
+        """The attribute names this vector keeps, given the displaylist."""
+        if len(displaylist) != len(self._bits):
+            raise ProjectionError(
+                f"bit vector of length {len(self._bits)} does not match "
+                f"displaylist of length {len(displaylist)}"
+            )
+        return tuple(
+            name for name, bit in zip(displaylist, self._bits) if bit
+        )
+
+    def __repr__(self) -> str:
+        return "BitVector(" + "".join("1" if b else "0" for b in self._bits) + ")"
+
+
+@dataclass(frozen=True)
+class DisplayRequest:
+    """Everything OdeView passes to a display function besides the buffer.
+
+    ``bitvec`` is ``None`` when no projection is active; the display
+    function then uses its own default attribute set (paper §5.1: "If the
+    bit vector argument is not supplied, then the display function uses a
+    default bit vector (chosen by the class designer)").  ``privileged``
+    turns on the debugging mode of §4.1(3) in which private data may be
+    shown.  ``window_prefix`` must prefix every window name the function
+    creates so simultaneous displays never collide.
+    """
+
+    format_name: str = "text"
+    bitvec: Optional[BitVector] = None
+    privileged: bool = False
+    window_prefix: str = "obj"
+
+    def wants(self, attribute: str, displaylist: Sequence[str]) -> bool:
+        """Should *attribute* be shown under the current projection?"""
+        if self.bitvec is None:
+            return True
+        if attribute not in displaylist:
+            return True  # outside the projectable set; designer's choice
+        return attribute in self.bitvec.select(displaylist)
+
+    def window_name(self, suffix: str) -> str:
+        return f"{self.window_prefix}.{suffix}"
+
+
+def ensure_display_resources(value, class_name: str) -> DisplayResources:
+    """Validate a display function's return value (protocol enforcement)."""
+    if not isinstance(value, DisplayResources):
+        raise DisplayProtocolError(
+            f"display function of class {class_name!r} returned "
+            f"{type(value).__name__}, not DisplayResources"
+        )
+    if not value.windows:
+        raise DisplayProtocolError(
+            f"display function of class {class_name!r} returned no windows"
+        )
+    return value

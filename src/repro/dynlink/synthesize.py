@@ -1,0 +1,109 @@
+"""Synthesized display functions.
+
+"If the display function is not provided, then OdeView will synthesize a
+display function, possibly a rudimentary one" (paper §4.1).  Likewise §5.1
+and §5.2: "A rudimentary displaylist/selectlist display function is
+automatically synthesized if not explicitly provided by the class
+designer."
+
+The synthesized display is generic: it walks the object buffer's public
+view (private too, in privileged mode), renders nested structures indented
+and sets as brace lists — the "fixed display schemes" §4.1 describes — and
+shows references as OID arrows.  It honours the projection bit vector.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, List, Sequence, Tuple
+
+from repro.dynlink.protocol import (
+    DisplayRequest,
+    DisplayResources,
+    text_window,
+)
+from repro.ode.oid import Oid
+
+
+def format_value(value: Any, indent: int = 0) -> List[str]:
+    """Render one attribute value as indented text lines."""
+    pad = "  " * indent
+    if value is None:
+        return [pad + "(null)"]
+    if isinstance(value, Oid):
+        return [pad + f"-> {value.cluster}:{value.number}"]
+    if isinstance(value, bool):
+        return [pad + ("true" if value else "false")]
+    if isinstance(value, float):
+        return [pad + f"{value:g}"]
+    if isinstance(value, datetime.date):
+        return [pad + value.isoformat()]
+    if isinstance(value, dict):
+        lines: List[str] = []
+        for key in value:
+            nested = isinstance(value[key], (dict, list, tuple))
+            inner = format_value(value[key], indent + 1)
+            if not nested and len(inner) == 1:
+                lines.append(f"{pad}  {key}: {inner[0].strip()}")
+            else:
+                lines.append(f"{pad}  {key}:")
+                lines.extend(inner)
+        return lines or [pad + "{}"]
+    if isinstance(value, (list, tuple)):
+        scalars = [item for item in value
+                   if not isinstance(item, (dict, list, tuple))]
+        if len(scalars) == len(value):
+            rendered = ", ".join(
+                format_value(item)[0].strip() for item in value
+            )
+            return [pad + "{" + rendered + "}"]
+        lines = [pad + "{"]
+        for item in value:
+            lines.extend(format_value(item, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    return [pad + str(value)]
+
+
+def visible_attributes(buffer, request: DisplayRequest,
+                       displaylist: Sequence[str]) -> List[Tuple[str, Any]]:
+    """The (name, value) pairs the synthesized display shows.
+
+    Order follows the buffer's public names (schema order), then computed
+    attributes; private attributes are appended only in privileged mode,
+    marked as such.  The projection bit vector filters names that appear in
+    *displaylist*.
+    """
+    pairs: List[Tuple[str, Any]] = []
+    for name in buffer.attribute_names(privileged=request.privileged):
+        if not request.wants(name, displaylist):
+            continue
+        value = buffer.value(name, privileged=request.privileged)
+        label = name
+        if name not in buffer.public_names and name not in buffer.computed:
+            label = f"{name} (private)"
+        pairs.append((label, value))
+    return pairs
+
+
+def synthesize_display(buffer, request: DisplayRequest,
+                       displaylist: Sequence[str]) -> DisplayResources:
+    """The rudimentary text display OdeView falls back to."""
+    pairs = visible_attributes(buffer, request, displaylist)
+    width = max((len(name) for name, _ in pairs), default=0)
+    lines: List[str] = []
+    for name, value in pairs:
+        rendered = format_value(value)
+        nested = isinstance(value, dict)
+        if not nested and len(rendered) == 1:
+            lines.append(f"{name.ljust(width)} : {rendered[0].strip()}")
+        else:
+            lines.append(f"{name.ljust(width)} :")
+            lines.extend(rendered)
+    body = "\n".join(lines) if lines else "(no visible attributes)"
+    window = text_window(
+        request.window_name("text"),
+        body,
+        title=f"{buffer.class_name} {buffer.oid.cluster}:{buffer.oid.number}",
+    )
+    return DisplayResources(format_name=request.format_name, windows=(window,))

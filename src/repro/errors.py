@@ -1,0 +1,172 @@
+"""Exception hierarchy for the OdeView reproduction.
+
+Every error raised by this package derives from :class:`OdeError`, so callers
+can catch one base class at the library boundary.  Subsystems get their own
+intermediate bases (storage, schema, language, windowing, ...), mirroring the
+module layout described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class OdeError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(OdeError):
+    """Base class for errors in the page/buffer/WAL/store layer."""
+
+
+class PageError(StorageError):
+    """A slotted-page operation failed (bad slot, corrupt header, ...)."""
+
+
+class PageFullError(PageError):
+    """The record does not fit in the page's free space."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool misuse: unpinning an unpinned page, pool exhausted, ..."""
+
+
+class WalError(StorageError):
+    """The write-ahead log is corrupt or was misused."""
+
+
+class CodecError(StorageError):
+    """A value could not be serialised or deserialised."""
+
+
+class ObjectNotFoundError(StorageError):
+    """No object with the requested OID exists (or it was deleted)."""
+
+
+class TransactionError(StorageError):
+    """Transaction misuse: commit without begin, nested begin, ..."""
+
+
+# ---------------------------------------------------------------------------
+# Data model / schema
+# ---------------------------------------------------------------------------
+
+class SchemaError(OdeError):
+    """Schema-level failure: unknown class, duplicate class, bad inheritance."""
+
+
+class TypeError_(SchemaError):
+    """A value does not conform to its declared O++ type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class AccessError(SchemaError):
+    """Encapsulation violation: private member accessed without privilege."""
+
+
+class ConstraintViolationError(OdeError):
+    """An object constraint failed during commit/update."""
+
+    def __init__(self, class_name: str, constraint_name: str, message: str = ""):
+        self.class_name = class_name
+        self.constraint_name = constraint_name
+        detail = message or f"constraint {constraint_name!r} violated on class {class_name!r}"
+        super().__init__(detail)
+
+
+class TriggerError(OdeError):
+    """A trigger body raised or a trigger was misdeclared."""
+
+
+# ---------------------------------------------------------------------------
+# O++ language front end
+# ---------------------------------------------------------------------------
+
+class OppError(OdeError):
+    """Base class for O++ lexing/parsing/checking errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(OppError):
+    """The tokeniser met an invalid character or unterminated literal."""
+
+
+class ParseError(OppError):
+    """The parser met an unexpected token."""
+
+
+class TypeCheckError(OppError):
+    """Static checking of a class definition or predicate failed."""
+
+
+class PredicateError(OdeError):
+    """A selection predicate failed to evaluate against an object."""
+
+
+# ---------------------------------------------------------------------------
+# Windowing
+# ---------------------------------------------------------------------------
+
+class WindowError(OdeError):
+    """Window-tree misuse: unknown window, duplicate name, closed parent."""
+
+
+class LayoutError(WindowError):
+    """Window geometry could not be solved (cycle, unknown anchor, ...)."""
+
+
+class RasterError(WindowError):
+    """A raster image operation failed (bad dimensions, bad data length)."""
+
+
+# ---------------------------------------------------------------------------
+# Dynamic linking of display functions
+# ---------------------------------------------------------------------------
+
+class DynlinkError(OdeError):
+    """A display module could not be located, loaded, or executed."""
+
+
+class DisplayProtocolError(DynlinkError):
+    """A display function returned something that is not DisplayResources."""
+
+
+# ---------------------------------------------------------------------------
+# Process model
+# ---------------------------------------------------------------------------
+
+class ProcessError(OdeError):
+    """Actor/process-manager misuse."""
+
+
+class ProcessCrashedError(ProcessError):
+    """A message was sent to an interactor that has already crashed."""
+
+
+# ---------------------------------------------------------------------------
+# OdeView application layer
+# ---------------------------------------------------------------------------
+
+class OdeViewError(OdeError):
+    """Application-level misuse of the OdeView front end."""
+
+
+class SessionError(OdeViewError):
+    """The scripted session driver was asked to do something impossible."""
+
+
+class ProjectionError(OdeViewError):
+    """Bad projection request (unknown attribute, bad bit vector)."""
+
+
+class SelectionError(OdeViewError):
+    """Bad selection request (attribute not in selectlist, bad predicate)."""

@@ -1,0 +1,156 @@
+"""Logical backup and restore.
+
+``export_database`` serialises a whole database — schema and objects — to
+one portable JSON document; ``import_database`` rebuilds an equivalent
+database from it.  This is a *logical* dump (like ``pg_dump``), independent
+of the page format, so it doubles as the migration path if the storage
+layout ever changes.
+
+Display modules, behaviours, figures, and icons are files next to the
+database; ``export_database(include_files=True)`` carries them too.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import StorageError
+from repro.ode.database import CATALOG_FILE, Database
+from repro.ode.oid import Oid
+
+FORMAT = "odeview-backup"
+FORMAT_VERSION = 1
+
+#: Files (relative to the database directory) carried by include_files.
+_CARRIED_GLOBS = ("display/*.py", "behaviours.py", "icon.txt",
+                  "figures/*", "indexes.json")
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-safe encoding with type tags for dates and OIDs."""
+    if isinstance(value, Oid):
+        return {"$oid": str(value)}
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, list):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"$oid"}:
+            return Oid.parse(value["$oid"])
+        if set(value) == {"$date"}:
+            return datetime.date.fromisoformat(value["$date"])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def export_database(database: Database,
+                    include_files: bool = True) -> Dict[str, Any]:
+    """The portable dict form of *database*."""
+    objects: List[Dict[str, Any]] = []
+    for oid in database.store.oids():
+        from repro.ode.codec import decode_object
+
+        stored_oid, class_name, values = decode_object(database.store.get(oid))
+        objects.append({
+            "oid": str(stored_oid),
+            "class": class_name,
+            "values": _encode_value(values),
+        })
+    document: Dict[str, Any] = {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "name": database.name,
+        "schema": database.schema.to_dict(),
+        "objects": objects,
+    }
+    if include_files:
+        files: Dict[str, str] = {}
+        for pattern in _CARRIED_GLOBS:
+            for path in sorted(database.directory.glob(pattern)):
+                if path.is_file():
+                    relative = str(path.relative_to(database.directory))
+                    files[relative] = base64.b64encode(
+                        path.read_bytes()).decode("ascii")
+        document["files"] = files
+    return document
+
+
+def dump_to_file(database: Database, path: Union[str, Path],
+                 include_files: bool = True) -> None:
+    document = export_database(database, include_files=include_files)
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True),
+                          encoding="utf-8")
+
+
+def import_database(document: Dict[str, Any],
+                    directory: Union[str, Path]) -> Database:
+    """Rebuild a database from an exported document; returns it open.
+
+    Files are restored *before* the database opens so behaviours bind and
+    display modules resolve on first use; object records are replayed
+    through the store so OIDs (and therefore references) are preserved
+    bit-for-bit.
+    """
+    if document.get("format") != FORMAT:
+        raise StorageError("not an odeview backup document")
+    if document.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported backup version {document.get('version')!r}")
+    directory = Path(directory)
+    if (directory / CATALOG_FILE).exists():
+        raise StorageError(f"refusing to restore over {directory}")
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / CATALOG_FILE).write_text(
+        json.dumps(document["schema"], indent=2, sort_keys=True),
+        encoding="utf-8")
+    for relative, payload in document.get("files", {}).items():
+        target = directory / relative
+        if ".." in Path(relative).parts:
+            raise StorageError(f"unsafe path in backup: {relative!r}")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(base64.b64decode(payload))
+
+    database = Database.open(directory)
+    from repro.ode.codec import encode_object
+
+    database.objects.begin()
+    for entry in document["objects"]:
+        oid = Oid.parse(entry["oid"])
+        # restored OIDs keep their database component from the source; the
+        # new directory may carry a different name, so rewrite it
+        oid = Oid(database.name, oid.cluster, oid.number)
+        values = _decode_value(entry["values"])
+        values = _rewrite_refs(values, database.name)
+        database.store.put(oid, encode_object(oid, entry["class"], values))
+    database.objects.commit()
+    database._rebuild_persistent_indexes_after_restore()
+    return database
+
+
+def _rewrite_refs(value: Any, database_name: str) -> Any:
+    if isinstance(value, Oid):
+        return Oid(database_name, value.cluster, value.number)
+    if isinstance(value, list):
+        return [_rewrite_refs(item, database_name) for item in value]
+    if isinstance(value, dict):
+        return {key: _rewrite_refs(item, database_name)
+                for key, item in value.items()}
+    return value
+
+
+def load_from_file(path: Union[str, Path],
+                   directory: Union[str, Path]) -> Database:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return import_database(document, directory)

@@ -1,0 +1,126 @@
+"""LRU buffer pool over a :class:`~repro.ode.pagefile.PageFile`.
+
+The object manager never touches the page file directly: it fetches pages
+through the pool, which caches a bounded number of decoded
+:class:`~repro.ode.page.Page` objects, tracks pins and dirty state, and
+writes dirty pages back on eviction or flush.  Hit/miss/eviction counters
+feed the storage benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import BufferPoolError
+from repro.ode.page import Page
+from repro.ode.pagefile import PageFile
+
+
+@dataclass
+class PoolStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Frame:
+    __slots__ = ("page", "pins")
+
+    def __init__(self, page: Page):
+        self.page = page
+        self.pins = 0
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages, with pin counting."""
+
+    def __init__(self, pagefile: PageFile, capacity: int = 64):
+        if capacity < 1:
+            raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        self._pagefile = pagefile
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.stats = PoolStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    # -- fetch / pin -----------------------------------------------------------
+
+    def fetch(self, page_no: int, pin: bool = False) -> Page:
+        """Return the page, reading it from disk on a miss."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_no)
+        else:
+            self.stats.misses += 1
+            page = Page(self._pagefile.read_page(page_no))
+            frame = _Frame(page)
+            self._make_room()
+            self._frames[page_no] = frame
+        if pin:
+            frame.pins += 1
+        return frame.page
+
+    def unpin(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pins == 0:
+            raise BufferPoolError(f"page {page_no} is not pinned")
+        frame.pins -= 1
+
+    def new_page(self) -> int:
+        """Allocate a fresh page in the file and cache it."""
+        page_no = self._pagefile.allocate_page()
+        self._make_room()
+        self._frames[page_no] = _Frame(Page())
+        self._frames[page_no].page.dirty = True
+        return page_no
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self._capacity:
+            victim_no = None
+            for candidate_no, frame in self._frames.items():
+                if frame.pins == 0:
+                    victim_no = candidate_no
+                    break
+            if victim_no is None:
+                raise BufferPoolError(
+                    f"all {self._capacity} frames pinned; cannot evict"
+                )
+            frame = self._frames.pop(victim_no)
+            if frame.page.dirty:
+                self._pagefile.write_page(victim_no, frame.page.to_bytes())
+                self.stats.writebacks += 1
+            self.stats.evictions += 1
+
+    # -- durability -------------------------------------------------------------
+
+    def flush_page(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is not None and frame.page.dirty:
+            self._pagefile.write_page(page_no, frame.page.to_bytes())
+            frame.page.dirty = False
+            self.stats.writebacks += 1
+
+    def flush_all(self) -> None:
+        for page_no in list(self._frames):
+            self.flush_page(page_no)
+        self._pagefile.sync()
+
+    def invalidate(self) -> None:
+        """Drop all clean cached pages (testing aid; dirty pages flush first)."""
+        self.flush_all()
+        self._frames.clear()

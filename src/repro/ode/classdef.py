@@ -1,0 +1,294 @@
+"""O++ class definitions.
+
+The O++ object model is the C++ class: data members with public/private
+access, member functions, and multiple inheritance (paper §2).  This module
+defines the in-memory form of one class; cross-class concerns (inheritance
+resolution, the class DAG) live in :mod:`repro.ode.schema`.
+
+Member functions are represented as Python callables over the object's value
+mapping.  The paper stresses (§5.1) that public members "may be executable
+functions that ... cause side effects", which is why projection is driven by
+an explicit ``displaylist`` rather than by reflecting over members; we model
+that by tagging each member function with ``side_effects``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AccessError, SchemaError
+from repro.ode.types import TypeSpec, type_from_dict
+
+
+class Access(enum.Enum):
+    """C++-style member access."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One data member of a class."""
+
+    name: str
+    type_spec: TypeSpec
+    access: Access = Access.PUBLIC
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"attribute name {self.name!r} is not an identifier")
+        if not isinstance(self.type_spec, TypeSpec):
+            raise SchemaError(f"attribute {self.name!r} needs a TypeSpec")
+
+    @property
+    def is_public(self) -> bool:
+        return self.access is Access.PUBLIC
+
+    def declare(self) -> str:
+        """O++ declarator line for the class-definition window."""
+        return f"{self.type_spec.declare(self.name)};"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.type_spec.to_dict(),
+            "access": self.access.value,
+            "doc": self.doc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Attribute":
+        return cls(
+            name=data["name"],
+            type_spec=type_from_dict(data["type"]),
+            access=Access(data.get("access", "public")),
+            doc=data.get("doc", ""),
+        )
+
+
+@dataclass(frozen=True)
+class MemberFunction:
+    """One member function (method) of a class.
+
+    ``fn`` computes the result from the object's raw value mapping.  Pure
+    functions (``side_effects=False``) may be exposed as *computed
+    attributes* in a class's displaylist (paper §5.1: "an attribute to be
+    displayed may actually be computed using other attributes").
+    """
+
+    name: str
+    fn: Optional[Callable[[Mapping[str, Any]], Any]] = None
+    access: Access = Access.PUBLIC
+    side_effects: bool = True
+    result_declare: str = "int"
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"member function name {self.name!r} is not an identifier")
+
+    @property
+    def is_public(self) -> bool:
+        return self.access is Access.PUBLIC
+
+    @property
+    def is_pure(self) -> bool:
+        return not self.side_effects and self.fn is not None
+
+    def call(self, values: Mapping[str, Any]) -> Any:
+        if self.fn is None:
+            raise SchemaError(f"member function {self.name!r} has no body bound")
+        return self.fn(values)
+
+    def declare(self) -> str:
+        return f"{self.result_declare} {self.name}();"
+
+    def to_dict(self) -> dict:
+        # Callables are process-local; the catalog stores the signature only
+        # and the body is re-bound from the class's registered behaviours.
+        return {
+            "name": self.name,
+            "access": self.access.value,
+            "side_effects": self.side_effects,
+            "result_declare": self.result_declare,
+            "doc": self.doc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MemberFunction":
+        return cls(
+            name=data["name"],
+            fn=None,
+            access=Access(data.get("access", "public")),
+            side_effects=data.get("side_effects", True),
+            result_declare=data.get("result_declare", "int"),
+            doc=data.get("doc", ""),
+        )
+
+
+@dataclass
+class OdeClass:
+    """One O++ class: name, base classes, own members.
+
+    Inherited members are resolved by :class:`repro.ode.schema.Schema`
+    because resolution needs the other classes.  ``display_formats`` names
+    the display formats the class's display function offers (paper §3.2:
+    "the employee object can be displayed textually or in pictorial form");
+    it is advisory — the authoritative list comes from the dynamically
+    linked display module.
+    """
+
+    name: str
+    bases: Tuple[str, ...] = ()
+    attributes: Tuple[Attribute, ...] = ()
+    methods: Tuple[MemberFunction, ...] = ()
+    constraint_sources: Tuple[str, ...] = ()
+    trigger_sources: Tuple[str, ...] = ()
+    persistent: bool = True
+    versioned: bool = False
+    display_formats: Tuple[str, ...] = ("text",)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"class name {self.name!r} is not an identifier")
+        if self.name in self.bases:
+            raise SchemaError(f"class {self.name!r} cannot inherit from itself")
+        if len(set(self.bases)) != len(self.bases):
+            raise SchemaError(f"class {self.name!r} lists a duplicate base")
+        seen: Dict[str, str] = {}
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"class {self.name!r} declares attribute {attr.name!r} twice"
+                )
+            seen[attr.name] = "attribute"
+        for meth in self.methods:
+            if meth.name in seen:
+                raise SchemaError(
+                    f"class {self.name!r} declares member {meth.name!r} twice"
+                )
+            seen[meth.name] = "method"
+
+    # -- own-member lookup --------------------------------------------------
+
+    def own_attribute(self, name: str) -> Optional[Attribute]:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def own_method(self, name: str) -> Optional[MemberFunction]:
+        for meth in self.methods:
+            if meth.name == name:
+                return meth
+        return None
+
+    def public_attributes(self) -> List[Attribute]:
+        return [attr for attr in self.attributes if attr.is_public]
+
+    def private_attributes(self) -> List[Attribute]:
+        return [attr for attr in self.attributes if not attr.is_public]
+
+    def pure_methods(self) -> List[MemberFunction]:
+        return [meth for meth in self.methods if meth.is_pure and meth.is_public]
+
+    def bind_method(self, name: str, fn: Callable[[Mapping[str, Any]], Any]) -> None:
+        """Attach a body to a method declared without one (catalog reload)."""
+        for index, meth in enumerate(self.methods):
+            if meth.name == name:
+                rebound = MemberFunction(
+                    name=meth.name,
+                    fn=fn,
+                    access=meth.access,
+                    side_effects=meth.side_effects,
+                    result_declare=meth.result_declare,
+                    doc=meth.doc,
+                )
+                methods = list(self.methods)
+                methods[index] = rebound
+                self.methods = tuple(methods)
+                return
+        raise SchemaError(f"class {self.name!r} has no member function {name!r}")
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "bases": list(self.bases),
+            "attributes": [attr.to_dict() for attr in self.attributes],
+            "methods": [meth.to_dict() for meth in self.methods],
+            "constraint_sources": list(self.constraint_sources),
+            "trigger_sources": list(self.trigger_sources),
+            "persistent": self.persistent,
+            "versioned": self.versioned,
+            "display_formats": list(self.display_formats),
+            "doc": self.doc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OdeClass":
+        return cls(
+            name=data["name"],
+            bases=tuple(data.get("bases", ())),
+            attributes=tuple(Attribute.from_dict(a) for a in data.get("attributes", ())),
+            methods=tuple(MemberFunction.from_dict(m) for m in data.get("methods", ())),
+            constraint_sources=tuple(data.get("constraint_sources", ())),
+            trigger_sources=tuple(data.get("trigger_sources", ())),
+            persistent=data.get("persistent", True),
+            versioned=data.get("versioned", False),
+            display_formats=tuple(data.get("display_formats", ("text",))),
+            doc=data.get("doc", ""),
+        )
+
+
+def check_access(attr: Attribute, privileged: bool) -> None:
+    """Enforce encapsulation (paper §4.1 point 3).
+
+    Private data is only visible "in a privileged mode, say for debugging".
+    """
+    if not attr.is_public and not privileged:
+        raise AccessError(
+            f"attribute {attr.name!r} is private; privileged mode required"
+        )
+
+
+def c3_linearize(name: str, bases_of: Mapping[str, Sequence[str]]) -> List[str]:
+    """C3 linearisation of the inheritance graph rooted at *name*.
+
+    ``bases_of`` maps each class name to its direct bases in declaration
+    order.  Raises :class:`SchemaError` on an inconsistent hierarchy (the
+    same error C++/Python would reject).
+    """
+
+    def merge(sequences: List[List[str]]) -> List[str]:
+        result: List[str] = []
+        sequences = [list(seq) for seq in sequences if seq]
+        while sequences:
+            for seq in sequences:
+                head = seq[0]
+                if not any(head in other[1:] for other in sequences):
+                    break
+            else:
+                raise SchemaError(
+                    f"inconsistent inheritance hierarchy while linearising {name!r}"
+                )
+            result.append(head)
+            sequences = [
+                [item for item in seq if item != head] for seq in sequences
+            ]
+            sequences = [seq for seq in sequences if seq]
+        return result
+
+    def linearize(cls: str) -> List[str]:
+        bases = list(bases_of.get(cls, ()))
+        if not bases:
+            return [cls]
+        return [cls] + merge([linearize(base) for base in bases] + [bases])
+
+    return linearize(name)

@@ -1,0 +1,131 @@
+"""Clusters and cluster cursors.
+
+"Persistent objects of the same type are grouped together into a cluster;
+the name of a cluster is the same as that of the corresponding type" (paper
+§2).  The object-set window's control panel — ``reset`` / ``next`` /
+``previous`` (§3.2) — is a cursor over a cluster, optionally filtered by a
+selection predicate pushed down from OdeView (§5.2).
+
+The cursor walks OIDs lazily in OID order; a predicate is evaluated per
+object during the walk, so non-matching objects are skipped without being
+surfaced (the object manager supplies the evaluation callback, keeping this
+module free of schema knowledge).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, List, Optional
+
+from repro.errors import StorageError
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+
+MatchFn = Callable[[Oid], bool]
+
+
+class Cluster:
+    """Read view of one class's persistent extent."""
+
+    def __init__(self, store: ObjectStore, database: str, class_name: str):
+        self._store = store
+        self.database = database
+        self.class_name = class_name
+
+    def __len__(self) -> int:
+        return self._store.cluster_size(self.class_name)
+
+    def numbers(self) -> List[int]:
+        return self._store.cluster_numbers(self.class_name)
+
+    def oid(self, number: int) -> Oid:
+        return Oid(self.database, self.class_name, number)
+
+    def oids(self) -> List[Oid]:
+        return [self.oid(n) for n in self.numbers()]
+
+    def first(self) -> Optional[Oid]:
+        numbers = self.numbers()
+        return self.oid(numbers[0]) if numbers else None
+
+    def last(self) -> Optional[Oid]:
+        numbers = self.numbers()
+        return self.oid(numbers[-1]) if numbers else None
+
+    def after(self, number: int) -> Optional[Oid]:
+        """The next live OID strictly after *number*, if any."""
+        numbers = self.numbers()
+        index = bisect.bisect_right(numbers, number)
+        return self.oid(numbers[index]) if index < len(numbers) else None
+
+    def before(self, number: int) -> Optional[Oid]:
+        """The previous live OID strictly before *number*, if any."""
+        numbers = self.numbers()
+        index = bisect.bisect_left(numbers, number) - 1
+        return self.oid(numbers[index]) if index >= 0 else None
+
+
+class ClusterCursor:
+    """Sequencing cursor: the semantics behind reset/next/previous buttons.
+
+    A fresh (or reset) cursor sits *before* the first object; ``next`` then
+    yields the first match.  ``previous`` at the front and ``next`` past the
+    end return ``None`` and leave the position unchanged, matching how the
+    paper's control panel behaves at cluster boundaries.
+    """
+
+    def __init__(self, cluster: Cluster, matches: Optional[MatchFn] = None):
+        self._cluster = cluster
+        self._matches = matches
+        self._position: Optional[int] = None  # current OID number
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    def reset(self) -> None:
+        self._position = None
+
+    def current(self) -> Optional[Oid]:
+        if self._position is None:
+            return None
+        return self._cluster.oid(self._position)
+
+    def _accept(self, oid: Oid) -> bool:
+        if self._matches is None:
+            return True
+        return self._matches(oid)
+
+    def next(self) -> Optional[Oid]:
+        """Advance to the next matching object; ``None`` at the end."""
+        candidate = (
+            self._cluster.first()
+            if self._position is None
+            else self._cluster.after(self._position)
+        )
+        while candidate is not None:
+            if self._accept(candidate):
+                self._position = candidate.number
+                return candidate
+            candidate = self._cluster.after(candidate.number)
+        return None
+
+    def previous(self) -> Optional[Oid]:
+        """Step back to the previous matching object; ``None`` at the front."""
+        if self._position is None:
+            return None
+        candidate = self._cluster.before(self._position)
+        while candidate is not None:
+            if self._accept(candidate):
+                self._position = candidate.number
+                return candidate
+            candidate = self._cluster.before(candidate.number)
+        return None
+
+    def seek(self, oid: Oid) -> None:
+        """Position the cursor on a specific object (used by tests/joins)."""
+        if oid.cluster != self._cluster.class_name:
+            raise StorageError(
+                f"cursor over {self._cluster.class_name!r} cannot seek to {oid}"
+            )
+        self._position = oid.number

@@ -1,0 +1,210 @@
+"""Binary object codec.
+
+"To display an object, OdeView calls the Ode object manager to get the
+stored representation of the object into an object buffer" (paper §4.2).
+This module defines that stored representation: a compact, self-describing
+binary encoding of an object's OID, class name, and attribute values.
+
+Self-describing matters: the store can rebuild its object table and cluster
+indexes by scanning pages without consulting the schema, and OdeView can
+hand a decoded buffer to a display function without knowing the class's
+internals — the "principle of separation".
+
+Wire format (all integers big-endian):
+
+* varint  — unsigned LEB128.
+* value   — 1 tag byte, then a tag-specific payload.
+* object  — magic ``0xOB``, format version varint, OID (string value),
+  class name (string value), values (struct value).
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Any, Dict, Tuple
+
+from repro.errors import CodecError
+from repro.ode.oid import Oid
+
+OBJECT_MAGIC = 0xB0
+FORMAT_VERSION = 1
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BOOL = 3
+_TAG_STRING = 4
+_TAG_DATE = 5
+_TAG_LIST = 6
+_TAG_STRUCT = 7
+_TAG_OID = 8
+
+
+def write_varint(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise CodecError(f"varint must be non-negative, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a varint at *offset*; return (value, new offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint too long")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one attribute value."""
+    if value is None:
+        return bytes([_TAG_NULL])
+    if isinstance(value, bool):
+        return bytes([_TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + struct.pack(">q", value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + struct.pack(">d", value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return bytes([_TAG_STRING]) + write_varint(len(payload)) + payload
+    if isinstance(value, datetime.datetime):
+        raise CodecError("datetime values are not supported; use datetime.date")
+    if isinstance(value, datetime.date):
+        return bytes([_TAG_DATE]) + struct.pack(">I", value.toordinal())
+    if isinstance(value, Oid):
+        payload = str(value).encode("utf-8")
+        return bytes([_TAG_OID]) + write_varint(len(payload)) + payload
+    if isinstance(value, (list, tuple)):
+        out = bytearray([_TAG_LIST])
+        out += write_varint(len(value))
+        for item in value:
+            out += encode_value(item)
+        return bytes(out)
+    if isinstance(value, dict):
+        out = bytearray([_TAG_STRUCT])
+        out += write_varint(len(value))
+        for key in value:
+            if not isinstance(key, str):
+                raise CodecError(f"struct keys must be str, got {key!r}")
+            key_bytes = key.encode("utf-8")
+            out += write_varint(len(key_bytes))
+            out += key_bytes
+            out += encode_value(value[key])
+        return bytes(out)
+    raise CodecError(f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one value at *offset*; return (value, new offset)."""
+    if offset >= len(data):
+        raise CodecError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_BOOL:
+        if offset >= len(data):
+            raise CodecError("truncated bool")
+        return bool(data[offset]), offset + 1
+    if tag == _TAG_INT:
+        end = offset + 8
+        if end > len(data):
+            raise CodecError("truncated int")
+        return struct.unpack(">q", data[offset:end])[0], end
+    if tag == _TAG_FLOAT:
+        end = offset + 8
+        if end > len(data):
+            raise CodecError("truncated float")
+        return struct.unpack(">d", data[offset:end])[0], end
+    if tag == _TAG_STRING or tag == _TAG_OID:
+        length, offset = read_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise CodecError("truncated string")
+        try:
+            text = data[offset:end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in string payload: {exc}") from exc
+        if tag == _TAG_OID:
+            return Oid.parse(text), end
+        return text, end
+    if tag == _TAG_DATE:
+        end = offset + 4
+        if end > len(data):
+            raise CodecError("truncated date")
+        ordinal = struct.unpack(">I", data[offset:end])[0]
+        try:
+            return datetime.date.fromordinal(ordinal), end
+        except (ValueError, OverflowError) as exc:
+            raise CodecError(f"bad date ordinal {ordinal}") from exc
+    if tag == _TAG_LIST:
+        count, offset = read_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_STRUCT:
+        count, offset = read_varint(data, offset)
+        record: Dict[str, Any] = {}
+        for _ in range(count):
+            key_len, offset = read_varint(data, offset)
+            end = offset + key_len
+            if end > len(data):
+                raise CodecError("truncated struct key")
+            try:
+                key = data[offset:end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"invalid UTF-8 in struct key: {exc}") from exc
+            offset = end
+            record[key], offset = decode_value(data, offset)
+        return record, offset
+    raise CodecError(f"unknown value tag {tag}")
+
+
+def encode_object(oid: Oid, class_name: str, values: Dict[str, Any]) -> bytes:
+    """Encode a whole object record (the page-resident form)."""
+    out = bytearray([OBJECT_MAGIC])
+    out += write_varint(FORMAT_VERSION)
+    out += encode_value(str(oid))
+    out += encode_value(class_name)
+    out += encode_value(values)
+    return bytes(out)
+
+
+def decode_object(data: bytes) -> Tuple[Oid, str, Dict[str, Any]]:
+    """Decode a record produced by :func:`encode_object`."""
+    if not data or data[0] != OBJECT_MAGIC:
+        raise CodecError("not an object record (bad magic)")
+    version, offset = read_varint(data, 1)
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported object format version {version}")
+    oid_text, offset = decode_value(data, offset)
+    class_name, offset = decode_value(data, offset)
+    values, offset = decode_value(data, offset)
+    if not isinstance(oid_text, str) or not isinstance(class_name, str):
+        raise CodecError("malformed object header")
+    if not isinstance(values, dict):
+        raise CodecError("object values must decode to a dict")
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after object record")
+    return Oid.parse(oid_text), class_name, values

@@ -1,0 +1,124 @@
+"""Constraints and triggers.
+
+O++ "extends C++ by providing facilities ... such as associating constraints
+and triggers with objects" (paper §1).  OdeView itself never fires these, but
+the object manager underneath it must, so that browsing shows objects that
+honour their class invariants.
+
+A *constraint* is a boolean predicate over an object's values, checked when
+the object is created or updated.  A *trigger* is a (condition, action) pair:
+after an update, if the condition holds, the action runs.  ``once`` triggers
+deactivate after their first firing; ``perpetual`` triggers keep firing —
+the two flavours O++ offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import ConstraintViolationError, TriggerError
+
+Values = Mapping[str, Any]
+CheckFn = Callable[[Values], bool]
+ActionFn = Callable[[Values], Optional[Dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named invariant over an object's values."""
+
+    name: str
+    check: CheckFn
+    source: str = ""
+
+    def enforce(self, class_name: str, values: Values) -> None:
+        """Raise :class:`ConstraintViolationError` unless the check passes."""
+        try:
+            ok = bool(self.check(values))
+        except Exception as exc:
+            raise ConstraintViolationError(
+                class_name, self.name, f"constraint {self.name!r} raised: {exc}"
+            ) from exc
+        if not ok:
+            raise ConstraintViolationError(class_name, self.name)
+
+
+@dataclass
+class Trigger:
+    """A named (condition, action) pair fired after updates.
+
+    The action may return a dict of attribute updates to apply to the object
+    (a common O++ trigger idiom — e.g. clamping a value), or ``None``.
+    """
+
+    name: str
+    condition: CheckFn
+    action: ActionFn
+    perpetual: bool = False
+    active: bool = True
+    source: str = ""
+
+    def maybe_fire(self, class_name: str, values: Values) -> Optional[Dict[str, Any]]:
+        """Run the action if active and the condition holds.
+
+        Returns the action's update dict (or ``None``).  A ``once`` trigger
+        deactivates after firing.
+        """
+        if not self.active:
+            return None
+        try:
+            should_fire = bool(self.condition(values))
+        except Exception as exc:
+            raise TriggerError(
+                f"trigger {self.name!r} condition raised on class {class_name!r}: {exc}"
+            ) from exc
+        if not should_fire:
+            return None
+        if not self.perpetual:
+            self.active = False
+        try:
+            return self.action(values)
+        except Exception as exc:
+            raise TriggerError(
+                f"trigger {self.name!r} action raised on class {class_name!r}: {exc}"
+            ) from exc
+
+
+@dataclass
+class BehaviourRegistry:
+    """Process-local registry binding behaviour to class names.
+
+    The persistent catalog stores only the *sources* of constraints and
+    triggers (strings); the executable bodies are Python callables that
+    cannot be persisted.  Databases re-bind behaviour through this registry
+    when a catalog is reloaded — the same division of labour as Ode, where
+    method bodies live in compiled object files, not in the catalog.
+    """
+
+    constraints: Dict[str, List[Constraint]] = field(default_factory=dict)
+    triggers: Dict[str, List[Trigger]] = field(default_factory=dict)
+    methods: Dict[str, Dict[str, Callable[[Values], Any]]] = field(default_factory=dict)
+
+    def add_constraint(self, class_name: str, constraint: Constraint) -> None:
+        self.constraints.setdefault(class_name, []).append(constraint)
+
+    def add_trigger(self, class_name: str, trigger: Trigger) -> None:
+        self.triggers.setdefault(class_name, []).append(trigger)
+
+    def bind_method(self, class_name: str, method_name: str,
+                    fn: Callable[[Values], Any]) -> None:
+        self.methods.setdefault(class_name, {})[method_name] = fn
+
+    def constraints_for(self, class_names: List[str]) -> List[Constraint]:
+        """All constraints for a class and its ancestors (inherited checks)."""
+        found: List[Constraint] = []
+        for name in class_names:
+            found.extend(self.constraints.get(name, ()))
+        return found
+
+    def triggers_for(self, class_names: List[str]) -> List[Trigger]:
+        found: List[Trigger] = []
+        for name in class_names:
+            found.extend(self.triggers.get(name, ()))
+        return found

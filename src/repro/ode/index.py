@@ -1,0 +1,191 @@
+"""Attribute indexes for selection pushdown.
+
+The paper pushes selection predicates down to the object manager (§5.2),
+which "uses it to filter objects retrieved from the databases".  A filter
+over a cluster is a full scan; Ode's successors added attribute indexes so
+common predicates (equality and ranges over scalar attributes) avoid the
+scan.  This module provides them:
+
+* :class:`AttributeIndex` — an ordered index over one public scalar
+  attribute of one class: a sorted list of ``(value, oid number)`` pairs
+  supporting equality and range probes via binary search.
+* :class:`IndexManager` — registry + maintenance: indexes are updated on
+  every object create/update/delete, and can be rebuilt from the cluster.
+
+The ABL-INDEX benchmark measures the scan-vs-probe shape.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.ode.oid import Oid
+from repro.ode.types import (
+    BoolType,
+    DateType,
+    FloatType,
+    IntType,
+    StringType,
+)
+
+_INDEXABLE_TYPES = (IntType, FloatType, StringType, DateType, BoolType)
+
+
+def _sort_key(value: Any) -> Tuple:
+    """A total order over all indexable values (type rank, then value)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, datetime.date):
+        return (4, value.toordinal())
+    raise SchemaError(f"value {value!r} is not indexable")
+
+
+class AttributeIndex:
+    """Ordered (value, oid-number) index over one attribute of one class."""
+
+    def __init__(self, class_name: str, attribute: str):
+        self.class_name = class_name
+        self.attribute = attribute
+        self._entries: List[Tuple[Tuple, int]] = []  # (sort key, number)
+        self._value_of: Dict[int, Tuple] = {}        # number -> sort key
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def insert(self, number: int, value: Any) -> None:
+        if number in self._value_of:
+            self.remove(number)
+        key = _sort_key(value)
+        bisect.insort(self._entries, (key, number))
+        self._value_of[number] = key
+
+    def remove(self, number: int) -> None:
+        key = self._value_of.pop(number, None)
+        if key is None:
+            return
+        position = bisect.bisect_left(self._entries, (key, number))
+        if (position < len(self._entries)
+                and self._entries[position] == (key, number)):
+            self._entries.pop(position)
+
+    def update(self, number: int, value: Any) -> None:
+        self.insert(number, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._value_of.clear()
+
+    # -- probes ----------------------------------------------------------------
+
+    def equal(self, value: Any) -> List[int]:
+        """OID numbers whose attribute equals *value*, ascending."""
+        key = _sort_key(value)
+        left = bisect.bisect_left(self._entries, (key, -1))
+        numbers = []
+        for entry_key, number in self._entries[left:]:
+            if entry_key != key:
+                break
+            numbers.append(number)
+        return sorted(numbers)
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> List[int]:
+        """OID numbers with low <= value <= high (bounds optional)."""
+        start = 0
+        end = len(self._entries)
+        if low is not None:
+            low_key = _sort_key(low)
+            start = (bisect.bisect_left(self._entries, (low_key, -1))
+                     if include_low
+                     else bisect.bisect_right(self._entries,
+                                              (low_key, float("inf"))))
+        if high is not None:
+            high_key = _sort_key(high)
+            end = (bisect.bisect_right(self._entries,
+                                       (high_key, float("inf")))
+                   if include_high
+                   else bisect.bisect_left(self._entries, (high_key, -1)))
+        return sorted(number for _key, number in self._entries[start:end])
+
+
+class IndexManager:
+    """Creates, maintains, and serves attribute indexes for one database."""
+
+    def __init__(self, manager):
+        self._manager = manager  # ObjectManager; kept loose to avoid a cycle
+        self._indexes: Dict[Tuple[str, str], AttributeIndex] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create_index(self, class_name: str, attribute: str) -> AttributeIndex:
+        """Create (and build) an index over a public scalar attribute."""
+        key = (class_name, attribute)
+        if key in self._indexes:
+            raise SchemaError(
+                f"index on {class_name}.{attribute} already exists")
+        attr = self._manager.schema.find_attribute(class_name, attribute)
+        if not attr.is_public:
+            raise SchemaError(
+                f"cannot index private attribute {class_name}.{attribute}")
+        if not isinstance(attr.type_spec, _INDEXABLE_TYPES):
+            raise SchemaError(
+                f"attribute {class_name}.{attribute} has unindexable type "
+                f"{type(attr.type_spec).__name__}")
+        index = AttributeIndex(class_name, attribute)
+        self._indexes[key] = index
+        self.rebuild(class_name, attribute)
+        return index
+
+    def drop_index(self, class_name: str, attribute: str) -> None:
+        if (class_name, attribute) not in self._indexes:
+            raise SchemaError(f"no index on {class_name}.{attribute}")
+        del self._indexes[(class_name, attribute)]
+
+    def get(self, class_name: str, attribute: str) -> Optional[AttributeIndex]:
+        """The index serving (class, attribute), consulting superclasses.
+
+        An index on a base class's attribute does NOT cover subclass
+        clusters (clusters are per-class, §2), so only exact class matches
+        are served.
+        """
+        return self._indexes.get((class_name, attribute))
+
+    def has_index(self, class_name: str, attribute: str) -> bool:
+        return (class_name, attribute) in self._indexes
+
+    def indexes(self) -> List[AttributeIndex]:
+        return list(self._indexes.values())
+
+    def rebuild(self, class_name: str, attribute: str) -> None:
+        index = self._indexes[(class_name, attribute)]
+        index.clear()
+        for buffer in self._manager.select(class_name):
+            index.insert(buffer.oid.number, buffer.values[attribute])
+
+    # -- maintenance hooks (called by the object manager) -------------------------
+
+    def on_new_object(self, oid: Oid, values) -> None:
+        for (class_name, attribute), index in self._indexes.items():
+            if class_name == oid.cluster:
+                index.insert(oid.number, values[attribute])
+
+    def on_update(self, oid: Oid, values) -> None:
+        for (class_name, attribute), index in self._indexes.items():
+            if class_name == oid.cluster:
+                index.update(oid.number, values[attribute])
+
+    def on_delete(self, oid: Oid) -> None:
+        for (class_name, _attribute), index in self._indexes.items():
+            if class_name == oid.cluster:
+                index.remove(oid.number)

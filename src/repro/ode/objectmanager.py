@@ -1,0 +1,290 @@
+"""The Ode object manager.
+
+OdeView never reads pages: "OdeView calls the Ode object manager to get the
+stored representation of the object into an object buffer" (paper §4.2).
+The object manager is the single gateway between the front end and storage:
+
+* creating, updating, and deleting persistent objects, with type checking,
+  constraint enforcement, and trigger firing;
+* fetching :class:`ObjectBuffer` s — the decoded, self-contained form a
+  display function receives;
+* cluster cursors with selection-predicate pushdown (paper §5.2: OdeView
+  "passes the selection predicate to the object manager which uses it to
+  filter objects retrieved from the databases");
+* version snapshots for versioned classes.
+
+An :class:`ObjectBuffer` deliberately carries everything a display function
+needs (values, the public-attribute list, computed attributes) so display
+code never imports the schema — the "principle of separation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import (
+    AccessError,
+    ObjectNotFoundError,
+    SchemaError,
+)
+from repro.ode.classdef import OdeClass
+from repro.ode.cluster import Cluster, ClusterCursor
+from repro.ode.codec import decode_object, encode_object
+from repro.ode.constraints import BehaviourRegistry
+from repro.ode.oid import Oid
+from repro.ode.schema import Schema
+from repro.ode.store import ObjectStore
+
+Predicate = Callable[["ObjectBuffer"], bool]
+
+#: Maximum rounds of trigger-produced updates applied per update call.
+_MAX_TRIGGER_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class ObjectBuffer:
+    """The in-memory copy of one object, as handed to display functions.
+
+    ``values`` holds every stored attribute (public and private);
+    ``public_names`` says which of them encapsulation exposes; ``computed``
+    holds the results of the class's pure public member functions, already
+    evaluated (paper §5.1: displayed attributes "may actually be computed
+    using other attributes").
+    """
+
+    oid: Oid
+    class_name: str
+    values: Mapping[str, Any]
+    public_names: tuple
+    computed: Mapping[str, Any] = field(default_factory=dict)
+
+    def value(self, name: str, privileged: bool = False) -> Any:
+        """Read one attribute, honouring encapsulation (paper §4.1 point 3)."""
+        if name in self.computed:
+            return self.computed[name]
+        if name not in self.values:
+            raise ObjectNotFoundError(
+                f"object {self.oid} has no attribute {name!r}"
+            )
+        if name not in self.public_names and not privileged:
+            raise AccessError(
+                f"attribute {name!r} of {self.class_name} is private; "
+                "privileged mode required"
+            )
+        return self.values[name]
+
+    def public_view(self) -> Dict[str, Any]:
+        """Public stored attributes plus computed attributes."""
+        view = {name: self.values[name] for name in self.public_names}
+        view.update(self.computed)
+        return view
+
+    def attribute_names(self, privileged: bool = False) -> List[str]:
+        names = list(self.public_names) + list(self.computed)
+        if privileged:
+            names += [n for n in self.values if n not in self.public_names]
+        return names
+
+
+class ObjectManager:
+    """Typed object operations over one database's store and schema."""
+
+    def __init__(self, store: ObjectStore, schema: Schema, database: str,
+                 behaviours: Optional[BehaviourRegistry] = None):
+        self._store = store
+        self.schema = schema
+        self.database = database
+        self.behaviours = behaviours or BehaviourRegistry()
+        self._version_manager = None  # created lazily to avoid an import cycle
+        from repro.ode.index import IndexManager
+        from repro.ode.opp.bindings import (
+            CompiledConstraintCache,
+            CompiledTriggerCache,
+        )
+
+        self.indexes = IndexManager(self)
+        self._compiled_constraints = CompiledConstraintCache(schema)
+        self._compiled_triggers = CompiledTriggerCache(schema)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._store
+
+    def _versions(self):
+        if self._version_manager is None:
+            from repro.ode.versions import VersionManager
+
+            self._version_manager = VersionManager(self._store, self.database)
+        return self._version_manager
+
+    @property
+    def versions(self):
+        """The version manager (histories of versioned objects)."""
+        return self._versions()
+
+    def _class(self, class_name: str) -> OdeClass:
+        return self.schema.get_class(class_name)
+
+    def _full_values(self, class_name: str, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Fill defaults, reject unknown attributes, type-check everything."""
+        attributes = {a.name: a for a in self.schema.all_attributes(class_name)}
+        unknown = set(values) - set(attributes)
+        if unknown:
+            raise SchemaError(
+                f"class {class_name!r} has no attributes {sorted(unknown)}"
+            )
+        complete: Dict[str, Any] = {}
+        for name, attr in attributes.items():
+            value = values.get(name, attr.type_spec.default())
+            attr.type_spec.validate(value, self.schema)
+            complete[name] = value
+        return complete
+
+    def _enforce_constraints(self, class_name: str, values: Mapping[str, Any]) -> None:
+        mro = self.schema.mro(class_name)
+        for constraint in self.behaviours.constraints_for(mro):
+            constraint.enforce(class_name, values)
+        # constraints declared in the class's O++ source (paper §1)
+        for constraint in self._compiled_constraints.constraints_for(mro):
+            constraint.enforce(class_name, values)
+
+    def _fire_triggers(self, class_name: str,
+                       values: Dict[str, Any]) -> Dict[str, Any]:
+        """Run after-update triggers; apply their updates, bounded rounds."""
+        mro = self.schema.mro(class_name)
+        triggers = (self.behaviours.triggers_for(mro)
+                    + self._compiled_triggers.triggers_for(mro))
+        if not triggers:
+            return values
+        for _round in range(_MAX_TRIGGER_ROUNDS):
+            changed = False
+            for trigger in triggers:
+                updates = trigger.maybe_fire(class_name, values)
+                if updates:
+                    values = dict(values)
+                    values.update(self._check_updates(class_name, updates))
+                    changed = True
+            if not changed:
+                return values
+        return values
+
+    def _check_updates(self, class_name: str,
+                       updates: Mapping[str, Any]) -> Dict[str, Any]:
+        checked: Dict[str, Any] = {}
+        for name, value in updates.items():
+            attr = self.schema.find_attribute(class_name, name)
+            attr.type_spec.validate(value, self.schema)
+            checked[name] = value
+        return checked
+
+    # -- object lifecycle --------------------------------------------------------
+
+    def new_object(self, class_name: str, values: Optional[Mapping[str, Any]] = None,
+                   oid: Optional[Oid] = None) -> Oid:
+        """Create a persistent object; returns its OID."""
+        cls = self._class(class_name)
+        if not cls.persistent:
+            raise SchemaError(f"class {class_name!r} is not persistent")
+        complete = self._full_values(class_name, values or {})
+        self._enforce_constraints(class_name, complete)
+        if oid is None:
+            oid = self._store.allocate_oid(self.database, class_name)
+        elif oid.cluster != class_name:
+            raise SchemaError(
+                f"OID cluster {oid.cluster!r} does not match class {class_name!r}"
+            )
+        self._store.put(oid, encode_object(oid, class_name, complete))
+        self.indexes.on_new_object(oid, complete)
+        return oid
+
+    def get_buffer(self, oid: Oid) -> ObjectBuffer:
+        """Fetch the object into an object buffer (paper §4.2)."""
+        data = self._store.get(oid)
+        stored_oid, class_name, values = decode_object(data)
+        if stored_oid != oid:
+            raise ObjectNotFoundError(
+                f"record under {oid} claims identity {stored_oid}"
+            )
+        public_names = tuple(
+            attr.name
+            for attr in self.schema.all_attributes(class_name)
+            if attr.is_public
+        )
+        computed: Dict[str, Any] = {}
+        bound = self.behaviours.methods.get(class_name, {})
+        for method in self.schema.all_methods(class_name):
+            if not (method.is_public and not method.side_effects):
+                continue
+            fn = method.fn or bound.get(method.name)
+            if fn is not None:
+                computed[method.name] = fn(values)
+        return ObjectBuffer(
+            oid=oid,
+            class_name=class_name,
+            values=values,
+            public_names=public_names,
+            computed=computed,
+        )
+
+    def update(self, oid: Oid, updates: Mapping[str, Any]) -> ObjectBuffer:
+        """Apply attribute updates; enforce constraints; fire triggers."""
+        buffer = self.get_buffer(oid)
+        cls = self._class(buffer.class_name)
+        if cls.versioned:
+            self._versions().snapshot(oid, buffer.class_name, dict(buffer.values))
+        values = dict(buffer.values)
+        values.update(self._check_updates(buffer.class_name, updates))
+        self._enforce_constraints(buffer.class_name, values)
+        values = self._fire_triggers(buffer.class_name, values)
+        self._enforce_constraints(buffer.class_name, values)
+        self._store.put(oid, encode_object(oid, buffer.class_name, values))
+        self.indexes.on_update(oid, values)
+        return self.get_buffer(oid)
+
+    def delete(self, oid: Oid) -> None:
+        self._store.get(oid)  # raises ObjectNotFoundError if absent
+        self._store.delete(oid)
+        self.indexes.on_delete(oid)
+
+    def exists(self, oid: Oid) -> bool:
+        return self._store.exists(oid)
+
+    # -- clusters and sequencing --------------------------------------------------
+
+    def cluster(self, class_name: str) -> Cluster:
+        self._class(class_name)
+        return Cluster(self._store, self.database, class_name)
+
+    def count(self, class_name: str) -> int:
+        return len(self.cluster(class_name))
+
+    def cursor(self, class_name: str,
+               predicate: Optional[Predicate] = None) -> ClusterCursor:
+        """A sequencing cursor, optionally filtered by a pushed-down predicate."""
+        matcher = None
+        if predicate is not None:
+            def matcher(oid: Oid, _predicate=predicate) -> bool:
+                return bool(_predicate(self.get_buffer(oid)))
+        return ClusterCursor(self.cluster(class_name), matcher)
+
+    def select(self, class_name: str,
+               predicate: Optional[Predicate] = None) -> Iterator[ObjectBuffer]:
+        """All (matching) buffers of a cluster, in sequencing order."""
+        for oid in self.cluster(class_name).oids():
+            buffer = self.get_buffer(oid)
+            if predicate is None or predicate(buffer):
+                yield buffer
+
+    # -- transactions -----------------------------------------------------------------
+
+    def begin(self) -> int:
+        return self._store.begin()
+
+    def commit(self) -> None:
+        self._store.commit()
+
+    def abort(self) -> None:
+        self._store.abort()

@@ -1,0 +1,31 @@
+"""The O++ language front end: lexer, parser, checker, evaluator, printer."""
+
+from repro.ode.opp import ast
+from repro.ode.opp.lexer import Token, tokenize
+from repro.ode.opp.parser import parse_expression, parse_program
+from repro.ode.opp.predicate import PredicateEvaluator
+from repro.ode.opp.printer import class_definition_source, expr_to_source, schema_source
+from repro.ode.opp.typecheck import (
+    build_class,
+    build_schema,
+    check_predicate,
+    check_selection_predicate,
+    resolve_type,
+)
+
+__all__ = [
+    "PredicateEvaluator",
+    "Token",
+    "ast",
+    "build_class",
+    "build_schema",
+    "check_predicate",
+    "check_selection_predicate",
+    "class_definition_source",
+    "expr_to_source",
+    "parse_expression",
+    "parse_program",
+    "resolve_type",
+    "schema_source",
+    "tokenize",
+]

@@ -1,0 +1,168 @@
+"""Tokeniser for the O++ subset.
+
+O++ is an upward-compatible extension of C++ (paper §1).  OdeView needs to
+*read* O++ in two places: class definitions (the class-definition window,
+Figure 4, shows textual O++ source) and selection predicates (the QBE-style
+condition box of §5.2 accepts "the selection condition as a string").  This
+lexer covers the token set both uses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LexError
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+FLOATNUM = "FLOATNUM"
+STRING = "STRING"
+PUNCT = "PUNCT"
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+KEYWORDS = {
+    "class", "struct", "persistent", "versioned", "public", "private",
+    "constraint", "trigger", "once", "set", "int", "double", "float",
+    "char", "bool", "Date", "String", "const", "true", "false", "null",
+    "nil",
+}
+
+# Longest first so '==>' beats '==', '->' beats '-', etc.
+_PUNCTUATION = [
+    "==>",
+    "->", "==", "!=", "<=", ">=", "&&", "||", "::",
+    "{", "}", "(", ")", "[", "]", "<", ">", ";", ":", ",", ".",
+    "*", "+", "-", "/", "%", "=", "!", "&", "|",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise *source*; raises :class:`LexError` on invalid input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        # whitespace
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            advance((end if end != -1 else length) - index)
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise LexError("unterminated comment", line, column)
+            advance(end + 2 - index)
+            continue
+        # strings
+        if char in "\"'":
+            quote = char
+            start_line, start_column = line, column
+            end = index + 1
+            text_chars: List[str] = []
+            while True:
+                if end >= length or source[end] == "\n":
+                    raise LexError("unterminated string literal", start_line, start_column)
+                if source[end] == "\\":
+                    if end + 1 >= length:
+                        raise LexError("bad escape", line, column)
+                    escape = source[end + 1]
+                    text_chars.append(
+                        {"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(escape, escape)
+                    )
+                    end += 2
+                    continue
+                if source[end] == quote:
+                    break
+                text_chars.append(source[end])
+                end += 1
+            token_text = "".join(text_chars)
+            advance(end + 1 - index)
+            yield Token(STRING, token_text, start_line, start_column)
+            continue
+        # numbers
+        if char.isdigit():
+            start_line, start_column = line, column
+            end = index
+            while end < length and source[end].isdigit():
+                end += 1
+            is_float = False
+            if end < length and source[end] == "." and end + 1 < length and source[end + 1].isdigit():
+                is_float = True
+                end += 1
+                while end < length and source[end].isdigit():
+                    end += 1
+            if end < length and source[end] in "eE":
+                peek = end + 1
+                if peek < length and source[peek] in "+-":
+                    peek += 1
+                if peek < length and source[peek].isdigit():
+                    is_float = True
+                    end = peek
+                    while end < length and source[end].isdigit():
+                        end += 1
+            text = source[index:end]
+            advance(end - index)
+            yield Token(FLOATNUM if is_float else NUMBER, text, start_line, start_column)
+            continue
+        # identifiers / keywords
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            advance(end - index)
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            yield Token(kind, text, start_line, start_column)
+            continue
+        # punctuation
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, index):
+                start_line, start_column = line, column
+                advance(len(punct))
+                yield Token(PUNCT, punct, start_line, start_column)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column)
+    yield Token(EOF, "", line, column)

@@ -1,0 +1,479 @@
+"""Recursive-descent parser for the O++ subset.
+
+Grammar (see :mod:`repro.ode.opp.ast` for the node meanings)::
+
+    program        := (struct_def | class_def)* EOF
+    struct_def     := "struct" IDENT "{" field_decl* "}" ";"
+    class_def      := ("persistent" | "versioned")* "class" IDENT
+                      [":" base ("," base)*] "{" section* "}" ";"
+    base           := ["public" | "private"] IDENT
+    section        := ("public" | "private" | "constraint") ":" member*
+                    | member*                         -- default private
+    member         := field_decl | method_decl | constraint_expr ";"
+    field_decl     := type_expr declarator ("," declarator)* ";"
+    method_decl    := type_expr "*"? IDENT "(" ")" ["const"] ";"
+    type_expr      := builtin | "set" "<" type_expr "*"? ">" | IDENT
+    declarator     := "*"? IDENT ("[" NUMBER "]")*
+
+    expression     := or_expr
+    or_expr        := and_expr ("||" and_expr)*
+    and_expr       := not_expr ("&&" not_expr)*
+    not_expr       := "!" not_expr | comparison
+    comparison     := additive (cmp_op additive)?
+    additive       := term (("+" | "-") term)*
+    term           := unary (("*" | "/" | "%") unary)*
+    unary          := "-" unary | postfix
+    postfix        := primary ("." IDENT | "->" IDENT | "[" expression "]")*
+    primary        := literal | IDENT | IDENT "(" args ")" | "(" expression ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.ode.opp import ast
+from repro.ode.opp.lexer import (
+    EOF,
+    FLOATNUM,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    PUNCT,
+    STRING,
+    Token,
+    tokenize,
+)
+
+_BUILTIN_TYPES = {"int", "double", "float", "char", "bool", "Date", "String"}
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.position + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self.peek()
+        return ParseError(f"{message} (got {token.text!r})", token.line, token.column)
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(text):
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(text):
+            raise self.error(f"expected keyword {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise self.error("expected identifier")
+        return self.advance()
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        structs: List[ast.StructDef] = []
+        classes: List[ast.ClassDef] = []
+        while self.peek().kind != EOF:
+            token = self.peek()
+            if token.is_keyword("struct"):
+                structs.append(self.parse_struct())
+            elif token.kind == KEYWORD and token.text in ("class", "persistent", "versioned"):
+                classes.append(self.parse_class())
+            else:
+                raise self.error("expected 'struct' or 'class' definition")
+        return ast.Program(structs=tuple(structs), classes=tuple(classes))
+
+    def parse_struct(self) -> ast.StructDef:
+        self.expect_keyword("struct")
+        name = self.expect_ident().text
+        self.expect_punct("{")
+        fields: List[ast.FieldDecl] = []
+        while not self.peek().is_punct("}"):
+            fields.extend(self.parse_field_decl("public"))
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return ast.StructDef(name=name, fields=tuple(fields))
+
+    def parse_class(self) -> ast.ClassDef:
+        persistent = False
+        versioned = False
+        while True:
+            token = self.peek()
+            if token.is_keyword("persistent"):
+                persistent = True
+                self.advance()
+            elif token.is_keyword("versioned"):
+                versioned = True
+                self.advance()
+            else:
+                break
+        self.expect_keyword("class")
+        name = self.expect_ident().text
+        bases: List[str] = []
+        if self.peek().is_punct(":"):
+            self.advance()
+            while True:
+                token = self.peek()
+                if token.kind == KEYWORD and token.text in ("public", "private"):
+                    self.advance()  # inheritance access ignored, as in the paper
+                bases.append(self.expect_ident().text)
+                if self.peek().is_punct(","):
+                    self.advance()
+                    continue
+                break
+        self.expect_punct("{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        constraints: List[ast.ConstraintDecl] = []
+        triggers: List[ast.TriggerDecl] = []
+        access = "private"  # C++ default for class members
+        while not self.peek().is_punct("}"):
+            token = self.peek()
+            if (token.kind == KEYWORD
+                    and token.text in ("public", "private", "constraint",
+                                       "trigger")
+                    and self.peek(1).is_punct(":")):
+                section = token.text
+                self.advance()
+                self.advance()
+                if section == "constraint":
+                    while not self._at_section_boundary():
+                        constraints.append(self.parse_constraint_expr())
+                elif section == "trigger":
+                    while not self._at_section_boundary():
+                        triggers.append(self.parse_trigger_decl())
+                else:
+                    access = section
+                continue
+            member = self.parse_member(access)
+            if isinstance(member, ast.MethodDecl):
+                methods.append(member)
+            else:
+                fields.extend(member)
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return ast.ClassDef(
+            name=name,
+            bases=tuple(bases),
+            fields=tuple(fields),
+            methods=tuple(methods),
+            constraints=tuple(constraints),
+            triggers=tuple(triggers),
+            persistent=persistent,
+            versioned=versioned,
+        )
+
+    def _at_section_boundary(self) -> bool:
+        token = self.peek()
+        if token.is_punct("}") or token.kind == EOF:
+            return True
+        return (token.kind == KEYWORD
+                and token.text in ("public", "private", "constraint",
+                                   "trigger")
+                and self.peek(1).is_punct(":"))
+
+    def parse_constraint_expr(self) -> ast.ConstraintDecl:
+        start = self.position
+        expr = self.parse_expression()
+        end = self.position
+        self.expect_punct(";")
+        source = " ".join(
+            token.text if token.kind != STRING else f'"{token.text}"'
+            for token in self.tokens[start:end]
+        )
+        return ast.ConstraintDecl(expr=expr, source=source)
+
+    def parse_trigger_decl(self) -> ast.TriggerDecl:
+        """``[once] name : condition ==> attr = expr (, attr = expr)* ;``"""
+        start = self.position
+        once = False
+        if self.peek().is_keyword("once"):
+            once = True
+            self.advance()
+        name = self.expect_ident().text
+        self.expect_punct(":")
+        condition = self.parse_expression()
+        self.expect_punct("==>")
+        assignments: List = []
+        while True:
+            target = self.expect_ident().text
+            self.expect_punct("=")
+            assignments.append((target, self.parse_expression()))
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        end = self.position
+        self.expect_punct(";")
+        source = " ".join(
+            token.text if token.kind != STRING else f'"{token.text}"'
+            for token in self.tokens[start:end]
+        )
+        return ast.TriggerDecl(
+            name=name,
+            condition=condition,
+            assignments=tuple(assignments),
+            once=once,
+            source=source,
+        )
+
+    def parse_member(self, access: str):
+        """A field declaration (list) or a method declaration."""
+        save = self.position
+        type_name = self.parse_type_expr()
+        pointer = False
+        if self.peek().is_punct("*"):
+            pointer = True
+            self.advance()
+        name_token = self.expect_ident()
+        if self.peek().is_punct("("):
+            # method declaration
+            self.advance()
+            self.expect_punct(")")
+            is_const = False
+            if self.peek().is_keyword("const"):
+                is_const = True
+                self.advance()
+            self.expect_punct(";")
+            result = ast.TypeName(
+                base=type_name.base, pointer=pointer, set_of=type_name.set_of
+            )
+            return ast.MethodDecl(
+                name=name_token.text,
+                result=result,
+                access=access,
+                is_const=is_const,
+                line=name_token.line,
+            )
+        # field declaration(s)
+        self.position = save
+        return self.parse_field_decl(access)
+
+    def parse_field_decl(self, access: str) -> List[ast.FieldDecl]:
+        type_name = self.parse_type_expr()
+        fields: List[ast.FieldDecl] = []
+        while True:
+            pointer = False
+            if self.peek().is_punct("*"):
+                pointer = True
+                self.advance()
+            name_token = self.expect_ident()
+            lengths: List[int] = []
+            while self.peek().is_punct("["):
+                self.advance()
+                size_token = self.peek()
+                if size_token.kind != NUMBER:
+                    raise self.error("expected array length")
+                self.advance()
+                lengths.append(int(size_token.text))
+                self.expect_punct("]")
+            declared = ast.TypeName(
+                base=type_name.base,
+                pointer=pointer or type_name.pointer,
+                set_of=type_name.set_of,
+                array_lengths=tuple(lengths),
+            )
+            fields.append(
+                ast.FieldDecl(
+                    name=name_token.text,
+                    type_name=declared,
+                    access=access,
+                    line=name_token.line,
+                )
+            )
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct(";")
+        return fields
+
+    def parse_type_expr(self) -> ast.TypeName:
+        token = self.peek()
+        if token.is_keyword("set"):
+            self.advance()
+            self.expect_punct("<")
+            element = self.parse_type_expr()
+            if self.peek().is_punct("*"):
+                element = ast.TypeName(
+                    base=element.base, pointer=True, set_of=element.set_of
+                )
+                self.advance()
+            self.expect_punct(">")
+            return ast.TypeName(base="set", set_of=element)
+        if token.kind == KEYWORD and token.text in _BUILTIN_TYPES:
+            self.advance()
+            return ast.TypeName(base=token.text)
+        if token.kind == IDENT:
+            self.advance()
+            return ast.TypeName(base=token.text)
+        raise self.error("expected a type")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.peek().is_punct("||"):
+            self.advance()
+            left = ast.Binary("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.peek().is_punct("&&"):
+            self.advance()
+            left = ast.Binary("&&", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.peek().is_punct("!"):
+            self.advance()
+            return ast.Unary("!", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == PUNCT and token.text in _CMP_OPS:
+            self.advance()
+            return ast.Binary(token.text, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_term()
+        while self.peek().kind == PUNCT and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().kind == PUNCT and self.peek().text in ("*", "/", "%"):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.peek().is_punct("-"):
+            self.advance()
+            return ast.Unary("-", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.is_punct("."):
+                self.advance()
+                expr = ast.FieldAccess(expr, self.expect_ident().text, arrow=False)
+            elif token.is_punct("->"):
+                self.advance()
+                expr = ast.FieldAccess(expr, self.expect_ident().text, arrow=True)
+            elif token.is_punct("["):
+                self.advance()
+                subscript = self.parse_expression()
+                self.expect_punct("]")
+                expr = ast.Index(expr, subscript)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Literal(int(token.text))
+        if token.kind == FLOATNUM:
+            self.advance()
+            return ast.Literal(float(token.text))
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.text)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("null") or token.is_keyword("nil"):
+            self.advance()
+            return ast.Literal(None)
+        if token.kind == IDENT:
+            self.advance()
+            if self.peek().is_punct("("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.peek().is_punct(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if self.peek().is_punct(","):
+                            self.advance()
+                            continue
+                        break
+                self.expect_punct(")")
+                return ast.Call(token.text, tuple(args))
+            return ast.Name(token.text)
+        if token.is_punct("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise self.error("expected an expression")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a full O++ source unit (structs and class definitions)."""
+    parser = _Parser(source)
+    return parser.parse_program()
+
+
+def parse_trigger(source: str) -> ast.TriggerDecl:
+    """Parse one trigger declaration (without the trailing semicolon)."""
+    parser = _Parser(source if source.rstrip().endswith(";")
+                     else source + " ;")
+    decl = parser.parse_trigger_decl()
+    trailing = parser.peek()
+    if trailing.kind != EOF:
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return decl
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse one selection predicate (the condition-box string, §5.2)."""
+    parser = _Parser(source)
+    expr = parser.parse_expression()
+    trailing = parser.peek()
+    if trailing.kind != EOF:
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return expr

@@ -1,0 +1,124 @@
+"""Canonical O++ source generation.
+
+The class-definition window (Figure 4) shows a class as O++ source; this
+module renders an :class:`~repro.ode.classdef.OdeClass` (and expression
+ASTs) back to canonical text.  ``parse → build → print`` is idempotent,
+which the round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ode.classdef import Access
+from repro.ode.opp import ast
+from repro.ode.schema import Schema
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+_UNARY_PRECEDENCE = 7
+_POSTFIX_PRECEDENCE = 8
+
+
+def expr_to_source(expr: ast.Expr) -> str:
+    """Render an expression with minimal parentheses."""
+    text, _prec = _render(expr)
+    return text
+
+
+def _render(node: ast.Expr):
+    if isinstance(node, ast.Literal):
+        value = node.value
+        if value is None:
+            return "null", _POSTFIX_PRECEDENCE
+        if isinstance(value, bool):
+            return ("true" if value else "false"), _POSTFIX_PRECEDENCE
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"', _POSTFIX_PRECEDENCE
+        return repr(value), _POSTFIX_PRECEDENCE
+    if isinstance(node, ast.Name):
+        return node.ident, _POSTFIX_PRECEDENCE
+    if isinstance(node, ast.FieldAccess):
+        base, prec = _render(node.base)
+        if prec < _POSTFIX_PRECEDENCE:
+            base = f"({base})"
+        joiner = "->" if node.arrow else "."
+        return f"{base}{joiner}{node.field_name}", _POSTFIX_PRECEDENCE
+    if isinstance(node, ast.Index):
+        base, prec = _render(node.base)
+        if prec < _POSTFIX_PRECEDENCE:
+            base = f"({base})"
+        return f"{base}[{expr_to_source(node.subscript)}]", _POSTFIX_PRECEDENCE
+    if isinstance(node, ast.Call):
+        args = ", ".join(expr_to_source(arg) for arg in node.args)
+        return f"{node.func}({args})", _POSTFIX_PRECEDENCE
+    if isinstance(node, ast.Unary):
+        operand, prec = _render(node.operand)
+        if prec < _UNARY_PRECEDENCE:
+            operand = f"({operand})"
+        return f"{node.op}{operand}", _UNARY_PRECEDENCE
+    if isinstance(node, ast.Binary):
+        my_prec = _PRECEDENCE[node.op]
+        left, left_prec = _render(node.left)
+        right, right_prec = _render(node.right)
+        if left_prec < my_prec:
+            left = f"({left})"
+        # left-associative: right operand needs parens at equal precedence
+        if right_prec <= my_prec:
+            right = f"({right})"
+        return f"{left} {node.op} {right}", my_prec
+    raise TypeError(f"cannot render node {type(node).__name__}")
+
+
+def class_definition_source(schema: Schema, class_name: str) -> str:
+    """The text of the class-definition window (Figure 4) for one class."""
+    cls = schema.get_class(class_name)
+    lines: List[str] = []
+    qualifiers = []
+    if cls.persistent:
+        qualifiers.append("persistent")
+    if cls.versioned:
+        qualifiers.append("versioned")
+    head = " ".join(qualifiers + ["class", cls.name])
+    if cls.bases:
+        head += " : " + ", ".join(f"public {base}" for base in cls.bases)
+    lines.append(head + " {")
+
+    def section(access: Access, label: str) -> None:
+        attrs = [a for a in cls.attributes if a.access is access]
+        meths = [m for m in cls.methods if m.access is access]
+        if not attrs and not meths:
+            return
+        lines.append(f"  {label}:")
+        for attr in attrs:
+            lines.append(f"    {attr.declare()}")
+        for meth in meths:
+            const = " const" if not meth.side_effects else ""
+            lines.append(f"    {meth.result_declare} {meth.name}(){const};")
+
+    section(Access.PUBLIC, "public")
+    section(Access.PRIVATE, "private")
+    if cls.constraint_sources:
+        lines.append("  constraint:")
+        for source in cls.constraint_sources:
+            lines.append(f"    {source};")
+    if cls.trigger_sources:
+        lines.append("  trigger:")
+        for source in cls.trigger_sources:
+            lines.append(f"    {source};")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def schema_source(schema: Schema) -> str:
+    """The whole schema as one O++ source unit (structs then classes)."""
+    parts = [struct.opp_definition() for struct in schema.structs()]
+    parts += [class_definition_source(schema, name) for name in schema.class_names()]
+    return "\n\n".join(parts)

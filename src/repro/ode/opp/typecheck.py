@@ -1,0 +1,359 @@
+"""Resolution and static checking for the O++ subset.
+
+Two jobs:
+
+* Turn a parsed :class:`~repro.ode.opp.ast.Program` into real schema
+  objects — :class:`~repro.ode.types.TypeSpec`, :class:`Attribute`,
+  :class:`OdeClass` — registered into a :class:`~repro.ode.schema.Schema`.
+* Check a selection predicate against a class before it is pushed down to
+  the object manager (paper §5.2), so a typo fails in the condition box
+  rather than deep in a scan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TypeCheckError
+from repro.ode.classdef import Access, Attribute, MemberFunction, OdeClass
+from repro.ode.opp import ast
+from repro.ode.schema import Schema
+from repro.ode.types import (
+    ArrayType,
+    BoolType,
+    DateType,
+    FloatType,
+    IntType,
+    RefType,
+    SetType,
+    StringType,
+    StructType,
+    TypeSpec,
+)
+
+
+class _NullMarker(TypeSpec):
+    """Type of the ``null`` literal: comparable (==, !=) with references."""
+
+    tag = "null"
+
+    def _key(self):
+        return ()
+
+    def declare(self, varname):
+        return f"null {varname}"
+
+
+NULL = _NullMarker()
+#: Sentinel meaning "statically unknown" (e.g. a computed attribute).
+UNKNOWN: Optional[TypeSpec] = None
+
+
+def resolve_type(type_name: ast.TypeName, schema: Schema) -> TypeSpec:
+    """Resolve a parsed type expression against *schema*."""
+    if type_name.base == "set":
+        assert type_name.set_of is not None
+        element = resolve_type(type_name.set_of, schema)
+        spec: TypeSpec = SetType(element)
+        return _wrap_arrays(spec, type_name.array_lengths)
+    if type_name.base == "char":
+        if type_name.pointer:
+            spec = StringType(None)
+            return _wrap_arrays(spec, type_name.array_lengths)
+        if type_name.array_lengths:
+            # char name[30] is a bounded string; extra dimensions nest arrays.
+            spec = StringType(type_name.array_lengths[-1])
+            return _wrap_arrays(spec, type_name.array_lengths[:-1])
+        raise TypeCheckError("bare 'char' members are not supported; use char[n]")
+    builtin = {
+        "int": IntType(),
+        "bool": BoolType(),
+        "double": FloatType(),
+        "float": FloatType(),
+        "Date": DateType(),
+        "String": StringType(None),
+    }.get(type_name.base)
+    if builtin is not None:
+        if type_name.pointer:
+            raise TypeCheckError(
+                f"pointers to builtin type {type_name.base!r} are not supported"
+            )
+        return _wrap_arrays(builtin, type_name.array_lengths)
+    # struct or class
+    name = type_name.base
+    if type_name.pointer:
+        # Forward references are legal, as in C++ with a forward declaration:
+        # the whole-schema validate() pass catches targets that never appear.
+        return _wrap_arrays(RefType(name), type_name.array_lengths)
+    try:
+        struct = schema.get_struct(name)
+    except Exception:
+        if schema.has_class(name):
+            raise TypeCheckError(
+                f"embedded class object {name!r} not supported; "
+                f"declare a pointer ({name} *x) instead"
+            ) from None
+        raise TypeCheckError(f"unknown type {name!r}") from None
+    return _wrap_arrays(struct, type_name.array_lengths)
+
+
+def _wrap_arrays(spec: TypeSpec, lengths) -> TypeSpec:
+    for length in reversed(tuple(lengths)):
+        spec = ArrayType(spec, length)
+    return spec
+
+
+def build_class(class_def: ast.ClassDef, schema: Schema) -> OdeClass:
+    """Turn one parsed class definition into an :class:`OdeClass`."""
+    attributes = []
+    for fdecl in class_def.fields:
+        attributes.append(
+            Attribute(
+                name=fdecl.name,
+                type_spec=resolve_type(fdecl.type_name, schema),
+                access=Access.PUBLIC if fdecl.access == "public" else Access.PRIVATE,
+            )
+        )
+    methods = []
+    for mdecl in class_def.methods:
+        result = mdecl.result
+        result_declare = result.base + (" *" if result.pointer else "")
+        methods.append(
+            MemberFunction(
+                name=mdecl.name,
+                fn=None,
+                access=Access.PUBLIC if mdecl.access == "public" else Access.PRIVATE,
+                side_effects=not mdecl.is_const,
+                result_declare=result_declare,
+            )
+        )
+    return OdeClass(
+        name=class_def.name,
+        bases=class_def.bases,
+        attributes=tuple(attributes),
+        methods=tuple(methods),
+        constraint_sources=tuple(c.source for c in class_def.constraints),
+        trigger_sources=tuple(t.source for t in class_def.triggers),
+        persistent=class_def.persistent,
+        versioned=class_def.versioned,
+    )
+
+
+def build_schema(program: ast.Program, schema: Optional[Schema] = None) -> Schema:
+    """Register every struct and class of *program* into a schema.
+
+    Definition order matters, exactly as in C++: a struct or class must be
+    defined before it is used as a member type or base.
+    """
+    schema = schema or Schema()
+    for struct_def in program.structs:
+        fields = [
+            (fdecl.name, resolve_type(fdecl.type_name, schema))
+            for fdecl in struct_def.fields
+        ]
+        schema.add_struct(StructType(struct_def.name, fields))
+    for class_def in program.classes:
+        schema.add_class(build_class(class_def, schema))
+    schema.validate()
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Predicate checking
+# ---------------------------------------------------------------------------
+
+_NUMERIC = (IntType, FloatType)
+
+
+def _is_numeric(spec: Optional[TypeSpec]) -> bool:
+    return spec is UNKNOWN or isinstance(spec, _NUMERIC)
+
+
+def _is_bool(spec: Optional[TypeSpec]) -> bool:
+    return spec is UNKNOWN or isinstance(spec, BoolType)
+
+
+def check_predicate(expr: ast.Expr, class_name: str, schema: Schema,
+                    privileged: bool = False) -> Optional[TypeSpec]:
+    """Type-check a predicate against *class_name*; returns the result type.
+
+    A valid selection predicate must check out as boolean; call sites should
+    verify ``isinstance(result, BoolType)`` (or UNKNOWN) after this returns.
+    Raises :class:`TypeCheckError` on any inconsistency.
+    """
+
+    def attr_type(cname: str, attr_name: str) -> Optional[TypeSpec]:
+        for attr in schema.all_attributes(cname):
+            if attr.name == attr_name:
+                if not attr.is_public and not privileged:
+                    raise TypeCheckError(
+                        f"attribute {attr_name!r} of {cname!r} is private"
+                    )
+                return attr.type_spec
+        for method in schema.all_methods(cname):
+            if method.name == attr_name and method.is_public and not method.side_effects:
+                return UNKNOWN  # computed attribute; result type not declared
+        raise TypeCheckError(f"class {cname!r} has no attribute {attr_name!r}")
+
+    def visit(node: ast.Expr) -> Optional[TypeSpec]:
+        if isinstance(node, ast.Literal):
+            value = node.value
+            if value is None:
+                return NULL
+            if isinstance(value, bool):
+                return BoolType()
+            if isinstance(value, int):
+                return IntType()
+            if isinstance(value, float):
+                return FloatType()
+            if isinstance(value, str):
+                return StringType(None)
+            raise TypeCheckError(f"unsupported literal {value!r}")
+        if isinstance(node, ast.Name):
+            return attr_type(class_name, node.ident)
+        if isinstance(node, ast.FieldAccess):
+            base = visit(node.base)
+            if node.arrow:
+                if base is UNKNOWN:
+                    return UNKNOWN
+                if not isinstance(base, RefType):
+                    raise TypeCheckError(
+                        f"'->' requires a reference, got {type(base).__name__}"
+                    )
+                return attr_type(base.class_name, node.field_name)
+            if base is UNKNOWN:
+                return UNKNOWN
+            if not isinstance(base, StructType):
+                raise TypeCheckError(
+                    f"'.' requires a struct, got {type(base).__name__}"
+                )
+            return base.field_type(node.field_name)
+        if isinstance(node, ast.Index):
+            base = visit(node.base)
+            subscript = visit(node.subscript)
+            if not _is_numeric(subscript):
+                raise TypeCheckError("array subscript must be numeric")
+            if base is UNKNOWN:
+                return UNKNOWN
+            if isinstance(base, ArrayType):
+                return base.element
+            raise TypeCheckError(
+                f"subscript requires an array, got {type(base).__name__}"
+            )
+        if isinstance(node, ast.Call):
+            return _check_call(node, visit)
+        if isinstance(node, ast.Unary):
+            operand = visit(node.operand)
+            if node.op == "!":
+                if not _is_bool(operand):
+                    raise TypeCheckError("'!' requires a boolean operand")
+                return BoolType()
+            if not _is_numeric(operand):
+                raise TypeCheckError("unary '-' requires a numeric operand")
+            return operand if operand is not UNKNOWN else UNKNOWN
+        if isinstance(node, ast.Binary):
+            left = visit(node.left)
+            right = visit(node.right)
+            if node.op in ast.LOGICAL_OPS:
+                if not (_is_bool(left) and _is_bool(right)):
+                    raise TypeCheckError(f"{node.op!r} requires boolean operands")
+                return BoolType()
+            if node.op in ast.COMPARISON_OPS:
+                _check_comparable(node.op, left, right)
+                return BoolType()
+            # arithmetic
+            if not (_is_numeric(left) and _is_numeric(right)):
+                if (node.op == "+" and isinstance(left, StringType)
+                        and isinstance(right, StringType)):
+                    return StringType(None)
+                raise TypeCheckError(f"{node.op!r} requires numeric operands")
+            if isinstance(left, FloatType) or isinstance(right, FloatType):
+                return FloatType()
+            if left is UNKNOWN or right is UNKNOWN:
+                return UNKNOWN
+            return IntType()
+        raise TypeCheckError(f"unsupported expression node {type(node).__name__}")
+
+    def _check_call(node: ast.Call, recurse) -> Optional[TypeSpec]:
+        args = [recurse(arg) for arg in node.args]
+
+        def need(count: int) -> None:
+            if len(args) != count:
+                raise TypeCheckError(
+                    f"{node.func}() takes {count} argument(s), got {len(args)}"
+                )
+
+        if node.func == "size":
+            need(1)
+            if args[0] is not UNKNOWN and not isinstance(
+                    args[0], (SetType, ArrayType, StringType)):
+                raise TypeCheckError("size() requires a set, array, or string")
+            return IntType()
+        if node.func == "contains":
+            need(2)
+            if args[0] is not UNKNOWN and not isinstance(args[0], SetType):
+                raise TypeCheckError("contains() requires a set first argument")
+            return BoolType()
+        if node.func in ("lower", "upper"):
+            need(1)
+            if args[0] is not UNKNOWN and not isinstance(args[0], StringType):
+                raise TypeCheckError(f"{node.func}() requires a string")
+            return StringType(None)
+        if node.func in ("year", "month", "day"):
+            need(1)
+            if args[0] is not UNKNOWN and not isinstance(args[0], DateType):
+                raise TypeCheckError(f"{node.func}() requires a Date")
+            return IntType()
+        if node.func == "abs":
+            need(1)
+            if not _is_numeric(args[0]):
+                raise TypeCheckError("abs() requires a number")
+            return args[0] if args[0] is not UNKNOWN else UNKNOWN
+        if node.func in ("min", "max"):
+            need(2)
+            if not (_is_numeric(args[0]) and _is_numeric(args[1])):
+                raise TypeCheckError(f"{node.func}() requires numbers")
+            if isinstance(args[0], FloatType) or isinstance(args[1], FloatType):
+                return FloatType()
+            return IntType()
+        raise TypeCheckError(f"unknown function {node.func!r}")
+
+    def _check_comparable(op: str, left, right) -> None:
+        if left is UNKNOWN or right is UNKNOWN:
+            return
+        if isinstance(left, _NullMarker) or isinstance(right, _NullMarker):
+            other = right if isinstance(left, _NullMarker) else left
+            if op not in ("==", "!="):
+                raise TypeCheckError("null only supports == and != comparisons")
+            if not isinstance(other, (RefType, _NullMarker)):
+                raise TypeCheckError("null can only be compared with a reference")
+            return
+        if _is_numeric(left) and _is_numeric(right):
+            return
+        if isinstance(left, StringType) and isinstance(right, StringType):
+            return
+        if isinstance(left, DateType) and isinstance(right, DateType):
+            return
+        if isinstance(left, BoolType) and isinstance(right, BoolType):
+            if op not in ("==", "!="):
+                raise TypeCheckError("booleans only support == and !=")
+            return
+        if isinstance(left, RefType) and isinstance(right, RefType):
+            if op not in ("==", "!="):
+                raise TypeCheckError("references only support == and !=")
+            return
+        raise TypeCheckError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+
+    return visit(expr)
+
+
+def check_selection_predicate(expr: ast.Expr, class_name: str, schema: Schema,
+                              privileged: bool = False) -> None:
+    """Reject a predicate whose result is not (possibly) boolean."""
+    result = check_predicate(expr, class_name, schema, privileged)
+    if result is not UNKNOWN and not isinstance(result, BoolType):
+        raise TypeCheckError(
+            f"selection predicate must be boolean, got {type(result).__name__}"
+        )

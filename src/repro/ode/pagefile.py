@@ -1,0 +1,112 @@
+"""The page file: fixed-size pages in one OS file.
+
+Page 0 is a header page (magic, format version, page count); data pages
+start at 1.  The file only ever grows; page reuse is handled above this
+layer by the store's free-page tracking.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.errors import StorageError
+from repro.ode.page import PAGE_SIZE
+
+_MAGIC = b"ODEPAGES"
+_FILE_VERSION = 1
+_HEADER = struct.Struct(">8sII")
+
+
+class PageFile:
+    """Random access to fixed-size pages of one file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        existed = self.path.exists()
+        self._fh = open(self.path, "r+b" if existed else "w+b")
+        if existed:
+            self._read_header()
+        else:
+            self.page_count = 1  # header page
+            self._write_header()
+
+    # -- header ---------------------------------------------------------------
+
+    def _read_header(self) -> None:
+        self._fh.seek(0)
+        raw = self._fh.read(PAGE_SIZE)
+        if len(raw) < _HEADER.size:
+            raise StorageError(f"{self.path} is not a page file (too short)")
+        magic, version, count = _HEADER.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path} is not a page file (bad magic)")
+        if version != _FILE_VERSION:
+            raise StorageError(f"{self.path}: unsupported page file version {version}")
+        size = os.fstat(self._fh.fileno()).st_size
+        if size != count * PAGE_SIZE:
+            raise StorageError(
+                f"{self.path}: header says {count} pages but file has "
+                f"{size} bytes"
+            )
+        self.page_count = count
+
+    def _write_header(self) -> None:
+        header = bytearray(PAGE_SIZE)
+        _HEADER.pack_into(header, 0, _MAGIC, _FILE_VERSION, self.page_count)
+        self._fh.seek(0)
+        self._fh.write(header)
+
+    # -- page access --------------------------------------------------------------
+
+    def _check(self, page_no: int) -> None:
+        if not 1 <= page_no < self.page_count:
+            raise StorageError(
+                f"page {page_no} out of range (file has pages 1..{self.page_count - 1})"
+            )
+
+    def read_page(self, page_no: int) -> bytes:
+        self._check(page_no)
+        self._fh.seek(page_no * PAGE_SIZE)
+        data = self._fh.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"short read of page {page_no}")
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        self._check(page_no)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page write must be {PAGE_SIZE} bytes, got {len(data)}")
+        self._fh.seek(page_no * PAGE_SIZE)
+        self._fh.write(data)
+
+    def allocate_page(self) -> int:
+        """Append a zeroed page; return its number."""
+        page_no = self.page_count
+        self._fh.seek(page_no * PAGE_SIZE)
+        self._fh.write(bytes(PAGE_SIZE))
+        self.page_count += 1
+        self._write_header()
+        return page_no
+
+    def data_page_numbers(self) -> range:
+        return range(1, self.page_count)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,302 @@
+"""The database schema: classes, structs, and the inheritance DAG.
+
+"The database schema is the collection of class definitions of the objects
+that exist in the databases and the inheritance relationship between these
+types" (paper §2).  "The hierarchy relationship between classes is a set of
+dags" (§3.1) — multiple inheritance makes it a DAG, not a tree, and possibly
+a forest of DAGs.
+
+This module owns cross-class concerns: registration order, C3 method
+resolution, merged attribute lists, subclass queries used by reference type
+checking, and schema evolution (add/drop/replace — the operations OdeView
+must survive without recompilation, §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.ode.classdef import Attribute, MemberFunction, OdeClass, c3_linearize
+from repro.ode.types import StructType, referenced_classes
+
+
+class Schema:
+    """Registry of struct and class definitions with inheritance queries."""
+
+    def __init__(self) -> None:
+        self._structs: Dict[str, StructType] = {}
+        self._classes: Dict[str, OdeClass] = {}
+        self._order: List[str] = []
+        self.version = 0
+
+    # -- structs -------------------------------------------------------------
+
+    def add_struct(self, struct: StructType) -> None:
+        if struct.name in self._structs:
+            raise SchemaError(f"struct {struct.name!r} already defined")
+        if struct.name in self._classes:
+            raise SchemaError(f"{struct.name!r} is already a class name")
+        self._structs[struct.name] = struct
+        self.version += 1
+
+    def get_struct(self, name: str) -> StructType:
+        try:
+            return self._structs[name]
+        except KeyError:
+            raise SchemaError(f"unknown struct {name!r}") from None
+
+    def structs(self) -> List[StructType]:
+        return list(self._structs.values())
+
+    # -- classes -------------------------------------------------------------
+
+    def add_class(self, cls: OdeClass) -> None:
+        """Register a class.  Bases must already be registered.
+
+        Requiring declaration order (as C++ does) makes inheritance cycles
+        impossible by construction.
+        """
+        if cls.name in self._classes:
+            raise SchemaError(f"class {cls.name!r} already defined")
+        if cls.name in self._structs:
+            raise SchemaError(f"{cls.name!r} is already a struct name")
+        for base in cls.bases:
+            if base not in self._classes:
+                raise SchemaError(
+                    f"class {cls.name!r} inherits from undefined class {base!r}"
+                )
+        self._check_member_clashes(cls)
+        self._classes[cls.name] = cls
+        self._order.append(cls.name)
+        self.version += 1
+
+    def drop_class(self, name: str) -> None:
+        """Remove a class.  Refuses if any class inherits from or refers to it."""
+        self.get_class(name)
+        dependants = [sub for sub in self._order if name in self._classes[sub].bases]
+        if dependants:
+            raise SchemaError(
+                f"cannot drop class {name!r}: inherited by {dependants}"
+            )
+        referrers = [
+            other.name
+            for other in self._classes.values()
+            if other.name != name and name in self._referenced_by(other)
+        ]
+        if referrers:
+            raise SchemaError(
+                f"cannot drop class {name!r}: referenced by {referrers}"
+            )
+        del self._classes[name]
+        self._order.remove(name)
+        self.version += 1
+
+    def replace_class(self, cls: OdeClass) -> None:
+        """Schema evolution: swap in a modified definition of an existing class."""
+        if cls.name not in self._classes:
+            raise SchemaError(f"cannot replace undefined class {cls.name!r}")
+        for base in cls.bases:
+            if base not in self._classes:
+                raise SchemaError(
+                    f"class {cls.name!r} inherits from undefined class {base!r}"
+                )
+        old = self._classes[cls.name]
+        self._classes[cls.name] = cls
+        try:
+            self._assert_acyclic()
+            self._check_member_clashes(cls)
+        except SchemaError:
+            self._classes[cls.name] = old
+            raise
+        self.version += 1
+
+    def get_class(self, name: str) -> OdeClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class {name!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def class_names(self) -> List[str]:
+        """Class names in declaration order."""
+        return list(self._order)
+
+    def classes(self) -> List[OdeClass]:
+        return [self._classes[name] for name in self._order]
+
+    # -- inheritance queries ---------------------------------------------------
+
+    def mro(self, name: str) -> List[str]:
+        """C3 linearisation: the class itself first, then its ancestors."""
+        self.get_class(name)
+        bases_of = {cname: cls.bases for cname, cls in self._classes.items()}
+        return c3_linearize(name, bases_of)
+
+    def superclasses(self, name: str) -> List[str]:
+        """Direct base classes, in declaration order."""
+        return list(self.get_class(name).bases)
+
+    def subclasses(self, name: str) -> List[str]:
+        """Direct subclasses, in declaration order."""
+        self.get_class(name)
+        return [cname for cname in self._order if name in self._classes[cname].bases]
+
+    def ancestors(self, name: str) -> List[str]:
+        """All transitive ancestors (excluding the class itself)."""
+        return self.mro(name)[1:]
+
+    def descendants(self, name: str) -> List[str]:
+        """All transitive subclasses (excluding the class itself)."""
+        self.get_class(name)
+        found: List[str] = []
+        frontier = [name]
+        while frontier:
+            current = frontier.pop(0)
+            for sub in self.subclasses(current):
+                if sub not in found:
+                    found.append(sub)
+                    frontier.append(sub)
+        return found
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        """True if *name* is *ancestor* or inherits from it (reflexive)."""
+        if not self.has_class(name) or not self.has_class(ancestor):
+            return False
+        return ancestor in self.mro(name)
+
+    def roots(self) -> List[str]:
+        """Classes with no base class — the DAG sources."""
+        return [name for name in self._order if not self._classes[name].bases]
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """(base, derived) pairs — the schema window's DAG edges."""
+        pairs: List[Tuple[str, str]] = []
+        for name in self._order:
+            for base in self._classes[name].bases:
+                pairs.append((base, name))
+        return pairs
+
+    # -- merged member views -----------------------------------------------------
+
+    def all_attributes(self, name: str) -> List[Attribute]:
+        """Own + inherited attributes, base-most first, no duplicates."""
+        merged: List[Attribute] = []
+        seen: Set[str] = set()
+        for cname in reversed(self.mro(name)):
+            for attr in self._classes[cname].attributes:
+                if attr.name not in seen:
+                    merged.append(attr)
+                    seen.add(attr.name)
+        return merged
+
+    def all_methods(self, name: str) -> List[MemberFunction]:
+        """Own + inherited member functions; a derived definition overrides."""
+        merged: Dict[str, MemberFunction] = {}
+        order: List[str] = []
+        for cname in reversed(self.mro(name)):
+            for meth in self._classes[cname].methods:
+                if meth.name not in merged:
+                    order.append(meth.name)
+                merged[meth.name] = meth
+        return [merged[mname] for mname in order]
+
+    def find_attribute(self, class_name: str, attr_name: str) -> Attribute:
+        for attr in self.all_attributes(class_name):
+            if attr.name == attr_name:
+                return attr
+        raise SchemaError(f"class {class_name!r} has no attribute {attr_name!r}")
+
+    def reference_attributes(self, name: str) -> List[Attribute]:
+        """Attributes whose type mentions a class — the navigation buttons."""
+        return [
+            attr
+            for attr in self.all_attributes(name)
+            if any(True for _ in referenced_classes(attr.type_spec))
+        ]
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Whole-schema check: every reference target must be a known class."""
+        for cls in self._classes.values():
+            for target in self._referenced_by(cls):
+                if target not in self._classes:
+                    raise SchemaError(
+                        f"class {cls.name!r} references undefined class {target!r}"
+                    )
+        self._assert_acyclic()
+
+    def _referenced_by(self, cls: OdeClass) -> Set[str]:
+        targets: Set[str] = set()
+        for attr in cls.attributes:
+            targets.update(referenced_classes(attr.type_spec))
+        return targets
+
+    def _assert_acyclic(self) -> None:
+        visiting: Set[str] = set()
+        done: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise SchemaError(f"inheritance cycle through class {name!r}")
+            visiting.add(name)
+            for base in self._classes[name].bases:
+                if base in self._classes:
+                    visit(base)
+            visiting.remove(name)
+            done.add(name)
+
+        for name in self._classes:
+            visit(name)
+
+    def _check_member_clashes(self, cls: OdeClass) -> None:
+        """Reject attributes inherited under one name with different types.
+
+        A diamond (same attribute reached twice from one origin) is fine;
+        two *different* attributes with the same name is ambiguous, as in
+        C++ without qualification, and we reject it at definition time.
+        """
+        inherited: Dict[str, Attribute] = {}
+        for base in cls.bases:
+            for attr in self.all_attributes(base):
+                if attr.name in inherited and inherited[attr.name] != attr:
+                    raise SchemaError(
+                        f"class {cls.name!r} inherits conflicting attributes "
+                        f"named {attr.name!r}"
+                    )
+                inherited[attr.name] = attr
+        for attr in cls.attributes:
+            if attr.name in inherited and inherited[attr.name] != attr:
+                raise SchemaError(
+                    f"class {cls.name!r} redeclares inherited attribute "
+                    f"{attr.name!r} with a different type"
+                )
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "structs": [self._structs[name].to_dict() for name in self._structs],
+            "classes": [self._classes[name].to_dict() for name in self._order],
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Schema":
+        from repro.ode.types import type_from_dict
+
+        schema = cls()
+        for struct_data in data.get("structs", ()):
+            struct = type_from_dict(struct_data)
+            if not isinstance(struct, StructType):
+                raise SchemaError("catalog struct entry is not a struct")
+            schema.add_struct(struct)
+        for class_data in data.get("classes", ()):
+            schema.add_class(OdeClass.from_dict(class_data))
+        schema.version = data.get("version", schema.version)
+        return schema

@@ -1,0 +1,403 @@
+"""The object store.
+
+Persistent objects live in slotted pages reached through the buffer pool;
+durability comes from the write-ahead log.  The store maps OIDs to page
+locations, splits records larger than a page into fragment chains, and keeps
+per-cluster indexes in OID order — the order the object manager's
+``next``/``previous`` sequencing walks (paper §3.2).
+
+Because every record is self-describing (it embeds its OID), the object
+table and cluster indexes are rebuilt by scanning the pages at open; there
+is no separately persisted index to corrupt.
+"""
+
+from __future__ import annotations
+
+import bisect
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ObjectNotFoundError, StorageError, TransactionError
+from repro.ode.bufferpool import BufferPool
+from repro.ode.codec import read_varint, write_varint
+from repro.ode.oid import Oid
+from repro.ode.page import MAX_RECORD_SIZE
+from repro.ode.pagefile import PageFile
+from repro.ode.wal import (
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_DELETE,
+    OP_PUT,
+    WalRecord,
+    WriteAheadLog,
+)
+
+_FRAGMENT_MAGIC = 0xB1
+# Room left in a fragment for its own header (magic + varints + oid text).
+_FRAGMENT_HEADER_BUDGET = 64
+_FRAGMENT_CHUNK = MAX_RECORD_SIZE - _FRAGMENT_HEADER_BUDGET
+
+Location = List[Tuple[int, int]]  # ordered (page_no, slot) fragments
+
+
+def _encode_fragment(oid: Oid, index: int, total: int, chunk: bytes) -> bytes:
+    oid_bytes = str(oid).encode("utf-8")
+    out = bytearray([_FRAGMENT_MAGIC])
+    out += write_varint(index)
+    out += write_varint(total)
+    out += write_varint(len(oid_bytes))
+    out += oid_bytes
+    out += chunk
+    return bytes(out)
+
+
+def _decode_fragment(record: bytes) -> Tuple[Oid, int, int, bytes]:
+    index, offset = read_varint(record, 1)
+    total, offset = read_varint(record, offset)
+    oid_len, offset = read_varint(record, offset)
+    oid = Oid.parse(record[offset:offset + oid_len].decode("utf-8"))
+    chunk = record[offset + oid_len:]
+    return oid, index, total, chunk
+
+
+class ObjectStore:
+    """OID-addressed record storage over pages + buffer pool + WAL."""
+
+    DATA_FILE = "data.pages"
+    WAL_FILE = "wal.log"
+
+    def __init__(self, directory: Union[str, Path], pool_capacity: int = 64):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._pagefile = PageFile(self.directory / self.DATA_FILE)
+        self._pool = BufferPool(self._pagefile, pool_capacity)
+        self._wal = WriteAheadLog(self.directory / self.WAL_FILE)
+        self._table: Dict[Oid, Location] = {}
+        self._clusters: Dict[str, List[int]] = {}
+        self._next_number: Dict[str, int] = {}
+        self._txid: Optional[int] = None
+        self._tx_counter = 0
+        self._rebuild_from_pages()
+        self._recover_from_wal()
+
+    # -- recovery -------------------------------------------------------------
+
+    def _rebuild_from_pages(self) -> None:
+        partial: Dict[Oid, Dict[int, Tuple[int, int]]] = {}
+        totals: Dict[Oid, int] = {}
+        for page_no in self._pagefile.data_page_numbers():
+            page = self._pool.fetch(page_no)
+            for slot in page.live_slots():
+                record = page.read(slot)
+                if not record:
+                    continue
+                if record[0] == _FRAGMENT_MAGIC:
+                    oid, index, total, _chunk = _decode_fragment(record)
+                    partial.setdefault(oid, {})[index] = (page_no, slot)
+                    totals[oid] = total
+                else:
+                    from repro.ode.codec import decode_object
+
+                    oid, _class_name, _values = decode_object(record)
+                    self._install(oid, [(page_no, slot)])
+        for oid, fragments in partial.items():
+            total = totals[oid]
+            if len(fragments) != total:
+                raise StorageError(
+                    f"object {oid} has {len(fragments)} of {total} fragments"
+                )
+            location = [fragments[i] for i in range(total)]
+            self._install(oid, location)
+
+    def _recover_from_wal(self) -> None:
+        operations = self._wal.committed_operations()
+        for record in operations:
+            oid = Oid.parse(record.oid)
+            if record.op == OP_PUT:
+                self._put_to_pages(oid, record.payload)
+            elif record.op == OP_DELETE and oid in self._table:
+                self._delete_from_pages(oid)
+        self._pool.flush_all()
+        self._wal.checkpoint()
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _install(self, oid: Oid, location: Location) -> None:
+        self._table[oid] = location
+        numbers = self._clusters.setdefault(oid.cluster, [])
+        index = bisect.bisect_left(numbers, oid.number)
+        if index >= len(numbers) or numbers[index] != oid.number:
+            numbers.insert(index, oid.number)
+        nxt = self._next_number.get(oid.cluster, 0)
+        if oid.number >= nxt:
+            self._next_number[oid.cluster] = oid.number + 1
+
+    def _uninstall(self, oid: Oid) -> None:
+        del self._table[oid]
+        numbers = self._clusters.get(oid.cluster, [])
+        index = bisect.bisect_left(numbers, oid.number)
+        if index < len(numbers) and numbers[index] == oid.number:
+            numbers.pop(index)
+        if not numbers:
+            self._clusters.pop(oid.cluster, None)
+
+    def allocate_oid(self, database: str, cluster: str) -> Oid:
+        """Mint the next OID for a cluster (monotonic within the store)."""
+        number = self._next_number.get(cluster, 0)
+        self._next_number[cluster] = number + 1
+        return Oid(database, cluster, number)
+
+    # -- page-level operations ------------------------------------------------------
+
+    def _insert_record(self, record: bytes) -> Tuple[int, int]:
+        for page_no in self._pagefile.data_page_numbers():
+            page = self._pool.fetch(page_no)
+            if page.fits(len(record)):
+                slot = page.insert(record)
+                return page_no, slot
+        page_no = self._pool.new_page()
+        page = self._pool.fetch(page_no)
+        slot = page.insert(record)
+        return page_no, slot
+
+    def _put_to_pages(self, oid: Oid, data: bytes) -> None:
+        if oid in self._table:
+            self._delete_from_pages(oid)
+        if len(data) <= MAX_RECORD_SIZE:
+            location = [self._insert_record(data)]
+        else:
+            chunks = [
+                data[start:start + _FRAGMENT_CHUNK]
+                for start in range(0, len(data), _FRAGMENT_CHUNK)
+            ]
+            location = [
+                self._insert_record(_encode_fragment(oid, i, len(chunks), chunk))
+                for i, chunk in enumerate(chunks)
+            ]
+        self._install(oid, location)
+
+    def _delete_from_pages(self, oid: Oid) -> None:
+        for page_no, slot in self._table[oid]:
+            self._pool.fetch(page_no).delete(slot)
+        self._uninstall(oid)
+
+    def _read_from_pages(self, oid: Oid) -> bytes:
+        location = self._table[oid]
+        if len(location) == 1:
+            page_no, slot = location[0]
+            record = self._pool.fetch(page_no).read(slot)
+            if record and record[0] != _FRAGMENT_MAGIC:
+                return record
+        parts = []
+        for page_no, slot in location:
+            record = self._pool.fetch(page_no).read(slot)
+            _oid, _index, _total, chunk = _decode_fragment(record)
+            parts.append(chunk)
+        return b"".join(parts)
+
+    # -- transactions ------------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Start an explicit transaction; raises if one is already open."""
+        if self._txid is not None:
+            raise TransactionError("a transaction is already in progress")
+        self._tx_counter += 1
+        self._txid = self._tx_counter
+        self._wal.append(WalRecord(op=OP_BEGIN, txid=self._txid))
+        self._tx_writes: List[WalRecord] = []
+        return self._txid
+
+    def commit(self) -> None:
+        if self._txid is None:
+            raise TransactionError("no transaction in progress")
+        self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid), sync=True)
+        for record in self._tx_writes:
+            oid = Oid.parse(record.oid)
+            if record.op == OP_PUT:
+                self._put_to_pages(oid, record.payload)
+            else:
+                if oid in self._table:
+                    self._delete_from_pages(oid)
+        self._pool.flush_all()
+        self._wal.checkpoint()
+        self._txid = None
+        self._tx_writes = []
+
+    def abort(self) -> None:
+        if self._txid is None:
+            raise TransactionError("no transaction in progress")
+        self._wal.append(WalRecord(op=OP_ABORT, txid=self._txid))
+        self._txid = None
+        self._tx_writes = []
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txid is not None
+
+    def _tx_overlay(self, oid: Oid) -> Optional[WalRecord]:
+        if self._txid is None:
+            return None
+        for record in reversed(self._tx_writes):
+            if record.oid == str(oid):
+                return record
+        return None
+
+    # -- public record API ---------------------------------------------------------------
+
+    def put(self, oid: Oid, data: bytes) -> None:
+        """Write a record.  Inside a transaction the write is buffered; outside
+        it commits immediately through a single-op transaction."""
+        if not data:
+            raise StorageError("cannot store an empty record")
+        record = WalRecord(op=OP_PUT, txid=self._txid or 0, oid=str(oid), payload=data)
+        if self._txid is not None:
+            self._wal.append(record)
+            self._tx_writes.append(record)
+            return
+        self.begin()
+        try:
+            self.put(oid, data)
+            self.commit()
+        except Exception:
+            if self.in_transaction:
+                self.abort()
+            raise
+
+    def get(self, oid: Oid) -> bytes:
+        overlay = self._tx_overlay(oid)
+        if overlay is not None:
+            if overlay.op == OP_DELETE:
+                raise ObjectNotFoundError(f"object {oid} deleted in this transaction")
+            return overlay.payload
+        if oid not in self._table:
+            raise ObjectNotFoundError(f"no object {oid}")
+        return self._read_from_pages(oid)
+
+    def delete(self, oid: Oid) -> None:
+        if not self.exists(oid):
+            raise ObjectNotFoundError(f"no object {oid}")
+        record = WalRecord(op=OP_DELETE, txid=self._txid or 0, oid=str(oid))
+        if self._txid is not None:
+            self._wal.append(record)
+            self._tx_writes.append(record)
+            return
+        self.begin()
+        try:
+            self.delete(oid)
+            self.commit()
+        except Exception:
+            if self.in_transaction:
+                self.abort()
+            raise
+
+    def exists(self, oid: Oid) -> bool:
+        overlay = self._tx_overlay(oid)
+        if overlay is not None:
+            return overlay.op == OP_PUT
+        return oid in self._table
+
+    # -- cluster iteration ------------------------------------------------------------------
+
+    def cluster_names(self) -> List[str]:
+        return sorted(self._clusters)
+
+    def cluster_size(self, cluster: str) -> int:
+        return len(self._clusters.get(cluster, ()))
+
+    def cluster_numbers(self, cluster: str) -> List[int]:
+        """Live OID numbers of a cluster, ascending (sequencing order)."""
+        return list(self._clusters.get(cluster, ()))
+
+    def oids(self) -> Iterator[Oid]:
+        for oid in sorted(self._table):
+            yield oid
+
+    # -- maintenance ------------------------------------------------------------------------
+
+    def fragmentation(self) -> float:
+        """Fraction of data-page space not holding live payload (0..1)."""
+        total = 0
+        used = 0
+        for page_no in self._pagefile.data_page_numbers():
+            page = self._pool.fetch(page_no)
+            from repro.ode.page import PAGE_SIZE
+
+            total += PAGE_SIZE
+            used += sum(len(page.read(slot)) for slot in page.live_slots())
+        if total == 0:
+            return 0.0
+        return 1.0 - used / total
+
+    def vacuum(self) -> int:
+        """Rewrite the page file densely; returns pages reclaimed.
+
+        Deletes and overwrites leave holes that compaction within a page
+        cannot give back to the file.  Vacuum streams every live record
+        into a fresh page file and atomically swaps it in.  Must run
+        outside a transaction.
+        """
+        if self._txid is not None:
+            raise TransactionError("cannot vacuum inside a transaction")
+        self._pool.flush_all()
+        pages_before = self._pagefile.page_count
+
+        records = [(oid, self._read_from_pages(oid)) for oid in self._table]
+
+        fresh_path = self.directory / (self.DATA_FILE + ".vacuum")
+        fresh_path.unlink(missing_ok=True)
+        fresh_file = PageFile(fresh_path)
+        fresh_pool = BufferPool(fresh_file, self._pool.capacity)
+
+        old_pagefile = self._pagefile
+        old_pool = self._pool
+        self._pagefile = fresh_file
+        self._pool = fresh_pool
+        self._table = {}
+        self._clusters = {}
+        try:
+            for oid, data in records:
+                self._put_to_pages(oid, data)
+            self._pool.flush_all()
+        except Exception:
+            # roll back to the old file untouched
+            self._pagefile = old_pagefile
+            self._pool = old_pool
+            fresh_file.close()
+            fresh_path.unlink(missing_ok=True)
+            self._table = {}
+            self._clusters = {}
+            self._rebuild_from_pages()
+            raise
+        fresh_file.close()
+        old_pagefile.close()
+        fresh_path.replace(self.directory / self.DATA_FILE)
+        self._pagefile = PageFile(self.directory / self.DATA_FILE)
+        self._pool = BufferPool(self._pagefile, old_pool.capacity)
+        self._table = {}
+        self._clusters = {}
+        self._rebuild_from_pages()
+        self._wal.checkpoint()
+        return pages_before - self._pagefile.page_count
+
+    # -- lifecycle --------------------------------------------------------------------------
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    def flush(self) -> None:
+        self._pool.flush_all()
+
+    def close(self) -> None:
+        if self._txid is not None:
+            self.abort()
+        self._pool.flush_all()
+        self._wal.close()
+        self._pagefile.close()
+
+    def __enter__(self) -> "ObjectStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,444 @@
+"""The O++ type lattice.
+
+Ode objects are not simple tuples (paper §4.1): attribute values may be
+integers, floats, booleans, strings, dates, fixed-size arrays, sets, nested
+structures, references to other persistent objects, and sets of references.
+This module defines one :class:`TypeSpec` subclass per type constructor.
+
+Each type knows how to
+
+* ``validate`` a Python value against itself,
+* produce a ``default`` value,
+* print itself as an O++ declarator (``declare``) — used by the class
+  definition window,
+* round-trip through a plain-dict form (``to_dict`` / ``from_dict``) — used
+  by the persistent schema catalog.
+
+Type objects are immutable and hashable, so they can be shared freely and
+used as dict keys.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, TypeError_
+from repro.ode.oid import Oid
+
+
+class TypeSpec:
+    """Abstract base for all O++ types."""
+
+    #: short tag used in dict round-tripping; subclasses override.
+    tag: str = "abstract"
+
+    def validate(self, value: Any, schema: Optional["SchemaLike"] = None) -> None:
+        """Raise :class:`TypeError_` unless *value* conforms to this type.
+
+        *schema*, when provided, enables reference-target checking (a
+        ``RefType`` value must point into the named class's cluster or one
+        of its subclasses).
+        """
+        raise NotImplementedError
+
+    def default(self) -> Any:
+        """A freshly constructed zero value of this type."""
+        raise NotImplementedError
+
+    def declare(self, varname: str) -> str:
+        """O++ declarator for an attribute of this type named *varname*."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for catalog persistence."""
+        raise NotImplementedError
+
+    # -- identity ----------------------------------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.declare('_')!r})"
+
+
+class SchemaLike:
+    """Minimal protocol the type checker needs from a schema.
+
+    Defined here to avoid a circular import with :mod:`repro.ode.schema`.
+    """
+
+    def has_class(self, name: str) -> bool:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Scalars
+# ---------------------------------------------------------------------------
+
+class IntType(TypeSpec):
+    """A 64-bit signed integer."""
+
+    tag = "int"
+    MIN = -(2 ** 63)
+    MAX = 2 ** 63 - 1
+
+    def validate(self, value, schema=None):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError_(f"expected int, got {value!r}")
+        if not (self.MIN <= value <= self.MAX):
+            raise TypeError_(f"int out of 64-bit range: {value!r}")
+
+    def default(self):
+        return 0
+
+    def declare(self, varname):
+        return f"int {varname}"
+
+    def to_dict(self):
+        return {"tag": self.tag}
+
+    def _key(self):
+        return ()
+
+
+class FloatType(TypeSpec):
+    """A double-precision float."""
+
+    tag = "float"
+
+    def validate(self, value, schema=None):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError_(f"expected float, got {value!r}")
+
+    def default(self):
+        return 0.0
+
+    def declare(self, varname):
+        return f"double {varname}"
+
+    def to_dict(self):
+        return {"tag": self.tag}
+
+    def _key(self):
+        return ()
+
+
+class BoolType(TypeSpec):
+    """A boolean."""
+
+    tag = "bool"
+
+    def validate(self, value, schema=None):
+        if not isinstance(value, bool):
+            raise TypeError_(f"expected bool, got {value!r}")
+
+    def default(self):
+        return False
+
+    def declare(self, varname):
+        return f"int {varname} /* bool */"
+
+    def to_dict(self):
+        return {"tag": self.tag}
+
+    def _key(self):
+        return ()
+
+
+class StringType(TypeSpec):
+    """A text string, optionally bounded in length.
+
+    O++ strings are ``char*`` / ``Name`` values; a bounded string prints as a
+    ``char`` array declarator.
+    """
+
+    tag = "string"
+
+    def __init__(self, max_length: Optional[int] = None):
+        if max_length is not None and max_length <= 0:
+            raise SchemaError(f"string max_length must be positive, got {max_length}")
+        self.max_length = max_length
+
+    def validate(self, value, schema=None):
+        if not isinstance(value, str):
+            raise TypeError_(f"expected str, got {value!r}")
+        if self.max_length is not None and len(value) > self.max_length:
+            raise TypeError_(
+                f"string of length {len(value)} exceeds max_length {self.max_length}"
+            )
+
+    def default(self):
+        return ""
+
+    def declare(self, varname):
+        if self.max_length is None:
+            return f"char *{varname}"
+        return f"char {varname}[{self.max_length}]"
+
+    def to_dict(self):
+        return {"tag": self.tag, "max_length": self.max_length}
+
+    def _key(self):
+        return (self.max_length,)
+
+
+class DateType(TypeSpec):
+    """A calendar date (``datetime.date``)."""
+
+    tag = "date"
+    EPOCH = datetime.date(1970, 1, 1)
+
+    def validate(self, value, schema=None):
+        if not isinstance(value, datetime.date) or isinstance(value, datetime.datetime):
+            raise TypeError_(f"expected datetime.date, got {value!r}")
+
+    def default(self):
+        return self.EPOCH
+
+    def declare(self, varname):
+        return f"Date {varname}"
+
+    def to_dict(self):
+        return {"tag": self.tag}
+
+    def _key(self):
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+class ArrayType(TypeSpec):
+    """A fixed-length array of a single element type."""
+
+    tag = "array"
+
+    def __init__(self, element: TypeSpec, length: int):
+        if not isinstance(element, TypeSpec):
+            raise SchemaError(f"array element must be a TypeSpec, got {element!r}")
+        if length <= 0:
+            raise SchemaError(f"array length must be positive, got {length}")
+        self.element = element
+        self.length = length
+
+    def validate(self, value, schema=None):
+        if not isinstance(value, (list, tuple)):
+            raise TypeError_(f"expected list/tuple, got {value!r}")
+        if len(value) != self.length:
+            raise TypeError_(
+                f"array of length {self.length} expected, got {len(value)} elements"
+            )
+        for item in value:
+            self.element.validate(item, schema)
+
+    def default(self):
+        return [self.element.default() for _ in range(self.length)]
+
+    def declare(self, varname):
+        inner = self.element.declare(varname)
+        return f"{inner}[{self.length}]"
+
+    def to_dict(self):
+        return {"tag": self.tag, "element": self.element.to_dict(), "length": self.length}
+
+    def _key(self):
+        return (self.element, self.length)
+
+
+class SetType(TypeSpec):
+    """An unordered collection without duplicates.
+
+    Values are represented as Python lists preserving insertion order (so
+    renderings are deterministic) but validated for uniqueness.  Use
+    ``SetType(RefType(cls))`` for Ode's set-of-references.
+    """
+
+    tag = "set"
+
+    def __init__(self, element: TypeSpec):
+        if not isinstance(element, TypeSpec):
+            raise SchemaError(f"set element must be a TypeSpec, got {element!r}")
+        self.element = element
+
+    def validate(self, value, schema=None):
+        if not isinstance(value, (list, tuple)):
+            raise TypeError_(f"expected list/tuple for set value, got {value!r}")
+        seen = []
+        for item in value:
+            self.element.validate(item, schema)
+            if item in seen:
+                raise TypeError_(f"duplicate element in set: {item!r}")
+            seen.append(item)
+
+    def default(self):
+        return []
+
+    def declare(self, varname):
+        element_decl = self.element.declare("")
+        return f"set<{element_decl.strip()}> {varname}"
+
+    def to_dict(self):
+        return {"tag": self.tag, "element": self.element.to_dict()}
+
+    def _key(self):
+        return (self.element,)
+
+
+class StructType(TypeSpec):
+    """A named record of (field name, type) pairs, e.g. an ``Address``."""
+
+    tag = "struct"
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, TypeSpec]]):
+        if not name:
+            raise SchemaError("struct must be named")
+        names = [fname for fname, _ in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in struct {name!r}")
+        for fname, ftype in fields:
+            if not isinstance(ftype, TypeSpec):
+                raise SchemaError(f"field {fname!r} of struct {name!r} is not a TypeSpec")
+        self.name = name
+        self.fields: Tuple[Tuple[str, TypeSpec], ...] = tuple(fields)
+
+    def field_type(self, fname: str) -> TypeSpec:
+        for name, ftype in self.fields:
+            if name == fname:
+                return ftype
+        raise SchemaError(f"struct {self.name!r} has no field {fname!r}")
+
+    def validate(self, value, schema=None):
+        if not isinstance(value, Mapping):
+            raise TypeError_(f"expected mapping for struct {self.name!r}, got {value!r}")
+        field_names = {fname for fname, _ in self.fields}
+        extra = set(value) - field_names
+        if extra:
+            raise TypeError_(f"unknown fields for struct {self.name!r}: {sorted(extra)}")
+        missing = field_names - set(value)
+        if missing:
+            raise TypeError_(f"missing fields for struct {self.name!r}: {sorted(missing)}")
+        for fname, ftype in self.fields:
+            ftype.validate(value[fname], schema)
+
+    def default(self):
+        return {fname: ftype.default() for fname, ftype in self.fields}
+
+    def declare(self, varname):
+        return f"{self.name} {varname}"
+
+    def opp_definition(self) -> str:
+        """Full textual O++ definition of the struct."""
+        lines = [f"struct {self.name} {{"]
+        for fname, ftype in self.fields:
+            lines.append(f"    {ftype.declare(fname)};")
+        lines.append("};")
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "tag": self.tag,
+            "name": self.name,
+            "fields": [[fname, ftype.to_dict()] for fname, ftype in self.fields],
+        }
+
+    def _key(self):
+        return (self.name, self.fields)
+
+
+class RefType(TypeSpec):
+    """A reference to a persistent object of a named class (or subclass).
+
+    The runtime value is an :class:`~repro.ode.oid.Oid` or ``None`` (a null
+    reference).
+    """
+
+    tag = "ref"
+
+    def __init__(self, class_name: str):
+        if not class_name:
+            raise SchemaError("reference must name a class")
+        self.class_name = class_name
+
+    def validate(self, value, schema=None):
+        if value is None:
+            return
+        if not isinstance(value, Oid):
+            raise TypeError_(f"expected Oid or None, got {value!r}")
+        if schema is not None:
+            if not schema.has_class(self.class_name):
+                raise TypeError_(f"reference target class {self.class_name!r} unknown")
+            if not schema.is_subclass(value.cluster, self.class_name):
+                raise TypeError_(
+                    f"reference of type {self.class_name!r} cannot point at an "
+                    f"object in cluster {value.cluster!r}"
+                )
+
+    def default(self):
+        return None
+
+    def declare(self, varname):
+        return f"{self.class_name} *{varname}"
+
+    def to_dict(self):
+        return {"tag": self.tag, "class_name": self.class_name}
+
+    def _key(self):
+        return (self.class_name,)
+
+
+# ---------------------------------------------------------------------------
+# Dict round-tripping
+# ---------------------------------------------------------------------------
+
+_SCALARS = {
+    IntType.tag: IntType,
+    FloatType.tag: FloatType,
+    BoolType.tag: BoolType,
+    DateType.tag: DateType,
+}
+
+
+def type_from_dict(data: Mapping) -> TypeSpec:
+    """Inverse of :meth:`TypeSpec.to_dict`."""
+    tag = data.get("tag")
+    if tag in _SCALARS:
+        return _SCALARS[tag]()
+    if tag == StringType.tag:
+        return StringType(data.get("max_length"))
+    if tag == ArrayType.tag:
+        return ArrayType(type_from_dict(data["element"]), data["length"])
+    if tag == SetType.tag:
+        return SetType(type_from_dict(data["element"]))
+    if tag == StructType.tag:
+        fields = [(fname, type_from_dict(fdata)) for fname, fdata in data["fields"]]
+        return StructType(data["name"], fields)
+    if tag == RefType.tag:
+        return RefType(data["class_name"])
+    raise SchemaError(f"unknown type tag {tag!r}")
+
+
+def referenced_classes(spec: TypeSpec) -> Iterable[str]:
+    """Yield every class name referenced (transitively) by *spec*.
+
+    Used by the schema checker to ensure reference targets exist and by the
+    object browser to decide which navigation buttons a panel needs.
+    """
+    if isinstance(spec, RefType):
+        yield spec.class_name
+    elif isinstance(spec, (ArrayType, SetType)):
+        yield from referenced_classes(spec.element)
+    elif isinstance(spec, StructType):
+        for _, ftype in spec.fields:
+            yield from referenced_classes(ftype)

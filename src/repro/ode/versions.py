@@ -1,0 +1,91 @@
+"""Versioned objects.
+
+O++ supports "creating persistent and versioned objects" (paper §1).  For a
+class declared ``versioned=True``, every update first snapshots the current
+state.  Snapshots are ordinary store records in a shadow cluster named
+``<cluster>#v`` — ``#`` cannot appear in a class name, so shadow clusters
+can never collide with a real class's cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ObjectNotFoundError
+from repro.ode.codec import decode_object, encode_object
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+
+_VERSION_SUFFIX = "#v"
+
+
+def version_cluster(cluster: str) -> str:
+    return cluster + _VERSION_SUFFIX
+
+
+def is_version_cluster(cluster: str) -> bool:
+    return cluster.endswith(_VERSION_SUFFIX)
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One historical state of a versioned object."""
+
+    of: Oid
+    sequence: int
+    state: Mapping[str, Any]
+
+
+class VersionManager:
+    """Snapshot and history queries for versioned objects."""
+
+    def __init__(self, store: ObjectStore, database: str):
+        self._store = store
+        self._database = database
+        self._index: Dict[Oid, List[Oid]] = {}
+        self._indexed_clusters: set = set()
+
+    def _ensure_indexed(self, cluster: str) -> None:
+        shadow = version_cluster(cluster)
+        if shadow in self._indexed_clusters:
+            return
+        for number in self._store.cluster_numbers(shadow):
+            vid = Oid(self._database, shadow, number)
+            _oid, _cls, values = decode_object(self._store.get(vid))
+            target = Oid.parse(values["of"])
+            self._index.setdefault(target, []).append(vid)
+        self._indexed_clusters.add(shadow)
+
+    def snapshot(self, oid: Oid, class_name: str,
+                 state: Mapping[str, Any]) -> Oid:
+        """Record the current state of *oid* before an update overwrites it."""
+        self._ensure_indexed(oid.cluster)
+        sequence = len(self._index.get(oid, ()))
+        vid = self._store.allocate_oid(self._database, version_cluster(oid.cluster))
+        wrapper = {"of": str(oid), "seq": sequence, "state": dict(state)}
+        self._store.put(vid, encode_object(vid, class_name, wrapper))
+        self._index.setdefault(oid, []).append(vid)
+        return vid
+
+    def history(self, oid: Oid) -> List[VersionRecord]:
+        """All snapshots of *oid*, oldest first."""
+        self._ensure_indexed(oid.cluster)
+        records = []
+        for vid in self._index.get(oid, ()):
+            _stored, _cls, values = decode_object(self._store.get(vid))
+            records.append(
+                VersionRecord(of=oid, sequence=values["seq"], state=values["state"])
+            )
+        records.sort(key=lambda record: record.sequence)
+        return records
+
+    def version_count(self, oid: Oid) -> int:
+        self._ensure_indexed(oid.cluster)
+        return len(self._index.get(oid, ()))
+
+    def get_version(self, oid: Oid, sequence: int) -> VersionRecord:
+        for record in self.history(oid):
+            if record.sequence == sequence:
+                return record
+        raise ObjectNotFoundError(f"object {oid} has no version {sequence}")

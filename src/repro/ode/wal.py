@@ -1,0 +1,148 @@
+"""Write-ahead log.
+
+The store logs logical operations (object put/delete) per transaction,
+forces the log at commit, applies the changes to pages, and truncates the
+log at checkpoint.  On open, any transactions that committed in the log but
+were not checkpointed are replayed — so a crash between commit and page
+write-back loses nothing, and a crash mid-transaction leaves no trace.
+
+Record format: ``length u32 | crc32 u32 | payload``, where the payload is a
+self-describing codec struct.  A torn final record (crash during append) is
+detected by the CRC and everything from it onward is ignored.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.errors import WalError
+from repro.ode.codec import decode_value, encode_value
+
+_FRAME = struct.Struct(">II")
+
+OP_BEGIN = "begin"
+OP_PUT = "put"
+OP_DELETE = "delete"
+OP_COMMIT = "commit"
+OP_ABORT = "abort"
+OP_CHECKPOINT = "checkpoint"
+
+_KNOWN_OPS = {OP_BEGIN, OP_PUT, OP_DELETE, OP_COMMIT, OP_ABORT, OP_CHECKPOINT}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logical log record."""
+
+    op: str
+    txid: int
+    oid: str = ""
+    payload: bytes = b""
+
+    def to_value(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "txid": self.txid,
+            "oid": self.oid,
+            # bytes are not a codec type; carry the payload as latin-1 text.
+            "payload": self.payload.decode("latin-1"),
+        }
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "WalRecord":
+        op = value.get("op", "")
+        if op not in _KNOWN_OPS:
+            raise WalError(f"unknown WAL op {op!r}")
+        return cls(
+            op=op,
+            txid=int(value.get("txid", 0)),
+            oid=value.get("oid", ""),
+            payload=value.get("payload", "").encode("latin-1"),
+        )
+
+
+class WriteAheadLog:
+    """Append-only log with CRC framing and torn-tail recovery."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = open(self.path, "a+b")
+
+    # -- append ------------------------------------------------------------------
+
+    def append(self, record: WalRecord, sync: bool = False) -> None:
+        payload = encode_value(record.to_value())
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        self._fh.seek(0, os.SEEK_END)
+        self._fh.write(frame)
+        if sync:
+            self.sync()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # -- replay --------------------------------------------------------------------
+
+    def records(self) -> Iterator[WalRecord]:
+        """Yield every intact record; stop silently at a torn tail."""
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        offset = 0
+        while offset + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(data):
+                return  # torn tail
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                return  # torn/corrupt tail
+            value, consumed = decode_value(payload, 0)
+            if consumed != length or not isinstance(value, dict):
+                raise WalError("corrupt WAL record body")
+            yield WalRecord.from_value(value)
+            offset = end
+
+    def committed_operations(self) -> List[WalRecord]:
+        """PUT/DELETE records of committed transactions since the last checkpoint."""
+        pending: Dict[int, List[WalRecord]] = {}
+        committed: List[WalRecord] = []
+        for record in self.records():
+            if record.op == OP_CHECKPOINT:
+                pending.clear()
+                committed.clear()
+            elif record.op == OP_BEGIN:
+                pending[record.txid] = []
+            elif record.op in (OP_PUT, OP_DELETE):
+                pending.setdefault(record.txid, []).append(record)
+            elif record.op == OP_COMMIT:
+                committed.extend(pending.pop(record.txid, ()))
+            elif record.op == OP_ABORT:
+                pending.pop(record.txid, None)
+        return committed
+
+    # -- checkpoint ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Truncate the log once all committed work is safely in the pages."""
+        self._fh.seek(0)
+        self._fh.truncate(0)
+        self.append(WalRecord(op=OP_CHECKPOINT, txid=0), sync=True)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

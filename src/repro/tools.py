@@ -1,0 +1,128 @@
+"""Inspection tools: dump a database without opening OdeView.
+
+``dump_database`` summarises a database directory — catalog, clusters,
+indexes, and (optionally) the objects themselves in the synthesized text
+format.  Handy for debugging and for verifying what a session persisted:
+
+    python -m repro.tools dump demo/lab.odb --objects 3
+    python -m repro.tools backup demo/lab.odb lab.json
+    python -m repro.tools restore lab.json demo2/lab.odb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.dynlink.synthesize import format_value
+from repro.ode.database import Database
+from repro.ode.opp.printer import schema_source
+
+
+def dump_schema(database: Database) -> str:
+    """The whole catalog as O++ source."""
+    return schema_source(database.schema)
+
+
+def dump_clusters(database: Database) -> str:
+    lines = ["clusters:"]
+    for class_name in database.schema.class_names():
+        count = database.objects.count(class_name)
+        versioned = database.schema.get_class(class_name).versioned
+        suffix = "  (versioned)" if versioned else ""
+        lines.append(f"  {class_name:<20} {count:>6} objects{suffix}")
+    return "\n".join(lines)
+
+
+def dump_objects(database: Database, class_name: str,
+                 limit: Optional[int] = None,
+                 privileged: bool = False) -> str:
+    lines = [f"objects of {class_name}:"]
+    for position, buffer in enumerate(database.objects.select(class_name)):
+        if limit is not None and position >= limit:
+            lines.append(f"  ... ({database.objects.count(class_name) - limit}"
+                         " more)")
+            break
+        lines.append(f"  {buffer.oid}:")
+        for name in buffer.attribute_names(privileged=privileged):
+            value = buffer.value(name, privileged=privileged)
+            rendered = format_value(value)
+            if len(rendered) == 1:
+                lines.append(f"    {name} = {rendered[0].strip()}")
+            else:
+                lines.append(f"    {name} =")
+                lines.extend(f"    {line}" for line in rendered)
+    return "\n".join(lines)
+
+
+def dump_database(directory: Union[str, Path],
+                  objects_limit: Optional[int] = None,
+                  privileged: bool = False) -> str:
+    """Full dump: schema, clusters, and optionally the objects."""
+    with Database.open(directory) as database:
+        parts = [
+            f"database {database.name} at {database.directory}",
+            "",
+            dump_schema(database),
+            "",
+            dump_clusters(database),
+        ]
+        if objects_limit is not None:
+            for class_name in database.schema.class_names():
+                parts.append("")
+                parts.append(dump_objects(database, class_name,
+                                          limit=objects_limit,
+                                          privileged=privileged))
+        return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Inspect, back up, and restore Ode databases.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    dump_cmd = commands.add_parser("dump", help="summarise a database")
+    dump_cmd.add_argument("directory", help="path to a <name>.odb directory")
+    dump_cmd.add_argument("--objects", type=int, metavar="N", default=None,
+                          help="also dump up to N objects per cluster")
+    dump_cmd.add_argument("--privileged", action="store_true",
+                          help="show private attributes (debugging mode)")
+
+    backup_cmd = commands.add_parser(
+        "backup", help="write a logical backup (JSON)")
+    backup_cmd.add_argument("directory")
+    backup_cmd.add_argument("file")
+
+    restore_cmd = commands.add_parser(
+        "restore", help="rebuild a database from a backup")
+    restore_cmd.add_argument("file")
+    restore_cmd.add_argument("directory")
+
+    options = parser.parse_args(argv)
+    try:
+        if options.command == "dump":
+            print(dump_database(options.directory,
+                                objects_limit=options.objects,
+                                privileged=options.privileged))
+        elif options.command == "backup":
+            from repro.ode.backup import dump_to_file
+
+            with Database.open(options.directory) as database:
+                dump_to_file(database, options.file)
+            print(f"backup written to {options.file}")
+        else:
+            from repro.ode.backup import load_from_file
+
+            load_from_file(options.file, options.directory).close()
+            print(f"restored into {options.directory}")
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - entry point
+    sys.exit(main())

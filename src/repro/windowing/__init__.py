@@ -1,0 +1,68 @@
+"""Generic windowing: the display protocol's window types plus backends."""
+
+from repro.windowing.events import Click, Drag, Event, EventLoop, KeyInput, MenuSelect
+from repro.windowing.nullbackend import NullBackend
+from repro.windowing.raster import RasterImage, procedural_portrait
+from repro.windowing.screen import Screen
+from repro.windowing.svgbackend import SvgBackend
+from repro.windowing.textbackend import TextBackend
+from repro.windowing.window import Window, WindowTree
+from repro.windowing.widgets import (
+    button_column,
+    button_row,
+    control_panel,
+    labelled_fields,
+)
+from repro.windowing.wintypes import (
+    DisplayResources,
+    Placement,
+    Relation,
+    ROOT,
+    WindowKind,
+    WindowSpec,
+    at,
+    below,
+    button,
+    menu,
+    oid_button,
+    panel,
+    raster_window,
+    right_of,
+    text_window,
+)
+
+__all__ = [
+    "Click",
+    "DisplayResources",
+    "Drag",
+    "Event",
+    "EventLoop",
+    "KeyInput",
+    "MenuSelect",
+    "NullBackend",
+    "Placement",
+    "ROOT",
+    "RasterImage",
+    "Relation",
+    "Screen",
+    "SvgBackend",
+    "TextBackend",
+    "Window",
+    "WindowKind",
+    "WindowSpec",
+    "WindowTree",
+    "at",
+    "below",
+    "button",
+    "button_column",
+    "button_row",
+    "control_panel",
+    "labelled_fields",
+    "menu",
+    "oid_button",
+    "panel",
+    "procedural_portrait",
+    "raster_window",
+    "right_of",
+    "text_window",
+]

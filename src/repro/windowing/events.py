@@ -1,0 +1,107 @@
+"""Events and the event loop.
+
+OdeView is event driven: "wait for interrupt for next action: X loop"
+(paper §4.2's code fragment ends in ``XtMainLoop()``).  The reproduction
+uses a synchronous queue: user actions (mouse clicks on buttons, menu
+selections, drags) are posted as events, and :class:`EventLoop` dispatches
+each to the handlers the application registered.  The scripted session
+driver posts events exactly as a real backend would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import WindowError
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: every event targets a window by name."""
+
+    window: str
+
+
+@dataclass(frozen=True)
+class Click(Event):
+    """A mouse click on a window (usually a button or icon)."""
+
+
+@dataclass(frozen=True)
+class MenuSelect(Event):
+    """A selection from a pop-up menu."""
+
+    item: str = ""
+
+
+@dataclass(frozen=True)
+class Drag(Event):
+    """A window dragged to a new absolute position."""
+
+    to_x: int = 0
+    to_y: int = 0
+
+
+@dataclass(frozen=True)
+class KeyInput(Event):
+    """Text typed into a window (the condition box, §5.2)."""
+
+    text: str = ""
+
+
+Handler = Callable[[Event], None]
+
+
+class EventLoop:
+    """A deterministic event queue with per-window and catch-all handlers."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._window_handlers: Dict[str, List[Handler]] = {}
+        self._any_handlers: List[Handler] = []
+        self.dispatched = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def on(self, window_name: str, handler: Handler) -> None:
+        """Register a handler for events targeting one window."""
+        self._window_handlers.setdefault(window_name, []).append(handler)
+
+    def on_any(self, handler: Handler) -> None:
+        """Register a handler that sees every event."""
+        self._any_handlers.append(handler)
+
+    def remove_window_handlers(self, window_name: str) -> None:
+        self._window_handlers.pop(window_name, None)
+
+    # -- posting / dispatch --------------------------------------------------------
+
+    def post(self, event: Event) -> None:
+        self._queue.append(event)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def dispatch_one(self) -> Optional[Event]:
+        """Deliver the oldest event; returns it, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        event = self._queue.pop(0)
+        handlers = list(self._window_handlers.get(event.window, ()))
+        for handler in handlers + self._any_handlers:
+            handler(event)
+        self.dispatched += 1
+        return event
+
+    def run(self, max_events: int = 10_000) -> int:
+        """Dispatch until the queue drains (handlers may post more events)."""
+        count = 0
+        while self._queue:
+            if count >= max_events:
+                raise WindowError(
+                    f"event loop did not quiesce after {max_events} events"
+                )
+            self.dispatch_one()
+            count += 1
+        return count

@@ -1,0 +1,38 @@
+"""The null backend: structure without pixels.
+
+The paper's central claim is that display functions are written against
+generic window types, so "objects can be displayed by different versions of
+OdeView which may be implemented quite differently" (§1).  This backend is
+the proof: it implements the same backend interface as
+:class:`~repro.windowing.textbackend.TextBackend` but produces a structural
+summary (one line per window) instead of a drawing.  Any session that runs
+under the text backend runs unchanged under this one — tests assert it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.windowing.window import Window, WindowTree
+
+
+class NullBackend:
+    """Backend that reports structure, never drawing anything."""
+
+    name = "null"
+
+    def render(self, tree: WindowTree) -> str:
+        lines: List[str] = []
+        for root in tree.roots():
+            self._describe(root, 0, lines)
+        return "\n".join(lines)
+
+    def _describe(self, window: Window, depth: int, lines: List[str]) -> None:
+        state = "open" if window.is_open else "closed"
+        geo = window.geometry
+        lines.append(
+            f"{'  ' * depth}{window.name} kind={window.kind.value} "
+            f"state={state} at=({geo.x},{geo.y}) size=({geo.width}x{geo.height})"
+        )
+        for child in window.children:
+            self._describe(child, depth + 1, lines)

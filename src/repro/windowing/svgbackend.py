@@ -1,0 +1,142 @@
+"""The SVG backend: a genuinely graphical third backend.
+
+The paper's separation claim (§1) is that "objects can be displayed by
+different versions of OdeView which may be implemented quite differently,
+for example, these versions may be based on different windowing systems."
+The text backend draws ASCII, the null backend reports structure — this
+one emits standalone SVG: boxes with title bars, text runs, buttons,
+menus, and raster images as pixel rectangles.  Sessions run against it
+unchanged.
+
+Geometry stays in character cells; the backend maps a cell to
+``CELL_W x CELL_H`` pixels.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.windowing.raster import RasterImage
+from repro.windowing.window import Window, WindowTree
+from repro.windowing.wintypes import WindowKind
+
+CELL_W = 8
+CELL_H = 16
+_FONT = "monospace"
+
+
+class SvgBackend:
+    """Renders a window tree to a standalone SVG document."""
+
+    name = "svg"
+
+    def render(self, tree: WindowTree) -> str:
+        body: List[str] = []
+        max_right = 0
+        max_bottom = 0
+        for root in tree.draw_order():
+            if not root.is_open:
+                continue
+            self._draw(root, 0, 0, body)
+            right = (root.geometry.x + root.geometry.width + 2) * CELL_W
+            bottom = (root.geometry.y + root.geometry.height + 2) * CELL_H
+            max_right = max(max_right, right)
+            max_bottom = max(max_bottom, bottom)
+        closed = tree.closed_roots()
+        if closed:
+            labels = " ".join(f"({window.name})" for window in closed)
+            body.append(self._text(4, max_bottom + CELL_H,
+                                   f"icons: {labels}", italic=True))
+            max_bottom += 2 * CELL_H
+            max_right = max(max_right, (len(labels) + 8) * CELL_W)
+        width = max(max_right, CELL_W)
+        height = max(max_bottom, CELL_H)
+        return "\n".join(
+            [f'<svg xmlns="http://www.w3.org/2000/svg" '
+             f'width="{width}" height="{height}" '
+             f'font-family="{_FONT}" font-size="{CELL_H - 4}">',
+             f'<rect width="{width}" height="{height}" fill="#f4f4f0"/>']
+            + body + ["</svg>"]
+        )
+
+    # -- drawing -----------------------------------------------------------------
+
+    def _draw(self, window: Window, origin_x: int, origin_y: int,
+              body: List[str]) -> None:
+        x = (origin_x + window.geometry.x) * CELL_W
+        y = (origin_y + window.geometry.y) * CELL_H
+        width = (window.geometry.width + 2) * CELL_W
+        height = (window.geometry.height + 2) * CELL_H
+        kind = window.kind
+        fill = {"button": "#dce6f2", "oid": "#dcf2dc",
+                "menu": "#f2eedc"}.get(kind.value, "#ffffff")
+        body.append(
+            f'<rect x="{x}" y="{y}" width="{width}" height="{height}" '
+            f'fill="{fill}" stroke="#333333"/>')
+        if window.spec.title:
+            body.append(
+                f'<rect x="{x}" y="{y}" width="{width}" height="{CELL_H}" '
+                f'fill="#333366"/>')
+            body.append(self._text(x + 4, y + CELL_H - 4,
+                                   window.spec.title, colour="#ffffff"))
+        inner_x = x + CELL_W
+        inner_y = y + CELL_H
+        if kind in (WindowKind.STATIC_TEXT, WindowKind.SCROLL_TEXT):
+            lines = window.text_lines()
+            start = window.scroll_offset if kind is WindowKind.SCROLL_TEXT \
+                else 0
+            visible = lines[start:start + max(window.geometry.height, 1)]
+            for row, line in enumerate(visible):
+                body.append(self._text(inner_x, inner_y + (row + 1) * CELL_H
+                                       - 4, line))
+            if kind is WindowKind.SCROLL_TEXT:
+                body.append(self._text(x + width - CELL_W,
+                                       y + 2 * CELL_H - 4, "^"))
+                body.append(self._text(x + width - CELL_W,
+                                       y + height - 4, "v"))
+        elif kind in (WindowKind.BUTTON, WindowKind.OID):
+            label = str(window.content or window.name)
+            body.append(self._text(inner_x, inner_y + CELL_H - 4,
+                                   f"[{label}]"))
+        elif kind is WindowKind.MENU:
+            for row, item in enumerate(window.content or ()):
+                body.append(self._text(inner_x,
+                                       inner_y + (row + 1) * CELL_H - 4,
+                                       str(item)))
+        elif kind is WindowKind.RASTER_IMAGE:
+            image = window.content
+            if isinstance(image, RasterImage):
+                self._draw_raster(image, inner_x, inner_y,
+                                  window.geometry.width,
+                                  window.geometry.height, body)
+        elif kind is WindowKind.PANEL:
+            for child in window.children:
+                if child.is_open:
+                    self._draw(child,
+                               origin_x + window.geometry.x + 1,
+                               origin_y + window.geometry.y + 1, body)
+
+    def _draw_raster(self, image: RasterImage, x: int, y: int,
+                     cell_width: int, cell_height: int,
+                     body: List[str]) -> None:
+        if image.width != cell_width or image.height != cell_height:
+            image = image.scale(max(cell_width, 1), max(cell_height, 1))
+        pixel_w = CELL_W
+        pixel_h = CELL_H
+        for row in range(image.height):
+            for col in range(image.width):
+                value = image.pixel(col, row)
+                if value >= 250:
+                    continue  # near-white: let the window background show
+                colour = f"#{value:02x}{value:02x}{value:02x}"
+                body.append(
+                    f'<rect x="{x + col * pixel_w}" y="{y + row * pixel_h}" '
+                    f'width="{pixel_w}" height="{pixel_h}" fill="{colour}"/>')
+
+    @staticmethod
+    def _text(x: int, y: int, content: str, colour: str = "#111111",
+              italic: bool = False) -> str:
+        style = ' font-style="italic"' if italic else ""
+        return (f'<text x="{x}" y="{y}" fill="{colour}"{style} '
+                f'xml:space="preserve">{html.escape(content)}</text>')

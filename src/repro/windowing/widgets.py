@@ -1,0 +1,82 @@
+"""Widget factories: common window assemblies OdeView uses.
+
+These are convenience builders over the generic window types — the control
+panel with its ``reset``/``next``/``previous`` buttons (paper §3.2), button
+rows, and labelled field lists.  They return :class:`WindowSpec` data only;
+nothing here touches a backend.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.windowing.wintypes import (
+    Placement,
+    ROOT,
+    WindowSpec,
+    button,
+    panel,
+    right_of,
+    below,
+    text_window,
+)
+
+
+def button_row(prefix: str, labels_and_commands: Sequence[Tuple[str, str]],
+               placement: Placement = ROOT) -> List[WindowSpec]:
+    """A horizontal row of buttons: first at *placement*, rest chained."""
+    specs: List[WindowSpec] = []
+    previous_name = None
+    for index, (label, command) in enumerate(labels_and_commands):
+        name = f"{prefix}.{command or label}.{index}"
+        place = placement if previous_name is None else right_of(previous_name)
+        specs.append(button(name, label, command, placement=place))
+        previous_name = name
+    return specs
+
+
+def control_panel(prefix: str, placement: Placement = ROOT) -> WindowSpec:
+    """The object-set window's control panel (paper §3.2):
+    reset / next / previous sequencing buttons."""
+    buttons = button_row(
+        f"{prefix}.control",
+        [("reset", "reset"), ("next", "next"), ("previous", "previous")],
+        placement=Placement(),
+    )
+    return panel(
+        f"{prefix}.control",
+        children=tuple(buttons),
+        title="control",
+        placement=placement,
+    )
+
+
+def labelled_fields(name: str, pairs: Iterable[Tuple[str, str]],
+                    title: str = "", placement: Placement = ROOT,
+                    scrollable: bool = False,
+                    height: int = 0) -> WindowSpec:
+    """A text window showing aligned ``label: value`` lines."""
+    pairs = list(pairs)
+    label_width = max((len(label) for label, _ in pairs), default=0)
+    lines = [f"{label.ljust(label_width)} : {value}" for label, value in pairs]
+    return text_window(
+        name,
+        "\n".join(lines) if lines else "(empty)",
+        title=title,
+        placement=placement,
+        scrollable=scrollable,
+        height=height,
+    )
+
+
+def button_column(prefix: str, labels_and_commands: Sequence[Tuple[str, str]],
+                  placement: Placement = ROOT) -> List[WindowSpec]:
+    """A vertical column of buttons."""
+    specs: List[WindowSpec] = []
+    previous_name = None
+    for index, (label, command) in enumerate(labels_and_commands):
+        name = f"{prefix}.{command or label}.{index}"
+        place = placement if previous_name is None else below(previous_name)
+        specs.append(button(name, label, command, placement=place))
+        previous_name = name
+    return specs

@@ -1,0 +1,213 @@
+"""Generic window types — the display protocol's vocabulary.
+
+"We have defined a set of generic window types corresponding to the kind of
+windows that are supported by most windowing systems.  Some examples of
+window types are: static text window, static text window with horizontal
+and vertical scroll bars, and raster image window.  These window types may
+be parameterized to allow the display function to choose the window sizes
+and to specify the relative placement between the windows." (paper §4.2)
+
+A display function builds :class:`WindowSpec` values — pure data — and
+returns them wrapped in :class:`DisplayResources`.  It never touches the
+backend; OdeView interprets the specs against whatever backend is active.
+The ``OID`` kind carries an object id and the name of the display format to
+invoke when clicked (paper §4.3), which is how complex-object navigation
+buttons are described without the display function knowing how navigation
+is implemented.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, Union
+
+from repro.errors import WindowError
+
+
+class WindowKind(enum.Enum):
+    """The generic window types of the protocol."""
+
+    STATIC_TEXT = "static_text"
+    SCROLL_TEXT = "scroll_text"      # static text + scroll bars
+    RASTER_IMAGE = "raster_image"
+    BUTTON = "button"
+    OID = "oid"                      # a button bound to an object reference
+    PANEL = "panel"                  # a container grouping other windows
+    MENU = "menu"                    # a pop-up list of selectable items
+
+
+class Relation(enum.Enum):
+    """How a window is positioned relative to its context."""
+
+    ROOT = "root"            # top-level; the screen tiles it
+    AT = "at"                # absolute offset within the parent (or screen)
+    BELOW = "below"          # directly below a named sibling
+    RIGHT_OF = "right_of"    # directly right of a named sibling
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Parameterised relative placement (paper §4.2)."""
+
+    relation: Relation = Relation.ROOT
+    anchor: Optional[str] = None     # sibling name for BELOW / RIGHT_OF
+    dx: int = 0
+    dy: int = 0
+
+    def __post_init__(self) -> None:
+        needs_anchor = self.relation in (Relation.BELOW, Relation.RIGHT_OF)
+        if needs_anchor and not self.anchor:
+            raise WindowError(f"placement {self.relation.value} needs an anchor")
+        if not needs_anchor and self.anchor:
+            raise WindowError(f"placement {self.relation.value} takes no anchor")
+
+
+ROOT = Placement(Relation.ROOT)
+
+
+def at(dx: int, dy: int) -> Placement:
+    return Placement(Relation.AT, dx=dx, dy=dy)
+
+
+def below(anchor: str, dx: int = 0, dy: int = 0) -> Placement:
+    return Placement(Relation.BELOW, anchor=anchor, dx=dx, dy=dy)
+
+
+def right_of(anchor: str, dx: int = 0, dy: int = 0) -> Placement:
+    return Placement(Relation.RIGHT_OF, anchor=anchor, dx=dx, dy=dy)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One parameterised generic window.
+
+    ``content`` depends on the kind: text windows carry a string, raster
+    windows a :class:`~repro.windowing.raster.RasterImage`, buttons their
+    label, menus a tuple of item labels, panels nothing.  ``command`` is an
+    abstract action tag OdeView interprets on click (e.g. ``"next"``); for
+    ``OID`` windows, ``oid`` and ``display_format`` say which object to
+    fetch and which of its display formats to invoke (paper §4.3).
+    """
+
+    name: str
+    kind: WindowKind
+    width: int = 0                   # 0 = size to content
+    height: int = 0
+    placement: Placement = ROOT
+    title: str = ""
+    content: Any = None
+    command: str = ""
+    oid: str = ""
+    display_format: str = ""
+    children: Tuple["WindowSpec", ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WindowError("window spec needs a name")
+        if self.width < 0 or self.height < 0:
+            raise WindowError(f"window {self.name!r} has negative size")
+        if self.kind is WindowKind.OID and not self.oid:
+            raise WindowError(f"OID window {self.name!r} needs an object id")
+        if self.children and self.kind is not WindowKind.PANEL:
+            raise WindowError(
+                f"only PANEL windows may have children, not {self.kind.value}"
+            )
+
+
+@dataclass(frozen=True)
+class DisplayResources:
+    """What a display function returns to OdeView (paper §4.2).
+
+    ``format_name`` identifies which display format these windows realise
+    (e.g. ``"text"`` or ``"picture"``) so the object panel can offer one
+    button per format and remember the display state per cluster.
+    """
+
+    format_name: str
+    windows: Tuple[WindowSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.format_name:
+            raise WindowError("display resources need a format name")
+        names = [spec.name for spec in self.windows]
+        if len(set(names)) != len(names):
+            raise WindowError("display resources contain duplicate window names")
+
+
+def text_window(name: str, text: str, title: str = "",
+                placement: Placement = ROOT,
+                width: int = 0, height: int = 0,
+                scrollable: bool = False) -> WindowSpec:
+    """Convenience constructor for (scrollable) text windows."""
+    return WindowSpec(
+        name=name,
+        kind=WindowKind.SCROLL_TEXT if scrollable else WindowKind.STATIC_TEXT,
+        width=width,
+        height=height,
+        placement=placement,
+        title=title,
+        content=text,
+    )
+
+
+def button(name: str, label: str, command: str,
+           placement: Placement = ROOT) -> WindowSpec:
+    return WindowSpec(
+        name=name,
+        kind=WindowKind.BUTTON,
+        placement=placement,
+        content=label,
+        command=command,
+    )
+
+
+def oid_button(name: str, label: str, oid: str, display_format: str = "",
+               placement: Placement = ROOT) -> WindowSpec:
+    """A navigation button bound to a referenced object (paper §4.3)."""
+    return WindowSpec(
+        name=name,
+        kind=WindowKind.OID,
+        placement=placement,
+        content=label,
+        oid=oid,
+        display_format=display_format,
+    )
+
+
+def raster_window(name: str, image, title: str = "",
+                  placement: Placement = ROOT) -> WindowSpec:
+    return WindowSpec(
+        name=name,
+        kind=WindowKind.RASTER_IMAGE,
+        width=getattr(image, "width", 0),
+        height=getattr(image, "height", 0),
+        placement=placement,
+        title=title,
+        content=image,
+    )
+
+
+def panel(name: str, children: Tuple[WindowSpec, ...], title: str = "",
+          placement: Placement = ROOT, width: int = 0,
+          height: int = 0) -> WindowSpec:
+    return WindowSpec(
+        name=name,
+        kind=WindowKind.PANEL,
+        width=width,
+        height=height,
+        placement=placement,
+        title=title,
+        children=tuple(children),
+    )
+
+
+def menu(name: str, items: Tuple[str, ...], title: str = "",
+         placement: Placement = ROOT) -> WindowSpec:
+    return WindowSpec(
+        name=name,
+        kind=WindowKind.MENU,
+        placement=placement,
+        title=title,
+        content=tuple(items),
+    )

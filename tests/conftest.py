@@ -1,0 +1,61 @@
+"""Shared fixtures: demo databases and OdeView applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.app import OdeView
+from repro.core.session import UserSession
+from repro.data.documents import make_documents_database
+from repro.data.labdb import make_lab_database
+from repro.data.universitydb import make_university_database
+from repro.ode.database import Database
+
+
+@pytest.fixture
+def lab_root(tmp_path):
+    """A directory holding a freshly built (and closed) lab database."""
+    make_lab_database(tmp_path).close()
+    return tmp_path
+
+
+@pytest.fixture
+def lab_db(tmp_path):
+    """An open lab database."""
+    database = make_lab_database(tmp_path)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def uni_db(tmp_path):
+    database = make_university_database(tmp_path)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def docs_db(tmp_path):
+    database = make_documents_database(tmp_path)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def empty_db(tmp_path):
+    database = Database.create(tmp_path / "empty.odb")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def app(lab_root):
+    application = OdeView(lab_root, screen_width=150)
+    yield application
+    application.shutdown()
+
+
+@pytest.fixture
+def user_session(lab_root):
+    with UserSession(lab_root, screen_width=150) as session:
+        yield session

@@ -1,0 +1,130 @@
+"""Tests for behaviours the main suites leave implicit."""
+
+import os
+
+import pytest
+
+from repro.errors import DynlinkError, SchemaError, SelectionError
+
+
+@pytest.fixture
+def session(app):
+    return app.open_database("lab")
+
+
+def _write_module(session, class_name, source):
+    path = session.database.display_dir / f"{class_name}.py"
+    path.write_text(source)
+    stat = path.stat()
+    os.utime(path, (stat.st_atime, stat.st_mtime + 10))
+    return path
+
+
+class TestChangingWindowSets:
+    MODULE = '''
+from repro.dynlink.protocol import DisplayResources, text_window
+
+FORMATS = ("text",)
+
+def display(buffer, request):
+    windows = [text_window(request.window_name("main"),
+                           buffer.value("name"))]
+    if buffer.value("id") % 2 == 0:
+        windows.append(text_window(request.window_name("extra"),
+                                   "even employee!"))
+    return DisplayResources("text", tuple(windows))
+'''
+
+    def test_stale_windows_destroyed_on_refresh(self, app, session):
+        """A display function may emit different windows per object; the
+        browser must retire windows the new resources no longer mention."""
+        _write_module(session, "employee", self.MODULE)
+        browser = session.open_object_set("employee")
+        browser.next()                       # id 0: even -> two windows
+        browser.toggle_format("text")
+        extra_name = f"{browser.path}.text.extra"
+        assert app.screen.has(extra_name)
+        browser.next()                       # id 1: odd -> extra retired
+        assert not app.screen.has(extra_name)
+        browser.next()                       # id 2: even -> extra returns
+        assert app.screen.has(extra_name)
+
+    def test_remembered_format_missing_from_other_class_ignored(self, app,
+                                                                session):
+        browser = session.open_object_set("employee")
+        browser.next()
+        browser.toggle_format("picture")
+        # department offers no picture format; the remembered state for
+        # employee must not leak into department's browser
+        other = session.open_object_set("department")
+        assert other.open_formats == []
+
+
+class TestLoaderErrorRecovery:
+    def test_broken_module_not_cached_as_broken(self, session):
+        """A syntax error is not sticky: fixing the file is enough."""
+        registry = session.registry
+        path = _write_module(session, "manager", "this is (((not python")
+        with pytest.raises(DynlinkError):
+            registry.module_for("manager")
+        _write_module(session, "manager", "FORMATS = ('text',)\n")
+        module = registry.module_for("manager")
+        assert module.FORMATS == ("text",)
+
+
+class TestErrorSurfaces:
+    def test_schema_browser_unknown_class(self, session):
+        with pytest.raises(SchemaError):
+            session.schema.open_class_info("ghost")
+
+    def test_session_driver_invalid_condition(self, user_session):
+        user_session.click_database_icon("lab")
+        with pytest.raises(SelectionError):
+            user_session.select_into_browser("lab", "employee",
+                                             "salary > 0.0")
+
+    def test_open_object_set_unknown_class(self, session):
+        with pytest.raises(SchemaError):
+            session.open_object_set("ghost")
+
+
+class TestOidWindows:
+    def test_oid_button_renders_and_clicks(self, app):
+        from repro.windowing.wintypes import oid_button
+
+        seen = []
+        app.screen.create(oid_button("ref", "dept", "lab:department:0",
+                                     "text"))
+        app.screen.on_click("ref", seen.append)
+        app.click("ref")
+        rendering = app.render()
+        assert "[dept]" in rendering
+        assert len(seen) == 1
+        window = app.screen.get("ref")
+        assert window.spec.oid == "lab:department:0"
+        assert window.spec.display_format == "text"
+
+
+class TestDisplayStateEdge:
+    def test_closing_all_formats_remembered(self, app, session):
+        browser = session.open_object_set("employee")
+        browser.next()
+        browser.toggle_format("text")
+        browser.toggle_format("text")
+        second = session.open_object_set("employee")
+        assert second.open_formats == []
+
+    def test_state_per_database(self, tmp_path):
+        """Display state is keyed by (database, class), not class alone."""
+        from repro.core.app import OdeView
+        from repro.data.labdb import make_lab_database
+
+        make_lab_database(tmp_path, name="lab").close()
+        make_lab_database(tmp_path, name="lab2").close()
+        app = OdeView(tmp_path, screen_width=250)
+        first = app.open_database("lab").open_object_set("employee")
+        first.next()
+        first.toggle_format("picture")
+        other = app.open_database("lab2").open_object_set("employee")
+        assert other.open_formats == []
+        app.shutdown()

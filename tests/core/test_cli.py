@@ -1,0 +1,205 @@
+"""Tests for the interactive CLI front end."""
+
+import pytest
+
+from repro.cli import CommandError, OdeViewCli
+
+
+@pytest.fixture
+def cli(lab_root):
+    driver = OdeViewCli(lab_root, screen_width=200)
+    yield driver
+    driver.app.shutdown()
+
+
+class TestBasics:
+    def test_empty_line_is_noop(self, cli):
+        assert cli.execute("") == ""
+
+    def test_unknown_command_rejected(self, cli):
+        with pytest.raises(CommandError):
+            cli.execute("frobnicate")
+
+    def test_help(self, cli):
+        text = cli.execute("help")
+        assert "open <db>" in text
+        assert "follow <attr>" in text
+
+    def test_databases(self, cli):
+        text = cli.execute("databases")
+        assert "[ATT] lab (closed)" in text
+        cli.execute("open lab")
+        assert "lab (open)" in cli.execute("databases")
+
+    def test_quit(self, cli):
+        assert cli.execute("quit") == "bye"
+        assert cli.done
+
+
+class TestSchemaCommands:
+    def test_open_lists_classes(self, cli):
+        out = cli.execute("open lab")
+        assert "employee" in out and "manager" in out
+
+    def test_info(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("info lab employee")
+        assert "objects in cluster : 55" in out
+
+    def test_def(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("def lab employee")
+        assert "persistent class employee {" in out
+
+    def test_zoom(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("zoom lab out")
+        assert "[emp]" in out
+        with pytest.raises(CommandError):
+            cli.execute("zoom lab sideways")
+
+    def test_missing_args_rejected(self, cli):
+        with pytest.raises(CommandError):
+            cli.execute("open")
+        with pytest.raises(CommandError):
+            cli.execute("info lab")
+
+
+class TestObjectCommands:
+    def test_objects_next_show(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("objects lab employee")
+        assert "55 objects" in out
+        assert "text, picture" in out
+        assert "(before first)" in cli.execute("browsers")
+        out = cli.execute("next")
+        assert "lab:employee:0" in out
+        out = cli.execute("show text")
+        assert "rakesh" in out
+
+    def test_prev_and_reset(self, cli):
+        cli.execute("open lab")
+        cli.execute("objects lab employee")
+        cli.execute("next")
+        cli.execute("next")
+        assert "lab:employee:0" in cli.execute("prev")
+        assert "(before first)" in cli.execute("reset")
+
+    def test_sequencing_without_browser_rejected(self, cli):
+        with pytest.raises(CommandError):
+            cli.execute("next")
+
+    def test_follow_and_back(self, cli):
+        cli.execute("open lab")
+        cli.execute("objects lab employee")
+        cli.execute("next")
+        out = cli.execute("follow dept")
+        assert "lab:department:0" in out
+        out = cli.execute("back")
+        assert "lab:employee:0" in out
+        with pytest.raises(CommandError):
+            cli.execute("back")  # root set has no parent
+
+    def test_use_and_browsers(self, cli):
+        cli.execute("open lab")
+        cli.execute("objects lab employee")
+        cli.execute("objects lab department")
+        listing = cli.execute("browsers")
+        assert "[0]" in listing and "[1]" in listing
+        assert "*[1]" in listing  # department is current
+        cli.execute("use 0")
+        assert "*[0]" in cli.execute("browsers")
+        with pytest.raises(CommandError):
+            cli.execute("use 99")
+
+    def test_select(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("select lab employee 'id >= 50'")
+        assert "selected 5 of 55" in out
+        assert "lab:employee:50" in cli.execute("next")
+
+    def test_project_and_unproject(self, cli):
+        cli.execute("open lab")
+        cli.execute("objects lab employee")
+        cli.execute("next")
+        cli.execute("show text")
+        out = cli.execute("project name,id")
+        assert "rakesh" in out
+        assert "hired" not in out.split("project")[-1]
+        assert cli.execute("unproject") == "projection cleared"
+
+    def test_close_forgets_browsers(self, cli):
+        cli.execute("open lab")
+        cli.execute("objects lab employee")
+        cli.execute("close lab")
+        assert cli.execute("browsers") == "(no open object browsers)"
+        with pytest.raises(CommandError):
+            cli.execute("next")
+
+    def test_render(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("render")
+        assert "lab: class relationships" in out
+
+
+class TestScroll:
+    def test_scroll_definition_source(self, cli):
+        cli.execute("open lab")
+        cli.execute("def lab employee")
+        out = cli.execute("scroll lab.def.employee.source 3")
+        assert "scrolled to line 3" in out
+
+    def test_scroll_bad_delta_rejected(self, cli):
+        cli.execute("open lab")
+        cli.execute("def lab employee")
+        with pytest.raises(CommandError):
+            cli.execute("scroll lab.def.employee.source sideways")
+
+    def test_scroll_non_scrollable_rejected(self, cli):
+        from repro.errors import WindowError
+
+        cli.execute("open lab")
+        with pytest.raises(WindowError):
+            cli.execute("scroll databases.icon.lab 1")
+
+
+class TestStatsAndRaise:
+    def test_stats_opens_window(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("stats lab")
+        assert "lab: statistics" in out
+        assert "cluster employee" in out
+
+    def test_stats_refreshes(self, cli):
+        cli.execute("open lab")
+        cli.execute("stats lab")
+        session = cli.app.session("lab")
+        session.database.objects.new_object("employee", {"id": 901})
+        out = cli.execute("stats lab")
+        assert "56 objects" in out
+
+    def test_raise(self, cli):
+        cli.execute("open lab")
+        out = cli.execute("raise databases")
+        assert "Ode databases" in out
+
+
+class TestVacuum:
+    def test_vacuum_reports(self, cli):
+        cli.execute("open lab")
+        session = cli.app.session("lab")
+        oids = [session.database.objects.new_object("employee", {"id": 800 + n})
+                for n in range(30)]
+        for oid in oids:
+            session.database.objects.delete(oid)
+        out = cli.execute("vacuum lab")
+        assert "vacuumed lab" in out
+        assert "fragmentation now" in out
+
+    def test_browsing_survives_vacuum(self, cli):
+        cli.execute("open lab")
+        cli.execute("objects lab employee")
+        cli.execute("next")
+        cli.execute("vacuum lab")
+        out = cli.execute("show text")
+        assert "rakesh" in out

@@ -1,0 +1,109 @@
+"""Tests for join views (paper §5.3)."""
+
+import pytest
+
+from repro.errors import OdeViewError
+from repro.core.joins import JoinView, equi_join
+
+
+class TestEquiJoin:
+    def test_employee_department_join(self, lab_db):
+        pairs = equi_join(lab_db, "employee", "dept->dname",
+                          "department", "dname")
+        assert len(pairs) == 55  # every employee matches exactly its dept
+        for employee_oid, department_oid in pairs:
+            employee = lab_db.objects.get_buffer(employee_oid)
+            assert employee.value("dept") == department_oid
+
+    def test_join_key_expression(self, lab_db):
+        # self-join on id parity buckets would be huge; join on exact id
+        pairs = equi_join(lab_db, "employee", "id", "employee", "id")
+        assert len(pairs) == 55  # each employee pairs with itself
+
+    def test_no_matches(self, lab_db):
+        pairs = equi_join(lab_db, "employee", 'name + "x"',
+                          "department", "dname")
+        assert pairs == []
+
+    def test_deterministic_order(self, lab_db):
+        first = equi_join(lab_db, "employee", "dept->dname",
+                          "department", "dname")
+        second = equi_join(lab_db, "employee", "dept->dname",
+                           "department", "dname")
+        assert first == second
+
+    def test_null_keys_skipped(self, lab_db):
+        lab_db.objects.new_object("employee", {"name": "nodept", "id": 90})
+        pairs = equi_join(lab_db, "employee", "dept->dname",
+                          "department", "dname")
+        assert all(oid.number != 90 for oid, _ in pairs)
+
+
+class TestJoinView:
+    @pytest.fixture
+    def view(self, app, lab_db_session):
+        session = lab_db_session
+        pairs = equi_join(session.database, "employee", "dept->dname",
+                          "department", "dname")
+        return JoinView(app.ctx, session.database, pairs[:4],
+                        registry=session.registry)
+
+    @pytest.fixture
+    def lab_db_session(self, app):
+        return app.open_database("lab")
+
+    def test_empty_pairs_rejected(self, app, lab_db_session):
+        with pytest.raises(OdeViewError):
+            JoinView(app.ctx, lab_db_session.database, [])
+
+    def test_ragged_tuples_rejected(self, app, lab_db_session):
+        database = lab_db_session.database
+        a = database.objects.cluster("employee").first()
+        b = database.objects.cluster("department").first()
+        with pytest.raises(OdeViewError):
+            JoinView(app.ctx, database, [(a, b), (a,)])
+
+    def test_sequencing_over_pairs(self, view):
+        assert view.current() is None
+        pair = view.next()
+        assert pair[0].cluster == "employee"
+        assert pair[1].cluster == "department"
+        view.next()
+        assert view.previous() == view.pairs[0]
+        view.reset()
+        assert view.current() is None
+
+    def test_both_sides_displayed_simultaneously(self, app, view):
+        """Paper §5.3: all joined objects shown, each via its own display fn."""
+        view.next()
+        rendering = app.render()
+        assert "rakesh" in rendering            # employee display function
+        assert "db research" in rendering       # department display function
+
+    def test_next_at_end_stays(self, app, lab_db_session):
+        pairs = equi_join(lab_db_session.database, "employee", "dept->dname",
+                          "department", "dname")
+        view = JoinView(app.ctx, lab_db_session.database, pairs[:1],
+                        registry=lab_db_session.registry)
+        view.next()
+        assert view.next() is None
+        assert view.current() == view.pairs[0]
+
+    def test_control_panel_buttons_wired(self, app, view):
+        app.click(f"{view.path}.control.next.1")
+        assert view.index == 0
+        app.click(f"{view.path}.control.reset.0")
+        assert view.current() is None
+
+    def test_status_line(self, app, view):
+        view.next()
+        status = app.screen.get(f"{view.path}.status").content
+        assert status.startswith("pair 1/4")
+
+    def test_destroy(self, app, view):
+        view.next()
+        names = list(view._display_windows)
+        view.destroy()
+        for name in names:
+            assert not app.screen.has(name)
+        assert not app.screen.has(f"{view.path}.status")

@@ -1,0 +1,114 @@
+"""Tests for projection (paper §5.1)."""
+
+import pytest
+
+from repro.errors import ProjectionError
+from repro.core.projection import ProjectionPanel
+
+
+@pytest.fixture
+def browser(app):
+    session = app.open_database("lab")
+    browser = session.open_object_set("employee")
+    browser.next()
+    browser.toggle_format("text")
+    return browser
+
+
+@pytest.fixture
+def panel(app, browser):
+    return ProjectionPanel(browser)
+
+
+class TestBrowserProjection:
+    def test_project_filters_display(self, app, browser):
+        browser.project(["name", "id"])
+        content = app.screen.get(f"{browser.path}.text.text").content
+        assert "name" in content and "id" in content
+        assert "hired" not in content
+        assert "addr" not in content
+
+    def test_projection_kept_across_sequencing(self, app, browser):
+        browser.project(["name"])
+        browser.next()
+        content = app.screen.get(f"{browser.path}.text.text").content
+        assert "narain" in content
+        assert "hired" not in content
+
+    def test_clear_projection_restores_full_display(self, app, browser):
+        browser.project(["name"])
+        browser.clear_projection()
+        content = app.screen.get(f"{browser.path}.text.text").content
+        assert "hired" in content
+
+    def test_project_all(self, app, browser):
+        browser.project_all()
+        content = app.screen.get(f"{browser.path}.text.text").content
+        assert "years" in content
+
+    def test_unknown_attribute_rejected(self, browser):
+        with pytest.raises(ProjectionError):
+            browser.project(["ghost"])
+
+    def test_displaylist_comes_from_module(self, browser):
+        assert browser.displaylist() == [
+            "name", "id", "hired", "addr", "dept", "years_service"]
+
+
+class TestProjectionPanel:
+    def test_panel_has_attribute_buttons_and_all(self, app, panel, browser):
+        for attr in browser.displaylist():
+            assert app.screen.has(panel.attribute_button_name(attr))
+        assert app.screen.has(f"{panel.window_name}.all")
+        assert app.screen.has(f"{panel.window_name}.apply")
+
+    def test_toggle_marks_selection(self, app, panel):
+        app.click(panel.attribute_button_name("name"))
+        assert panel.selected == ["name"]
+        assert app.screen.get(
+            panel.attribute_button_name("name")).content.startswith("*")
+        app.click(panel.attribute_button_name("name"))
+        assert panel.selected == []
+
+    def test_apply_projects_in_displaylist_order(self, app, panel, browser):
+        app.click(panel.attribute_button_name("id"))
+        app.click(panel.attribute_button_name("name"))  # clicked second
+        app.click(f"{panel.window_name}.apply")
+        bits = list(browser.bitvec)
+        displaylist = browser.displaylist()
+        assert bits[displaylist.index("name")] is True
+        assert bits[displaylist.index("id")] is True
+        assert sum(bits) == 2
+
+    def test_all_button(self, app, panel, browser):
+        app.click(f"{panel.window_name}.all")
+        app.click(f"{panel.window_name}.apply")
+        assert all(browser.bitvec)
+
+    def test_apply_without_selection_rejected(self, panel):
+        with pytest.raises(ProjectionError):
+            panel.apply()
+
+    def test_clear_button_resets(self, app, panel, browser):
+        app.click(panel.attribute_button_name("name"))
+        app.click(f"{panel.window_name}.apply")
+        app.click(f"{panel.window_name}.clear")
+        assert panel.selected == []
+        assert browser.bitvec is None
+
+    def test_project_button_toggles_panel_visibility(self, app, panel,
+                                                     browser):
+        assert app.screen.get(panel.window_name).is_open
+        app.click(browser.project_button_name())
+        assert not app.screen.get(panel.window_name).is_open
+        app.click(browser.project_button_name())
+        assert app.screen.get(panel.window_name).is_open
+
+    def test_empty_displaylist_rejected(self, app):
+        session = app.open_database("lab")
+        (session.database.display_dir / "department.py").write_text(
+            "def displaylist():\n    return []\n")
+        browser = session.open_object_set("department")
+        browser.next()
+        with pytest.raises(ProjectionError):
+            ProjectionPanel(browser)

@@ -1,0 +1,117 @@
+"""Tests for schema browsing windows (Figures 2-5)."""
+
+import pytest
+
+
+@pytest.fixture
+def session(app):
+    return app.open_database("lab")
+
+
+class TestSchemaWindow:
+    def test_schema_window_opens_with_database(self, app, session):
+        assert app.screen.has("lab.schema")
+        rendering = app.render()
+        assert "lab: class relationships" in rendering
+
+    def test_all_classes_shown_as_nodes(self, app, session):
+        for class_name in ("employee", "department", "manager"):
+            assert app.screen.has(f"lab.schema.node.{class_name}")
+
+    def test_manager_below_its_bases(self, app, session):
+        app.render()
+        manager_y = app.screen.get("lab.schema.node.manager").geometry.y
+        employee_y = app.screen.get("lab.schema.node.employee").geometry.y
+        assert manager_y > employee_y
+
+    def test_zoom_in_widens(self, app, session):
+        app.render()
+        width_before = app.screen.get("lab.schema").geometry.width
+        session.schema.zoom_in()
+        app.render()
+        assert app.screen.get("lab.schema").geometry.width > width_before
+
+    def test_zoom_out_truncates_labels(self, app, session):
+        session.schema.zoom_out()
+        rendering = app.render()
+        assert "[emp]" in rendering
+        assert "[employee]" not in rendering
+        session.schema.zoom_in()
+        assert "[employee]" in app.render()
+
+    def test_rebuild_after_schema_evolution(self, app, session):
+        from repro.ode.classdef import OdeClass
+
+        session.database.define_class(OdeClass("intern",
+                                                bases=("employee",)))
+        session.schema.rebuild()
+        assert app.screen.has("lab.schema.node.intern")
+
+
+class TestClassInfoWindow:
+    def test_click_node_opens_info(self, app, session):
+        app.click("lab.schema.node.employee")
+        assert app.screen.has("lab.info.employee")
+
+    def test_figure3_employee(self, app, session):
+        """Figure 3: no superclass, one subclass manager, 55 objects."""
+        session.schema.open_class_info("employee")
+        rendering = app.render()
+        assert "objects in cluster : 55" in rendering
+        assert app.screen.has("lab.info.employee.subs.manager")
+        assert app.screen.has("lab.info.employee.supers.none")  # "(none)"
+
+    def test_figure5_manager(self, app, session):
+        """Figure 5: superclasses employee+department, none below, 7 objects."""
+        session.schema.open_class_info("manager")
+        rendering = app.render()
+        assert "objects in cluster : 7" in rendering
+        assert app.screen.has("lab.info.manager.supers.employee")
+        assert app.screen.has("lab.info.manager.supers.department")
+        assert app.screen.has("lab.info.manager.subs.none")
+
+    def test_click_subclass_opens_its_info(self, app, session):
+        session.schema.open_class_info("employee")
+        app.click("lab.info.employee.subs.manager")
+        assert app.screen.has("lab.info.manager")
+
+    def test_click_superclass_opens_its_info(self, app, session):
+        session.schema.open_class_info("manager")
+        app.click("lab.info.manager.supers.department")
+        assert app.screen.has("lab.info.department")
+
+    def test_reopening_replaces_window(self, app, session):
+        session.schema.open_class_info("employee")
+        session.schema.open_class_info("employee")
+        assert session.schema.info_open.count("lab.info.employee") == 1
+
+    def test_several_info_windows_coexist(self, app, session):
+        session.schema.open_class_info("employee")
+        session.schema.open_class_info("department")
+        assert app.screen.has("lab.info.employee")
+        assert app.screen.has("lab.info.department")
+
+
+class TestClassDefinitionWindow:
+    def test_definition_button_opens_window(self, app, session):
+        session.schema.open_class_info("employee")
+        app.click("lab.info.employee.showdef")
+        assert app.screen.has("lab.def.employee")
+
+    def test_definition_is_opp_source(self, app, session):
+        session.schema.open_class_definition("employee")
+        source = app.screen.get("lab.def.employee.source").content
+        assert source.startswith("persistent class employee {")
+        assert "char name[20];" in source
+        assert "department *dept;" in source
+        assert "constraint:" in source
+
+    def test_definition_window_has_objects_button(self, app, session):
+        session.schema.open_class_definition("employee")
+        assert app.screen.has("lab.def.employee.objects")
+
+    def test_objects_button_opens_object_set(self, app, session):
+        session.schema.open_class_definition("employee")
+        app.click("lab.def.employee.objects")
+        assert len(session.object_sets) == 1
+        assert session.object_sets[0].node.class_name == "employee"

@@ -1,0 +1,118 @@
+"""Tests for the interactive selection window (menus + condition box)."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.core.selectionpanel import SelectionPanel, parse_value
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("42") == 42
+        assert parse_value(" -3 ") == -3
+
+    def test_float(self):
+        assert parse_value("3.5") == 3.5
+
+    def test_bool(self):
+        assert parse_value("true") is True
+        assert parse_value("false") is False
+
+    def test_quoted_string(self):
+        assert parse_value('"rakesh"') == "rakesh"
+        assert parse_value("'x'") == "x"
+
+    def test_bare_string(self):
+        assert parse_value("rakesh") == "rakesh"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SelectionError):
+            parse_value("   ")
+
+
+@pytest.fixture
+def panel(app):
+    session = app.open_database("lab")
+    return SelectionPanel(session, "employee")
+
+
+class TestPanel:
+    def test_windows_created(self, app, panel):
+        for part in ("attrs", "ops", "value", "add", "condition", "apply"):
+            assert app.screen.has(panel.part(part))
+        rendering = app.render()
+        assert "select employee" in rendering
+        assert "condition box" in rendering
+
+    def test_attribute_menu_lists_selectlist(self, app, panel):
+        window = app.screen.get(panel.part("attrs"))
+        assert window.content == ("name", "id", "hired", "years_service")
+
+    def test_menu_scheme_flow(self, app, panel):
+        app.screen.select_menu_item(panel.part("attrs"), "id")
+        app.screen.select_menu_item(panel.part("ops"), "<")
+        app.screen.type_text(panel.part("value"), "5")
+        app.click(panel.part("add"))
+        assert panel.builder.source() == "id < 5"
+        browser = panel.apply()
+        assert browser.node.member_count() == 5
+
+    def test_add_without_picks_rejected(self, panel):
+        with pytest.raises(SelectionError):
+            panel.add_condition()
+
+    def test_condition_box_flow(self, app, panel):
+        app.screen.type_text(panel.part("condition"),
+                             'years_service > 12 && id < 20')
+        assert "years_service > 12" in \
+            app.screen.get(panel.part("condition")).content
+        browser = panel.apply()
+        assert browser.node.member_count() == 3
+
+    def test_condition_box_validates_immediately(self, app, panel):
+        with pytest.raises(SelectionError):
+            app.screen.type_text(panel.part("condition"), "salary > 0.0")
+
+    def test_both_schemes_combine(self, app, panel):
+        app.screen.select_menu_item(panel.part("attrs"), "id")
+        app.screen.select_menu_item(panel.part("ops"), "<")
+        app.screen.type_text(panel.part("value"), "10")
+        app.click(panel.part("add"))
+        app.screen.type_text(panel.part("condition"), "id % 3 == 0")
+        browser = panel.apply()
+        assert browser.node.member_count() == 4  # 0,3,6,9
+
+    def test_string_value_condition(self, app, panel):
+        app.screen.select_menu_item(panel.part("attrs"), "name")
+        app.screen.select_menu_item(panel.part("ops"), "==")
+        app.screen.type_text(panel.part("value"), '"rakesh"')
+        app.click(panel.part("add"))
+        browser = panel.apply()
+        assert browser.node.member_count() == 1
+
+    def test_clear(self, app, panel):
+        app.screen.type_text(panel.part("condition"), "id < 5")
+        app.click(panel.part("clear"))
+        assert "(condition box: empty)" in \
+            app.screen.get(panel.part("condition")).content
+        with pytest.raises(SelectionError):
+            panel.apply()
+
+    def test_result_browsed_like_any_cluster(self, app, panel):
+        app.screen.type_text(panel.part("condition"), "id >= 53")
+        browser = panel.apply()
+        report = browser.next()
+        assert report.result.number == 53
+        browser.toggle_format("text")
+        assert "wendy" in app.render()  # employee 53
+
+    def test_destroy(self, app, panel):
+        panel.destroy()
+        assert not app.screen.has(panel.window_name)
+
+    def test_empty_selectlist_rejected(self, app):
+        session = app.open_database("lab")
+        (session.database.display_dir / "department.py").write_text(
+            "def selectlist():\n    return []\n")
+        with pytest.raises(SelectionError):
+            SelectionPanel(session, "department")

@@ -1,0 +1,59 @@
+"""Tests for the scripted session driver."""
+
+import pytest
+
+from repro.errors import SessionError
+
+
+def test_snapshot_and_transcript(user_session):
+    user_session.snapshot("start")
+    user_session.click_database_icon("lab")
+    user_session.snapshot("opened")
+    assert "Ode databases" in user_session.rendering("start")
+    assert "class relationships" in user_session.rendering("opened")
+    transcript = user_session.transcript()
+    assert "=== start ===" in transcript
+    assert "=== opened ===" in transcript
+
+
+def test_rendering_unknown_label_rejected(user_session):
+    with pytest.raises(SessionError):
+        user_session.rendering("ghost")
+
+
+def test_full_paper_walk(user_session):
+    session = user_session.click_database_icon("lab")
+    user_session.click_class_node("lab", "employee")
+    user_session.click_definition_button("lab", "employee")
+    browser = user_session.click_objects_button("lab", "employee")
+    user_session.click_control(browser, "next")
+    user_session.click_format_button(browser, "text")
+    assert "rakesh" in user_session.app.render()
+    dept = user_session.click_reference_button(browser, "dept")
+    user_session.click_format_button(dept, "text")
+    assert "db research" in user_session.app.render()
+
+
+def test_objects_button_requires_definition_window(user_session):
+    user_session.click_database_icon("lab")
+    with pytest.raises(Exception):
+        user_session.click_objects_button("lab", "employee")
+
+
+def test_open_projection_memoised(user_session):
+    user_session.click_database_icon("lab")
+    user_session.click_class_node("lab", "employee")
+    user_session.click_definition_button("lab", "employee")
+    browser = user_session.click_objects_button("lab", "employee")
+    browser.next()
+    panel = user_session.open_projection(browser)
+    again = user_session.open_projection(browser)
+    assert panel is again
+
+
+def test_context_manager_shuts_down(lab_root):
+    from repro.core.session import UserSession
+
+    with UserSession(lab_root) as session:
+        session.click_database_icon("lab")
+    assert session.app.sessions == {}

@@ -1,0 +1,56 @@
+"""Tests for the statistics window."""
+
+import pytest
+
+from repro.core.statistics import StatisticsWindow, gather_statistics
+
+
+@pytest.fixture
+def session(app):
+    return app.open_database("lab")
+
+
+def test_gather_covers_clusters_and_pool(session):
+    rows = dict(gather_statistics(session))
+    assert rows["cluster employee"] == "55 objects"
+    assert rows["cluster manager"] == "7 objects"
+    assert rows["indexes"] == "(none)"
+    assert "pool hits / misses" in rows
+
+
+def test_gather_lists_indexes(session):
+    session.database.objects.indexes.create_index("employee", "id")
+    rows = dict(gather_statistics(session))
+    assert rows["index employee.id"] == "55 entries"
+    assert "indexes" not in rows
+
+
+def test_window_renders(app, session):
+    StatisticsWindow(session)
+    rendering = app.render()
+    assert "lab: statistics" in rendering
+    assert "cluster employee" in rendering
+    assert "[refresh]" in rendering
+
+
+def test_refresh_updates_counts(app, session):
+    stats_window = StatisticsWindow(session)
+    session.database.objects.new_object("employee", {"id": 900})
+    app.click(f"{stats_window.window_name}.refresh")
+    body = app.screen.get(f"{stats_window.window_name}.body").content
+    assert "56 objects" in body
+
+
+def test_display_loader_stats_shown(app, session):
+    browser = session.open_object_set("employee")
+    browser.next()
+    browser.toggle_format("text")
+    stats_window = StatisticsWindow(session)
+    body = app.screen.get(f"{stats_window.window_name}.body").content
+    assert "display modules loaded" in body
+
+
+def test_destroy(app, session):
+    stats_window = StatisticsWindow(session)
+    stats_window.destroy()
+    assert not app.screen.has(stats_window.window_name)

@@ -1,0 +1,103 @@
+"""Tests for synchronized browsing (paper §3.4 / §4.4)."""
+
+import pytest
+
+from repro.errors import OdeViewError
+from repro.core.navigation import SetNode
+from repro.core.sync import network_paths, sequence, subtree_refresh_counts
+
+
+@pytest.fixture
+def network(lab_db):
+    """employee -> dept -> mgr, plus dept -> employees (Figure 9 network)."""
+    root = SetNode(lab_db.objects, "employee", "emp")
+    root.next()
+    dept = root.child("dept")
+    dept.child("mgr")
+    dept.child("employees")
+    return root
+
+
+def test_next_propagates_down_whole_network(network):
+    dept_before = network.child("dept").current
+    report = sequence(network, "next")
+    assert report.result.number == 1
+    assert report.refreshed_paths == (
+        "emp", "emp.dept", "emp.dept.mgr", "emp.dept.employees")
+    assert network.child("dept").current != dept_before
+
+
+def test_chain_shows_new_employees_manager(network, lab_db):
+    """Figure 10: after next, the displayed manager is the new employee's."""
+    sequence(network, "next")
+    employee = network.buffer()
+    dept = network.child("dept")
+    assert dept.current == employee.value("dept")
+    mgr = dept.child("mgr")
+    dept_buffer = lab_db.objects.get_buffer(dept.current)
+    assert mgr.current == dept_buffer.value("mgr")
+
+
+def test_set_child_restarts_at_first_member(network):
+    colleagues = network.child("dept").child("employees")
+    colleagues.next()
+    colleagues.next()
+    sequence(network, "next")
+    assert colleagues.current == colleagues.members()[0]
+
+
+def test_sequencing_at_inner_node_refreshes_subtree_only(network):
+    colleagues = network.child("dept").child("employees")
+    report = sequence(colleagues, "next")
+    assert report.refreshed_paths == ("emp.dept.employees",)
+    # ancestors untouched
+    assert network.refreshes == subtree_refresh_counts(network)["emp"]
+
+
+def test_reset_propagates(network):
+    report = sequence(network, "reset")
+    assert report.result is None
+    assert network.current is None
+    assert network.child("dept").current is None
+
+
+def test_previous_at_front_refreshes_nothing(network):
+    report = sequence(network, "previous")
+    assert report.result is None
+    assert report.refreshed_paths == ()
+
+
+def test_sequencing_non_set_node_rejected(network):
+    with pytest.raises(OdeViewError):
+        sequence(network.child("dept"), "next")
+
+
+def test_unknown_op_rejected(network):
+    with pytest.raises(OdeViewError):
+        sequence(network, "sideways")
+
+
+def test_network_paths(network):
+    assert network_paths(network) == [
+        "emp", "emp.dept", "emp.dept.mgr", "emp.dept.employees"]
+
+
+def test_refresh_counts_monotone(network):
+    before = subtree_refresh_counts(network)
+    sequence(network, "next")
+    after = subtree_refresh_counts(network)
+    for path in before:
+        assert after[path] >= before[path]
+
+
+def test_closed_windows_still_refresh_via_callbacks(network):
+    """§4.4: refresh happens irrespective of window open/closed state.
+
+    At the navigation level this means callbacks fire for every node in the
+    subtree, whether or not anything visible is attached.
+    """
+    seen = []
+    network.child("dept").on_refresh.append(
+        lambda node: seen.append(node.current))
+    sequence(network, "next")
+    assert len(seen) == 1

@@ -1,0 +1,68 @@
+"""Tests for the dump tool."""
+
+import pytest
+
+from repro.tools import dump_clusters, dump_database, dump_objects, dump_schema, main
+from repro.data.labdb import open_lab_database
+
+
+def test_dump_schema_is_opp(lab_root):
+    with open_lab_database(lab_root / "lab.odb") as database:
+        text = dump_schema(database)
+    assert "persistent class employee {" in text
+    assert "struct Address {" in text
+
+
+def test_dump_clusters(lab_root):
+    with open_lab_database(lab_root / "lab.odb") as database:
+        text = dump_clusters(database)
+    assert "employee                 55 objects" in text
+    assert "manager                   7 objects" in text
+
+
+def test_dump_objects_limit(lab_root):
+    with open_lab_database(lab_root / "lab.odb") as database:
+        text = dump_objects(database, "employee", limit=2)
+    assert "lab:employee:0" in text
+    assert "lab:employee:1" in text
+    assert "lab:employee:2" not in text
+    assert "(53 more)" in text
+
+
+def test_dump_objects_respects_encapsulation(lab_root):
+    with open_lab_database(lab_root / "lab.odb") as database:
+        public = dump_objects(database, "employee", limit=1)
+        private = dump_objects(database, "employee", limit=1,
+                               privileged=True)
+    assert "salary" not in public
+    assert "salary" in private
+
+
+def test_dump_database_whole(lab_root):
+    text = dump_database(lab_root / "lab.odb", objects_limit=1)
+    assert "database lab at" in text
+    assert "clusters:" in text
+    assert "lab:employee:0" in text
+
+
+def test_main_cli(lab_root, capsys):
+    assert main(["dump", str(lab_root / "lab.odb"), "--objects", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "clusters:" in out
+
+
+def test_main_cli_error(tmp_path, capsys):
+    assert main(["dump", str(tmp_path / "missing.odb")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_main_backup_restore(lab_root, tmp_path, capsys):
+    backup_file = tmp_path / "lab.json"
+    assert main(["backup", str(lab_root / "lab.odb"), str(backup_file)]) == 0
+    assert backup_file.exists()
+    assert main(["restore", str(backup_file),
+                 str(tmp_path / "restored.odb")]) == 0
+    out = capsys.readouterr().out
+    assert "restored into" in out
+    with open_lab_database(tmp_path / "restored.odb") as database:
+        assert database.objects.count("employee") == 55

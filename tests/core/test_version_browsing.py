@@ -1,0 +1,79 @@
+"""Tests for version-history browsing of versioned classes."""
+
+import pytest
+
+from repro.core.app import OdeView
+from repro.data.universitydb import make_university_database
+
+
+@pytest.fixture
+def uni_app(tmp_path):
+    database = make_university_database(tmp_path)
+    course = database.objects.cluster("course").first()
+    database.objects.update(course, {"enrollment": 130})
+    database.objects.update(course, {"enrollment": 140})
+    database.close()
+    app = OdeView(tmp_path, screen_width=220)
+    yield app
+    app.shutdown()
+
+
+@pytest.fixture
+def browser(uni_app):
+    session = uni_app.open_database("university")
+    browser = session.open_object_set("course")
+    browser.next()
+    return browser
+
+
+def test_versioned_class_gets_versions_button(uni_app, browser):
+    assert browser.versioned
+    assert uni_app.screen.has(browser.versions_button_name())
+
+
+def test_unversioned_class_has_no_button(uni_app):
+    session = uni_app.open_database("university")
+    student_browser = session.open_object_set("student")
+    assert not student_browser.versioned
+    assert not uni_app.screen.has(student_browser.versions_button_name())
+
+
+def test_versions_button_opens_history(uni_app, browser):
+    uni_app.click(browser.versions_button_name())
+    window = uni_app.screen.get(browser.versions_window_name())
+    assert "v0:" in window.content
+    assert "enrollment=120" in window.content
+    assert "enrollment=130" in window.content
+
+
+def test_history_refreshes_on_sequencing(uni_app, browser):
+    uni_app.click(browser.versions_button_name())
+    browser.next()  # second course: no history
+    window = uni_app.screen.get(browser.versions_window_name())
+    assert window.content == "(no previous versions)"
+    browser.previous()
+    assert "enrollment=120" in \
+        uni_app.screen.get(browser.versions_window_name()).content
+
+
+def test_history_before_first_object(uni_app, browser):
+    browser.reset()
+    browser.show_versions()
+    window = uni_app.screen.get(browser.versions_window_name())
+    assert window.content == "(no current object)"
+
+
+def test_show_versions_on_unversioned_rejected(uni_app):
+    from repro.errors import OdeViewError
+
+    session = uni_app.open_database("university")
+    student_browser = session.open_object_set("student")
+    with pytest.raises(OdeViewError):
+        student_browser.show_versions()
+
+
+def test_destroy_removes_history_window(uni_app, browser):
+    browser.show_versions()
+    name = browser.versions_window_name()
+    browser.destroy()
+    assert not uni_app.screen.has(name)

@@ -1,0 +1,85 @@
+"""Tests for DAG layer assignment."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.dagplace.layering import (
+    assign_layers,
+    check_dag,
+    insert_virtual_nodes,
+    layers_to_rows,
+)
+
+
+class TestCheckDag:
+    def test_acyclic_accepted(self):
+        check_dag(["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(LayoutError):
+            check_dag(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(LayoutError):
+            check_dag(["a"], [("a", "a")])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(LayoutError):
+            check_dag(["a"], [("a", "ghost")])
+
+    def test_deep_graph_does_not_overflow(self):
+        nodes = [f"n{i}" for i in range(5000)]
+        edges = [(f"n{i}", f"n{i + 1}") for i in range(4999)]
+        check_dag(nodes, edges)  # iterative DFS: no RecursionError
+
+
+class TestAssignLayers:
+    def test_sources_at_zero(self):
+        layers = assign_layers(["a", "b"], [("a", "b")])
+        assert layers == {"a": 0, "b": 1}
+
+    def test_longest_path_wins(self):
+        # a -> b -> d and a -> d: d must sit below b
+        layers = assign_layers(["a", "b", "d"],
+                               [("a", "b"), ("b", "d"), ("a", "d")])
+        assert layers == {"a": 0, "b": 1, "d": 2}
+
+    def test_forest(self):
+        layers = assign_layers(["a", "b", "x"], [("a", "b")])
+        assert layers["x"] == 0
+
+    def test_multiple_inheritance(self):
+        layers = assign_layers(
+            ["employee", "department", "manager"],
+            [("employee", "manager"), ("department", "manager")])
+        assert layers["manager"] == 1
+
+    def test_rows_preserve_declaration_order(self):
+        layers = assign_layers(["b", "a", "c"], [("b", "c"), ("a", "c")])
+        rows = layers_to_rows(layers, ["b", "a", "c"])
+        assert rows == [["b", "a"], ["c"]]
+
+    def test_empty(self):
+        assert layers_to_rows({}, []) == []
+
+
+class TestVirtualNodes:
+    def test_short_edges_untouched(self):
+        layers = assign_layers(["a", "b"], [("a", "b")])
+        rows = layers_to_rows(layers, ["a", "b"])
+        rows2, segments, virtuals = insert_virtual_nodes(
+            rows, [("a", "b")], layers)
+        assert segments == [("a", "b")]
+        assert virtuals[("a", "b")] == []
+
+    def test_long_edge_split(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        layers = assign_layers(nodes, edges)
+        rows = layers_to_rows(layers, nodes)
+        rows2, segments, virtuals = insert_virtual_nodes(rows, edges, layers)
+        chain = virtuals[("a", "c")]
+        assert len(chain) == 1  # spans 2 layers -> one virtual node
+        assert ("a", chain[0]) in segments
+        assert (chain[0], "c") in segments
+        assert chain[0] in rows2[1]

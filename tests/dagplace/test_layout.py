@@ -1,0 +1,125 @@
+"""Tests for coordinate assignment and the placement facade."""
+
+import pytest
+
+from repro.dagplace.coords import assign_coordinates
+from repro.dagplace.layout import place, place_naive
+
+
+class TestCoordinates:
+    def test_separation_respected(self):
+        rows = [["a", "b", "c"], ["x"]]
+        x = assign_coordinates(rows, [("a", "x"), ("b", "x"), ("c", "x")],
+                               separation=4.0)
+        assert x["b"] - x["a"] >= 4.0 - 1e-9
+        assert x["c"] - x["b"] >= 4.0 - 1e-9
+
+    def test_order_preserved(self):
+        rows = [["a", "b"], ["x", "y"]]
+        x = assign_coordinates(rows, [("a", "x"), ("b", "y")])
+        assert x["a"] < x["b"]
+        assert x["x"] < x["y"]
+
+    def test_child_pulled_toward_parents(self):
+        # x has two parents at the ends; it should sit between them
+        rows = [["a", "b", "c"], ["x"]]
+        x = assign_coordinates(rows, [("a", "x"), ("c", "x")], separation=4.0)
+        assert x["a"] < x["x"] < x["c"]
+
+    def test_origin_shifted_to_zero(self):
+        rows = [["a"], ["x"]]
+        x = assign_coordinates(rows, [("a", "x")])
+        assert min(x.values()) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert assign_coordinates([], []) == {}
+
+
+class TestPlacement:
+    NODES = ["person", "unit", "student", "staff", "faculty", "ta",
+             "professor"]
+    EDGES = [("person", "student"), ("person", "staff"),
+             ("staff", "faculty"), ("student", "ta"), ("staff", "ta"),
+             ("faculty", "professor")]
+
+    def test_rows_contain_real_nodes_only(self):
+        placement = place(self.NODES, self.EDGES)
+        flattened = [node for row in placement.rows for node in row]
+        assert sorted(flattened) == sorted(self.NODES)
+
+    def test_layers_consistent(self):
+        placement = place(self.NODES, self.EDGES)
+        for src, dst in self.EDGES:
+            assert placement.layer_of[src] < placement.layer_of[dst]
+
+    def test_every_node_positioned(self):
+        placement = place(self.NODES, self.EDGES)
+        for node in self.NODES:
+            x, layer = placement.position(node)
+            assert x >= 0
+            assert 0 <= layer < placement.depth
+
+    def test_minimised_never_worse_than_naive(self):
+        crossing_nodes = ["a", "b", "c", "x", "y", "z"]
+        crossing_edges = [("a", "z"), ("b", "y"), ("c", "x"),
+                          ("a", "y"), ("b", "x")]
+        optimised = place(crossing_nodes, crossing_edges)
+        naive = place_naive(crossing_nodes, crossing_edges)
+        assert optimised.crossings <= naive.crossings
+
+    def test_barycenter_beats_naive_on_reversal(self):
+        nodes = ["a", "b", "c", "x", "y", "z"]
+        edges = [("a", "z"), ("b", "y"), ("c", "x")]  # full reversal
+        assert place(nodes, edges).crossings == 0
+        assert place_naive(nodes, edges).crossings == 3
+
+    def test_long_edges_get_bend_points(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        placement = place(nodes, edges)
+        assert len(placement.bend_points[("a", "c")]) == 1
+        bend_x, bend_layer = placement.bend_points[("a", "c")][0]
+        assert bend_layer == 1
+
+    def test_deterministic(self):
+        first = place(self.NODES, self.EDGES)
+        second = place(self.NODES, self.EDGES)
+        assert first.rows == second.rows
+        assert first.x_of == second.x_of
+
+    def test_single_node(self):
+        placement = place(["only"], [])
+        assert placement.rows == (("only",),)
+        assert placement.crossings == 0
+
+    def test_width(self):
+        placement = place(self.NODES, self.EDGES, separation=10.0)
+        assert placement.width() > 0
+
+
+class TestCoordinateProperties:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_separation_always_respected(self, data):
+        from hypothesis import strategies as st
+        import itertools
+
+        layer_sizes = data.draw(
+            st.lists(st.integers(min_value=1, max_value=5),
+                     min_size=2, max_size=4), label="layers")
+        rows = []
+        counter = itertools.count()
+        for size in layer_sizes:
+            rows.append([f"n{next(counter)}" for _ in range(size)])
+        edges = []
+        for upper, lower in zip(rows, rows[1:]):
+            for dst in lower:
+                src = data.draw(st.sampled_from(upper), label=f"parent-{dst}")
+                edges.append((src, dst))
+        x = assign_coordinates(rows, edges, separation=4.0)
+        for row in rows:
+            for left, right in zip(row, row[1:]):
+                assert x[right] - x[left] >= 4.0 - 1e-6
+        assert min(x.values()) == pytest.approx(0.0)

@@ -1,0 +1,81 @@
+"""Tests for barycenter crossing minimisation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dagplace.ordering import (
+    count_crossings,
+    count_crossings_between,
+    order_layers,
+)
+
+
+class TestCrossingCount:
+    def test_parallel_edges_no_crossing(self):
+        assert count_crossings_between(
+            ["a", "b"], ["x", "y"], [("a", "x"), ("b", "y")]) == 0
+
+    def test_crossed_pair(self):
+        assert count_crossings_between(
+            ["a", "b"], ["x", "y"], [("a", "y"), ("b", "x")]) == 1
+
+    def test_complete_bipartite(self):
+        # K2,2 drawn in any order has exactly one crossing
+        assert count_crossings_between(
+            ["a", "b"], ["x", "y"],
+            [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]) == 1
+
+    def test_multi_layer_total(self):
+        rows = [["a", "b"], ["x", "y"], ["p", "q"]]
+        edges = [("a", "y"), ("b", "x"), ("x", "q"), ("y", "p")]
+        assert count_crossings(rows, edges) == 2
+
+    def test_irrelevant_edges_ignored(self):
+        assert count_crossings_between(
+            ["a"], ["x"], [("ghost", "x"), ("a", "x")]) == 0
+
+
+class TestOrderLayers:
+    def test_removes_obvious_crossing(self):
+        rows = [["a", "b"], ["x", "y"]]
+        edges = [("a", "y"), ("b", "x")]
+        ordered = order_layers(rows, edges)
+        assert count_crossings(ordered, edges) == 0
+
+    def test_never_worse_than_input(self):
+        rows = [["a", "b", "c"], ["x", "y", "z"]]
+        edges = [("a", "x"), ("b", "y"), ("c", "z")]
+        ordered = order_layers(rows, edges)
+        assert count_crossings(ordered, edges) <= count_crossings(rows, edges)
+
+    def test_preserves_node_sets(self):
+        rows = [["a", "b"], ["x", "y", "z"]]
+        edges = [("a", "z"), ("b", "x")]
+        ordered = order_layers(rows, edges)
+        assert sorted(ordered[0]) == ["a", "b"]
+        assert sorted(ordered[1]) == ["x", "y", "z"]
+
+    def test_deterministic(self):
+        rows = [["a", "b", "c"], ["x", "y", "z"]]
+        edges = [("a", "z"), ("b", "y"), ("c", "x"), ("a", "y")]
+        assert order_layers(rows, edges) == order_layers(rows, edges)
+
+    def test_isolated_nodes_kept(self):
+        rows = [["a", "lonely"], ["x"]]
+        ordered = order_layers(rows, [("a", "x")])
+        assert "lonely" in ordered[0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=2, max_value=6),
+           st.data())
+    def test_random_bipartite_never_worse(self, top, bottom, data):
+        uppers = [f"u{i}" for i in range(top)]
+        lowers = [f"l{i}" for i in range(bottom)]
+        edges = []
+        for upper in uppers:
+            for lower in lowers:
+                if data.draw(st.booleans(), label=f"{upper}-{lower}"):
+                    edges.append((upper, lower))
+        rows = [uppers, lowers]
+        ordered = order_layers(rows, edges)
+        assert count_crossings(ordered, edges) <= count_crossings(rows, edges)

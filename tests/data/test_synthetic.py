@@ -1,0 +1,43 @@
+"""Tests for the synthetic scaling database."""
+
+import pytest
+
+from repro.data.synthetic import make_synthetic_database
+
+
+def test_population(tmp_path):
+    database = make_synthetic_database(tmp_path, readings=120, sensors=6)
+    assert database.objects.count("reading") == 120
+    assert database.objects.count("sensor") == 6
+    database.close()
+
+
+def test_references_valid(tmp_path):
+    database = make_synthetic_database(tmp_path, readings=30)
+    for buffer in database.objects.select("reading"):
+        source = buffer.value("source")
+        assert database.objects.exists(source)
+    database.close()
+
+
+def test_deterministic(tmp_path):
+    a = make_synthetic_database(tmp_path / "a", readings=25)
+    b = make_synthetic_database(tmp_path / "b", readings=25)
+    values_a = [buf.value("value") for buf in a.objects.select("reading")]
+    values_b = [buf.value("value") for buf in b.objects.select("reading")]
+    assert values_a == values_b
+    a.close()
+    b.close()
+
+
+def test_bad_parameters_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        make_synthetic_database(tmp_path, readings=-1)
+    with pytest.raises(ValueError):
+        make_synthetic_database(tmp_path, readings=1, sensors=0)
+
+
+def test_zero_readings(tmp_path):
+    database = make_synthetic_database(tmp_path, readings=0)
+    assert database.objects.count("reading") == 0
+    database.close()

@@ -1,0 +1,52 @@
+"""Tests for the university database (deep DAG, versioned class)."""
+
+import pytest
+
+
+def test_schema_shape(uni_db):
+    schema = uni_db.schema
+    assert schema.mro("ta") == ["ta", "student", "staff", "person"]
+    assert schema.mro("professor") == ["professor", "faculty", "staff",
+                                       "person"]
+    assert schema.roots() == ["person", "unit", "course"]
+
+
+def test_course_is_versioned(uni_db):
+    assert uni_db.schema.get_class("course").versioned
+    course = uni_db.objects.cluster("course").first()
+    uni_db.objects.update(course, {"enrollment": 200})
+    assert uni_db.objects.versions.version_count(course) == 1
+
+
+def test_diamond_attribute_merging(uni_db):
+    names = [a.name for a in uni_db.schema.all_attributes("ta")]
+    assert names.count("name") == 1  # person's name once, despite diamond
+    assert "gpa" in names and "pay" in names and "hours" in names
+
+
+def test_dag_placement_handles_university(uni_db):
+    from repro.dagplace import place, place_naive
+
+    nodes = uni_db.schema.class_names()
+    edges = uni_db.schema.edges()
+    optimised = place(nodes, edges)
+    naive = place_naive(nodes, edges)
+    assert optimised.crossings <= naive.crossings
+    assert optimised.depth == 4  # person -> staff -> faculty -> professor
+
+
+def test_professor_advisees_navigable(uni_db):
+    from repro.core.navigation import SetNode
+
+    node = SetNode(uni_db.objects, "professor", "prof")
+    node.next()
+    advisees = node.child("advisees")
+    assert advisees.class_name == "student"
+    assert advisees.member_count() == 4
+
+
+def test_population(uni_db):
+    assert uni_db.objects.count("student") == 12
+    assert uni_db.objects.count("ta") == 4
+    assert uni_db.objects.count("professor") == 3
+    assert uni_db.objects.count("course") == 3

@@ -1,0 +1,118 @@
+"""Tests for the dynamic linker (display-module loading)."""
+
+import time
+
+import pytest
+
+from repro.errors import DynlinkError
+from repro.dynlink.loader import DisplayModuleLoader
+
+GOOD_MODULE = """
+FORMATS = ("text",)
+
+def display(buffer, request):
+    return "stub"
+"""
+
+
+@pytest.fixture
+def display_dir(tmp_path):
+    directory = tmp_path / "display"
+    directory.mkdir()
+    return directory
+
+
+@pytest.fixture
+def loader(display_dir):
+    return DisplayModuleLoader(display_dir)
+
+
+def write_module(display_dir, class_name, source, mtime_bump=0):
+    path = display_dir / f"{class_name}.py"
+    path.write_text(source)
+    if mtime_bump:
+        stat = path.stat()
+        import os
+
+        os.utime(path, (stat.st_atime, stat.st_mtime + mtime_bump))
+    return path
+
+
+def test_missing_module_returns_none(loader):
+    assert loader.get_dispfn("employee") is None
+    assert loader.ld_dispfn("employee") is None
+
+
+def test_load_module(loader, display_dir):
+    write_module(display_dir, "employee", GOOD_MODULE)
+    module = loader.ld_dispfn("employee")
+    assert module.FORMATS == ("text",)
+    assert loader.stats.loads == 1
+
+
+def test_cache_hit_on_second_load(loader, display_dir):
+    write_module(display_dir, "employee", GOOD_MODULE)
+    first = loader.ld_dispfn("employee")
+    second = loader.ld_dispfn("employee")
+    assert first is second
+    assert loader.stats.loads == 1
+    assert loader.stats.cache_hits == 1
+
+
+def test_changed_file_reloaded(loader, display_dir):
+    write_module(display_dir, "employee", GOOD_MODULE)
+    loader.ld_dispfn("employee")
+    write_module(display_dir, "employee",
+                 GOOD_MODULE.replace('("text",)', '("text", "picture")'),
+                 mtime_bump=5)
+    module = loader.ld_dispfn("employee")
+    assert module.FORMATS == ("text", "picture")
+    assert loader.stats.invalidations == 1
+    assert loader.stats.loads == 2
+
+
+def test_broken_module_raises_dynlink_error(loader, display_dir):
+    write_module(display_dir, "employee", "this is not python (((")
+    with pytest.raises(DynlinkError):
+        loader.ld_dispfn("employee")
+
+
+def test_module_raising_at_import_wrapped(loader, display_dir):
+    write_module(display_dir, "employee", "raise RuntimeError('boom')")
+    with pytest.raises(DynlinkError):
+        loader.ld_dispfn("employee")
+
+
+def test_bad_class_name_rejected(loader):
+    with pytest.raises(DynlinkError):
+        loader.get_dispfn("../escape")
+
+
+def test_invalidate_forces_reload(loader, display_dir):
+    write_module(display_dir, "employee", GOOD_MODULE)
+    loader.ld_dispfn("employee")
+    loader.invalidate("employee")
+    loader.ld_dispfn("employee")
+    assert loader.stats.loads == 2
+
+
+def test_two_loaders_do_not_collide(tmp_path):
+    """Two open databases with same-named classes stay independent."""
+    dir_a = tmp_path / "a"
+    dir_b = tmp_path / "b"
+    dir_a.mkdir()
+    dir_b.mkdir()
+    (dir_a / "employee.py").write_text("WHO = 'a'\n")
+    (dir_b / "employee.py").write_text("WHO = 'b'\n")
+    loader_a = DisplayModuleLoader(dir_a)
+    loader_b = DisplayModuleLoader(dir_b)
+    assert loader_a.ld_dispfn("employee").WHO == "a"
+    assert loader_b.ld_dispfn("employee").WHO == "b"
+
+
+def test_loaded_classes(loader, display_dir):
+    write_module(display_dir, "employee", GOOD_MODULE)
+    write_module(display_dir, "department", GOOD_MODULE)
+    loader.ld_dispfn("employee")
+    loader.ld_dispfn("department")
+    assert loader.loaded_classes() == ["department", "employee"]

@@ -1,0 +1,93 @@
+"""Tests for the display protocol: bit vectors and requests."""
+
+import pytest
+
+from repro.errors import DisplayProtocolError, ProjectionError
+from repro.dynlink.protocol import (
+    BitVector,
+    DisplayRequest,
+    DisplayResources,
+    ensure_display_resources,
+    text_window,
+)
+
+DISPLAYLIST = ["name", "id", "hired", "dept"]
+
+
+class TestBitVector:
+    def test_from_selection(self):
+        vector = BitVector.from_selection(DISPLAYLIST, ["name", "dept"])
+        assert list(vector) == [True, False, False, True]
+
+    def test_positions_follow_displaylist(self):
+        """Paper §5.1: bit positions correspond to displaylist positions."""
+        vector = BitVector.from_selection(DISPLAYLIST, ["dept", "name"])
+        assert vector.select(DISPLAYLIST) == ("name", "dept")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ProjectionError):
+            BitVector.from_selection(DISPLAYLIST, ["ghost"])
+
+    def test_all_set(self):
+        vector = BitVector.all_set(4)
+        assert vector.select(DISPLAYLIST) == tuple(DISPLAYLIST)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProjectionError):
+            BitVector([True]).select(DISPLAYLIST)
+
+    def test_equality_and_hash(self):
+        assert BitVector([True, False]) == BitVector([1, 0])
+        assert hash(BitVector([True])) == hash(BitVector([True]))
+
+    def test_indexing(self):
+        vector = BitVector([True, False])
+        assert vector[0] is True
+        assert vector[1] is False
+        assert len(vector) == 2
+
+    def test_repr(self):
+        assert repr(BitVector([True, False])) == "BitVector(10)"
+
+
+class TestDisplayRequest:
+    def test_wants_everything_without_bitvec(self):
+        request = DisplayRequest()
+        assert request.wants("name", DISPLAYLIST)
+        assert request.wants("anything", DISPLAYLIST)
+
+    def test_wants_respects_bitvec(self):
+        request = DisplayRequest(
+            bitvec=BitVector.from_selection(DISPLAYLIST, ["id"]))
+        assert request.wants("id", DISPLAYLIST)
+        assert not request.wants("name", DISPLAYLIST)
+
+    def test_attributes_outside_displaylist_are_designer_choice(self):
+        request = DisplayRequest(
+            bitvec=BitVector.from_selection(DISPLAYLIST, ["id"]))
+        assert request.wants("internal_extra", DISPLAYLIST)
+
+    def test_window_name_prefixing(self):
+        request = DisplayRequest(window_prefix="lab.employee.set0.text")
+        assert request.window_name("text") == "lab.employee.set0.text.text"
+
+    def test_defaults(self):
+        request = DisplayRequest()
+        assert request.format_name == "text"
+        assert request.bitvec is None
+        assert not request.privileged
+
+
+class TestEnsureDisplayResources:
+    def test_valid_passes_through(self):
+        resources = DisplayResources("text", (text_window("w", "x"),))
+        assert ensure_display_resources(resources, "employee") is resources
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(DisplayProtocolError):
+            ensure_display_resources("not resources", "employee")
+
+    def test_empty_windows_rejected(self):
+        resources = DisplayResources("text", ())
+        with pytest.raises(DisplayProtocolError):
+            ensure_display_resources(resources, "employee")

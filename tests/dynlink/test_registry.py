@@ -1,0 +1,148 @@
+"""Tests for the per-database display registry."""
+
+import pytest
+
+from repro.errors import DynlinkError, SchemaError
+from repro.dynlink.protocol import DisplayRequest
+from repro.dynlink.registry import DisplayRegistry
+from repro.ode.classdef import Access, Attribute, MemberFunction, OdeClass
+from repro.ode.database import Database
+from repro.ode.types import IntType, RefType, SetType, StringType
+
+
+@pytest.fixture
+def database(tmp_path):
+    with Database.create(tmp_path / "x.odb") as db:
+        db.define_class(OdeClass("employee", attributes=(
+            Attribute("name", StringType(20)),
+            Attribute("id", IntType()),
+            Attribute("dept", RefType("department")),
+            Attribute("salary", IntType(), Access.PRIVATE),
+        ), methods=(
+            MemberFunction("badge", fn=lambda values: f"E{values['id']}",
+                           side_effects=False),
+        )))
+        db.define_class(OdeClass("department", attributes=(
+            Attribute("dname", StringType(20)),
+            Attribute("employees", SetType(RefType("employee"))),
+        )))
+        yield db
+
+
+@pytest.fixture
+def registry(database):
+    return DisplayRegistry(database)
+
+
+@pytest.fixture
+def buffer(database):
+    oid = database.objects.new_object("employee", {"name": "rakesh", "id": 7})
+    return database.objects.get_buffer(oid)
+
+
+class TestSynthesizedFallbacks:
+    def test_formats_default(self, registry):
+        assert registry.formats("employee") == ("text",)
+
+    def test_display_synthesized(self, registry, buffer):
+        resources = registry.display(buffer, DisplayRequest(window_prefix="w"))
+        assert "rakesh" in resources.windows[0].content
+        assert resources.windows[0].content.splitlines()[0].startswith("name")
+
+    def test_displaylist_public_plus_computed(self, registry):
+        assert registry.displaylist("employee") == \
+            ["name", "id", "dept", "badge"]
+
+    def test_selectlist_public_scalars_only(self, registry):
+        # dept (a reference) and salary (private) are excluded
+        assert registry.selectlist("employee") == ["name", "id"]
+
+    def test_unknown_class_rejected(self, registry):
+        with pytest.raises(SchemaError):
+            registry.formats("ghost")
+
+
+class TestWithModule:
+    MODULE = '''
+from repro.dynlink.protocol import DisplayResources, text_window
+
+FORMATS = ("text", "brief")
+
+def display(buffer, request):
+    return DisplayResources(request.format_name, (
+        text_window(request.window_name("w"),
+                    "custom " + buffer.value("name")),
+    ))
+
+def displaylist():
+    return ["name"]
+
+def selectlist():
+    return ["name"]
+'''
+
+    def test_module_wins(self, database, registry, buffer):
+        (database.display_dir / "employee.py").write_text(self.MODULE)
+        assert registry.formats("employee") == ("text", "brief")
+        resources = registry.display(buffer, DisplayRequest(window_prefix="w"))
+        assert resources.windows[0].content == "custom rakesh"
+        assert registry.displaylist("employee") == ["name"]
+        assert registry.selectlist("employee") == ["name"]
+
+    def test_has_display_module(self, database, registry):
+        assert not registry.has_display_module("employee")
+        (database.display_dir / "employee.py").write_text(self.MODULE)
+        assert registry.has_display_module("employee")
+
+    def test_partial_module_falls_back_per_function(self, database, registry,
+                                                    buffer):
+        (database.display_dir / "employee.py").write_text(
+            "FORMATS = ('text',)\n")  # no display/displaylist/selectlist
+        resources = registry.display(buffer, DisplayRequest(window_prefix="w"))
+        assert "rakesh" in resources.windows[0].content
+        assert registry.displaylist("employee") == \
+            ["name", "id", "dept", "badge"]
+
+
+class TestFailureWrapping:
+    def test_crashing_display_wrapped(self, database, registry, buffer):
+        (database.display_dir / "employee.py").write_text(
+            "def display(buffer, request):\n    raise RuntimeError('bug')\n")
+        with pytest.raises(DynlinkError):
+            registry.display(buffer, DisplayRequest(window_prefix="w"))
+
+    def test_wrong_return_type_wrapped(self, database, registry, buffer):
+        (database.display_dir / "employee.py").write_text(
+            "def display(buffer, request):\n    return 'oops'\n")
+        with pytest.raises(DynlinkError):
+            registry.display(buffer, DisplayRequest(window_prefix="w"))
+
+    def test_crashing_displaylist_wrapped(self, database, registry):
+        (database.display_dir / "employee.py").write_text(
+            "def displaylist():\n    raise ValueError('bug')\n")
+        with pytest.raises(DynlinkError):
+            registry.displaylist("employee")
+
+    def test_crashing_selectlist_wrapped(self, database, registry):
+        (database.display_dir / "employee.py").write_text(
+            "def selectlist():\n    raise ValueError('bug')\n")
+        with pytest.raises(DynlinkError):
+            registry.selectlist("employee")
+
+    def test_empty_formats_rejected(self, database, registry):
+        (database.display_dir / "employee.py").write_text("FORMATS = ()\n")
+        with pytest.raises(DynlinkError):
+            registry.formats("employee")
+
+
+class TestSchemaChangeWithoutRecompilation:
+    def test_new_class_served_without_any_registry_change(self, database,
+                                                          registry):
+        """Paper §4.5: adding a class never touches OdeView."""
+        database.define_class(OdeClass("project", attributes=(
+            Attribute("title", StringType(30)),)))
+        oid = database.objects.new_object("project", {"title": "odeview"})
+        buffer = database.objects.get_buffer(oid)
+        resources = registry.display(buffer, DisplayRequest(window_prefix="w"))
+        assert "title : odeview" in resources.windows[0].content
+        assert registry.formats("project") == ("text",)

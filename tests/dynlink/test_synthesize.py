@@ -1,0 +1,118 @@
+"""Tests for the synthesized (rudimentary) display function."""
+
+import datetime
+
+import pytest
+
+from repro.dynlink.protocol import BitVector, DisplayRequest
+from repro.dynlink.synthesize import (
+    format_value,
+    synthesize_display,
+    visible_attributes,
+)
+from repro.ode.objectmanager import ObjectBuffer
+from repro.ode.oid import Oid
+
+
+def make_buffer(values, public_names=None, computed=None):
+    return ObjectBuffer(
+        oid=Oid("lab", "widget", 1),
+        class_name="widget",
+        values=values,
+        public_names=tuple(public_names
+                           if public_names is not None else values),
+        computed=computed or {},
+    )
+
+
+class TestFormatValue:
+    def test_scalars(self):
+        assert format_value(None) == ["(null)"]
+        assert format_value(True) == ["true"]
+        assert format_value(3.5) == ["3.5"]
+        assert format_value("txt") == ["txt"]
+        assert format_value(7) == ["7"]
+
+    def test_date(self):
+        assert format_value(datetime.date(1990, 5, 23)) == ["1990-05-23"]
+
+    def test_oid_is_arrow(self):
+        assert format_value(Oid("lab", "department", 3)) == \
+            ["-> department:3"]
+
+    def test_scalar_list_braces(self):
+        assert format_value([1, 2, 3]) == ["{1, 2, 3}"]
+
+    def test_struct_indented(self):
+        lines = format_value({"street": "main", "zip": 7})
+        assert lines == ["  street: main", "  zip: 7"]
+
+    def test_nested_struct(self):
+        lines = format_value({"addr": {"zip": 7}})
+        assert lines == ["  addr:", "    zip: 7"]
+
+    def test_list_of_structs_multiline(self):
+        lines = format_value([{"a": 1}])
+        assert lines[0] == "{"
+        assert lines[-1] == "}"
+
+
+class TestVisibleAttributes:
+    def test_public_only_by_default(self):
+        buffer = make_buffer({"name": "x", "secret": 1},
+                             public_names=["name"])
+        pairs = visible_attributes(buffer, DisplayRequest(), ["name"])
+        assert pairs == [("name", "x")]
+
+    def test_privileged_shows_private_marked(self):
+        buffer = make_buffer({"name": "x", "secret": 1},
+                             public_names=["name"])
+        request = DisplayRequest(privileged=True)
+        pairs = visible_attributes(buffer, request, ["name"])
+        assert ("secret (private)", 1) in pairs
+
+    def test_computed_included(self):
+        buffer = make_buffer({"id": 3}, computed={"double_id": 6})
+        pairs = visible_attributes(buffer, DisplayRequest(),
+                                   ["id", "double_id"])
+        assert ("double_id", 6) in pairs
+
+    def test_bitvec_filters(self):
+        buffer = make_buffer({"a": 1, "b": 2})
+        displaylist = ["a", "b"]
+        request = DisplayRequest(
+            bitvec=BitVector.from_selection(displaylist, ["b"]))
+        pairs = visible_attributes(buffer, request, displaylist)
+        assert pairs == [("b", 2)]
+
+
+class TestSynthesizeDisplay:
+    def test_produces_one_text_window(self):
+        buffer = make_buffer({"name": "rakesh", "id": 7})
+        resources = synthesize_display(buffer, DisplayRequest(
+            window_prefix="w"), ["name", "id"])
+        assert resources.format_name == "text"
+        window = resources.windows[0]
+        assert window.name == "w.text"
+        assert "name : rakesh" in window.content
+        assert "id   : 7" in window.content
+
+    def test_title_includes_class_and_oid(self):
+        buffer = make_buffer({"name": "x"})
+        resources = synthesize_display(buffer, DisplayRequest(
+            window_prefix="w"), ["name"])
+        assert resources.windows[0].title == "widget widget:1"
+
+    def test_empty_projection_notes_nothing_visible(self):
+        buffer = make_buffer({"a": 1})
+        request = DisplayRequest(bitvec=BitVector([False]))
+        resources = synthesize_display(buffer, request, ["a"])
+        assert "(no visible attributes)" in resources.windows[0].content
+
+    def test_multiline_value_rendered_below_label(self):
+        buffer = make_buffer({"addr": {"zip": 7}})
+        resources = synthesize_display(buffer, DisplayRequest(
+            window_prefix="w"), ["addr"])
+        content = resources.windows[0].content
+        assert "addr :" in content
+        assert "  zip: 7" in content

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,  # examples write outputs into the cwd
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example prints something
+
+
+def test_quickstart_shows_figure6(tmp_path):
+    script = Path(__file__).parent.parent.parent / "examples" / "quickstart.py"
+    result = subprocess.run([sys.executable, str(script)], cwd=tmp_path,
+                            capture_output=True, text=True, timeout=120)
+    assert "Figure 6" in result.stdout
+    assert "rakesh" in result.stdout
+
+
+def test_lab_session_prints_all_figures(tmp_path):
+    script = Path(__file__).parent.parent.parent / "examples" / "lab_session.py"
+    result = subprocess.run([sys.executable, str(script)], cwd=tmp_path,
+                            capture_output=True, text=True, timeout=120)
+    for figure in range(1, 11):
+        assert f"Figure {figure}" in result.stdout

@@ -1,0 +1,87 @@
+"""Golden-figure regression tests.
+
+The figures of the paper are reproduced as deterministic ASCII renderings;
+these tests pin them byte-for-byte against checked-in golden files, so any
+change to layout, DAG placement, display functions, or the lab data set is
+caught immediately.  Regenerate the golden files by running this module's
+``regenerate()`` helper after an intentional change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.session import UserSession
+
+GOLDEN = Path(__file__).parent.parent / "golden"
+
+
+def _run_session(lab_root):
+    """Replay the session and return {figure: rendering}."""
+    renderings = {}
+    with UserSession(lab_root, screen_width=200) as s:
+        renderings["fig01"] = s.snapshot("fig1")
+        s.click_database_icon("lab")
+        renderings["fig02"] = s.snapshot("fig2")
+        s.click_class_node("lab", "employee")
+        renderings["fig03"] = s.snapshot("fig3")
+        s.click_definition_button("lab", "employee")
+        renderings["fig04"] = s.snapshot("fig4")
+        browser = s.click_objects_button("lab", "employee")
+        s.click_control(browser, "next")
+        s.click_format_button(browser, "text")
+        s.click_format_button(browser, "picture")
+        renderings["fig06"] = s.snapshot("fig6")
+        dept = s.click_reference_button(browser, "dept")
+        s.click_format_button(dept, "text")
+        mgr = s.click_reference_button(dept, "mgr")
+        s.click_format_button(mgr, "text")
+        renderings["fig09"] = s.snapshot("fig9")
+        s.click_control(browser, "next")
+        renderings["fig10"] = s.snapshot("fig10")
+    return renderings
+
+
+FIGURES = ["fig01", "fig02", "fig03", "fig04", "fig06", "fig09", "fig10"]
+
+
+@pytest.fixture(scope="module")
+def renderings(tmp_path_factory):
+    from repro.data.labdb import make_lab_database
+
+    root = tmp_path_factory.mktemp("golden")
+    make_lab_database(root).close()
+    return _run_session(root)
+
+
+@pytest.mark.parametrize("figure", FIGURES)
+def test_golden(figure, renderings):
+    expected = (GOLDEN / f"{figure}.txt").read_text()
+    assert renderings[figure] + "\n" == expected, (
+        f"{figure} rendering drifted from tests/golden/{figure}.txt; "
+        "if the change is intentional, regenerate the golden files")
+
+
+def test_renderings_are_deterministic(tmp_path_factory):
+    from repro.data.labdb import make_lab_database
+
+    root = tmp_path_factory.mktemp("determinism")
+    make_lab_database(root).close()
+    assert _run_session(root) == _run_session(root)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden files from the current implementation."""
+    import tempfile
+
+    from repro.data.labdb import make_lab_database
+
+    root = Path(tempfile.mkdtemp())
+    make_lab_database(root).close()
+    for figure, rendering in _run_session(root).items():
+        (GOLDEN / f"{figure}.txt").write_text(rendering + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
+    print("golden files regenerated")

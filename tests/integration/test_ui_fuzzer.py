@@ -1,0 +1,135 @@
+"""Stateful UI fuzzing: random but valid user actions never break OdeView.
+
+A hypothesis rule-based state machine plays an unpredictable user — the
+situation §4.6 describes ("it is impossible to predict the sequence of
+operations a user will perform").  Whatever the interleaving of sequencing,
+format toggles, reference following, projection, and zooming, the
+invariants must hold: rendering never raises, no browser crashes (no buggy
+display module is installed), and every browser's current OID stays inside
+its own cluster.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.app import OdeView
+from repro.data.labdb import make_lab_database
+
+_FORMATS = ["text", "picture"]
+
+
+class OdeViewMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self.root = tempfile.mkdtemp(prefix="odeview-fuzz-")
+        make_lab_database(self.root).close()
+        self.app = OdeView(self.root, screen_width=220)
+        self.session = self.app.open_database("lab")
+        self.browsers = []
+
+    # -- rules ---------------------------------------------------------------
+
+    @initialize()
+    def open_first_browser(self):
+        self.browsers.append(self.session.open_object_set("employee"))
+
+    @rule(class_name=st.sampled_from(["employee", "department", "manager"]))
+    def open_object_set(self, class_name):
+        if len(self.browsers) < 6:  # keep the window population bounded
+            self.browsers.append(self.session.open_object_set(class_name))
+
+    @rule(data=st.data())
+    def sequence(self, data):
+        browser = data.draw(st.sampled_from(self.browsers), label="browser")
+        op = data.draw(st.sampled_from(["next", "previous", "reset"]),
+                       label="op")
+        if browser.is_set:
+            browser.sequence(op)
+
+    @rule(data=st.data())
+    def toggle_format(self, data):
+        browser = data.draw(st.sampled_from(self.browsers), label="browser")
+        format_name = data.draw(st.sampled_from(list(browser.formats)),
+                                label="format")
+        browser.toggle_format(format_name)
+
+    @rule(data=st.data())
+    def follow_reference(self, data):
+        browser = data.draw(st.sampled_from(self.browsers), label="browser")
+        if browser.node.current is None or not browser.reference_attrs:
+            return
+        attr = data.draw(st.sampled_from(browser.reference_attrs),
+                         label="attr")
+        child = browser.open_reference(attr)
+        if child not in self.browsers and len(self.browsers) < 10:
+            self.browsers.append(child)
+
+    @rule(data=st.data())
+    def project(self, data):
+        browser = data.draw(st.sampled_from(self.browsers), label="browser")
+        displaylist = browser.displaylist()
+        if not displaylist:
+            return
+        chosen = data.draw(
+            st.lists(st.sampled_from(displaylist), min_size=1, unique=True),
+            label="attributes")
+        browser.project(chosen)
+
+    @rule()
+    def clear_projection(self):
+        for browser in self.browsers:
+            browser.clear_projection()
+
+    @rule(direction=st.sampled_from(["in", "out"]))
+    def zoom(self, direction):
+        if direction == "in":
+            self.session.schema.zoom_in()
+        else:
+            self.session.schema.zoom_out()
+
+    @rule(class_name=st.sampled_from(["employee", "department", "manager"]))
+    def browse_schema(self, class_name):
+        self.session.schema.open_class_info(class_name)
+        self.session.schema.open_class_definition(class_name)
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def rendering_never_raises(self):
+        rendering = self.app.render()
+        assert isinstance(rendering, str)
+
+    @invariant()
+    def no_browser_crashed(self):
+        for browser in self.browsers:
+            assert not browser.crashed, browser.crash_reason
+
+    @invariant()
+    def currents_stay_in_their_clusters(self):
+        for browser in self.browsers:
+            current = browser.node.current
+            if current is not None:
+                assert current.cluster == browser.node.class_name
+
+    def teardown(self):
+        self.app.shutdown()
+
+
+OdeViewMachine.TestCase.settings = settings(
+    max_examples=8,
+    stateful_step_count=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestOdeViewFuzz = OdeViewMachine.TestCase

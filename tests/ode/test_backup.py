@@ -1,0 +1,118 @@
+"""Tests for logical backup and restore."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.ode.backup import (
+    dump_to_file,
+    export_database,
+    import_database,
+    load_from_file,
+)
+from repro.data.labdb import open_lab_database
+
+
+class TestExport:
+    def test_document_shape(self, lab_db):
+        document = export_database(lab_db)
+        assert document["format"] == "odeview-backup"
+        assert document["name"] == "lab"
+        assert len(document["objects"]) == 55 + 7 + 7
+        assert any(cls["name"] == "employee"
+                   for cls in document["schema"]["classes"])
+
+    def test_values_are_json_safe(self, lab_db):
+        document = export_database(lab_db)
+        json.dumps(document)  # must not raise
+
+    def test_files_carried(self, lab_db):
+        document = export_database(lab_db)
+        assert "display/employee.py" in document["files"]
+        assert "behaviours.py" in document["files"]
+        assert "icon.txt" in document["files"]
+
+    def test_files_can_be_excluded(self, lab_db):
+        document = export_database(lab_db, include_files=False)
+        assert "files" not in document
+
+
+class TestRestore:
+    def test_full_roundtrip(self, lab_db, tmp_path):
+        document = export_database(lab_db)
+        restored = import_database(document, tmp_path / "restored.odb")
+        try:
+            assert restored.objects.count("employee") == 55
+            assert restored.objects.count("manager") == 7
+            first = restored.objects.cluster("employee").first()
+            buffer = restored.objects.get_buffer(first)
+            assert buffer.value("name") == "rakesh"
+            # references were rewritten to the new database name
+            dept = buffer.value("dept")
+            assert dept.database == "restored"
+            assert restored.objects.get_buffer(dept).value("dname") == \
+                "db research"
+            # behaviours restored: computed attribute works
+            assert buffer.value("years_service") == 15
+        finally:
+            restored.close()
+
+    def test_display_modules_restored(self, lab_db, tmp_path):
+        from repro.dynlink.registry import DisplayRegistry
+
+        document = export_database(lab_db)
+        restored = import_database(document, tmp_path / "restored.odb")
+        try:
+            registry = DisplayRegistry(restored)
+            assert registry.formats("employee") == ("text", "picture")
+        finally:
+            restored.close()
+
+    def test_refuses_to_overwrite(self, lab_db):
+        document = export_database(lab_db)
+        with pytest.raises(StorageError):
+            import_database(document, lab_db.directory)
+
+    def test_rejects_foreign_document(self, tmp_path):
+        with pytest.raises(StorageError):
+            import_database({"format": "something-else"}, tmp_path / "x.odb")
+
+    def test_rejects_unsafe_paths(self, lab_db, tmp_path):
+        document = export_database(lab_db)
+        document["files"]["../escape.py"] = "aGk="
+        with pytest.raises(StorageError):
+            import_database(document, tmp_path / "x.odb")
+
+    def test_file_roundtrip(self, lab_db, tmp_path):
+        dump_path = tmp_path / "lab-backup.json"
+        dump_to_file(lab_db, dump_path)
+        restored = load_from_file(dump_path, tmp_path / "copy.odb")
+        try:
+            assert restored.objects.count("employee") == 55
+        finally:
+            restored.close()
+
+    def test_indexes_rebuilt_on_restore(self, lab_root, tmp_path):
+        with open_lab_database(lab_root / "lab.odb") as database:
+            database.create_index("employee", "id")
+            document = export_database(database)
+        restored = import_database(document, tmp_path / "restored.odb")
+        try:
+            index = restored.objects.indexes.get("employee", "id")
+            assert index is not None
+            assert index.equal(7) == [7]
+        finally:
+            restored.close()
+
+    def test_restored_database_fully_browsable(self, lab_db, tmp_path):
+        from repro.core.app import OdeView
+
+        document = export_database(lab_db)
+        import_database(document, tmp_path / "copies" / "lab.odb").close()
+        app = OdeView(tmp_path / "copies", screen_width=200)
+        browser = app.open_database("lab").open_object_set("employee")
+        browser.next()
+        browser.toggle_format("text")
+        assert "rakesh" in app.render()
+        app.shutdown()

@@ -1,0 +1,105 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.ode.bufferpool import BufferPool
+from repro.ode.page import PAGE_SIZE
+from repro.ode.pagefile import PageFile
+
+
+@pytest.fixture
+def pagefile(tmp_path):
+    with PageFile(tmp_path / "data.pages") as pf:
+        yield pf
+
+
+def test_capacity_must_be_positive(pagefile):
+    with pytest.raises(BufferPoolError):
+        BufferPool(pagefile, capacity=0)
+
+
+def test_new_page_is_cached_and_dirty(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    page_no = pool.new_page()
+    page = pool.fetch(page_no)
+    assert page.dirty
+    assert pool.stats.hits == 1  # the fetch hit the cached frame
+
+
+def test_fetch_miss_then_hit(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    page_no = pool.new_page()
+    pool.flush_all()
+    pool.invalidate()
+    pool.fetch(page_no)
+    pool.fetch(page_no)
+    assert pool.stats.misses == 1
+    assert pool.stats.hits == 1
+
+
+def test_eviction_writes_back_dirty_pages(pagefile):
+    pool = BufferPool(pagefile, capacity=2)
+    first = pool.new_page()
+    pool.fetch(first).insert(b"persisted")
+    # Evict `first` by filling the pool.
+    pool.new_page()
+    pool.new_page()
+    assert pool.stats.evictions >= 1
+    page = pool.fetch(first)  # re-read from disk
+    assert page.records() == [b"persisted"]
+
+
+def test_lru_evicts_least_recent(pagefile):
+    pool = BufferPool(pagefile, capacity=2)
+    a = pool.new_page()
+    b = pool.new_page()
+    pool.flush_all()
+    pool.fetch(a)  # a is now most recent
+    pool.new_page()  # must evict b
+    pool.fetch(a)
+    assert pool.stats.hits >= 2  # a stayed cached
+
+
+def test_pinned_pages_not_evicted(pagefile):
+    pool = BufferPool(pagefile, capacity=2)
+    pinned = pool.new_page()
+    pool.fetch(pinned, pin=True)
+    pool.new_page()
+    pool.new_page()  # must evict the unpinned one
+    # pinned page still cached: fetching is a hit
+    hits_before = pool.stats.hits
+    pool.fetch(pinned)
+    assert pool.stats.hits == hits_before + 1
+    pool.unpin(pinned)
+
+
+def test_all_pinned_raises(pagefile):
+    pool = BufferPool(pagefile, capacity=1)
+    page_no = pool.new_page()
+    pool.fetch(page_no, pin=True)
+    with pytest.raises(BufferPoolError):
+        pool.new_page()
+
+
+def test_unpin_without_pin_rejected(pagefile):
+    pool = BufferPool(pagefile, capacity=2)
+    page_no = pool.new_page()
+    with pytest.raises(BufferPoolError):
+        pool.unpin(page_no)
+
+
+def test_flush_all_clears_dirty(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    page_no = pool.new_page()
+    pool.fetch(page_no).insert(b"x")
+    pool.flush_all()
+    assert not pool.fetch(page_no).dirty
+
+
+def test_hit_rate(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    assert pool.stats.hit_rate == 0.0
+    page_no = pool.new_page()
+    pool.fetch(page_no)
+    assert pool.stats.hit_rate == 1.0

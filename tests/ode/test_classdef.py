@@ -1,0 +1,150 @@
+"""Tests for class definitions and C3 linearisation."""
+
+import pytest
+
+from repro.errors import AccessError, SchemaError
+from repro.ode.classdef import (
+    Access,
+    Attribute,
+    MemberFunction,
+    OdeClass,
+    c3_linearize,
+    check_access,
+)
+from repro.ode.types import IntType, StringType
+
+
+class TestAttribute:
+    def test_declare(self):
+        attr = Attribute("name", StringType(20))
+        assert attr.declare() == "char name[20];"
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name", IntType())
+
+    def test_access_default_public(self):
+        assert Attribute("x", IntType()).is_public
+
+    def test_dict_roundtrip(self):
+        attr = Attribute("salary", IntType(), Access.PRIVATE, doc="pay")
+        assert Attribute.from_dict(attr.to_dict()) == attr
+
+    def test_check_access_private_requires_privilege(self):
+        attr = Attribute("salary", IntType(), Access.PRIVATE)
+        with pytest.raises(AccessError):
+            check_access(attr, privileged=False)
+        check_access(attr, privileged=True)  # debugging mode (paper §4.1)
+
+
+class TestMemberFunction:
+    def test_pure_requires_body_and_no_side_effects(self):
+        with_body = MemberFunction("age", fn=lambda values: 1,
+                                   side_effects=False)
+        assert with_body.is_pure
+        assert not MemberFunction("age", fn=None, side_effects=False).is_pure
+        assert not MemberFunction("age", fn=lambda v: 1,
+                                  side_effects=True).is_pure
+
+    def test_call_without_body_rejected(self):
+        with pytest.raises(SchemaError):
+            MemberFunction("age").call({})
+
+    def test_call(self):
+        fn = MemberFunction("double_id", fn=lambda values: values["id"] * 2)
+        assert fn.call({"id": 21}) == 42
+
+    def test_dict_roundtrip_drops_body(self):
+        fn = MemberFunction("age", fn=lambda values: 1, side_effects=False)
+        reloaded = MemberFunction.from_dict(fn.to_dict())
+        assert reloaded.name == "age"
+        assert reloaded.fn is None
+        assert reloaded.side_effects is False
+
+
+class TestOdeClass:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            OdeClass("c", attributes=(Attribute("x", IntType()),
+                                      Attribute("x", IntType())))
+
+    def test_attribute_method_name_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            OdeClass("c", attributes=(Attribute("x", IntType()),),
+                     methods=(MemberFunction("x"),))
+
+    def test_self_inheritance_rejected(self):
+        with pytest.raises(SchemaError):
+            OdeClass("c", bases=("c",))
+
+    def test_duplicate_base_rejected(self):
+        with pytest.raises(SchemaError):
+            OdeClass("c", bases=("a", "a"))
+
+    def test_member_lookup(self):
+        cls = OdeClass("c", attributes=(Attribute("x", IntType()),),
+                       methods=(MemberFunction("m"),))
+        assert cls.own_attribute("x").name == "x"
+        assert cls.own_attribute("missing") is None
+        assert cls.own_method("m").name == "m"
+        assert cls.own_method("missing") is None
+
+    def test_public_private_split(self):
+        cls = OdeClass("c", attributes=(
+            Attribute("a", IntType()),
+            Attribute("b", IntType(), Access.PRIVATE),
+        ))
+        assert [a.name for a in cls.public_attributes()] == ["a"]
+        assert [a.name for a in cls.private_attributes()] == ["b"]
+
+    def test_bind_method(self):
+        cls = OdeClass("c", methods=(MemberFunction("m", side_effects=False),))
+        cls.bind_method("m", lambda values: 7)
+        assert cls.own_method("m").call({}) == 7
+        assert cls.own_method("m").is_pure
+
+    def test_bind_unknown_method_rejected(self):
+        with pytest.raises(SchemaError):
+            OdeClass("c").bind_method("nope", lambda values: 1)
+
+    def test_dict_roundtrip(self):
+        cls = OdeClass(
+            "employee",
+            attributes=(Attribute("name", StringType(20)),),
+            methods=(MemberFunction("age", side_effects=False),),
+            constraint_sources=("id >= 0",),
+            display_formats=("text", "picture"),
+            versioned=True,
+        )
+        reloaded = OdeClass.from_dict(cls.to_dict())
+        assert reloaded.name == "employee"
+        assert reloaded.constraint_sources == ("id >= 0",)
+        assert reloaded.display_formats == ("text", "picture")
+        assert reloaded.versioned
+
+
+class TestC3:
+    def test_single_class(self):
+        assert c3_linearize("a", {"a": ()}) == ["a"]
+
+    def test_single_chain(self):
+        bases = {"a": (), "b": ("a",), "c": ("b",)}
+        assert c3_linearize("c", bases) == ["c", "b", "a"]
+
+    def test_multiple_inheritance_order(self):
+        bases = {"employee": (), "department": (),
+                 "manager": ("employee", "department")}
+        assert c3_linearize("manager", bases) == [
+            "manager", "employee", "department"]
+
+    def test_diamond(self):
+        bases = {"person": (), "student": ("person",), "staff": ("person",),
+                 "ta": ("student", "staff")}
+        assert c3_linearize("ta", bases) == ["ta", "student", "staff", "person"]
+
+    def test_inconsistent_hierarchy_rejected(self):
+        # Classic C3 failure: orders A,B and B,A cannot both be honoured.
+        bases = {"a": (), "b": (), "x": ("a", "b"), "y": ("b", "a"),
+                 "z": ("x", "y")}
+        with pytest.raises(SchemaError):
+            c3_linearize("z", bases)

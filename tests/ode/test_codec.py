@@ -1,0 +1,170 @@
+"""Tests for the binary object codec."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError
+from repro.ode.codec import (
+    decode_object,
+    decode_value,
+    encode_object,
+    encode_value,
+    read_varint,
+    write_varint,
+)
+from repro.ode.oid import Oid
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63 - 1])
+    def test_roundtrip(self, value):
+        data = write_varint(value)
+        decoded, offset = read_varint(data, 0)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            write_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            read_varint(b"\x80", 0)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip_property(self, value):
+        decoded, _offset = read_varint(write_varint(value), 0)
+        assert decoded == value
+
+
+_SAMPLE_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**62,
+    -(2**62),
+    0.0,
+    3.14159,
+    -1e300,
+    "",
+    "hello",
+    "unicodé ☃",
+    datetime.date(1990, 5, 23),
+    Oid("lab", "employee", 7),
+    [],
+    [1, 2, 3],
+    ["a", None, True],
+    {},
+    {"name": "rakesh", "id": 7},
+    {"nested": {"deep": [1, {"x": None}]}},
+    [[1], [2, 3]],
+]
+
+
+class TestValues:
+    @pytest.mark.parametrize("value", _SAMPLE_VALUES,
+                             ids=[repr(v)[:30] for v in _SAMPLE_VALUES])
+    def test_roundtrip(self, value):
+        data = encode_value(value)
+        decoded, offset = decode_value(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_bool_stays_bool(self):
+        decoded, _ = decode_value(encode_value(True))
+        assert decoded is True
+
+    def test_int_stays_int(self):
+        decoded, _ = decode_value(encode_value(1))
+        assert isinstance(decoded, int) and not isinstance(decoded, bool)
+
+    def test_oid_decodes_as_oid(self):
+        decoded, _ = decode_value(encode_value(Oid("a", "b", 1)))
+        assert isinstance(decoded, Oid)
+
+    def test_datetime_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value(datetime.datetime(1990, 1, 1))
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+    def test_non_string_struct_key_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value({1: "x"})
+
+    def test_truncated_payloads_rejected(self):
+        data = encode_value({"key": [1, 2, 3]})
+        for cut in range(1, len(data)):
+            with pytest.raises(CodecError):
+                decode_value(data[:cut])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_value(bytes([250]))
+
+
+# Recursive strategy mirroring the codec's value domain.
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.dates(min_value=datetime.date(1, 1, 1)),
+    st.builds(Oid, st.just("db"), st.just("cls"),
+              st.integers(min_value=0, max_value=10**6)),
+)
+_values = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestValueProperty:
+    @given(_values)
+    def test_any_value_roundtrips(self, value):
+        decoded, offset = decode_value(encode_value(value))
+        data = encode_value(value)
+        assert offset == len(data)
+        assert decoded == value
+
+
+class TestObjects:
+    def test_roundtrip(self):
+        oid = Oid("lab", "employee", 3)
+        values = {"name": "rakesh", "dept": Oid("lab", "department", 0)}
+        oid2, class_name, values2 = decode_object(
+            encode_object(oid, "employee", values)
+        )
+        assert (oid2, class_name, values2) == (oid, "employee", values)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            decode_object(b"\x00\x01\x02")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodecError):
+            decode_object(b"")
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_object(Oid("a", "b", 0), "b", {}) + b"x"
+        with pytest.raises(CodecError):
+            decode_object(data)
+
+    def test_record_is_self_describing(self):
+        """The store rebuilds its index from records alone (DESIGN §5.3)."""
+        data = encode_object(Oid("lab", "employee", 9), "employee", {"id": 9})
+        oid, class_name, values = decode_object(data)
+        assert oid.number == 9
+        assert class_name == "employee"
+        assert values == {"id": 9}

@@ -1,0 +1,95 @@
+"""Tests for constraints, triggers, and the behaviour registry."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError, TriggerError
+from repro.ode.constraints import BehaviourRegistry, Constraint, Trigger
+
+
+class TestConstraint:
+    def test_passing_check(self):
+        Constraint("pos", lambda values: values["x"] > 0).enforce("c", {"x": 1})
+
+    def test_failing_check_raises(self):
+        constraint = Constraint("pos", lambda values: values["x"] > 0)
+        with pytest.raises(ConstraintViolationError) as info:
+            constraint.enforce("c", {"x": -1})
+        assert info.value.class_name == "c"
+        assert info.value.constraint_name == "pos"
+
+    def test_raising_check_wrapped(self):
+        constraint = Constraint("boom", lambda values: values["missing"])
+        with pytest.raises(ConstraintViolationError):
+            constraint.enforce("c", {})
+
+    def test_truthiness_coerced(self):
+        Constraint("nonempty", lambda values: values["items"]).enforce(
+            "c", {"items": [1]})
+        with pytest.raises(ConstraintViolationError):
+            Constraint("nonempty", lambda values: values["items"]).enforce(
+                "c", {"items": []})
+
+
+class TestTrigger:
+    def test_fires_when_condition_holds(self):
+        trigger = Trigger("cap", lambda values: values["x"] > 10,
+                          lambda values: {"x": 10})
+        assert trigger.maybe_fire("c", {"x": 99}) == {"x": 10}
+
+    def test_does_not_fire_otherwise(self):
+        trigger = Trigger("cap", lambda values: values["x"] > 10,
+                          lambda values: {"x": 10})
+        assert trigger.maybe_fire("c", {"x": 5}) is None
+
+    def test_once_trigger_deactivates(self):
+        trigger = Trigger("once", lambda values: True, lambda values: {"n": 1},
+                          perpetual=False)
+        assert trigger.maybe_fire("c", {}) == {"n": 1}
+        assert not trigger.active
+        assert trigger.maybe_fire("c", {}) is None
+
+    def test_perpetual_trigger_keeps_firing(self):
+        trigger = Trigger("always", lambda values: True,
+                          lambda values: None, perpetual=True)
+        trigger.maybe_fire("c", {})
+        trigger.maybe_fire("c", {})
+        assert trigger.active
+
+    def test_condition_error_wrapped(self):
+        trigger = Trigger("bad", lambda values: values["missing"],
+                          lambda values: None)
+        with pytest.raises(TriggerError):
+            trigger.maybe_fire("c", {})
+
+    def test_action_error_wrapped(self):
+        trigger = Trigger("bad", lambda values: True,
+                          lambda values: values["missing"])
+        with pytest.raises(TriggerError):
+            trigger.maybe_fire("c", {})
+
+
+class TestBehaviourRegistry:
+    def test_constraints_inherited_through_mro(self):
+        registry = BehaviourRegistry()
+        base_constraint = Constraint("base", lambda values: True)
+        derived_constraint = Constraint("derived", lambda values: True)
+        registry.add_constraint("employee", base_constraint)
+        registry.add_constraint("manager", derived_constraint)
+        found = registry.constraints_for(["manager", "employee"])
+        assert found == [derived_constraint, base_constraint]
+
+    def test_triggers_inherited_through_mro(self):
+        registry = BehaviourRegistry()
+        trigger = Trigger("t", lambda values: False, lambda values: None)
+        registry.add_trigger("employee", trigger)
+        assert registry.triggers_for(["manager", "employee"]) == [trigger]
+
+    def test_unrelated_class_sees_nothing(self):
+        registry = BehaviourRegistry()
+        registry.add_constraint("employee", Constraint("c", lambda v: True))
+        assert registry.constraints_for(["department"]) == []
+
+    def test_method_binding(self):
+        registry = BehaviourRegistry()
+        registry.bind_method("employee", "age", lambda values: 42)
+        assert registry.methods["employee"]["age"]({}) == 42

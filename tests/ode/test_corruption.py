@@ -1,0 +1,137 @@
+"""Failure injection: corruption must surface as clean errors, never as
+silent wrong answers or uncontrolled crashes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CodecError, OdeError, StorageError
+from repro.ode.codec import decode_object, decode_value, encode_object
+from repro.ode.oid import Oid
+from repro.ode.page import PAGE_SIZE, Page
+from repro.ode.pagefile import PageFile
+from repro.ode.store import ObjectStore
+from repro.ode.wal import WriteAheadLog
+
+
+class TestCodecFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_decode_value_never_crashes_uncontrolled(self, noise):
+        """Random bytes either decode to *something* or raise CodecError."""
+        try:
+            decode_value(noise, 0)
+        except CodecError:
+            pass
+        except (OverflowError, ValueError) as exc:  # would be a bug
+            pytest.fail(f"uncontrolled {type(exc).__name__}: {exc}")
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_decode_object_never_crashes_uncontrolled(self, noise):
+        try:
+            decode_object(noise)
+        except CodecError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(0, 255))
+    def test_bitflipped_object_record(self, position, new_byte):
+        oid = Oid("db", "c", 1)
+        data = bytearray(encode_object(oid, "c", {
+            "name": "victim", "n": 42, "tags": [1, 2, 3]}))
+        position %= len(data)
+        if data[position] == new_byte:
+            new_byte = (new_byte + 1) % 256
+        data[position] = new_byte
+        try:
+            decoded_oid, class_name, values = decode_object(bytes(data))
+        except (CodecError, OdeError):
+            return  # clean rejection
+        # if it still decodes, it must decode to *consistent* types
+        assert isinstance(class_name, str)
+        assert isinstance(values, dict)
+
+
+class TestPageCorruption:
+    def test_random_page_bytes_fail_cleanly(self):
+        rng = random.Random(7)
+        for _attempt in range(20):
+            noise = bytes(rng.randrange(256) for _ in range(PAGE_SIZE))
+            try:
+                page = Page(noise)
+                for slot in page.live_slots():
+                    page.read(slot)
+            except (OdeError, IndexError):
+                # header/slot bounds errors are acceptable clean failures
+                pass
+
+    def test_truncated_pagefile_detected(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with PageFile(path) as pagefile:
+            pagefile.allocate_page()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(StorageError):
+            PageFile(path)
+
+
+class TestWalCorruption:
+    def test_arbitrary_garbage_wal_yields_no_operations(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(bytes(range(256)) * 4)
+        with WriteAheadLog(path) as wal:
+            assert wal.committed_operations() == []
+
+    def test_bitflip_anywhere_never_crashes(self, tmp_path):
+        oid = Oid("db", "c", 0)
+        base = tmp_path / "wal.log"
+        with WriteAheadLog(base) as wal:
+            wal.begin_marker = None
+            from repro.ode.wal import OP_BEGIN, OP_COMMIT, OP_PUT, WalRecord
+
+            wal.append(WalRecord(op=OP_BEGIN, txid=1))
+            wal.append(WalRecord(op=OP_PUT, txid=1, oid=str(oid),
+                                 payload=b"payload"))
+            wal.append(WalRecord(op=OP_COMMIT, txid=1), sync=True)
+        pristine = base.read_bytes()
+        rng = random.Random(11)
+        for _attempt in range(40):
+            corrupted = bytearray(pristine)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            base.write_bytes(bytes(corrupted))
+            with WriteAheadLog(base) as wal:
+                operations = wal.committed_operations()
+                # either the record survived (flip was after commit frame)
+                # or it was dropped; never a wrong payload
+                for record in operations:
+                    assert record.payload in (b"payload",)
+
+
+class TestStoreCorruption:
+    def test_corrupt_record_detected_at_open(self, tmp_path):
+        directory = tmp_path / "db"
+        oid = Oid("db", "c", 0)
+        with ObjectStore(directory) as store:
+            store.put(oid, encode_object(oid, "c", {"n": 1}))
+        # flip a byte inside the stored record body
+        path = directory / ObjectStore.DATA_FILE
+        raw = bytearray(path.read_bytes())
+        marker = raw.find(0xB0, PAGE_SIZE)  # object magic in a data page
+        assert marker != -1
+        raw[marker] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(OdeError):
+            store = ObjectStore(directory)
+            store.get(oid)
+
+    def test_missing_wal_is_fine(self, tmp_path):
+        directory = tmp_path / "db"
+        oid = Oid("db", "c", 0)
+        with ObjectStore(directory) as store:
+            store.put(oid, encode_object(oid, "c", {"n": 1}))
+        (directory / ObjectStore.WAL_FILE).unlink()
+        with ObjectStore(directory) as store:
+            assert store.exists(oid)

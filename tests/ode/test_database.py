@@ -1,0 +1,125 @@
+"""Tests for the on-disk database (catalog, icon, behaviours, discovery)."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.ode.classdef import Attribute, OdeClass
+from repro.ode.database import Database, discover_databases
+from repro.ode.types import IntType, RefType, StringType
+
+
+class TestLifecycle:
+    def test_create_then_open(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_class(OdeClass("thing", attributes=(
+                Attribute("n", IntType()),)))
+            database.objects.new_object("thing", {"n": 7})
+        with Database.open(tmp_path / "x.odb") as database:
+            assert database.schema.has_class("thing")
+            oids = database.objects.cluster("thing").oids()
+            assert database.objects.get_buffer(oids[0]).value("n") == 7
+
+    def test_create_twice_rejected(self, tmp_path):
+        Database.create(tmp_path / "x.odb").close()
+        with pytest.raises(StorageError):
+            Database.create(tmp_path / "x.odb")
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Database.open(tmp_path / "nothing.odb")
+
+    def test_name_strips_suffix(self, tmp_path):
+        with Database.create(tmp_path / "lab.odb") as database:
+            assert database.name == "lab"
+
+
+class TestCatalog:
+    def test_define_class_persists(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_class(OdeClass("a"))
+        catalog = json.loads((tmp_path / "x.odb" / "catalog.json").read_text())
+        assert catalog["classes"][0]["name"] == "a"
+
+    def test_define_from_source(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_from_source("""
+                persistent class a { public: int n; };
+                persistent class b : public a { public: a *link; };
+            """)
+            assert database.schema.mro("b") == ["b", "a"]
+        with Database.open(tmp_path / "x.odb") as database:
+            assert database.schema.has_class("b")
+
+    def test_evolve_class_persists(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_class(OdeClass("a", attributes=(
+                Attribute("n", IntType()),)))
+            database.evolve_class(OdeClass("a", attributes=(
+                Attribute("n", IntType()),
+                Attribute("label", StringType(10)),
+            )))
+        with Database.open(tmp_path / "x.odb") as database:
+            names = [a.name for a in database.schema.all_attributes("a")]
+            assert names == ["n", "label"]
+
+    def test_drop_class_with_objects_rejected(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_class(OdeClass("a"))
+            database.objects.new_object("a")
+            with pytest.raises(SchemaError):
+                database.drop_class("a")
+
+    def test_drop_empty_class(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_class(OdeClass("a"))
+            database.drop_class("a")
+            assert not database.schema.has_class("a")
+
+
+class TestIcon:
+    def test_default_icon(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            assert database.icon == "[db]"
+
+    def test_set_icon(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.set_icon("[ATT]")
+            assert database.icon == "[ATT]"
+
+
+class TestBehaviourHook:
+    def test_behaviours_module_loaded_on_open(self, tmp_path):
+        with Database.create(tmp_path / "x.odb") as database:
+            database.define_class(OdeClass("a", attributes=(
+                Attribute("n", IntType()),)))
+        (tmp_path / "x.odb" / "behaviours.py").write_text(
+            "from repro.ode.constraints import Constraint\n"
+            "def bind(database):\n"
+            "    database.behaviours.add_constraint('a',\n"
+            "        Constraint('pos', lambda values: values['n'] >= 0))\n"
+        )
+        with Database.open(tmp_path / "x.odb") as database:
+            from repro.errors import ConstraintViolationError
+
+            with pytest.raises(ConstraintViolationError):
+                database.objects.new_object("a", {"n": -1})
+
+    def test_broken_behaviours_module_reported(self, tmp_path):
+        Database.create(tmp_path / "x.odb").close()
+        (tmp_path / "x.odb" / "behaviours.py").write_text("syntax error(((")
+        with pytest.raises(StorageError):
+            Database.open(tmp_path / "x.odb")
+
+
+class TestDiscovery:
+    def test_discovers_databases(self, tmp_path):
+        Database.create(tmp_path / "b.odb").close()
+        Database.create(tmp_path / "a.odb").close()
+        (tmp_path / "not-a-db").mkdir()
+        found = discover_databases(tmp_path)
+        assert [path.name for path in found] == ["a.odb", "b.odb"]
+
+    def test_missing_root_yields_nothing(self, tmp_path):
+        assert discover_databases(tmp_path / "nowhere") == []

@@ -1,0 +1,191 @@
+"""Edge cases across the substrate that the main suites don't reach."""
+
+import datetime
+
+import pytest
+
+from repro.errors import OdeError, SchemaError
+from repro.ode.classdef import Attribute, OdeClass
+from repro.ode.codec import decode_object, encode_object
+from repro.ode.database import Database
+from repro.ode.objectmanager import ObjectManager
+from repro.ode.oid import Oid
+from repro.ode.page import MAX_RECORD_SIZE
+from repro.ode.schema import Schema
+from repro.ode.store import ObjectStore
+from repro.ode.types import (
+    ArrayType,
+    IntType,
+    RefType,
+    SetType,
+    StringType,
+    StructType,
+)
+
+
+class TestDeepNesting:
+    def test_deeply_nested_struct_roundtrip(self, tmp_path):
+        layers = 12
+        value = 7
+        for _ in range(layers):
+            value = {"inner": value}
+        oid = Oid("db", "c", 0)
+        data = encode_object(oid, "c", {"deep": value})
+        _oid, _cls, values = decode_object(data)
+        probe = values["deep"]
+        for _ in range(layers):
+            probe = probe["inner"]
+        assert probe == 7
+
+    def test_matrix_of_structs(self):
+        point = StructType("Point", [("x", IntType()), ("y", IntType())])
+        grid = ArrayType(ArrayType(point, 2), 2)
+        value = [[{"x": 1, "y": 2}, {"x": 3, "y": 4}],
+                 [{"x": 5, "y": 6}, {"x": 7, "y": 8}]]
+        grid.validate(value)
+        with pytest.raises(OdeError):
+            grid.validate([[{"x": 1, "y": 2}]])
+
+
+class TestStoreGrowth:
+    def test_record_growing_across_fragment_boundary(self, tmp_path):
+        """A record updated from single-page to fragmented and back."""
+        oid = Oid("db", "blob", 0)
+        with ObjectStore(tmp_path / "db") as store:
+            small = encode_object(oid, "blob", {"p": "x"})
+            store.put(oid, small)
+            big = encode_object(oid, "blob",
+                                {"p": "y" * (2 * MAX_RECORD_SIZE)})
+            store.put(oid, big)
+            assert store.get(oid) == big
+            store.put(oid, small)
+            assert store.get(oid) == small
+        with ObjectStore(tmp_path / "db") as store:
+            assert store.get(oid) == small
+
+    def test_many_objects_span_many_pages(self, tmp_path):
+        with ObjectStore(tmp_path / "db") as store:
+            payload = "z" * 900  # ~4 records per page
+            for number in range(100):
+                oid = Oid("db", "c", number)
+                store.put(oid, encode_object(oid, "c", {"p": payload}))
+            assert store.cluster_size("c") == 100
+        with ObjectStore(tmp_path / "db") as store:
+            assert store.cluster_size("c") == 100
+
+    def test_tiny_buffer_pool_still_correct(self, tmp_path):
+        with ObjectStore(tmp_path / "db", pool_capacity=2) as store:
+            for number in range(60):
+                oid = Oid("db", "c", number)
+                store.put(oid, encode_object(oid, "c",
+                                             {"n": number, "pad": "x" * 500}))
+            for number in range(60):
+                oid = Oid("db", "c", number)
+                _o, _c, values = decode_object(store.get(oid))
+                assert values["n"] == number
+            assert store.pool.stats.evictions > 0
+
+
+class TestSchemaCornerCases:
+    def test_from_dict_rejects_non_struct_entry(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict({"structs": [{"tag": "int"}], "classes": []})
+
+    def test_empty_schema_roundtrip(self):
+        assert Schema.from_dict(Schema().to_dict()).class_names() == []
+
+    def test_wide_hierarchy(self):
+        schema = Schema()
+        schema.add_class(OdeClass("base"))
+        for index in range(40):
+            schema.add_class(OdeClass(f"leaf{index}", bases=("base",)))
+        assert len(schema.subclasses("base")) == 40
+        assert schema.descendants("base") == [f"leaf{i}" for i in range(40)]
+
+    def test_long_chain_mro(self):
+        schema = Schema()
+        previous = None
+        for index in range(60):
+            name = f"c{index}"
+            schema.add_class(OdeClass(
+                name, bases=(previous,) if previous else ()))
+            previous = name
+        assert len(schema.mro("c59")) == 60
+
+
+class TestManagerCornerCases:
+    @pytest.fixture
+    def manager(self, tmp_path):
+        schema = Schema()
+        schema.add_class(OdeClass("node", attributes=(
+            Attribute("label", StringType(8)),
+            Attribute("next_node", RefType("node")),
+            Attribute("others", SetType(RefType("node"))),
+        )))
+        store = ObjectStore(tmp_path / "db")
+        yield ObjectManager(store, schema, "db")
+        store.close()
+
+    def test_self_reference(self, manager):
+        oid = manager.new_object("node", {"label": "loop"})
+        manager.update(oid, {"next_node": oid})
+        buffer = manager.get_buffer(oid)
+        assert buffer.value("next_node") == oid
+
+    def test_reference_cycle_between_objects(self, manager):
+        a = manager.new_object("node", {"label": "a"})
+        b = manager.new_object("node", {"label": "b", "next_node": a})
+        manager.update(a, {"next_node": b})
+        assert manager.get_buffer(a).value("next_node") == b
+        assert manager.get_buffer(b).value("next_node") == a
+
+    def test_set_containing_self_and_others(self, manager):
+        a = manager.new_object("node", {"label": "a"})
+        b = manager.new_object("node", {"label": "b"})
+        manager.update(a, {"others": [a, b]})
+        assert manager.get_buffer(a).value("others") == [a, b]
+
+    def test_navigation_over_cycle_terminates(self, manager, tmp_path):
+        from repro.core.navigation import SetNode
+
+        a = manager.new_object("node", {"label": "a"})
+        b = manager.new_object("node", {"label": "b", "next_node": a})
+        manager.update(a, {"next_node": b})
+        root = SetNode(manager, "node", "cycle")
+        root.next()
+        chain = root.child("next_node").child("next_node").child("next_node")
+        # a -> b -> a -> b: lazily created nodes, no infinite recursion
+        assert chain.current == b
+
+    def test_update_to_dangling_reference_allowed_then_detected(self, manager):
+        a = manager.new_object("node", {"label": "a"})
+        b = manager.new_object("node", {"label": "b"})
+        manager.update(a, {"next_node": b})
+        manager.delete(b)
+        # the store has no FK enforcement (as in Ode); the dangling ref
+        # surfaces as ObjectNotFoundError on fetch
+        from repro.errors import ObjectNotFoundError
+
+        dangling = manager.get_buffer(a).value("next_node")
+        with pytest.raises(ObjectNotFoundError):
+            manager.get_buffer(dangling)
+
+
+class TestDatesAndStrings:
+    def test_extreme_dates_roundtrip(self, tmp_path):
+        with Database.create(tmp_path / "d.odb") as database:
+            database.define_class(OdeClass("event", attributes=(
+                Attribute("when", __import__("repro.ode.types",
+                                             fromlist=["DateType"]).DateType()),
+            )))
+            for when in (datetime.date(1, 1, 1), datetime.date(9999, 12, 31)):
+                oid = database.objects.new_object("event", {"when": when})
+                assert database.objects.get_buffer(oid).value("when") == when
+
+    def test_unicode_strings_roundtrip(self, tmp_path):
+        with Database.create(tmp_path / "u.odb") as database:
+            database.define_class(OdeClass("note", attributes=(
+                Attribute("text", StringType()),)))
+            text = "naïve ☃ 中文 \n tab\t end"
+            oid = database.objects.new_object("note", {"text": text})
+            assert database.objects.get_buffer(oid).value("text") == text

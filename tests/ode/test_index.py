@@ -1,0 +1,142 @@
+"""Tests for attribute indexes."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.ode.index import AttributeIndex
+
+
+class TestAttributeIndex:
+    def test_insert_and_equal(self):
+        index = AttributeIndex("employee", "id")
+        for number, value in [(0, 5), (1, 3), (2, 5)]:
+            index.insert(number, value)
+        assert index.equal(5) == [0, 2]
+        assert index.equal(3) == [1]
+        assert index.equal(99) == []
+
+    def test_remove(self):
+        index = AttributeIndex("employee", "id")
+        index.insert(0, 5)
+        index.insert(1, 5)
+        index.remove(0)
+        assert index.equal(5) == [1]
+        index.remove(0)  # idempotent
+        assert len(index) == 1
+
+    def test_update_moves_entry(self):
+        index = AttributeIndex("employee", "id")
+        index.insert(0, 5)
+        index.update(0, 9)
+        assert index.equal(5) == []
+        assert index.equal(9) == [0]
+        assert len(index) == 1
+
+    def test_reinsert_replaces(self):
+        index = AttributeIndex("employee", "id")
+        index.insert(0, 5)
+        index.insert(0, 7)
+        assert index.equal(5) == []
+        assert index.equal(7) == [0]
+
+    def test_range_inclusive_exclusive(self):
+        index = AttributeIndex("employee", "id")
+        for number in range(10):
+            index.insert(number, number * 10)
+        assert index.range(low=20, high=40) == [2, 3, 4]
+        assert index.range(low=20, high=40, include_low=False) == [3, 4]
+        assert index.range(low=20, high=40, include_high=False) == [2, 3]
+        assert index.range(low=85) == [9]
+        assert index.range(high=5) == [0]
+        assert index.range() == list(range(10))
+
+    def test_string_values(self):
+        index = AttributeIndex("employee", "name")
+        for number, name in enumerate(["carol", "alex", "bell"]):
+            index.insert(number, name)
+        assert index.range(high="bell") == [1, 2]
+        assert index.equal("alex") == [1]
+
+    def test_date_values(self):
+        index = AttributeIndex("employee", "hired")
+        index.insert(0, datetime.date(1980, 1, 1))
+        index.insert(1, datetime.date(1985, 1, 1))
+        assert index.range(low=datetime.date(1982, 1, 1)) == [1]
+
+    def test_unindexable_value_rejected(self):
+        index = AttributeIndex("employee", "x")
+        with pytest.raises(SchemaError):
+            index.insert(0, [1, 2])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(-50, 50)),
+                    max_size=60))
+    def test_matches_naive_model(self, operations):
+        index = AttributeIndex("c", "a")
+        model = {}
+        for number, value in operations:
+            index.insert(number, value)
+            model[number] = value
+        for probe in {value for _n, value in operations} | {0}:
+            expected = sorted(n for n, v in model.items() if v == probe)
+            assert index.equal(probe) == expected
+        low, high = -10, 10
+        expected = sorted(n for n, v in model.items() if low <= v <= high)
+        assert index.range(low=low, high=high) == expected
+
+
+class TestIndexManager:
+    def test_create_builds_from_existing_objects(self, lab_db):
+        index = lab_db.objects.indexes.create_index("employee", "id")
+        assert len(index) == 55
+        assert index.equal(7) == [7]
+
+    def test_duplicate_create_rejected(self, lab_db):
+        lab_db.objects.indexes.create_index("employee", "id")
+        with pytest.raises(SchemaError):
+            lab_db.objects.indexes.create_index("employee", "id")
+
+    def test_private_attribute_rejected(self, lab_db):
+        with pytest.raises(SchemaError):
+            lab_db.objects.indexes.create_index("employee", "salary")
+
+    def test_reference_attribute_rejected(self, lab_db):
+        with pytest.raises(SchemaError):
+            lab_db.objects.indexes.create_index("employee", "dept")
+
+    def test_unknown_attribute_rejected(self, lab_db):
+        with pytest.raises(SchemaError):
+            lab_db.objects.indexes.create_index("employee", "ghost")
+
+    def test_maintained_on_create_update_delete(self, lab_db):
+        index = lab_db.objects.indexes.create_index("employee", "id")
+        oid = lab_db.objects.new_object("employee", {"id": 777})
+        assert index.equal(777) == [oid.number]
+        lab_db.objects.update(oid, {"id": 778})
+        assert index.equal(777) == []
+        assert index.equal(778) == [oid.number]
+        lab_db.objects.delete(oid)
+        assert index.equal(778) == []
+
+    def test_index_scoped_to_exact_class(self, lab_db):
+        """Clusters are per-class (§2): an employee index ignores managers."""
+        index = lab_db.objects.indexes.create_index("employee", "id")
+        lab_db.objects.new_object("manager", {"id": 12345})
+        assert index.equal(12345) == []
+
+    def test_drop_index(self, lab_db):
+        lab_db.objects.indexes.create_index("employee", "id")
+        lab_db.objects.indexes.drop_index("employee", "id")
+        assert not lab_db.objects.indexes.has_index("employee", "id")
+        with pytest.raises(SchemaError):
+            lab_db.objects.indexes.drop_index("employee", "id")
+
+    def test_rebuild(self, lab_db):
+        index = lab_db.objects.indexes.create_index("employee", "name")
+        index.clear()
+        assert len(index) == 0
+        lab_db.objects.indexes.rebuild("employee", "name")
+        assert index.equal("rakesh") == [0]

@@ -1,0 +1,230 @@
+"""Tests for the object manager: the gateway OdeView talks to."""
+
+import datetime
+
+import pytest
+
+from repro.errors import (
+    AccessError,
+    ConstraintViolationError,
+    ObjectNotFoundError,
+    SchemaError,
+    TypeError_,
+)
+from repro.ode.classdef import Access, Attribute, MemberFunction, OdeClass
+from repro.ode.constraints import BehaviourRegistry, Constraint, Trigger
+from repro.ode.objectmanager import ObjectManager
+from repro.ode.oid import Oid
+from repro.ode.schema import Schema
+from repro.ode.store import ObjectStore
+from repro.ode.types import IntType, RefType, SetType, StringType
+
+
+@pytest.fixture
+def manager(tmp_path):
+    schema = Schema()
+    schema.add_class(OdeClass("employee", attributes=(
+        Attribute("name", StringType(20)),
+        Attribute("id", IntType()),
+        Attribute("dept", RefType("department")),
+        Attribute("salary", IntType(), Access.PRIVATE),
+    ), methods=(
+        MemberFunction("double_id", fn=lambda values: values["id"] * 2,
+                       side_effects=False),
+        MemberFunction("fire_everyone", fn=lambda values: None,
+                       side_effects=True),
+    )))
+    schema.add_class(OdeClass("department", attributes=(
+        Attribute("dname", StringType(20)),
+        Attribute("employees", SetType(RefType("employee"))),
+    )))
+    store = ObjectStore(tmp_path / "db")
+    yield ObjectManager(store, schema, "db")
+    store.close()
+
+
+class TestCreate:
+    def test_new_object_returns_oid_in_cluster(self, manager):
+        oid = manager.new_object("employee", {"name": "rakesh", "id": 1})
+        assert oid.cluster == "employee"
+        assert manager.exists(oid)
+
+    def test_defaults_filled(self, manager):
+        oid = manager.new_object("employee")
+        buffer = manager.get_buffer(oid)
+        assert buffer.value("name") == ""
+        assert buffer.value("id") == 0
+        assert buffer.value("dept") is None
+
+    def test_unknown_attribute_rejected(self, manager):
+        with pytest.raises(SchemaError):
+            manager.new_object("employee", {"ghost": 1})
+
+    def test_type_checked(self, manager):
+        with pytest.raises(TypeError_):
+            manager.new_object("employee", {"id": "not an int"})
+
+    def test_unknown_class_rejected(self, manager):
+        with pytest.raises(SchemaError):
+            manager.new_object("ghost")
+
+    def test_reference_target_class_checked(self, manager):
+        wrong = manager.new_object("employee")
+        with pytest.raises(TypeError_):
+            manager.new_object("employee", {"dept": wrong})
+
+    def test_explicit_oid_cluster_must_match(self, manager):
+        with pytest.raises(SchemaError):
+            manager.new_object("employee", oid=Oid("db", "department", 0))
+
+    def test_non_persistent_class_rejected(self, manager):
+        manager.schema.add_class(OdeClass("scratch", persistent=False))
+        with pytest.raises(SchemaError):
+            manager.new_object("scratch")
+
+
+class TestBuffer:
+    def test_public_view_hides_private(self, manager):
+        oid = manager.new_object("employee", {"name": "x", "salary": 9})
+        view = manager.get_buffer(oid).public_view()
+        assert "salary" not in view
+        assert view["name"] == "x"
+
+    def test_private_access_requires_privilege(self, manager):
+        oid = manager.new_object("employee", {"salary": 9})
+        buffer = manager.get_buffer(oid)
+        with pytest.raises(AccessError):
+            buffer.value("salary")
+        assert buffer.value("salary", privileged=True) == 9
+
+    def test_computed_attribute_evaluated(self, manager):
+        oid = manager.new_object("employee", {"id": 21})
+        buffer = manager.get_buffer(oid)
+        assert buffer.value("double_id") == 42
+        assert buffer.public_view()["double_id"] == 42
+
+    def test_side_effecting_method_not_evaluated(self, manager):
+        oid = manager.new_object("employee")
+        buffer = manager.get_buffer(oid)
+        assert "fire_everyone" not in buffer.computed
+
+    def test_unknown_attribute_rejected(self, manager):
+        oid = manager.new_object("employee")
+        with pytest.raises(ObjectNotFoundError):
+            manager.get_buffer(oid).value("ghost")
+
+    def test_attribute_names(self, manager):
+        oid = manager.new_object("employee")
+        buffer = manager.get_buffer(oid)
+        public = buffer.attribute_names()
+        assert "salary" not in public
+        assert "double_id" in public
+        assert "salary" in buffer.attribute_names(privileged=True)
+
+
+class TestUpdateDelete:
+    def test_update(self, manager):
+        oid = manager.new_object("employee", {"name": "old"})
+        buffer = manager.update(oid, {"name": "new"})
+        assert buffer.value("name") == "new"
+
+    def test_update_type_checked(self, manager):
+        oid = manager.new_object("employee")
+        with pytest.raises(TypeError_):
+            manager.update(oid, {"id": "oops"})
+
+    def test_update_unknown_attribute_rejected(self, manager):
+        oid = manager.new_object("employee")
+        with pytest.raises(SchemaError):
+            manager.update(oid, {"ghost": 1})
+
+    def test_delete(self, manager):
+        oid = manager.new_object("employee")
+        manager.delete(oid)
+        assert not manager.exists(oid)
+        with pytest.raises(ObjectNotFoundError):
+            manager.delete(oid)
+
+
+class TestConstraintsAndTriggers:
+    def test_constraint_checked_on_create(self, manager):
+        manager.behaviours.add_constraint(
+            "employee",
+            Constraint("nonneg", lambda values: values["id"] >= 0))
+        with pytest.raises(ConstraintViolationError):
+            manager.new_object("employee", {"id": -1})
+
+    def test_constraint_checked_on_update(self, manager):
+        manager.behaviours.add_constraint(
+            "employee",
+            Constraint("nonneg", lambda values: values["id"] >= 0))
+        oid = manager.new_object("employee", {"id": 1})
+        with pytest.raises(ConstraintViolationError):
+            manager.update(oid, {"id": -5})
+        # failed update leaves the object unchanged
+        assert manager.get_buffer(oid).value("id") == 1
+
+    def test_trigger_applies_updates(self, manager):
+        manager.behaviours.add_trigger("employee", Trigger(
+            "cap", lambda values: values["salary"] > 100,
+            lambda values: {"salary": 100}, perpetual=True))
+        oid = manager.new_object("employee", {"salary": 50})
+        manager.update(oid, {"salary": 9000})
+        assert manager.get_buffer(oid).value("salary", privileged=True) == 100
+
+    def test_trigger_updates_are_type_checked(self, manager):
+        manager.behaviours.add_trigger("employee", Trigger(
+            "bad", lambda values: True,
+            lambda values: {"id": "broken"}, perpetual=True))
+        oid = manager.new_object("employee")
+        with pytest.raises(TypeError_):
+            manager.update(oid, {"name": "x"})
+
+
+class TestCursorsAndSelect:
+    def test_count(self, manager):
+        for index in range(4):
+            manager.new_object("employee", {"id": index})
+        assert manager.count("employee") == 4
+
+    def test_cursor_sequences_in_oid_order(self, manager):
+        for index in range(3):
+            manager.new_object("employee", {"id": index})
+        cursor = manager.cursor("employee")
+        assert cursor.next().number == 0
+        assert cursor.next().number == 1
+
+    def test_cursor_with_predicate_pushdown(self, manager):
+        for index in range(6):
+            manager.new_object("employee", {"id": index})
+        cursor = manager.cursor(
+            "employee", predicate=lambda buffer: buffer.value("id") >= 4)
+        assert cursor.next().number == 4
+        assert cursor.next().number == 5
+        assert cursor.next() is None
+
+    def test_select(self, manager):
+        for index in range(5):
+            manager.new_object("employee", {"id": index})
+        chosen = list(manager.select(
+            "employee", lambda buffer: buffer.value("id") % 2 == 0))
+        assert [b.value("id") for b in chosen] == [0, 2, 4]
+
+    def test_select_without_predicate_yields_all(self, manager):
+        manager.new_object("employee")
+        manager.new_object("employee")
+        assert len(list(manager.select("employee"))) == 2
+
+
+class TestTransactions:
+    def test_commit(self, manager):
+        manager.begin()
+        oid = manager.new_object("employee", {"name": "tx"})
+        manager.commit()
+        assert manager.get_buffer(oid).value("name") == "tx"
+
+    def test_abort(self, manager):
+        manager.begin()
+        oid = manager.new_object("employee", {"name": "tx"})
+        manager.abort()
+        assert not manager.exists(oid)

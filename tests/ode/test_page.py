@@ -1,0 +1,191 @@
+"""Tests for slotted pages."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PageError, PageFullError
+from repro.ode.page import MAX_RECORD_SIZE, PAGE_SIZE, Page
+
+
+class TestBasics:
+    def test_fresh_page_is_empty(self):
+        page = Page()
+        assert page.slot_count == 0
+        assert page.is_empty()
+        assert page.live_slots() == []
+
+    def test_insert_and_read(self):
+        page = Page()
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_inserts_get_distinct_slots(self):
+        page = Page()
+        slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+        assert len(set(slots)) == 10
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"rec{i}".encode()
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(PageError):
+            Page().insert(b"")
+
+    def test_read_bad_slot_rejected(self):
+        with pytest.raises(PageError):
+            Page().read(0)
+
+    def test_serialization_roundtrip(self):
+        page = Page()
+        slot = page.insert(b"persist me")
+        reloaded = Page(page.to_bytes())
+        assert reloaded.read(slot) == b"persist me"
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PageError):
+            Page(b"short")
+
+    def test_dirty_tracking(self):
+        page = Page()
+        page.dirty = False
+        page.insert(b"x")
+        assert page.dirty
+
+
+class TestDelete:
+    def test_delete_makes_tombstone(self):
+        page = Page()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.read(slot)
+        assert slot not in page.live_slots()
+
+    def test_double_delete_rejected(self):
+        page = Page()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_tombstone_slot_reused(self):
+        page = Page()
+        first = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(first)
+        reused = page.insert(b"c")
+        assert reused == first
+        assert page.read(reused) == b"c"
+
+    def test_is_empty_after_deleting_all(self):
+        page = Page()
+        slots = [page.insert(b"r") for _ in range(3)]
+        for slot in slots:
+            page.delete(slot)
+        assert page.is_empty()
+
+
+class TestUpdate:
+    def test_update_in_place(self):
+        page = Page()
+        slot = page.insert(b"abcdef")
+        page.update(slot, b"xyz")
+        assert page.read(slot) == b"xyz"
+
+    def test_update_grow_keeps_slot(self):
+        page = Page()
+        slot = page.insert(b"ab")
+        other = page.insert(b"other")
+        page.update(slot, b"a much longer record body")
+        assert page.read(slot) == b"a much longer record body"
+        assert page.read(other) == b"other"
+
+    def test_update_deleted_rejected(self):
+        page = Page()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.update(slot, b"y")
+
+    def test_update_too_big_raises_and_preserves(self):
+        page = Page()
+        slot = page.insert(b"keep")
+        filler = page.insert(bytes(page.free_space() - 8))
+        with pytest.raises(PageFullError):
+            page.update(slot, bytes(1000))
+        assert page.read(slot) == b"keep"
+        assert page.read(filler) is not None
+
+
+class TestSpace:
+    def test_max_record_fits_fresh_page(self):
+        page = Page()
+        slot = page.insert(bytes(MAX_RECORD_SIZE))
+        assert len(page.read(slot)) == MAX_RECORD_SIZE
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(PageFullError):
+            Page().insert(bytes(MAX_RECORD_SIZE + 1))
+
+    def test_fits_matches_insert(self):
+        page = Page()
+        page.insert(bytes(1000))
+        size = page.free_space()
+        assert page.fits(size)
+        assert not page.fits(size + 1)
+        page.insert(bytes(size))
+
+    def test_compaction_reclaims_deleted_space(self):
+        page = Page()
+        slots = [page.insert(bytes(500)) for _ in range(7)]
+        for slot in slots[:-1]:
+            page.delete(slot)
+        # Without compaction the contiguous region is exhausted; insert
+        # must trigger compaction and succeed.
+        big = page.insert(bytes(2000))
+        assert len(page.read(big)) == 2000
+        assert page.read(slots[-1]) == bytes(500)
+
+    def test_compaction_preserves_slot_numbers(self):
+        page = Page()
+        keep_a = page.insert(b"alpha")
+        victim = page.insert(bytes(3000))
+        keep_b = page.insert(b"beta")
+        page.delete(victim)
+        page.insert(bytes(3000))  # forces compaction
+        assert page.read(keep_a) == b"alpha"
+        assert page.read(keep_b) == b"beta"
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=200), min_size=1,
+                    max_size=40))
+    def test_inserted_records_all_readable(self, records):
+        page = Page()
+        slots = {}
+        for record in records:
+            if not page.fits(len(record)):
+                break
+            slots[page.insert(record)] = record
+        for slot, record in slots.items():
+            assert page.read(slot) == record
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=1, max_size=120), min_size=4, max_size=24),
+        st.data(),
+    )
+    def test_interleaved_delete_insert_consistent(self, records, data):
+        page = Page()
+        live = {}
+        for index, record in enumerate(records):
+            if live and data.draw(st.booleans(), label=f"del{index}"):
+                victim = data.draw(
+                    st.sampled_from(sorted(live)), label=f"victim{index}")
+                page.delete(victim)
+                del live[victim]
+            if page.fits(len(record)):
+                live[page.insert(record)] = record
+        for slot, record in live.items():
+            assert page.read(slot) == record
+        assert sorted(page.live_slots()) == sorted(live)

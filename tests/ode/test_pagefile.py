@@ -1,0 +1,70 @@
+"""Tests for the page file."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.ode.page import PAGE_SIZE
+from repro.ode.pagefile import PageFile
+
+
+class TestLifecycle:
+    def test_fresh_file_has_header_only(self, tmp_path):
+        with PageFile(tmp_path / "data.pages") as pagefile:
+            assert pagefile.page_count == 1
+            assert list(pagefile.data_page_numbers()) == []
+
+    def test_allocate_grows_file(self, tmp_path):
+        with PageFile(tmp_path / "data.pages") as pagefile:
+            first = pagefile.allocate_page()
+            second = pagefile.allocate_page()
+            assert (first, second) == (1, 2)
+            assert list(pagefile.data_page_numbers()) == [1, 2]
+
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with PageFile(path) as pagefile:
+            page_no = pagefile.allocate_page()
+            pagefile.write_page(page_no, b"\xAB" * PAGE_SIZE)
+        with PageFile(path) as pagefile:
+            assert pagefile.page_count == 2
+            assert pagefile.read_page(page_no) == b"\xAB" * PAGE_SIZE
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.pages"
+        path.write_bytes(b"not a page file".ljust(PAGE_SIZE, b"\x00"))
+        with pytest.raises(StorageError):
+            PageFile(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.pages"
+        with PageFile(path) as pagefile:
+            pagefile.allocate_page()
+        data = path.read_bytes()
+        path.write_bytes(data[:-100])
+        with pytest.raises(StorageError):
+            PageFile(path)
+
+
+class TestAccessChecks:
+    def test_read_header_page_rejected(self, tmp_path):
+        with PageFile(tmp_path / "d.pages") as pagefile:
+            with pytest.raises(StorageError):
+                pagefile.read_page(0)
+
+    def test_read_out_of_range_rejected(self, tmp_path):
+        with PageFile(tmp_path / "d.pages") as pagefile:
+            with pytest.raises(StorageError):
+                pagefile.read_page(1)
+
+    def test_write_wrong_size_rejected(self, tmp_path):
+        with PageFile(tmp_path / "d.pages") as pagefile:
+            page_no = pagefile.allocate_page()
+            with pytest.raises(StorageError):
+                pagefile.write_page(page_no, b"tiny")
+
+    def test_write_then_read(self, tmp_path):
+        with PageFile(tmp_path / "d.pages") as pagefile:
+            page_no = pagefile.allocate_page()
+            payload = bytes(range(256)) * (PAGE_SIZE // 256)
+            pagefile.write_page(page_no, payload)
+            assert pagefile.read_page(page_no) == payload

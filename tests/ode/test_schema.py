@@ -1,0 +1,214 @@
+"""Tests for the schema registry and inheritance queries."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.ode.classdef import Access, Attribute, MemberFunction, OdeClass
+from repro.ode.schema import Schema
+from repro.ode.types import IntType, RefType, SetType, StringType, StructType
+
+
+@pytest.fixture
+def lab_schema():
+    schema = Schema()
+    schema.add_class(OdeClass("employee", attributes=(
+        Attribute("name", StringType(20)),
+        Attribute("dept", RefType("department")),
+        Attribute("salary", IntType(), Access.PRIVATE),
+    )))
+    schema.add_class(OdeClass("department", attributes=(
+        Attribute("dname", StringType(20)),
+        Attribute("employees", SetType(RefType("employee"))),
+    )))
+    schema.add_class(OdeClass("manager", bases=("employee", "department"),
+                              attributes=(Attribute("bonus", IntType()),)))
+    return schema
+
+
+class TestRegistration:
+    def test_duplicate_class_rejected(self, lab_schema):
+        with pytest.raises(SchemaError):
+            lab_schema.add_class(OdeClass("employee"))
+
+    def test_unknown_base_rejected(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.add_class(OdeClass("manager", bases=("employee",)))
+
+    def test_class_names_in_declaration_order(self, lab_schema):
+        assert lab_schema.class_names() == ["employee", "department", "manager"]
+
+    def test_struct_and_class_name_collision_rejected(self, lab_schema):
+        with pytest.raises(SchemaError):
+            lab_schema.add_struct(StructType("employee", [("x", IntType())]))
+        lab_schema.add_struct(StructType("Address", [("x", IntType())]))
+        with pytest.raises(SchemaError):
+            lab_schema.add_class(OdeClass("Address"))
+
+    def test_duplicate_struct_rejected(self, lab_schema):
+        lab_schema.add_struct(StructType("S", [("x", IntType())]))
+        with pytest.raises(SchemaError):
+            lab_schema.add_struct(StructType("S", [("x", IntType())]))
+
+    def test_unknown_class_lookup_rejected(self, lab_schema):
+        with pytest.raises(SchemaError):
+            lab_schema.get_class("nothing")
+
+    def test_version_bumps_on_change(self, lab_schema):
+        before = lab_schema.version
+        lab_schema.add_class(OdeClass("intern", bases=("employee",)))
+        assert lab_schema.version > before
+
+
+class TestInheritanceQueries:
+    def test_mro(self, lab_schema):
+        assert lab_schema.mro("manager") == ["manager", "employee", "department"]
+
+    def test_superclasses_direct_only(self, lab_schema):
+        assert lab_schema.superclasses("manager") == ["employee", "department"]
+        assert lab_schema.superclasses("employee") == []
+
+    def test_subclasses_direct_only(self, lab_schema):
+        assert lab_schema.subclasses("employee") == ["manager"]
+        assert lab_schema.subclasses("manager") == []
+
+    def test_descendants_transitive(self, lab_schema):
+        lab_schema.add_class(OdeClass("vp", bases=("manager",)))
+        assert lab_schema.descendants("employee") == ["manager", "vp"]
+
+    def test_ancestors_transitive(self, lab_schema):
+        lab_schema.add_class(OdeClass("vp", bases=("manager",)))
+        assert lab_schema.ancestors("vp") == ["manager", "employee", "department"]
+
+    def test_is_subclass_reflexive(self, lab_schema):
+        assert lab_schema.is_subclass("employee", "employee")
+
+    def test_is_subclass(self, lab_schema):
+        assert lab_schema.is_subclass("manager", "employee")
+        assert lab_schema.is_subclass("manager", "department")
+        assert not lab_schema.is_subclass("employee", "manager")
+
+    def test_is_subclass_unknown_false(self, lab_schema):
+        assert not lab_schema.is_subclass("ghost", "employee")
+
+    def test_roots(self, lab_schema):
+        assert lab_schema.roots() == ["employee", "department"]
+
+    def test_edges(self, lab_schema):
+        assert lab_schema.edges() == [("employee", "manager"),
+                                      ("department", "manager")]
+
+
+class TestMergedMembers:
+    def test_all_attributes_base_first(self, lab_schema):
+        names = [a.name for a in lab_schema.all_attributes("manager")]
+        assert names == ["dname", "employees", "name", "dept", "salary",
+                         "bonus"] or names == [
+            "name", "dept", "salary", "dname", "employees", "bonus"]
+        assert names[-1] == "bonus"  # own attributes last
+
+    def test_diamond_attribute_not_duplicated(self):
+        schema = Schema()
+        schema.add_class(OdeClass("person",
+                                  attributes=(Attribute("name", StringType()),)))
+        schema.add_class(OdeClass("student", bases=("person",)))
+        schema.add_class(OdeClass("staff", bases=("person",)))
+        schema.add_class(OdeClass("ta", bases=("student", "staff")))
+        names = [a.name for a in schema.all_attributes("ta")]
+        assert names.count("name") == 1
+
+    def test_conflicting_inherited_attributes_rejected(self):
+        schema = Schema()
+        schema.add_class(OdeClass("a", attributes=(Attribute("x", IntType()),)))
+        schema.add_class(OdeClass("b",
+                                  attributes=(Attribute("x", StringType()),)))
+        with pytest.raises(SchemaError):
+            schema.add_class(OdeClass("c", bases=("a", "b")))
+
+    def test_redeclared_attribute_with_other_type_rejected(self):
+        schema = Schema()
+        schema.add_class(OdeClass("a", attributes=(Attribute("x", IntType()),)))
+        with pytest.raises(SchemaError):
+            schema.add_class(OdeClass(
+                "b", bases=("a",),
+                attributes=(Attribute("x", StringType()),)))
+
+    def test_method_override(self):
+        schema = Schema()
+        schema.add_class(OdeClass("a", methods=(
+            MemberFunction("m", fn=lambda values: "base"),)))
+        schema.add_class(OdeClass("b", bases=("a",), methods=(
+            MemberFunction("m", fn=lambda values: "derived"),)))
+        merged = {m.name: m for m in schema.all_methods("b")}
+        assert merged["m"].call({}) == "derived"
+
+    def test_find_attribute(self, lab_schema):
+        assert lab_schema.find_attribute("manager", "name").name == "name"
+        with pytest.raises(SchemaError):
+            lab_schema.find_attribute("manager", "ghost")
+
+    def test_reference_attributes(self, lab_schema):
+        names = [a.name for a in lab_schema.reference_attributes("employee")]
+        assert names == ["dept"]
+        names = [a.name for a in lab_schema.reference_attributes("department")]
+        assert names == ["employees"]
+
+
+class TestEvolution:
+    def test_drop_leaf_class(self, lab_schema):
+        lab_schema.add_class(OdeClass("intern", bases=("employee",)))
+        lab_schema.drop_class("intern")
+        assert not lab_schema.has_class("intern")
+
+    def test_drop_base_class_rejected(self, lab_schema):
+        with pytest.raises(SchemaError):
+            lab_schema.drop_class("employee")
+
+    def test_drop_referenced_class_rejected(self, lab_schema):
+        lab_schema.add_class(OdeClass(
+            "badge", attributes=(Attribute("of", RefType("employee")),)))
+        # department is referenced by employee.dept
+        with pytest.raises(SchemaError):
+            lab_schema.drop_class("department")
+
+    def test_replace_class(self, lab_schema):
+        evolved = OdeClass("employee", attributes=(
+            Attribute("name", StringType(20)),
+            Attribute("dept", RefType("department")),
+            Attribute("salary", IntType(), Access.PRIVATE),
+            Attribute("email", StringType(40)),
+        ))
+        lab_schema.replace_class(evolved)
+        names = [a.name for a in lab_schema.all_attributes("employee")]
+        assert "email" in names
+
+    def test_replace_unknown_rejected(self, lab_schema):
+        with pytest.raises(SchemaError):
+            lab_schema.replace_class(OdeClass("ghost"))
+
+    def test_replace_creating_cycle_rejected(self, lab_schema):
+        with pytest.raises(SchemaError):
+            lab_schema.replace_class(OdeClass("employee", bases=("manager",)))
+        # and the old definition is restored
+        assert lab_schema.get_class("employee").bases == ()
+
+
+class TestValidationAndPersistence:
+    def test_validate_catches_dangling_reference(self):
+        schema = Schema()
+        schema.add_class(OdeClass(
+            "employee", attributes=(Attribute("dept", RefType("ghost")),)))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_ok(self, lab_schema):
+        lab_schema.validate()
+
+    def test_dict_roundtrip(self, lab_schema):
+        lab_schema.add_struct(StructType("Address", [("zip", IntType())]))
+        reloaded = Schema.from_dict(lab_schema.to_dict())
+        assert reloaded.class_names() == lab_schema.class_names()
+        assert reloaded.mro("manager") == lab_schema.mro("manager")
+        assert reloaded.get_struct("Address") == lab_schema.get_struct("Address")
+        assert [a.name for a in reloaded.all_attributes("manager")] == \
+            [a.name for a in lab_schema.all_attributes("manager")]

@@ -1,0 +1,232 @@
+"""Tests for the O++ type lattice."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError, TypeError_
+from repro.ode.oid import Oid
+from repro.ode.schema import Schema
+from repro.ode.classdef import Attribute, OdeClass
+from repro.ode.types import (
+    ArrayType,
+    BoolType,
+    DateType,
+    FloatType,
+    IntType,
+    RefType,
+    SetType,
+    StringType,
+    StructType,
+    referenced_classes,
+    type_from_dict,
+)
+
+
+class TestScalars:
+    def test_int_accepts_int(self):
+        IntType().validate(42)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            IntType().validate(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeError_):
+            IntType().validate(1.5)
+
+    def test_int_rejects_out_of_64bit_range(self):
+        with pytest.raises(TypeError_):
+            IntType().validate(2 ** 63)
+
+    def test_float_accepts_int_and_float(self):
+        FloatType().validate(1)
+        FloatType().validate(1.5)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            FloatType().validate(False)
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeError_):
+            BoolType().validate(1)
+
+    def test_string_unbounded(self):
+        StringType().validate("x" * 10_000)
+
+    def test_string_bounded(self):
+        StringType(3).validate("abc")
+        with pytest.raises(TypeError_):
+            StringType(3).validate("abcd")
+
+    def test_string_rejects_nonpositive_bound(self):
+        with pytest.raises(SchemaError):
+            StringType(0)
+
+    def test_date_accepts_date(self):
+        DateType().validate(datetime.date(1990, 5, 23))
+
+    def test_date_rejects_datetime(self):
+        with pytest.raises(TypeError_):
+            DateType().validate(datetime.datetime(1990, 5, 23, 12, 0))
+
+    def test_defaults(self):
+        assert IntType().default() == 0
+        assert FloatType().default() == 0.0
+        assert BoolType().default() is False
+        assert StringType().default() == ""
+        assert DateType().default() == datetime.date(1970, 1, 1)
+
+
+class TestArray:
+    def test_validates_length(self):
+        spec = ArrayType(IntType(), 3)
+        spec.validate([1, 2, 3])
+        with pytest.raises(TypeError_):
+            spec.validate([1, 2])
+
+    def test_validates_elements(self):
+        with pytest.raises(TypeError_):
+            ArrayType(IntType(), 2).validate([1, "x"])
+
+    def test_default(self):
+        assert ArrayType(IntType(), 3).default() == [0, 0, 0]
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(SchemaError):
+            ArrayType(IntType(), 0)
+
+    def test_nested_declare(self):
+        assert ArrayType(ArrayType(IntType(), 3), 2).declare("m") == "int m[3][2]"
+
+
+class TestSet:
+    def test_accepts_unique(self):
+        SetType(IntType()).validate([1, 2, 3])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(TypeError_):
+            SetType(IntType()).validate([1, 1])
+
+    def test_rejects_bad_element(self):
+        with pytest.raises(TypeError_):
+            SetType(IntType()).validate(["x"])
+
+    def test_declare_set_of_refs(self):
+        decl = SetType(RefType("employee")).declare("members")
+        assert decl == "set<employee *> members"
+
+    def test_default_is_empty(self):
+        assert SetType(IntType()).default() == []
+
+
+class TestStruct:
+    def _address(self):
+        return StructType("Address", [("street", StringType(30)),
+                                      ("zip", IntType())])
+
+    def test_validates_fields(self):
+        self._address().validate({"street": "main", "zip": 7})
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(TypeError_):
+            self._address().validate({"street": "main"})
+
+    def test_rejects_extra_field(self):
+        with pytest.raises(TypeError_):
+            self._address().validate({"street": "main", "zip": 1, "x": 2})
+
+    def test_rejects_bad_field_value(self):
+        with pytest.raises(TypeError_):
+            self._address().validate({"street": "main", "zip": "x"})
+
+    def test_default(self):
+        assert self._address().default() == {"street": "", "zip": 0}
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            StructType("S", [("a", IntType()), ("a", IntType())])
+
+    def test_field_type_lookup(self):
+        assert self._address().field_type("zip") == IntType()
+        with pytest.raises(SchemaError):
+            self._address().field_type("nope")
+
+    def test_opp_definition(self):
+        text = self._address().opp_definition()
+        assert text.startswith("struct Address {")
+        assert "char street[30];" in text
+
+
+class TestRef:
+    def test_accepts_none(self):
+        RefType("employee").validate(None)
+
+    def test_accepts_oid(self):
+        RefType("employee").validate(Oid("lab", "employee", 0))
+
+    def test_rejects_non_oid(self):
+        with pytest.raises(TypeError_):
+            RefType("employee").validate("lab:employee:0")
+
+    def test_subclass_target_ok_with_schema(self):
+        schema = Schema()
+        schema.add_class(OdeClass("employee"))
+        schema.add_class(OdeClass("manager", bases=("employee",)))
+        RefType("employee").validate(Oid("lab", "manager", 0), schema)
+
+    def test_unrelated_target_rejected_with_schema(self):
+        schema = Schema()
+        schema.add_class(OdeClass("employee"))
+        schema.add_class(OdeClass("department"))
+        with pytest.raises(TypeError_):
+            RefType("employee").validate(Oid("lab", "department", 0), schema)
+
+
+class TestIdentityAndRoundtrip:
+    ALL_SPECS = [
+        IntType(),
+        FloatType(),
+        BoolType(),
+        DateType(),
+        StringType(),
+        StringType(20),
+        ArrayType(IntType(), 4),
+        SetType(RefType("employee")),
+        StructType("Address", [("street", StringType(30)), ("zip", IntType())]),
+        RefType("department"),
+        ArrayType(StructType("P", [("x", IntType())]), 2),
+    ]
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.declare("v"))
+    def test_dict_roundtrip(self, spec):
+        assert type_from_dict(spec.to_dict()) == spec
+
+    def test_equality_distinguishes_parameters(self):
+        assert StringType(3) != StringType(4)
+        assert ArrayType(IntType(), 2) != ArrayType(IntType(), 3)
+        assert RefType("a") != RefType("b")
+
+    def test_hashable(self):
+        assert len({IntType(), IntType(), FloatType()}) == 2
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SchemaError):
+            type_from_dict({"tag": "mystery"})
+
+
+class TestReferencedClasses:
+    def test_direct_ref(self):
+        assert list(referenced_classes(RefType("a"))) == ["a"]
+
+    def test_nested(self):
+        spec = StructType("S", [
+            ("r", RefType("a")),
+            ("many", SetType(RefType("b"))),
+            ("grid", ArrayType(RefType("c"), 2)),
+        ])
+        assert sorted(referenced_classes(spec)) == ["a", "b", "c"]
+
+    def test_scalar_has_none(self):
+        assert list(referenced_classes(IntType())) == []

@@ -1,0 +1,97 @@
+"""Tests for versioned objects."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError
+from repro.ode.classdef import Attribute, OdeClass
+from repro.ode.objectmanager import ObjectManager
+from repro.ode.schema import Schema
+from repro.ode.store import ObjectStore
+from repro.ode.types import IntType, StringType
+from repro.ode.versions import is_version_cluster, version_cluster
+
+
+@pytest.fixture
+def manager(tmp_path):
+    schema = Schema()
+    schema.add_class(OdeClass("course", versioned=True, attributes=(
+        Attribute("code", StringType(12)),
+        Attribute("enrollment", IntType()),
+    )))
+    schema.add_class(OdeClass("plain", attributes=(
+        Attribute("x", IntType()),
+    )))
+    store = ObjectStore(tmp_path / "db")
+    yield ObjectManager(store, schema, "db")
+    store.close()
+
+
+def test_version_cluster_naming():
+    assert version_cluster("course") == "course#v"
+    assert is_version_cluster("course#v")
+    assert not is_version_cluster("course")
+
+
+def test_update_snapshots_previous_state(manager):
+    oid = manager.new_object("course", {"code": "cs101", "enrollment": 100})
+    manager.update(oid, {"enrollment": 110})
+    history = manager.versions.history(oid)
+    assert len(history) == 1
+    assert history[0].state["enrollment"] == 100
+    assert history[0].sequence == 0
+
+
+def test_multiple_versions_ordered(manager):
+    oid = manager.new_object("course", {"enrollment": 1})
+    for enrollment in (2, 3, 4):
+        manager.update(oid, {"enrollment": enrollment})
+    history = manager.versions.history(oid)
+    assert [record.state["enrollment"] for record in history] == [1, 2, 3]
+    assert [record.sequence for record in history] == [0, 1, 2]
+
+
+def test_get_version(manager):
+    oid = manager.new_object("course", {"enrollment": 1})
+    manager.update(oid, {"enrollment": 2})
+    manager.update(oid, {"enrollment": 3})
+    assert manager.versions.get_version(oid, 1).state["enrollment"] == 2
+    with pytest.raises(ObjectNotFoundError):
+        manager.versions.get_version(oid, 9)
+
+
+def test_version_count(manager):
+    oid = manager.new_object("course")
+    assert manager.versions.version_count(oid) == 0
+    manager.update(oid, {"enrollment": 5})
+    assert manager.versions.version_count(oid) == 1
+
+
+def test_unversioned_class_never_snapshots(manager):
+    oid = manager.new_object("plain", {"x": 1})
+    manager.update(oid, {"x": 2})
+    assert manager.versions.version_count(oid) == 0
+
+
+def test_versions_survive_reopen(tmp_path):
+    schema = Schema()
+    schema.add_class(OdeClass("course", versioned=True, attributes=(
+        Attribute("enrollment", IntType()),
+    )))
+    store = ObjectStore(tmp_path / "db")
+    manager = ObjectManager(store, schema, "db")
+    oid = manager.new_object("course", {"enrollment": 7})
+    manager.update(oid, {"enrollment": 8})
+    store.close()
+
+    store = ObjectStore(tmp_path / "db")
+    manager = ObjectManager(store, schema, "db")
+    history = manager.versions.history(oid)
+    assert [record.state["enrollment"] for record in history] == [7]
+    store.close()
+
+
+def test_versions_do_not_pollute_main_cluster(manager):
+    oid = manager.new_object("course")
+    manager.update(oid, {"enrollment": 1})
+    manager.update(oid, {"enrollment": 2})
+    assert manager.count("course") == 1

@@ -1,0 +1,116 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.ode.wal import (
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_DELETE,
+    OP_PUT,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+@pytest.fixture
+def wal(tmp_path):
+    with WriteAheadLog(tmp_path / "wal.log") as log:
+        yield log
+
+
+def _tx(wal, txid, *ops, outcome=OP_COMMIT):
+    wal.append(WalRecord(op=OP_BEGIN, txid=txid))
+    for op, oid, payload in ops:
+        wal.append(WalRecord(op=op, txid=txid, oid=oid, payload=payload))
+    wal.append(WalRecord(op=outcome, txid=txid), sync=True)
+
+
+def test_append_and_replay(wal):
+    _tx(wal, 1, (OP_PUT, "db:c:0", b"hello"))
+    records = list(wal.records())
+    assert [r.op for r in records] == [OP_BEGIN, OP_PUT, OP_COMMIT]
+    assert records[1].payload == b"hello"
+
+
+def test_binary_payload_roundtrip(wal):
+    payload = bytes(range(256))
+    _tx(wal, 1, (OP_PUT, "db:c:0", payload))
+    assert list(wal.records())[1].payload == payload
+
+
+def test_committed_operations_includes_committed(wal):
+    _tx(wal, 1, (OP_PUT, "db:c:0", b"a"), (OP_DELETE, "db:c:1", b""))
+    ops = wal.committed_operations()
+    assert [(r.op, r.oid) for r in ops] == [
+        (OP_PUT, "db:c:0"), (OP_DELETE, "db:c:1")]
+
+
+def test_aborted_transaction_excluded(wal):
+    _tx(wal, 1, (OP_PUT, "db:c:0", b"a"), outcome=OP_ABORT)
+    assert wal.committed_operations() == []
+
+
+def test_uncommitted_transaction_excluded(wal):
+    wal.append(WalRecord(op=OP_BEGIN, txid=1))
+    wal.append(WalRecord(op=OP_PUT, txid=1, oid="db:c:0", payload=b"a"))
+    wal.sync()
+    assert wal.committed_operations() == []
+
+
+def test_interleaved_transactions(wal):
+    wal.append(WalRecord(op=OP_BEGIN, txid=1))
+    wal.append(WalRecord(op=OP_BEGIN, txid=2))
+    wal.append(WalRecord(op=OP_PUT, txid=1, oid="db:c:0", payload=b"one"))
+    wal.append(WalRecord(op=OP_PUT, txid=2, oid="db:c:1", payload=b"two"))
+    wal.append(WalRecord(op=OP_COMMIT, txid=2))
+    wal.append(WalRecord(op=OP_ABORT, txid=1), sync=True)
+    ops = wal.committed_operations()
+    assert [(r.txid, r.oid) for r in ops] == [(2, "db:c:1")]
+
+
+def test_checkpoint_truncates(wal):
+    _tx(wal, 1, (OP_PUT, "db:c:0", b"a"))
+    wal.checkpoint()
+    assert wal.committed_operations() == []
+    records = list(wal.records())
+    assert [r.op for r in records] == ["checkpoint"]
+
+
+def test_torn_tail_ignored(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as log:
+        _tx(log, 1, (OP_PUT, "db:c:0", b"good"))
+    data = path.read_bytes()
+    path.write_bytes(data + b"\x00\x00\x00\x50garbage")  # torn frame
+    with WriteAheadLog(path) as log:
+        ops = log.committed_operations()
+        assert [(r.op, r.payload) for r in ops] == [(OP_PUT, b"good")]
+
+
+def test_corrupt_crc_stops_replay(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as log:
+        _tx(log, 1, (OP_PUT, "db:c:0", b"good"))
+        _tx(log, 2, (OP_PUT, "db:c:1", b"evil"))
+    data = bytearray(path.read_bytes())
+    data[-3] ^= 0xFF  # flip a bit in the final frame
+    path.write_bytes(bytes(data))
+    with WriteAheadLog(path) as log:
+        oids = [r.oid for r in log.committed_operations()]
+        assert "db:c:0" in oids
+        assert "db:c:1" not in oids
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(WalError):
+        WalRecord.from_value({"op": "explode", "txid": 1})
+
+
+def test_survives_reopen(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as log:
+        _tx(log, 1, (OP_PUT, "db:c:0", b"persisted"))
+    with WriteAheadLog(path) as log:
+        assert len(log.committed_operations()) == 1

@@ -1,0 +1,114 @@
+"""Tests for O++ constraint compilation and enforcement."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError, TypeCheckError
+from repro.ode.database import Database
+from repro.ode.opp.bindings import CompiledConstraintCache, compile_constraint
+from repro.ode.opp.parser import parse_program
+from repro.ode.opp.typecheck import build_schema
+
+SOURCE = """
+persistent class account {
+  public:
+    int balance;
+    char owner[20];
+  private:
+    int overdraft_limit;
+  constraint:
+    balance >= 0 - overdraft_limit;
+    size(owner) > 0;
+};
+"""
+
+
+@pytest.fixture
+def schema():
+    return build_schema(parse_program(SOURCE))
+
+
+class TestCompileConstraint:
+    def test_passing_values(self, schema):
+        constraint = compile_constraint("balance >= 0", "account", schema)
+        constraint.enforce("account", {"balance": 10})
+
+    def test_failing_values(self, schema):
+        constraint = compile_constraint("balance >= 0", "account", schema)
+        with pytest.raises(ConstraintViolationError):
+            constraint.enforce("account", {"balance": -1})
+
+    def test_private_attributes_visible(self, schema):
+        constraint = compile_constraint(
+            "balance >= 0 - overdraft_limit", "account", schema)
+        constraint.enforce("account",
+                           {"balance": -50, "overdraft_limit": 100})
+        with pytest.raises(ConstraintViolationError):
+            constraint.enforce("account",
+                               {"balance": -150, "overdraft_limit": 100})
+
+    def test_unknown_attribute_rejected_at_compile(self, schema):
+        with pytest.raises(TypeCheckError):
+            compile_constraint("ghost > 0", "account", schema)
+
+    def test_non_boolean_rejected_at_compile(self, schema):
+        with pytest.raises(TypeCheckError):
+            compile_constraint("balance + 1", "account", schema)
+
+
+class TestCache:
+    def test_constraints_from_source_found(self, schema):
+        cache = CompiledConstraintCache(schema)
+        constraints = cache.constraints_for(["account"])
+        assert len(constraints) == 2
+
+    def test_cache_hit_returns_same_objects(self, schema):
+        cache = CompiledConstraintCache(schema)
+        first = cache.constraints_for(["account"])
+        second = cache.constraints_for(["account"])
+        assert [c.source for c in first] == [c.source for c in second]
+
+    def test_invalidated_on_schema_version_bump(self, schema):
+        cache = CompiledConstraintCache(schema)
+        cache.constraints_for(["account"])
+        schema.version += 1
+        # must recompile without error after evolution
+        assert len(cache.constraints_for(["account"])) == 2
+
+    def test_inherited_constraints_included(self, schema):
+        from repro.ode.classdef import OdeClass
+
+        schema.add_class(OdeClass("savings", bases=("account",)))
+        cache = CompiledConstraintCache(schema)
+        constraints = cache.constraints_for(["savings", "account"])
+        assert len(constraints) == 2
+
+
+class TestEndToEndEnforcement:
+    def test_source_constraints_enforced_by_object_manager(self, tmp_path):
+        with Database.create(tmp_path / "bank.odb") as database:
+            database.define_from_source(SOURCE)
+            oid = database.objects.new_object("account", {
+                "balance": 100, "owner": "ada", "overdraft_limit": 50})
+            with pytest.raises(ConstraintViolationError):
+                database.objects.update(oid, {"balance": -60})
+            database.objects.update(oid, {"balance": -40})  # within limit
+            with pytest.raises(ConstraintViolationError):
+                database.objects.new_object("account", {
+                    "balance": 5, "owner": "", "overdraft_limit": 0})
+
+    def test_lab_id_constraint_enforced_from_source(self, tmp_path):
+        """The lab schema's `id >= 0` comes from its O++ source too."""
+        from repro.data.labdb import LAB_SCHEMA_SOURCE
+
+        with Database.create(tmp_path / "lab2.odb") as database:
+            database.define_from_source(LAB_SCHEMA_SOURCE)
+            with pytest.raises(ConstraintViolationError):
+                database.objects.new_object("employee", {"id": -1})
+
+    def test_enforced_after_catalog_reload(self, tmp_path):
+        with Database.create(tmp_path / "bank.odb") as database:
+            database.define_from_source(SOURCE)
+        with Database.open(tmp_path / "bank.odb") as database:
+            with pytest.raises(ConstraintViolationError):
+                database.objects.new_object("account", {
+                    "balance": -1, "owner": "x", "overdraft_limit": 0})

@@ -1,0 +1,102 @@
+"""Tests for the O++ tokeniser."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.ode.opp.lexer import (
+    EOF,
+    FLOATNUM,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == EOF
+
+
+def test_identifiers_and_keywords():
+    assert kinds("class employee foo_bar") == [KEYWORD, IDENT, IDENT]
+
+
+def test_numbers():
+    tokens = tokenize("42 3.14 1e6 2.5e-3 7")[:-1]
+    assert [t.kind for t in tokens] == [NUMBER, FLOATNUM, FLOATNUM,
+                                        FLOATNUM, NUMBER]
+
+
+def test_number_not_greedy_over_member_access():
+    # "a.b" after a number boundary: 1.x is NUMBER, PUNCT, IDENT
+    assert kinds("1.x") == [NUMBER, PUNCT, IDENT]
+
+
+def test_strings_with_escapes():
+    tokens = tokenize(r'"he said \"hi\"\n"')[:-1]
+    assert tokens[0].kind == STRING
+    assert tokens[0].text == 'he said "hi"\n'
+
+
+def test_single_quoted_string():
+    assert texts("'abc'") == ["abc"]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_unterminated_string_at_newline_rejected():
+    with pytest.raises(LexError):
+        tokenize('"oops\n"')
+
+
+def test_two_char_punctuation_wins():
+    assert texts("a->b <= >= == != && || ::") == [
+        "a", "->", "b", "<=", ">=", "==", "!=", "&&", "||", "::"]
+
+
+def test_comments_skipped():
+    source = """
+    // line comment
+    class /* block
+    comment */ employee
+    """
+    assert texts(source) == ["class", "employee"]
+
+
+def test_unterminated_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_invalid_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("class @ employee")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("class\n  employee")[:-1]
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_helpers():
+    token = tokenize("class")[0]
+    assert token.is_keyword("class")
+    assert not token.is_punct("class")
+    punct = tokenize(";")[0]
+    assert punct.is_punct(";")

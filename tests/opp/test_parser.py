@@ -1,0 +1,169 @@
+"""Tests for the O++ parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ode.opp import ast
+from repro.ode.opp.parser import parse_expression, parse_program
+
+
+class TestClassParsing:
+    def test_minimal_class(self):
+        program = parse_program("class empty { };")
+        assert program.classes[0].name == "empty"
+        assert not program.classes[0].persistent
+
+    def test_persistent_versioned_qualifiers(self):
+        program = parse_program("versioned persistent class c { };")
+        cls = program.classes[0]
+        assert cls.persistent and cls.versioned
+
+    def test_bases(self):
+        program = parse_program(
+            "class a { }; class b { }; "
+            "class m : public a, private b { };")
+        assert program.classes[2].bases == ("a", "b")
+
+    def test_default_access_is_private(self):
+        program = parse_program("class c { int hidden; };")
+        assert program.classes[0].fields[0].access == "private"
+
+    def test_sections(self):
+        program = parse_program("""
+            class c {
+              public:
+                int a;
+              private:
+                int b;
+              public:
+                int d;
+            };
+        """)
+        fields = {f.name: f.access for f in program.classes[0].fields}
+        assert fields == {"a": "public", "b": "private", "d": "public"}
+
+    def test_multiple_declarators(self):
+        program = parse_program("class c { public: int a, b; };")
+        assert [f.name for f in program.classes[0].fields] == ["a", "b"]
+
+    def test_array_declarator(self):
+        program = parse_program("class c { public: char name[30]; };")
+        field = program.classes[0].fields[0]
+        assert field.type_name.base == "char"
+        assert field.type_name.array_lengths == (30,)
+
+    def test_pointer_declarator(self):
+        program = parse_program("class d { }; class c { public: d *ref; };")
+        field = program.classes[1].fields[0]
+        assert field.type_name.pointer
+
+    def test_set_of_pointers(self):
+        program = parse_program("class e { }; class c { public: set<e*> members; };")
+        field = program.classes[1].fields[0]
+        assert field.type_name.base == "set"
+        assert field.type_name.set_of.base == "e"
+        assert field.type_name.set_of.pointer
+
+    def test_method_declaration(self):
+        program = parse_program(
+            "class c { public: int age() const; double pay(); };")
+        methods = program.classes[0].methods
+        assert methods[0].name == "age" and methods[0].is_const
+        assert methods[1].name == "pay" and not methods[1].is_const
+
+    def test_constraint_section(self):
+        program = parse_program("""
+            class c {
+              public:
+                int id;
+              constraint:
+                id >= 0;
+                id < 100;
+            };
+        """)
+        constraints = program.classes[0].constraints
+        assert len(constraints) == 2
+        assert constraints[0].source == "id >= 0"
+
+    def test_struct(self):
+        program = parse_program(
+            "struct Address { char street[30]; int zip; };")
+        struct = program.structs[0]
+        assert struct.name == "Address"
+        assert [f.name for f in struct.fields] == ["street", "zip"]
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class c { }")
+
+    def test_garbage_toplevel_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int x;")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("class c {\n  int 5bad;\n};")
+        assert info.value.line == 2
+
+
+class TestExpressionParsing:
+    def test_literals(self):
+        assert parse_expression("42") == ast.Literal(42)
+        assert parse_expression("3.5") == ast.Literal(3.5)
+        assert parse_expression('"hi"') == ast.Literal("hi")
+        assert parse_expression("true") == ast.Literal(True)
+        assert parse_expression("null") == ast.Literal(None)
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.Binary("+", ast.Literal(1),
+                                  ast.Binary("*", ast.Literal(2),
+                                             ast.Literal(3)))
+
+    def test_precedence_logical(self):
+        expr = parse_expression("a == 1 || b == 2 && c == 3")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary(self):
+        assert parse_expression("!done") == ast.Unary("!", ast.Name("done"))
+        assert parse_expression("-x") == ast.Unary("-", ast.Name("x"))
+
+    def test_field_access_chain(self):
+        expr = parse_expression("dept->mgr->name")
+        assert expr == ast.FieldAccess(
+            ast.FieldAccess(ast.Name("dept"), "mgr", arrow=True),
+            "name", arrow=True)
+
+    def test_dot_access(self):
+        expr = parse_expression("addr.zip")
+        assert expr == ast.FieldAccess(ast.Name("addr"), "zip", arrow=False)
+
+    def test_index(self):
+        expr = parse_expression("grades[2]")
+        assert expr == ast.Index(ast.Name("grades"), ast.Literal(2))
+
+    def test_call(self):
+        expr = parse_expression("contains(members, x)")
+        assert expr == ast.Call("contains", (ast.Name("members"),
+                                             ast.Name("x")))
+
+    def test_call_no_args(self):
+        assert parse_expression("size()") == ast.Call("size", ())
+
+    def test_comparison_not_associative(self):
+        with pytest.raises(ParseError):
+            parse_expression("a < b < c")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a == 1 extra")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("")

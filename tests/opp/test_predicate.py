@@ -1,0 +1,214 @@
+"""Tests for predicate evaluation (the §5.2 pushdown semantics)."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PredicateError
+from repro.ode.classdef import Access, Attribute, OdeClass
+from repro.ode.objectmanager import ObjectManager
+from repro.ode.oid import Oid
+from repro.ode.opp.parser import parse_expression
+from repro.ode.opp.predicate import PredicateEvaluator
+from repro.ode.schema import Schema
+from repro.ode.store import ObjectStore
+from repro.ode.types import (
+    ArrayType,
+    DateType,
+    FloatType,
+    IntType,
+    RefType,
+    StringType,
+    StructType,
+)
+
+
+@pytest.fixture
+def manager(tmp_path):
+    schema = Schema()
+    schema.add_struct(StructType("Address", [("zip", IntType())]))
+    schema.add_class(OdeClass("department", attributes=(
+        Attribute("dname", StringType(20)),
+    )))
+    schema.add_class(OdeClass("employee", attributes=(
+        Attribute("name", StringType(20)),
+        Attribute("id", IntType()),
+        Attribute("hired", DateType()),
+        Attribute("addr", schema.get_struct("Address")),
+        Attribute("dept", RefType("department")),
+        Attribute("grades", ArrayType(IntType(), 3)),
+        Attribute("salary", FloatType(), Access.PRIVATE),
+    )))
+    store = ObjectStore(tmp_path / "db")
+    manager = ObjectManager(store, schema, "db")
+    yield manager
+    store.close()
+
+
+@pytest.fixture
+def rakesh(manager):
+    dept = manager.new_object("department", {"dname": "db research"})
+    oid = manager.new_object("employee", {
+        "name": "rakesh", "id": 7,
+        "hired": datetime.date(1983, 5, 1),
+        "addr": {"zip": 7974},
+        "dept": dept,
+        "grades": [3, 1, 4],
+        "salary": 90_000.0,
+    })
+    return manager.get_buffer(oid)
+
+
+def ev(manager, source, buffer, privileged=False):
+    evaluator = PredicateEvaluator(manager, privileged=privileged)
+    return evaluator.evaluate(parse_expression(source), buffer)
+
+
+def match(manager, source, buffer, privileged=False):
+    evaluator = PredicateEvaluator(manager, privileged=privileged)
+    return evaluator.matches(parse_expression(source), buffer)
+
+
+class TestBasics:
+    def test_attribute_read(self, manager, rakesh):
+        assert ev(manager, "id", rakesh) == 7
+
+    def test_comparisons(self, manager, rakesh):
+        assert match(manager, "id == 7", rakesh)
+        assert match(manager, "id != 8", rakesh)
+        assert match(manager, "id < 10 && id >= 7", rakesh)
+        assert not match(manager, "id > 7", rakesh)
+
+    def test_string_comparison(self, manager, rakesh):
+        assert match(manager, 'name == "rakesh"', rakesh)
+        assert match(manager, 'name < "zz"', rakesh)
+
+    def test_date_builtins(self, manager, rakesh):
+        assert ev(manager, "year(hired)", rakesh) == 1983
+        assert ev(manager, "month(hired)", rakesh) == 5
+        assert ev(manager, "day(hired)", rakesh) == 1
+
+    def test_struct_field(self, manager, rakesh):
+        assert match(manager, "addr.zip == 7974", rakesh)
+
+    def test_array_index(self, manager, rakesh):
+        assert ev(manager, "grades[2]", rakesh) == 4
+
+    def test_index_out_of_range_rejected(self, manager, rakesh):
+        with pytest.raises(PredicateError):
+            ev(manager, "grades[9]", rakesh)
+
+    def test_reference_chase(self, manager, rakesh):
+        assert match(manager, 'dept->dname == "db research"', rakesh)
+
+    def test_string_functions(self, manager, rakesh):
+        assert ev(manager, "upper(name)", rakesh) == "RAKESH"
+        assert ev(manager, "size(name)", rakesh) == 6
+
+    def test_contains(self, manager, rakesh):
+        assert ev(manager, "contains(grades, 4)", rakesh) is True
+        assert ev(manager, "contains(grades, 9)", rakesh) is False
+
+    def test_privileged_attribute(self, manager, rakesh):
+        with pytest.raises(Exception):
+            ev(manager, "salary", rakesh)
+        assert ev(manager, "salary", rakesh, privileged=True) == 90_000.0
+
+
+class TestNullSemantics:
+    def test_null_comparison(self, manager):
+        oid = manager.new_object("employee", {"name": "lonely"})
+        buffer = manager.get_buffer(oid)
+        assert match(manager, "dept == null", buffer)
+        assert not match(manager, "dept != null", buffer)
+
+    def test_null_deref_is_false_in_matches(self, manager):
+        oid = manager.new_object("employee")
+        buffer = manager.get_buffer(oid)
+        assert match(manager, 'dept->dname == "x"', buffer) is False
+
+    def test_null_deref_raises_in_evaluate(self, manager):
+        oid = manager.new_object("employee")
+        buffer = manager.get_buffer(oid)
+        with pytest.raises(PredicateError):
+            ev(manager, "dept->dname", buffer)
+
+
+class TestArithmetic:
+    def test_c_style_int_division(self, manager, rakesh):
+        assert ev(manager, "7 / 2", rakesh) == 3
+        assert ev(manager, "-7 / 2", rakesh) == -3  # truncation toward zero
+
+    def test_c_style_modulo(self, manager, rakesh):
+        assert ev(manager, "7 % 2", rakesh) == 1
+        assert ev(manager, "-7 % 2", rakesh) == -1
+
+    def test_division_by_zero_rejected(self, manager, rakesh):
+        with pytest.raises(PredicateError):
+            ev(manager, "id / 0", rakesh)
+        with pytest.raises(PredicateError):
+            ev(manager, "id % 0", rakesh)
+
+    def test_float_division(self, manager, rakesh):
+        assert ev(manager, "7.0 / 2", rakesh) == 3.5
+
+    def test_unary_minus(self, manager, rakesh):
+        assert ev(manager, "-id", rakesh) == -7
+
+    def test_string_concat(self, manager, rakesh):
+        assert ev(manager, 'name + "!"', rakesh) == "rakesh!"
+
+    @given(st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=1, max_value=20))
+    def test_division_matches_c_semantics(self, numerator, denominator):
+        evaluator = PredicateEvaluator()
+        quotient = evaluator.evaluate(
+            parse_expression(f"({numerator}) / {denominator}"), None)
+        remainder = evaluator.evaluate(
+            parse_expression(f"({numerator}) % {denominator}"), None)
+        assert quotient * denominator + remainder == numerator
+        assert abs(remainder) < denominator
+        # truncation toward zero, like C
+        assert quotient == int(numerator / denominator)
+
+
+class TestErrors:
+    def test_cross_type_comparison_rejected(self, manager, rakesh):
+        with pytest.raises(PredicateError):
+            ev(manager, 'id == "seven"', rakesh)
+
+    def test_non_bool_result_in_matches_rejected(self, manager, rakesh):
+        with pytest.raises(PredicateError):
+            match(manager, "id + 1", rakesh)
+
+    def test_logical_on_non_bool_rejected(self, manager, rakesh):
+        with pytest.raises(PredicateError):
+            ev(manager, "id && true", rakesh)
+
+    def test_order_comparison_on_refs_rejected(self, manager, rakesh):
+        with pytest.raises(PredicateError):
+            ev(manager, "dept < dept", rakesh)
+
+    def test_arrow_without_manager_rejected(self, rakesh):
+        evaluator = PredicateEvaluator(manager=None)
+        with pytest.raises(PredicateError):
+            evaluator.evaluate(parse_expression("dept->dname"), rakesh)
+
+    def test_short_circuit_and(self, manager, rakesh):
+        # right side would divide by zero; short circuit avoids it
+        assert match(manager, "false && (1 / 0 == 1)", rakesh) is False
+        assert match(manager, "true || (1 / 0 == 1)", rakesh) is True
+
+
+class TestCompile:
+    def test_compile_source(self, manager, rakesh):
+        predicate = PredicateEvaluator(manager).compile_source("id >= 5")
+        assert predicate(rakesh) is True
+
+    def test_compiled_predicate_in_manager_select(self, manager, rakesh):
+        manager.new_object("employee", {"name": "junior", "id": 1})
+        predicate = PredicateEvaluator(manager).compile_source("id > 5")
+        names = [buffer.value("name")
+                 for buffer in manager.select("employee", predicate)]
+        assert names == ["rakesh"]

@@ -1,0 +1,126 @@
+"""Tests for canonical O++ printing (the class-definition window text)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ode.opp import ast
+from repro.ode.opp.parser import parse_expression, parse_program
+from repro.ode.opp.printer import (
+    class_definition_source,
+    expr_to_source,
+    schema_source,
+)
+from repro.ode.opp.typecheck import build_schema
+
+
+class TestExpressionPrinting:
+    @pytest.mark.parametrize("source", [
+        "id >= 0",
+        'name == "rakesh"',
+        "a && b || c",
+        "a && (b || c)",
+        "(1 + 2) * 3",
+        "1 + 2 * 3",
+        "a - (b - c)",
+        "!done",
+        "-x + 1",
+        "dept->mgr->name",
+        "addr.zip",
+        "grades[2]",
+        "size(members)",
+        "contains(members, x)",
+        "a / b % c",
+        "null == dept",
+        "true",
+    ])
+    def test_roundtrip(self, source):
+        expr = parse_expression(source)
+        printed = expr_to_source(expr)
+        assert parse_expression(printed) == expr
+
+    def test_minimal_parentheses(self):
+        assert expr_to_source(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert expr_to_source(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_string_escaping(self):
+        expr = ast.Literal('say "hi"')
+        printed = expr_to_source(expr)
+        assert parse_expression(printed) == expr
+
+    @given(st.recursive(
+        st.one_of(
+            st.integers(min_value=0, max_value=99).map(ast.Literal),
+            st.sampled_from(["a", "b", "c"]).map(ast.Name),
+        ),
+        lambda children: st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*"]), children, children)
+            .map(lambda t: ast.Binary(t[0], t[1], t[2])),
+            st.tuples(children, st.sampled_from(["f", "g"]))
+            .map(lambda t: ast.FieldAccess(t[0], t[1], arrow=True)),
+        ),
+        max_leaves=8,
+    ))
+    def test_print_parse_roundtrip_property(self, expr):
+        assert parse_expression(expr_to_source(expr)) == expr
+
+
+LAB = """
+struct Address { char street[24]; int zip; };
+
+persistent class department {
+  public:
+    char dname[20];
+    set<employee*> members;
+};
+
+persistent class employee {
+  public:
+    char name[20];
+    Address addr;
+    department *dept;
+    int years() const;
+  private:
+    double salary;
+  constraint:
+    salary >= 0.0;
+};
+"""
+
+
+class TestClassPrinting:
+    def test_definition_roundtrips_through_parser(self):
+        schema = build_schema(parse_program(LAB))
+        printed = class_definition_source(schema, "employee")
+        # canonical text parses back to an equivalent class
+        reparsed = build_schema(parse_program(
+            "struct Address { char street[24]; int zip; };\n"
+            "persistent class department { public: char dname[20]; "
+            "set<employee*> members; };\n" + printed))
+        original = schema.get_class("employee")
+        reloaded = reparsed.get_class("employee")
+        assert [a.name for a in reloaded.attributes] == \
+            [a.name for a in original.attributes]
+        assert reloaded.constraint_sources == original.constraint_sources
+
+    def test_sections_rendered(self):
+        schema = build_schema(parse_program(LAB))
+        printed = class_definition_source(schema, "employee")
+        assert "persistent class employee {" in printed
+        assert "  public:" in printed
+        assert "  private:" in printed
+        assert "  constraint:" in printed
+        assert "    double salary;" in printed
+        assert "    int years() const;" in printed
+
+    def test_bases_rendered(self):
+        schema = build_schema(parse_program(
+            "class a { }; class b { }; class m : public a, public b { };"))
+        assert class_definition_source(schema, "m").startswith(
+            "class m : public a, public b {")
+
+    def test_schema_source_contains_everything(self):
+        schema = build_schema(parse_program(LAB))
+        text = schema_source(schema)
+        assert "struct Address {" in text
+        assert "persistent class department {" in text
+        assert "persistent class employee {" in text

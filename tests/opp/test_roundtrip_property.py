@@ -1,0 +1,125 @@
+"""Property test: random class definitions survive print -> parse."""
+
+import keyword
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ode.classdef import Access, Attribute, MemberFunction, OdeClass
+from repro.ode.opp.parser import parse_program
+from repro.ode.opp.printer import class_definition_source
+from repro.ode.opp.typecheck import build_schema
+from repro.ode.schema import Schema
+from repro.ode.types import (
+    ArrayType,
+    BoolType,
+    DateType,
+    FloatType,
+    IntType,
+    RefType,
+    SetType,
+    StringType,
+)
+
+_NAME_ALPHABET = "abcdefghij_"
+
+
+def _identifiers():
+    return st.text(_NAME_ALPHABET, min_size=1, max_size=8).filter(
+        lambda name: name.isidentifier() and not keyword.iskeyword(name)
+        and not name.startswith("__"))
+
+
+def _scalar_types():
+    return st.one_of(
+        st.just(IntType()),
+        st.just(FloatType()),
+        st.just(DateType()),
+        st.builds(StringType, st.integers(min_value=1, max_value=64)),
+        st.just(StringType(None)),
+    )
+
+
+def _attribute_types(class_pool):
+    scalars = _scalar_types()
+    options = [
+        scalars,
+        st.builds(ArrayType, st.just(IntType()),
+                  st.integers(min_value=1, max_value=9)),
+    ]
+    if class_pool:
+        refs = st.sampled_from(class_pool).map(RefType)
+        options.append(refs)
+        options.append(refs.map(SetType))
+    return st.one_of(*options)
+
+
+@st.composite
+def _class_definitions(draw):
+    """(previous class names, OdeClass) with unique member names."""
+    pool = draw(st.lists(_identifiers(), min_size=0, max_size=2, unique=True),
+                label="pool")
+    own_name = draw(_identifiers().filter(lambda n: n not in pool),
+                    label="name")
+    member_names = draw(
+        st.lists(_identifiers(), min_size=1, max_size=6, unique=True),
+        label="members")
+    attributes = []
+    methods = []
+    for index, member in enumerate(member_names):
+        if draw(st.booleans(), label=f"is_method_{index}"):
+            methods.append(MemberFunction(
+                member,
+                access=draw(st.sampled_from(list(Access)),
+                            label=f"macc_{index}"),
+                side_effects=draw(st.booleans(), label=f"side_{index}"),
+                result_declare="int",
+            ))
+        else:
+            attributes.append(Attribute(
+                member,
+                draw(_attribute_types(pool), label=f"type_{index}"),
+                access=draw(st.sampled_from(list(Access)),
+                            label=f"aacc_{index}"),
+            ))
+    cls = OdeClass(
+        own_name,
+        bases=tuple(draw(
+            st.lists(st.sampled_from(pool), max_size=len(pool), unique=True),
+            label="bases") if pool else []),
+        attributes=tuple(attributes),
+        methods=tuple(methods),
+        persistent=draw(st.booleans(), label="persistent"),
+        versioned=draw(st.booleans(), label="versioned"),
+    )
+    return pool, cls
+
+
+@settings(max_examples=60, deadline=None)
+@given(_class_definitions())
+def test_print_parse_roundtrip(case):
+    pool, cls = case
+    schema = Schema()
+    for base in pool:
+        schema.add_class(OdeClass(base, persistent=True))
+    schema.add_class(cls)
+
+    printed = class_definition_source(schema, cls.name)
+    prelude = "".join(f"persistent class {base} {{ }};\n" for base in pool)
+    reparsed = build_schema(parse_program(prelude + printed))
+    reloaded = reparsed.get_class(cls.name)
+
+    assert reloaded.bases == cls.bases
+    assert reloaded.persistent == cls.persistent
+    assert reloaded.versioned == cls.versioned
+    # The printer groups members into public/private sections, so overall
+    # declaration order is not preserved — membership and per-member facts are.
+    def attr_facts(klass):
+        return sorted((a.name, a.type_spec.declare(a.name), a.access.value)
+                      for a in klass.attributes)
+
+    def method_facts(klass):
+        return sorted((m.name, m.access.value, m.side_effects)
+                      for m in klass.methods)
+
+    assert attr_facts(reloaded) == attr_facts(cls)
+    assert method_facts(reloaded) == method_facts(cls)

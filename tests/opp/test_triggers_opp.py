@@ -1,0 +1,149 @@
+"""Tests for O++ trigger syntax, compilation, and enforcement."""
+
+import pytest
+
+from repro.errors import ParseError, TypeCheckError
+from repro.ode.database import Database
+from repro.ode.opp.bindings import CompiledTriggerCache, compile_trigger
+from repro.ode.opp.parser import parse_program, parse_trigger
+from repro.ode.opp.printer import class_definition_source
+from repro.ode.opp.typecheck import build_schema
+
+SOURCE = """
+persistent class employee {
+  public:
+    char name[20];
+    int id;
+  private:
+    double salary;
+  trigger:
+    cap : salary > 150000.0 ==> salary = 150000.0;
+    once tag_first : id == 0 ==> name = "founder";
+};
+"""
+
+
+class TestParsing:
+    def test_trigger_section_parsed(self):
+        program = parse_program(SOURCE)
+        triggers = program.classes[0].triggers
+        assert [t.name for t in triggers] == ["cap", "tag_first"]
+        assert triggers[0].once is False
+        assert triggers[1].once is True
+
+    def test_assignments(self):
+        program = parse_program(SOURCE)
+        cap = program.classes[0].triggers[0]
+        assert cap.assignments[0][0] == "salary"
+
+    def test_multiple_assignments(self):
+        decl = parse_trigger("fix : id < 0 ==> id = 0, name = \"anon\"")
+        assert len(decl.assignments) == 2
+
+    def test_parse_trigger_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_trigger("cap salary > 1 ==> salary = 1")
+        with pytest.raises(ParseError):
+            parse_trigger("cap : salary > 1")
+
+    def test_sources_recorded_in_class(self):
+        schema = build_schema(parse_program(SOURCE))
+        cls = schema.get_class("employee")
+        assert len(cls.trigger_sources) == 2
+        assert cls.trigger_sources[0].startswith("cap :")
+
+    def test_printer_renders_trigger_section(self):
+        schema = build_schema(parse_program(SOURCE))
+        printed = class_definition_source(schema, "employee")
+        assert "  trigger:" in printed
+        assert "cap : salary > 150000.0 ==> salary = 150000.0;" in printed
+
+    def test_printed_definition_reparses(self):
+        schema = build_schema(parse_program(SOURCE))
+        printed = class_definition_source(schema, "employee")
+        reparsed = build_schema(parse_program(printed))
+        assert len(reparsed.get_class("employee").trigger_sources) == 2
+
+
+class TestCompilation:
+    @pytest.fixture
+    def schema(self):
+        return build_schema(parse_program(SOURCE))
+
+    def test_condition_and_action(self, schema):
+        trigger = compile_trigger(
+            "cap : salary > 100.0 ==> salary = 100.0", "employee", schema)
+        updates = trigger.maybe_fire("employee", {"salary": 500.0})
+        assert updates == {"salary": 100.0}
+        assert trigger.maybe_fire("employee", {"salary": 50.0}) is None
+
+    def test_once_semantics(self, schema):
+        trigger = compile_trigger(
+            "once t : id >= 0 ==> id = 1", "employee", schema)
+        assert trigger.maybe_fire("employee", {"id": 0}) == {"id": 1}
+        assert trigger.maybe_fire("employee", {"id": 0}) is None
+
+    def test_action_can_compute_from_values(self, schema):
+        trigger = compile_trigger(
+            "bump : id < 10 ==> id = id * 2 + 1", "employee", schema)
+        assert trigger.maybe_fire("employee", {"id": 4}) == {"id": 9}
+
+    def test_unknown_target_rejected(self, schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            compile_trigger("t : id > 0 ==> ghost = 1", "employee", schema)
+
+    def test_non_boolean_condition_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            compile_trigger("t : id + 1 ==> id = 0", "employee", schema)
+
+    def test_cache_keeps_once_state(self, schema):
+        cache = CompiledTriggerCache(schema)
+        triggers = cache.triggers_for(["employee"])
+        once = [t for t in triggers if t.name == "tag_first"][0]
+        once.maybe_fire("employee", {"id": 0, "name": "x", "salary": 0.0})
+        again = [t for t in cache.triggers_for(["employee"])
+                 if t.name == "tag_first"][0]
+        assert again is once
+        assert not again.active
+
+
+class TestEndToEnd:
+    def test_source_triggers_fire_on_update(self, tmp_path):
+        with Database.create(tmp_path / "t.odb") as database:
+            database.define_from_source(SOURCE)
+            oid = database.objects.new_object("employee", {
+                "name": "ada", "id": 5, "salary": 100.0})
+            database.objects.update(oid, {"salary": 999_999.0})
+            buffer = database.objects.get_buffer(oid)
+            assert buffer.value("salary", privileged=True) == 150_000.0
+
+    def test_once_trigger_fires_once_per_session(self, tmp_path):
+        with Database.create(tmp_path / "t.odb") as database:
+            database.define_from_source(SOURCE)
+            oid = database.objects.new_object("employee", {
+                "name": "ada", "id": 0, "salary": 1.0})
+            database.objects.update(oid, {"salary": 2.0})
+            assert database.objects.get_buffer(oid).value("name") == "founder"
+            database.objects.update(oid, {"name": "renamed", "salary": 3.0})
+            # once trigger already fired: the rename survives
+            assert database.objects.get_buffer(oid).value("name") == "renamed"
+
+    def test_trigger_chain_converges(self, tmp_path):
+        source = """
+        persistent class gauge {
+          public:
+            int level;
+          trigger:
+            clamp_high : level > 100 ==> level = 100;
+            clamp_low : level < 0 ==> level = 0;
+        };
+        """
+        with Database.create(tmp_path / "g.odb") as database:
+            database.define_from_source(source)
+            oid = database.objects.new_object("gauge", {"level": 50})
+            database.objects.update(oid, {"level": 5000})
+            assert database.objects.get_buffer(oid).value("level") == 100
+            database.objects.update(oid, {"level": -5})
+            assert database.objects.get_buffer(oid).value("level") == 0

@@ -1,0 +1,227 @@
+"""Tests for O++ resolution and predicate type checking."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeCheckError
+from repro.ode.opp.parser import parse_expression, parse_program
+from repro.ode.opp.typecheck import (
+    NULL,
+    build_schema,
+    check_predicate,
+    check_selection_predicate,
+    resolve_type,
+)
+from repro.ode.opp import ast
+from repro.ode.schema import Schema
+from repro.ode.types import (
+    ArrayType,
+    BoolType,
+    DateType,
+    FloatType,
+    IntType,
+    RefType,
+    SetType,
+    StringType,
+    StructType,
+)
+
+LAB = """
+struct Address { char street[24]; int zip; };
+
+persistent class department {
+  public:
+    char dname[20];
+    set<employee*> members;
+};
+
+persistent class employee {
+  public:
+    char name[20];
+    int id;
+    Date hired;
+    Address addr;
+    department *dept;
+    int grades[4];
+    int score() const;
+    int poke();
+  private:
+    double salary;
+};
+"""
+
+
+@pytest.fixture
+def schema():
+    return build_schema(parse_program(LAB))
+
+
+class TestResolveType:
+    def _resolve(self, source, schema=None):
+        program = parse_program(f"class probe {{ public: {source}; }};")
+        field = program.classes[0].fields[0]
+        return resolve_type(field.type_name, schema or Schema())
+
+    def test_builtins(self):
+        assert self._resolve("int n") == IntType()
+        assert self._resolve("double d") == FloatType()
+        assert self._resolve("bool b") == BoolType()
+        assert self._resolve("Date when") == DateType()
+        assert self._resolve("String s") == StringType(None)
+
+    def test_char_array_is_bounded_string(self):
+        assert self._resolve("char name[30]") == StringType(30)
+
+    def test_char_pointer_is_unbounded_string(self):
+        assert self._resolve("char *s") == StringType(None)
+
+    def test_bare_char_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self._resolve("char c")
+
+    def test_int_array(self):
+        assert self._resolve("int grades[4]") == ArrayType(IntType(), 4)
+
+    def test_2d_array(self):
+        assert self._resolve("int m[2][3]") == ArrayType(
+            ArrayType(IntType(), 3), 2)
+
+    def test_class_pointer_is_ref(self):
+        schema = Schema()
+        assert self._resolve("employee *e", schema) == RefType("employee")
+
+    def test_struct_by_value(self, schema):
+        assert self._resolve("Address a", schema) == schema.get_struct("Address")
+
+    def test_embedded_class_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self._resolve("employee e", schema)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self._resolve("Mystery m")
+
+    def test_set_of_refs(self, schema):
+        assert self._resolve("set<employee*> s", schema) == SetType(
+            RefType("employee"))
+
+    def test_pointer_to_builtin_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self._resolve("int *p")
+
+
+class TestBuildSchema:
+    def test_classes_registered(self, schema):
+        assert schema.class_names() == ["department", "employee"]
+
+    def test_access_resolved(self, schema):
+        attrs = {a.name: a.is_public for a in schema.all_attributes("employee")}
+        assert attrs["name"] is True
+        assert attrs["salary"] is False
+
+    def test_const_method_is_pure_declaration(self, schema):
+        methods = {m.name: m for m in schema.all_methods("employee")}
+        assert methods["score"].side_effects is False
+        assert methods["poke"].side_effects is True
+
+    def test_dangling_forward_reference_caught(self):
+        with pytest.raises(SchemaError):
+            build_schema(parse_program(
+                "persistent class a { public: ghost *g; };"))
+
+
+class TestPredicateChecking:
+    def check(self, source, schema, **kwargs):
+        return check_predicate(parse_expression(source), "employee", schema,
+                               **kwargs)
+
+    def test_comparison_is_bool(self, schema):
+        assert isinstance(self.check("id == 3", schema), BoolType)
+
+    def test_string_comparison(self, schema):
+        assert isinstance(self.check('name == "rakesh"', schema), BoolType)
+
+    def test_arrow_resolves_target_attribute(self, schema):
+        assert isinstance(self.check('dept->dname == "db"', schema), BoolType)
+
+    def test_arrow_on_non_ref_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("id->x == 1", schema)
+
+    def test_dot_resolves_struct_field(self, schema):
+        assert isinstance(self.check("addr.zip == 7", schema), BoolType)
+
+    def test_dot_on_non_struct_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("id.x == 1", schema)
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("ghost == 1", schema)
+
+    def test_private_attribute_needs_privilege(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("salary > 0.0", schema)
+        assert isinstance(self.check("salary > 0.0", schema, privileged=True),
+                          BoolType)
+
+    def test_computed_attribute_is_unknown(self, schema):
+        assert self.check("score", schema) is None
+
+    def test_index_yields_element(self, schema):
+        assert isinstance(self.check("grades[0] > 2", schema), BoolType)
+
+    def test_index_non_array_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("id[0] == 1", schema)
+
+    def test_cross_family_comparison_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check('id == "three"', schema)
+
+    def test_null_only_compares_with_refs(self, schema):
+        assert isinstance(self.check("dept == null", schema), BoolType)
+        with pytest.raises(TypeCheckError):
+            self.check("id == null", schema)
+        with pytest.raises(TypeCheckError):
+            self.check("dept < null", schema)
+
+    def test_logical_needs_bools(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("id && true", schema)
+
+    def test_arithmetic_type(self, schema):
+        assert isinstance(self.check("id + 1", schema), IntType)
+        assert isinstance(self.check("id + 1.5", schema), FloatType)
+
+    def test_arithmetic_on_strings_rejected_except_concat(self, schema):
+        assert isinstance(self.check('name + "x"', schema), StringType)
+        with pytest.raises(TypeCheckError):
+            self.check('name - "x"', schema)
+
+    def test_builtin_calls(self, schema):
+        assert isinstance(self.check("size(name) > 2", schema), BoolType)
+        assert isinstance(self.check("year(hired) == 1985", schema), BoolType)
+        assert isinstance(self.check('lower(name) == "x"', schema), BoolType)
+        assert isinstance(self.check("abs(id) == 1", schema), BoolType)
+        assert isinstance(self.check("min(id, 3) == 1", schema), BoolType)
+
+    def test_builtin_arity_checked(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("size(name, id)", schema)
+
+    def test_builtin_argument_types_checked(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("year(id) == 1", schema)
+        with pytest.raises(TypeCheckError):
+            self.check("contains(id, 3)", schema)
+
+    def test_unknown_function_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            self.check("frobnicate(id)", schema)
+
+    def test_selection_predicate_must_be_boolean(self, schema):
+        with pytest.raises(TypeCheckError):
+            check_selection_predicate(parse_expression("id + 1"), "employee",
+                                      schema)
+        check_selection_predicate(parse_expression("id > 1"), "employee",
+                                  schema)

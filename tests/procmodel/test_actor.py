@@ -1,0 +1,86 @@
+"""Tests for actors and crash isolation."""
+
+import pytest
+
+from repro.errors import ProcessCrashedError, ProcessError
+from repro.procmodel.actor import Actor, ActorState, Message
+
+
+class Echo(Actor):
+    def handle(self, message):
+        if message.kind == "boom":
+            raise RuntimeError("designer bug")
+        return message.payload.get("value")
+
+
+def test_deliver_and_step():
+    actor = Echo("e")
+    actor.deliver(Message("echo", {"value": 42}))
+    assert actor.step() == 42
+    assert actor.handled == 1
+
+
+def test_step_empty_inbox_returns_none():
+    assert Echo("e").step() is None
+
+
+def test_fifo_order():
+    actor = Echo("e")
+    actor.deliver(Message("echo", {"value": 1}))
+    actor.deliver(Message("echo", {"value": 2}))
+    assert actor.step() == 1
+    assert actor.step() == 2
+
+
+def test_crash_flips_state_and_records_reason():
+    actor = Echo("e")
+    actor.deliver(Message("boom"))
+    with pytest.raises(ProcessCrashedError):
+        actor.step()
+    assert actor.state is ActorState.CRASHED
+    assert "designer bug" in actor.crash_reason
+
+
+def test_deliver_to_crashed_actor_rejected():
+    actor = Echo("e")
+    actor.deliver(Message("boom"))
+    with pytest.raises(ProcessCrashedError):
+        actor.step()
+    with pytest.raises(ProcessCrashedError):
+        actor.deliver(Message("echo"))
+
+
+def test_step_crashed_actor_rejected():
+    actor = Echo("e")
+    actor.deliver(Message("boom"))
+    actor.deliver(Message("echo", {"value": 1}))
+    with pytest.raises(ProcessCrashedError):
+        actor.step()
+    with pytest.raises(ProcessError):
+        actor.step()
+
+
+def test_stop():
+    actor = Echo("e")
+    actor.stop()
+    assert actor.state is ActorState.STOPPED
+    with pytest.raises(ProcessError):
+        actor.deliver(Message("echo"))
+
+
+def test_on_stop_hook_called_once():
+    calls = []
+
+    class Hooked(Echo):
+        def on_stop(self):
+            calls.append(1)
+
+    actor = Hooked("h")
+    actor.stop()
+    actor.stop()
+    assert calls == [1]
+
+
+def test_unnamed_actor_rejected():
+    with pytest.raises(ProcessError):
+        Echo("")

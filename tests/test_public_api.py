@@ -1,0 +1,87 @@
+"""Tests for the package's public surface and error hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.errors as errors
+from repro.errors import OdeError
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_api_shape(self, tmp_path):
+        """The README quickstart, via the top-level namespace only."""
+        repro.make_lab_database(tmp_path).close()
+        app = repro.OdeView(tmp_path)
+        session = app.open_database("lab")
+        browser = session.open_object_set("employee")
+        browser.next()
+        browser.toggle_format("text")
+        rendering = app.render()
+        assert "rakesh" in rendering
+        app.shutdown()
+
+    def test_discover_databases_exported(self, tmp_path):
+        repro.make_lab_database(tmp_path).close()
+        assert len(repro.discover_databases(tmp_path)) == 1
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.core
+        import repro.dagplace
+        import repro.dynlink
+        import repro.ode
+        import repro.ode.opp
+        import repro.procmodel
+        import repro.windowing
+
+        for module in (repro.core, repro.dagplace, repro.dynlink, repro.ode,
+                       repro.ode.opp, repro.procmodel, repro.windowing):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_odeerror(self):
+        for name, obj in inspect.getmembers(errors, inspect.isclass):
+            if issubclass(obj, Exception) and obj.__module__ == "repro.errors":
+                assert issubclass(obj, OdeError), name
+
+    def test_one_except_catches_everything(self, tmp_path):
+        """Library misuse is always catchable at the OdeError boundary."""
+        from repro.ode.database import Database
+
+        with pytest.raises(OdeError):
+            Database.open(tmp_path / "missing.odb")
+        with pytest.raises(OdeError):
+            from repro.ode.oid import Oid
+
+            Oid.parse("garbage")
+        with pytest.raises(OdeError):
+            from repro.ode.opp.parser import parse_expression
+
+            parse_expression("((")
+
+    def test_opp_errors_carry_location(self):
+        from repro.errors import ParseError
+        from repro.ode.opp.parser import parse_expression
+
+        with pytest.raises(ParseError) as info:
+            parse_expression("a ==\n   ")
+        assert info.value.line >= 1
+        assert "line" in str(info.value)
+
+    def test_constraint_violation_carries_names(self):
+        from repro.errors import ConstraintViolationError
+
+        error = ConstraintViolationError("employee", "nonneg")
+        assert error.class_name == "employee"
+        assert error.constraint_name == "nonneg"
+        assert "nonneg" in str(error)

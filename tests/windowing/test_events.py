@@ -1,0 +1,94 @@
+"""Tests for the event loop."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.windowing.events import Click, Drag, EventLoop, KeyInput, MenuSelect
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+def test_dispatch_to_window_handler(loop):
+    seen = []
+    loop.on("button", seen.append)
+    loop.post(Click(window="button"))
+    loop.run()
+    assert seen == [Click(window="button")]
+
+
+def test_handler_only_sees_its_window(loop):
+    seen = []
+    loop.on("a", seen.append)
+    loop.post(Click(window="b"))
+    loop.run()
+    assert seen == []
+
+
+def test_any_handler_sees_everything(loop):
+    seen = []
+    loop.on_any(seen.append)
+    loop.post(Click(window="a"))
+    loop.post(MenuSelect(window="m", item="x"))
+    loop.run()
+    assert len(seen) == 2
+
+
+def test_fifo_order(loop):
+    order = []
+    loop.on("a", lambda e: order.append("a"))
+    loop.on("b", lambda e: order.append("b"))
+    loop.post(Click(window="a"))
+    loop.post(Click(window="b"))
+    loop.run()
+    assert order == ["a", "b"]
+
+
+def test_handlers_may_post_more_events(loop):
+    order = []
+    loop.on("first", lambda e: (order.append("first"),
+                                loop.post(Click(window="second"))))
+    loop.on("second", lambda e: order.append("second"))
+    loop.post(Click(window="first"))
+    count = loop.run()
+    assert order == ["first", "second"]
+    assert count == 2
+
+
+def test_runaway_loop_detected(loop):
+    loop.on("echo", lambda e: loop.post(Click(window="echo")))
+    loop.post(Click(window="echo"))
+    with pytest.raises(WindowError):
+        loop.run(max_events=50)
+
+
+def test_dispatch_one_returns_event(loop):
+    loop.post(KeyInput(window="box", text="id > 3"))
+    event = loop.dispatch_one()
+    assert event.text == "id > 3"
+    assert loop.dispatch_one() is None
+
+
+def test_remove_window_handlers(loop):
+    seen = []
+    loop.on("a", seen.append)
+    loop.remove_window_handlers("a")
+    loop.post(Click(window="a"))
+    loop.run()
+    assert seen == []
+
+
+def test_multiple_handlers_same_window(loop):
+    seen = []
+    loop.on("a", lambda e: seen.append(1))
+    loop.on("a", lambda e: seen.append(2))
+    loop.post(Click(window="a"))
+    loop.run()
+    assert seen == [1, 2]
+
+
+def test_drag_event_fields():
+    drag = Drag(window="w", to_x=10, to_y=20)
+    assert (drag.to_x, drag.to_y) == (10, 20)

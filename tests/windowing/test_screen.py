@@ -1,0 +1,222 @@
+"""Tests for screen geometry solving and event routing."""
+
+import pytest
+
+from repro.errors import LayoutError, WindowError
+from repro.windowing.nullbackend import NullBackend
+from repro.windowing.screen import Screen
+from repro.windowing.textbackend import TextBackend
+from repro.windowing.wintypes import (
+    at,
+    below,
+    button,
+    menu,
+    panel,
+    right_of,
+    text_window,
+)
+
+
+@pytest.fixture
+def screen():
+    return Screen(TextBackend(), width=80)
+
+
+class TestCreation:
+    def test_too_narrow_screen_rejected(self):
+        with pytest.raises(WindowError):
+            Screen(TextBackend(), width=5)
+
+    def test_create_and_get(self, screen):
+        screen.create(text_window("t", "hi"))
+        assert screen.get("t").content == "hi"
+
+    def test_destroy_removes_handlers(self, screen):
+        seen = []
+        screen.create(button("b", "x", "x"))
+        screen.on_click("b", seen.append)
+        screen.destroy("b")
+        screen.create(button("b", "x", "x"))
+        screen.click("b")
+        assert seen == []
+
+
+class TestGeometry:
+    def test_natural_size_text(self, screen):
+        window = screen.create(text_window("t", "abc\nlonger line"))
+        assert screen.natural_size(window) == (11, 2)
+
+    def test_explicit_size_wins(self, screen):
+        window = screen.create(text_window("t", "abc", width=30, height=4))
+        assert screen.natural_size(window) == (30, 4)
+
+    def test_button_size(self, screen):
+        window = screen.create(button("b", "next", "next"))
+        assert screen.natural_size(window) == (6, 1)
+
+    def test_menu_size(self, screen):
+        window = screen.create(menu("m", ("short", "much longer")))
+        assert screen.natural_size(window) == (13, 2)
+
+    def test_root_flow_left_to_right(self, screen):
+        screen.create(text_window("a", "aaaa"))
+        screen.create(text_window("b", "bb"))
+        screen.layout()
+        a, b = screen.get("a"), screen.get("b")
+        assert a.geometry.x == 0
+        assert b.geometry.x > a.geometry.x
+
+    def test_root_flow_wraps(self, screen):
+        for index in range(4):
+            screen.create(text_window(f"w{index}", "x" * 30))
+        screen.layout()
+        ys = [screen.get(f"w{i}").geometry.y for i in range(4)]
+        assert ys[0] == ys[1] == 0
+        assert ys[2] > 0  # wrapped to a new row
+
+    def test_at_placement(self, screen):
+        screen.create(panel("p", (text_window("p.t", "x",
+                                              placement=at(5, 3)),)))
+        screen.layout()
+        child = screen.get("p.t")
+        assert (child.geometry.x, child.geometry.y) == (5, 3)
+
+    def test_below_placement(self, screen):
+        screen.create(panel("p", (
+            text_window("p.a", "x", placement=at(2, 0)),
+            text_window("p.b", "y", placement=below("p.a")),
+        )))
+        screen.layout()
+        a, b = screen.get("p.a"), screen.get("p.b")
+        assert b.geometry.x == a.geometry.x
+        assert b.geometry.y > a.geometry.y
+
+    def test_right_of_placement(self, screen):
+        screen.create(panel("p", (
+            text_window("p.a", "x", placement=at(0, 1)),
+            text_window("p.b", "y", placement=right_of("p.a")),
+        )))
+        screen.layout()
+        a, b = screen.get("p.a"), screen.get("p.b")
+        assert b.geometry.y == a.geometry.y
+        assert b.geometry.x > a.geometry.x
+
+    def test_anchor_to_missing_sibling_rejected(self, screen):
+        screen.create(panel("p", (
+            text_window("p.b", "y", placement=below("p.ghost")),
+        )))
+        with pytest.raises(LayoutError):
+            screen.layout()
+
+    def test_anchor_to_closed_sibling_rejected(self, screen):
+        screen.create(panel("p", (
+            text_window("p.a", "x", placement=at(0, 0)),
+            text_window("p.b", "y", placement=below("p.a")),
+        )))
+        screen.close("p.a")
+        with pytest.raises(LayoutError):
+            screen.layout()
+
+    def test_panel_autosizes_to_children(self, screen):
+        screen.create(panel("p", (
+            text_window("p.a", "wide contents here", placement=at(0, 0)),
+        )))
+        window = screen.get("p")
+        width, height = screen.natural_size(window)
+        assert width >= len("wide contents here")
+
+
+class TestInteraction:
+    def test_click_dispatches(self, screen):
+        seen = []
+        screen.create(button("b", "go", "go"))
+        screen.on_click("b", seen.append)
+        screen.click("b")
+        assert len(seen) == 1
+
+    def test_click_unknown_window_rejected(self, screen):
+        with pytest.raises(WindowError):
+            screen.click("ghost")
+
+    def test_menu_select(self, screen):
+        seen = []
+        screen.create(menu("m", ("alpha", "beta")))
+        screen.on_click("m", seen.append)
+        screen.select_menu_item("m", "beta")
+        assert seen[0].item == "beta"
+
+    def test_menu_select_unknown_item_rejected(self, screen):
+        screen.create(menu("m", ("alpha",)))
+        with pytest.raises(WindowError):
+            screen.select_menu_item("m", "ghost")
+
+    def test_menu_select_on_non_menu_rejected(self, screen):
+        screen.create(text_window("t", "x"))
+        with pytest.raises(WindowError):
+            screen.select_menu_item("t", "x")
+
+    def test_drag_moves_top_level_window(self, screen):
+        screen.create(text_window("t", "x"))
+        screen.drag("t", 40, 7)
+        screen.layout()
+        assert (screen.get("t").geometry.x, screen.get("t").geometry.y) == \
+            (40, 7)
+
+    def test_drag_nested_window_rejected(self, screen):
+        screen.create(panel("p", (text_window("p.t", "x"),)))
+        with pytest.raises(WindowError):
+            screen.drag("p.t", 1, 1)
+
+
+class TestBackendEquivalence:
+    def test_same_session_runs_on_both_backends(self):
+        """The paper's separation claim: sessions are backend-independent."""
+        for backend in (TextBackend(), NullBackend()):
+            screen = Screen(backend, width=80)
+            seen = []
+            screen.create(panel("p", (
+                text_window("p.t", "hello", placement=at(0, 0)),
+                button("p.b", "go", "go", placement=below("p.t")),
+            )))
+            screen.on_click("p.b", seen.append)
+            screen.click("p.b")
+            rendering = screen.render()
+            assert seen, backend.name
+            assert rendering  # both produce some output
+
+
+class TestScrollHelper:
+    def test_scroll_accumulates(self, screen):
+        screen.create(text_window("s", "0\n1\n2\n3\n4", scrollable=True,
+                                  height=2))
+        assert screen.scroll("s", 2) == 2
+        assert screen.scroll("s", 1) == 3
+        assert screen.scroll("s", -5) == 0  # clamped at the top
+
+    def test_scroll_non_scrollable_rejected(self, screen):
+        screen.create(text_window("t", "x"))
+        with pytest.raises(WindowError):
+            screen.scroll("t", 1)
+
+
+class TestRaise:
+    def test_raise_changes_draw_order_only(self, screen):
+        screen.create(text_window("a", "AA"))
+        screen.create(text_window("b", "BB"))
+        before = [w.name for w in screen.tree.roots()]
+        screen.raise_window("a")
+        assert [w.name for w in screen.tree.roots()] == before  # layout order
+        assert [w.name for w in screen.tree.draw_order()] == ["b", "a"]
+
+    def test_raised_window_drawn_on_top_when_overlapping(self, screen):
+        screen.create(text_window("under", "UNDER TEXT"))
+        screen.create(text_window("over", "OVER"))
+        screen.drag("over", 0, 0)  # overlap 'under'
+        screen.raise_window("under")
+        rendering = screen.render()
+        assert "UNDER TEXT" in rendering
+
+    def test_raise_nested_rejected(self, screen):
+        screen.create(panel("p", (text_window("p.t", "x"),)))
+        with pytest.raises(WindowError):
+            screen.raise_window("p.t")

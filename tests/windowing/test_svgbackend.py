@@ -1,0 +1,105 @@
+"""Tests for the SVG backend (the third 'version of OdeView')."""
+
+import pytest
+
+from repro.windowing.raster import RasterImage
+from repro.windowing.screen import Screen
+from repro.windowing.svgbackend import SvgBackend
+from repro.windowing.wintypes import (
+    at,
+    button,
+    menu,
+    panel,
+    raster_window,
+    text_window,
+)
+
+
+@pytest.fixture
+def screen():
+    return Screen(SvgBackend(), width=100)
+
+
+def test_produces_standalone_svg(screen):
+    screen.create(text_window("t", "hello", title="win"))
+    svg = screen.render()
+    assert svg.startswith('<svg xmlns="http://www.w3.org/2000/svg"')
+    assert svg.endswith("</svg>")
+
+
+def test_text_content_rendered(screen):
+    screen.create(text_window("t", "hello world"))
+    assert ">hello world</text>" in screen.render()
+
+
+def test_title_bar_rendered(screen):
+    screen.create(text_window("t", "x", title="employee"))
+    svg = screen.render()
+    assert ">employee</text>" in svg
+    assert 'fill="#333366"' in svg  # the title bar rect
+
+
+def test_button_label_bracketed(screen):
+    screen.create(button("b", "next", "next"))
+    svg = screen.render()
+    assert ">[next]</text>" in svg
+    assert 'fill="#dce6f2"' in svg  # button fill
+
+
+def test_menu_items(screen):
+    screen.create(menu("m", ("alpha", "beta")))
+    svg = screen.render()
+    assert ">alpha</text>" in svg and ">beta</text>" in svg
+
+
+def test_raster_pixels_as_rects(screen):
+    image = RasterImage.from_rows([[0, 255], [128, 255]])
+    screen.create(raster_window("r", image))
+    svg = screen.render()
+    assert 'fill="#000000"' in svg
+    assert 'fill="#808080"' in svg
+
+
+def test_panel_children_nested(screen):
+    screen.create(panel("p", (
+        text_window("p.a", "inner", placement=at(0, 0)),
+    ), title="group"))
+    svg = screen.render()
+    assert ">inner</text>" in svg
+    assert ">group</text>" in svg
+
+
+def test_closed_roots_become_icons(screen):
+    screen.create(text_window("t", "x"))
+    screen.close("t")
+    svg = screen.render()
+    assert "icons: (t)" in svg
+    assert ">x</text>" not in svg
+
+
+def test_xml_escaping(screen):
+    screen.create(text_window("t", 'a < b && "c"'))
+    svg = screen.render()
+    assert "a &lt; b &amp;&amp; &quot;c&quot;" in svg
+
+
+def test_scroll_markers(screen):
+    screen.create(text_window("s", "1\n2\n3\n4", scrollable=True, height=2))
+    svg = screen.render()
+    assert ">^</text>" in svg and ">v</text>" in svg
+
+
+def test_full_session_under_svg(lab_root):
+    """The whole paper session runs unchanged under the SVG backend."""
+    from repro.core.session import UserSession
+
+    with UserSession(lab_root, backend=SvgBackend(), screen_width=200) as s:
+        s.click_database_icon("lab")
+        browser = s.app.session("lab").open_object_set("employee")
+        s.click_control(browser, "next")
+        s.click_format_button(browser, "text")
+        s.click_format_button(browser, "picture")
+        svg = s.snapshot("svg-fig6")
+    assert svg.startswith("<svg")
+    assert "rakesh" in svg            # text display
+    assert 'fill="#000000"' in svg    # portrait pixels

@@ -1,0 +1,114 @@
+"""Tests for the ASCII renderer."""
+
+import pytest
+
+from repro.windowing.raster import RasterImage
+from repro.windowing.screen import Screen
+from repro.windowing.textbackend import TextBackend
+from repro.windowing.wintypes import (
+    at,
+    button,
+    menu,
+    panel,
+    raster_window,
+    text_window,
+)
+
+
+@pytest.fixture
+def screen():
+    return Screen(TextBackend(), width=100)
+
+
+def test_box_with_title(screen):
+    screen.create(text_window("t", "hello", title="greeting"))
+    rendering = screen.render()
+    assert "+- greeting" in rendering
+    assert "|hello" in rendering
+
+
+def test_untitled_box(screen):
+    screen.create(text_window("t", "x"))
+    lines = screen.render().split("\n")
+    assert lines[0].startswith("+-")
+    assert lines[-1].startswith("+-")
+
+
+def test_multiline_content_clipped_to_height(screen):
+    screen.create(text_window("t", "a\nb\nc\nd", height=2))
+    rendering = screen.render()
+    assert "|a|" in rendering
+    assert "|b|" in rendering
+    assert "c" not in rendering.replace("icons", "")
+
+
+def test_scroll_text_shows_offset_and_markers(screen):
+    screen.create(text_window("s", "l0\nl1\nl2\nl3", scrollable=True,
+                              height=2, width=4))
+    screen.get("s").scroll_to(2)
+    rendering = screen.render()
+    assert "l2" in rendering and "l3" in rendering
+    assert "l0" not in rendering
+    assert "^" in rendering and "v" in rendering
+
+
+def test_button_renders_with_brackets(screen):
+    screen.create(button("b", "next", "next"))
+    assert "[next]" in screen.render()
+
+
+def test_menu_renders_items(screen):
+    screen.create(menu("m", ("alpha", "beta")))
+    rendering = screen.render()
+    assert "alpha" in rendering and "beta" in rendering
+
+
+def test_raster_renders_via_ramp(screen):
+    image = RasterImage.blank(4, 2, value=0)  # all black
+    screen.create(raster_window("r", image))
+    rendering = screen.render()
+    assert "####" in rendering
+
+
+def test_raster_scaled_to_window(screen):
+    import dataclasses
+
+    image = RasterImage.blank(8, 8, value=0)
+    spec = dataclasses.replace(raster_window("r", image), width=4, height=4)
+    screen.create(spec)
+    rendering = screen.render()
+    assert "####" in rendering
+
+
+def test_closed_roots_listed_as_icons(screen):
+    screen.create(text_window("t", "x", title="win"))
+    screen.close("t")
+    rendering = screen.render()
+    assert "icons: (t)" in rendering
+    assert "|x|" not in rendering
+
+
+def test_closed_nested_window_not_drawn(screen):
+    screen.create(panel("p", (
+        text_window("p.a", "visible", placement=at(0, 0)),
+        text_window("p.b", "hidden", placement=at(0, 5)),
+    )))
+    screen.close("p.b")
+    rendering = screen.render()
+    assert "visible" in rendering
+    assert "hidden" not in rendering
+
+
+def test_deterministic(screen):
+    screen.create(text_window("t", "same"))
+    screen.create(button("b", "go", "go"))
+    assert screen.render() == screen.render()
+
+
+def test_side_by_side_windows_do_not_overlap(screen):
+    screen.create(text_window("a", "AAAA"))
+    screen.create(text_window("b", "BBBB"))
+    rendering = screen.render()
+    line_with_content = [line for line in rendering.split("\n")
+                         if "AAAA" in line][0]
+    assert "BBBB" in line_with_content

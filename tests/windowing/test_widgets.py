@@ -1,0 +1,60 @@
+"""Tests for widget factories."""
+
+import pytest
+
+from repro.windowing.screen import Screen
+from repro.windowing.textbackend import TextBackend
+from repro.windowing.widgets import (
+    button_column,
+    button_row,
+    control_panel,
+    labelled_fields,
+)
+from repro.windowing.wintypes import Relation, WindowKind
+
+
+def test_button_row_chains_right_of():
+    specs = button_row("p", [("a", "a"), ("b", "b"), ("c", "c")])
+    assert len(specs) == 3
+    assert specs[1].placement.relation is Relation.RIGHT_OF
+    assert specs[1].placement.anchor == specs[0].name
+    assert specs[2].placement.anchor == specs[1].name
+
+
+def test_button_column_chains_below():
+    specs = button_column("p", [("a", "a"), ("b", "b")])
+    assert specs[1].placement.relation is Relation.BELOW
+
+
+def test_control_panel_has_paper_buttons():
+    spec = control_panel("emp")
+    labels = [child.content for child in spec.children]
+    assert labels == ["reset", "next", "previous"]
+    commands = [child.command for child in spec.children]
+    assert commands == ["reset", "next", "previous"]
+    assert spec.kind is WindowKind.PANEL
+
+
+def test_control_panel_renders(tmp_path):
+    screen = Screen(TextBackend(), width=80)
+    screen.create(control_panel("emp"))
+    rendering = screen.render()
+    for label in ("[reset]", "[next]", "[previous]"):
+        assert label in rendering
+
+
+def test_labelled_fields_aligns_labels():
+    spec = labelled_fields("f", [("name", "rakesh"), ("id", "7")])
+    lines = spec.content.split("\n")
+    assert lines[0] == "name : rakesh"
+    assert lines[1] == "id   : 7"
+
+
+def test_labelled_fields_empty():
+    assert labelled_fields("f", []).content == "(empty)"
+
+
+def test_labelled_fields_scrollable():
+    spec = labelled_fields("f", [("a", "1")], scrollable=True, height=3)
+    assert spec.kind is WindowKind.SCROLL_TEXT
+    assert spec.height == 3

@@ -1,0 +1,99 @@
+"""Tests for the window tree."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.windowing.window import WindowTree
+from repro.windowing.wintypes import panel, text_window
+
+
+@pytest.fixture
+def tree():
+    return WindowTree()
+
+
+def test_add_and_get(tree):
+    tree.add(text_window("t", "hello"))
+    assert tree.get("t").content == "hello"
+    assert tree.has("t")
+    assert len(tree) == 1
+
+
+def test_duplicate_name_rejected(tree):
+    tree.add(text_window("t", "x"))
+    with pytest.raises(WindowError):
+        tree.add(text_window("t", "y"))
+
+
+def test_unknown_name_rejected(tree):
+    with pytest.raises(WindowError):
+        tree.get("ghost")
+
+
+def test_panel_children_created_recursively(tree):
+    spec = panel("p", (
+        text_window("p.a", "a"),
+        panel("p.inner", (text_window("p.inner.b", "b"),)),
+    ))
+    tree.add(spec)
+    assert tree.get("p.inner.b").parent.name == "p.inner"
+    assert len(tree) == 4
+    assert [w.name for w in tree.get("p").walk()] == [
+        "p", "p.a", "p.inner", "p.inner.b"]
+
+
+def test_remove_subtree(tree):
+    tree.add(panel("p", (text_window("p.a", "a"),)))
+    tree.add(text_window("other", "x"))
+    tree.remove("p")
+    assert not tree.has("p")
+    assert not tree.has("p.a")
+    assert tree.has("other")
+    # names are reusable after removal
+    tree.add(text_window("p.a", "again"))
+
+
+def test_remove_nested_child_only(tree):
+    tree.add(panel("p", (text_window("p.a", "a"), text_window("p.b", "b"))))
+    tree.remove("p.a")
+    assert tree.has("p.b")
+    assert [c.name for c in tree.get("p").children] == ["p.b"]
+
+
+def test_open_close_state(tree):
+    tree.add(text_window("t", "x"))
+    tree.close("t")
+    assert not tree.get("t").is_open
+    assert tree.closed_roots()[0].name == "t"
+    tree.open("t")
+    assert tree.get("t").is_open
+
+
+def test_closed_window_still_accepts_content(tree):
+    """Paper §4.4: refreshing happens whether the window is open or closed."""
+    tree.add(text_window("t", "old"))
+    tree.close("t")
+    tree.get("t").set_content("new")
+    assert tree.get("t").content == "new"
+
+
+def test_roots_order(tree):
+    tree.add(text_window("a", "1"))
+    tree.add(text_window("b", "2"))
+    assert [w.name for w in tree.roots()] == ["a", "b"]
+
+
+def test_scroll_only_on_scrollable(tree):
+    tree.add(text_window("s", "a\nb\nc", scrollable=True))
+    tree.add(text_window("t", "x"))
+    tree.get("s").scroll_to(2)
+    assert tree.get("s").scroll_offset == 2
+    with pytest.raises(WindowError):
+        tree.get("t").scroll_to(1)
+
+
+def test_open_windows_listing(tree):
+    tree.add(text_window("a", "1"))
+    tree.add(text_window("b", "2"))
+    tree.close("b")
+    assert [w.name for w in tree.open_windows()] == ["a"]

@@ -1,0 +1,100 @@
+"""Tests for the generic window types (the protocol vocabulary)."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.windowing.raster import RasterImage
+from repro.windowing.wintypes import (
+    DisplayResources,
+    Placement,
+    Relation,
+    WindowKind,
+    WindowSpec,
+    at,
+    below,
+    button,
+    menu,
+    oid_button,
+    panel,
+    raster_window,
+    right_of,
+    text_window,
+)
+
+
+class TestPlacement:
+    def test_below_requires_anchor(self):
+        with pytest.raises(WindowError):
+            Placement(Relation.BELOW)
+
+    def test_root_takes_no_anchor(self):
+        with pytest.raises(WindowError):
+            Placement(Relation.ROOT, anchor="x")
+
+    def test_helpers(self):
+        assert at(3, 4).relation is Relation.AT
+        assert below("x").anchor == "x"
+        assert right_of("x", dx=2).dx == 2
+
+
+class TestWindowSpec:
+    def test_needs_name(self):
+        with pytest.raises(WindowError):
+            WindowSpec(name="", kind=WindowKind.STATIC_TEXT)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WindowError):
+            WindowSpec(name="w", kind=WindowKind.STATIC_TEXT, width=-1)
+
+    def test_oid_window_needs_oid(self):
+        with pytest.raises(WindowError):
+            WindowSpec(name="w", kind=WindowKind.OID)
+
+    def test_children_only_on_panels(self):
+        child = text_window("child", "x")
+        with pytest.raises(WindowError):
+            WindowSpec(name="w", kind=WindowKind.BUTTON, children=(child,))
+        panel_spec = panel("p", (child,))
+        assert panel_spec.children == (child,)
+
+    def test_text_window_kinds(self):
+        assert text_window("t", "x").kind is WindowKind.STATIC_TEXT
+        assert text_window("t", "x", scrollable=True).kind is \
+            WindowKind.SCROLL_TEXT
+
+    def test_button(self):
+        spec = button("b", "next", "next")
+        assert spec.kind is WindowKind.BUTTON
+        assert spec.content == "next"
+        assert spec.command == "next"
+
+    def test_oid_button(self):
+        spec = oid_button("b", "dept", "lab:department:0", "text")
+        assert spec.kind is WindowKind.OID
+        assert spec.oid == "lab:department:0"
+        assert spec.display_format == "text"
+
+    def test_raster_window_sizes_from_image(self):
+        image = RasterImage.blank(5, 7)
+        spec = raster_window("r", image)
+        assert (spec.width, spec.height) == (5, 7)
+
+    def test_menu(self):
+        spec = menu("m", ("a", "b"))
+        assert spec.kind is WindowKind.MENU
+        assert spec.content == ("a", "b")
+
+
+class TestDisplayResources:
+    def test_needs_format_name(self):
+        with pytest.raises(WindowError):
+            DisplayResources("", (text_window("t", "x"),))
+
+    def test_duplicate_window_names_rejected(self):
+        with pytest.raises(WindowError):
+            DisplayResources("text",
+                             (text_window("t", "x"), text_window("t", "y")))
+
+    def test_valid(self):
+        resources = DisplayResources("text", (text_window("t", "x"),))
+        assert resources.format_name == "text"
