@@ -32,11 +32,22 @@ def gather_statistics(db_session) -> List[Tuple[str, str]]:
         rows.append(("indexes", "(none)"))
     rows.append(("fragmentation",
                  f"{database.store.fragmentation():.0%} of page space dead"))
-    stats = database.store.pool.stats
+    pool = database.store.pool
+    stats = pool.stats
+    rows.append(("pool policy", pool.policy_name))
     rows.append(("pool hits / misses",
                  f"{stats.hits} / {stats.misses} "
                  f"({stats.hit_rate:.0%} hit rate)"))
     rows.append(("pool evictions", str(stats.evictions)))
+    rows.append(("pool prefetches", str(stats.prefetches)))
+    fetch = pool.fetch_time
+    if fetch.count:
+        rows.append(("page fetch latency",
+                     f"{fetch.count} fetches, mean "
+                     f"{fetch.mean * 1e6:.0f}µs, p95 "
+                     f"{fetch.percentile(95) * 1e6:.0f}µs"))
+    else:
+        rows.append(("page fetch latency", "(no fetches yet)"))
     loader = db_session.registry.loader.stats
     rows.append(("display modules loaded", str(loader.loads)))
     rows.append(("display cache hits", str(loader.cache_hits)))

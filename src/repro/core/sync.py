@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import OdeViewError
 from repro.core.navigation import Node, SetNode
+from repro.obs import get_registry
 from repro.ode.oid import Oid
 
 SEQUENCING_OPS = ("next", "previous", "reset")
@@ -57,14 +58,17 @@ def sequence(node: Node, op: str) -> SyncReport:
         raise OdeViewError(
             f"node {node.path!r} has no control panel (not an object set)"
         )
+    registry = get_registry()
+    registry.counter("sync.operations").inc()
     before = subtree_refresh_counts(node)
-    if op == "next":
-        result = node.next()
-    elif op == "previous":
-        result = node.previous()
-    else:
-        node.reset()
-        result = None
+    with registry.histogram("sync.propagate_seconds").time():
+        if op == "next":
+            result = node.next()
+        elif op == "previous":
+            result = node.previous()
+        else:
+            node.reset()
+            result = None
     after = subtree_refresh_counts(node)
     refreshed = tuple(
         path for path in after if after[path] > before.get(path, 0)

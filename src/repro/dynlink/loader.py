@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import DynlinkError
+from repro.obs import get_registry
 
 
 @dataclass
@@ -42,6 +43,11 @@ class DisplayModuleLoader:
         self._cache: Dict[str, Tuple[Tuple[float, int], object]] = {}
         self._uid = next(DisplayModuleLoader._instance_counter)
         self.stats = LoaderStats()
+        registry = get_registry()
+        self._m_loads = registry.counter("dynlink.loads")
+        self._m_cache_hits = registry.counter("dynlink.cache_hits")
+        self._m_invalidations = registry.counter("dynlink.invalidations")
+        self._m_load_time = registry.histogram("dynlink.load_seconds")
 
     # -- paper-named entry points (§4.2 code fragment) -------------------------
 
@@ -68,11 +74,15 @@ class DisplayModuleLoader:
             cached_fingerprint, module = cached
             if cached_fingerprint == fingerprint:
                 self.stats.cache_hits += 1
+                self._m_cache_hits.inc()
                 return module
             self.stats.invalidations += 1
-        module = self._execute(class_name, path)
+            self._m_invalidations.inc()
+        with self._m_load_time.time():
+            module = self._execute(class_name, path)
         self._cache[class_name] = (fingerprint, module)
         self.stats.loads += 1
+        self._m_loads.inc()
         return module
 
     # -- internals -----------------------------------------------------------------

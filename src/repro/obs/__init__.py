@@ -1,0 +1,20 @@
+"""Observability: process-wide counters and latency histograms.
+
+See :mod:`repro.obs.metrics` for the design notes.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]

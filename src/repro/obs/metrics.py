@@ -1,0 +1,229 @@
+"""Zero-dependency process metrics: counters and latency histograms.
+
+The storage hot path (buffer pool, object store, dynamic linker,
+synchronized browsing) reports into a process-wide
+:class:`MetricsRegistry` so the statistics window and the benchmark
+harness can read one coherent picture of what the system is doing,
+without importing any of the instrumented modules.
+
+Design constraints, in order:
+
+* **zero third-party dependencies** — plain stdlib, importable anywhere;
+* **cheap on the hot path** — a counter increment is one dict-free
+  attribute add; a histogram observation is a bisect into fixed
+  log-spaced buckets;
+* **monotonic time** — latencies come from :func:`time.perf_counter`
+  (via :meth:`Histogram.time`), never wall-clock;
+* **resettable snapshots** — benchmarks isolate a measurement with
+  ``registry.reset()`` / ``metric.reset()``.
+
+Metric names are dotted paths (``bufferpool.hits``); the registry is
+get-or-create, so instrumented modules never coordinate beyond agreeing
+on a name.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_right
+from contextlib import contextmanager
+from threading import Lock
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def snapshot(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+def _default_bounds() -> List[float]:
+    """Log-spaced latency buckets from 1 µs to ~34 s (doubling)."""
+    return [1e-6 * 2 ** i for i in range(26)]
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (latencies, in seconds).
+
+    Keeps count/sum/min/max exactly and a log-spaced bucket vector for
+    approximate quantiles — bounded memory regardless of observation
+    volume, which is what lets it sit on the page-fetch path.
+    """
+
+    __slots__ = ("name", "_bounds", "_buckets", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str = "", bounds: Optional[List[float]] = None):
+        self.name = name
+        self._bounds = list(bounds) if bounds is not None else _default_bounds()
+        self._buckets = [0] * (len(self._bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self._buckets[bisect_right(self._bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the monotonic duration of the ``with`` body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0..100) from the bucket vector.
+
+        Returns the upper bound of the bucket holding the target rank
+        (clamped to the observed max), 0.0 with no observations.
+        """
+        if not self.count:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in 0..100, got {p}")
+        target = p / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._buckets):
+            cumulative += bucket_count
+            if cumulative >= target:
+                upper = (self._bounds[index] if index < len(self._bounds)
+                         else self.max)
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                return upper
+        return self.max or 0.0
+
+    def reset(self) -> None:
+        self._buckets = [0] * (len(self._bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+Metric = Union[Counter, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, with text/JSON export.
+
+    Creation is locked (registries are shared process-wide; two threads
+    may race to create the same name); increments and observations on
+    the returned metric objects are deliberately lock-free — CPython's
+    atomic ops are good enough for statistics, and the hot path stays
+    hot.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = Lock()
+
+    def counter(self, name: str) -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, Counter(name))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: Optional[List[float]] = None) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(
+                    name, Histogram(name, bounds))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Union[int, Dict[str, float]]]:
+        """Point-in-time value of every metric, keyed by name."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names()}
+
+    def reset(self) -> None:
+        """Zero every metric (names and objects stay registered)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- export ----------------------------------------------------------------
+
+    def render_text(self) -> str:
+        """One metric per line, counters bare, histograms summarized."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"{name} {metric.value}")
+            else:
+                s = metric.snapshot()
+                lines.append(
+                    f"{name} count={s['count']} mean={s['mean']:.6f} "
+                    f"p50={s['p50']:.6f} p95={s['p95']:.6f} "
+                    f"max={s['max']:.6f}")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+#: The process-wide registry every instrumented subsystem reports into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

@@ -1,21 +1,48 @@
-"""LRU buffer pool over a :class:`~repro.ode.pagefile.PageFile`.
+"""Policy-driven, instrumented buffer pool over a :class:`~repro.ode.pagefile.PageFile`.
 
 The object manager never touches the page file directly: it fetches pages
 through the pool, which caches a bounded number of decoded
 :class:`~repro.ode.page.Page` objects, tracks pins and dirty state, and
-writes dirty pages back on eviction or flush.  Hit/miss/eviction counters
-feed the storage benchmarks.
+writes dirty pages back on eviction or flush.
+
+Replacement order is delegated to a pluggable
+:class:`~repro.ode.evictionpolicy.EvictionPolicy` (``lru``, ``clock`` or
+``2q`` — see that module); the pool keeps the mechanism (frames, pins,
+dirty bits, writeback), the policy keeps the ordering.
+
+Two kinds of read-ahead feed cluster scans:
+
+* **explicit hints** — :meth:`prefetch` takes page numbers the store
+  already knows a scan will touch (it has the OID → page map);
+* **sequential detection** — consecutive miss page numbers trigger a
+  bounded read-ahead window (``readahead`` pages), so a raw page sweep
+  (e.g. store rebuild at open) streams instead of stuttering.
+
+Prefetched pages are *admitted* (the policy sees ``on_admit``, so under
+2Q they land in probation and cannot pollute the protected set) but are
+counted as ``stats.prefetches``, not misses; a later fetch of a
+prefetched page is an ordinary hit.
+
+Per-pool counters live in :class:`PoolStats` (what the statistics window
+shows per database); the same events also feed the process-wide
+:mod:`repro.obs` registry (``bufferpool.*``), including a monotonic
+page-fetch latency histogram.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterable, Optional, Union
 
 from repro.errors import BufferPoolError
+from repro.obs import Histogram, MetricsRegistry, get_registry
+from repro.ode.evictionpolicy import EvictionPolicy, make_policy
 from repro.ode.page import Page
 from repro.ode.pagefile import PageFile
+
+#: Pages read ahead after two consecutive miss page numbers.
+DEFAULT_READAHEAD = 4
 
 
 @dataclass
@@ -24,6 +51,7 @@ class PoolStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    prefetches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -32,47 +60,101 @@ class PoolStats:
 
 
 class _Frame:
-    __slots__ = ("page", "pins")
+    __slots__ = ("page", "pins", "prefetched")
 
-    def __init__(self, page: Page):
+    def __init__(self, page: Page, prefetched: bool = False):
         self.page = page
         self.pins = 0
+        #: Admitted speculatively; the first demand access is the page's
+        #: *admission* touch, not a re-reference (see fetch()).
+        self.prefetched = prefetched
 
 
 class BufferPool:
-    """Fixed-capacity LRU cache of pages, with pin counting."""
+    """Fixed-capacity page cache with pin counting and pluggable eviction.
 
-    def __init__(self, pagefile: PageFile, capacity: int = 64):
+    ``policy`` is a policy name (``"lru"``, ``"clock"``, ``"2q"``) or an
+    :class:`EvictionPolicy` instance; ``readahead`` bounds sequential
+    prefetch (0 disables); ``metrics`` overrides the process-wide
+    registry (tests isolate with their own).
+    """
+
+    def __init__(self, pagefile: PageFile, capacity: int = 64,
+                 policy: Union[str, EvictionPolicy, None] = None,
+                 readahead: int = DEFAULT_READAHEAD,
+                 metrics: Optional[MetricsRegistry] = None):
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        if readahead < 0:
+            raise BufferPoolError(f"readahead must be >= 0, got {readahead}")
         self._pagefile = pagefile
         self._capacity = capacity
-        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._frames: Dict[int, _Frame] = {}
+        self._policy = make_policy(policy, capacity)
+        self._readahead = readahead
+        self._last_miss: Optional[int] = None
         self.stats = PoolStats()
+        registry = metrics if metrics is not None else get_registry()
+        self._m_hits = registry.counter("bufferpool.hits")
+        self._m_misses = registry.counter("bufferpool.misses")
+        self._m_evictions = registry.counter("bufferpool.evictions")
+        self._m_writebacks = registry.counter("bufferpool.writebacks")
+        self._m_prefetches = registry.counter("bufferpool.prefetches")
+        self._m_fetch_time = registry.histogram("bufferpool.fetch_seconds")
+        #: Per-pool fetch latency (the registry histogram aggregates all
+        #: pools in the process; the statistics window wants this pool's).
+        self.fetch_time = Histogram("fetch_seconds")
 
     @property
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def policy_name(self) -> str:
+        return self._policy.name
+
+    @property
+    def policy(self) -> EvictionPolicy:
+        return self._policy
+
     def __len__(self) -> int:
         return len(self._frames)
+
+    def __contains__(self, page_no: int) -> bool:
+        return page_no in self._frames
 
     # -- fetch / pin -----------------------------------------------------------
 
     def fetch(self, page_no: int, pin: bool = False) -> Page:
         """Return the page, reading it from disk on a miss."""
+        start = perf_counter()
         frame = self._frames.get(page_no)
         if frame is not None:
             self.stats.hits += 1
-            self._frames.move_to_end(page_no)
+            self._m_hits.inc()
+            if frame.prefetched:
+                # First demand access of a speculatively-read page is its
+                # admission touch — not a re-reference.  Without this, a
+                # prefetched scan page would count two accesses (prefetch
+                # + read) and 2Q would promote the whole sweep into the
+                # protected segment, defeating scan resistance.
+                frame.prefetched = False
+            else:
+                self._policy.on_access(page_no)
         else:
             self.stats.misses += 1
-            page = Page(self._pagefile.read_page(page_no))
-            frame = _Frame(page)
-            self._make_room()
-            self._frames[page_no] = frame
+            self._m_misses.inc()
+            frame = self._admit(page_no, Page(self._pagefile.read_page(page_no)))
+            sequential = (self._last_miss is not None
+                          and page_no == self._last_miss + 1)
+            self._last_miss = page_no
+            if sequential and self._readahead:
+                self._prefetch_range(page_no + 1, self._readahead)
         if pin:
             frame.pins += 1
+        elapsed = perf_counter() - start
+        self.fetch_time.observe(elapsed)
+        self._m_fetch_time.observe(elapsed)
         return frame.page
 
     def unpin(self, page_no: int) -> None:
@@ -82,29 +164,83 @@ class BufferPool:
         frame.pins -= 1
 
     def new_page(self) -> int:
-        """Allocate a fresh page in the file and cache it."""
+        """Allocate a fresh page in the file and cache it (dirty).
+
+        The cached frame is dirty from birth: eviction or flush writes a
+        well-formed empty page over the zeroes ``allocate_page`` put on
+        disk, so a later re-fetch always sees a valid page.
+        """
         page_no = self._pagefile.allocate_page()
-        self._make_room()
-        self._frames[page_no] = _Frame(Page())
-        self._frames[page_no].page.dirty = True
+        page = Page()
+        page.dirty = True
+        self._admit(page_no, page)
         return page_no
+
+    # -- prefetch ---------------------------------------------------------------
+
+    def prefetch(self, page_nos: Iterable[int]) -> int:
+        """Hint: read the given pages into the pool without pinning.
+
+        Out-of-range and already-cached pages are skipped.  Admission
+        stops early (without raising) when every frame is pinned, when a
+        pool's worth of pages has been read, or when the next admission
+        would evict a page prefetched by this very call and not yet
+        consumed — read-ahead that cannibalises its own batch is pure
+        wasted I/O.  Returns the number of pages actually read.
+        """
+        loaded = 0
+        for page_no in page_nos:
+            if loaded >= self._capacity:
+                break
+            if page_no in self._frames:
+                continue
+            if not 1 <= page_no < self._pagefile.page_count:
+                continue
+            if len(self._frames) >= self._capacity:
+                victim = self._policy.choose_victim(self._evictable)
+                if victim is None or self._frames[victim].prefetched:
+                    break
+            self._admit(page_no, Page(self._pagefile.read_page(page_no)),
+                        prefetched=True)
+            self.stats.prefetches += 1
+            self._m_prefetches.inc()
+            loaded += 1
+        return loaded
+
+    def _prefetch_range(self, start: int, window: int) -> None:
+        self.prefetch(range(start, start + window))
+
+    # -- admission / eviction -----------------------------------------------------
+
+    def _admit(self, page_no: int, page: Page,
+               prefetched: bool = False) -> _Frame:
+        self._make_room()
+        frame = _Frame(page, prefetched=prefetched)
+        self._frames[page_no] = frame
+        self._policy.on_admit(page_no)
+        return frame
+
+    def _evictable(self, page_no: int) -> bool:
+        return self._frames[page_no].pins == 0
 
     def _make_room(self) -> None:
         while len(self._frames) >= self._capacity:
-            victim_no = None
-            for candidate_no, frame in self._frames.items():
-                if frame.pins == 0:
-                    victim_no = candidate_no
-                    break
+            victim_no = self._policy.choose_victim(self._evictable)
             if victim_no is None:
                 raise BufferPoolError(
                     f"all {self._capacity} frames pinned; cannot evict"
                 )
-            frame = self._frames.pop(victim_no)
-            if frame.page.dirty:
-                self._pagefile.write_page(victim_no, frame.page.to_bytes())
-                self.stats.writebacks += 1
-            self.stats.evictions += 1
+            self._evict(victim_no)
+
+    def _evict(self, page_no: int) -> None:
+        frame = self._frames.pop(page_no)
+        self._policy.on_remove(page_no)
+        if frame.page.dirty:
+            self._pagefile.write_page(page_no, frame.page.to_bytes())
+            self.stats.writebacks += 1
+            self._m_writebacks.inc()
+        self.stats.evictions += 1
+        self._m_evictions.inc()
 
     # -- durability -------------------------------------------------------------
 
@@ -114,13 +250,34 @@ class BufferPool:
             self._pagefile.write_page(page_no, frame.page.to_bytes())
             frame.page.dirty = False
             self.stats.writebacks += 1
+            self._m_writebacks.inc()
 
     def flush_all(self) -> None:
         for page_no in list(self._frames):
             self.flush_page(page_no)
         self._pagefile.sync()
 
-    def invalidate(self) -> None:
-        """Drop all clean cached pages (testing aid; dirty pages flush first)."""
+    def pinned_pages(self) -> list:
+        """Page numbers currently pinned (ascending)."""
+        return sorted(no for no, frame in self._frames.items() if frame.pins)
+
+    def invalidate(self) -> int:
+        """Drop cached *unpinned* pages after flushing everything.
+
+        Contract: pinned frames are never dropped — a pin is a promise
+        that the caller holds a reference to the frame's page object, so
+        discarding it would silently corrupt pin accounting (``unpin``
+        on a re-read frame would raise).  Pinned frames survive with
+        their pin counts intact; everything else (flushed clean first)
+        is forgotten.  Returns the number of frames dropped.
+        """
         self.flush_all()
-        self._frames.clear()
+        dropped = 0
+        for page_no in list(self._frames):
+            if self._frames[page_no].pins:
+                continue
+            del self._frames[page_no]
+            self._policy.on_remove(page_no)
+            dropped += 1
+        self._last_miss = None
+        return dropped

@@ -58,7 +58,7 @@ class Database:
     """One open Ode database: schema + store + object manager."""
 
     def __init__(self, directory: Union[str, Path], create: bool = False,
-                 pool_capacity: int = 64):
+                 pool_capacity: int = 64, eviction_policy: str = "lru"):
         self.directory = Path(directory)
         catalog_path = self.directory / CATALOG_FILE
         if create:
@@ -74,14 +74,28 @@ class Database:
                 self.schema = Schema.from_dict(json.load(fh))
         self.name = self.directory.name.removesuffix(".odb")
         self._acquire_lock()
-        self.behaviours = BehaviourRegistry()
-        self.store = ObjectStore(self.directory, pool_capacity=pool_capacity)
-        self.objects = ObjectManager(
-            self.store, self.schema, self.name, self.behaviours
-        )
-        (self.directory / DISPLAY_DIR).mkdir(exist_ok=True)
-        self._load_behaviours()
-        self._rebuild_persistent_indexes()
+        try:
+            self.behaviours = BehaviourRegistry()
+            self.store = ObjectStore(self.directory,
+                                     pool_capacity=pool_capacity,
+                                     eviction_policy=eviction_policy)
+            self.objects = ObjectManager(
+                self.store, self.schema, self.name, self.behaviours
+            )
+            (self.directory / DISPLAY_DIR).mkdir(exist_ok=True)
+            self._load_behaviours()
+            self._rebuild_persistent_indexes()
+        except BaseException:
+            # A failed open must not leave the single-writer lock behind,
+            # or the database stays unopenable for the rest of the process.
+            store = getattr(self, "store", None)
+            if store is not None:
+                try:
+                    store.close()
+                except Exception:
+                    pass
+            self._release_lock()
+            raise
 
     # -- creation helpers ---------------------------------------------------
 

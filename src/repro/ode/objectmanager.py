@@ -106,6 +106,12 @@ class ObjectManager:
         self.indexes = IndexManager(self)
         self._compiled_constraints = CompiledConstraintCache(schema)
         self._compiled_triggers = CompiledTriggerCache(schema)
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        self._m_buffers = registry.counter("objectmanager.buffers")
+        self._m_buffer_time = registry.histogram(
+            "objectmanager.get_buffer_seconds")
 
     # -- helpers ------------------------------------------------------------
 
@@ -202,6 +208,11 @@ class ObjectManager:
 
     def get_buffer(self, oid: Oid) -> ObjectBuffer:
         """Fetch the object into an object buffer (paper §4.2)."""
+        self._m_buffers.inc()
+        with self._m_buffer_time.time():
+            return self._build_buffer(oid)
+
+    def _build_buffer(self, oid: Oid) -> ObjectBuffer:
         data = self._store.get(oid)
         stored_oid, class_name, values = decode_object(data)
         if stored_oid != oid:
@@ -272,7 +283,12 @@ class ObjectManager:
 
     def select(self, class_name: str,
                predicate: Optional[Predicate] = None) -> Iterator[ObjectBuffer]:
-        """All (matching) buffers of a cluster, in sequencing order."""
+        """All (matching) buffers of a cluster, in sequencing order.
+
+        The whole cluster will be touched, so the scan's page footprint
+        is hinted to the buffer pool up front (sequential prefetch).
+        """
+        self._store.prefetch_cluster(class_name)
         for oid in self.cluster(class_name).oids():
             buffer = self.get_buffer(oid)
             if predicate is None or predicate(buffer):

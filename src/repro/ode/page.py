@@ -44,6 +44,14 @@ class Page:
             if len(data) != PAGE_SIZE:
                 raise PageError(f"page must be {PAGE_SIZE} bytes, got {len(data)}")
             self._buf = bytearray(data)
+            # An all-zero page (fresh from PageFile.allocate_page, before
+            # any writeback) is a valid *empty* page, but its free_start
+            # of 0 would place the first payload at offset 0 — which the
+            # slot directory cannot address (offset 0 is the tombstone
+            # marker).  Normalise so inserts land past the header.
+            count, free_start = self._header()
+            if count == 0 and free_start < _HEADER_SIZE:
+                self._set_header(0, _HEADER_SIZE)
         self.dirty = False
 
     # -- header --------------------------------------------------------------

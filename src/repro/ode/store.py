@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ObjectNotFoundError, StorageError, TransactionError
+from repro.obs import get_registry
 from repro.ode.bufferpool import BufferPool
 from repro.ode.codec import read_varint, write_varint
 from repro.ode.oid import Oid
@@ -67,12 +68,20 @@ class ObjectStore:
     DATA_FILE = "data.pages"
     WAL_FILE = "wal.log"
 
-    def __init__(self, directory: Union[str, Path], pool_capacity: int = 64):
+    def __init__(self, directory: Union[str, Path], pool_capacity: int = 64,
+                 eviction_policy: str = "lru"):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._eviction_policy = eviction_policy
         self._pagefile = PageFile(self.directory / self.DATA_FILE)
-        self._pool = BufferPool(self._pagefile, pool_capacity)
+        self._pool = BufferPool(self._pagefile, pool_capacity,
+                                policy=eviction_policy)
         self._wal = WriteAheadLog(self.directory / self.WAL_FILE)
+        registry = get_registry()
+        self._m_gets = registry.counter("store.gets")
+        self._m_puts = registry.counter("store.puts")
+        self._m_deletes = registry.counter("store.deletes")
+        self._m_read_time = registry.histogram("store.read_seconds")
         self._table: Dict[Oid, Location] = {}
         self._clusters: Dict[str, List[int]] = {}
         self._next_number: Dict[str, int] = {}
@@ -183,18 +192,51 @@ class ObjectStore:
         self._uninstall(oid)
 
     def _read_from_pages(self, oid: Oid) -> bytes:
-        location = self._table[oid]
-        if len(location) == 1:
-            page_no, slot = location[0]
-            record = self._pool.fetch(page_no).read(slot)
-            if record and record[0] != _FRAGMENT_MAGIC:
-                return record
-        parts = []
-        for page_no, slot in location:
-            record = self._pool.fetch(page_no).read(slot)
-            _oid, _index, _total, chunk = _decode_fragment(record)
-            parts.append(chunk)
-        return b"".join(parts)
+        with self._m_read_time.time():
+            location = self._table[oid]
+            if len(location) == 1:
+                page_no, slot = location[0]
+                record = self._pool.fetch(page_no).read(slot)
+                if record and record[0] != _FRAGMENT_MAGIC:
+                    return record
+            else:
+                # A fragment chain's pages are known up front: hint them
+                # to the pool as one batch before walking the chain.
+                self._pool.prefetch(page_no for page_no, _slot in location)
+            parts = []
+            for page_no, slot in location:
+                record = self._pool.fetch(page_no).read(slot)
+                _oid, _index, _total, chunk = _decode_fragment(record)
+                parts.append(chunk)
+            return b"".join(parts)
+
+    # -- prefetch hints ---------------------------------------------------------
+
+    def cluster_pages(self, cluster: str) -> List[int]:
+        """Distinct page numbers holding a cluster's records, in the OID
+        order a sequencing scan will touch them."""
+        locations = sorted(
+            (oid.number, location)
+            for oid, location in self._table.items()
+            if oid.cluster == cluster
+        )
+        pages: List[int] = []
+        seen = set()
+        for _number, location in locations:
+            for page_no, _slot in location:
+                if page_no not in seen:
+                    seen.add(page_no)
+                    pages.append(page_no)
+        return pages
+
+    def prefetch_cluster(self, cluster: str) -> int:
+        """Hint an upcoming cluster scan to the buffer pool.
+
+        The object manager calls this before sequencing/selecting over a
+        cluster; the pool reads ahead as far as capacity (and pins)
+        allow.  Returns the number of pages actually prefetched.
+        """
+        return self._pool.prefetch(self.cluster_pages(cluster))
 
     # -- transactions ------------------------------------------------------------------
 
@@ -250,6 +292,7 @@ class ObjectStore:
         it commits immediately through a single-op transaction."""
         if not data:
             raise StorageError("cannot store an empty record")
+        self._m_puts.inc()
         record = WalRecord(op=OP_PUT, txid=self._txid or 0, oid=str(oid), payload=data)
         if self._txid is not None:
             self._wal.append(record)
@@ -265,6 +308,7 @@ class ObjectStore:
             raise
 
     def get(self, oid: Oid) -> bytes:
+        self._m_gets.inc()
         overlay = self._tx_overlay(oid)
         if overlay is not None:
             if overlay.op == OP_DELETE:
@@ -277,6 +321,7 @@ class ObjectStore:
     def delete(self, oid: Oid) -> None:
         if not self.exists(oid):
             raise ObjectNotFoundError(f"no object {oid}")
+        self._m_deletes.inc()
         record = WalRecord(op=OP_DELETE, txid=self._txid or 0, oid=str(oid))
         if self._txid is not None:
             self._wal.append(record)
@@ -347,7 +392,8 @@ class ObjectStore:
         fresh_path = self.directory / (self.DATA_FILE + ".vacuum")
         fresh_path.unlink(missing_ok=True)
         fresh_file = PageFile(fresh_path)
-        fresh_pool = BufferPool(fresh_file, self._pool.capacity)
+        fresh_pool = BufferPool(fresh_file, self._pool.capacity,
+                                policy=self._eviction_policy)
 
         old_pagefile = self._pagefile
         old_pool = self._pool
@@ -373,7 +419,8 @@ class ObjectStore:
         old_pagefile.close()
         fresh_path.replace(self.directory / self.DATA_FILE)
         self._pagefile = PageFile(self.directory / self.DATA_FILE)
-        self._pool = BufferPool(self._pagefile, old_pool.capacity)
+        self._pool = BufferPool(self._pagefile, old_pool.capacity,
+                                policy=self._eviction_policy)
         self._table = {}
         self._clusters = {}
         self._rebuild_from_pages()

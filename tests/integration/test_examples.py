@@ -1,13 +1,30 @@
 """Smoke tests: every example script must run cleanly end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted(
-    (Path(__file__).parent.parent.parent / "examples").glob("*.py"))
+REPO_ROOT = Path(__file__).parent.parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _example_env():
+    """Subprocess env with the repo's ``src`` on PYTHONPATH.
+
+    The examples import :mod:`repro`; the test process finds it because
+    pytest is launched with ``PYTHONPATH=src``, but that setting is
+    relative to the launch directory and the examples run with
+    ``cwd=tmp_path`` — so prepend the *absolute* src dir explicitly.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        [src, existing])
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -15,6 +32,7 @@ def test_example_runs(script, tmp_path):
     result = subprocess.run(
         [sys.executable, str(script)],
         cwd=tmp_path,  # examples write outputs into the cwd
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=120,
@@ -24,16 +42,18 @@ def test_example_runs(script, tmp_path):
 
 
 def test_quickstart_shows_figure6(tmp_path):
-    script = Path(__file__).parent.parent.parent / "examples" / "quickstart.py"
+    script = REPO_ROOT / "examples" / "quickstart.py"
     result = subprocess.run([sys.executable, str(script)], cwd=tmp_path,
+                            env=_example_env(),
                             capture_output=True, text=True, timeout=120)
     assert "Figure 6" in result.stdout
     assert "rakesh" in result.stdout
 
 
 def test_lab_session_prints_all_figures(tmp_path):
-    script = Path(__file__).parent.parent.parent / "examples" / "lab_session.py"
+    script = REPO_ROOT / "examples" / "lab_session.py"
     result = subprocess.run([sys.executable, str(script)], cwd=tmp_path,
+                            env=_example_env(),
                             capture_output=True, text=True, timeout=120)
     for figure in range(1, 11):
         assert f"Figure {figure}" in result.stdout

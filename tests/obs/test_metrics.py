@@ -1,0 +1,141 @@
+"""Tests for the zero-dependency metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+
+
+# -- counters ------------------------------------------------------------------
+
+def test_counter_inc_and_reset():
+    counter = Counter("c")
+    assert counter.value == 0
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.snapshot() == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+# -- histograms ----------------------------------------------------------------
+
+def test_histogram_basic_stats():
+    hist = Histogram("h")
+    for value in (0.001, 0.002, 0.003, 0.004):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(0.010)
+    assert hist.mean == pytest.approx(0.0025)
+    assert hist.min == pytest.approx(0.001)
+    assert hist.max == pytest.approx(0.004)
+
+
+def test_histogram_percentiles_are_monotonic_and_bounded():
+    hist = Histogram("h")
+    for i in range(1, 101):
+        hist.observe(i * 1e-4)  # 0.1ms .. 10ms
+    p50, p95, p99 = (hist.percentile(p) for p in (50, 95, 99))
+    assert p50 <= p95 <= p99
+    assert p99 <= hist.max
+    # log-bucket approximation: p50 of a uniform 0.1-10ms spread is
+    # within one doubling of the true median (5.05ms)
+    assert 0.0025 < p50 <= 0.011
+
+
+def test_histogram_empty_and_bad_percentile():
+    hist = Histogram("h")
+    assert hist.percentile(95) == 0.0
+    assert hist.mean == 0.0
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(150)
+
+
+def test_histogram_time_context_manager_uses_monotonic_clock():
+    hist = Histogram("h")
+    with hist.time():
+        sum(range(1000))
+    assert hist.count == 1
+    assert hist.max > 0  # perf_counter deltas are positive
+
+
+def test_histogram_reset():
+    hist = Histogram("h")
+    hist.observe(0.5)
+    hist.reset()
+    assert hist.count == 0
+    assert hist.min is None
+    assert hist.snapshot()["count"] == 0
+
+
+def test_histogram_snapshot_keys():
+    hist = Histogram("h")
+    hist.observe(0.01)
+    snap = hist.snapshot()
+    assert set(snap) == {"count", "sum", "mean", "min", "max",
+                         "p50", "p95", "p99"}
+    assert snap["count"] == 1
+
+
+# -- registry ------------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("b") is registry.histogram("b")
+    assert registry.names() == ["a", "b"]
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("events").inc(3)
+    registry.histogram("lat").observe(0.002)
+    snap = registry.snapshot()
+    assert snap["events"] == 3
+    assert snap["lat"]["count"] == 1
+    registry.reset()
+    snap = registry.snapshot()
+    assert snap["events"] == 0
+    assert snap["lat"]["count"] == 0
+    # names survive a reset — the metric objects are still registered
+    assert registry.names() == ["events", "lat"]
+
+
+def test_registry_text_export():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(7)
+    registry.histogram("fetch").observe(0.001)
+    text = registry.render_text()
+    assert "hits 7" in text
+    assert "fetch count=1" in text
+
+
+def test_registry_json_export_round_trips():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(2)
+    registry.histogram("fetch").observe(0.25)
+    decoded = json.loads(registry.render_json())
+    assert decoded["hits"] == 2
+    assert decoded["fetch"]["count"] == 1
+
+
+def test_process_wide_registry_is_a_singleton():
+    assert get_registry() is REGISTRY
+    counter = get_registry().counter("test.singleton")
+    assert REGISTRY.counter("test.singleton") is counter

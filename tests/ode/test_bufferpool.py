@@ -103,3 +103,159 @@ def test_hit_rate(pagefile):
     page_no = pool.new_page()
     pool.fetch(page_no)
     assert pool.stats.hit_rate == 1.0
+
+
+# -- invalidate contract (regression) ------------------------------------------
+
+def test_invalidate_keeps_pinned_frames(pagefile):
+    """invalidate() must never drop a pinned frame: the pin is a live
+    reference, and dropping it silently corrupts pin accounting (a later
+    unpin of the re-read frame would raise)."""
+    pool = BufferPool(pagefile, capacity=4)
+    pinned = pool.new_page()
+    plain = pool.new_page()
+    pool.fetch(pinned, pin=True)
+    dropped = pool.invalidate()
+    assert dropped == 1                 # only the unpinned frame went
+    assert pinned in pool
+    assert plain not in pool
+    assert pool.pinned_pages() == [pinned]
+    pool.unpin(pinned)                  # the seed bug: this used to raise
+    assert pool.invalidate() == 1       # now unpinned, it may go
+
+
+def test_unpin_survives_invalidate_under_rw_traffic(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    page_no = pool.new_page()
+    pool.fetch(page_no, pin=True).insert(b"kept")
+    pool.invalidate()
+    assert pool.fetch(page_no).records() == [b"kept"]  # same frame, a hit
+    pool.unpin(page_no)
+
+
+# -- new_page / eviction ordering (regression) ---------------------------------
+
+def test_new_page_contents_survive_eviction_pressure(pagefile):
+    """Allocate, write, evict under pressure, re-fetch: contents must
+    survive — the dirty new frame is written back before its zeroed
+    on-disk image (from allocate_page) could ever be re-read."""
+    pool = BufferPool(pagefile, capacity=2, readahead=0)
+    fresh = pool.new_page()
+    pool.fetch(fresh).insert(b"born dirty")
+    # Force fresh out through pure pressure, no explicit flush anywhere.
+    for _ in range(4):
+        pool.new_page()
+    assert fresh not in pool
+    assert pool.fetch(fresh).records() == [b"born dirty"]
+
+
+def test_new_page_evicted_untouched_reads_back_as_valid_empty_page(pagefile):
+    pool = BufferPool(pagefile, capacity=2, readahead=0)
+    fresh = pool.new_page()          # never written to
+    for _ in range(4):
+        pool.new_page()
+    page = pool.fetch(fresh)         # re-read from disk
+    assert page.records() == []
+    page.insert(b"usable")           # a well-formed empty page accepts inserts
+    assert page.records() == [b"usable"]
+
+
+def test_zeroed_on_disk_page_is_a_valid_empty_page(pagefile):
+    """The raw image allocate_page writes (all zeroes) must decode as an
+    *empty* page, not one whose first insert lands at offset 0 (the
+    tombstone marker) — the crash-between-allocate-and-writeback case."""
+    page_no = pagefile.allocate_page()
+    pool = BufferPool(pagefile, capacity=2)
+    page = pool.fetch(page_no)       # miss: decodes the zeroed image
+    slot = page.insert(b"first record")
+    assert page.read(slot) == b"first record"
+    assert page.records() == [b"first record"]
+
+
+# -- prefetch ------------------------------------------------------------------
+
+def test_prefetch_loads_pages_without_counting_misses(pagefile):
+    pool = BufferPool(pagefile, capacity=8)
+    pages = [pool.new_page() for _ in range(4)]
+    pool.flush_all()
+    pool.invalidate()
+    loaded = pool.prefetch(pages)
+    assert loaded == 4
+    assert pool.stats.prefetches == 4
+    misses_before = pool.stats.misses
+    for page_no in pages:
+        pool.fetch(page_no)
+    assert pool.stats.misses == misses_before   # all hits
+    assert pool.stats.hits >= 4
+
+
+def test_prefetch_skips_cached_and_out_of_range_pages(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    page_no = pool.new_page()
+    assert pool.prefetch([page_no, 999, 0]) == 0
+    assert pool.stats.prefetches == 0
+
+
+def test_prefetch_stops_when_all_frames_pinned(pagefile):
+    pool = BufferPool(pagefile, capacity=2)
+    pages = [pool.new_page() for _ in range(2)]
+    extra = pagefile.allocate_page()
+    for page_no in pages:
+        pool.fetch(page_no, pin=True)
+    assert pool.prefetch([extra]) == 0          # no room, no exception
+    for page_no in pages:
+        pool.unpin(page_no)
+
+
+def test_prefetch_batch_capped_at_capacity(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    pages = [pagefile.allocate_page() for _ in range(10)]
+    assert pool.prefetch(pages) == 4
+
+
+def test_sequential_misses_trigger_readahead(pagefile):
+    pool = BufferPool(pagefile, capacity=8, readahead=4)
+    pages = [pagefile.allocate_page() for _ in range(8)]
+    pool.fetch(pages[0])
+    assert pool.stats.prefetches == 0           # one miss is not a run
+    pool.fetch(pages[1])                        # consecutive: read ahead
+    assert pool.stats.prefetches == 4
+    hits_before = pool.stats.hits
+    pool.fetch(pages[2])
+    assert pool.stats.hits == hits_before + 1   # served from read-ahead
+
+
+def test_readahead_zero_disables_sequential_prefetch(pagefile):
+    pool = BufferPool(pagefile, capacity=8, readahead=0)
+    pages = [pagefile.allocate_page() for _ in range(4)]
+    for page_no in pages:
+        pool.fetch(page_no)
+    assert pool.stats.prefetches == 0
+
+
+# -- instrumentation -----------------------------------------------------------
+
+def test_fetch_latency_histogram_observes_every_fetch(pagefile):
+    pool = BufferPool(pagefile, capacity=4)
+    page_no = pool.new_page()
+    pool.fetch(page_no)
+    pool.fetch(page_no)
+    assert pool.fetch_time.count == 2
+    assert pool.fetch_time.max > 0
+
+
+def test_pool_reports_policy_name(pagefile):
+    assert BufferPool(pagefile, policy="clock").policy_name == "clock"
+    assert BufferPool(pagefile).policy_name == "lru"
+
+
+def test_pool_feeds_process_registry(pagefile):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    pool = BufferPool(pagefile, capacity=4, metrics=registry)
+    page_no = pool.new_page()
+    pool.fetch(page_no)
+    snap = registry.snapshot()
+    assert snap["bufferpool.hits"] == 1
+    assert snap["bufferpool.fetch_seconds"]["count"] == 1

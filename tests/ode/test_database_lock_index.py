@@ -30,6 +30,14 @@ class TestLock:
         finally:
             first.close()
 
+    def test_failed_open_releases_lock(self, made):
+        # A bad eviction-policy name aborts __init__ after the lock is
+        # taken; the database must stay openable afterwards.
+        with pytest.raises(Exception):
+            Database.open(made, eviction_policy="nosuch")
+        second = Database.open(made)
+        second.close()
+
     def test_close_releases_lock(self, made):
         Database.open(made).close()
         second = Database.open(made)

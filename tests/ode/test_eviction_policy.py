@@ -1,0 +1,225 @@
+"""Tests for the pluggable eviction policies (LRU, CLOCK, 2Q).
+
+Each policy is exercised both directly (victim-order unit tests over
+bare page numbers) and through a real :class:`BufferPool` (hit/miss/
+eviction sequences, pin exhaustion, scan-pollution resistance).
+"""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.ode.bufferpool import BufferPool
+from repro.ode.evictionpolicy import (
+    ClockPolicy,
+    LRUPolicy,
+    POLICY_NAMES,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.ode.pagefile import PageFile
+
+
+@pytest.fixture
+def pagefile(tmp_path):
+    with PageFile(tmp_path / "data.pages") as pf:
+        yield pf
+
+
+def _pool(pagefile, policy, capacity=3, readahead=0):
+    return BufferPool(pagefile, capacity=capacity, policy=policy,
+                      readahead=readahead)
+
+
+def _fill_pages(pagefile, count):
+    """Allocate pages directly in the file (no pool involved)."""
+    return [pagefile.allocate_page() for _ in range(count)]
+
+
+ALWAYS = lambda _page: True  # noqa: E731 - evictability predicate
+
+
+# -- factory -------------------------------------------------------------------
+
+def test_make_policy_by_name():
+    assert isinstance(make_policy("lru", 4), LRUPolicy)
+    assert isinstance(make_policy("clock", 4), ClockPolicy)
+    assert isinstance(make_policy("2q", 4), TwoQPolicy)
+    assert isinstance(make_policy("LRU", 4), LRUPolicy)  # case-insensitive
+    assert isinstance(make_policy(None, 4), LRUPolicy)   # the default
+
+
+def test_make_policy_passes_instances_through():
+    policy = ClockPolicy()
+    assert make_policy(policy, 4) is policy
+
+
+def test_make_policy_rejects_unknown_names():
+    with pytest.raises(BufferPoolError):
+        make_policy("fifo2", 4)
+
+
+def test_make_policy_rejects_non_policy_objects():
+    with pytest.raises(BufferPoolError, match="int"):
+        make_policy(42, 4)
+
+
+def test_policy_names_cover_all_implementations():
+    assert set(POLICY_NAMES) == {"lru", "clock", "2q"}
+
+
+# -- LRU ordering --------------------------------------------------------------
+
+def test_lru_victim_is_least_recently_used():
+    policy = LRUPolicy()
+    for page in (1, 2, 3):
+        policy.on_admit(page)
+    policy.on_access(1)          # order now 2, 3, 1
+    assert policy.choose_victim(ALWAYS) == 2
+    policy.on_remove(2)
+    assert policy.choose_victim(ALWAYS) == 3
+
+
+def test_lru_skips_unevictable():
+    policy = LRUPolicy()
+    for page in (1, 2):
+        policy.on_admit(page)
+    assert policy.choose_victim(lambda p: p != 1) == 2
+    assert policy.choose_victim(lambda p: False) is None
+
+
+# -- CLOCK second chance -------------------------------------------------------
+
+def test_clock_gives_referenced_pages_a_second_chance():
+    policy = ClockPolicy()
+    for page in (1, 2, 3):
+        policy.on_admit(page)     # all admitted with ref bit set
+    # First sweep clears every bit, second sweep takes the first page.
+    assert policy.choose_victim(ALWAYS) == 1
+    policy.on_remove(1)
+    # 2's bit was cleared by the sweep; a fresh access protects it again.
+    policy.on_access(2)
+    assert policy.choose_victim(ALWAYS) == 3
+
+
+def test_clock_handles_removals_around_the_hand():
+    policy = ClockPolicy()
+    for page in (1, 2, 3, 4):
+        policy.on_admit(page)
+    policy.on_remove(3)
+    policy.on_remove(1)
+    victim = policy.choose_victim(ALWAYS)
+    assert victim in (2, 4)
+    policy.on_remove(victim)
+    remaining = {2, 4} - {victim}
+    assert policy.choose_victim(ALWAYS) == remaining.pop()
+
+
+def test_clock_all_unevictable_returns_none():
+    policy = ClockPolicy()
+    policy.on_admit(1)
+    assert policy.choose_victim(lambda p: False) is None
+
+
+# -- 2Q segmentation -----------------------------------------------------------
+
+def test_2q_new_pages_are_probationary_victims_first():
+    policy = TwoQPolicy(capacity=4)
+    for page in (1, 2, 3):
+        policy.on_admit(page)
+    policy.on_access(1)  # promote 1 to the protected segment
+    # Victims drain the probation FIFO (2 then 3) before touching 1.
+    assert policy.choose_victim(ALWAYS) == 2
+    policy.on_remove(2)
+    assert policy.choose_victim(ALWAYS) == 3
+    policy.on_remove(3)
+    assert policy.choose_victim(ALWAYS) == 1
+
+
+def test_2q_protected_overflow_demotes_coldest():
+    policy = TwoQPolicy(capacity=4)  # protected cap = 3
+    for page in (1, 2, 3, 4):
+        policy.on_admit(page)
+    for page in (1, 2, 3, 4):        # promote all four; 1 gets demoted
+        policy.on_access(page)
+    assert policy.choose_victim(ALWAYS) == 1
+
+
+def test_2q_rejects_bad_parameters():
+    with pytest.raises(BufferPoolError):
+        TwoQPolicy(capacity=0)
+    with pytest.raises(BufferPoolError):
+        TwoQPolicy(capacity=4, protected_fraction=1.5)
+
+
+# -- through the pool: hit/miss/eviction sequences -----------------------------
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_pool_hit_miss_eviction_sequence(pagefile, policy):
+    pages = _fill_pages(pagefile, 5)
+    pool = _pool(pagefile, policy, capacity=3)
+    for page_no in pages[:3]:
+        pool.fetch(page_no)
+    assert pool.stats.misses == 3 and pool.stats.hits == 0
+    pool.fetch(pages[0])
+    assert pool.stats.hits == 1
+    pool.fetch(pages[3])          # over capacity: someone is evicted
+    pool.fetch(pages[4])
+    assert pool.stats.evictions == 2
+    assert len(pool) == 3
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_pool_all_pinned_exhaustion(pagefile, policy):
+    pages = _fill_pages(pagefile, 3)
+    pool = _pool(pagefile, policy, capacity=2)
+    pool.fetch(pages[0], pin=True)
+    pool.fetch(pages[1], pin=True)
+    with pytest.raises(BufferPoolError):
+        pool.fetch(pages[2])
+    # unpinning one frame unblocks the pool
+    pool.unpin(pages[0])
+    pool.fetch(pages[2])
+    assert pages[2] in pool
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_pool_pinned_pages_survive_pressure(pagefile, policy):
+    pages = _fill_pages(pagefile, 6)
+    pool = _pool(pagefile, policy, capacity=2)
+    pool.fetch(pages[0], pin=True)
+    for page_no in pages[1:]:
+        pool.fetch(page_no)
+    assert pages[0] in pool
+    pool.unpin(pages[0])
+
+
+def test_2q_resists_scan_pollution(pagefile):
+    """A one-pass sweep must not displace the re-referenced hot set."""
+    hot = _fill_pages(pagefile, 2)
+    cold = _fill_pages(pagefile, 20)
+    pool = _pool(pagefile, "2q", capacity=4)
+    for page_no in hot:      # touch twice: promoted to protected
+        pool.fetch(page_no)
+        pool.fetch(page_no)
+    for page_no in cold:     # the cluster sweep
+        pool.fetch(page_no)
+    hits_before = pool.stats.hits
+    for page_no in hot:
+        pool.fetch(page_no)
+    assert pool.stats.hits == hits_before + len(hot)  # hot set survived
+
+
+def test_lru_suffers_scan_pollution(pagefile):
+    """The contrast case: strict LRU loses the hot set to the sweep."""
+    hot = _fill_pages(pagefile, 2)
+    cold = _fill_pages(pagefile, 20)
+    pool = _pool(pagefile, "lru", capacity=4)
+    for page_no in hot:
+        pool.fetch(page_no)
+        pool.fetch(page_no)
+    for page_no in cold:
+        pool.fetch(page_no)
+    misses_before = pool.stats.misses
+    for page_no in hot:
+        pool.fetch(page_no)
+    assert pool.stats.misses == misses_before + len(hot)  # hot set gone
