@@ -1,0 +1,158 @@
+"""NET-CONC: many OdeView clients browsing one served database.
+
+The paper's premise is multi-user: several OdeView front ends examining
+the same Ode databases.  This benchmark measures the server's behaviour
+as browsing clients pile on: requests per second and p95 request latency
+at 1, 4, and 16 concurrent clients running a mixed browse workload
+(point fetches, counts, batched cluster scans).
+
+Run directly for the full measurement::
+
+    PYTHONPATH=src python benchmarks/bench_net_concurrency.py --duration 10
+
+or via pytest (short smoke durations) with the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.data.labdb import make_lab_database
+from repro.net.remote import RemoteDatabase
+from repro.net.server import OdeServer
+
+CLIENT_COUNTS = (1, 4, 16)
+
+
+def _browse_workload(port: int, duration: float, worker: int,
+                     latencies: List[float], errors: List[str]) -> None:
+    """One client's browse loop: fetch, count, and scan until time is up."""
+    rng = random.Random(worker)
+    try:
+        database = RemoteDatabase.connect("127.0.0.1", port, "lab")
+        try:
+            objects = database.objects
+            cluster = objects.cluster("employee")
+            deadline = time.perf_counter() + duration
+            while time.perf_counter() < deadline:
+                started = time.perf_counter()
+                choice = rng.random()
+                if choice < 0.6:
+                    # point fetch; cache cleared so it hits the wire
+                    objects.cache.clear()
+                    objects.get_buffer(cluster.oid(rng.randrange(55)))
+                elif choice < 0.9:
+                    objects.count("employee")
+                else:
+                    objects.cache.clear()
+                    objects.scan("employee")
+                latencies.append(time.perf_counter() - started)
+        finally:
+            database.close()
+    except Exception as exc:
+        errors.append(f"worker {worker}: {type(exc).__name__}: {exc}")
+
+
+def _percentile(values: List[float], percent: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(len(ordered) * percent / 100.0))
+    return ordered[index]
+
+
+def run_level(root: Path, clients: int, duration: float) -> Dict[str, float]:
+    """One concurrency level: *clients* browse loops for *duration* secs."""
+    server = OdeServer(root)
+    server.start()
+    try:
+        latencies: List[float] = []
+        errors: List[str] = []
+        threads = [
+            threading.Thread(
+                target=_browse_workload,
+                args=(server.port, duration, worker, latencies, errors))
+            for worker in range(clients)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(duration + 30)
+        wall = time.perf_counter() - wall_start
+        if errors:
+            raise RuntimeError("; ".join(errors[:3]))
+        return {
+            "clients": clients,
+            "requests": len(latencies),
+            "throughput": len(latencies) / wall if wall else 0.0,
+            "mean_ms": (sum(latencies) / len(latencies) * 1e3
+                        if latencies else 0.0),
+            "p95_ms": _percentile(latencies, 95) * 1e3,
+        }
+    finally:
+        server.shutdown()
+
+
+def run_all(root: Path, duration: float) -> List[Dict[str, float]]:
+    return [run_level(root, clients, duration)
+            for clients in CLIENT_COUNTS]
+
+
+def format_results(results: List[Dict[str, float]]) -> str:
+    lines = ["clients  requests  ops/sec   mean(ms)  p95(ms)"]
+    for row in results:
+        lines.append(
+            f"{row['clients']:>7}  {row['requests']:>8}  "
+            f"{row['throughput']:>7.0f}  {row['mean_ms']:>8.2f}  "
+            f"{row['p95_ms']:>7.2f}")
+    return "\n".join(lines)
+
+
+# -- pytest entry points (short smoke durations) --------------------------------
+
+def test_net_concurrency_smoke(tmp_path):
+    """All three levels complete a short run with sane numbers."""
+    make_lab_database(tmp_path).close()
+    results = run_all(tmp_path, duration=0.5)
+    assert [row["clients"] for row in results] == list(CLIENT_COUNTS)
+    for row in results:
+        assert row["requests"] > 0
+        assert row["throughput"] > 0
+        assert row["p95_ms"] >= row["mean_ms"] * 0.1
+    artifacts = Path(__file__).parent / "artifacts"
+    artifacts.mkdir(exist_ok=True)
+    (artifacts / "net_concurrency_smoke.txt").write_text(
+        format_results(results) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds per concurrency level")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="existing database root (default: temp lab db)")
+    args = parser.parse_args()
+    if args.root is None:
+        import tempfile
+
+        root = Path(tempfile.mkdtemp(prefix="odeview-bench-net-"))
+        make_lab_database(root).close()
+    else:
+        root = args.root
+    results = run_all(root, args.duration)
+    print(format_results(results))
+    artifacts = Path(__file__).parent / "artifacts"
+    artifacts.mkdir(exist_ok=True)
+    (artifacts / "net_concurrency.txt").write_text(
+        format_results(results) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,8 @@ Layers (bottom-up):
   process structure with crash isolation.
 * :mod:`repro.core` — OdeView: schema browsing, object browsing,
   synchronized browsing, projection, selection, join views.
+* :mod:`repro.net` — the Ode server and remote-database client: many
+  OdeView front ends browsing one database over TCP.
 * :mod:`repro.data` — the paper's lab (ATT) database and other demo data.
 
 Quickstart::
@@ -34,6 +36,7 @@ from repro.core.app import DbSession, OdeView
 from repro.core.session import UserSession
 from repro.data.labdb import make_lab_database, open_lab_database
 from repro.errors import OdeError
+from repro.net import OdeClient, OdeServer, RemoteDatabase
 from repro.ode.database import Database, discover_databases
 
 __version__ = "1.0.0"
@@ -41,8 +44,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "DbSession",
+    "OdeClient",
     "OdeError",
+    "OdeServer",
     "OdeView",
+    "RemoteDatabase",
     "UserSession",
     "__version__",
     "discover_databases",

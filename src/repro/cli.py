@@ -30,8 +30,14 @@ Commands::
   raise <window>             bring a top-level window to the front
   stats <db>                 open/refresh the database statistics window
   vacuum <db>                rewrite the page file densely
+  connect <host> <port> <db> open a database served by an OdeServer
   render                     draw the screen
   quit                       leave
+
+Besides the REPL, two network entry points::
+
+  python -m repro serve <root> [host] [port]    host databases over TCP
+  python -m repro connect <host> <port> <db>    browse a served database
 """
 
 from __future__ import annotations
@@ -121,6 +127,7 @@ class OdeViewCli:
             "raise": self.cmd_raise,
             "stats": self.cmd_stats,
             "vacuum": self.cmd_vacuum,
+            "connect": self.cmd_connect,
             "render": self.cmd_render,
             "quit": self.cmd_quit,
         }
@@ -334,9 +341,24 @@ class OdeViewCli:
         self._need(args, 1, "vacuum <db>")
         session = self.app.session(args[0])
         reclaimed = session.database.vacuum()
-        fragmentation = session.database.store.fragmentation()
+        if getattr(session.database, "remote", False):
+            fragmentation = session.database.server_stats()["fragmentation"]
+        else:
+            fragmentation = session.database.store.fragmentation()
         return (f"vacuumed {args[0]}: {reclaimed} page(s) reclaimed, "
                 f"fragmentation now {fragmentation:.0%}")
+
+    def cmd_connect(self, args: List[str]) -> str:
+        self._need(args, 3, "connect <host> <port> <db>")
+        host, port, name = args[0], args[1], args[2]
+        try:
+            port_number = int(port)
+        except ValueError:
+            raise CommandError(f"port must be a number, not {port!r}") from None
+        session = self.app.connect_database(host, port_number, name)
+        classes = ", ".join(session.database.schema.class_names())
+        return (f"connected to {name} at {host}:{port_number}; "
+                f"classes: {classes}")
 
     def cmd_render(self, _args: List[str]) -> str:
         return self.app.render()
@@ -346,10 +368,55 @@ class OdeViewCli:
         return "bye"
 
 
+def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
+    """``python -m repro serve <root> [host] [port]``."""
+    from repro.net.server import OdeServer
+
+    if not argv:
+        print("usage: python -m repro serve <root> [host] [port]",
+              file=sys.stderr)
+        return 2
+    root = argv[0]
+    host = argv[1] if len(argv) > 1 else "127.0.0.1"
+    port = int(argv[2]) if len(argv) > 2 else 6455  # 'Ode' on a phone pad
+    server = OdeServer(root, host=host, port=port)
+    server.start()
+    print(f"serving {', '.join(server.database_names())} "
+          f"on {host}:{server.port} (ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _main_connect(argv: List[str]) -> int:  # pragma: no cover - entry
+    """``python -m repro connect <host> <port> <db>``."""
+    import tempfile
+
+    if len(argv) != 3:
+        print("usage: python -m repro connect <host> <port> <db>",
+              file=sys.stderr)
+        return 2
+    # The database window needs a root; a remote session browses none of it.
+    cli = OdeViewCli(tempfile.mkdtemp(prefix="odeview-remote-"))
+    print(cli.execute(f"connect {argv[0]} {argv[1]} {argv[2]}"))
+    cli.run()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - entry
     argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _main_serve(argv[1:])
+    if argv and argv[0] == "connect":
+        return _main_connect(argv[1:])
     if len(argv) != 1:
-        print("usage: python -m repro <root-directory>", file=sys.stderr)
+        print("usage: python -m repro <root-directory> | "
+              "serve <root> [host] [port] | connect <host> <port> <db>",
+              file=sys.stderr)
         return 2
     cli = OdeViewCli(argv[0])
     cli.run()

@@ -30,9 +30,13 @@ from repro.windowing.wintypes import at, below, button, panel, text_window
 class DbSession:
     """One open database: db-interactor, schema browser, object browsers."""
 
-    def __init__(self, app: "OdeView", directory: Path):
+    def __init__(self, app: "OdeView", source: Union[Path, object]):
         self.app = app
-        self.database = Database.open(directory)
+        if isinstance(source, (str, Path)):
+            self.database = Database.open(Path(source))
+        else:
+            # An already-open database: local or a repro.net RemoteDatabase.
+            self.database = source
         self.name = self.database.name
         self._interactor_name = f"dbi.{self.name}"
         app.processes.spawn(DbInteractor(self._interactor_name, self.database))
@@ -154,6 +158,28 @@ class OdeView:
                 self.sessions[name] = session
                 return session
         raise OdeViewError(f"no database named {name!r} under {self.root}")
+
+    def attach_database(self, database) -> DbSession:
+        """Open a session over an already-open database object.
+
+        This is how a remote database joins the application: the caller
+        connects a :class:`repro.net.remote.RemoteDatabase` and attaches
+        it; browsers, schema windows, and display functions run over it
+        exactly as over a local one.
+        """
+        if database.name in self.sessions:
+            raise OdeViewError(f"database {database.name!r} is already open")
+        session = DbSession(self, database)
+        self.sessions[database.name] = session
+        return session
+
+    def connect_database(self, host: str, port: int, name: str,
+                         **kwargs) -> DbSession:
+        """Connect to an OdeServer and open one of its databases."""
+        from repro.net.remote import RemoteDatabase
+
+        return self.attach_database(
+            RemoteDatabase.connect(host, port, name, **kwargs))
 
     def close_database(self, name: str) -> None:
         session = self.sessions.pop(name, None)

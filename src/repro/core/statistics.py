@@ -14,43 +14,92 @@ from repro.windowing.wintypes import at, panel, text_window
 
 
 def gather_statistics(db_session) -> List[Tuple[str, str]]:
-    """(label, value) rows for one open database."""
+    """(label, value) rows for one open database.
+
+    A remote database reports the server's numbers (one STATS round
+    trip) plus the client side of the wire: cache behaviour and the
+    ``net.client.*`` metrics registry rows.
+    """
     database = db_session.database
     objects = database.objects
     rows: List[Tuple[str, str]] = []
     rows.append(("schema version", str(database.schema.version)))
     rows.append(("classes", str(len(database.schema.class_names()))))
-    for class_name in database.schema.class_names():
-        rows.append((f"cluster {class_name}",
-                     f"{objects.count(class_name)} objects"))
-    indexes = objects.indexes.indexes()
-    if indexes:
-        for index in indexes:
-            rows.append((f"index {index.class_name}.{index.attribute}",
-                         f"{len(index)} entries"))
+    if getattr(database, "remote", False):
+        rows.extend(_remote_statistics(database))
     else:
-        rows.append(("indexes", "(none)"))
-    rows.append(("fragmentation",
-                 f"{database.store.fragmentation():.0%} of page space dead"))
-    pool = database.store.pool
-    stats = pool.stats
-    rows.append(("pool policy", pool.policy_name))
-    rows.append(("pool hits / misses",
-                 f"{stats.hits} / {stats.misses} "
-                 f"({stats.hit_rate:.0%} hit rate)"))
-    rows.append(("pool evictions", str(stats.evictions)))
-    rows.append(("pool prefetches", str(stats.prefetches)))
-    fetch = pool.fetch_time
-    if fetch.count:
-        rows.append(("page fetch latency",
-                     f"{fetch.count} fetches, mean "
-                     f"{fetch.mean * 1e6:.0f}µs, p95 "
-                     f"{fetch.percentile(95) * 1e6:.0f}µs"))
-    else:
-        rows.append(("page fetch latency", "(no fetches yet)"))
+        for class_name in database.schema.class_names():
+            rows.append((f"cluster {class_name}",
+                         f"{objects.count(class_name)} objects"))
+        indexes = objects.indexes.indexes()
+        if indexes:
+            for index in indexes:
+                rows.append((f"index {index.class_name}.{index.attribute}",
+                             f"{len(index)} entries"))
+        else:
+            rows.append(("indexes", "(none)"))
+        rows.append(("fragmentation",
+                     f"{database.store.fragmentation():.0%} of page space dead"))
+        pool = database.store.pool
+        stats = pool.stats
+        rows.append(("pool policy", pool.policy_name))
+        rows.append(("pool hits / misses",
+                     f"{stats.hits} / {stats.misses} "
+                     f"({stats.hit_rate:.0%} hit rate)"))
+        rows.append(("pool evictions", str(stats.evictions)))
+        rows.append(("pool prefetches", str(stats.prefetches)))
+        fetch = pool.fetch_time
+        if fetch.count:
+            rows.append(("page fetch latency",
+                         f"{fetch.count} fetches, mean "
+                         f"{fetch.mean * 1e6:.0f}µs, p95 "
+                         f"{fetch.percentile(95) * 1e6:.0f}µs"))
+        else:
+            rows.append(("page fetch latency", "(no fetches yet)"))
     loader = db_session.registry.loader.stats
     rows.append(("display modules loaded", str(loader.loads)))
     rows.append(("display cache hits", str(loader.cache_hits)))
+    return rows
+
+
+def _remote_statistics(database) -> List[Tuple[str, str]]:
+    """Server-reported and wire-level rows for a remote database."""
+    from repro.obs.metrics import get_registry
+
+    rows: List[Tuple[str, str]] = []
+    stats = database.server_stats()
+    for class_name, count in sorted(stats.get("clusters", {}).items()):
+        rows.append((f"cluster {class_name}", f"{count} objects"))
+    indexes = stats.get("indexes", [])
+    if indexes:
+        for index in indexes:
+            rows.append((f"index {index['class']}.{index['attribute']}",
+                         f"{index['entries']} entries (server)"))
+    else:
+        rows.append(("indexes", "(none)"))
+    rows.append(("fragmentation",
+                 f"{stats.get('fragmentation', 0.0):.0%} of page space dead "
+                 f"(server)"))
+    pool = stats.get("pool", {})
+    rows.append(("server pool policy", str(pool.get("policy", "?"))))
+    rows.append(("server pool hits / misses",
+                 f"{pool.get('hits', 0)} / {pool.get('misses', 0)}"))
+    cache = database.objects.cache
+    rows.append(("object cache",
+                 f"{len(cache)} buffers, {cache.hits} hits / "
+                 f"{cache.misses} misses"))
+    rows.append(("cache invalidations", str(cache.invalidations)))
+    snapshot = get_registry().snapshot()
+    for name in ("net.client.bytes_out", "net.client.bytes_in",
+                 "net.client.retries", "net.client.reconnects"):
+        if name in snapshot:
+            rows.append((name, str(snapshot[name])))
+    timings = snapshot.get("net.client.request_seconds")
+    if isinstance(timings, dict) and timings.get("count"):
+        rows.append(("request latency",
+                     f"{timings['count']:.0f} requests, mean "
+                     f"{timings['mean'] * 1e3:.1f}ms, p95 "
+                     f"{timings['p95'] * 1e3:.1f}ms"))
     return rows
 
 

@@ -153,6 +153,26 @@ class ProcessCrashedError(ProcessError):
 
 
 # ---------------------------------------------------------------------------
+# Page/object server and remote-database client
+# ---------------------------------------------------------------------------
+
+class NetworkError(OdeError):
+    """The client could not reach the server (connect, timeout, framing)."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame was malformed (bad magic, CRC mismatch, bad payload)."""
+
+
+class RemoteError(OdeError):
+    """The server rejected a request; carries the remote exception kind."""
+
+    def __init__(self, kind: str, message: str = ""):
+        self.kind = kind
+        super().__init__(message or kind)
+
+
+# ---------------------------------------------------------------------------
 # OdeView application layer
 # ---------------------------------------------------------------------------
 

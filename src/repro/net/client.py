@@ -1,0 +1,219 @@
+"""OdeClient: one connection from a front end to an OdeServer.
+
+The client owns a single socket, hands out monotonically increasing
+request ids, and matches replies to requests by id.  Two calling
+conventions:
+
+* :meth:`call` — one request, one reply (the common case);
+* :meth:`call_many` — pipelining: write every request frame before
+  reading any reply, so a batched cluster scan pays one round trip's
+  latency instead of one per object.
+
+Failure policy: requests whose opcode is in
+:data:`~repro.net.protocol.READ_OPCODES` are idempotent and are retried
+after a connection failure — bounded attempts, exponential backoff,
+reconnecting in between.  Writes are never retried automatically: the
+frame may have been applied before the connection died, and replaying it
+would double-apply.
+
+Server-reported failures arrive as ``OP_ERROR`` frames carrying the
+exception's class name; the client re-raises the matching class from
+:mod:`repro.errors`, so remote failures look exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import repro.errors as errors
+from repro.errors import NetworkError, OdeError, RemoteError
+from repro.net import protocol as P
+from repro.obs.metrics import get_registry
+
+
+def _raise_remote(payload: Dict[str, Any]) -> None:
+    """Re-raise an OP_ERROR payload as its local exception class."""
+    kind = str(payload.get("kind", "OdeError"))
+    message = str(payload.get("message", ""))
+    cls = getattr(errors, kind, None)
+    if isinstance(cls, type) and issubclass(cls, OdeError):
+        raise cls(message)
+    raise RemoteError(kind, message)
+
+
+class OdeClient:
+    """A connection to an :class:`~repro.net.server.OdeServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 retries: int = 3, backoff: float = 0.05):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self._sock: Optional[socket.socket] = None
+        self._request_ids = iter(range(1, 2 ** 31))
+        self._lock = threading.Lock()
+        self.server_info: Dict[str, Any] = {}
+
+        registry = get_registry()
+        self._m_bytes_in = registry.counter("net.client.bytes_in")
+        self._m_bytes_out = registry.counter("net.client.bytes_out")
+        self._m_retries = registry.counter("net.client.retries")
+        self._m_reconnects = registry.counter("net.client.reconnects")
+        self._m_request_seconds = registry.histogram("net.client.request_seconds")
+        self._m_requests: Dict[int, Any] = {}
+
+    # -- connection management ---------------------------------------------------
+
+    def connect(self) -> "OdeClient":
+        """Open the socket and perform the HELLO handshake."""
+        with self._lock:
+            self._connect_locked()
+        return self
+
+    def _connect_locked(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise NetworkError(
+                f"cannot connect to {self.host}:{self.port}: {exc}") from exc
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        try:
+            self.server_info = self._exchange_locked(
+                P.OP_HELLO, {"version": P.PROTOCOL_VERSION})
+        except OdeError:
+            self._drop_locked()
+            raise
+
+    def _drop_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_locked()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def __enter__(self) -> "OdeClient":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- request / reply ---------------------------------------------------------
+
+    def _exchange_locked(self, opcode: int,
+                         payload: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """One request and its reply on the open socket.  Lock held."""
+        request_id = next(self._request_ids)
+        sent = P.write_frame(self._sock, request_id, opcode, payload)
+        self._m_bytes_out.inc(sent)
+        frame = P.read_frame(self._sock)
+        self._m_bytes_in.inc(frame.wire_size)
+        if frame.request_id != request_id:
+            raise errors.ProtocolError(
+                f"reply for request {frame.request_id}, expected {request_id}")
+        if frame.opcode == P.OP_ERROR:
+            _raise_remote(frame.payload)
+        if frame.opcode != P.OP_REPLY:
+            raise errors.ProtocolError(
+                f"unexpected opcode {P.opcode_name(frame.opcode)} in reply")
+        return frame.payload
+
+    def call(self, opcode: int,
+             payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Send one request; return the reply payload.
+
+        Connection failures on idempotent (read) opcodes reconnect and
+        retry with exponential backoff, up to ``retries`` extra attempts.
+        """
+        self._count_request(opcode)
+        attempts = 1 + (self.retries if opcode in P.READ_OPCODES else 0)
+        delay = self.backoff
+        with self._m_request_seconds.time():
+            with self._lock:
+                for attempt in range(attempts):
+                    try:
+                        self._connect_locked()
+                        return self._exchange_locked(opcode, payload)
+                    except errors.RemoteError:
+                        raise
+                    except NetworkError:
+                        self._drop_locked()
+                        if attempt + 1 >= attempts:
+                            raise
+                        self._m_retries.inc()
+                        self._m_reconnects.inc()
+                        time.sleep(delay)
+                        delay *= 2
+        raise NetworkError("unreachable")  # pragma: no cover
+
+    def call_many(self, requests: Sequence[Tuple[int, Dict[str, Any]]]
+                  ) -> List[Dict[str, Any]]:
+        """Pipeline several requests: write all frames, then read all replies.
+
+        Replies are returned in request order.  A server-side error in
+        any request raises after all replies are drained, so the
+        connection stays usable.  Not retried: a batch may mix opcodes.
+        """
+        if not requests:
+            return []
+        for opcode, _payload in requests:
+            self._count_request(opcode)
+        with self._m_request_seconds.time():
+            with self._lock:
+                self._connect_locked()
+                ids = []
+                try:
+                    for opcode, payload in requests:
+                        request_id = next(self._request_ids)
+                        ids.append(request_id)
+                        sent = P.write_frame(
+                            self._sock, request_id, opcode, payload)
+                        self._m_bytes_out.inc(sent)
+                    by_id: Dict[int, P.Frame] = {}
+                    for _ in ids:
+                        frame = P.read_frame(self._sock)
+                        self._m_bytes_in.inc(frame.wire_size)
+                        by_id[frame.request_id] = frame
+                except NetworkError:
+                    self._drop_locked()
+                    raise
+                results: List[Dict[str, Any]] = []
+                error: Optional[Dict[str, Any]] = None
+                for request_id in ids:
+                    frame = by_id.get(request_id)
+                    if frame is None:
+                        raise errors.ProtocolError(
+                            f"no reply for pipelined request {request_id}")
+                    if frame.opcode == P.OP_ERROR:
+                        error = error or frame.payload
+                        results.append({})
+                    else:
+                        results.append(frame.payload)
+                if error is not None:
+                    _raise_remote(error)
+                return results
+
+    def _count_request(self, opcode: int) -> None:
+        counter = self._m_requests.get(opcode)
+        if counter is None:
+            counter = get_registry().counter(
+                f"net.client.requests.{P.opcode_name(opcode)}")
+            self._m_requests[opcode] = counter
+        counter.inc()

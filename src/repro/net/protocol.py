@@ -1,0 +1,262 @@
+"""The Ode wire protocol: length-prefixed binary frames over a stream.
+
+Every message — request or reply — is one frame::
+
+    length   u32   size of the payload that follows the header
+    reqid    u32   request id; a reply echoes its request's id
+    opcode   u8    what is being asked (or OP_REPLY / OP_ERROR)
+    crc32    u32   CRC-32 of the payload bytes
+
+and the payload is one self-describing :mod:`repro.ode.codec` value
+(always a dict at the top level).  Reusing the object codec means the
+wire carries exactly the types the database itself stores — ints,
+strings, dates, OIDs, lists, structs, and (since the codec grew a native
+bytes tag) raw byte strings — with no second serialization format to
+maintain.
+
+The CRC is per-frame, like the WAL's per-record CRC: a torn or corrupt
+frame is detected at the boundary and surfaces as
+:class:`~repro.errors.ProtocolError` rather than as garbage decoded
+into a request.
+
+Replies use ``OP_REPLY`` with the result dict, or ``OP_ERROR`` with
+``{"kind": <exception class name>, "message": str}``; the client
+re-raises the matching :mod:`repro.errors` class so remote failures are
+indistinguishable from local ones to calling code.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import NetworkError, ProtocolError
+from repro.ode.codec import decode_value, encode_value
+
+#: Protocol version exchanged in HELLO; bumped on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's payload; a header asking for more is
+#: treated as corruption, not an allocation request.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">IIBI")
+
+# -- opcodes -------------------------------------------------------------------
+
+OP_HELLO = 0x01
+OP_LIST_DATABASES = 0x02
+OP_OPEN_DATABASE = 0x03
+OP_GET_DISPLAY_MODULES = 0x04
+OP_PING = 0x05
+
+OP_GET_OBJECT = 0x10
+OP_GET_OBJECTS = 0x11
+OP_SCAN_CLUSTER = 0x12
+OP_CLUSTER_NUMBERS = 0x13
+OP_COUNT = 0x14
+OP_EXISTS = 0x15
+OP_VERSION_HISTORY = 0x16
+
+OP_NEW_OBJECT = 0x20
+OP_UPDATE = 0x21
+OP_DELETE = 0x22
+
+OP_BEGIN = 0x30
+OP_COMMIT = 0x31
+OP_ABORT = 0x32
+
+OP_CURSOR_OPEN = 0x40
+OP_CURSOR_NEXT = 0x41
+OP_CURSOR_PREVIOUS = 0x42
+OP_CURSOR_RESET = 0x43
+OP_CURSOR_CURRENT = 0x44
+OP_CURSOR_SEEK = 0x45
+OP_CURSOR_CLOSE = 0x46
+
+OP_STATS = 0x50
+OP_VACUUM = 0x51
+
+OP_REPLY = 0x7E
+OP_ERROR = 0x7F
+
+OPCODE_NAMES: Dict[int, str] = {
+    OP_HELLO: "hello",
+    OP_LIST_DATABASES: "list_databases",
+    OP_OPEN_DATABASE: "open_database",
+    OP_GET_DISPLAY_MODULES: "get_display_modules",
+    OP_PING: "ping",
+    OP_GET_OBJECT: "get_object",
+    OP_GET_OBJECTS: "get_objects",
+    OP_SCAN_CLUSTER: "scan_cluster",
+    OP_CLUSTER_NUMBERS: "cluster_numbers",
+    OP_COUNT: "count",
+    OP_EXISTS: "exists",
+    OP_VERSION_HISTORY: "version_history",
+    OP_NEW_OBJECT: "new_object",
+    OP_UPDATE: "update",
+    OP_DELETE: "delete",
+    OP_BEGIN: "begin",
+    OP_COMMIT: "commit",
+    OP_ABORT: "abort",
+    OP_CURSOR_OPEN: "cursor_open",
+    OP_CURSOR_NEXT: "cursor_next",
+    OP_CURSOR_PREVIOUS: "cursor_previous",
+    OP_CURSOR_RESET: "cursor_reset",
+    OP_CURSOR_CURRENT: "cursor_current",
+    OP_CURSOR_SEEK: "cursor_seek",
+    OP_CURSOR_CLOSE: "cursor_close",
+    OP_STATS: "stats",
+    OP_VACUUM: "vacuum",
+    OP_REPLY: "reply",
+    OP_ERROR: "error",
+}
+
+#: Opcodes that never change server state: safe to retry after a
+#: connection failure (at-most-once semantics are preserved).
+READ_OPCODES = frozenset({
+    OP_HELLO, OP_LIST_DATABASES, OP_OPEN_DATABASE, OP_GET_DISPLAY_MODULES,
+    OP_PING, OP_GET_OBJECT, OP_GET_OBJECTS, OP_SCAN_CLUSTER,
+    OP_CLUSTER_NUMBERS, OP_COUNT, OP_EXISTS, OP_VERSION_HISTORY, OP_STATS,
+})
+
+#: Opcodes that mutate a database: the server takes the database's write
+#: lock for these (and holds it across an open transaction).
+WRITE_OPCODES = frozenset({
+    OP_NEW_OBJECT, OP_UPDATE, OP_DELETE,
+    OP_BEGIN, OP_COMMIT, OP_ABORT, OP_VACUUM,
+})
+
+
+def opcode_name(opcode: int) -> str:
+    return OPCODE_NAMES.get(opcode, f"op_{opcode:#04x}")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire message."""
+
+    request_id: int
+    opcode: int
+    payload: Dict[str, Any]
+    #: Bytes the frame occupied on the wire (header + payload); 0 when
+    #: the frame was built locally rather than read from a socket.
+    wire_size: int = 0
+
+
+def encode_frame(request_id: int, opcode: int,
+                 payload: Optional[Dict[str, Any]] = None) -> bytes:
+    """Pack one frame: header + codec-encoded payload dict."""
+    body = encode_value(payload or {})
+    if len(body) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds {MAX_PAYLOAD}")
+    header = _HEADER.pack(len(body), request_id & 0xFFFFFFFF, opcode,
+                          zlib.crc32(body))
+    return header + body
+
+
+def decode_frame(data: bytes) -> Tuple[Frame, int]:
+    """Decode one frame at the front of *data*; returns (frame, consumed)."""
+    if len(data) < _HEADER.size:
+        raise ProtocolError("truncated frame header")
+    length, request_id, opcode, crc = _HEADER.unpack_from(data)
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame claims {length} payload bytes")
+    end = _HEADER.size + length
+    if len(data) < end:
+        raise ProtocolError("truncated frame payload")
+    body = data[_HEADER.size:end]
+    if zlib.crc32(body) != crc:
+        raise ProtocolError("frame CRC mismatch")
+    payload, consumed = decode_value(body, 0)
+    if consumed != length or not isinstance(payload, dict):
+        raise ProtocolError("frame payload is not a single codec dict")
+    return Frame(request_id, opcode, payload), end
+
+
+# -- object-buffer marshalling --------------------------------------------------
+
+def buffer_to_value(buffer) -> Dict[str, Any]:
+    """The codec-dict form of an :class:`~repro.ode.objectmanager.ObjectBuffer`.
+
+    Computed attributes travel pre-evaluated: behaviours and display
+    methods run on the server, next to the data, exactly as the paper's
+    object manager evaluates computed attributes for OdeView (§5.1).
+    """
+    return {
+        "oid": str(buffer.oid),
+        "class": buffer.class_name,
+        "values": dict(buffer.values),
+        "public": list(buffer.public_names),
+        "computed": dict(buffer.computed),
+    }
+
+
+def buffer_from_value(value: Dict[str, Any]):
+    """Inverse of :func:`buffer_to_value`."""
+    from repro.ode.objectmanager import ObjectBuffer
+    from repro.ode.oid import Oid
+
+    return ObjectBuffer(
+        oid=Oid.parse(value["oid"]),
+        class_name=value["class"],
+        values=value["values"],
+        public_names=tuple(value["public"]),
+        computed=value.get("computed", {}),
+    )
+
+
+# -- stream I/O ----------------------------------------------------------------
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly *count* bytes; '' mid-message is a protocol error."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:
+            raise NetworkError("timed out waiting for a frame") from exc
+        except OSError as exc:
+            raise NetworkError(f"connection lost: {exc}") from exc
+        if not chunk:
+            if remaining == count:
+                raise ConnectionClosed("peer closed the connection")
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class ConnectionClosed(NetworkError):
+    """The peer closed the connection cleanly between frames."""
+
+
+def read_frame(sock: socket.socket) -> Frame:
+    """Read one complete frame from a socket (blocking, honours timeout)."""
+    header = _recv_exact(sock, _HEADER.size)
+    length, request_id, opcode, crc = _HEADER.unpack(header)
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame claims {length} payload bytes")
+    body = _recv_exact(sock, length) if length else b""
+    if zlib.crc32(body) != crc:
+        raise ProtocolError("frame CRC mismatch")
+    payload, consumed = decode_value(body, 0) if length else ({}, 0)
+    if consumed != length or not isinstance(payload, dict):
+        raise ProtocolError("frame payload is not a single codec dict")
+    return Frame(request_id, opcode, payload, wire_size=_HEADER.size + length)
+
+
+def write_frame(sock: socket.socket, request_id: int, opcode: int,
+                payload: Optional[Dict[str, Any]] = None) -> int:
+    """Send one frame; returns the number of bytes written."""
+    data = encode_frame(request_id, opcode, payload)
+    try:
+        sock.sendall(data)
+    except OSError as exc:
+        raise NetworkError(f"connection lost while sending: {exc}") from exc
+    return len(data)

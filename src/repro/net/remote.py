@@ -1,0 +1,430 @@
+"""RemoteDatabase / RemoteObjectManager: the database over the wire.
+
+These present the same interface as :class:`~repro.ode.database.Database`
+and its object manager, so every consumer — object browsers, schema
+browsers, synchronized browsing, the display-function protocol, the
+selection planner — runs unchanged against a server-hosted database.
+
+What stays local and what crosses the wire:
+
+* the **schema** is fetched once at connect and rebuilt locally, so all
+  schema-shaped questions (attribute lookup, inheritance walks, display
+  lists) cost nothing;
+* **display modules** are fetched into a client-side directory, so the
+  dynamic linker loads and runs display functions exactly as it does
+  locally (the paper's object-interactor loads display code into *its*
+  address space, not the server's);
+* **object buffers** cross the wire with computed attributes already
+  evaluated server-side, and land in a bounded client cache;
+* **sequencing cursors** live on the server (they are the
+  object-interactor's cursor); ``reset`` also invalidates the client
+  cache, as do writes, commit, and abort — a resequenced browse re-reads
+  current data.
+
+Cluster scans are batched: ``RemoteCluster.oids()`` pulls the whole
+cluster in :data:`SCAN_BATCH`-sized pages through the object cache, so
+browsing N objects costs N/SCAN_BATCH round trips, not N.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import NetworkError, SchemaError, StorageError
+from repro.net import protocol as P
+from repro.net.client import OdeClient
+from repro.ode.oid import Oid
+from repro.ode.schema import Schema
+from repro.ode.versions import VersionRecord
+
+#: Buffers fetched per SCAN_CLUSTER round trip.
+SCAN_BATCH = 64
+
+#: Object buffers kept in the client-side cache.
+CACHE_CAPACITY = 512
+
+
+class BufferCache:
+    """A bounded LRU of object buffers keyed by OID."""
+
+    def __init__(self, capacity: int = CACHE_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Oid, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, oid: Oid):
+        entry = self._entries.get(oid)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(oid)
+        self.hits += 1
+        return entry
+
+    def put(self, buffer) -> None:
+        self._entries[buffer.oid] = buffer
+        self._entries.move_to_end(buffer.oid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def evict(self, oid: Oid) -> None:
+        self._entries.pop(oid, None)
+
+    def clear(self) -> None:
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class RemoteIndexManager:
+    """Read-only view of the server's attribute indexes.
+
+    Index *maintenance* happens on the server, inside the object manager
+    that applies the writes; the client sees definitions and sizes (for
+    the statistics window) but plans queries as scans — predicates still
+    evaluate correctly, just without index acceleration.
+    """
+
+    def __init__(self, manager: "RemoteObjectManager"):
+        self._manager = manager
+
+    def _definitions(self) -> List[Dict[str, Any]]:
+        return self._manager.database.server_stats().get("indexes", [])
+
+    def indexes(self) -> List["RemoteIndexInfo"]:
+        return [RemoteIndexInfo(d["class"], d["attribute"], d["entries"])
+                for d in self._definitions()]
+
+    def has_index(self, class_name: str, attribute: str) -> bool:
+        return any(d["class"] == class_name and d["attribute"] == attribute
+                   for d in self._definitions())
+
+    def get(self, class_name: str, attribute: str) -> None:
+        return None  # no client-side index structure: planner falls back to scan
+
+    def create_index(self, class_name: str, attribute: str) -> None:
+        raise SchemaError(
+            "indexes on a remote database are managed by the server")
+
+    def drop_index(self, class_name: str, attribute: str) -> None:
+        raise SchemaError(
+            "indexes on a remote database are managed by the server")
+
+
+class RemoteIndexInfo:
+    """Size-and-name view of one server-side index (statistics window)."""
+
+    def __init__(self, class_name: str, attribute: str, entries: int):
+        self.class_name = class_name
+        self.attribute = attribute
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return self._entries
+
+
+class RemoteVersionManager:
+    """Version histories fetched over the wire."""
+
+    def __init__(self, manager: "RemoteObjectManager"):
+        self._manager = manager
+
+    def history(self, oid: Oid) -> List[VersionRecord]:
+        reply = self._manager._call(P.OP_VERSION_HISTORY, {"oid": str(oid)})
+        return [
+            VersionRecord(of=oid, sequence=entry["seq"], state=entry["state"])
+            for entry in reply["history"]
+        ]
+
+    def version_count(self, oid: Oid) -> int:
+        return len(self.history(oid))
+
+    def get_version(self, oid: Oid, sequence: int) -> VersionRecord:
+        for record in self.history(oid):
+            if record.sequence == sequence:
+                return record
+        raise StorageError(f"object {oid} has no version {sequence}")
+
+
+class RemoteCluster:
+    """Read view of one class's extent on the server."""
+
+    def __init__(self, manager: "RemoteObjectManager", class_name: str):
+        self._manager = manager
+        self.database = manager.database.name
+        self.class_name = class_name
+
+    def __len__(self) -> int:
+        return self._manager.count(self.class_name)
+
+    def numbers(self) -> List[int]:
+        reply = self._manager._call(
+            P.OP_CLUSTER_NUMBERS,
+            {"db": self.database, "class": self.class_name})
+        return list(reply["numbers"])
+
+    def oid(self, number: int) -> Oid:
+        return Oid(self.database, self.class_name, number)
+
+    def oids(self) -> List[Oid]:
+        """All member OIDs — and, as a side effect, warm the cache.
+
+        The batched scan ships the buffers alongside the OIDs, so the
+        browse that follows (get_buffer per member) is served locally.
+        """
+        return [b.oid for b in self._manager.scan(self.class_name)]
+
+    def first(self) -> Optional[Oid]:
+        numbers = self.numbers()
+        return self.oid(numbers[0]) if numbers else None
+
+    def last(self) -> Optional[Oid]:
+        numbers = self.numbers()
+        return self.oid(numbers[-1]) if numbers else None
+
+
+class RemoteCursor:
+    """A server-side sequencing cursor, optionally filtered client-side.
+
+    next/previous/reset/current/seek mirror
+    :class:`~repro.ode.cluster.ClusterCursor`.  A predicate (display
+    functions may push one down) is applied on the client: the cursor
+    advances on the server until a matching buffer is found.  ``reset``
+    also invalidates the manager's object cache — resequencing is the
+    browse starting over, and it must see current data.
+    """
+
+    def __init__(self, manager: "RemoteObjectManager", class_name: str,
+                 predicate=None):
+        self._manager = manager
+        self.class_name = class_name
+        self._predicate = predicate
+        reply = manager._call(
+            P.OP_CURSOR_OPEN,
+            {"db": manager.database.name, "class": class_name})
+        self._cursor_id = reply["cursor"]
+
+    def _step(self, opcode: int) -> Optional[Oid]:
+        while True:
+            reply = self._manager._call(opcode, {"cursor": self._cursor_id})
+            text = reply.get("oid")
+            if text is None:
+                return None
+            oid = Oid.parse(text)
+            if self._predicate is None:
+                return oid
+            if self._predicate(self._manager.get_buffer(oid)):
+                return oid
+
+    def next(self) -> Optional[Oid]:
+        return self._step(P.OP_CURSOR_NEXT)
+
+    def previous(self) -> Optional[Oid]:
+        return self._step(P.OP_CURSOR_PREVIOUS)
+
+    def reset(self) -> None:
+        self._manager._call(P.OP_CURSOR_RESET, {"cursor": self._cursor_id})
+        self._manager.cache.clear()
+
+    def current(self) -> Optional[Oid]:
+        reply = self._manager._call(
+            P.OP_CURSOR_CURRENT, {"cursor": self._cursor_id})
+        text = reply.get("oid")
+        return Oid.parse(text) if text else None
+
+    def seek(self, oid: Oid) -> None:
+        self._manager._call(
+            P.OP_CURSOR_SEEK, {"cursor": self._cursor_id, "oid": str(oid)})
+
+    def close(self) -> None:
+        self._manager._call(P.OP_CURSOR_CLOSE, {"cursor": self._cursor_id})
+
+
+class RemoteObjectManager:
+    """The object manager's interface, served over the wire."""
+
+    def __init__(self, database: "RemoteDatabase"):
+        self.database = database
+        self.schema = database.schema
+        self.cache = BufferCache()
+        self.indexes = RemoteIndexManager(self)
+        self._version_manager: Optional[RemoteVersionManager] = None
+
+    def _call(self, opcode: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+        payload.setdefault("db", self.database.name)
+        return self.database.client.call(opcode, payload)
+
+    @property
+    def versions(self) -> RemoteVersionManager:
+        if self._version_manager is None:
+            self._version_manager = RemoteVersionManager(self)
+        return self._version_manager
+
+    # -- reads -------------------------------------------------------------------
+
+    def get_buffer(self, oid: Oid):
+        cached = self.cache.get(oid)
+        if cached is not None:
+            return cached
+        reply = self._call(P.OP_GET_OBJECT, {"oid": str(oid)})
+        buffer = P.buffer_from_value(reply["buffer"])
+        self.cache.put(buffer)
+        return buffer
+
+    def get_buffers(self, oids: List[Oid]) -> List[Any]:
+        """Fetch many buffers, one round trip for all cache misses."""
+        missing = [oid for oid in oids if self.cache.get(oid) is None]
+        if missing:
+            reply = self._call(
+                P.OP_GET_OBJECTS, {"oids": [str(oid) for oid in missing]})
+            for value in reply["buffers"]:
+                self.cache.put(P.buffer_from_value(value))
+        return [self.get_buffer(oid) for oid in oids]
+
+    def scan(self, class_name: str) -> List[Any]:
+        """The whole cluster, fetched in SCAN_BATCH pages through the cache."""
+        buffers: List[Any] = []
+        after = -1
+        while True:
+            reply = self._call(P.OP_SCAN_CLUSTER, {
+                "class": class_name, "after": after, "limit": SCAN_BATCH,
+            })
+            for value in reply["buffers"]:
+                buffer = P.buffer_from_value(value)
+                self.cache.put(buffer)
+                buffers.append(buffer)
+            after = reply["after"]
+            if reply["done"] or not reply["buffers"]:
+                return buffers
+
+    def cluster(self, class_name: str) -> RemoteCluster:
+        self.schema.get_class(class_name)
+        return RemoteCluster(self, class_name)
+
+    def count(self, class_name: str) -> int:
+        return self._call(P.OP_COUNT, {"class": class_name})["count"]
+
+    def exists(self, oid: Oid) -> bool:
+        if self.cache.get(oid) is not None:
+            return True
+        return self._call(P.OP_EXISTS, {"oid": str(oid)})["exists"]
+
+    def cursor(self, class_name: str, predicate=None) -> RemoteCursor:
+        return RemoteCursor(self, class_name, predicate)
+
+    def select(self, class_name: str, predicate=None) -> Iterator[Any]:
+        for buffer in self.scan(class_name):
+            if predicate is None or predicate(buffer):
+                yield buffer
+
+    # -- writes ------------------------------------------------------------------
+
+    def new_object(self, class_name: str,
+                   values: Optional[Mapping[str, Any]] = None,
+                   oid: Optional[Oid] = None) -> Oid:
+        payload: Dict[str, Any] = {
+            "class": class_name, "values": dict(values or {})}
+        if oid is not None:
+            payload["oid"] = str(oid)
+        reply = self._call(P.OP_NEW_OBJECT, payload)
+        return Oid.parse(reply["oid"])
+
+    def update(self, oid: Oid, updates: Mapping[str, Any]):
+        reply = self._call(
+            P.OP_UPDATE, {"oid": str(oid), "updates": dict(updates)})
+        # Triggers may have touched other objects; drop everything stale.
+        self.cache.clear()
+        buffer = P.buffer_from_value(reply["buffer"])
+        self.cache.put(buffer)
+        return buffer
+
+    def delete(self, oid: Oid) -> None:
+        self._call(P.OP_DELETE, {"oid": str(oid)})
+        self.cache.clear()
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> int:
+        return self._call(P.OP_BEGIN, {})["txid"]
+
+    def commit(self) -> None:
+        self._call(P.OP_COMMIT, {})
+        self.cache.clear()
+
+    def abort(self) -> None:
+        self._call(P.OP_ABORT, {})
+        self.cache.clear()
+
+
+class RemoteDatabase:
+    """A server-hosted database, presented like a local one."""
+
+    #: Lets callers (statistics, CLI) branch without importing this module.
+    remote = True
+
+    def __init__(self, client: OdeClient, name: str):
+        self.client = client
+        reply = client.call(P.OP_OPEN_DATABASE, {"db": name})
+        self.name = reply["name"]
+        self.schema = Schema.from_dict(reply["schema"])
+        self.icon = reply["icon"]
+        self.objects = RemoteObjectManager(self)
+        self._display_dir: Optional[Path] = None
+
+    @classmethod
+    def connect(cls, host: str, port: int, name: str,
+                timeout: float = 10.0, **client_kwargs) -> "RemoteDatabase":
+        client = OdeClient(host, port, timeout=timeout, **client_kwargs)
+        client.connect()
+        try:
+            return cls(client, name)
+        except Exception:
+            client.close()
+            raise
+
+    # -- the display-function protocol -------------------------------------------
+
+    @property
+    def display_dir(self) -> Path:
+        """Display modules, fetched from the server into a local directory.
+
+        The dynamic linker loads display functions into the *client's*
+        address space (paper §4.6: the object-interactor, not the
+        database, runs display code), so the sources must exist locally.
+        """
+        if self._display_dir is None:
+            reply = self.client.call(
+                P.OP_GET_DISPLAY_MODULES, {"db": self.name})
+            directory = Path(tempfile.mkdtemp(prefix=f"odeview-{self.name}-"))
+            for filename, source in sorted(reply["modules"].items()):
+                (directory / filename).write_text(source, encoding="utf-8")
+            self._display_dir = directory
+        return self._display_dir
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def vacuum(self) -> int:
+        reclaimed = self.client.call(P.OP_VACUUM, {"db": self.name})["reclaimed"]
+        self.objects.cache.clear()
+        return reclaimed
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self.client.call(P.OP_STATS, {"db": self.name})
+
+    def close(self) -> None:
+        try:
+            self.client.close()
+        except NetworkError:
+            pass
+        if self._display_dir is not None:
+            shutil.rmtree(self._display_dir, ignore_errors=True)
+            self._display_dir = None

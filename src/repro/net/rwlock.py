@@ -1,0 +1,107 @@
+"""A writer-preferring reader–writer lock for hosted databases.
+
+The server allows any number of concurrent reading sessions per database
+but exactly one writer; a session holding the write lock (an open remote
+transaction spans several requests) may keep issuing reads and writes
+without deadlocking itself, so the lock tracks the writing thread and is
+reentrant for it.
+
+Writer preference: once a writer is waiting, new readers queue behind it,
+so a stream of browsing clients cannot starve a commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class ReadWriteLock:
+    """Many readers / one reentrant writer, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None   # thread ident of the writer
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # -- read side -------------------------------------------------------------
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # The writing thread's own reads proceed under its write lock.
+                self._writer_depth += 1
+                return True
+            ok = self._cond.wait_for(
+                lambda: self._writer is None and not self._writers_waiting,
+                timeout)
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth -= 1
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ------------------------------------------------------------
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return True
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self._writer is None and self._readers == 0,
+                    timeout)
+                if not ok:
+                    return False
+                self._writer = me
+                self._writer_depth = 1
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by a non-writing thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer == threading.get_ident()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def reading(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def writing(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,229 @@
+"""OdeServer: a threaded socket server hosting Ode databases.
+
+One server process owns the databases (and therefore their directory
+locks); any number of OdeView front ends connect and browse the same
+data concurrently — the paper's multi-user premise made literal.
+
+Threading model: an accept thread plus one thread per connection.  Each
+connection gets a :class:`~repro.net.session.ServerSession`; the session
+takes the target database's read lock per request and its write lock per
+mutation (held across an open transaction), so readers run concurrently
+and writers are serialized.
+
+Shutdown drains gracefully: the listener closes first (no new
+connections), in-flight requests finish, then idle connections are
+closed and any open transactions aborted.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import NetworkError, OdeError, StorageError
+from repro.net import protocol as P
+from repro.net.rwlock import ReadWriteLock
+from repro.net.session import HostedDatabase, ServerSession
+from repro.obs.metrics import get_registry
+from repro.ode.database import Database
+
+#: How long a connection thread blocks in recv before re-checking the
+#: server's stop flag.
+_POLL_SECONDS = 0.5
+
+#: How long shutdown waits for in-flight connection threads to drain.
+_DRAIN_SECONDS = 5.0
+
+
+class OdeServer:
+    """Serve one or more databases found under *root* over TCP."""
+
+    def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
+                 port: int = 0, **database_kwargs):
+        self.root = Path(root)
+        self.host = host
+        self._requested_port = port
+        self._database_kwargs = database_kwargs
+        self._hosted: Dict[str, HostedDatabase] = {}
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._threads_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._session_ids = iter(range(1, 2 ** 31))
+        self._active_sessions = 0
+        self._active_lock = threading.Lock()
+
+        registry = get_registry()
+        self._m_bytes_in = registry.counter("net.server.bytes_in")
+        self._m_bytes_out = registry.counter("net.server.bytes_out")
+        self._m_sessions_opened = registry.counter("net.server.sessions.opened")
+        self._m_sessions_closed = registry.counter("net.server.sessions.closed")
+        self._m_errors = registry.counter("net.server.errors")
+        self._m_request_seconds = registry.histogram("net.server.request_seconds")
+        self._m_requests: Dict[int, object] = {}
+
+    # -- database hosting --------------------------------------------------------
+
+    def _discover(self) -> None:
+        """Open every database directory directly under the root.
+
+        A directory is a database iff it has a catalog file; the root
+        itself may also be a single database directory.
+        """
+        candidates = []
+        if (self.root / "catalog.json").exists():
+            candidates.append(self.root)
+        else:
+            candidates.extend(
+                path for path in sorted(self.root.iterdir())
+                if path.is_dir() and (path / "catalog.json").exists()
+            )
+        if not candidates:
+            raise StorageError(f"no databases found under {self.root}")
+        for path in candidates:
+            database = Database.open(path, **self._database_kwargs)
+            self._hosted[database.name] = HostedDatabase(
+                database, ReadWriteLock())
+
+    def hosted(self, name: str) -> HostedDatabase:
+        entry = self._hosted.get(name)
+        if entry is None:
+            raise StorageError(f"server does not host a database named {name!r}")
+        return entry
+
+    def database_names(self) -> List[str]:
+        return sorted(self._hosted)
+
+    @property
+    def active_sessions(self) -> int:
+        with self._active_lock:
+            return self._active_sessions
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the databases and begin accepting connections."""
+        if self._listener is not None:
+            raise NetworkError("server already started")
+        self._discover()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(32)
+        listener.settimeout(_POLL_SECONDS)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="ode-server-accept", daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise NetworkError("server not started")
+        return self._listener.getsockname()[1]
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` is called (e.g. from a signal)."""
+        if self._accept_thread is None:
+            self.start()
+        while not self._stopping.is_set():
+            self._stopping.wait(_POLL_SECONDS)
+
+    def shutdown(self, drain: float = _DRAIN_SECONDS) -> None:
+        """Stop accepting, let in-flight requests finish, close databases."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=drain)
+        with self._threads_lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=drain)
+        for entry in self._hosted.values():
+            try:
+                entry.database.close()
+            except OdeError:
+                pass
+        self._hosted.clear()
+        self._listener = None
+        self._accept_thread = None
+
+    def __enter__(self) -> "OdeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    # -- connection handling -----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="ode-server-conn", daemon=True)
+            with self._threads_lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL_SECONDS)
+        session = ServerSession(self, next(self._session_ids))
+        self._m_sessions_opened.inc()
+        with self._active_lock:
+            self._active_sessions += 1
+        try:
+            while not self._stopping.is_set():
+                try:
+                    frame = P.read_frame(conn)
+                except NetworkError as exc:
+                    if "timed out" in str(exc):
+                        continue  # idle poll; re-check the stop flag
+                    break  # closed or corrupt: drop the connection
+                self._handle_frame(conn, session, frame)
+        finally:
+            session.close()
+            with self._active_lock:
+                self._active_sessions -= 1
+            self._m_sessions_closed.inc()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_frame(self, conn: socket.socket, session: ServerSession,
+                      frame: P.Frame) -> None:
+        self._m_bytes_in.inc(frame.wire_size)
+        counter = self._m_requests.get(frame.opcode)
+        if counter is None:
+            counter = get_registry().counter(
+                f"net.server.requests.{P.opcode_name(frame.opcode)}")
+            self._m_requests[frame.opcode] = counter
+        counter.inc()
+        with self._m_request_seconds.time():
+            try:
+                result = session.dispatch(frame.opcode, frame.payload)
+                reply_op, reply = P.OP_REPLY, result
+            except Exception as exc:  # marshal any failure to the client
+                self._m_errors.inc()
+                reply_op = P.OP_ERROR
+                reply = {"kind": type(exc).__name__, "message": str(exc)}
+        try:
+            sent = P.write_frame(conn, frame.request_id, reply_op, reply)
+            self._m_bytes_out.inc(sent)
+        except NetworkError:
+            pass  # client vanished mid-reply; the finally block cleans up

@@ -1,0 +1,395 @@
+"""The server-side session: one connected client's view of the server.
+
+The paper spawns a *db-interactor* per open database and an
+*object-interactor* per browsed class (§4.6); over the network those
+collapse into one session per connection holding the same state — which
+databases the client opened, its sequencing cursors (one per browsed
+class, the object-interactor's ``reset``/``next``/``previous`` cursor),
+and its open transaction.
+
+Dispatch discipline:
+
+* read opcodes run under the target database's *read* lock — any number
+  of sessions browse concurrently;
+* write opcodes take the *write* lock; an explicit transaction holds it
+  from ``begin`` until ``commit``/``abort``, so a writer is serialized
+  against every reader for exactly the span of its transaction;
+* a session that disconnects mid-transaction is aborted and its locks
+  released, so a crashed client never wedges the database.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    NetworkError,
+    OdeError,
+    StorageError,
+    TransactionError,
+)
+from repro.net import protocol as P
+from repro.ode.oid import Oid
+
+#: Largest number of buffers one scan batch may carry.
+MAX_SCAN_BATCH = 1024
+
+
+class HostedDatabase:
+    """One database the server hosts: the database plus its rw-lock."""
+
+    def __init__(self, database, lock) -> None:
+        self.database = database
+        self.lock = lock
+
+
+class ServerSession:
+    """Per-connection request dispatcher."""
+
+    def __init__(self, server, session_id: int):
+        self.server = server
+        self.session_id = session_id
+        self._cursors: Dict[int, Tuple[str, Any]] = {}  # id -> (db, cursor)
+        self._cursor_ids = itertools.count(1)
+        self._tx_database: Optional[str] = None  # db holding our write lock
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _hosted(self, payload: Dict[str, Any]) -> HostedDatabase:
+        name = payload.get("db")
+        if not isinstance(name, str) or not name:
+            raise NetworkError("request names no database")
+        return self.server.hosted(name)
+
+    @staticmethod
+    def _oid(payload: Dict[str, Any], key: str = "oid") -> Oid:
+        value = payload.get(key)
+        if isinstance(value, Oid):
+            return value
+        if isinstance(value, str):
+            return Oid.parse(value)
+        raise NetworkError(f"request carries no OID under {key!r}")
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Connection gone: drop cursors, abort any open transaction."""
+        self._cursors.clear()
+        if self._tx_database is not None:
+            hosted = self.server.hosted(self._tx_database)
+            try:
+                hosted.database.objects.abort()
+            except OdeError:
+                pass
+            finally:
+                hosted.lock.release_write()
+                self._tx_database = None
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, opcode: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+        handler = _HANDLERS.get(opcode)
+        if handler is None:
+            raise NetworkError(f"unknown opcode {P.opcode_name(opcode)}")
+        if opcode in _UNLOCKED_OPCODES:
+            return handler(self, payload)
+        hosted = self._hosted(payload)
+        if opcode in P.WRITE_OPCODES:
+            return self._dispatch_write(handler, hosted, payload)
+        with hosted.lock.reading():
+            return handler(self, payload)
+
+    def _dispatch_write(self, handler, hosted: HostedDatabase,
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._tx_database is not None:
+            if self._tx_database != hosted.database.name:
+                raise TransactionError(
+                    f"transaction open on {self._tx_database!r}; cannot "
+                    f"write {hosted.database.name!r}")
+            # Already the writer (reentrant); run under the held lock.
+            return handler(self, payload)
+        with hosted.lock.writing():
+            result = handler(self, payload)
+            if self._tx_database is not None:
+                # BEGIN succeeded: keep the write lock until commit/abort.
+                hosted.lock.acquire_write()
+            return result
+
+    # -- handshake / catalog ------------------------------------------------------
+
+    def op_hello(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        version = payload.get("version")
+        if version != P.PROTOCOL_VERSION:
+            raise NetworkError(
+                f"protocol version mismatch: client {version!r}, "
+                f"server {P.PROTOCOL_VERSION}")
+        return {
+            "version": P.PROTOCOL_VERSION,
+            "server": "repro.net",
+            "databases": self.server.database_names(),
+        }
+
+    def op_ping(self, _payload: Dict[str, Any]) -> Dict[str, Any]:
+        return {}
+
+    def op_list_databases(self, _payload: Dict[str, Any]) -> Dict[str, Any]:
+        return {"databases": self.server.database_names()}
+
+    def op_open_database(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        database = hosted.database
+        return {
+            "name": database.name,
+            "schema": database.schema.to_dict(),
+            "icon": database.icon,
+        }
+
+    def op_get_display_modules(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        modules: Dict[str, str] = {}
+        display_dir = hosted.database.display_dir
+        if display_dir.is_dir():
+            for path in sorted(display_dir.glob("*.py")):
+                modules[path.name] = path.read_text(encoding="utf-8")
+        return {"modules": modules}
+
+    # -- object reads --------------------------------------------------------------
+
+    def op_get_object(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        buffer = hosted.database.objects.get_buffer(self._oid(payload))
+        return {"buffer": P.buffer_to_value(buffer)}
+
+    def op_get_objects(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        objects = hosted.database.objects
+        buffers = []
+        missing = []
+        for text in payload.get("oids", []):
+            oid = Oid.parse(text) if isinstance(text, str) else text
+            if objects.exists(oid):
+                buffers.append(P.buffer_to_value(objects.get_buffer(oid)))
+            else:
+                missing.append(str(oid))
+        return {"buffers": buffers, "missing": missing}
+
+    def op_scan_cluster(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One batch of a cluster scan, keyed by OID number.
+
+        ``after`` is the last OID number the client has seen (-1 to start);
+        the batch carries up to ``limit`` buffers with larger numbers, in
+        sequencing order, so a scan stays correct even if the cluster
+        changes between batches.
+        """
+        hosted = self._hosted(payload)
+        database = hosted.database
+        class_name = payload.get("class", "")
+        after = int(payload.get("after", -1))
+        limit = max(1, min(int(payload.get("limit", 64)), MAX_SCAN_BATCH))
+        objects = database.objects
+        cluster = objects.cluster(class_name)
+        if after < 0:
+            database.store.prefetch_cluster(class_name)
+        numbers = [n for n in cluster.numbers() if n > after][:limit]
+        buffers = [
+            P.buffer_to_value(objects.get_buffer(cluster.oid(number)))
+            for number in numbers
+        ]
+        done = (not numbers
+                or numbers[-1] >= (cluster.numbers() or [-1])[-1])
+        return {
+            "buffers": buffers,
+            "done": done,
+            "after": numbers[-1] if numbers else after,
+        }
+
+    def op_cluster_numbers(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        class_name = payload.get("class", "")
+        hosted.database.schema.get_class(class_name)
+        return {"numbers": hosted.database.store.cluster_numbers(class_name)}
+
+    def op_count(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        return {"count": hosted.database.objects.count(payload.get("class", ""))}
+
+    def op_exists(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        return {"exists": hosted.database.objects.exists(self._oid(payload))}
+
+    def op_version_history(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        history = hosted.database.objects.versions.history(self._oid(payload))
+        return {
+            "history": [
+                {"seq": record.sequence, "state": dict(record.state)}
+                for record in history
+            ],
+        }
+
+    # -- writes ---------------------------------------------------------------------
+
+    def op_new_object(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        oid = payload.get("oid")
+        oid = Oid.parse(oid) if isinstance(oid, str) else None
+        created = hosted.database.objects.new_object(
+            payload.get("class", ""), payload.get("values") or {}, oid=oid)
+        return {"oid": str(created)}
+
+    def op_update(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        buffer = hosted.database.objects.update(
+            self._oid(payload), payload.get("updates") or {})
+        return {"buffer": P.buffer_to_value(buffer)}
+
+    def op_delete(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        hosted.database.objects.delete(self._oid(payload))
+        return {}
+
+    # -- transactions -----------------------------------------------------------------
+
+    def op_begin(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        if self._tx_database is not None:
+            raise TransactionError(
+                f"session already has a transaction on {self._tx_database!r}")
+        txid = hosted.database.objects.begin()
+        self._tx_database = hosted.database.name
+        return {"txid": txid}
+
+    def op_commit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        if self._tx_database != hosted.database.name:
+            raise TransactionError("no transaction open on this session")
+        try:
+            hosted.database.objects.commit()
+        finally:
+            self._tx_database = None
+            hosted.lock.release_write()
+        return {}
+
+    def op_abort(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        if self._tx_database != hosted.database.name:
+            raise TransactionError("no transaction open on this session")
+        try:
+            hosted.database.objects.abort()
+        finally:
+            self._tx_database = None
+            hosted.lock.release_write()
+        return {}
+
+    # -- server-side sequencing cursors (the object-interactor's cursor) -----------
+
+    def op_cursor_open(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        cursor = hosted.database.objects.cursor(payload.get("class", ""))
+        cursor_id = next(self._cursor_ids)
+        self._cursors[cursor_id] = (hosted.database.name, cursor)
+        return {"cursor": cursor_id}
+
+    def _cursor(self, payload: Dict[str, Any]):
+        cursor_id = payload.get("cursor")
+        entry = self._cursors.get(cursor_id)
+        if entry is None:
+            raise NetworkError(f"no cursor {cursor_id!r} in this session")
+        return entry[1]
+
+    def op_cursor_next(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        oid = self._cursor(payload).next()
+        return {"oid": str(oid) if oid else None}
+
+    def op_cursor_previous(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        oid = self._cursor(payload).previous()
+        return {"oid": str(oid) if oid else None}
+
+    def op_cursor_reset(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._cursor(payload).reset()
+        return {}
+
+    def op_cursor_current(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        oid = self._cursor(payload).current()
+        return {"oid": str(oid) if oid else None}
+
+    def op_cursor_seek(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._cursor(payload).seek(self._oid(payload))
+        return {}
+
+    def op_cursor_close(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._cursors.pop(payload.get("cursor"), None)
+        return {}
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def op_stats(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        database = hosted.database
+        pool = database.store.pool
+        clusters = {
+            name: database.objects.count(name)
+            for name in database.schema.class_names()
+        }
+        return {
+            "schema_version": database.schema.version,
+            "clusters": clusters,
+            "indexes": [
+                {"class": index.class_name, "attribute": index.attribute,
+                 "entries": len(index)}
+                for index in database.objects.indexes.indexes()
+            ],
+            "fragmentation": database.store.fragmentation(),
+            "pool": {
+                "policy": pool.policy_name,
+                "hits": pool.stats.hits,
+                "misses": pool.stats.misses,
+                "evictions": pool.stats.evictions,
+                "prefetches": pool.stats.prefetches,
+            },
+        }
+
+    def op_vacuum(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        if self._tx_database is not None:
+            raise StorageError("cannot vacuum with a transaction open")
+        return {"reclaimed": hosted.database.vacuum()}
+
+
+#: Opcodes handled without touching a specific database (no lock).
+_UNLOCKED_OPCODES = frozenset({
+    P.OP_HELLO, P.OP_PING, P.OP_LIST_DATABASES,
+    P.OP_CURSOR_NEXT, P.OP_CURSOR_PREVIOUS, P.OP_CURSOR_RESET,
+    P.OP_CURSOR_CURRENT, P.OP_CURSOR_SEEK, P.OP_CURSOR_CLOSE,
+})
+
+_HANDLERS = {
+    P.OP_HELLO: ServerSession.op_hello,
+    P.OP_PING: ServerSession.op_ping,
+    P.OP_LIST_DATABASES: ServerSession.op_list_databases,
+    P.OP_OPEN_DATABASE: ServerSession.op_open_database,
+    P.OP_GET_DISPLAY_MODULES: ServerSession.op_get_display_modules,
+    P.OP_GET_OBJECT: ServerSession.op_get_object,
+    P.OP_GET_OBJECTS: ServerSession.op_get_objects,
+    P.OP_SCAN_CLUSTER: ServerSession.op_scan_cluster,
+    P.OP_CLUSTER_NUMBERS: ServerSession.op_cluster_numbers,
+    P.OP_COUNT: ServerSession.op_count,
+    P.OP_EXISTS: ServerSession.op_exists,
+    P.OP_VERSION_HISTORY: ServerSession.op_version_history,
+    P.OP_NEW_OBJECT: ServerSession.op_new_object,
+    P.OP_UPDATE: ServerSession.op_update,
+    P.OP_DELETE: ServerSession.op_delete,
+    P.OP_BEGIN: ServerSession.op_begin,
+    P.OP_COMMIT: ServerSession.op_commit,
+    P.OP_ABORT: ServerSession.op_abort,
+    P.OP_CURSOR_OPEN: ServerSession.op_cursor_open,
+    P.OP_CURSOR_NEXT: ServerSession.op_cursor_next,
+    P.OP_CURSOR_PREVIOUS: ServerSession.op_cursor_previous,
+    P.OP_CURSOR_RESET: ServerSession.op_cursor_reset,
+    P.OP_CURSOR_CURRENT: ServerSession.op_cursor_current,
+    P.OP_CURSOR_SEEK: ServerSession.op_cursor_seek,
+    P.OP_CURSOR_CLOSE: ServerSession.op_cursor_close,
+    P.OP_STATS: ServerSession.op_stats,
+    P.OP_VACUUM: ServerSession.op_vacuum,
+}

@@ -39,6 +39,7 @@ _TAG_DATE = 5
 _TAG_LIST = 6
 _TAG_STRUCT = 7
 _TAG_OID = 8
+_TAG_BYTES = 9
 
 
 def write_varint(value: int) -> bytes:
@@ -86,6 +87,8 @@ def encode_value(value: Any) -> bytes:
     if isinstance(value, str):
         payload = value.encode("utf-8")
         return bytes([_TAG_STRING]) + write_varint(len(payload)) + payload
+    if isinstance(value, (bytes, bytearray)):
+        return bytes([_TAG_BYTES]) + write_varint(len(value)) + bytes(value)
     if isinstance(value, datetime.datetime):
         raise CodecError("datetime values are not supported; use datetime.date")
     if isinstance(value, datetime.date):
@@ -147,6 +150,12 @@ def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
         if tag == _TAG_OID:
             return Oid.parse(text), end
         return text, end
+    if tag == _TAG_BYTES:
+        length, offset = read_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise CodecError("truncated bytes")
+        return data[offset:end], end
     if tag == _TAG_DATE:
         end = offset + 4
         if end > len(data):

@@ -14,6 +14,7 @@ is no separately persisted index to corrupt.
 from __future__ import annotations
 
 import bisect
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -87,6 +88,10 @@ class ObjectStore:
         self._next_number: Dict[str, int] = {}
         self._txid: Optional[int] = None
         self._tx_counter = 0
+        # Reads mutate shared state (buffer-pool frames, LRU order), so a
+        # store serving several server sessions needs every entry point
+        # serialized.  Reentrant: put()/delete() recurse through begin().
+        self._lock = threading.RLock()
         self._rebuild_from_pages()
         self._recover_from_wal()
 
@@ -153,9 +158,10 @@ class ObjectStore:
 
     def allocate_oid(self, database: str, cluster: str) -> Oid:
         """Mint the next OID for a cluster (monotonic within the store)."""
-        number = self._next_number.get(cluster, 0)
-        self._next_number[cluster] = number + 1
-        return Oid(database, cluster, number)
+        with self._lock:
+            number = self._next_number.get(cluster, 0)
+            self._next_number[cluster] = number + 1
+            return Oid(database, cluster, number)
 
     # -- page-level operations ------------------------------------------------------
 
@@ -236,42 +242,46 @@ class ObjectStore:
         cluster; the pool reads ahead as far as capacity (and pins)
         allow.  Returns the number of pages actually prefetched.
         """
-        return self._pool.prefetch(self.cluster_pages(cluster))
+        with self._lock:
+            return self._pool.prefetch(self.cluster_pages(cluster))
 
     # -- transactions ------------------------------------------------------------------
 
     def begin(self) -> int:
         """Start an explicit transaction; raises if one is already open."""
-        if self._txid is not None:
-            raise TransactionError("a transaction is already in progress")
-        self._tx_counter += 1
-        self._txid = self._tx_counter
-        self._wal.append(WalRecord(op=OP_BEGIN, txid=self._txid))
-        self._tx_writes: List[WalRecord] = []
-        return self._txid
+        with self._lock:
+            if self._txid is not None:
+                raise TransactionError("a transaction is already in progress")
+            self._tx_counter += 1
+            self._txid = self._tx_counter
+            self._wal.append(WalRecord(op=OP_BEGIN, txid=self._txid))
+            self._tx_writes: List[WalRecord] = []
+            return self._txid
 
     def commit(self) -> None:
-        if self._txid is None:
-            raise TransactionError("no transaction in progress")
-        self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid), sync=True)
-        for record in self._tx_writes:
-            oid = Oid.parse(record.oid)
-            if record.op == OP_PUT:
-                self._put_to_pages(oid, record.payload)
-            else:
-                if oid in self._table:
-                    self._delete_from_pages(oid)
-        self._pool.flush_all()
-        self._wal.checkpoint()
-        self._txid = None
-        self._tx_writes = []
+        with self._lock:
+            if self._txid is None:
+                raise TransactionError("no transaction in progress")
+            self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid), sync=True)
+            for record in self._tx_writes:
+                oid = Oid.parse(record.oid)
+                if record.op == OP_PUT:
+                    self._put_to_pages(oid, record.payload)
+                else:
+                    if oid in self._table:
+                        self._delete_from_pages(oid)
+            self._pool.flush_all()
+            self._wal.checkpoint()
+            self._txid = None
+            self._tx_writes = []
 
     def abort(self) -> None:
-        if self._txid is None:
-            raise TransactionError("no transaction in progress")
-        self._wal.append(WalRecord(op=OP_ABORT, txid=self._txid))
-        self._txid = None
-        self._tx_writes = []
+        with self._lock:
+            if self._txid is None:
+                raise TransactionError("no transaction in progress")
+            self._wal.append(WalRecord(op=OP_ABORT, txid=self._txid))
+            self._txid = None
+            self._tx_writes = []
 
     @property
     def in_transaction(self) -> bool:
@@ -292,87 +302,99 @@ class ObjectStore:
         it commits immediately through a single-op transaction."""
         if not data:
             raise StorageError("cannot store an empty record")
-        self._m_puts.inc()
-        record = WalRecord(op=OP_PUT, txid=self._txid or 0, oid=str(oid), payload=data)
-        if self._txid is not None:
-            self._wal.append(record)
-            self._tx_writes.append(record)
-            return
-        self.begin()
-        try:
-            self.put(oid, data)
-            self.commit()
-        except Exception:
-            if self.in_transaction:
-                self.abort()
-            raise
+        with self._lock:
+            self._m_puts.inc()
+            record = WalRecord(op=OP_PUT, txid=self._txid or 0, oid=str(oid),
+                               payload=data)
+            if self._txid is not None:
+                self._wal.append(record)
+                self._tx_writes.append(record)
+                return
+            self.begin()
+            try:
+                self.put(oid, data)
+                self.commit()
+            except Exception:
+                if self.in_transaction:
+                    self.abort()
+                raise
 
     def get(self, oid: Oid) -> bytes:
-        self._m_gets.inc()
-        overlay = self._tx_overlay(oid)
-        if overlay is not None:
-            if overlay.op == OP_DELETE:
-                raise ObjectNotFoundError(f"object {oid} deleted in this transaction")
-            return overlay.payload
-        if oid not in self._table:
-            raise ObjectNotFoundError(f"no object {oid}")
-        return self._read_from_pages(oid)
+        with self._lock:
+            self._m_gets.inc()
+            overlay = self._tx_overlay(oid)
+            if overlay is not None:
+                if overlay.op == OP_DELETE:
+                    raise ObjectNotFoundError(
+                        f"object {oid} deleted in this transaction")
+                return overlay.payload
+            if oid not in self._table:
+                raise ObjectNotFoundError(f"no object {oid}")
+            return self._read_from_pages(oid)
 
     def delete(self, oid: Oid) -> None:
-        if not self.exists(oid):
-            raise ObjectNotFoundError(f"no object {oid}")
-        self._m_deletes.inc()
-        record = WalRecord(op=OP_DELETE, txid=self._txid or 0, oid=str(oid))
-        if self._txid is not None:
-            self._wal.append(record)
-            self._tx_writes.append(record)
-            return
-        self.begin()
-        try:
-            self.delete(oid)
-            self.commit()
-        except Exception:
-            if self.in_transaction:
-                self.abort()
-            raise
+        with self._lock:
+            if not self.exists(oid):
+                raise ObjectNotFoundError(f"no object {oid}")
+            self._m_deletes.inc()
+            record = WalRecord(op=OP_DELETE, txid=self._txid or 0, oid=str(oid))
+            if self._txid is not None:
+                self._wal.append(record)
+                self._tx_writes.append(record)
+                return
+            self.begin()
+            try:
+                self.delete(oid)
+                self.commit()
+            except Exception:
+                if self.in_transaction:
+                    self.abort()
+                raise
 
     def exists(self, oid: Oid) -> bool:
-        overlay = self._tx_overlay(oid)
-        if overlay is not None:
-            return overlay.op == OP_PUT
-        return oid in self._table
+        with self._lock:
+            overlay = self._tx_overlay(oid)
+            if overlay is not None:
+                return overlay.op == OP_PUT
+            return oid in self._table
 
     # -- cluster iteration ------------------------------------------------------------------
 
     def cluster_names(self) -> List[str]:
-        return sorted(self._clusters)
+        with self._lock:
+            return sorted(self._clusters)
 
     def cluster_size(self, cluster: str) -> int:
-        return len(self._clusters.get(cluster, ()))
+        with self._lock:
+            return len(self._clusters.get(cluster, ()))
 
     def cluster_numbers(self, cluster: str) -> List[int]:
         """Live OID numbers of a cluster, ascending (sequencing order)."""
-        return list(self._clusters.get(cluster, ()))
+        with self._lock:
+            return list(self._clusters.get(cluster, ()))
 
     def oids(self) -> Iterator[Oid]:
-        for oid in sorted(self._table):
-            yield oid
+        with self._lock:
+            ordered = sorted(self._table)
+        yield from ordered
 
     # -- maintenance ------------------------------------------------------------------------
 
     def fragmentation(self) -> float:
         """Fraction of data-page space not holding live payload (0..1)."""
-        total = 0
-        used = 0
-        for page_no in self._pagefile.data_page_numbers():
-            page = self._pool.fetch(page_no)
-            from repro.ode.page import PAGE_SIZE
+        with self._lock:
+            total = 0
+            used = 0
+            for page_no in self._pagefile.data_page_numbers():
+                page = self._pool.fetch(page_no)
+                from repro.ode.page import PAGE_SIZE
 
-            total += PAGE_SIZE
-            used += sum(len(page.read(slot)) for slot in page.live_slots())
-        if total == 0:
-            return 0.0
-        return 1.0 - used / total
+                total += PAGE_SIZE
+                used += sum(len(page.read(slot))
+                            for slot in page.live_slots())
+            if total == 0:
+                return 0.0
+            return 1.0 - used / total
 
     def vacuum(self) -> int:
         """Rewrite the page file densely; returns pages reclaimed.
@@ -434,14 +456,16 @@ class ObjectStore:
         return self._pool
 
     def flush(self) -> None:
-        self._pool.flush_all()
+        with self._lock:
+            self._pool.flush_all()
 
     def close(self) -> None:
-        if self._txid is not None:
-            self.abort()
-        self._pool.flush_all()
-        self._wal.close()
-        self._pagefile.close()
+        with self._lock:
+            if self._txid is not None:
+                self.abort()
+            self._pool.flush_all()
+            self._wal.close()
+            self._pagefile.close()
 
     def __enter__(self) -> "ObjectStore":
         return self

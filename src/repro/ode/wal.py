@@ -49,8 +49,7 @@ class WalRecord:
             "op": self.op,
             "txid": self.txid,
             "oid": self.oid,
-            # bytes are not a codec type; carry the payload as latin-1 text.
-            "payload": self.payload.decode("latin-1"),
+            "payload": self.payload,
         }
 
     @classmethod
@@ -58,11 +57,16 @@ class WalRecord:
         op = value.get("op", "")
         if op not in _KNOWN_OPS:
             raise WalError(f"unknown WAL op {op!r}")
+        payload = value.get("payload", b"")
+        if isinstance(payload, str):
+            # logs written before the codec grew a native bytes tag carried
+            # the payload as latin-1 text
+            payload = payload.encode("latin-1")
         return cls(
             op=op,
             txid=int(value.get("txid", 0)),
             oid=value.get("oid", ""),
-            payload=value.get("payload", "").encode("latin-1"),
+            payload=payload,
         )
 
 

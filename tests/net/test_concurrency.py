@@ -1,0 +1,70 @@
+"""Many clients, one server: integrity under concurrent browse + write."""
+
+import threading
+
+from repro.net.remote import RemoteDatabase
+
+DEPT = {"dname": "tmp", "location": "x", "employees": [], "mgr": None,
+        "budget": 0.0}
+
+
+def test_concurrent_browsers_and_a_writer(served_lab):
+    """4 browsing clients and 1 writing client run together cleanly.
+
+    Readers must always observe a consistent department count (writes
+    are transactional and serialized), and every client's scan of the
+    employee cluster must be complete.
+    """
+    port = served_lab.port
+    errors = []
+    counts = []
+    stop = threading.Event()
+
+    def browser(worker: int) -> None:
+        try:
+            db = RemoteDatabase.connect("127.0.0.1", port, "lab")
+            try:
+                while not stop.is_set():
+                    oids = db.objects.cluster("employee").oids()
+                    if len(oids) != 55:
+                        errors.append(f"worker {worker}: {len(oids)} oids")
+                    counts.append(db.objects.count("department"))
+            finally:
+                db.close()
+        except Exception as exc:  # surfaces in the main thread's assert
+            errors.append(f"worker {worker}: {type(exc).__name__}: {exc}")
+
+    def writer() -> None:
+        try:
+            db = RemoteDatabase.connect("127.0.0.1", port, "lab")
+            try:
+                for _round in range(5):
+                    db.objects.begin()
+                    oid = db.objects.new_object("department", dict(DEPT))
+                    db.objects.commit()
+                    db.objects.begin()
+                    db.objects.delete(oid)
+                    db.objects.commit()
+            finally:
+                db.close()
+        except Exception as exc:
+            errors.append(f"writer: {type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+
+    threads = [threading.Thread(target=browser, args=(n,)) for n in range(4)]
+    threads.append(threading.Thread(target=writer))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert not errors
+    # counts only ever show 7 (steady) or 8 (mid-write) departments
+    assert set(counts) <= {7, 8}
+    # and the server is still healthy afterwards
+    db = RemoteDatabase.connect("127.0.0.1", port, "lab")
+    try:
+        assert db.objects.count("department") == 7
+        assert db.objects.count("employee") == 55
+    finally:
+        db.close()

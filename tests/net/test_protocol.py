@@ -1,0 +1,100 @@
+"""Tests for the wire protocol: framing, CRC, marshalling."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import protocol as P
+from repro.ode.objectmanager import ObjectBuffer
+from repro.ode.oid import Oid
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        data = P.encode_frame(7, P.OP_GET_OBJECT, {"oid": "lab:employee:3"})
+        frame, consumed = P.decode_frame(data)
+        assert consumed == len(data)
+        assert frame.request_id == 7
+        assert frame.opcode == P.OP_GET_OBJECT
+        assert frame.payload == {"oid": "lab:employee:3"}
+
+    def test_empty_payload_defaults_to_dict(self):
+        frame, _ = P.decode_frame(P.encode_frame(1, P.OP_PING))
+        assert frame.payload == {}
+
+    def test_payload_carries_codec_types(self):
+        import datetime
+
+        payload = {
+            "oid": Oid("db", "c", 4),
+            "raw": b"\x00\xff\x01",
+            "when": datetime.date(1990, 5, 23),
+            "nested": {"list": [1, 2.5, None, True]},
+        }
+        frame, _ = P.decode_frame(P.encode_frame(2, P.OP_REPLY, payload))
+        assert frame.payload == payload
+
+    def test_crc_corruption_detected(self):
+        data = bytearray(P.encode_frame(3, P.OP_PING, {"x": 1}))
+        data[-1] ^= 0xFF
+        with pytest.raises(ProtocolError, match="CRC"):
+            P.decode_frame(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="header"):
+            P.decode_frame(b"\x00\x01")
+
+    def test_truncated_payload(self):
+        data = P.encode_frame(4, P.OP_PING, {"x": 1})
+        with pytest.raises(ProtocolError, match="payload"):
+            P.decode_frame(data[:-2])
+
+    def test_oversized_frame_rejected(self):
+        header = P._HEADER.pack(P.MAX_PAYLOAD + 1, 1, P.OP_PING, 0)
+        with pytest.raises(ProtocolError, match="claims"):
+            P.decode_frame(header + b"\x00" * 16)
+
+    def test_non_dict_payload_rejected(self):
+        from repro.ode.codec import encode_value
+        import struct
+        import zlib
+
+        body = encode_value([1, 2, 3])
+        header = P._HEADER.pack(len(body), 1, P.OP_PING, zlib.crc32(body))
+        with pytest.raises(ProtocolError, match="dict"):
+            P.decode_frame(header + body)
+
+    def test_opcode_names(self):
+        assert P.opcode_name(P.OP_SCAN_CLUSTER) == "scan_cluster"
+        assert P.opcode_name(0x99) == "op_0x99"
+
+    def test_read_and_write_opcodes_disjoint(self):
+        assert not (P.READ_OPCODES & P.WRITE_OPCODES)
+
+
+class TestBufferMarshalling:
+    def _buffer(self):
+        return ObjectBuffer(
+            oid=Oid("lab", "employee", 9),
+            class_name="employee",
+            values={"name": "kk", "salary": 1.5, "dept": Oid("lab", "department", 0)},
+            public_names=("name", "salary"),
+            computed={"years_service": 4},
+        )
+
+    def test_roundtrip(self):
+        original = self._buffer()
+        value = P.buffer_to_value(original)
+        restored = P.buffer_from_value(value)
+        assert restored.oid == original.oid
+        assert restored.class_name == original.class_name
+        assert dict(restored.values) == dict(original.values)
+        assert restored.public_names == original.public_names
+        assert dict(restored.computed) == dict(original.computed)
+
+    def test_roundtrip_over_the_wire(self):
+        original = self._buffer()
+        frame, _ = P.decode_frame(
+            P.encode_frame(5, P.OP_REPLY, {"buffer": P.buffer_to_value(original)}))
+        restored = P.buffer_from_value(frame.payload["buffer"])
+        assert restored.value("name") == "kk"
+        assert restored.value("years_service") == 4

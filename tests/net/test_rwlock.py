@@ -1,0 +1,120 @@
+"""Tests for the writer-preferring reader-writer lock."""
+
+import threading
+import time
+
+from repro.net.rwlock import ReadWriteLock
+
+
+def test_concurrent_readers():
+    lock = ReadWriteLock()
+    inside = []
+    barrier = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with lock.reading():
+            barrier.wait()  # all three readers inside at once
+            inside.append(1)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(5)
+    assert len(inside) == 3
+
+
+def test_writer_excludes_readers():
+    lock = ReadWriteLock()
+    order = []
+    lock.acquire_write()
+
+    def reader():
+        with lock.reading():
+            order.append("read")
+
+    t = threading.Thread(target=reader)
+    t.start()
+    time.sleep(0.05)
+    assert order == []  # blocked behind the writer
+    order.append("write-done")
+    lock.release_write()
+    t.join(5)
+    assert order == ["write-done", "read"]
+
+
+def test_writer_reentrant():
+    lock = ReadWriteLock()
+    lock.acquire_write()
+    assert lock.acquire_write(timeout=1)
+    # the writing thread's own reads must not deadlock
+    assert lock.acquire_read(timeout=1)
+    lock.release_read()
+    lock.release_write()
+    assert lock.write_held
+    lock.release_write()
+    assert not lock.write_held
+
+
+def test_waiting_writer_blocks_new_readers():
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    got_write = threading.Event()
+    late_read = threading.Event()
+
+    def writer():
+        lock.acquire_write()
+        got_write.set()
+        lock.release_write()
+
+    def late_reader():
+        lock.acquire_read()
+        late_read.set()
+        lock.release_read()
+
+    w = threading.Thread(target=writer)
+    w.start()
+    time.sleep(0.05)  # writer is now queued
+    r = threading.Thread(target=late_reader)
+    r.start()
+    time.sleep(0.05)
+    assert not late_read.is_set()  # writer preference: reader queues behind
+    lock.release_read()
+    w.join(5)
+    r.join(5)
+    assert got_write.is_set() and late_read.is_set()
+
+
+def test_release_write_from_wrong_thread_raises():
+    import pytest
+
+    lock = ReadWriteLock()
+    lock.acquire_write()
+    error = []
+
+    def interloper():
+        try:
+            lock.release_write()
+        except RuntimeError:
+            error.append(True)
+
+    t = threading.Thread(target=interloper)
+    t.start()
+    t.join(5)
+    assert error == [True]
+    lock.release_write()
+
+
+def test_acquire_timeout():
+    lock = ReadWriteLock()
+    lock.acquire_write()
+    result = []
+
+    def contender():
+        result.append(lock.acquire_write(timeout=0.05))
+
+    t = threading.Thread(target=contender)
+    t.start()
+    t.join(5)
+    assert result == [False]
+    lock.release_write()

@@ -1,0 +1,295 @@
+"""End-to-end tests: OdeServer serving a real database to OdeClient."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    NetworkError,
+    ObjectNotFoundError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+)
+from repro.net import protocol as P
+from repro.net.client import OdeClient
+from repro.net.remote import RemoteDatabase
+from repro.net.server import OdeServer
+from repro.ode.oid import Oid
+
+
+class TestHandshake:
+    def test_hello_reports_databases(self, served_lab):
+        with OdeClient("127.0.0.1", served_lab.port) as client:
+            assert client.server_info["databases"] == ["lab"]
+            assert client.server_info["version"] == P.PROTOCOL_VERSION
+
+    def test_version_mismatch_rejected(self, served_lab):
+        client = OdeClient("127.0.0.1", served_lab.port)
+        client.connect()
+        try:
+            with pytest.raises(NetworkError, match="version"):
+                client.call(P.OP_HELLO, {"version": 999})
+        finally:
+            client.close()
+
+    def test_unknown_database_rejected(self, served_lab):
+        with pytest.raises(StorageError, match="no.*nosuch"):
+            RemoteDatabase.connect("127.0.0.1", served_lab.port, "nosuch")
+
+    def test_connect_refused_is_network_error(self):
+        with pytest.raises(NetworkError, match="cannot connect"):
+            OdeClient("127.0.0.1", 1, timeout=0.2, retries=0).connect()
+
+
+class TestReads:
+    def test_schema_rebuilt_locally(self, remote_lab):
+        assert remote_lab.schema.class_names() == [
+            "employee", "department", "manager"]
+        assert remote_lab.schema.get_class("manager").persistent
+
+    def test_counts(self, remote_lab):
+        assert remote_lab.objects.count("employee") == 55
+        assert remote_lab.objects.count("department") == 7
+
+    def test_get_buffer(self, remote_lab):
+        oid = remote_lab.objects.cluster("employee").first()
+        buffer = remote_lab.objects.get_buffer(oid)
+        assert buffer.value("name") == "rakesh"
+        # computed attributes were evaluated server-side
+        assert buffer.value("years_service") == 15
+
+    def test_missing_object_raises_locally(self, remote_lab):
+        with pytest.raises(ObjectNotFoundError):
+            remote_lab.objects.get_buffer(Oid("lab", "employee", 9999))
+
+    def test_unknown_class_raises_schema_error(self, remote_lab):
+        with pytest.raises(SchemaError):
+            remote_lab.objects.cluster("nosuch")
+
+    def test_scan_fills_cache(self, remote_lab):
+        oids = remote_lab.objects.cluster("employee").oids()
+        assert len(oids) == 55
+        assert len(remote_lab.objects.cache) >= 55
+        before = remote_lab.objects.cache.hits
+        remote_lab.objects.get_buffer(oids[0])
+        assert remote_lab.objects.cache.hits == before + 1
+
+    def test_select_with_predicate(self, remote_lab):
+        low_ids = list(remote_lab.objects.select(
+            "employee", lambda b: b.value("id") < 5))
+        assert len(low_ids) == 5
+        assert all(b.value("id") < 5 for b in low_ids)
+
+    def test_get_buffers_batches(self, remote_lab):
+        oids = [Oid("lab", "employee", n) for n in (0, 1, 2)]
+        buffers = remote_lab.objects.get_buffers(oids)
+        assert [b.oid for b in buffers] == oids
+
+    def test_exists(self, remote_lab):
+        assert remote_lab.objects.exists(Oid("lab", "employee", 0))
+        assert not remote_lab.objects.exists(Oid("lab", "employee", 9999))
+
+    def test_display_modules_fetched(self, remote_lab):
+        names = sorted(p.name for p in remote_lab.display_dir.iterdir())
+        assert names == ["department.py", "employee.py"]
+
+    def test_stats(self, remote_lab):
+        stats = remote_lab.server_stats()
+        assert stats["clusters"]["employee"] == 55
+        assert 0.0 <= stats["fragmentation"] <= 1.0
+
+
+class TestCursors:
+    def test_sequencing(self, remote_lab):
+        cursor = remote_lab.objects.cursor("employee")
+        first = cursor.next()
+        second = cursor.next()
+        assert (first.number, second.number) == (0, 1)
+        assert cursor.previous() == first
+        assert cursor.current() == first
+
+    def test_reset_invalidates_cache(self, remote_lab):
+        cursor = remote_lab.objects.cursor("employee")
+        oid = cursor.next()
+        remote_lab.objects.get_buffer(oid)
+        assert len(remote_lab.objects.cache) > 0
+        cursor.reset()
+        assert len(remote_lab.objects.cache) == 0
+        assert cursor.next() == oid
+
+    def test_predicate_filtering(self, remote_lab):
+        cursor = remote_lab.objects.cursor(
+            "employee", lambda b: b.value("id") % 10 == 0)
+        ids = []
+        while True:
+            oid = cursor.next()
+            if oid is None:
+                break
+            ids.append(remote_lab.objects.get_buffer(oid).value("id"))
+        assert ids == [0, 10, 20, 30, 40, 50]
+
+    def test_unknown_cursor_rejected(self, remote_lab):
+        with pytest.raises(NetworkError, match="no cursor"):
+            remote_lab.client.call(P.OP_CURSOR_NEXT, {"cursor": 999})
+
+
+class TestWrites:
+    DEPT = {"dname": "net", "location": "nj", "employees": [],
+            "mgr": None, "budget": 1.0}
+
+    def test_create_update_delete(self, remote_lab):
+        objects = remote_lab.objects
+        oid = objects.new_object("department", dict(self.DEPT))
+        assert objects.count("department") == 8
+        buffer = objects.update(oid, {"budget": 2.0})
+        assert buffer.value("budget", privileged=True) == 2.0
+        objects.delete(oid)
+        assert objects.count("department") == 7
+        with pytest.raises(ObjectNotFoundError):
+            objects.get_buffer(oid)
+
+    def test_writes_invalidate_cache(self, remote_lab):
+        objects = remote_lab.objects
+        objects.cluster("department").oids()  # warm the cache
+        oid = objects.new_object("department", dict(self.DEPT))
+        objects.update(oid, {"budget": 9.0})
+        # a later read sees the write, not a stale cache entry
+        assert objects.get_buffer(oid).value("budget", privileged=True) == 9.0
+        objects.delete(oid)
+        assert len(objects.cache) == 0
+
+    def test_transaction_commit_and_abort(self, remote_lab):
+        objects = remote_lab.objects
+        objects.begin()
+        oid = objects.new_object("department", dict(self.DEPT))
+        objects.commit()
+        assert objects.exists(oid)
+        objects.begin()
+        objects.delete(oid)
+        objects.abort()
+        assert objects.exists(oid)
+        objects.delete(oid)
+
+    def test_commit_without_begin_rejected(self, remote_lab):
+        with pytest.raises(TransactionError):
+            remote_lab.objects.commit()
+
+    def test_validation_errors_cross_the_wire(self, remote_lab):
+        with pytest.raises(SchemaError, match="no attributes"):
+            remote_lab.objects.new_object("department", {"bogus": 1})
+
+
+class TestPipelining:
+    def test_call_many_in_order(self, remote_lab):
+        requests = [
+            (P.OP_COUNT, {"db": "lab", "class": name})
+            for name in ("employee", "department", "manager")
+        ]
+        replies = remote_lab.client.call_many(requests)
+        assert [r["count"] for r in replies] == [55, 7, 7]
+
+    def test_call_many_surfaces_errors_after_draining(self, remote_lab):
+        requests = [
+            (P.OP_COUNT, {"db": "lab", "class": "employee"}),
+            (P.OP_COUNT, {"db": "lab", "class": "nosuch"}),
+            (P.OP_COUNT, {"db": "lab", "class": "manager"}),
+        ]
+        with pytest.raises(SchemaError):
+            remote_lab.client.call_many(requests)
+        # the connection survived the error
+        assert remote_lab.objects.count("employee") == 55
+
+
+class TestResilience:
+    def test_read_retries_after_connection_drop(self, remote_lab):
+        remote_lab.objects.cache.clear()
+        # sabotage the socket; the next read must reconnect and succeed
+        remote_lab.client._sock.close()
+        assert remote_lab.objects.count("employee") == 55
+
+    def test_writes_are_not_retried(self, remote_lab):
+        remote_lab.client._sock.close()
+        with pytest.raises(NetworkError):
+            remote_lab.objects.new_object("department", dict(TestWrites.DEPT))
+        # but the connection can be re-established for the next call
+        assert remote_lab.objects.count("department") == 7
+
+    def test_disconnect_aborts_open_transaction(self, served_lab):
+        db1 = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+        db1.objects.begin()
+        db1.objects.new_object("department", dict(TestWrites.DEPT))
+        db1.client.close()  # vanish mid-transaction
+        db2 = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+        try:
+            # the server aborted the orphan; its write never landed
+            assert db2.objects.count("department") == 7
+        finally:
+            db2.close()
+
+    def test_vacuum(self, remote_lab):
+        objects = remote_lab.objects
+        oid = objects.new_object("department", dict(TestWrites.DEPT))
+        objects.delete(oid)
+        assert remote_lab.vacuum() >= 0
+
+
+class TestConcurrencyControl:
+    def test_readers_run_while_no_writer(self, served_lab):
+        results = []
+
+        def browse():
+            db = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+            try:
+                results.append(db.objects.count("employee"))
+            finally:
+                db.close()
+
+        threads = [threading.Thread(target=browse) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert results == [55, 55, 55, 55]
+
+    def test_open_transaction_blocks_readers_until_done(
+            self, served_lab, remote_lab):
+        other = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+        try:
+            remote_lab.objects.begin()
+            seen = []
+
+            def reader():
+                seen.append(other.objects.count("employee"))
+
+            t = threading.Thread(target=reader)
+            t.start()
+            t.join(0.3)
+            assert t.is_alive() and seen == []  # serialized behind the writer
+            remote_lab.objects.abort()
+            t.join(10)
+            assert seen == [55]
+        finally:
+            other.close()
+
+
+class TestShutdown:
+    def test_shutdown_closes_databases_and_sockets(self, tmp_path):
+        from repro.data.labdb import make_lab_database
+        from repro.ode.database import Database
+
+        make_lab_database(tmp_path).close()
+        server = OdeServer(tmp_path)
+        server.start()
+        db = RemoteDatabase.connect("127.0.0.1", server.port, "lab")
+        assert db.objects.count("employee") == 55
+        server.shutdown()
+        # the directory lock was released: the database reopens locally
+        local = Database.open(tmp_path / "lab.odb")
+        try:
+            assert local.objects.count("employee") == 55
+        finally:
+            local.close()
+
+    def test_active_sessions_gauge(self, served_lab, remote_lab):
+        assert served_lab.active_sessions >= 1

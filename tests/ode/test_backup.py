@@ -116,3 +116,85 @@ class TestRestore:
         browser.toggle_format("text")
         assert "rakesh" in app.render()
         app.shutdown()
+
+
+class TestRefRewriting:
+    """_rewrite_refs must reach every Oid, however deeply nested."""
+
+    def test_scalar_ref(self):
+        from repro.ode.backup import _rewrite_refs
+        from repro.ode.oid import Oid
+
+        assert _rewrite_refs(Oid("old", "c", 3), "new") == Oid("new", "c", 3)
+
+    def test_nested_structures(self):
+        from repro.ode.backup import _rewrite_refs
+        from repro.ode.oid import Oid
+
+        value = {
+            "refs": [Oid("old", "a", 0), Oid("old", "b", 1)],
+            "inner": {"one": Oid("old", "c", 2), "keep": 7},
+            "mixed": [1, "x", None, [Oid("old", "d", 3)]],
+        }
+        rewritten = _rewrite_refs(value, "new")
+        assert rewritten["refs"] == [Oid("new", "a", 0), Oid("new", "b", 1)]
+        assert rewritten["inner"]["one"] == Oid("new", "c", 2)
+        assert rewritten["inner"]["keep"] == 7
+        assert rewritten["mixed"][3] == [Oid("new", "d", 3)]
+
+    def test_non_ref_values_untouched(self):
+        from repro.ode.backup import _rewrite_refs
+
+        value = {"n": 1, "s": "old:c:3", "f": 2.5}
+        assert _rewrite_refs(value, "new") == value  # strings are not refs
+
+
+class TestGraphRoundTrip:
+    def test_reference_lists_rewritten(self, lab_db, tmp_path):
+        """set<employee*> members survive restore under the new name."""
+        document = export_database(lab_db)
+        restored = import_database(document, tmp_path / "renamed.odb")
+        try:
+            dept = restored.objects.cluster("department").first()
+            members = restored.objects.get_buffer(dept).value("employees")
+            assert members
+            for ref in members:
+                assert ref.database == "renamed"
+                member = restored.objects.get_buffer(ref)
+                # and the back-reference points at this department
+                assert member.value("dept") == dept
+        finally:
+            restored.close()
+
+    def test_index_definitions_survive(self, lab_root, tmp_path):
+        """Index defs ride along and serve queries in the restored copy."""
+        with open_lab_database(lab_root / "lab.odb") as database:
+            database.create_index("employee", "id")
+            database.create_index("department", "dname")
+            document = export_database(database)
+        restored = import_database(document, tmp_path / "renamed.odb")
+        try:
+            indexes = restored.objects.indexes
+            assert indexes.has_index("employee", "id")
+            assert indexes.has_index("department", "dname")
+            hit = indexes.get("department", "dname").equal("db research")
+            assert len(hit) == 1
+        finally:
+            restored.close()
+
+    def test_double_roundtrip_is_stable(self, lab_db, tmp_path):
+        """export -> import -> export reproduces the same object set."""
+        first = export_database(lab_db)
+        copy = import_database(first, tmp_path / "copy.odb")
+        try:
+            second = export_database(copy)
+        finally:
+            copy.close()
+        assert len(second["objects"]) == len(first["objects"])
+        # same classes, same per-class counts
+        def counts(document):
+            tally = {}
+            for item in document["objects"]:
+                tally[item["class"]] = tally.get(item["class"], 0) + 1
+            return tally
+        assert counts(second) == counts(first)

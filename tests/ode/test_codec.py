@@ -168,3 +168,42 @@ class TestObjects:
         assert oid.number == 9
         assert class_name == "employee"
         assert values == {"id": 9}
+
+
+class TestBytes:
+    """The native bytes tag (tag 9): raw byte strings, no text smuggling."""
+
+    @pytest.mark.parametrize("value", [
+        b"", b"\x00", b"hello", bytes(range(256)), b"\xff" * 1000,
+    ])
+    def test_roundtrip(self, value):
+        decoded, offset = decode_value(encode_value(value), 0)
+        assert decoded == value
+        assert isinstance(decoded, bytes)
+
+    def test_bytearray_encodes_as_bytes(self):
+        decoded, _ = decode_value(encode_value(bytearray(b"abc")), 0)
+        assert decoded == b"abc"
+        assert isinstance(decoded, bytes)
+
+    def test_bytes_distinct_from_str(self):
+        """b'x' and 'x' decode back to their own types."""
+        raw, _ = decode_value(encode_value(b"x"), 0)
+        text, _ = decode_value(encode_value("x"), 0)
+        assert raw == b"x" and isinstance(raw, bytes)
+        assert text == "x" and isinstance(text, str)
+
+    def test_truncated_bytes_rejected(self):
+        data = encode_value(b"hello world")
+        with pytest.raises(CodecError):
+            decode_value(data[:-3], 0)
+
+    def test_bytes_inside_structures(self):
+        value = {"payload": b"\x00\xff", "items": [b"a", b"b"]}
+        decoded, _ = decode_value(encode_value(value), 0)
+        assert decoded == value
+
+    @given(st.binary(max_size=4096))
+    def test_roundtrip_property(self, value):
+        decoded, _offset = decode_value(encode_value(value), 0)
+        assert decoded == value

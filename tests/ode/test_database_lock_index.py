@@ -61,6 +61,56 @@ class TestLock:
         assert not (made / "lock").exists()
 
 
+class TestStaleLockRecovery:
+    """Hardening for stale-lock stealing (crash recovery, paper ops)."""
+
+    def test_live_foreign_process_rejected(self, made):
+        # pid 1 always runs and is never us; os.kill(1, 0) raising
+        # PermissionError must count as "alive", not "stale"
+        (made / "lock").write_text("1")
+        with pytest.raises(StorageError, match="locked by running"):
+            Database.open(made)
+        # the foreign lock was left untouched
+        assert (made / "lock").read_text() == "1"
+
+    def test_genuinely_dead_process_stolen(self, made):
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()  # the pid existed and is now certainly dead
+        (made / "lock").write_text(str(proc.pid))
+        database = Database.open(made)
+        try:
+            assert (made / "lock").read_text() == str(os.getpid())
+            assert database.objects.count("thing") == 10
+        finally:
+            database.close()
+
+    def test_own_crashed_pid_stolen(self, made):
+        # a previous session of this same process crashed without
+        # releasing; the pid matches us but the directory is not open
+        (made / "lock").write_text(str(os.getpid()))
+        Database.open(made).close()
+        assert not (made / "lock").exists()
+
+    def test_negative_pid_treated_as_garbage(self, made):
+        (made / "lock").write_text("-5")
+        Database.open(made).close()
+
+    def test_empty_lock_file_stolen(self, made):
+        (made / "lock").write_text("")
+        Database.open(made).close()
+
+    def test_steal_preserves_data(self, made):
+        (made / "lock").write_text("999999999")
+        with Database.open(made) as database:
+            assert database.objects.count("thing") == 10
+            database.objects.new_object("thing", {"n": 1})
+        with Database.open(made) as database:
+            assert database.objects.count("thing") == 11
+
+
 class TestPersistentIndexes:
     def test_create_index_survives_reopen(self, made):
         with Database.open(made) as database:

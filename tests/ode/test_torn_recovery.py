@@ -1,0 +1,87 @@
+"""Store-level crash recovery with a torn or corrupt WAL tail.
+
+The WAL-level tests (test_wal.py) show the log itself skips a torn final
+frame; these tests show the *store* does the right thing end to end — a
+committed transaction whose pages never hit disk is recovered, while a
+torn or bit-flipped tail from the crash is ignored rather than replayed
+as garbage.
+"""
+
+from pathlib import Path
+
+from repro.ode.codec import encode_object
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+from repro.ode.wal import OP_COMMIT, WalRecord
+
+
+def record(oid: Oid, **values) -> bytes:
+    return encode_object(oid, oid.cluster, values)
+
+
+def _crash_after_commit(directory: Path, oid: Oid, payload: bytes) -> None:
+    """Write one committed transaction to the WAL, then 'crash'."""
+    store = ObjectStore(directory)
+    store.begin()
+    store.put(oid, payload)
+    store._wal.append(WalRecord(op=OP_COMMIT, txid=store._txid), sync=True)
+    store._wal.close()
+    store._pagefile.close()
+
+
+def test_torn_tail_does_not_block_recovery(tmp_path):
+    directory = tmp_path / "db"
+    oid = Oid("db", "employee", 0)
+    _crash_after_commit(directory, oid, record(oid, name="durable"))
+    # the crash tore a partially-written frame onto the end of the log
+    wal_path = directory / ObjectStore.WAL_FILE
+    wal_path.write_bytes(wal_path.read_bytes() + b"\x00\x00\x01\x00torn!")
+    with ObjectStore(directory) as recovered:
+        assert recovered.get(oid) == record(oid, name="durable")
+
+
+def test_corrupt_final_frame_ignored(tmp_path):
+    directory = tmp_path / "db"
+    good = Oid("db", "employee", 0)
+    _crash_after_commit(directory, good, record(good, name="durable"))
+    # a second committed transaction whose final bytes were corrupted
+    store = ObjectStore(directory)
+    bad = Oid("db", "employee", 1)
+    store.begin()
+    store.put(bad, record(bad, name="mangled"))
+    store._wal.append(WalRecord(op=OP_COMMIT, txid=store._txid), sync=True)
+    store._wal.close()
+    store._pagefile.close()
+    wal_path = directory / ObjectStore.WAL_FILE
+    data = bytearray(wal_path.read_bytes())
+    data[-2] ^= 0xFF  # flip a bit inside the last frame
+    wal_path.write_bytes(bytes(data))
+
+    with ObjectStore(directory) as recovered:
+        # the first transaction survives; replay stops at the corruption
+        assert recovered.get(good) == record(good, name="durable")
+
+
+def test_binary_payloads_survive_recovery(tmp_path):
+    """Non-UTF-8 payload bytes round-trip through WAL replay intact.
+
+    This is the native-bytes codec tag at work: before it, payloads were
+    smuggled through the codec as latin-1 text.
+    """
+    directory = tmp_path / "db"
+    oid = Oid("db", "blob", 0)
+    payload = bytes(range(256)) * 4
+    _crash_after_commit(directory, oid, payload)
+    with ObjectStore(directory) as recovered:
+        assert recovered.get(oid) == payload
+
+
+def test_recovery_is_idempotent(tmp_path):
+    """Recovering twice (crash during recovery) leaves the same state."""
+    directory = tmp_path / "db"
+    oid = Oid("db", "employee", 0)
+    _crash_after_commit(directory, oid, record(oid, name="durable"))
+    with ObjectStore(directory) as first:
+        assert first.exists(oid)
+    with ObjectStore(directory) as second:
+        assert second.get(oid) == record(oid, name="durable")

@@ -114,3 +114,30 @@ def test_survives_reopen(tmp_path):
         _tx(log, 1, (OP_PUT, "db:c:0", b"persisted"))
     with WriteAheadLog(path) as log:
         assert len(log.committed_operations()) == 1
+
+
+class TestNativeBytesPayloads:
+    """WAL records carry payloads as codec-native bytes, not latin-1 text."""
+
+    def test_to_value_keeps_bytes(self):
+        record = WalRecord(op=OP_PUT, txid=1, oid="db:c:0",
+                           payload=b"\x00\xff\x80")
+        assert record.to_value()["payload"] == b"\x00\xff\x80"
+        assert isinstance(record.to_value()["payload"], bytes)
+
+    def test_legacy_latin1_payload_accepted(self):
+        """Logs written before the bytes tag decoded payloads as str."""
+        legacy = {"op": OP_PUT, "txid": 1, "oid": "db:c:0",
+                  "payload": b"\x00\xff\x80".decode("latin-1")}
+        record = WalRecord.from_value(legacy)
+        assert record.payload == b"\x00\xff\x80"
+
+    def test_non_utf8_payload_on_disk(self, tmp_path):
+        """A payload that is invalid UTF-8 survives the disk round trip."""
+        path = tmp_path / "wal.log"
+        payload = b"\xc3\x28\x00\xff"  # invalid UTF-8 sequence
+        with WriteAheadLog(path) as log:
+            _tx(log, 1, (OP_PUT, "db:c:0", payload))
+        with WriteAheadLog(path) as log:
+            records = log.committed_operations()
+            assert records[0].payload == payload
