@@ -164,6 +164,16 @@ class ProtocolError(NetworkError):
     """A wire frame was malformed (bad magic, CRC mismatch, bad payload)."""
 
 
+class SessionLostError(NetworkError):
+    """The connection dropped while session-affine state was live.
+
+    A server session holds state that does not survive a reconnect: an
+    open transaction (aborted server-side when the connection dies) and
+    sequencing cursors.  Requests that depend on that state fail with
+    this error instead of silently running against a fresh session.
+    """
+
+
 class RemoteError(OdeError):
     """The server rejected a request; carries the remote exception kind."""
 

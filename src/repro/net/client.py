@@ -16,9 +16,25 @@ reconnecting in between.  Writes are never retried automatically: the
 frame may have been applied before the connection died, and replaying it
 would double-apply.
 
+Reconnecting creates a *new server session*, and session-affine state
+(an open transaction, sequencing cursors) does not survive: the server
+aborts the orphaned transaction and discards the cursors.  Holders of
+such state register it via :meth:`OdeClient.retain_session`; while any
+is registered, a connection failure raises
+:class:`~repro.errors.SessionLostError` instead of transparently
+reconnecting — otherwise later writes would silently autocommit on the
+fresh session, outside the transaction the caller believes is open.
+Every dropped connection bumps :attr:`OdeClient.generation`, so state
+holders can detect between their calls that the session they were
+using is gone.
+
 Server-reported failures arrive as ``OP_ERROR`` frames carrying the
 exception's class name; the client re-raises the matching class from
 :mod:`repro.errors`, so remote failures look exactly like local ones.
+Re-raised remote errors are tagged ``remote=True``: even when the class
+is a :class:`~repro.errors.NetworkError` subclass (the server validates
+requests with it), the connection itself is healthy and is not dropped
+or retried.
 """
 
 from __future__ import annotations
@@ -29,19 +45,28 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import repro.errors as errors
-from repro.errors import NetworkError, OdeError, RemoteError
+from repro.errors import NetworkError, OdeError, RemoteError, SessionLostError
 from repro.net import protocol as P
 from repro.obs.metrics import get_registry
 
 
 def _raise_remote(payload: Dict[str, Any]) -> None:
-    """Re-raise an OP_ERROR payload as its local exception class."""
+    """Re-raise an OP_ERROR payload as its local exception class.
+
+    The exception is tagged ``remote=True``: it reports the *server's*
+    verdict on a request the connection delivered fine.  The retry loop
+    checks the tag so a remote ``NetworkError`` (the server's request
+    validation) is never mistaken for a dead connection.
+    """
     kind = str(payload.get("kind", "OdeError"))
     message = str(payload.get("message", ""))
     cls = getattr(errors, kind, None)
     if isinstance(cls, type) and issubclass(cls, OdeError):
-        raise cls(message)
-    raise RemoteError(kind, message)
+        exc = cls(message)
+    else:
+        exc = RemoteError(kind, message)
+    exc.remote = True
+    raise exc
 
 
 class OdeClient:
@@ -58,6 +83,13 @@ class OdeClient:
         self._request_ids = iter(range(1, 2 ** 31))
         self._lock = threading.Lock()
         self.server_info: Dict[str, Any] = {}
+        #: Bumped every time the connection is dropped — the moment the
+        #: server session (and its transaction/cursors) dies.  Session-
+        #: affine holders compare it to detect that their server-side
+        #: state is gone, whether or not a reconnect happened yet.
+        self.generation = 0
+        self._session_resources = 0   # live session-affine resources
+        self._session_generation: Optional[int] = None
 
         registry = get_registry()
         self._m_bytes_in = registry.counter("net.client.bytes_in")
@@ -100,10 +132,41 @@ class OdeClient:
             except OSError:
                 pass
             self._sock = None
+            self.generation += 1
 
     def close(self) -> None:
         with self._lock:
             self._drop_locked()
+
+    # -- session-affine state ----------------------------------------------------
+
+    def retain_session(self) -> None:
+        """Register a live session-affine resource (an open transaction).
+
+        While any resource is registered, a connection failure raises
+        :class:`~repro.errors.SessionLostError` instead of reconnecting:
+        the server has already aborted the transaction, and requests on
+        a fresh session would autocommit outside it.
+        """
+        with self._lock:
+            self._session_resources += 1
+            if self._session_resources == 1:
+                self._session_generation = self.generation
+
+    def release_session(self) -> None:
+        """Unregister a resource registered by :meth:`retain_session`."""
+        with self._lock:
+            self._session_resources = max(0, self._session_resources - 1)
+            if self._session_resources == 0:
+                self._session_generation = None
+
+    def _check_session_locked(self) -> None:
+        if (self._session_resources
+                and self._session_generation != self.generation):
+            raise SessionLostError(
+                "server session lost: the connection dropped while a "
+                "transaction was open; the server rolled it back — abort "
+                "locally and begin again")
 
     @property
     def connected(self) -> bool:
@@ -140,7 +203,10 @@ class OdeClient:
         """Send one request; return the reply payload.
 
         Connection failures on idempotent (read) opcodes reconnect and
-        retry with exponential backoff, up to ``retries`` extra attempts.
+        retry with exponential backoff, up to ``retries`` extra attempts
+        — unless session-affine state is registered, in which case any
+        connection failure (and any reconnect that would discard that
+        state) raises :class:`~repro.errors.SessionLostError` instead.
         """
         self._count_request(opcode)
         attempts = 1 + (self.retries if opcode in P.READ_OPCODES else 0)
@@ -150,11 +216,22 @@ class OdeClient:
                 for attempt in range(attempts):
                     try:
                         self._connect_locked()
+                        self._check_session_locked()
                         return self._exchange_locked(opcode, payload)
                     except errors.RemoteError:
                         raise
-                    except NetworkError:
+                    except SessionLostError:
+                        raise
+                    except NetworkError as exc:
+                        if getattr(exc, "remote", False):
+                            # The server rejected the request; the
+                            # connection itself is healthy.
+                            raise
                         self._drop_locked()
+                        if self._session_resources:
+                            raise SessionLostError(
+                                "connection lost with a transaction open; "
+                                "the server rolled it back") from exc
                         if attempt + 1 >= attempts:
                             raise
                         self._m_retries.inc()
@@ -178,6 +255,7 @@ class OdeClient:
         with self._m_request_seconds.time():
             with self._lock:
                 self._connect_locked()
+                self._check_session_locked()
                 ids = []
                 try:
                     for opcode, payload in requests:
@@ -191,8 +269,12 @@ class OdeClient:
                         frame = P.read_frame(self._sock)
                         self._m_bytes_in.inc(frame.wire_size)
                         by_id[frame.request_id] = frame
-                except NetworkError:
+                except NetworkError as exc:
                     self._drop_locked()
+                    if self._session_resources:
+                        raise SessionLostError(
+                            "connection lost with a transaction open; "
+                            "the server rolled it back") from exc
                     raise
                 results: List[Dict[str, Any]] = []
                 error: Optional[Dict[str, Any]] = None

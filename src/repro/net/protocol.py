@@ -212,21 +212,49 @@ def buffer_from_value(value: Dict[str, Any]):
 
 # -- stream I/O ----------------------------------------------------------------
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    """Read exactly *count* bytes; '' mid-message is a protocol error."""
+#: Consecutive no-progress recv timeouts tolerated once a frame has
+#: started arriving, before the peer is declared stalled.  A large frame
+#: trickling in keeps resetting the count; a wedged peer is dropped
+#: after at most this many timeout intervals.
+_MAX_STALLED_POLLS = 2
+
+
+def _recv_exact(sock: socket.socket, count: int, idle_ok: bool = False,
+                mid_frame: bool = False) -> bytes:
+    """Read exactly *count* bytes; '' mid-message is a protocol error.
+
+    A timeout before the first byte raises :class:`IdleTimeout` when
+    *idle_ok* is set (the caller is polling between frames and no data
+    was consumed — it is safe to retry).  Once any bytes have been read
+    — or when *mid_frame* says earlier bytes of the same frame were —
+    a timeout can no longer be treated as idle: returning to a fresh
+    ``read_frame`` would parse mid-frame bytes as a header and desync
+    the stream.  Slow-but-live peers are tolerated as long as bytes
+    keep arriving; a stalled peer raises :class:`NetworkError`.
+    """
     chunks = []
     remaining = count
+    stalled = 0
     while remaining:
         try:
             chunk = sock.recv(remaining)
         except socket.timeout as exc:
-            raise NetworkError("timed out waiting for a frame") from exc
+            if not mid_frame and remaining == count:
+                if idle_ok:
+                    raise IdleTimeout(
+                        "no frame arrived within the poll interval") from exc
+                raise NetworkError("timed out waiting for a frame") from exc
+            stalled += 1
+            if stalled >= _MAX_STALLED_POLLS:
+                raise NetworkError("peer stalled mid-frame") from exc
+            continue
         except OSError as exc:
             raise NetworkError(f"connection lost: {exc}") from exc
         if not chunk:
-            if remaining == count:
+            if not mid_frame and remaining == count:
                 raise ConnectionClosed("peer closed the connection")
             raise ProtocolError("connection closed mid-frame")
+        stalled = 0
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
@@ -236,13 +264,26 @@ class ConnectionClosed(NetworkError):
     """The peer closed the connection cleanly between frames."""
 
 
-def read_frame(sock: socket.socket) -> Frame:
-    """Read one complete frame from a socket (blocking, honours timeout)."""
-    header = _recv_exact(sock, _HEADER.size)
+class IdleTimeout(NetworkError):
+    """A polling read timed out with zero bytes of a frame consumed.
+
+    The one timeout that is safe to swallow and retry: the stream is
+    still at a frame boundary.
+    """
+
+
+def read_frame(sock: socket.socket, idle_ok: bool = False) -> Frame:
+    """Read one complete frame from a socket (blocking, honours timeout).
+
+    With *idle_ok*, a timeout with no bytes read raises
+    :class:`IdleTimeout`; once the header starts arriving the rest of
+    the frame must follow (trickling is fine, stalling is an error).
+    """
+    header = _recv_exact(sock, _HEADER.size, idle_ok=idle_ok)
     length, request_id, opcode, crc = _HEADER.unpack(header)
     if length > MAX_PAYLOAD:
         raise ProtocolError(f"frame claims {length} payload bytes")
-    body = _recv_exact(sock, length) if length else b""
+    body = _recv_exact(sock, length, mid_frame=True) if length else b""
     if zlib.crc32(body) != crc:
         raise ProtocolError("frame CRC mismatch")
     payload, consumed = decode_value(body, 0) if length else ({}, 0)

@@ -34,7 +34,13 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
-from repro.errors import NetworkError, SchemaError, StorageError
+from repro.errors import (
+    NetworkError,
+    SchemaError,
+    SessionLostError,
+    StorageError,
+    TransactionError,
+)
 from repro.net import protocol as P
 from repro.net.client import OdeClient
 from repro.ode.oid import Oid
@@ -212,10 +218,23 @@ class RemoteCursor:
             P.OP_CURSOR_OPEN,
             {"db": manager.database.name, "class": class_name})
         self._cursor_id = reply["cursor"]
+        # The cursor lives in the *server session* it was opened in; if
+        # the client reconnects (new generation), that session and this
+        # cursor are gone — fail fast rather than asking a fresh
+        # session about a cursor id it never issued.
+        self._generation = manager.database.client.generation
+
+    def _call(self, opcode: int,
+              payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._manager.database.client.generation != self._generation:
+            raise SessionLostError(
+                "sequencing cursor lost: the connection to the server was "
+                "dropped and its session state discarded; reopen the cursor")
+        return self._manager._call(opcode, payload)
 
     def _step(self, opcode: int) -> Optional[Oid]:
         while True:
-            reply = self._manager._call(opcode, {"cursor": self._cursor_id})
+            reply = self._call(opcode, {"cursor": self._cursor_id})
             text = reply.get("oid")
             if text is None:
                 return None
@@ -232,20 +251,22 @@ class RemoteCursor:
         return self._step(P.OP_CURSOR_PREVIOUS)
 
     def reset(self) -> None:
-        self._manager._call(P.OP_CURSOR_RESET, {"cursor": self._cursor_id})
+        self._call(P.OP_CURSOR_RESET, {"cursor": self._cursor_id})
         self._manager.cache.clear()
 
     def current(self) -> Optional[Oid]:
-        reply = self._manager._call(
+        reply = self._call(
             P.OP_CURSOR_CURRENT, {"cursor": self._cursor_id})
         text = reply.get("oid")
         return Oid.parse(text) if text else None
 
     def seek(self, oid: Oid) -> None:
-        self._manager._call(
+        self._call(
             P.OP_CURSOR_SEEK, {"cursor": self._cursor_id, "oid": str(oid)})
 
     def close(self) -> None:
+        if self._manager.database.client.generation != self._generation:
+            return  # the server session (and the cursor with it) is gone
         self._manager._call(P.OP_CURSOR_CLOSE, {"cursor": self._cursor_id})
 
 
@@ -258,6 +279,8 @@ class RemoteObjectManager:
         self.cache = BufferCache()
         self.indexes = RemoteIndexManager(self)
         self._version_manager: Optional[RemoteVersionManager] = None
+        self._txid: Optional[int] = None         # open remote transaction
+        self._tx_generation: Optional[int] = None  # connection it lives on
 
     def _call(self, opcode: int, payload: Dict[str, Any]) -> Dict[str, Any]:
         payload.setdefault("db", self.database.name)
@@ -328,9 +351,25 @@ class RemoteObjectManager:
 
     # -- writes ------------------------------------------------------------------
 
+    def _check_transaction_live(self) -> None:
+        """A write inside an open transaction must reach *that* session.
+
+        If the connection was dropped since ``begin``, the server has
+        already aborted the transaction; sending the write to a fresh
+        session would silently autocommit it outside the transaction.
+        Fail fast instead — the caller aborts locally and begins again.
+        """
+        if (self._txid is not None
+                and self.database.client.generation != self._tx_generation):
+            raise TransactionError(
+                "transaction lost: the connection to the server dropped "
+                "mid-transaction and the server rolled it back; abort and "
+                "begin again")
+
     def new_object(self, class_name: str,
                    values: Optional[Mapping[str, Any]] = None,
                    oid: Optional[Oid] = None) -> Oid:
+        self._check_transaction_live()
         payload: Dict[str, Any] = {
             "class": class_name, "values": dict(values or {})}
         if oid is not None:
@@ -339,6 +378,7 @@ class RemoteObjectManager:
         return Oid.parse(reply["oid"])
 
     def update(self, oid: Oid, updates: Mapping[str, Any]):
+        self._check_transaction_live()
         reply = self._call(
             P.OP_UPDATE, {"oid": str(oid), "updates": dict(updates)})
         # Triggers may have touched other objects; drop everything stale.
@@ -348,21 +388,54 @@ class RemoteObjectManager:
         return buffer
 
     def delete(self, oid: Oid) -> None:
+        self._check_transaction_live()
         self._call(P.OP_DELETE, {"oid": str(oid)})
         self.cache.clear()
 
     # -- transactions ------------------------------------------------------------
 
+    @property
+    def in_transaction(self) -> bool:
+        return self._txid is not None
+
+    def _end_transaction(self) -> None:
+        if self._txid is not None:
+            self._txid = None
+            self._tx_generation = None
+            self.database.client.release_session()
+
     def begin(self) -> int:
-        return self._call(P.OP_BEGIN, {})["txid"]
+        txid = self._call(P.OP_BEGIN, {})["txid"]
+        self._txid = txid
+        self._tx_generation = self.database.client.generation
+        # Pin the session: while the transaction is open, a connection
+        # failure raises SessionLostError instead of reconnecting.
+        self.database.client.retain_session()
+        return txid
 
     def commit(self) -> None:
-        self._call(P.OP_COMMIT, {})
-        self.cache.clear()
+        self._check_transaction_live()
+        try:
+            self._call(P.OP_COMMIT, {})
+        finally:
+            # Whatever the outcome, the server session no longer has a
+            # transaction: op_commit clears it on both success and error.
+            self._end_transaction()
+            self.cache.clear()
 
     def abort(self) -> None:
-        self._call(P.OP_ABORT, {})
-        self.cache.clear()
+        if (self._txid is not None
+                and self.database.client.generation != self._tx_generation):
+            # The server aborted the orphan when the connection died;
+            # only local bookkeeping is left to clean up.
+            self._end_transaction()
+            self.cache.clear()
+            return
+        try:
+            self._call(P.OP_ABORT, {})
+        finally:
+            self._end_transaction()
+            self.cache.clear()
 
 
 class RemoteDatabase:

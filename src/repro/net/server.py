@@ -172,28 +172,31 @@ class OdeServer:
                 continue
             except OSError:
                 break
+            # Allocated here, on the single accept thread: the plain
+            # iterator needs no lock and ids are never duplicated.
+            session_id = next(self._session_ids)
             thread = threading.Thread(
-                target=self._serve_connection, args=(conn,),
+                target=self._serve_connection, args=(conn, session_id),
                 name="ode-server-conn", daemon=True)
             with self._threads_lock:
                 self._threads = [t for t in self._threads if t.is_alive()]
                 self._threads.append(thread)
             thread.start()
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def _serve_connection(self, conn: socket.socket, session_id: int) -> None:
         conn.settimeout(_POLL_SECONDS)
-        session = ServerSession(self, next(self._session_ids))
+        session = ServerSession(self, session_id)
         self._m_sessions_opened.inc()
         with self._active_lock:
             self._active_sessions += 1
         try:
             while not self._stopping.is_set():
                 try:
-                    frame = P.read_frame(conn)
-                except NetworkError as exc:
-                    if "timed out" in str(exc):
-                        continue  # idle poll; re-check the stop flag
-                    break  # closed or corrupt: drop the connection
+                    frame = P.read_frame(conn, idle_ok=True)
+                except P.IdleTimeout:
+                    continue  # no frame started; re-check the stop flag
+                except NetworkError:
+                    break  # closed, stalled, or corrupt: drop the connection
                 self._handle_frame(conn, session, frame)
         finally:
             session.close()

@@ -94,6 +94,14 @@ class ServerSession:
             raise NetworkError(f"unknown opcode {P.opcode_name(opcode)}")
         if opcode in _UNLOCKED_OPCODES:
             return handler(self, payload)
+        if opcode in _CURSOR_OPCODES:
+            # The payload names a cursor, not a database; resolve the
+            # cursor's database and read under its lock so a concurrent
+            # vacuum or writer never interleaves with the step.  The
+            # lock is reentrant for this thread if it is the writer.
+            hosted = self.server.hosted(self._cursor_entry(payload)[0])
+            with hosted.lock.reading():
+                return handler(self, payload)
         hosted = self._hosted(payload)
         if opcode in P.WRITE_OPCODES:
             return self._dispatch_write(handler, hosted, payload)
@@ -291,12 +299,15 @@ class ServerSession:
         self._cursors[cursor_id] = (hosted.database.name, cursor)
         return {"cursor": cursor_id}
 
-    def _cursor(self, payload: Dict[str, Any]):
+    def _cursor_entry(self, payload: Dict[str, Any]) -> Tuple[str, Any]:
         cursor_id = payload.get("cursor")
         entry = self._cursors.get(cursor_id)
         if entry is None:
             raise NetworkError(f"no cursor {cursor_id!r} in this session")
-        return entry[1]
+        return entry
+
+    def _cursor(self, payload: Dict[str, Any]):
+        return self._cursor_entry(payload)[1]
 
     def op_cursor_next(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         oid = self._cursor(payload).next()
@@ -358,10 +369,16 @@ class ServerSession:
 
 
 #: Opcodes handled without touching a specific database (no lock).
+#: CURSOR_CLOSE only pops a session-local dict entry, so it needs none.
 _UNLOCKED_OPCODES = frozenset({
-    P.OP_HELLO, P.OP_PING, P.OP_LIST_DATABASES,
+    P.OP_HELLO, P.OP_PING, P.OP_LIST_DATABASES, P.OP_CURSOR_CLOSE,
+})
+
+#: Cursor steps read the cursor's database; its rw-lock is resolved
+#: through the session's cursor table rather than a "db" payload key.
+_CURSOR_OPCODES = frozenset({
     P.OP_CURSOR_NEXT, P.OP_CURSOR_PREVIOUS, P.OP_CURSOR_RESET,
-    P.OP_CURSOR_CURRENT, P.OP_CURSOR_SEEK, P.OP_CURSOR_CLOSE,
+    P.OP_CURSOR_CURRENT, P.OP_CURSOR_SEEK,
 })
 
 _HANDLERS = {

@@ -402,52 +402,56 @@ class ObjectStore:
         Deletes and overwrites leave holes that compaction within a page
         cannot give back to the file.  Vacuum streams every live record
         into a fresh page file and atomically swaps it in.  Must run
-        outside a transaction.
+        outside a transaction.  The whole swap runs under the store
+        lock, like every other entry point: a concurrent reader sees the
+        store before or after the swap, never mid-swap.
         """
-        if self._txid is not None:
-            raise TransactionError("cannot vacuum inside a transaction")
-        self._pool.flush_all()
-        pages_before = self._pagefile.page_count
-
-        records = [(oid, self._read_from_pages(oid)) for oid in self._table]
-
-        fresh_path = self.directory / (self.DATA_FILE + ".vacuum")
-        fresh_path.unlink(missing_ok=True)
-        fresh_file = PageFile(fresh_path)
-        fresh_pool = BufferPool(fresh_file, self._pool.capacity,
-                                policy=self._eviction_policy)
-
-        old_pagefile = self._pagefile
-        old_pool = self._pool
-        self._pagefile = fresh_file
-        self._pool = fresh_pool
-        self._table = {}
-        self._clusters = {}
-        try:
-            for oid, data in records:
-                self._put_to_pages(oid, data)
+        with self._lock:
+            if self._txid is not None:
+                raise TransactionError("cannot vacuum inside a transaction")
             self._pool.flush_all()
-        except Exception:
-            # roll back to the old file untouched
-            self._pagefile = old_pagefile
-            self._pool = old_pool
-            fresh_file.close()
+            pages_before = self._pagefile.page_count
+
+            records = [(oid, self._read_from_pages(oid))
+                       for oid in self._table]
+
+            fresh_path = self.directory / (self.DATA_FILE + ".vacuum")
             fresh_path.unlink(missing_ok=True)
+            fresh_file = PageFile(fresh_path)
+            fresh_pool = BufferPool(fresh_file, self._pool.capacity,
+                                    policy=self._eviction_policy)
+
+            old_pagefile = self._pagefile
+            old_pool = self._pool
+            self._pagefile = fresh_file
+            self._pool = fresh_pool
+            self._table = {}
+            self._clusters = {}
+            try:
+                for oid, data in records:
+                    self._put_to_pages(oid, data)
+                self._pool.flush_all()
+            except Exception:
+                # roll back to the old file untouched
+                self._pagefile = old_pagefile
+                self._pool = old_pool
+                fresh_file.close()
+                fresh_path.unlink(missing_ok=True)
+                self._table = {}
+                self._clusters = {}
+                self._rebuild_from_pages()
+                raise
+            fresh_file.close()
+            old_pagefile.close()
+            fresh_path.replace(self.directory / self.DATA_FILE)
+            self._pagefile = PageFile(self.directory / self.DATA_FILE)
+            self._pool = BufferPool(self._pagefile, old_pool.capacity,
+                                    policy=self._eviction_policy)
             self._table = {}
             self._clusters = {}
             self._rebuild_from_pages()
-            raise
-        fresh_file.close()
-        old_pagefile.close()
-        fresh_path.replace(self.directory / self.DATA_FILE)
-        self._pagefile = PageFile(self.directory / self.DATA_FILE)
-        self._pool = BufferPool(self._pagefile, old_pool.capacity,
-                                policy=self._eviction_policy)
-        self._table = {}
-        self._clusters = {}
-        self._rebuild_from_pages()
-        self._wal.checkpoint()
-        return pages_before - self._pagefile.page_count
+            self._wal.checkpoint()
+            return pages_before - self._pagefile.page_count
 
     # -- lifecycle --------------------------------------------------------------------------
 

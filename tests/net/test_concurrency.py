@@ -68,3 +68,49 @@ def test_concurrent_browsers_and_a_writer(served_lab):
         assert db.objects.count("employee") == 55
     finally:
         db.close()
+
+
+def test_cursor_stepping_during_vacuum(served_lab):
+    """Cursor steps hold the database read lock, vacuum the write lock:
+    a browsing session never observes the store mid-swap."""
+    port = served_lab.port
+    errors = []
+    stop = threading.Event()
+
+    def stepper(worker: int) -> None:
+        try:
+            db = RemoteDatabase.connect("127.0.0.1", port, "lab")
+            try:
+                while not stop.is_set():
+                    cursor = db.objects.cursor("employee")
+                    seen = 0
+                    while cursor.next() is not None:
+                        seen += 1
+                    if seen != 55:
+                        errors.append(f"worker {worker}: stepped {seen} oids")
+                    cursor.close()
+            finally:
+                db.close()
+        except Exception as exc:
+            errors.append(f"worker {worker}: {type(exc).__name__}: {exc}")
+
+    def vacuumer() -> None:
+        try:
+            db = RemoteDatabase.connect("127.0.0.1", port, "lab")
+            try:
+                for _round in range(5):
+                    db.vacuum()
+            finally:
+                db.close()
+        except Exception as exc:
+            errors.append(f"vacuum: {type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+
+    threads = [threading.Thread(target=stepper, args=(n,)) for n in range(2)]
+    threads.append(threading.Thread(target=vacuumer))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert not errors

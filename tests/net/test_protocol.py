@@ -98,3 +98,90 @@ class TestBufferMarshalling:
         restored = P.buffer_from_value(frame.payload["buffer"])
         assert restored.value("name") == "kk"
         assert restored.value("years_service") == 4
+
+
+class TestStreamTimeouts:
+    """Idle polls vs. slow peers: only a zero-byte timeout is idle."""
+
+    @staticmethod
+    def _pair(timeout=0.05):
+        import socket
+
+        a, b = socket.socketpair()
+        b.settimeout(timeout)
+        return a, b
+
+    def test_idle_timeout_when_no_bytes_arrived(self):
+        sender, receiver = self._pair()
+        try:
+            with pytest.raises(P.IdleTimeout):
+                P.read_frame(receiver, idle_ok=True)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_timeout_without_idle_ok_is_plain_network_error(self):
+        from repro.errors import NetworkError
+
+        sender, receiver = self._pair()
+        try:
+            with pytest.raises(NetworkError) as excinfo:
+                P.read_frame(receiver)
+            assert not isinstance(excinfo.value, P.IdleTimeout)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_partial_header_timeout_is_not_idle(self):
+        """Bytes were consumed: swallowing the timeout would desync."""
+        from repro.errors import NetworkError
+
+        sender, receiver = self._pair()
+        try:
+            frame = P.encode_frame(1, P.OP_PING)
+            sender.sendall(frame[:5])  # header is 13 bytes; stall mid-header
+            with pytest.raises(NetworkError) as excinfo:
+                P.read_frame(receiver, idle_ok=True)
+            assert not isinstance(excinfo.value, P.IdleTimeout)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_slow_body_after_header_is_not_idle(self):
+        """A complete header with a stalled body must not look idle."""
+        from repro.errors import NetworkError
+
+        sender, receiver = self._pair()
+        try:
+            frame = P.encode_frame(2, P.OP_GET_OBJECT, {"oid": "a:b:1"})
+            sender.sendall(frame[:15])  # full header + 2 body bytes
+            with pytest.raises(NetworkError) as excinfo:
+                P.read_frame(receiver, idle_ok=True)
+            assert not isinstance(excinfo.value, P.IdleTimeout)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_trickled_frame_is_read_completely(self):
+        """A slow-but-live peer is tolerated as long as bytes flow."""
+        import threading
+        import time
+
+        sender, receiver = self._pair(timeout=0.05)
+        try:
+            frame = P.encode_frame(3, P.OP_PING, {"n": 42})
+
+            def trickle():
+                for i in range(0, len(frame), 4):
+                    sender.sendall(frame[i:i + 4])
+                    time.sleep(0.03)  # slower than one poll, never stalled
+
+            thread = threading.Thread(target=trickle)
+            thread.start()
+            decoded = P.read_frame(receiver, idle_ok=True)
+            thread.join(5)
+            assert decoded.request_id == 3
+            assert decoded.payload == {"n": 42}
+        finally:
+            sender.close()
+            receiver.close()

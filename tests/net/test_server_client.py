@@ -8,6 +8,7 @@ from repro.errors import (
     NetworkError,
     ObjectNotFoundError,
     SchemaError,
+    SessionLostError,
     StorageError,
     TransactionError,
 )
@@ -232,6 +233,74 @@ class TestResilience:
         oid = objects.new_object("department", dict(TestWrites.DEPT))
         objects.delete(oid)
         assert remote_lab.vacuum() >= 0
+
+    def test_remote_error_does_not_drop_the_connection(self, remote_lab):
+        """A server-side NetworkError is a verdict, not a dead socket."""
+        client = remote_lab.client
+        sock_before = client._sock
+        reconnects_before = client._m_reconnects.value
+        with pytest.raises(NetworkError, match="no cursor"):
+            client.call(P.OP_CURSOR_NEXT, {"cursor": 999})
+        # same socket, no reconnect, no retry storm
+        assert client._sock is sock_before
+        assert client._m_reconnects.value == reconnects_before
+
+
+class TestSessionLoss:
+    """A reconnect discards server session state; clients must not
+    silently keep writing on the fresh session (autocommit outside the
+    transaction they believe is open)."""
+
+    def test_write_after_mid_transaction_drop_fails_fast(self, remote_lab):
+        objects = remote_lab.objects
+        objects.begin()
+        objects.new_object("department", dict(TestWrites.DEPT))
+        remote_lab.client._sock.close()  # transient network blip
+        # the next write must NOT be applied as an autocommit
+        with pytest.raises((SessionLostError, TransactionError)):
+            objects.new_object("department", dict(TestWrites.DEPT))
+        with pytest.raises(TransactionError):
+            objects.commit()
+        objects.abort()  # local cleanup; the server already rolled back
+        # neither write landed: atomicity held
+        assert objects.count("department") == 7
+
+    def test_read_during_open_transaction_does_not_reconnect(self, remote_lab):
+        objects = remote_lab.objects
+        objects.begin()
+        remote_lab.client._sock.close()
+        with pytest.raises(SessionLostError):
+            objects.count("department")
+        objects.abort()
+        # with no transaction open, reads reconnect transparently again
+        assert objects.count("department") == 7
+
+    def test_transaction_usable_again_after_recovery(self, remote_lab):
+        objects = remote_lab.objects
+        objects.begin()
+        remote_lab.client._sock.close()
+        with pytest.raises(SessionLostError):
+            objects.count("employee")
+        objects.abort()
+        objects.begin()
+        oid = objects.new_object("department", dict(TestWrites.DEPT))
+        objects.commit()
+        assert objects.exists(oid)
+        objects.delete(oid)
+
+    def test_cursor_lost_after_reconnect(self, remote_lab):
+        objects = remote_lab.objects
+        cursor = objects.cursor("employee")
+        assert cursor.next() is not None
+        remote_lab.client._sock.close()
+        # a plain read reconnects transparently (no transaction open) …
+        assert objects.count("employee") == 55
+        # … but the cursor belonged to the old session and says so
+        with pytest.raises(SessionLostError):
+            cursor.next()
+        cursor.close()  # tolerated: the server-side cursor is gone
+        fresh = objects.cursor("employee")
+        assert fresh.next() is not None
 
 
 class TestConcurrencyControl:
