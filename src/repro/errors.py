@@ -49,6 +49,16 @@ class TransactionError(StorageError):
     """Transaction misuse: commit without begin, nested begin, ..."""
 
 
+class FaultInjectedError(StorageError):
+    """An I/O failure injected by :mod:`repro.faultsim`.
+
+    Raised from a storage ``fault_gate`` to stand in for a real device
+    error (EIO, ENOSPC, ...).  It subclasses :class:`StorageError` so
+    the store's error handling treats it exactly like the failures it
+    simulates; production code never raises it.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Data model / schema
 # ---------------------------------------------------------------------------

@@ -1,0 +1,75 @@
+"""repro.faultsim — deterministic fault injection and crash simulation.
+
+The store's durability story ("a crash never loses a committed object,
+never resurrects an uncommitted one") and the wire protocol's failure
+story ("the client returns correct data or raises a typed error, never
+garbage or a hang") are claims about *schedules* — which byte of which
+write was the last to land, which frame was torn in flight.  Hand-built
+crash tests each pin one schedule; this package explores the space
+systematically and, crucially, **deterministically**: every run is a
+pure function of a seed, so any failing schedule replays from the seed
+printed with the failure.
+
+Three layers:
+
+* :mod:`~repro.faultsim.plan` — :class:`FaultPlan` (seeded RNG + step
+  counter) and the gate callables (:class:`CrashSchedule`,
+  :class:`SiteCrash`, :class:`CountingGate`, :class:`RandomFaultGate`)
+  that the storage layer's ``fault_gate`` hooks accept.
+* :mod:`~repro.faultsim.harness` — the crash-recovery torture runner:
+  run a seeded transactional workload, kill the store at an exact
+  injection site, reopen, and model-check the survivors against a
+  shadow dict.
+* :mod:`~repro.faultsim.proxy` — :class:`FaultProxy`, a TCP shim
+  between :class:`~repro.net.client.OdeClient` and
+  :class:`~repro.net.server.OdeServer` that delays, drops, duplicates,
+  corrupts, or splits traffic under a plan.
+
+The injection sites threaded through ``repro.ode`` are registered in
+:mod:`~repro.faultsim.sites`; a test asserts the registry matches the
+source, so a new sync point cannot be added without torture coverage.
+Every hook is a no-op by default: the hot path only pays an
+``is None`` check.
+"""
+
+from repro.faultsim.harness import (
+    TortureWorkload,
+    crash_store,
+    enumerate_gate_calls,
+    run_one_crash,
+)
+from repro.faultsim.plan import (
+    CountingGate,
+    CrashSchedule,
+    FaultPlan,
+    RandomFaultGate,
+    SimulatedCrash,
+    SiteCrash,
+)
+from repro.faultsim.proxy import FaultProxy
+from repro.faultsim.sites import (
+    PAGEFILE_SITES,
+    PROXY_ACTIONS,
+    STORAGE_SITES,
+    STORE_SITES,
+    WAL_SITES,
+)
+
+__all__ = [
+    "CountingGate",
+    "CrashSchedule",
+    "FaultPlan",
+    "FaultProxy",
+    "RandomFaultGate",
+    "SimulatedCrash",
+    "SiteCrash",
+    "TortureWorkload",
+    "crash_store",
+    "enumerate_gate_calls",
+    "run_one_crash",
+    "PAGEFILE_SITES",
+    "PROXY_ACTIONS",
+    "STORAGE_SITES",
+    "STORE_SITES",
+    "WAL_SITES",
+]

@@ -1,0 +1,234 @@
+"""Fault plans and gate callables.
+
+The storage layer's hook contract (documented in
+:mod:`repro.ode.pagefile` / :mod:`repro.ode.wal`) is one callable::
+
+    fault_gate(site: str, data: bytes | None, default: callable) -> Any
+
+``site`` names the injection point (see :mod:`repro.faultsim.sites`),
+``data`` carries the bytes about to be written (``None`` at sync and
+pure crash points), and ``default`` is the real operation — it takes
+the (possibly shortened or mutated) bytes at write sites and no
+arguments elsewhere.  A gate that calls ``default`` unchanged is
+invisible; a gate may also
+
+* call ``default`` with a **prefix** of ``data`` and then raise
+  :class:`SimulatedCrash` — a torn write;
+* skip ``default`` and raise :class:`SimulatedCrash` — the write (or
+  the fsync) never happened;
+* skip ``default`` and return — an fsync that *lied*;
+* raise :class:`~repro.errors.FaultInjectedError` — a device error the
+  caller is expected to survive.
+
+Everything here is a deterministic function of its seed: rerunning a
+gate against the same call sequence injects the same fault at the same
+byte, which is what makes a printed ``seed``/``crash_at`` pair a full
+reproduction recipe.
+
+:class:`SimulatedCrash` deliberately derives from :class:`BaseException`:
+a crash must behave like the process dying, so no ``except Exception``
+recovery/abort handler in the code under test may observe it.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjectedError
+
+
+class SimulatedCrash(BaseException):
+    """The simulated process death injected by a fault gate."""
+
+    def __init__(self, site: str, step: int, flavor: str):
+        self.site = site
+        self.step = step
+        self.flavor = flavor
+        super().__init__(f"simulated crash at {site} (call {step}, {flavor})")
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """A stable child seed for (seed, labels) — no global RNG involved."""
+    text = ":".join([str(seed)] + [str(label) for label in labels])
+    return zlib.crc32(text.encode("utf-8")) ^ (seed & 0xFFFFFFFF)
+
+
+def _proceed(data: Optional[bytes], default: Callable) -> Any:
+    return default() if data is None else default(data)
+
+
+class FaultPlan:
+    """A seeded RNG plus a step counter — the root of every schedule.
+
+    All randomness in a torture run flows through a plan (or a
+    :meth:`fork` of one), and every decision is recorded in
+    :attr:`trace`, so a failing run can be replayed and inspected from
+    its seed alone.
+    """
+
+    def __init__(self, seed: int, name: str = "plan"):
+        self.seed = seed
+        self.name = name
+        self.step = 0
+        self.trace: List[Tuple[int, str, str]] = []
+        self._rng = random.Random(seed)
+
+    def fork(self, label: str) -> "FaultPlan":
+        """An independent deterministic sub-plan (e.g. one per stream)."""
+        return FaultPlan(derive_seed(self.seed, label),
+                         name=f"{self.name}/{label}")
+
+    def _record(self, site: str, outcome: str) -> None:
+        self.trace.append((self.step, site, outcome))
+        self.step += 1
+
+    def choose(self, site: str,
+               weighted: Sequence[Tuple[str, float]]) -> str:
+        """Pick one weighted action name; recorded in the trace."""
+        names = [name for name, _weight in weighted]
+        weights = [weight for _name, weight in weighted]
+        action = self._rng.choices(names, weights=weights, k=1)[0]
+        self._record(site, action)
+        return action
+
+    def uniform(self, site: str, low: float, high: float) -> float:
+        value = self._rng.uniform(low, high)
+        self._record(site, f"uniform={value:.6f}")
+        return value
+
+    def randrange(self, site: str, stop: int) -> int:
+        value = self._rng.randrange(stop)
+        self._record(site, f"randrange={value}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, name={self.name!r}, step={self.step})"
+
+
+class CountingGate:
+    """A gate that faults nothing and records every site crossing.
+
+    Pass one of these first: its :attr:`calls` list enumerates the
+    schedule space (crash point ``k`` = the k-th entry), and its site
+    set is what the coverage assertion compares against the registry.
+    """
+
+    def __init__(self) -> None:
+        self.calls: List[str] = []
+
+    def __call__(self, site: str, data: Optional[bytes],
+                 default: Callable) -> Any:
+        self.calls.append(site)
+        return _proceed(data, default)
+
+
+#: Crash flavors applicable to a write site / to a data-less site.
+WRITE_FLAVORS = ("torn", "lost", "crash")
+PURE_FLAVORS = ("crash",)
+
+
+class CrashSchedule:
+    """Crash at exactly gate call ``crash_at``, with a seeded flavor.
+
+    * ``torn`` — a prefix of the bytes lands, then the crash;
+    * ``lost`` — the write is dropped whole, then the crash;
+    * ``crash`` — the operation never starts.
+
+    The flavor and (for ``torn``) the cut point are drawn from
+    ``seed``, so ``(seed, crash_at)`` fully reproduces the schedule.
+    ``fired`` records what was injected, for failure messages.
+    """
+
+    def __init__(self, crash_at: int, seed: int):
+        self.crash_at = crash_at
+        self.seed = seed
+        self.calls = 0
+        self.fired: Optional[Tuple[str, int, str]] = None
+        self._rng = random.Random(derive_seed(seed, "crash", crash_at))
+
+    def __call__(self, site: str, data: Optional[bytes],
+                 default: Callable) -> Any:
+        index = self.calls
+        self.calls += 1
+        if index != self.crash_at:
+            return _proceed(data, default)
+        if data is None:
+            flavor = "crash"
+        else:
+            flavor = self._rng.choice(WRITE_FLAVORS)
+            if flavor == "torn" and len(data) > 1:
+                default(data[:self._rng.randrange(1, len(data))])
+        self.fired = (site, index, flavor)
+        raise SimulatedCrash(site, index, flavor)
+
+
+class SiteCrash:
+    """A hand-aimed schedule: crash at the n-th crossing of one site.
+
+    ``cut`` (write sites only) pins the torn-write length instead of
+    drawing it from a seed — this is how the legacy hand-rolled torn
+    WAL cases are expressed as schedules.  ``flavor`` is one of
+    ``torn``/``lost``/``crash`` (``torn`` needs ``cut``).
+    """
+
+    def __init__(self, site: str, occurrence: int = 0,
+                 flavor: str = "crash", cut: Optional[int] = None):
+        if flavor == "torn" and cut is None:
+            raise ValueError("flavor='torn' needs an explicit cut")
+        self.site = site
+        self.occurrence = occurrence
+        self.flavor = flavor
+        self.cut = cut
+        self.seen = 0
+        self.calls = 0
+        self.fired: Optional[Tuple[str, int, str]] = None
+
+    def __call__(self, site: str, data: Optional[bytes],
+                 default: Callable) -> Any:
+        index = self.calls
+        self.calls += 1
+        if site != self.site:
+            return _proceed(data, default)
+        occurrence = self.seen
+        self.seen += 1
+        if occurrence != self.occurrence:
+            return _proceed(data, default)
+        if self.flavor == "torn" and data is not None:
+            default(data[:max(0, min(self.cut, len(data) - 1))])
+        elif self.flavor not in ("lost", "crash", "torn"):
+            raise ValueError(f"unknown flavor {self.flavor!r}")
+        self.fired = (site, index, self.flavor)
+        raise SimulatedCrash(site, index, self.flavor)
+
+
+class RandomFaultGate:
+    """Inject transient :class:`~repro.errors.FaultInjectedError`\\ s.
+
+    Each gate crossing fails with probability ``rate`` (drawn from the
+    plan's RNG, so the schedule is seed-deterministic).  Unlike a
+    crash, a transient fault leaves the process running: the store is
+    expected to surface a typed error, roll back cleanly, and keep
+    serving — which is exactly what the error-injection torture mode
+    asserts.  ``budget`` bounds the number of injections (``None`` =
+    unlimited).
+    """
+
+    def __init__(self, plan: FaultPlan, rate: float = 0.05,
+                 budget: Optional[int] = None):
+        self.plan = plan
+        self.rate = rate
+        self.budget = budget
+        self.injected: List[Tuple[int, str]] = []
+
+    def __call__(self, site: str, data: Optional[bytes],
+                 default: Callable) -> Any:
+        exhausted = self.budget is not None and len(self.injected) >= self.budget
+        roll = self.plan.uniform(site, 0.0, 1.0)
+        if not exhausted and roll < self.rate:
+            self.injected.append((self.plan.step - 1, site))
+            raise FaultInjectedError(
+                f"injected I/O failure at {site} "
+                f"(step {self.plan.step - 1}, seed {self.plan.seed})")
+        return _proceed(data, default)

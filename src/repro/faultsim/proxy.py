@@ -1,0 +1,208 @@
+"""FaultProxy: a hostile network between OdeClient and OdeServer.
+
+The proxy listens on its own port and relays every accepted connection
+to the real server, pushing each chunk of traffic through a
+:class:`~repro.faultsim.plan.FaultPlan` decision
+(:data:`~repro.faultsim.sites.PROXY_ACTIONS`):
+
+* ``forward`` — relay the chunk unchanged;
+* ``delay`` — sleep a plan-drawn interval first (tickles client
+  timeouts and the server's idle polling);
+* ``split`` — relay the chunk in two writes with a pause between them
+  (frames arrive torn across reads);
+* ``corrupt`` — flip one plan-chosen byte (the frame CRC must catch
+  it);
+* ``duplicate`` — relay the chunk twice (the reply stream desyncs; the
+  client must kill the connection, never mis-pair replies);
+* ``drop`` — close both sides mid-stream (the client sees a dead
+  connection, maybe mid-frame).
+
+Each direction of each connection draws from its own
+:meth:`~repro.faultsim.plan.FaultPlan.fork`, so the decision sequence
+for ``conn N`` is a pure function of the root seed regardless of thread
+interleaving.  (Chunk *boundaries* come from TCP and are only mostly
+stable — the plan pins every choice the proxy makes, which in practice
+reproduces failures from the printed seed.)
+
+The proxy corrupts *transport*, never meaning: every byte delivered is
+a byte the server (or client) really sent, possibly reordered only by
+duplication.  What the torture test asserts on top is the client
+contract — correct data or a typed :class:`~repro.errors.OdeError`,
+never silently wrong data and never a hang.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional
+
+from repro.faultsim.plan import FaultPlan
+from repro.faultsim.sites import PROXY_ACTIONS
+
+#: recv size for the relay pumps.
+_CHUNK = 4096
+
+#: Cap on a single accept/poll wait, so stop() is prompt.
+_POLL_SECONDS = 0.2
+
+
+class FaultProxy:
+    """A TCP relay that injects faults according to a plan."""
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 plan: FaultPlan, host: str = "127.0.0.1",
+                 max_delay: float = 0.05, action_weights=PROXY_ACTIONS):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self.max_delay = max_delay
+        #: Weighted actions drawn per chunk — override to bias a run
+        #: (e.g. ``(("forward", 1.0),)`` turns the proxy into a relay).
+        self.action_weights = tuple(action_weights)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._pumps: List[threading.Thread] = []
+        self._sockets: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._connections = 0
+        #: (connection, direction, action) log — for failure messages.
+        self.actions: List[tuple] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "FaultProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        listener.settimeout(_POLL_SECONDS)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-proxy-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("proxy not started")
+        return self._listener.getsockname()[1]
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            sockets = list(self._sockets)
+        for sock in sockets:
+            self._close(sock)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            pumps = list(self._pumps)
+        for pump in pumps:
+            pump.join(timeout=5.0)
+        self._listener = None
+        self._accept_thread = None
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- relay -------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                downstream, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=5.0)
+            except OSError:
+                self._close(downstream)
+                continue
+            conn = self._connections
+            self._connections += 1
+            with self._lock:
+                self._sockets += [downstream, upstream]
+            for src, dst, direction in (
+                    (downstream, upstream, "c2s"),
+                    (upstream, downstream, "s2c")):
+                pump = threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, self.plan.fork(f"conn{conn}/{direction}"),
+                          conn, direction),
+                    name=f"fault-proxy-{conn}-{direction}", daemon=True)
+                with self._lock:
+                    self._pumps = [t for t in self._pumps if t.is_alive()]
+                    self._pumps.append(pump)
+                pump.start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket,
+              plan: FaultPlan, conn: int, direction: str) -> None:
+        label = f"proxy.{direction}"
+        try:
+            # Inside the guard: the partner pump may have torn both
+            # sockets down before this thread ever ran.
+            try:
+                src.settimeout(_POLL_SECONDS)
+            except OSError:
+                return
+            while not self._stopping.is_set():
+                try:
+                    chunk = src.recv(_CHUNK)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                action = plan.choose(label, self.action_weights)
+                self.actions.append((conn, direction, action))
+                if action == "drop":
+                    break
+                if action == "delay":
+                    time.sleep(plan.uniform(label, 0.0, self.max_delay))
+                elif action == "corrupt":
+                    index = plan.randrange(label, len(chunk))
+                    flip = 1 + plan.randrange(label, 255)
+                    chunk = (chunk[:index]
+                             + bytes([chunk[index] ^ flip])
+                             + chunk[index + 1:])
+                elif action == "duplicate":
+                    chunk = chunk + chunk
+                try:
+                    if action == "split" and len(chunk) > 1:
+                        cut = 1 + plan.randrange(label, len(chunk) - 1)
+                        dst.sendall(chunk[:cut])
+                        time.sleep(plan.uniform(label, 0.0,
+                                                self.max_delay / 4))
+                        dst.sendall(chunk[cut:])
+                    else:
+                        dst.sendall(chunk)
+                except OSError:
+                    break
+        finally:
+            # Half a relay is no relay: kill both directions together.
+            self._close(src)
+            self._close(dst)
+
+    @staticmethod
+    def _close(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,56 @@
+"""The registry of named fault-injection sites.
+
+Each site is one place where :mod:`repro.ode` consults its optional
+``fault_gate`` before touching stable storage.  The names here must
+match the string literals passed to ``_fault_gate(...)`` in the source
+— ``tests/faultsim/test_sites.py`` scans the modules and asserts the
+two sets are identical, so a new write/sync point cannot be added
+without showing up in the torture runner's coverage.
+
+Site naming: ``<module>.<operation>`` (plus a qualifier for sites that
+exist inside one operation, e.g. ``store.commit.apply``).
+"""
+
+from __future__ import annotations
+
+#: Sites inside :class:`repro.ode.pagefile.PageFile`.  ``journal.*``
+#: guard the double-write journal that makes page writes atomic; a
+#: fault there must never damage the main file (no page is overwritten
+#: until its journal image is durable).
+PAGEFILE_SITES = (
+    "pagefile.journal.write",
+    "pagefile.journal.sync",
+    "pagefile.write_page",
+    "pagefile.sync",
+)
+
+#: Sites inside :class:`repro.ode.wal.WriteAheadLog`.
+WAL_SITES = (
+    "wal.append",
+    "wal.sync",
+)
+
+#: Pure crash points inside :class:`repro.ode.store.ObjectStore`'s
+#: commit sequence: after the commit record is durable but before the
+#: pages are (``apply``), and after the pages are durable but before
+#: the log is truncated (``checkpoint``).
+STORE_SITES = (
+    "store.commit.apply",
+    "store.commit.checkpoint",
+)
+
+#: Every storage-side injection site, in gate-crossing order within one
+#: commit.  The crash-recovery torture runner must cover all of these.
+STORAGE_SITES = PAGEFILE_SITES + WAL_SITES + STORE_SITES
+
+#: Actions the :class:`~repro.faultsim.proxy.FaultProxy` can take on a
+#: chunk of wire traffic, with default weights.  ``forward`` is the
+#: no-fault action; the rest model a hostile network.
+PROXY_ACTIONS = (
+    ("forward", 0.70),
+    ("delay", 0.08),
+    ("split", 0.08),
+    ("corrupt", 0.05),
+    ("duplicate", 0.04),
+    ("drop", 0.05),
+)

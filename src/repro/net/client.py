@@ -276,13 +276,22 @@ class OdeClient:
                             "connection lost with a transaction open; "
                             "the server rolled it back") from exc
                     raise
+                if set(by_id) != set(ids):
+                    # The reply stream is out of step with the request
+                    # stream (a reply missing, or an id never sent).
+                    # Later exchanges on this socket would pair requests
+                    # with the wrong replies, so the connection must die
+                    # with the batch.
+                    self._drop_locked()
+                    missing = sorted(set(ids) - set(by_id))
+                    unknown = sorted(set(by_id) - set(ids))
+                    raise errors.ProtocolError(
+                        f"pipelined reply stream out of step: "
+                        f"missing ids {missing}, unknown ids {unknown}")
                 results: List[Dict[str, Any]] = []
                 error: Optional[Dict[str, Any]] = None
                 for request_id in ids:
-                    frame = by_id.get(request_id)
-                    if frame is None:
-                        raise errors.ProtocolError(
-                            f"no reply for pipelined request {request_id}")
+                    frame = by_id[request_id]
                     if frame.opcode == P.OP_ERROR:
                         error = error or frame.payload
                         results.append({})

@@ -45,6 +45,11 @@ MAX_PAYLOAD = 64 * 1024 * 1024
 
 _HEADER = struct.Struct(">IIBI")
 
+#: Bytes in a frame header — exposed so tools that slice raw wire
+#: traffic (the faultsim proxy's frame-aware splitting, tests) need not
+#: reach into the private struct.
+HEADER_SIZE = _HEADER.size
+
 # -- opcodes -------------------------------------------------------------------
 
 OP_HELLO = 0x01

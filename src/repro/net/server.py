@@ -41,10 +41,15 @@ class OdeServer:
     """Serve one or more databases found under *root* over TCP."""
 
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
-                 port: int = 0, **database_kwargs):
+                 port: int = 0, poll_seconds: float = _POLL_SECONDS,
+                 **database_kwargs):
         self.root = Path(root)
         self.host = host
         self._requested_port = port
+        #: Stop-flag poll interval, also the per-connection recv timeout.
+        #: Torture tests shrink it so a shutdown with stuck connections
+        #: (e.g. behind a fault proxy) drains quickly.
+        self.poll_seconds = poll_seconds
         self._database_kwargs = database_kwargs
         self._hosted: Dict[str, HostedDatabase] = {}
         self._listener: Optional[socket.socket] = None
@@ -113,7 +118,7 @@ class OdeServer:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
         listener.listen(32)
-        listener.settimeout(_POLL_SECONDS)
+        listener.settimeout(self.poll_seconds)
         self._listener = listener
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="ode-server-accept", daemon=True)
@@ -130,7 +135,7 @@ class OdeServer:
         if self._accept_thread is None:
             self.start()
         while not self._stopping.is_set():
-            self._stopping.wait(_POLL_SECONDS)
+            self._stopping.wait(self.poll_seconds)
 
     def shutdown(self, drain: float = _DRAIN_SECONDS) -> None:
         """Stop accepting, let in-flight requests finish, close databases."""
@@ -184,7 +189,7 @@ class OdeServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket, session_id: int) -> None:
-        conn.settimeout(_POLL_SECONDS)
+        conn.settimeout(self.poll_seconds)
         session = ServerSession(self, session_id)
         self._m_sessions_opened.inc()
         with self._active_lock:

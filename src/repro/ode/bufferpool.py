@@ -236,7 +236,10 @@ class BufferPool:
         frame = self._frames.pop(page_no)
         self._policy.on_remove(page_no)
         if frame.page.dirty:
-            self._pagefile.write_page(page_no, frame.page.to_bytes())
+            # Even a single write-back must be crash-atomic: the victim
+            # page can hold committed records that are no longer in the
+            # WAL, which a torn in-place overwrite would destroy.
+            self._pagefile.write_pages_atomic({page_no: frame.page.to_bytes()})
             self.stats.writebacks += 1
             self._m_writebacks.inc()
         self.stats.evictions += 1
@@ -247,15 +250,32 @@ class BufferPool:
     def flush_page(self, page_no: int) -> None:
         frame = self._frames.get(page_no)
         if frame is not None and frame.page.dirty:
-            self._pagefile.write_page(page_no, frame.page.to_bytes())
+            self._pagefile.write_pages_atomic({page_no: frame.page.to_bytes()})
             frame.page.dirty = False
             self.stats.writebacks += 1
             self._m_writebacks.inc()
 
     def flush_all(self) -> None:
-        for page_no in list(self._frames):
-            self.flush_page(page_no)
-        self._pagefile.sync()
+        """Write every dirty page back in one crash-atomic batch.
+
+        All dirty images go through
+        :meth:`~repro.ode.pagefile.PageFile.write_pages_atomic`, so a
+        crash mid-flush can never leave a torn page: either the
+        double-write journal restores the new images at reopen or the
+        old images are still intact (and the WAL redoes the logical
+        changes).  Frames are marked clean only after the batch lands.
+        """
+        images = {}
+        for page_no, frame in self._frames.items():
+            if frame.page.dirty:
+                images[page_no] = frame.page.to_bytes()
+        self._pagefile.write_pages_atomic(images)
+        for page_no in images:
+            frame = self._frames.get(page_no)
+            if frame is not None:
+                frame.page.dirty = False
+            self.stats.writebacks += 1
+            self._m_writebacks.inc()
 
     def pinned_pages(self) -> list:
         """Page numbers currently pinned (ascending)."""

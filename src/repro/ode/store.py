@@ -9,6 +9,28 @@ per-cluster indexes in OID order — the order the object manager's
 Because every record is self-describing (it embeds its OID), the object
 table and cluster indexes are rebuilt by scanning the pages at open; there
 is no separately persisted index to corrupt.
+
+Crash consistency.  Commit is: force the COMMIT record, apply the
+buffered writes to pages, flush (crash-atomically, through the page
+file's double-write journal), truncate the log.  A crash anywhere in
+that sequence recovers at reopen: if the COMMIT record is durable the
+transaction is redone from the log — and every on-disk record of an OID
+the log will redo is *purged* first, because a crash mid-apply can
+leave both the old and the new version live on disk (the delete of the
+old slot and the insert of the new one flush independently), and a
+rebuild that kept both could resurrect the stale one.  If the COMMIT
+record is not durable, apply never started and the pages are untouched.
+
+Fault injection.  ``fault_gate`` (see :mod:`repro.faultsim.plan`) is
+threaded through to the page file and the WAL, and the store adds two
+pure crash points of its own: ``store.commit.apply`` (COMMIT durable,
+pages not yet touched) and ``store.commit.checkpoint`` (pages durable,
+log not yet truncated).  If a transient
+:class:`~repro.errors.FaultInjectedError` (or any other ``Exception``)
+escapes mid-commit, the outcome is ambiguous — the COMMIT record may or
+may not be on disk — so the store rebuilds its volatile state from
+stable storage (:meth:`ObjectStore._recover_volatile`) before
+re-raising, which resolves the transaction the same way a reopen would.
 """
 
 from __future__ import annotations
@@ -16,7 +38,7 @@ from __future__ import annotations
 import bisect
 import threading
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ObjectNotFoundError, StorageError, TransactionError
 from repro.obs import get_registry
@@ -41,6 +63,10 @@ _FRAGMENT_HEADER_BUDGET = 64
 _FRAGMENT_CHUNK = MAX_RECORD_SIZE - _FRAGMENT_HEADER_BUDGET
 
 Location = List[Tuple[int, int]]  # ordered (page_no, slot) fragments
+
+
+def _noop() -> None:
+    """Default continuation for the store's pure crash points."""
 
 
 def _encode_fragment(oid: Oid, index: int, total: int, chunk: bytes) -> bytes:
@@ -70,14 +96,18 @@ class ObjectStore:
     WAL_FILE = "wal.log"
 
     def __init__(self, directory: Union[str, Path], pool_capacity: int = 64,
-                 eviction_policy: str = "lru"):
+                 eviction_policy: str = "lru",
+                 fault_gate: Optional[Callable[..., Any]] = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._eviction_policy = eviction_policy
-        self._pagefile = PageFile(self.directory / self.DATA_FILE)
+        self._fault_gate = fault_gate
+        self._pagefile = PageFile(self.directory / self.DATA_FILE,
+                                  fault_gate=fault_gate)
         self._pool = BufferPool(self._pagefile, pool_capacity,
                                 policy=eviction_policy)
-        self._wal = WriteAheadLog(self.directory / self.WAL_FILE)
+        self._wal = WriteAheadLog(self.directory / self.WAL_FILE,
+                                  fault_gate=fault_gate)
         registry = get_registry()
         self._m_gets = registry.counter("store.gets")
         self._m_puts = registry.counter("store.puts")
@@ -92,12 +122,24 @@ class ObjectStore:
         # store serving several server sessions needs every entry point
         # serialized.  Reentrant: put()/delete() recurse through begin().
         self._lock = threading.RLock()
-        self._rebuild_from_pages()
+        self._rebuild_from_pages(purge=self._redo_oids())
         self._recover_from_wal()
 
     # -- recovery -------------------------------------------------------------
 
-    def _rebuild_from_pages(self) -> None:
+    def _redo_oids(self) -> FrozenSet[str]:
+        """OIDs the WAL will redo (put *or* delete) at recovery.
+
+        Every on-disk record of these OIDs is dropped during the page
+        scan: a crash mid-apply can leave stale and fresh versions (or
+        half a fragment chain) live at once, and the log — which holds
+        the committed truth for exactly these OIDs — rewrites them from
+        scratch anyway.
+        """
+        return frozenset(
+            record.oid for record in self._wal.committed_operations())
+
+    def _rebuild_from_pages(self, purge: FrozenSet[str] = frozenset()) -> None:
         partial: Dict[Oid, Dict[int, Tuple[int, int]]] = {}
         totals: Dict[Oid, int] = {}
         for page_no in self._pagefile.data_page_numbers():
@@ -108,12 +150,18 @@ class ObjectStore:
                     continue
                 if record[0] == _FRAGMENT_MAGIC:
                     oid, index, total, _chunk = _decode_fragment(record)
+                    if str(oid) in purge:
+                        page.delete(slot)
+                        continue
                     partial.setdefault(oid, {})[index] = (page_no, slot)
                     totals[oid] = total
                 else:
                     from repro.ode.codec import decode_object
 
                     oid, _class_name, _values = decode_object(record)
+                    if str(oid) in purge:
+                        page.delete(slot)
+                        continue
                     self._install(oid, [(page_no, slot)])
         for oid, fragments in partial.items():
             total = totals[oid]
@@ -247,31 +295,54 @@ class ObjectStore:
 
     # -- transactions ------------------------------------------------------------------
 
+    def _gate(self, site: str) -> None:
+        """Cross one of the store's pure crash points (no-op ungated)."""
+        if self._fault_gate is not None:
+            self._fault_gate(site, None, _noop)
+
     def begin(self) -> int:
         """Start an explicit transaction; raises if one is already open."""
         with self._lock:
             if self._txid is not None:
                 raise TransactionError("a transaction is already in progress")
             self._tx_counter += 1
-            self._txid = self._tx_counter
-            self._wal.append(WalRecord(op=OP_BEGIN, txid=self._txid))
+            txid = self._tx_counter
+            # Append before publishing the txid: if the write fails, no
+            # transaction is open and nothing needs aborting.
+            self._wal.append(WalRecord(op=OP_BEGIN, txid=txid))
+            self._txid = txid
             self._tx_writes: List[WalRecord] = []
-            return self._txid
+            return txid
 
     def commit(self) -> None:
         with self._lock:
             if self._txid is None:
                 raise TransactionError("no transaction in progress")
-            self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid), sync=True)
-            for record in self._tx_writes:
-                oid = Oid.parse(record.oid)
-                if record.op == OP_PUT:
-                    self._put_to_pages(oid, record.payload)
-                else:
-                    if oid in self._table:
-                        self._delete_from_pages(oid)
-            self._pool.flush_all()
-            self._wal.checkpoint()
+            try:
+                self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid),
+                                 sync=True)
+                self._gate("store.commit.apply")
+                for record in self._tx_writes:
+                    oid = Oid.parse(record.oid)
+                    if record.op == OP_PUT:
+                        self._put_to_pages(oid, record.payload)
+                    else:
+                        if oid in self._table:
+                            self._delete_from_pages(oid)
+                self._pool.flush_all()
+                self._gate("store.commit.checkpoint")
+                self._wal.checkpoint()
+            except Exception:
+                # The outcome is ambiguous (the COMMIT record may or may
+                # not be durable) and the pages/pool may hold a partial
+                # apply.  Resolve exactly the way a reopen would: rebuild
+                # everything volatile from stable storage.  A
+                # SimulatedCrash is a BaseException and skips this — a
+                # dead process does not tidy up.
+                self._txid = None
+                self._tx_writes = []
+                self._recover_volatile()
+                raise
             self._txid = None
             self._tx_writes = []
 
@@ -279,9 +350,41 @@ class ObjectStore:
         with self._lock:
             if self._txid is None:
                 raise TransactionError("no transaction in progress")
-            self._wal.append(WalRecord(op=OP_ABORT, txid=self._txid))
-            self._txid = None
-            self._tx_writes = []
+            try:
+                self._wal.append(WalRecord(op=OP_ABORT, txid=self._txid))
+            finally:
+                # Even if the append failed the transaction is over: a
+                # BEGIN with no COMMIT is invisible to recovery.
+                self._txid = None
+                self._tx_writes = []
+
+    def _recover_volatile(self) -> None:
+        """Rebuild pool/table/indexes from disk after a failed commit.
+
+        The old buffer pool is discarded unflushed — its dirty frames
+        are precisely the partial apply that must not survive.  OID
+        allocation state is kept (``_install`` only ever raises it), so
+        already-handed-out OIDs stay unique.
+
+        Recovery itself crosses fault gates (its replay writes pages and
+        truncates the log), so under transient error injection it may
+        fail too; it is retried a few times — each attempt starts from
+        stable storage, so a half-done attempt costs nothing — before
+        the store gives up and reports itself broken.
+        """
+        last: Optional[BaseException] = None
+        for _attempt in range(5):
+            try:
+                self._pool = BufferPool(self._pagefile, self._pool.capacity,
+                                        policy=self._eviction_policy)
+                self._table = {}
+                self._clusters = {}
+                self._rebuild_from_pages(purge=self._redo_oids())
+                self._recover_from_wal()
+                return
+            except StorageError as exc:
+                last = exc
+        raise last
 
     @property
     def in_transaction(self) -> bool:
@@ -417,7 +520,7 @@ class ObjectStore:
 
             fresh_path = self.directory / (self.DATA_FILE + ".vacuum")
             fresh_path.unlink(missing_ok=True)
-            fresh_file = PageFile(fresh_path)
+            fresh_file = PageFile(fresh_path, fault_gate=self._fault_gate)
             fresh_pool = BufferPool(fresh_file, self._pool.capacity,
                                     policy=self._eviction_policy)
 
@@ -444,7 +547,8 @@ class ObjectStore:
             fresh_file.close()
             old_pagefile.close()
             fresh_path.replace(self.directory / self.DATA_FILE)
-            self._pagefile = PageFile(self.directory / self.DATA_FILE)
+            self._pagefile = PageFile(self.directory / self.DATA_FILE,
+                                      fault_gate=self._fault_gate)
             self._pool = BufferPool(self._pagefile, old_pool.capacity,
                                     policy=self._eviction_policy)
             self._table = {}

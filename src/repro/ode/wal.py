@@ -9,6 +9,13 @@ write-back loses nothing, and a crash mid-transaction leaves no trace.
 Record format: ``length u32 | crc32 u32 | payload``, where the payload is a
 self-describing codec struct.  A torn final record (crash during append) is
 detected by the CRC and everything from it onward is ignored.
+
+Fault injection.  Like :class:`~repro.ode.pagefile.PageFile`, the log
+takes an optional ``fault_gate`` (see :mod:`repro.faultsim.plan` for
+the contract) consulted at its two stable-storage sites, ``wal.append``
+(the frame bytes about to be written — a gate can tear the frame at any
+byte, which is how the torn-tail recovery path is tortured) and
+``wal.sync``.  ``None`` (the default) costs one ``is None`` test.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.errors import WalError
 from repro.ode.codec import decode_value, encode_value
@@ -73,8 +80,10 @@ class WalRecord:
 class WriteAheadLog:
     """Append-only log with CRC framing and torn-tail recovery."""
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path],
+                 fault_gate: Optional[Callable[..., Any]] = None):
         self.path = Path(path)
+        self._fault_gate = fault_gate
         self._fh = open(self.path, "a+b")
 
     # -- append ------------------------------------------------------------------
@@ -83,19 +92,39 @@ class WriteAheadLog:
         payload = encode_value(record.to_value())
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
         self._fh.seek(0, os.SEEK_END)
-        self._fh.write(frame)
+        if self._fault_gate is None:
+            self._fh.write(frame)
+            self._fh.flush()
+        else:
+            self._fault_gate("wal.append", frame, self._append_through)
         if sync:
             self.sync()
 
+    def _append_through(self, frame: bytes) -> None:
+        """Gated append continuation: write and flush, so a torn frame
+        injected by the gate is on disk when the simulated crash hits."""
+        self._fh.write(frame)
+        self._fh.flush()
+
     def sync(self) -> None:
+        if self._fault_gate is None:
+            self._do_sync()
+        else:
+            self._fault_gate("wal.sync", None, self._do_sync)
+
+    def _do_sync(self) -> None:
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
     # -- replay --------------------------------------------------------------------
 
     def records(self) -> Iterator[WalRecord]:
-        """Yield every intact record; stop silently at a torn tail."""
-        self._fh.flush()
+        """Yield every intact record; stop silently at a torn tail.
+
+        Reading is a pure function of the on-disk file: ``append`` flushes
+        as it writes, so iteration never needs to touch (or flush) the
+        writer handle as a side effect.
+        """
         with open(self.path, "rb") as fh:
             data = fh.read()
         offset = 0

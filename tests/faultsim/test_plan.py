@@ -1,0 +1,142 @@
+"""The plan layer's one load-bearing property: everything is a pure
+function of the seed.  If these fail, no printed seed reproduces
+anything and the torture suites are noise."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjectedError
+from repro.faultsim import (
+    CountingGate,
+    CrashSchedule,
+    FaultPlan,
+    PROXY_ACTIONS,
+    RandomFaultGate,
+    SimulatedCrash,
+    SiteCrash,
+)
+from repro.faultsim.plan import derive_seed
+
+
+def _drain(plan, n=50):
+    return [plan.choose("site", PROXY_ACTIONS) for _ in range(n)]
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        assert _drain(FaultPlan(7)) == _drain(FaultPlan(7))
+
+    def test_different_seeds_diverge(self):
+        assert _drain(FaultPlan(7)) != _drain(FaultPlan(8))
+
+    def test_trace_records_every_decision(self):
+        plan = FaultPlan(3)
+        plan.choose("a", PROXY_ACTIONS)
+        plan.uniform("b", 0.0, 1.0)
+        plan.randrange("c", 10)
+        assert [entry[0] for entry in plan.trace] == [0, 1, 2]
+        assert [entry[1] for entry in plan.trace] == ["a", "b", "c"]
+        assert plan.step == 3
+
+    def test_fork_is_deterministic_and_independent(self):
+        first = FaultPlan(9).fork("conn0/c2s")
+        second = FaultPlan(9).fork("conn0/c2s")
+        other = FaultPlan(9).fork("conn0/s2c")
+        assert _drain(first) == _drain(second)
+        assert _drain(FaultPlan(9).fork("conn0/c2s")) != _drain(other)
+
+    def test_fork_does_not_advance_parent(self):
+        plan = FaultPlan(5)
+        plan.fork("child")
+        assert plan.step == 0
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+class TestGates:
+    def test_counting_gate_is_invisible(self):
+        gate = CountingGate()
+        written = []
+        assert gate("w", b"abc", written.append) is None
+        assert gate("s", None, lambda: "synced") == "synced"
+        assert written == [b"abc"]
+        assert gate.calls == ["w", "s"]
+
+    def test_crash_schedule_fires_once_at_exact_call(self):
+        gate = CrashSchedule(crash_at=2, seed=11)
+        gate("a", None, lambda: None)
+        gate("b", None, lambda: None)
+        with pytest.raises(SimulatedCrash) as info:
+            gate("c", None, lambda: None)
+        assert info.value.site == "c"
+        assert info.value.step == 2
+        assert gate.fired == ("c", 2, "crash")
+
+    def test_crash_schedule_flavor_is_seed_deterministic(self):
+        def fire(seed):
+            gate = CrashSchedule(crash_at=0, seed=seed)
+            try:
+                gate("w", b"x" * 100, lambda data: None)
+            except SimulatedCrash as crash:
+                return crash.flavor
+            raise AssertionError("schedule did not fire")
+
+        flavors = {fire(seed) for seed in range(40)}
+        assert flavors == {"torn", "lost", "crash"}
+        assert fire(13) == fire(13)
+
+    def test_crash_schedule_torn_write_lands_a_strict_prefix(self):
+        for seed in range(60):
+            written = []
+            gate = CrashSchedule(crash_at=0, seed=seed)
+            try:
+                gate("w", b"0123456789", written.append)
+            except SimulatedCrash as crash:
+                if crash.flavor == "torn":
+                    assert len(written) == 1
+                    assert b"0123456789".startswith(written[0])
+                    assert 0 < len(written[0]) < 10
+                    return
+        raise AssertionError("no torn flavor in 60 seeds")
+
+    def test_simulated_crash_evades_except_exception(self):
+        with pytest.raises(SimulatedCrash):
+            try:
+                raise SimulatedCrash("site", 0, "crash")
+            except Exception:  # noqa: BLE001 - the point of the test
+                raise AssertionError("a crash must not be catchable")
+
+    def test_site_crash_targets_nth_occurrence(self):
+        gate = SiteCrash("wal.append", occurrence=1, flavor="lost")
+        gate("wal.append", b"first", lambda data: None)
+        gate("other", None, lambda: None)
+        with pytest.raises(SimulatedCrash):
+            gate("wal.append", b"second", lambda data: None)
+        assert gate.fired[0] == "wal.append"
+
+    def test_site_crash_torn_requires_cut(self):
+        with pytest.raises(ValueError):
+            SiteCrash("wal.append", flavor="torn")
+        written = []
+        gate = SiteCrash("wal.append", flavor="torn", cut=3)
+        with pytest.raises(SimulatedCrash):
+            gate("wal.append", b"abcdef", written.append)
+        assert written == [b"abc"]
+
+    def test_random_fault_gate_is_deterministic_and_bounded(self):
+        def injected(seed):
+            gate = RandomFaultGate(FaultPlan(seed), rate=0.3, budget=2)
+            hits = []
+            for index in range(30):
+                try:
+                    gate(f"site{index}", None, lambda: None)
+                except FaultInjectedError:
+                    hits.append(index)
+            return hits
+
+        assert injected(21) == injected(21)
+        assert len(injected(21)) <= 2
+        assert any(injected(seed) for seed in range(5))

@@ -1,8 +1,10 @@
 """Tests for the writer-preferring reader-writer lock."""
 
+import os
 import threading
 import time
 
+from repro.faultsim import FaultPlan
 from repro.net.rwlock import ReadWriteLock
 
 
@@ -117,4 +119,107 @@ def test_acquire_timeout():
     t.start()
     t.join(5)
     assert result == [False]
+    lock.release_write()
+
+# -- seeded stress (repro.faultsim) --------------------------------------------
+
+_OPS = (
+    ("read", 0.45),
+    ("write", 0.20),
+    ("reentrant_write", 0.10),
+    ("write_then_read", 0.10),
+    ("timed_read", 0.075),
+    ("timed_write", 0.075),
+)
+
+
+def test_seeded_stress():
+    """Hammer the lock from several threads, each running a script drawn
+    from a forked :class:`~repro.faultsim.FaultPlan` — the op sequences
+    (though not the OS interleaving) reproduce from the seed.  Invariants
+    checked at every transition: never a reader and a writer active at
+    once, never two writers, and every thread finishes (no deadlock, no
+    lost wakeup).  Set ``FAULTSIM_SEED`` to try another schedule.
+    """
+    seed = int(os.environ.get("FAULTSIM_SEED", "0"))
+    plan = FaultPlan(seed, name="rwlock")
+    lock = ReadWriteLock()
+    state = {"readers": 0, "writers": 0}
+    state_mutex = threading.Lock()
+    violations = []
+    errors = []
+
+    def note(kind, delta):
+        with state_mutex:
+            state[kind] += delta
+            readers, writers = state["readers"], state["writers"]
+            if writers > 1:
+                violations.append(f"seed={seed}: {writers} writers active")
+            if writers and readers:
+                violations.append(
+                    f"seed={seed}: {readers} readers alongside a writer")
+            if readers < 0 or writers < 0:
+                violations.append(f"seed={seed}: negative count {state}")
+
+    def linger(thread_plan, label):
+        # Tiny plan-drawn hold times shuffle the interleavings between
+        # runs of different seeds without slowing the test down.
+        time.sleep(thread_plan.uniform(label, 0.0, 0.001))
+
+    def run_script(index):
+        thread_plan = plan.fork(f"t{index}")
+        try:
+            for _step in range(120):
+                op = thread_plan.choose("op", _OPS)
+                if op == "read":
+                    with lock.reading():
+                        note("readers", 1)
+                        linger(thread_plan, "read")
+                        note("readers", -1)
+                elif op == "write":
+                    with lock.writing():
+                        note("writers", 1)
+                        linger(thread_plan, "write")
+                        note("writers", -1)
+                elif op == "reentrant_write":
+                    with lock.writing():
+                        note("writers", 1)
+                        with lock.writing():       # depth 2
+                            with lock.reading():   # own read, no deadlock
+                                assert lock.write_held
+                        note("writers", -1)
+                elif op == "write_then_read":
+                    with lock.writing():
+                        note("writers", 1)
+                        linger(thread_plan, "write")
+                        note("writers", -1)
+                    with lock.reading():
+                        note("readers", 1)
+                        note("readers", -1)
+                elif op == "timed_read":
+                    if lock.acquire_read(timeout=0.05):
+                        note("readers", 1)
+                        note("readers", -1)
+                        lock.release_read()
+                elif op == "timed_write":
+                    if lock.acquire_write(timeout=0.05):
+                        note("writers", 1)
+                        note("writers", -1)
+                        lock.release_write()
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            errors.append(f"seed={seed} t{index}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=run_script, args=(index,))
+               for index in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+    assert not [t for t in threads if t.is_alive()], (
+        f"seed={seed}: stress threads deadlocked")
+    assert not errors, errors
+    assert not violations, violations[:5]
+    assert state == {"readers": 0, "writers": 0}
+    # the lock is still serviceable afterwards
+    assert lock.acquire_write(timeout=1)
     lock.release_write()

@@ -5,10 +5,21 @@ frame; these tests show the *store* does the right thing end to end — a
 committed transaction whose pages never hit disk is recovered, while a
 torn or bit-flipped tail from the crash is ignored rather than replayed
 as garbage.
+
+Two generations of the same cases live here on purpose.  The originals
+hand-roll the damage (append garbage bytes, flip a bit) and stay as
+regression pins for those exact byte patterns; the ``TestSchedule*``
+versions express the *same* crashes as :mod:`repro.faultsim` schedules
+— a :class:`~repro.faultsim.SiteCrash` aimed at the transaction's
+COMMIT append — so the damage is made by the real write path tearing
+mid-call, at every cut point, not by post-hoc file surgery.
 """
 
 from pathlib import Path
 
+import pytest
+
+from repro.faultsim import CountingGate, SimulatedCrash, SiteCrash, crash_store
 from repro.ode.codec import encode_object
 from repro.ode.oid import Oid
 from repro.ode.store import ObjectStore
@@ -85,3 +96,88 @@ def test_recovery_is_idempotent(tmp_path):
         assert first.exists(oid)
     with ObjectStore(directory) as second:
         assert second.get(oid) == record(oid, name="durable")
+
+
+# -- the same crashes, as fault-plan schedules ---------------------------------
+
+DURABLE = Oid("db", "employee", 0)
+VICTIM = Oid("db", "employee", 1)
+
+
+def _two_transactions(directory: Path, fault_gate=None) -> ObjectStore:
+    """Commit DURABLE, then commit VICTIM; return the open store."""
+    store = ObjectStore(directory, fault_gate=fault_gate)
+    store.put(DURABLE, record(DURABLE, name="durable"))
+    store.begin()
+    store.put(VICTIM, record(VICTIM, name="victim"))
+    store.commit()
+    return store
+
+
+def _victim_commit_append_occurrence(directory: Path) -> int:
+    """Which ``wal.append`` crossing writes VICTIM's COMMIT record.
+
+    Counted from a silent pass rather than hardcoded, so the schedule
+    keeps aiming at the COMMIT frame if open/commit grow extra appends.
+    """
+    gate = CountingGate()
+    store = ObjectStore(directory, fault_gate=gate)
+    store.put(DURABLE, record(DURABLE, name="durable"))
+    store.begin()
+    store.put(VICTIM, record(VICTIM, name="victim"))
+    before = gate.calls.count("wal.append")
+    store.commit()
+    store.close()
+    return before  # the next append after `before` is the COMMIT record
+
+
+class TestScheduledTornCommit:
+    """The hand-rolled torn-tail cases, re-expressed as schedules."""
+
+    @pytest.mark.parametrize("flavor,cut", [
+        ("torn", 1),    # mid length/CRC header
+        ("torn", 7),    # header intact, payload torn
+        ("torn", 30),   # almost-whole frame
+        ("lost", None),  # append dropped whole
+        ("crash", None),  # died before the write started
+    ])
+    def test_crash_writing_commit_record(self, tmp_path, flavor, cut):
+        occurrence = _victim_commit_append_occurrence(tmp_path / "count")
+        gate = SiteCrash("wal.append", occurrence=occurrence,
+                         flavor=flavor, cut=cut)
+        with pytest.raises(SimulatedCrash) as info:
+            _two_transactions(tmp_path / "db", fault_gate=gate)
+        crash_store(None, info.value)
+        assert gate.fired is not None, "schedule never reached the COMMIT"
+        with ObjectStore(tmp_path / "db") as recovered:
+            # No COMMIT on disk: the first transaction survives, the
+            # second leaves no trace.
+            assert recovered.get(DURABLE) == record(DURABLE, name="durable")
+            assert not recovered.exists(VICTIM)
+
+    def test_crash_after_commit_record_recovers_the_victim(self, tmp_path):
+        """One occurrence later, on the checkpoint's own append: the
+        COMMIT record is durable, so recovery must redo the victim —
+        the schedule twin of _crash_after_commit above."""
+        occurrence = _victim_commit_append_occurrence(tmp_path / "count") + 1
+        gate = SiteCrash("wal.append", occurrence=occurrence, flavor="lost")
+        with pytest.raises(SimulatedCrash) as info:
+            _two_transactions(tmp_path / "db", fault_gate=gate)
+        crash_store(None, info.value)
+        with ObjectStore(tmp_path / "db") as recovered:
+            assert recovered.get(DURABLE) == record(DURABLE, name="durable")
+            assert recovered.get(VICTIM) == record(VICTIM, name="victim")
+
+    def test_scheduled_recovery_is_idempotent(self, tmp_path):
+        occurrence = _victim_commit_append_occurrence(tmp_path / "count")
+        gate = SiteCrash("wal.append", occurrence=occurrence,
+                         flavor="torn", cut=5)
+        with pytest.raises(SimulatedCrash) as info:
+            _two_transactions(tmp_path / "db", fault_gate=gate)
+        crash_store(None, info.value)
+        with ObjectStore(tmp_path / "db") as first:
+            state_one = {str(oid): first.get(oid) for oid in first.oids()}
+        with ObjectStore(tmp_path / "db") as second:
+            state_two = {str(oid): second.get(oid) for oid in second.oids()}
+        assert state_one == state_two
+        assert str(DURABLE) in state_one
