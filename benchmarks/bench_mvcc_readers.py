@@ -1,0 +1,198 @@
+"""MVCC-READ: lock-free snapshot reads under a continuous writer.
+
+The PR 4 tentpole claim: because read requests are served from pinned
+MVCC snapshots instead of a database read lock, read latency stays flat
+as readers scale — even while one client commits continuously.  This
+benchmark measures p95 read latency at 1, 4, and 16 reader clients,
+twice per level: with the writer idle (baseline) and with one client
+updating in a tight commit loop.
+
+Run directly for the full measurement::
+
+    PYTHONPATH=src python benchmarks/bench_mvcc_readers.py --duration 5
+
+or via pytest (short smoke durations) with the other benchmarks.
+Results land in ``benchmarks/artifacts/BENCH_mvcc.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.data.labdb import make_lab_database
+from repro.net.remote import RemoteDatabase
+from repro.net.server import OdeServer
+from repro.ode.oid import Oid
+
+READER_COUNTS = (1, 4, 16)
+
+
+def _read_workload(port: int, duration: float, worker: int,
+                   latencies: List[float], errors: List[str]) -> None:
+    """One reader's loop: uncached point fetches and counts."""
+    rng = random.Random(worker)
+    try:
+        database = RemoteDatabase.connect("127.0.0.1", port, "lab")
+        try:
+            objects = database.objects
+            cluster = objects.cluster("employee")
+            deadline = time.perf_counter() + duration
+            while time.perf_counter() < deadline:
+                started = time.perf_counter()
+                if rng.random() < 0.8:
+                    objects.cache.purge()  # force the wire, not the cache
+                    objects.get_buffer(cluster.oid(rng.randrange(55)))
+                else:
+                    objects.count("employee")
+                latencies.append(time.perf_counter() - started)
+        finally:
+            database.close()
+    except Exception as exc:
+        errors.append(f"reader {worker}: {type(exc).__name__}: {exc}")
+
+
+def _write_workload(port: int, stop: threading.Event,
+                    commits: List[int], errors: List[str]) -> None:
+    """The continuous writer: autocommit salary updates, back to back."""
+    rng = random.Random(99)
+    try:
+        database = RemoteDatabase.connect("127.0.0.1", port, "lab")
+        try:
+            count = 0
+            while not stop.is_set():
+                oid = Oid("lab", "employee", rng.randrange(55))
+                database.objects.update(
+                    oid, {"salary": float(rng.randrange(1, 100))})
+                count += 1
+            commits.append(count)
+        finally:
+            database.close()
+    except Exception as exc:
+        errors.append(f"writer: {type(exc).__name__}: {exc}")
+
+
+def _percentile(values: List[float], percent: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(len(ordered) * percent / 100.0))
+    return ordered[index]
+
+
+def run_level(root: Path, readers: int, duration: float,
+              with_writer: bool) -> Dict[str, float]:
+    """One level: *readers* read loops, optionally one continuous writer."""
+    server = OdeServer(root)
+    server.start()
+    try:
+        latencies: List[float] = []
+        errors: List[str] = []
+        commits: List[int] = []
+        stop = threading.Event()
+        threads = [
+            threading.Thread(
+                target=_read_workload,
+                args=(server.port, duration, worker, latencies, errors))
+            for worker in range(readers)
+        ]
+        writer = threading.Thread(
+            target=_write_workload,
+            args=(server.port, stop, commits, errors))
+        if with_writer:
+            writer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(duration + 30)
+        stop.set()
+        if with_writer:
+            writer.join(30)
+        if errors:
+            raise RuntimeError("; ".join(errors[:3]))
+        return {
+            "readers": readers,
+            "writer": with_writer,
+            "requests": len(latencies),
+            "commits": commits[0] if commits else 0,
+            "mean_ms": (sum(latencies) / len(latencies) * 1e3
+                        if latencies else 0.0),
+            "p95_ms": _percentile(latencies, 95) * 1e3,
+        }
+    finally:
+        server.shutdown()
+
+
+def run_all(root: Path, duration: float) -> List[Dict[str, float]]:
+    results = []
+    for readers in READER_COUNTS:
+        for with_writer in (False, True):
+            results.append(run_level(root, readers, duration, with_writer))
+    return results
+
+
+def format_results(results: List[Dict[str, float]]) -> str:
+    lines = ["readers  writer  requests  commits  mean(ms)  p95(ms)"]
+    for row in results:
+        lines.append(
+            f"{row['readers']:>7}  {'busy' if row['writer'] else 'idle':>6}  "
+            f"{row['requests']:>8}  {row['commits']:>7}  "
+            f"{row['mean_ms']:>8.2f}  {row['p95_ms']:>7.2f}")
+    return "\n".join(lines)
+
+
+def write_artifact(results: List[Dict[str, float]],
+                   duration: float) -> Path:
+    artifacts = Path(__file__).parent / "artifacts"
+    artifacts.mkdir(exist_ok=True)
+    path = artifacts / "BENCH_mvcc.json"
+    path.write_text(json.dumps({
+        "benchmark": "mvcc_readers",
+        "duration_per_level": duration,
+        "results": results,
+    }, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point (short smoke duration) ----------------------------------
+
+def test_mvcc_readers_smoke(tmp_path):
+    """Readers make progress at every level, writer busy or idle."""
+    make_lab_database(tmp_path).close()
+    results = run_all(tmp_path, duration=0.4)
+    assert len(results) == len(READER_COUNTS) * 2
+    for row in results:
+        assert row["requests"] > 0
+        if row["writer"]:
+            assert row["commits"] > 0  # the writer was never starved either
+    write_artifact(results, 0.4)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds per (readers, writer) level")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="existing database root (default: temp lab db)")
+    args = parser.parse_args()
+    if args.root is None:
+        import tempfile
+
+        root = Path(tempfile.mkdtemp(prefix="odeview-bench-mvcc-"))
+        make_lab_database(root).close()
+    else:
+        root = args.root
+    results = run_all(root, args.duration)
+    print(format_results(results))
+    path = write_artifact(results, args.duration)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,23 @@ def gather_statistics(db_session) -> List[Tuple[str, str]]:
                          f"{fetch.percentile(95) * 1e6:.0f}µs"))
         else:
             rows.append(("page fetch latency", "(no fetches yet)"))
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        rows.append(("commit epoch", str(database.store.epoch)))
+        rows.append(("mvcc versions live",
+                     str(registry.gauge("mvcc.versions_live").value)))
+        rows.append(("mvcc snapshots open",
+                     str(registry.gauge("mvcc.snapshots_open").value)))
+        rows.append(("mvcc reads / fallbacks",
+                     f"{registry.counter('mvcc.snapshot_reads').value} / "
+                     f"{registry.counter('mvcc.read_fallbacks').value}"))
+        rows.append(("mvcc versions pruned",
+                     str(registry.counter("mvcc.pruned").value)))
+        age = registry.histogram("mvcc.snapshot_age")
+        if age.count:
+            rows.append(("snapshot age (epochs)",
+                         f"mean {age.mean:.1f}, p95 {age.percentile(95):.0f}"))
     loader = db_session.registry.loader.stats
     rows.append(("display modules loaded", str(loader.loads)))
     rows.append(("display cache hits", str(loader.cache_hits)))
@@ -84,11 +101,23 @@ def _remote_statistics(database) -> List[Tuple[str, str]]:
     rows.append(("server pool policy", str(pool.get("policy", "?"))))
     rows.append(("server pool hits / misses",
                  f"{pool.get('hits', 0)} / {pool.get('misses', 0)}"))
+    rows.append(("server commit epoch", str(stats.get("epoch", "?"))))
+    mvcc = stats.get("mvcc", {})
+    if mvcc:
+        rows.append(("server mvcc versions live",
+                     str(mvcc.get("versions_live", 0))))
+        rows.append(("server mvcc reads / fallbacks",
+                     f"{mvcc.get('snapshot_reads', 0)} / "
+                     f"{mvcc.get('read_fallbacks', 0)}"))
+    if "read_lockfree" in stats:
+        rows.append(("lock-free reads served", str(stats["read_lockfree"])))
     cache = database.objects.cache
     rows.append(("object cache",
                  f"{len(cache)} buffers, {cache.hits} hits / "
                  f"{cache.misses} misses"))
     rows.append(("cache invalidations", str(cache.invalidations)))
+    rows.append(("cache epoch floor / latest",
+                 f"{cache.floor} / {cache.latest}"))
     snapshot = get_registry().snapshot()
     for name in ("net.client.bytes_out", "net.client.bytes_in",
                  "net.client.retries", "net.client.reconnects"):

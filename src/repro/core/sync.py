@@ -15,6 +15,7 @@ closed").
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -61,7 +62,15 @@ def sequence(node: Node, op: str) -> SyncReport:
     registry = get_registry()
     registry.counter("sync.operations").inc()
     before = subtree_refresh_counts(node)
-    with registry.histogram("sync.propagate_seconds").time():
+    # Pin one snapshot for the whole propagation: every buffer fetched
+    # and every cluster walked while the subtree refreshes comes from a
+    # single commit epoch, so the refreshed network renders one
+    # consistent database state even under concurrent writers.  Remote
+    # managers pin per-operation on the server instead (their pinned()
+    # is a no-op).
+    pin = getattr(node.manager, "pinned", None)
+    context = pin() if callable(pin) else nullcontext()
+    with registry.histogram("sync.propagate_seconds").time(), context:
         if op == "next":
             result = node.next()
         elif op == "previous":

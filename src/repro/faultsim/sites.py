@@ -32,10 +32,14 @@ WAL_SITES = (
 
 #: Pure crash points inside :class:`repro.ode.store.ObjectStore`'s
 #: commit sequence: after the commit record is durable but before the
-#: pages are (``apply``), and after the pages are durable but before
-#: the log is truncated (``checkpoint``).
+#: pages are (``apply``); after the pages are durable but before the
+#: commit epoch is published to snapshot readers (``publish`` — a crash
+#: here must not let the epoch regress or expose a half-applied
+#: transaction on reopen); and after publication but before the log is
+#: truncated (``checkpoint``).
 STORE_SITES = (
     "store.commit.apply",
+    "store.commit.publish",
     "store.commit.checkpoint",
 )
 

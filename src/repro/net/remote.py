@@ -15,11 +15,18 @@ What stays local and what crosses the wire:
   locally (the paper's object-interactor loads display code into *its*
   address space, not the server's);
 * **object buffers** cross the wire with computed attributes already
-  evaluated server-side, and land in a bounded client cache;
+  evaluated server-side, and land in a bounded client cache.  The cache
+  is **epoch-keyed**: every server reply reports the commit epoch it was
+  served at, every cached buffer is tagged with that epoch, and
+  invalidation advances an epoch *floor* instead of flushing — a buffer
+  fetched at the still-current epoch is provably not stale and survives,
+  so there is no flush race between an invalidation and an in-flight
+  fetch.  Writes inside an open transaction read uncommitted overlay
+  state that no epoch can describe, so those paths purge physically;
 * **sequencing cursors** live on the server (they are the
-  object-interactor's cursor); ``reset`` also invalidates the client
-  cache, as do writes, commit, and abort — a resequenced browse re-reads
-  current data.
+  object-interactor's cursor) and own a pinned snapshot there; ``reset``
+  refreshes that snapshot and advances the client cache's epoch floor —
+  a resequenced browse re-reads current data.
 
 Cluster scans are batched: ``RemoteCluster.oids()`` pulls the whole
 cluster in :data:`SCAN_BATCH`-sized pages through the object cache, so
@@ -32,7 +39,8 @@ import shutil
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import (
     NetworkError,
@@ -55,26 +63,53 @@ CACHE_CAPACITY = 512
 
 
 class BufferCache:
-    """A bounded LRU of object buffers keyed by OID."""
+    """A bounded LRU of object buffers keyed by OID, tagged by epoch.
+
+    Every entry carries the server commit epoch its buffer was served
+    at; ``latest`` tracks the newest epoch observed in *any* reply.
+    :meth:`invalidate` advances an epoch ``floor`` to ``latest`` — every
+    entry tagged below the floor stops being served — instead of
+    flushing the table.  A buffer fetched at the still-current epoch is
+    provably identical to what a re-fetch would return, so it survives;
+    and because a reply tagged with a *newer* epoch can never be killed
+    by an older invalidation, there is no flush race between an
+    invalidation and an in-flight fetch.
+
+    :meth:`purge` keeps the old drop-everything semantics for the paths
+    where epochs cannot express staleness: uncommitted transaction
+    overlay state, and abort (which reverts without minting an epoch).
+    """
 
     def __init__(self, capacity: int = CACHE_CAPACITY):
         self.capacity = capacity
-        self._entries: "OrderedDict[Oid, Any]" = OrderedDict()
+        self._entries: "OrderedDict[Oid, Tuple[int, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.floor = 0    # entries tagged below this epoch are dead
+        self.latest = 0   # newest server epoch observed in any reply
+
+    def observe_epoch(self, epoch: Any) -> None:
+        if isinstance(epoch, int) and epoch > self.latest:
+            self.latest = epoch
 
     def get(self, oid: Oid):
         entry = self._entries.get(oid)
+        if entry is not None and entry[0] < self.floor:
+            del self._entries[oid]   # lazily drop an invalidated entry
+            entry = None
         if entry is None:
             self.misses += 1
             return None
         self._entries.move_to_end(oid)
         self.hits += 1
-        return entry
+        return entry[1]
 
-    def put(self, buffer) -> None:
-        self._entries[buffer.oid] = buffer
+    def put(self, buffer, epoch: Optional[int] = None) -> None:
+        tag = self.latest if epoch is None else epoch
+        if tag < self.floor:
+            return  # the epoch this was read at is already invalidated
+        self._entries[buffer.oid] = (tag, buffer)
         self._entries.move_to_end(buffer.oid)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -82,10 +117,24 @@ class BufferCache:
     def evict(self, oid: Oid) -> None:
         self._entries.pop(oid, None)
 
-    def clear(self) -> None:
+    def invalidate(self) -> None:
+        """Advance the floor: entries older than ``latest`` stop serving."""
+        if self._entries:
+            self.invalidations += 1
+        self.floor = max(self.floor, self.latest)
+        stale = [oid for oid, (tag, _) in self._entries.items()
+                 if tag < self.floor]
+        for oid in stale:
+            del self._entries[oid]
+
+    def purge(self) -> None:
+        """Unconditionally drop every entry (epoch bookkeeping kept)."""
         if self._entries:
             self.invalidations += 1
         self._entries.clear()
+
+    #: Back-compat alias: external callers asking for a hard clear get one.
+    clear = purge
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -204,9 +253,11 @@ class RemoteCursor:
     next/previous/reset/current/seek mirror
     :class:`~repro.ode.cluster.ClusterCursor`.  A predicate (display
     functions may push one down) is applied on the client: the cursor
-    advances on the server until a matching buffer is found.  ``reset``
-    also invalidates the manager's object cache — resequencing is the
-    browse starting over, and it must see current data.
+    advances on the server until a matching buffer is found.  The
+    server-side cursor owns a pinned snapshot; ``epoch`` reports which
+    commit epoch that snapshot serves.  ``reset`` refreshes the snapshot
+    and advances the manager's cache floor — resequencing is the browse
+    starting over, and it must see current data.
     """
 
     def __init__(self, manager: "RemoteObjectManager", class_name: str,
@@ -218,6 +269,7 @@ class RemoteCursor:
             P.OP_CURSOR_OPEN,
             {"db": manager.database.name, "class": class_name})
         self._cursor_id = reply["cursor"]
+        self.epoch: Optional[int] = reply.get("epoch")
         # The cursor lives in the *server session* it was opened in; if
         # the client reconnects (new generation), that session and this
         # cursor are gone — fail fast rather than asking a fresh
@@ -230,7 +282,10 @@ class RemoteCursor:
             raise SessionLostError(
                 "sequencing cursor lost: the connection to the server was "
                 "dropped and its session state discarded; reopen the cursor")
-        return self._manager._call(opcode, payload)
+        reply = self._manager._call(opcode, payload)
+        if isinstance(reply.get("epoch"), int):
+            self.epoch = reply["epoch"]
+        return reply
 
     def _step(self, opcode: int) -> Optional[Oid]:
         while True:
@@ -252,7 +307,10 @@ class RemoteCursor:
 
     def reset(self) -> None:
         self._call(P.OP_CURSOR_RESET, {"cursor": self._cursor_id})
-        self._manager.cache.clear()
+        # The reply reported the refreshed snapshot's epoch (observed by
+        # _call), so advancing the floor kills exactly the entries older
+        # than the state this resequenced browse will see.
+        self._manager.cache.invalidate()
 
     def current(self) -> Optional[Oid]:
         reply = self._call(
@@ -284,7 +342,25 @@ class RemoteObjectManager:
 
     def _call(self, opcode: int, payload: Dict[str, Any]) -> Dict[str, Any]:
         payload.setdefault("db", self.database.name)
-        return self.database.client.call(opcode, payload)
+        reply = self.database.client.call(opcode, payload)
+        self.cache.observe_epoch(reply.get("epoch"))
+        return reply
+
+    @property
+    def epoch(self) -> int:
+        """Newest server commit epoch this client has observed."""
+        return self.cache.latest
+
+    @contextmanager
+    def pinned(self) -> Iterator[None]:
+        """Consistency pinning is a no-op over the wire.
+
+        The *server* pins a snapshot per request (and per cursor), so a
+        remote client cannot hold one epoch across several round trips;
+        callers written against the local manager's ``pinned()`` (e.g.
+        synchronized browsing) still run unchanged.
+        """
+        yield None
 
     @property
     def versions(self) -> RemoteVersionManager:
@@ -300,7 +376,7 @@ class RemoteObjectManager:
             return cached
         reply = self._call(P.OP_GET_OBJECT, {"oid": str(oid)})
         buffer = P.buffer_from_value(reply["buffer"])
-        self.cache.put(buffer)
+        self.cache.put(buffer, reply.get("epoch"))
         return buffer
 
     def get_buffers(self, oids: List[Oid]) -> List[Any]:
@@ -310,7 +386,7 @@ class RemoteObjectManager:
             reply = self._call(
                 P.OP_GET_OBJECTS, {"oids": [str(oid) for oid in missing]})
             for value in reply["buffers"]:
-                self.cache.put(P.buffer_from_value(value))
+                self.cache.put(P.buffer_from_value(value), reply.get("epoch"))
         return [self.get_buffer(oid) for oid in oids]
 
     def scan(self, class_name: str) -> List[Any]:
@@ -323,7 +399,7 @@ class RemoteObjectManager:
             })
             for value in reply["buffers"]:
                 buffer = P.buffer_from_value(value)
-                self.cache.put(buffer)
+                self.cache.put(buffer, reply.get("epoch"))
                 buffers.append(buffer)
             after = reply["after"]
             if reply["done"] or not reply["buffers"]:
@@ -381,8 +457,10 @@ class RemoteObjectManager:
         self._check_transaction_live()
         reply = self._call(
             P.OP_UPDATE, {"oid": str(oid), "updates": dict(updates)})
-        # Triggers may have touched other objects; drop everything stale.
-        self.cache.clear()
+        # Triggers may have touched other objects, and inside an open
+        # transaction the new state is uncommitted overlay data that no
+        # epoch describes — purge physically rather than by epoch.
+        self.cache.purge()
         buffer = P.buffer_from_value(reply["buffer"])
         self.cache.put(buffer)
         return buffer
@@ -390,7 +468,7 @@ class RemoteObjectManager:
     def delete(self, oid: Oid) -> None:
         self._check_transaction_live()
         self._call(P.OP_DELETE, {"oid": str(oid)})
-        self.cache.clear()
+        self.cache.purge()
 
     # -- transactions ------------------------------------------------------------
 
@@ -420,8 +498,10 @@ class RemoteObjectManager:
         finally:
             # Whatever the outcome, the server session no longer has a
             # transaction: op_commit clears it on both success and error.
+            # Entries cached during the transaction were overlay reads
+            # tagged with the pre-commit epoch; purge physically.
             self._end_transaction()
-            self.cache.clear()
+            self.cache.purge()
 
     def abort(self) -> None:
         if (self._txid is not None
@@ -429,13 +509,15 @@ class RemoteObjectManager:
             # The server aborted the orphan when the connection died;
             # only local bookkeeping is left to clean up.
             self._end_transaction()
-            self.cache.clear()
+            self.cache.purge()
             return
         try:
             self._call(P.OP_ABORT, {})
         finally:
+            # Abort reverts without minting an epoch, so overlay reads
+            # cached during the transaction can only be dropped physically.
             self._end_transaction()
-            self.cache.clear()
+            self.cache.purge()
 
 
 class RemoteDatabase:
@@ -487,7 +569,7 @@ class RemoteDatabase:
 
     def vacuum(self) -> int:
         reclaimed = self.client.call(P.OP_VACUUM, {"db": self.name})["reclaimed"]
-        self.objects.cache.clear()
+        self.objects.cache.purge()
         return reclaimed
 
     def server_stats(self) -> Dict[str, Any]:

@@ -63,6 +63,7 @@ class ReadWriteLock:
                 self._writer_depth += 1
                 return True
             self._writers_waiting += 1
+            acquired = False
             try:
                 ok = self._cond.wait_for(
                     lambda: self._writer is None and self._readers == 0,
@@ -71,9 +72,16 @@ class ReadWriteLock:
                     return False
                 self._writer = me
                 self._writer_depth = 1
+                acquired = True
                 return True
             finally:
                 self._writers_waiting -= 1
+                if not acquired and not self._writers_waiting:
+                    # A timed-out (or interrupted) writer leaves no one
+                    # to wake the readers that queued behind its
+                    # preference; without this they sleep until the
+                    # *next* notify, which may never come.
+                    self._cond.notify_all()
 
     def release_write(self) -> None:
         with self._cond:

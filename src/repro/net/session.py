@@ -7,13 +7,20 @@ databases the client opened, its sequencing cursors (one per browsed
 class, the object-interactor's ``reset``/``next``/``previous`` cursor),
 and its open transaction.
 
-Dispatch discipline:
+Dispatch discipline (MVCC):
 
-* read opcodes run under the target database's *read* lock — any number
-  of sessions browse concurrently;
-* write opcodes take the *write* lock; an explicit transaction holds it
-  from ``begin`` until ``commit``/``abort``, so a writer is serialized
-  against every reader for exactly the span of its transaction;
+* read opcodes take **no database lock**: each request pins a store
+  snapshot (one commit epoch) for its duration, so readers never block
+  behind a writer and never observe a half-applied transaction.  Every
+  read reply reports the ``epoch`` it was served at;
+* server-side sequencing cursors own a pinned snapshot for their whole
+  lifetime — stepping is lock-free and ``reset`` refreshes the snapshot
+  to the newest committed epoch;
+* a session reading the database *it has an open transaction on* reads
+  through the transaction overlay instead (read-your-writes);
+* write opcodes take the *write* lock, which now only serializes
+  writer against writer; an explicit transaction holds it from
+  ``begin`` until ``commit``/``abort``;
 * a session that disconnects mid-transaction is aborted and its locks
   released, so a crashed client never wedges the database.
 """
@@ -30,6 +37,7 @@ from repro.errors import (
     TransactionError,
 )
 from repro.net import protocol as P
+from repro.obs import get_registry
 from repro.ode.oid import Oid
 
 #: Largest number of buffers one scan batch may carry.
@@ -53,6 +61,7 @@ class ServerSession:
         self._cursors: Dict[int, Tuple[str, Any]] = {}  # id -> (db, cursor)
         self._cursor_ids = itertools.count(1)
         self._tx_database: Optional[str] = None  # db holding our write lock
+        self._m_read_lockfree = get_registry().counter("net.read_lockfree")
 
     # -- helpers ----------------------------------------------------------------
 
@@ -75,6 +84,8 @@ class ServerSession:
 
     def close(self) -> None:
         """Connection gone: drop cursors, abort any open transaction."""
+        for _db, cursor in self._cursors.values():
+            cursor.close()  # releases the cursor's snapshot pin
         self._cursors.clear()
         if self._tx_database is not None:
             hosted = self.server.hosted(self._tx_database)
@@ -94,19 +105,39 @@ class ServerSession:
             raise NetworkError(f"unknown opcode {P.opcode_name(opcode)}")
         if opcode in _UNLOCKED_OPCODES:
             return handler(self, payload)
-        if opcode in _CURSOR_OPCODES:
-            # The payload names a cursor, not a database; resolve the
-            # cursor's database and read under its lock so a concurrent
-            # vacuum or writer never interleaves with the step.  The
-            # lock is reentrant for this thread if it is the writer.
-            hosted = self.server.hosted(self._cursor_entry(payload)[0])
-            with hosted.lock.reading():
-                return handler(self, payload)
+        if opcode in _CURSOR_OPCODES or opcode == P.OP_CURSOR_OPEN:
+            # Lock-free: every server-side cursor owns a pinned store
+            # snapshot, so stepping needs no coordination with writers
+            # or vacuum.  Opening must NOT run inside an ambient pin —
+            # the cursor has to own (and outlive the request with) its
+            # snapshot.
+            self._m_read_lockfree.inc()
+            return handler(self, payload)
         hosted = self._hosted(payload)
         if opcode in P.WRITE_OPCODES:
             return self._dispatch_write(handler, hosted, payload)
-        with hosted.lock.reading():
-            return handler(self, payload)
+        return self._dispatch_read(handler, hosted, payload)
+
+    def _dispatch_read(self, handler, hosted: HostedDatabase,
+                       payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve a read from a pinned snapshot; no database lock.
+
+        The snapshot pins one commit epoch for the whole request, so a
+        multi-object read (scan batch, get_objects) is internally
+        consistent even while another session commits.  The exception is
+        a session reading the database it is itself writing: that one
+        must see its own uncommitted work, so it reads through the
+        transaction overlay (the store routes those through ``get``).
+        """
+        if self._tx_database == hosted.database.name:
+            result = handler(self, payload)
+            result.setdefault("epoch", hosted.database.store.epoch)
+            return result
+        self._m_read_lockfree.inc()
+        with hosted.database.objects.pinned() as snapshot:
+            result = handler(self, payload)
+            result.setdefault("epoch", snapshot.epoch)
+        return result
 
     def _dispatch_write(self, handler, hosted: HostedDatabase,
                         payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -116,13 +147,17 @@ class ServerSession:
                     f"transaction open on {self._tx_database!r}; cannot "
                     f"write {hosted.database.name!r}")
             # Already the writer (reentrant); run under the held lock.
-            return handler(self, payload)
-        with hosted.lock.writing():
             result = handler(self, payload)
-            if self._tx_database is not None:
-                # BEGIN succeeded: keep the write lock until commit/abort.
-                hosted.lock.acquire_write()
-            return result
+        else:
+            with hosted.lock.writing():
+                result = handler(self, payload)
+                if self._tx_database is not None:
+                    # BEGIN succeeded: keep the write lock until commit/abort.
+                    hosted.lock.acquire_write()
+        # Report the epoch after the write so the client's epoch-keyed
+        # cache learns about its own commits without an extra round trip.
+        result.setdefault("epoch", hosted.database.store.epoch)
+        return result
 
     # -- handshake / catalog ------------------------------------------------------
 
@@ -216,7 +251,10 @@ class ServerSession:
         hosted = self._hosted(payload)
         class_name = payload.get("class", "")
         hosted.database.schema.get_class(class_name)
-        return {"numbers": hosted.database.store.cluster_numbers(class_name)}
+        # Through the manager, not the raw store: the manager resolves
+        # membership against the request's pinned snapshot.
+        cluster = hosted.database.objects.cluster(class_name)
+        return {"numbers": cluster.numbers()}
 
     def op_count(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         hosted = self._hosted(payload)
@@ -297,7 +335,7 @@ class ServerSession:
         cursor = hosted.database.objects.cursor(payload.get("class", ""))
         cursor_id = next(self._cursor_ids)
         self._cursors[cursor_id] = (hosted.database.name, cursor)
-        return {"cursor": cursor_id}
+        return {"cursor": cursor_id, "epoch": getattr(cursor, "epoch", None)}
 
     def _cursor_entry(self, payload: Dict[str, Any]) -> Tuple[str, Any]:
         cursor_id = payload.get("cursor")
@@ -310,27 +348,36 @@ class ServerSession:
         return self._cursor_entry(payload)[1]
 
     def op_cursor_next(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        oid = self._cursor(payload).next()
-        return {"oid": str(oid) if oid else None}
+        cursor = self._cursor(payload)
+        oid = cursor.next()
+        return {"oid": str(oid) if oid else None,
+                "epoch": getattr(cursor, "epoch", None)}
 
     def op_cursor_previous(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        oid = self._cursor(payload).previous()
-        return {"oid": str(oid) if oid else None}
+        cursor = self._cursor(payload)
+        oid = cursor.previous()
+        return {"oid": str(oid) if oid else None,
+                "epoch": getattr(cursor, "epoch", None)}
 
     def op_cursor_reset(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._cursor(payload).reset()
-        return {}
+        cursor = self._cursor(payload)
+        cursor.reset()  # refreshes the cursor's snapshot to the newest epoch
+        return {"epoch": getattr(cursor, "epoch", None)}
 
     def op_cursor_current(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        oid = self._cursor(payload).current()
-        return {"oid": str(oid) if oid else None}
+        cursor = self._cursor(payload)
+        oid = cursor.current()
+        return {"oid": str(oid) if oid else None,
+                "epoch": getattr(cursor, "epoch", None)}
 
     def op_cursor_seek(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         self._cursor(payload).seek(self._oid(payload))
         return {}
 
     def op_cursor_close(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._cursors.pop(payload.get("cursor"), None)
+        entry = self._cursors.pop(payload.get("cursor"), None)
+        if entry is not None:
+            entry[1].close()  # release the cursor's snapshot pin
         return {}
 
     # -- maintenance -------------------------------------------------------------------
@@ -343,6 +390,7 @@ class ServerSession:
             name: database.objects.count(name)
             for name in database.schema.class_names()
         }
+        registry = get_registry()
         return {
             "schema_version": database.schema.version,
             "clusters": clusters,
@@ -359,6 +407,17 @@ class ServerSession:
                 "evictions": pool.stats.evictions,
                 "prefetches": pool.stats.prefetches,
             },
+            "epoch": database.store.epoch,
+            "mvcc": {
+                "versions_live": registry.gauge("mvcc.versions_live").value,
+                "snapshots_open": registry.gauge("mvcc.snapshots_open").value,
+                "pruned": registry.counter("mvcc.pruned").value,
+                "snapshot_reads": registry.counter("mvcc.snapshot_reads").value,
+                "read_fallbacks": registry.counter("mvcc.read_fallbacks").value,
+                "snapshot_age_p95":
+                    registry.histogram("mvcc.snapshot_age").percentile(95),
+            },
+            "read_lockfree": self._m_read_lockfree.value,
         }
 
     def op_vacuum(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -374,8 +433,8 @@ _UNLOCKED_OPCODES = frozenset({
     P.OP_HELLO, P.OP_PING, P.OP_LIST_DATABASES, P.OP_CURSOR_CLOSE,
 })
 
-#: Cursor steps read the cursor's database; its rw-lock is resolved
-#: through the session's cursor table rather than a "db" payload key.
+#: Cursor steps read through the cursor's own pinned snapshot, so they
+#: dispatch lock-free (no "db" payload key, no rw-lock, no ambient pin).
 _CURSOR_OPCODES = frozenset({
     P.OP_CURSOR_NEXT, P.OP_CURSOR_PREVIOUS, P.OP_CURSOR_RESET,
     P.OP_CURSOR_CURRENT, P.OP_CURSOR_SEEK,

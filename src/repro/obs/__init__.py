@@ -5,6 +5,7 @@ See :mod:`repro.obs.metrics` for the design notes.
 
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     REGISTRY,
@@ -13,6 +14,7 @@ from repro.obs.metrics import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",

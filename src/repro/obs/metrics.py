@@ -58,6 +58,38 @@ class Counter:
         return f"Counter({self.name!r}, {self._value})"
 
 
+class Gauge:
+    """A point-in-time value that can move both ways (e.g. live versions)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def snapshot(self) -> Union[int, float]:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
 def _default_bounds() -> List[float]:
     """Log-spaced latency buckets from 1 µs to ~34 s (doubling)."""
     return [1e-6 * 2 ** i for i in range(26)]
@@ -150,7 +182,7 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count})"
 
 
-Metric = Union[Counter, Histogram]
+Metric = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
@@ -173,6 +205,15 @@ class MetricsRegistry:
             with self._lock:
                 metric = self._metrics.setdefault(name, Counter(name))
         if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, Gauge(name))
+        if not isinstance(metric, Gauge):
             raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
         return metric
 
@@ -207,7 +248,7 @@ class MetricsRegistry:
         lines = []
         for name in self.names():
             metric = self._metrics[name]
-            if isinstance(metric, Counter):
+            if isinstance(metric, (Counter, Gauge)):
                 lines.append(f"{name} {metric.value}")
             else:
                 s = metric.snapshot()

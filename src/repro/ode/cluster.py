@@ -15,19 +15,29 @@ module free of schema knowledge).
 from __future__ import annotations
 
 import bisect
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.errors import StorageError
 from repro.ode.oid import Oid
-from repro.ode.store import ObjectStore
+from repro.ode.store import ObjectStore, Snapshot
 
 MatchFn = Callable[[Oid], bool]
 
+#: Anything a cluster can read its membership through: the live store
+#: (a *live* view that sees every commit as it lands) or a pinned
+#: :class:`~repro.ode.store.Snapshot` (one consistent epoch).
+ClusterReader = Union[ObjectStore, Snapshot]
+
 
 class Cluster:
-    """Read view of one class's persistent extent."""
+    """Read view of one class's persistent extent.
 
-    def __init__(self, store: ObjectStore, database: str, class_name: str):
+    Constructed over the store itself the view is live; constructed over
+    a snapshot it is frozen at the snapshot's epoch — same interface,
+    the object manager picks whichever the caller asked for.
+    """
+
+    def __init__(self, store: ClusterReader, database: str, class_name: str):
         self._store = store
         self.database = database
         self.class_name = class_name
@@ -129,3 +139,36 @@ class ClusterCursor:
                 f"cursor over {self._cluster.class_name!r} cannot seek to {oid}"
             )
         self._position = oid.number
+
+    def close(self) -> None:
+        """Release cursor resources (no-op for a live-view cursor)."""
+
+
+class SnapshotCursor(ClusterCursor):
+    """A sequencing cursor that owns the snapshot it walks.
+
+    The whole ``next``/``previous`` walk renders one commit epoch —
+    concurrent commits never make an in-progress walk skip or repeat.
+    ``reset`` additionally slides the snapshot forward to the current
+    epoch, matching the paper's reset button: back to the top, seeing
+    the database as it is now.  ``close`` releases the pinned epoch
+    (an abandoned cursor's snapshot unpins itself on collection).
+    """
+
+    def __init__(self, cluster: Cluster, matches: Optional[MatchFn] = None,
+                 snapshot: Optional[Snapshot] = None):
+        super().__init__(cluster, matches)
+        self._snapshot = snapshot
+
+    @property
+    def epoch(self) -> Optional[int]:
+        return self._snapshot.epoch if self._snapshot is not None else None
+
+    def reset(self) -> None:
+        if self._snapshot is not None and not self._snapshot.closed:
+            self._snapshot.refresh()
+        super().reset()
+
+    def close(self) -> None:
+        if self._snapshot is not None:
+            self._snapshot.close()

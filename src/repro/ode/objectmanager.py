@@ -20,6 +20,8 @@ code never imports the schema — the "principle of separation".
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
@@ -29,12 +31,12 @@ from repro.errors import (
     SchemaError,
 )
 from repro.ode.classdef import OdeClass
-from repro.ode.cluster import Cluster, ClusterCursor
+from repro.ode.cluster import Cluster, ClusterCursor, SnapshotCursor
 from repro.ode.codec import decode_object, encode_object
 from repro.ode.constraints import BehaviourRegistry
 from repro.ode.oid import Oid
 from repro.ode.schema import Schema
-from repro.ode.store import ObjectStore
+from repro.ode.store import ObjectStore, Snapshot
 
 Predicate = Callable[["ObjectBuffer"], bool]
 
@@ -112,12 +114,55 @@ class ObjectManager:
         self._m_buffers = registry.counter("objectmanager.buffers")
         self._m_buffer_time = registry.histogram(
             "objectmanager.get_buffer_seconds")
+        # Per-thread stack of pinned snapshots (see pinned()): reads on
+        # a thread with a pin in effect come from that snapshot, so a
+        # multi-step operation renders one commit epoch.
+        self._pin_stack = threading.local()
 
     # -- helpers ------------------------------------------------------------
 
     @property
     def store(self) -> ObjectStore:
         return self._store
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin the store's current epoch (see :meth:`ObjectStore.snapshot`)."""
+        return self._store.snapshot()
+
+    @contextmanager
+    def pinned(self) -> Iterator[Snapshot]:
+        """Run the body against one pinned epoch.
+
+        Every read this thread makes inside the ``with`` — buffers,
+        clusters, counts, selects — comes from the same snapshot, so a
+        subtree refresh (``core/sync.sequence``) renders one consistent
+        state instead of interleaving with concurrent commits.  Nests;
+        the innermost pin wins.
+        """
+        stack = getattr(self._pin_stack, "stack", None)
+        if stack is None:
+            stack = self._pin_stack.stack = []
+        with self._store.snapshot() as snap:
+            stack.append(snap)
+            try:
+                yield snap
+            finally:
+                stack.pop()
+
+    def _current_snapshot(self) -> Optional[Snapshot]:
+        stack = getattr(self._pin_stack, "stack", None)
+        return stack[-1] if stack else None
+
+    def _read_record(self, oid: Oid,
+                     snapshot: Optional[Snapshot] = None) -> bytes:
+        reader = snapshot or self._current_snapshot()
+        if reader is not None:
+            return reader.get(oid)
+        # No pin: read through the store, which honours the open
+        # transaction's overlay (read-your-writes).
+        return self._store.get(oid)
 
     def _versions(self):
         if self._version_manager is None:
@@ -206,14 +251,16 @@ class ObjectManager:
         self.indexes.on_new_object(oid, complete)
         return oid
 
-    def get_buffer(self, oid: Oid) -> ObjectBuffer:
+    def get_buffer(self, oid: Oid,
+                   snapshot: Optional[Snapshot] = None) -> ObjectBuffer:
         """Fetch the object into an object buffer (paper §4.2)."""
         self._m_buffers.inc()
         with self._m_buffer_time.time():
-            return self._build_buffer(oid)
+            return self._build_buffer(oid, snapshot)
 
-    def _build_buffer(self, oid: Oid) -> ObjectBuffer:
-        data = self._store.get(oid)
+    def _build_buffer(self, oid: Oid,
+                      snapshot: Optional[Snapshot] = None) -> ObjectBuffer:
+        data = self._read_record(oid, snapshot)
         stored_oid, class_name, values = decode_object(data)
         if stored_oid != oid:
             raise ObjectNotFoundError(
@@ -261,36 +308,67 @@ class ObjectManager:
         self.indexes.on_delete(oid)
 
     def exists(self, oid: Oid) -> bool:
+        snapshot = self._current_snapshot()
+        if snapshot is not None:
+            return snapshot.exists(oid)
         return self._store.exists(oid)
 
     # -- clusters and sequencing --------------------------------------------------
 
     def cluster(self, class_name: str) -> Cluster:
         self._class(class_name)
-        return Cluster(self._store, self.database, class_name)
+        reader = self._current_snapshot() or self._store
+        return Cluster(reader, self.database, class_name)
 
     def count(self, class_name: str) -> int:
         return len(self.cluster(class_name))
 
     def cursor(self, class_name: str,
                predicate: Optional[Predicate] = None) -> ClusterCursor:
-        """A sequencing cursor, optionally filtered by a pushed-down predicate."""
+        """A sequencing cursor, optionally filtered by a pushed-down
+        predicate.
+
+        The cursor owns a snapshot pinned at creation: the whole walk
+        sees one commit epoch, ``reset()`` refreshes to the current one,
+        and ``close()`` releases the pin.  Inside :meth:`pinned`, the
+        ambient snapshot is shared instead (and stays pinned by the
+        context, not the cursor).
+        """
+        self._class(class_name)
+        ambient = self._current_snapshot()
+        snapshot = ambient if ambient is not None else self._store.snapshot()
         matcher = None
         if predicate is not None:
-            def matcher(oid: Oid, _predicate=predicate) -> bool:
-                return bool(_predicate(self.get_buffer(oid)))
-        return ClusterCursor(self.cluster(class_name), matcher)
+            def matcher(oid: Oid, _predicate=predicate,
+                        _snapshot=snapshot) -> bool:
+                return bool(_predicate(self.get_buffer(oid, _snapshot)))
+        cluster = Cluster(snapshot, self.database, class_name)
+        return SnapshotCursor(
+            cluster, matcher,
+            snapshot=None if ambient is not None else snapshot)
 
     def select(self, class_name: str,
                predicate: Optional[Predicate] = None) -> Iterator[ObjectBuffer]:
-        """All (matching) buffers of a cluster, in sequencing order.
+        """All (matching) buffers of a cluster, in sequencing order, all
+        from one snapshot — a select never observes half a concurrent
+        commit.
 
         The whole cluster will be touched, so the scan's page footprint
         is hinted to the buffer pool up front (sequential prefetch).
         """
         self._store.prefetch_cluster(class_name)
-        for oid in self.cluster(class_name).oids():
-            buffer = self.get_buffer(oid)
+        ambient = self._current_snapshot()
+        if ambient is not None:
+            yield from self._select_from(ambient, class_name, predicate)
+        else:
+            with self.pinned() as snapshot:
+                yield from self._select_from(snapshot, class_name, predicate)
+
+    def _select_from(self, snapshot: Snapshot, class_name: str,
+                     predicate: Optional[Predicate]) -> Iterator[ObjectBuffer]:
+        for number in snapshot.cluster_numbers(class_name):
+            oid = Oid(self.database, class_name, number)
+            buffer = self.get_buffer(oid, snapshot)
             if predicate is None or predicate(buffer):
                 yield buffer
 
@@ -304,3 +382,7 @@ class ObjectManager:
 
     def abort(self) -> None:
         self._store.abort()
+        if self._version_manager is not None:
+            # snapshot() may have indexed version records the abort just
+            # rolled back; rebuild the index from committed state.
+            self._version_manager.invalidate()

@@ -15,6 +15,22 @@ from dataclasses import dataclass
 from repro.errors import OdeError
 
 
+#: Suffix marking a shadow cluster that stores snapshots of versioned
+#: objects (see :mod:`repro.ode.versions`).  Shadow clusters are an
+#: implementation detail: public listings filter them out.
+VERSION_CLUSTER_SUFFIX = "#v"
+
+
+def version_cluster(class_name: str) -> str:
+    """Name of the shadow cluster holding versions of ``class_name``."""
+    return class_name + VERSION_CLUSTER_SUFFIX
+
+
+def is_version_cluster(cluster: str) -> bool:
+    """True when ``cluster`` is a shadow version cluster."""
+    return cluster.endswith(VERSION_CLUSTER_SUFFIX)
+
+
 @dataclass(frozen=True, order=True)
 class Oid:
     """Identity of one persistent object."""

@@ -22,15 +22,35 @@ rebuild that kept both could resurrect the stale one.  If the COMMIT
 record is not durable, apply never started and the pages are untouched.
 
 Fault injection.  ``fault_gate`` (see :mod:`repro.faultsim.plan`) is
-threaded through to the page file and the WAL, and the store adds two
+threaded through to the page file and the WAL, and the store adds three
 pure crash points of its own: ``store.commit.apply`` (COMMIT durable,
-pages not yet touched) and ``store.commit.checkpoint`` (pages durable,
-log not yet truncated).  If a transient
+pages not yet touched), ``store.commit.publish`` (pages durable, the
+commit epoch not yet visible to readers) and ``store.commit.checkpoint``
+(epoch published, log not yet truncated).  If a transient
 :class:`~repro.errors.FaultInjectedError` (or any other ``Exception``)
 escapes mid-commit, the outcome is ambiguous — the COMMIT record may or
 may not be on disk — so the store rebuilds its volatile state from
 stable storage (:meth:`ObjectStore._recover_volatile`) before
 re-raising, which resolves the transaction the same way a reopen would.
+
+Snapshot isolation (MVCC).  Every commit publishes a monotonically
+increasing *epoch* (stamped into WAL COMMIT and CHECKPOINT records, so
+the counter survives reopen).  :meth:`ObjectStore.snapshot` pins the
+current epoch and returns a :class:`Snapshot` whose reads see exactly
+the committed state as of that epoch, without taking the store lock on
+the hot path.  The mechanism is a bounded in-memory *version chain* per
+OID — ``[(epoch, payload-or-None), ...]`` ascending, where the first
+entry is a pre-image stamped epoch 0 captured just before the commit
+overwrites the OID.  A snapshot read walks the chain for the newest
+entry at or below its epoch; a chain miss provably means the OID is
+unmodified since the pruning watermark (older than every live
+snapshot), so the read falls back to the current pages under the store
+lock — and caches the committed value as a single-entry chain so repeat
+reads stay lock-free.  Chains are pruned at publish and snapshot
+release: entries superseded by a newer entry at or below the watermark
+(``min`` live snapshot epoch, else the current epoch) are dropped, and
+single-entry current-value chains are kept as a read cache bounded by
+``mvcc_cache_limit``.
 """
 
 from __future__ import annotations
@@ -44,8 +64,8 @@ from repro.errors import ObjectNotFoundError, StorageError, TransactionError
 from repro.obs import get_registry
 from repro.ode.bufferpool import BufferPool
 from repro.ode.codec import read_varint, write_varint
-from repro.ode.oid import Oid
-from repro.ode.page import MAX_RECORD_SIZE
+from repro.ode.oid import Oid, is_version_cluster
+from repro.ode.page import MAX_RECORD_SIZE, PAGE_SIZE
 from repro.ode.pagefile import PageFile
 from repro.ode.wal import (
     OP_ABORT,
@@ -89,6 +109,108 @@ def _decode_fragment(record: bytes) -> Tuple[Oid, int, int, bytes]:
     return oid, index, total, chunk
 
 
+class Snapshot:
+    """A consistent read-only view of the store at one commit epoch.
+
+    Reads (:meth:`get`, :meth:`exists`, :meth:`cluster_numbers`, …) see
+    exactly the committed state as of :attr:`epoch` — never a later
+    commit, never half of one — and never consult the write path's
+    transaction overlay, so a snapshot on a store with an open
+    transaction sees only committed data.
+
+    Snapshots pin their epoch: old versions of objects overwritten after
+    the snapshot was taken are retained until it is closed.  Close
+    promptly (use ``with store.snapshot() as snap``), or call
+    :meth:`refresh` to slide a long-lived snapshot forward.
+    """
+
+    __slots__ = ("_store", "_epoch", "_closed")
+
+    def __init__(self, store: "ObjectStore", epoch: int):
+        self._store = store
+        self._epoch = epoch
+        self._closed = False
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("snapshot is closed")
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, oid: Oid) -> bytes:
+        self._check_open()
+        value = self._store._snapshot_lookup(oid, self._epoch)
+        if value is None:
+            raise ObjectNotFoundError(f"no object {oid} at epoch {self._epoch}")
+        return value
+
+    def exists(self, oid: Oid) -> bool:
+        self._check_open()
+        return self._store._snapshot_lookup(oid, self._epoch) is not None
+
+    def cluster_names(self, include_shadow: bool = False) -> List[str]:
+        self._check_open()
+        return self._store._snapshot_cluster_names(self._epoch, include_shadow)
+
+    def cluster_numbers(self, cluster: str) -> List[int]:
+        self._check_open()
+        return self._store._snapshot_numbers(cluster, self._epoch)
+
+    def cluster_size(self, cluster: str) -> int:
+        self._check_open()
+        return len(self._store._snapshot_numbers(cluster, self._epoch))
+
+    def oids(self) -> Iterator[Oid]:
+        self._check_open()
+        yield from self._store._snapshot_oids(self._epoch)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Re-pin at the store's current epoch and return it.
+
+        Cursor resets and subtree re-syncs use this to pick up commits
+        made after the snapshot was taken, without churning objects.
+        """
+        self._check_open()
+        fresh = self._store._pin_current()
+        self._store._release_snapshot(self._epoch)
+        self._epoch = fresh
+        return fresh
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._store._release_snapshot(self._epoch)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # An abandoned snapshot must not pin its epoch forever — old
+        # versions would never prune.  Explicit close() is still the
+        # contract; this is the backstop.
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Snapshot(epoch={self._epoch}, {state})"
+
+
 class ObjectStore:
     """OID-addressed record storage over pages + buffer pool + WAL."""
 
@@ -97,7 +219,8 @@ class ObjectStore:
 
     def __init__(self, directory: Union[str, Path], pool_capacity: int = 64,
                  eviction_policy: str = "lru",
-                 fault_gate: Optional[Callable[..., Any]] = None):
+                 fault_gate: Optional[Callable[..., Any]] = None,
+                 mvcc_cache_limit: int = 4096):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._eviction_policy = eviction_policy
@@ -113,6 +236,13 @@ class ObjectStore:
         self._m_puts = registry.counter("store.puts")
         self._m_deletes = registry.counter("store.deletes")
         self._m_read_time = registry.histogram("store.read_seconds")
+        self._m_snapshot_reads = registry.counter("mvcc.snapshot_reads")
+        self._m_read_fallbacks = registry.counter("mvcc.read_fallbacks")
+        self._m_pruned = registry.counter("mvcc.pruned")
+        self._m_versions_live = registry.gauge("mvcc.versions_live")
+        self._m_snapshots_open = registry.gauge("mvcc.snapshots_open")
+        self._m_snapshot_age = registry.histogram(
+            "mvcc.snapshot_age", bounds=[float(2 ** i) for i in range(24)])
         self._table: Dict[Oid, Location] = {}
         self._clusters: Dict[str, List[int]] = {}
         self._next_number: Dict[str, int] = {}
@@ -122,8 +252,19 @@ class ObjectStore:
         # store serving several server sessions needs every entry point
         # serialized.  Reentrant: put()/delete() recurse through begin().
         self._lock = threading.RLock()
+        # MVCC state.  _mvcc_lock is leaf-level: held briefly, never
+        # while doing I/O, and always acquired after _lock when both are
+        # needed — snapshot reads take it alone, which is what keeps
+        # them off the write path's lock.
+        self._mvcc_lock = threading.Lock()
+        self._mvcc: Dict[Oid, List[Tuple[int, Optional[bytes]]]] = {}
+        self._pins: Dict[int, int] = {}
+        self._members: Dict[str, Tuple[Oid, ...]] = {}
+        self._mvcc_cache_limit = mvcc_cache_limit
+        self._epoch = 0
         self._rebuild_from_pages(purge=self._redo_oids())
         self._recover_from_wal()
+        self._rebuild_members()
 
     # -- recovery -------------------------------------------------------------
 
@@ -173,6 +314,10 @@ class ObjectStore:
             self._install(oid, location)
 
     def _recover_from_wal(self) -> None:
+        # Recover the epoch counter before the checkpoint below truncates
+        # the log: COMMIT records carry the epoch they published, the
+        # previous CHECKPOINT record the epoch current at truncation.
+        self._epoch = max(self._epoch, self._wal.max_epoch())
         operations = self._wal.committed_operations()
         for record in operations:
             oid = Oid.parse(record.oid)
@@ -181,7 +326,18 @@ class ObjectStore:
             elif record.op == OP_DELETE and oid in self._table:
                 self._delete_from_pages(oid)
         self._pool.flush_all()
-        self._wal.checkpoint()
+        self._wal.checkpoint(self._epoch)
+
+    def _rebuild_members(self) -> None:
+        """Publish the committed cluster membership for snapshot readers."""
+        members: Dict[str, List[Oid]] = {}
+        for oid in self._table:
+            members.setdefault(oid.cluster, []).append(oid)
+        with self._mvcc_lock:
+            self._members = {
+                cluster: tuple(sorted(oids, key=lambda o: o.number))
+                for cluster, oids in members.items()
+            }
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -319,9 +475,13 @@ class ObjectStore:
             if self._txid is None:
                 raise TransactionError("no transaction in progress")
             try:
-                self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid),
+                epoch = self._epoch + 1
+                self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid,
+                                           epoch=epoch),
                                  sync=True)
                 self._gate("store.commit.apply")
+                effects = self._tx_effects()
+                preimages = self._capture_preimages(effects)
                 for record in self._tx_writes:
                     oid = Oid.parse(record.oid)
                     if record.op == OP_PUT:
@@ -330,8 +490,10 @@ class ObjectStore:
                         if oid in self._table:
                             self._delete_from_pages(oid)
                 self._pool.flush_all()
+                self._gate("store.commit.publish")
+                self._publish_epoch(epoch, effects, preimages)
                 self._gate("store.commit.checkpoint")
-                self._wal.checkpoint()
+                self._wal.checkpoint(epoch)
             except Exception:
                 # The outcome is ambiguous (the COMMIT record may or may
                 # not be durable) and the pages/pool may hold a partial
@@ -381,6 +543,14 @@ class ObjectStore:
                 self._clusters = {}
                 self._rebuild_from_pages(purge=self._redo_oids())
                 self._recover_from_wal()
+                # The chains may describe a commit the recovery replay
+                # resolved the other way; drop them.  Live snapshots
+                # degrade to the recovered state — still a consistent
+                # transaction boundary, never a half-applied commit.
+                with self._mvcc_lock:
+                    self._mvcc.clear()
+                    self._m_versions_live.set(0)
+                self._rebuild_members()
                 return
             except StorageError as exc:
                 last = exc
@@ -397,6 +567,224 @@ class ObjectStore:
             if record.oid == str(oid):
                 return record
         return None
+
+    # -- MVCC: epochs, version chains, snapshots ----------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The last published commit epoch (0 on a fresh store)."""
+        return self._epoch
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current epoch and return a consistent read view."""
+        return Snapshot(self, self._pin_current())
+
+    def _pin_current(self) -> int:
+        with self._mvcc_lock:
+            epoch = self._epoch
+            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            self._m_snapshots_open.inc()
+            return epoch
+
+    def _release_snapshot(self, epoch: int) -> None:
+        with self._mvcc_lock:
+            remaining = self._pins.get(epoch, 0) - 1
+            if remaining <= 0:
+                self._pins.pop(epoch, None)
+            else:
+                self._pins[epoch] = remaining
+            self._m_snapshots_open.dec()
+            self._m_snapshot_age.observe(float(self._epoch - epoch))
+            self._prune_locked()
+
+    def _tx_effects(self) -> Dict[Oid, Optional[bytes]]:
+        """Net effect of the open transaction, last write per OID wins
+        (``None`` = deleted)."""
+        effects: Dict[Oid, Optional[bytes]] = {}
+        for record in self._tx_writes:
+            effects[Oid.parse(record.oid)] = (
+                record.payload if record.op == OP_PUT else None)
+        return effects
+
+    def _capture_preimages(
+            self, effects: Dict[Oid, Optional[bytes]],
+    ) -> Dict[Oid, Optional[bytes]]:
+        """Committed values of the OIDs this commit overwrites.
+
+        Captured for every written OID that has no version chain yet,
+        *before* the pages are touched: the pre-image becomes the
+        chain's base entry (stamped epoch 0), so snapshots older than
+        this commit keep reading the overwritten value.  Unconditional —
+        gating on live pins would race a snapshot opened between the
+        check and publish.
+        """
+        with self._mvcc_lock:
+            missing = [oid for oid in effects if oid not in self._mvcc]
+        return {
+            oid: self._read_from_pages(oid) if oid in self._table else None
+            for oid in missing
+        }
+
+    def _publish_epoch(self, epoch: int,
+                       effects: Dict[Oid, Optional[bytes]],
+                       preimages: Dict[Oid, Optional[bytes]]) -> None:
+        """Make a flushed commit visible to readers, atomically.
+
+        Runs under ``_mvcc_lock``: a reader sees the store entirely
+        before this commit (old epoch, old chains, old membership) or
+        entirely after — never a mixture.
+        """
+        with self._mvcc_lock:
+            for oid, payload in effects.items():
+                chain = self._mvcc.get(oid)
+                if chain is None:
+                    chain = self._mvcc[oid] = [(0, preimages.get(oid))]
+                chain.append((epoch, payload))
+                self._member_update_locked(oid, payload is not None)
+            self._epoch = epoch
+            self._prune_locked()
+
+    def _member_update_locked(self, oid: Oid, present: bool) -> None:
+        members = self._members.get(oid.cluster, ())
+        numbers = [m.number for m in members]
+        index = bisect.bisect_left(numbers, oid.number)
+        found = index < len(members) and members[index].number == oid.number
+        if present and not found:
+            self._members[oid.cluster] = (
+                members[:index] + (oid,) + members[index:])
+        elif not present and found:
+            updated = members[:index] + members[index + 1:]
+            if updated:
+                self._members[oid.cluster] = updated
+            else:
+                self._members.pop(oid.cluster, None)
+
+    def _prune_locked(self) -> None:
+        """Drop versions no live snapshot can reach (``_mvcc_lock`` held).
+
+        Within a chain, everything superseded by a newer entry at or
+        below the watermark goes.  A chain pruned down to one entry at
+        or below the watermark holds the OID's *current* committed value
+        — it is kept as a lock-free read cache, evicted only past
+        ``mvcc_cache_limit``.
+        """
+        watermark = min(self._pins) if self._pins else self._epoch
+        pruned = 0
+        for chain in self._mvcc.values():
+            keep_from = 0
+            for index in range(len(chain) - 1, -1, -1):
+                if chain[index][0] <= watermark:
+                    keep_from = index
+                    break
+            if keep_from:
+                pruned += keep_from
+                del chain[:keep_from]
+        overflow = len(self._mvcc) - self._mvcc_cache_limit
+        if overflow > 0:
+            evictable = [oid for oid, chain in self._mvcc.items()
+                         if len(chain) == 1 and chain[0][0] <= watermark]
+            for oid in evictable[:overflow]:
+                del self._mvcc[oid]
+                pruned += 1
+        if pruned:
+            self._m_pruned.inc(pruned)
+        self._m_versions_live.set(
+            sum(len(chain) for chain in self._mvcc.values()))
+
+    @staticmethod
+    def _chain_entry_at(chain: List[Tuple[int, Optional[bytes]]],
+                        epoch: int) -> Optional[Tuple[int, Optional[bytes]]]:
+        for index in range(len(chain) - 1, -1, -1):
+            if chain[index][0] <= epoch:
+                return chain[index]
+        return None
+
+    def _snapshot_lookup(self, oid: Oid, epoch: int) -> Optional[bytes]:
+        """Committed value of *oid* at *epoch* (``None`` = absent).
+
+        Fast path: the version chain, under ``_mvcc_lock`` only.  A miss
+        means the OID is unmodified since the watermark (every
+        modification creates a chain; pruning only removes what no live
+        snapshot needs), so the current pages hold the right answer —
+        read them under the store lock, then cache the value as a
+        single-entry chain so the next reader stays lock-free.
+        """
+        self._m_snapshot_reads.inc()
+        with self._mvcc_lock:
+            entry = self._chain_entry_at(self._mvcc.get(oid, ()), epoch)
+            if entry is not None:
+                return entry[1]
+        self._m_read_fallbacks.inc()
+        with self._lock:
+            # Re-check under the store lock: a commit may have published
+            # a chain (with the pre-image we need) while we waited.
+            with self._mvcc_lock:
+                entry = self._chain_entry_at(self._mvcc.get(oid, ()), epoch)
+                if entry is not None:
+                    return entry[1]
+            value = (self._read_from_pages(oid)
+                     if oid in self._table else None)
+            with self._mvcc_lock:
+                if (oid not in self._mvcc
+                        and len(self._mvcc) < self._mvcc_cache_limit):
+                    self._mvcc[oid] = [(0, value)]
+                    self._m_versions_live.inc()
+            return value
+
+    def _snapshot_numbers_locked(self, cluster: str, epoch: int) -> List[int]:
+        numbers = {member.number for member in self._members.get(cluster, ())}
+        for oid, chain in self._mvcc.items():
+            if oid.cluster != cluster:
+                continue
+            entry = self._chain_entry_at(chain, epoch)
+            if entry is None:
+                continue
+            if entry[1] is not None:
+                numbers.add(oid.number)
+            else:
+                numbers.discard(oid.number)
+        return sorted(numbers)
+
+    def _snapshot_numbers(self, cluster: str, epoch: int) -> List[int]:
+        """Live OID numbers of *cluster* as of *epoch*: the published
+        membership corrected by every chain delta newer than the
+        snapshot (OIDs without a chain are unmodified since the
+        watermark, so current membership is right for them)."""
+        with self._mvcc_lock:
+            return self._snapshot_numbers_locked(cluster, epoch)
+
+    def _snapshot_cluster_names(self, epoch: int,
+                                include_shadow: bool = False) -> List[str]:
+        with self._mvcc_lock:
+            candidates = set(self._members)
+            candidates.update(oid.cluster for oid in self._mvcc)
+            names = [cluster for cluster in sorted(candidates)
+                     if self._snapshot_numbers_locked(cluster, epoch)]
+        if include_shadow:
+            return names
+        return [name for name in names if not is_version_cluster(name)]
+
+    def _snapshot_oids(self, epoch: int) -> List[Oid]:
+        with self._mvcc_lock:
+            candidates = set(self._members)
+            candidates.update(oid.cluster for oid in self._mvcc)
+            result: List[Oid] = []
+            for cluster in sorted(candidates):
+                by_number = {member.number: member
+                             for member in self._members.get(cluster, ())}
+                for oid, chain in self._mvcc.items():
+                    if oid.cluster != cluster:
+                        continue
+                    entry = self._chain_entry_at(chain, epoch)
+                    if entry is None:
+                        continue
+                    if entry[1] is not None:
+                        by_number[oid.number] = oid
+                    else:
+                        by_number.pop(oid.number, None)
+                result.extend(by_number[number]
+                              for number in sorted(by_number))
+        return result
 
     # -- public record API ---------------------------------------------------------------
 
@@ -463,9 +851,15 @@ class ObjectStore:
 
     # -- cluster iteration ------------------------------------------------------------------
 
-    def cluster_names(self) -> List[str]:
+    def cluster_names(self, include_shadow: bool = False) -> List[str]:
+        """Cluster names, sorted.  Shadow version clusters (``<name>#v``,
+        an implementation detail of :mod:`repro.ode.versions`) are
+        filtered from the listing unless ``include_shadow`` is set."""
         with self._lock:
-            return sorted(self._clusters)
+            names = sorted(self._clusters)
+        if include_shadow:
+            return names
+        return [name for name in names if not is_version_cluster(name)]
 
     def cluster_size(self, cluster: str) -> int:
         with self._lock:
@@ -490,8 +884,6 @@ class ObjectStore:
             used = 0
             for page_no in self._pagefile.data_page_numbers():
                 page = self._pool.fetch(page_no)
-                from repro.ode.page import PAGE_SIZE
-
                 total += PAGE_SIZE
                 used += sum(len(page.read(slot))
                             for slot in page.live_slots())
@@ -554,7 +946,7 @@ class ObjectStore:
             self._table = {}
             self._clusters = {}
             self._rebuild_from_pages()
-            self._wal.checkpoint()
+            self._wal.checkpoint(self._epoch)
             return pages_before - self._pagefile.page_count
 
     # -- lifecycle --------------------------------------------------------------------------

@@ -14,18 +14,13 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import ObjectNotFoundError
 from repro.ode.codec import decode_object, encode_object
-from repro.ode.oid import Oid
+from repro.ode.oid import (  # noqa: F401 - re-exported for back-compat
+    Oid,
+    VERSION_CLUSTER_SUFFIX as _VERSION_SUFFIX,
+    is_version_cluster,
+    version_cluster,
+)
 from repro.ode.store import ObjectStore
-
-_VERSION_SUFFIX = "#v"
-
-
-def version_cluster(cluster: str) -> str:
-    return cluster + _VERSION_SUFFIX
-
-
-def is_version_cluster(cluster: str) -> bool:
-    return cluster.endswith(_VERSION_SUFFIX)
 
 
 @dataclass(frozen=True)
@@ -50,11 +45,15 @@ class VersionManager:
         shadow = version_cluster(cluster)
         if shadow in self._indexed_clusters:
             return
-        for number in self._store.cluster_numbers(shadow):
-            vid = Oid(self._database, shadow, number)
-            _oid, _cls, values = decode_object(self._store.get(vid))
-            target = Oid.parse(values["of"])
-            self._index.setdefault(target, []).append(vid)
+        # One snapshot for the whole scan: membership and records come
+        # from the same commit epoch, and a concurrent commit cannot
+        # slip half its version records into the index.
+        with self._store.snapshot() as snap:
+            for number in snap.cluster_numbers(shadow):
+                vid = Oid(self._database, shadow, number)
+                _oid, _cls, values = decode_object(snap.get(vid))
+                target = Oid.parse(values["of"])
+                self._index.setdefault(target, []).append(vid)
         self._indexed_clusters.add(shadow)
 
     def snapshot(self, oid: Oid, class_name: str,
@@ -67,6 +66,18 @@ class VersionManager:
         self._store.put(vid, encode_object(vid, class_name, wrapper))
         self._index.setdefault(oid, []).append(vid)
         return vid
+
+    def invalidate(self) -> None:
+        """Drop the in-memory index so it is rebuilt from the store.
+
+        ``snapshot()`` indexes the version record as soon as it is
+        written; when the surrounding transaction aborts, the record is
+        rolled back but the index entry would survive and ``history()``
+        would chase an OID that no longer exists.  The object manager
+        calls this on abort.
+        """
+        self._index.clear()
+        self._indexed_clusters.clear()
 
     def history(self, oid: Oid) -> List[VersionRecord]:
         """All snapshots of *oid*, oldest first."""

@@ -44,12 +44,19 @@ _KNOWN_OPS = {OP_BEGIN, OP_PUT, OP_DELETE, OP_COMMIT, OP_ABORT, OP_CHECKPOINT}
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One logical log record."""
+    """One logical log record.
+
+    ``epoch`` is meaningful on COMMIT and CHECKPOINT records: the
+    store's commit epoch as of that record, used to recover the epoch
+    counter on reopen.  Logs written before MVCC carry no epoch field
+    and decode as epoch 0.
+    """
 
     op: str
     txid: int
     oid: str = ""
     payload: bytes = b""
+    epoch: int = 0
 
     def to_value(self) -> Dict[str, Any]:
         return {
@@ -57,6 +64,7 @@ class WalRecord:
             "txid": self.txid,
             "oid": self.oid,
             "payload": self.payload,
+            "epoch": self.epoch,
         }
 
     @classmethod
@@ -74,6 +82,7 @@ class WalRecord:
             txid=int(value.get("txid", 0)),
             oid=value.get("oid", ""),
             payload=payload,
+            epoch=int(value.get("epoch", 0)),
         )
 
 
@@ -161,13 +170,31 @@ class WriteAheadLog:
                 pending.pop(record.txid, None)
         return committed
 
+    def max_epoch(self) -> int:
+        """Highest commit epoch recorded in the log (0 for pre-MVCC logs).
+
+        COMMIT records carry the epoch their transaction published;
+        CHECKPOINT records carry the epoch current at truncation time,
+        so the counter survives a checkpoint that empties the log.
+        """
+        highest = 0
+        for record in self.records():
+            if record.op in (OP_COMMIT, OP_CHECKPOINT):
+                highest = max(highest, record.epoch)
+        return highest
+
     # -- checkpoint ------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Truncate the log once all committed work is safely in the pages."""
+    def checkpoint(self, epoch: int = 0) -> None:
+        """Truncate the log once all committed work is safely in the pages.
+
+        ``epoch`` (the store's current commit epoch) is stamped into the
+        CHECKPOINT record so the epoch counter never regresses across a
+        reopen, even when the checkpoint removed every COMMIT record.
+        """
         self._fh.seek(0)
         self._fh.truncate(0)
-        self.append(WalRecord(op=OP_CHECKPOINT, txid=0), sync=True)
+        self.append(WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch), sync=True)
 
     def close(self) -> None:
         if not self._fh.closed:

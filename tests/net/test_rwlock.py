@@ -223,3 +223,50 @@ def test_seeded_stress():
     # the lock is still serviceable afterwards
     assert lock.acquire_write(timeout=1)
     lock.release_write()
+
+
+def test_timed_out_writer_wakes_queued_readers():
+    """Writer-timeout fairness: a writer that gives up must not leave the
+    readers that queued behind its preference asleep forever.
+
+    Regression: ``acquire_write``'s timeout path decremented
+    ``_writers_waiting`` without notifying, so readers blocked on
+    "no writer waiting" slept until the *next* notify — which, with the
+    original reader still inside, never came.
+    """
+    lock = ReadWriteLock()
+    lock.acquire_read()  # a long-running reader keeps the lock busy
+
+    writer_started = threading.Event()
+    writer_done = threading.Event()
+
+    def impatient_writer():
+        writer_started.set()
+        assert not lock.acquire_write(timeout=0.2)
+        writer_done.set()
+
+    w = threading.Thread(target=impatient_writer)
+    w.start()
+    assert writer_started.wait(5)
+    time.sleep(0.05)  # the writer is now waiting: new readers queue
+
+    acquired = []
+
+    def late_reader():
+        # no timeout: a lost wakeup blocks here forever, so the join
+        # deadline below is the actual assertion
+        acquired.append(lock.acquire_read())
+        lock.release_read()
+
+    readers = [threading.Thread(target=late_reader, daemon=True)
+               for _ in range(3)]
+    for t in readers:
+        t.start()
+    assert writer_done.wait(5)
+    for t in readers:
+        t.join(2)
+    assert not any(t.is_alive() for t in readers), \
+        "readers stayed parked after the waiting writer timed out"
+    w.join(5)
+    lock.release_read()
+    assert acquired == [True, True, True]

@@ -110,13 +110,31 @@ class TestCursors:
         assert cursor.previous() == first
         assert cursor.current() == first
 
-    def test_reset_invalidates_cache(self, remote_lab):
+    def test_reset_invalidates_stale_cache(self, remote_lab, served_lab):
+        cursor = remote_lab.objects.cursor("employee")
+        oid = cursor.next()
+        assert remote_lab.objects.get_buffer(oid).value("name") == "rakesh"
+        # Another client commits behind our back; our cache is now stale.
+        other = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+        try:
+            other.objects.update(oid, {"name": "renamed"})
+        finally:
+            other.close()
+        # reset refreshes the server snapshot and advances the cache's
+        # epoch floor past every pre-commit entry.
+        cursor.reset()
+        assert cursor.next() == oid
+        assert remote_lab.objects.get_buffer(oid).value("name") == "renamed"
+
+    def test_reset_keeps_current_epoch_entries(self, remote_lab):
         cursor = remote_lab.objects.cursor("employee")
         oid = cursor.next()
         remote_lab.objects.get_buffer(oid)
         assert len(remote_lab.objects.cache) > 0
         cursor.reset()
-        assert len(remote_lab.objects.cache) == 0
+        # No write happened: the cached buffer is provably current, so
+        # the epoch-floor invalidation keeps it (no needless refetch).
+        assert len(remote_lab.objects.cache) > 0
         assert cursor.next() == oid
 
     def test_predicate_filtering(self, remote_lab):
@@ -321,11 +339,19 @@ class TestConcurrencyControl:
             t.join(10)
         assert results == [55, 55, 55, 55]
 
-    def test_open_transaction_blocks_readers_until_done(
+    def test_readers_run_lock_free_during_open_transaction(
             self, served_lab, remote_lab):
+        """MVCC: an open transaction no longer blocks other sessions' reads.
+
+        A reader that arrives mid-transaction is served immediately from
+        a snapshot of the last committed epoch — it sees the count from
+        before the uncommitted insert, never a partial state.
+        """
         other = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
         try:
             remote_lab.objects.begin()
+            remote_lab.objects.new_object(
+                "employee", {"name": "uncommitted", "id": 9001})
             seen = []
 
             def reader():
@@ -333,11 +359,34 @@ class TestConcurrencyControl:
 
             t = threading.Thread(target=reader)
             t.start()
+            t.join(10)
+            assert not t.is_alive()
+            assert seen == [55]  # snapshot read: uncommitted insert invisible
+            remote_lab.objects.abort()
+            assert other.objects.count("employee") == 55
+        finally:
+            other.close()
+
+    def test_second_writer_blocks_until_transaction_done(
+            self, served_lab, remote_lab):
+        """The write lock still serializes writer against writer."""
+        other = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+        try:
+            remote_lab.objects.begin()
+            done = []
+
+            def writer():
+                other.objects.update(
+                    Oid("lab", "employee", 0), {"salary": 123.0})
+                done.append(True)
+
+            t = threading.Thread(target=writer)
+            t.start()
             t.join(0.3)
-            assert t.is_alive() and seen == []  # serialized behind the writer
+            assert t.is_alive() and done == []  # queued behind the open tx
             remote_lab.objects.abort()
             t.join(10)
-            assert seen == [55]
+            assert done == [True]
         finally:
             other.close()
 

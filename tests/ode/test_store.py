@@ -96,6 +96,15 @@ class TestClusters:
             store.put(oid, record(oid))
         assert store.cluster_names() == ["a", "b"]
 
+    def test_cluster_names_hide_shadow_version_clusters(self, store):
+        oid = Oid("db", "course", 0)
+        shadow = Oid("db", "course#v", 0)
+        store.put(oid, record(oid))
+        store.put(shadow, record(shadow))
+        assert store.cluster_names() == ["course"]
+        assert store.cluster_names(include_shadow=True) == [
+            "course", "course#v"]
+
 
 class TestLargeRecords:
     def test_fragmented_roundtrip(self, store):

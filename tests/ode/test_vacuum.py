@@ -32,6 +32,18 @@ def test_fragmentation_grows_with_deletes(store):
     assert store.fragmentation() > before
 
 
+def test_fragmentation_is_a_bounded_pure_ratio(store):
+    oids = [Oid("db", "c", n) for n in range(40)]
+    for oid in oids:
+        store.put(oid, record(oid))
+    for oid in oids[::3]:
+        store.delete(oid)
+    value = store.fragmentation()
+    assert 0.0 < value < 1.0
+    # a pure function of the on-disk pages: repeated calls agree
+    assert store.fragmentation() == value
+
+
 def test_vacuum_reclaims_pages(store):
     oids = [Oid("db", "c", n) for n in range(60)]
     for oid in oids:

@@ -95,3 +95,104 @@ def test_versions_do_not_pollute_main_cluster(manager):
     manager.update(oid, {"enrollment": 1})
     manager.update(oid, {"enrollment": 2})
     assert manager.count("course") == 1
+
+
+# -- versioning under explicit transactions and crashes -------------------------
+
+
+def test_abort_leaves_no_orphan_version_record(manager):
+    oid = manager.new_object("course", {"code": "cs101", "enrollment": 1})
+    manager.begin()
+    manager.update(oid, {"enrollment": 2})  # snapshots the pre-state
+    manager.abort()
+    # the rollback removed the shadow record AND the index entry for it
+    assert manager.versions.history(oid) == []
+    assert manager._store.cluster_numbers(version_cluster("course")) == []
+    # a later update starts numbering from scratch, chasing no dead OID
+    manager.update(oid, {"enrollment": 3})
+    history = manager.versions.history(oid)
+    assert [record.sequence for record in history] == [0]
+    assert history[0].state["enrollment"] == 1
+
+
+def _versioned_setup(tmp_path, gate=None):
+    schema = Schema()
+    schema.add_class(OdeClass("course", versioned=True, attributes=(
+        Attribute("enrollment", IntType()),
+    )))
+    store = ObjectStore(tmp_path / "db", fault_gate=gate)
+    return store, ObjectManager(store, schema, "db")
+
+
+@pytest.mark.parametrize("site", [
+    "store.commit.apply", "store.commit.publish", "store.commit.checkpoint",
+])
+def test_update_then_crash_never_double_snapshots(tmp_path, site):
+    """Crash in the version-snapshot commit; redo must not duplicate it.
+
+    An autocommit ``update`` of a versioned object runs two
+    transactions: the pre-state snapshot, then the object write.  The
+    crash lands in the first one *after* its COMMIT record is durable,
+    so reopen redoes the shadow record from the WAL — exactly once —
+    and a retried update must number its new snapshot *after* the
+    redone one, not write a second sequence 0.
+    """
+    from repro.faultsim.harness import crash_store
+    from repro.faultsim.plan import SimulatedCrash, SiteCrash
+
+    store, manager = _versioned_setup(tmp_path)
+    oid = manager.new_object("course", {"enrollment": 1})
+    store.close()
+
+    gate = SiteCrash(site)
+    store, manager = _versioned_setup(tmp_path, gate)
+    with pytest.raises(SimulatedCrash):
+        manager.update(oid, {"enrollment": 2})
+    assert gate.fired is not None
+    crash_store(store, None)
+
+    store, manager = _versioned_setup(tmp_path)
+    try:
+        # the snapshot transaction was durable: redone exactly once
+        history = manager.versions.history(oid)
+        assert [record.sequence for record in history] == [0]
+        assert history[0].state["enrollment"] == 1
+        assert store.cluster_size(version_cluster("course")) == 1
+        # the object write never started (second transaction)
+        assert manager.get_buffer(oid).value("enrollment") == 1
+        # retrying numbers the fresh snapshot after the redone one
+        manager.update(oid, {"enrollment": 2})
+        history = manager.versions.history(oid)
+        assert [record.sequence for record in history] == [0, 1]
+        assert store.cluster_size(version_cluster("course")) == 2
+        assert manager.get_buffer(oid).value("enrollment") == 2
+    finally:
+        store.close()
+
+
+def test_crash_after_snapshot_commits_update_whole(tmp_path):
+    """Crash in the *object-write* transaction: the redone state carries
+    both the new value and exactly one snapshot — never a mixed state."""
+    from repro.faultsim.harness import crash_store
+    from repro.faultsim.plan import SimulatedCrash, SiteCrash
+
+    store, manager = _versioned_setup(tmp_path)
+    oid = manager.new_object("course", {"enrollment": 1})
+    store.close()
+
+    gate = SiteCrash("store.commit.apply", occurrence=1)
+    store, manager = _versioned_setup(tmp_path, gate)
+    with pytest.raises(SimulatedCrash):
+        manager.update(oid, {"enrollment": 2})
+    assert gate.fired is not None
+    crash_store(store, None)
+
+    store, manager = _versioned_setup(tmp_path)
+    try:
+        assert manager.get_buffer(oid).value("enrollment") == 2
+        history = manager.versions.history(oid)
+        assert [record.sequence for record in history] == [0]
+        assert history[0].state["enrollment"] == 1
+        assert store.cluster_size(version_cluster("course")) == 1
+    finally:
+        store.close()
