@@ -1,0 +1,181 @@
+"""GROUP-COMMIT: batched WAL fsync vs per-commit syncing.
+
+The PR 5 tentpole claim: with many concurrent writers, one leader
+fsyncing a whole batch of COMMIT records amortizes the dominant cost of
+a small transaction — the fsync — across every writer in the batch, so
+commit throughput scales with writer count instead of serializing on
+the disk.  ``group_commit_window_ms=0`` is the escape hatch that
+reproduces per-commit syncing exactly, which makes it the baseline.
+
+This benchmark measures commit throughput and p95 commit latency at
+1, 4, and 16 writer threads, once per window setting (0 = per-commit
+baseline, tuned = batched).  Writers follow the server's pipelining
+model: stage under a shared writer lock (cheap — overlay apply plus an
+epoch mint), then wait on the commit barrier with the lock released.
+
+Run directly for the full measurement::
+
+    PYTHONPATH=src python benchmarks/bench_group_commit.py --duration 5
+
+or via pytest (short smoke durations) with the other benchmarks.
+Results land in ``benchmarks/artifacts/BENCH_group_commit.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.ode.codec import encode_object
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+
+WRITER_COUNTS = (1, 4, 16)
+WINDOWS_MS = (0.0, 4.0)
+
+
+def _write_workload(store: ObjectStore, stage_lock: threading.Lock,
+                    worker: int, deadline: float,
+                    latencies: List[float], errors: List[str]) -> None:
+    """One writer: stage under the lock, wait on the barrier outside it."""
+    try:
+        count = 0
+        while time.perf_counter() < deadline:
+            oid = Oid("bench", "employee", worker * 1_000_000 + count % 64)
+            payload = encode_object(oid, "employee",
+                                    {"worker": worker, "i": count})
+            started = time.perf_counter()
+            with stage_lock:
+                store.begin()
+                store.put(oid, payload)
+                epoch = store.commit_stage()
+            store.commit_wait(epoch)
+            latencies.append(time.perf_counter() - started)
+            count += 1
+    except Exception as exc:  # pragma: no cover - failure detail
+        errors.append(f"writer {worker}: {type(exc).__name__}: {exc}")
+
+
+def _percentile(values: List[float], percent: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(len(ordered) * percent / 100.0))
+    return ordered[index]
+
+
+def run_level(root: Path, writers: int, window_ms: float,
+              duration: float) -> Dict[str, float]:
+    """One level: *writers* commit loops against one store."""
+    directory = root / f"w{writers}-win{window_ms:g}"
+    store = ObjectStore(directory, group_commit_window_ms=window_ms)
+    try:
+        stage_lock = threading.Lock()
+        latencies: List[float] = []
+        errors: List[str] = []
+        deadline = time.perf_counter() + duration
+        threads = [
+            threading.Thread(
+                target=_write_workload,
+                args=(store, stage_lock, worker, deadline, latencies, errors))
+            for worker in range(writers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(duration + 30)
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise RuntimeError("; ".join(errors[:3]))
+        stats = store.group_commit_stats()
+        return {
+            "writers": writers,
+            "window_ms": window_ms,
+            "commits": len(latencies),
+            "commits_per_sec": len(latencies) / elapsed if elapsed else 0.0,
+            "mean_ms": (sum(latencies) / len(latencies) * 1e3
+                        if latencies else 0.0),
+            "p95_ms": _percentile(latencies, 95) * 1e3,
+            "syncs": stats["syncs"],
+            "batches": stats["batches"],
+            "batch_size_mean": stats["batch_size_mean"],
+            "batch_size_max": stats["batch_size_max"],
+        }
+    finally:
+        store.close()
+
+
+def run_all(root: Path, duration: float,
+            windows=WINDOWS_MS) -> List[Dict[str, float]]:
+    results = []
+    for writers in WRITER_COUNTS:
+        for window_ms in windows:
+            results.append(run_level(root, writers, window_ms, duration))
+    return results
+
+
+def format_results(results: List[Dict[str, float]]) -> str:
+    lines = ["writers  window  commits/s  p95(ms)  syncs  mean batch"]
+    for row in results:
+        lines.append(
+            f"{row['writers']:>7}  {row['window_ms']:>5.1f}m  "
+            f"{row['commits_per_sec']:>9.0f}  {row['p95_ms']:>7.2f}  "
+            f"{row['syncs']:>5}  {row['batch_size_mean']:>10.1f}")
+    return "\n".join(lines)
+
+
+def write_artifact(results: List[Dict[str, float]],
+                   duration: float) -> Path:
+    artifacts = Path(__file__).parent / "artifacts"
+    artifacts.mkdir(exist_ok=True)
+    path = artifacts / "BENCH_group_commit.json"
+    path.write_text(json.dumps({
+        "benchmark": "group_commit",
+        "duration_per_level": duration,
+        "results": results,
+    }, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point (short smoke duration) ----------------------------------
+
+def test_group_commit_smoke(tmp_path):
+    """Every level commits, and the tuned window actually batches."""
+    results = run_all(tmp_path, duration=0.3)
+    assert len(results) == len(WRITER_COUNTS) * len(WINDOWS_MS)
+    for row in results:
+        assert row["commits"] > 0
+        if row["window_ms"] == 0.0:
+            # window 0 is the per-commit baseline: one sync per commit
+            assert row["syncs"] == row["commits"]
+    tuned_16 = next(r for r in results
+                    if r["writers"] == 16 and r["window_ms"] > 0)
+    assert tuned_16["batch_size_max"] > 1  # batches really formed
+    write_artifact(results, 0.3)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds per (writers, window) level")
+    parser.add_argument("--windows", type=float, nargs="+",
+                        default=list(WINDOWS_MS),
+                        help="group_commit_window_ms values to compare")
+    args = parser.parse_args()
+    import tempfile
+
+    root = Path(tempfile.mkdtemp(prefix="odeview-bench-group-commit-"))
+    results = run_all(root, args.duration, windows=tuple(args.windows))
+    print(format_results(results))
+    path = write_artifact(results, args.duration)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,13 @@ class QueryPlan:
     index_attribute: Optional[str]
     candidates: Optional[List[int]]     # OID numbers from the probe
     residual: Optional[ast.Expr]        # still checked per object
+    #: The whole predicate.  The index probe answers against the *live*
+    #: index, but execution may read through a pinned snapshot (an older
+    #: epoch) — so every candidate is re-checked against the full
+    #: predicate, not just the residual, and an object whose
+    #: snapshot-visible value no longer satisfies the probed conjunct is
+    #: filtered out instead of surfacing post-snapshot state.
+    expr: Optional[ast.Expr] = None
 
     def explain(self) -> str:
         """Human-readable plan, in the EXPLAIN tradition."""
@@ -116,7 +123,7 @@ class SelectionPlanner:
         if best is None:
             return QueryPlan(class_name=class_name, access="scan",
                              index_attribute=None, candidates=None,
-                             residual=expr)
+                             residual=expr, expr=expr)
         _rank, position, (attribute, op, literal) = best
         index = indexes.get(class_name, attribute)
         if op == _EQ:
@@ -135,7 +142,7 @@ class SelectionPlanner:
             [c for i, c in enumerate(conjuncts) if i != position])
         return QueryPlan(class_name=class_name, access=access,
                          index_attribute=attribute, candidates=numbers,
-                         residual=residual)
+                         residual=residual, expr=expr)
 
     def execute(self, plan: QueryPlan) -> Iterator[ObjectBuffer]:
         objects = self.database.objects
@@ -146,13 +153,17 @@ class SelectionPlanner:
             yield from objects.select(plan.class_name, predicate)
             return
         database_name = objects.database
+        # Full-predicate recheck, not residual-only: the candidates came
+        # from the live index, but the buffers are read at the caller's
+        # (possibly pinned) epoch, and the two may disagree about the
+        # probed attribute under concurrent commits.
+        check = plan.expr if plan.expr is not None else plan.residual
         for number in plan.candidates or ():
             oid = Oid(database_name, plan.class_name, number)
             if not objects.exists(oid):
                 continue  # index may lag a raw store mutation
             buffer = objects.get_buffer(oid)
-            if plan.residual is None or self._evaluator.matches(
-                    plan.residual, buffer):
+            if check is None or self._evaluator.matches(check, buffer):
                 yield buffer
 
     def select(self, class_name: str, expr: ast.Expr) -> List[ObjectBuffer]:

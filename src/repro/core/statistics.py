@@ -60,6 +60,8 @@ def gather_statistics(db_session) -> List[Tuple[str, str]]:
 
         registry = get_registry()
         rows.append(("commit epoch", str(database.store.epoch)))
+        rows.extend(_group_commit_rows(
+            database.store.group_commit_stats(), registry))
         rows.append(("mvcc versions live",
                      str(registry.gauge("mvcc.versions_live").value)))
         rows.append(("mvcc snapshots open",
@@ -76,6 +78,39 @@ def gather_statistics(db_session) -> List[Tuple[str, str]]:
     loader = db_session.registry.loader.stats
     rows.append(("display modules loaded", str(loader.loads)))
     rows.append(("display cache hits", str(loader.cache_hits)))
+    return rows
+
+
+def _group_commit_rows(stats, registry=None) -> List[Tuple[str, str]]:
+    """Rows for one store's commit barrier (local or server-reported).
+
+    ``registry`` adds the process-wide ``wal.group.*`` family for the
+    local case — the per-store numbers and the registry mirrors diverge
+    when several stores share the process.
+    """
+    rows: List[Tuple[str, str]] = []
+    if not stats:
+        return rows
+    rows.append(("group commit",
+                 f"window {stats.get('window_ms', 0):g}ms, "
+                 f"max batch {stats.get('max_batch', 0)}"))
+    batches = stats.get("batches", 0)
+    if batches:
+        rows.append(("wal.group batches / commits",
+                     f"{batches} / {stats.get('commits', 0)} "
+                     f"(mean batch {stats.get('batch_size_mean', 0.0):.1f}, "
+                     f"max {stats.get('batch_size_max', 0)})"))
+        rows.append(("wal.group syncs", str(stats.get("syncs", 0))))
+    if stats.get("wait_count"):
+        rows.append(("commit wait latency",
+                     f"mean {stats.get('wait_mean_ms', 0.0):.2f}ms, "
+                     f"p95 {stats.get('wait_p95_ms', 0.0):.2f}ms"))
+    if registry is not None:
+        family = registry.snapshot_prefix("wal.group.")
+        for name in ("wal.group.batches", "wal.group.commits",
+                     "wal.group.syncs"):
+            if name in family:
+                rows.append((f"{name} (process)", str(family[name])))
     return rows
 
 
@@ -102,6 +137,9 @@ def _remote_statistics(database) -> List[Tuple[str, str]]:
     rows.append(("server pool hits / misses",
                  f"{pool.get('hits', 0)} / {pool.get('misses', 0)}"))
     rows.append(("server commit epoch", str(stats.get("epoch", "?"))))
+    rows.extend(
+        (f"server {label}", value)
+        for label, value in _group_commit_rows(stats.get("group_commit", {})))
     mvcc = stats.get("mvcc", {})
     if mvcc:
         rows.append(("server mvcc versions live",

@@ -49,6 +49,18 @@ class TransactionError(StorageError):
     """Transaction misuse: commit without begin, nested begin, ..."""
 
 
+class GroupCommitError(StorageError):
+    """The group-commit leader died mid-flush; the batch outcome is unknown.
+
+    Raised to *followers* parked on the commit barrier when the thread
+    elected to flush their batch crashed (a simulated process death).
+    The dying leader re-raises its own crash; everyone else gets this.
+    Unlike a transient flush failure, no recovery is attempted — a dead
+    process does not tidy up — so the store must be reopened to learn
+    which commits in the batch actually reached stable storage.
+    """
+
+
 class FaultInjectedError(StorageError):
     """An I/O failure injected by :mod:`repro.faultsim`.
 

@@ -24,19 +24,30 @@ PAGEFILE_SITES = (
     "pagefile.sync",
 )
 
-#: Sites inside :class:`repro.ode.wal.WriteAheadLog`.
+#: Sites inside :class:`repro.ode.wal.WriteAheadLog`.  ``wal.append``
+#: is crossed by single-record appends *and* by a group-commit batch —
+#: the batch's COMMIT frames arrive as one blob, so a torn write cuts
+#: the batch at an arbitrary byte and recovery keeps the intact frame
+#: prefix.  ``wal.group.sync`` is the one fsync that makes a whole
+#: batch durable: a crash before it loses every commit in the batch
+#: atomically (none was acknowledged), a crash after it loses none.
+#: ``wal.sync`` remains the checkpoint/recovery sync.
 WAL_SITES = (
     "wal.append",
     "wal.sync",
+    "wal.group.sync",
 )
 
 #: Pure crash points inside :class:`repro.ode.store.ObjectStore`'s
-#: commit sequence: after the commit record is durable but before the
-#: pages are (``apply``); after the pages are durable but before the
-#: commit epoch is published to snapshot readers (``publish`` — a crash
-#: here must not let the epoch regress or expose a half-applied
-#: transaction on reopen); and after publication but before the log is
-#: truncated (``checkpoint``).
+#: commit-finish sequence, crossed by the group-commit leader after the
+#: batch fsync, once per commit in epoch order: after the commit record
+#: is durable but before the pages are touched (``apply``); after the
+#: pages are applied but before the commit epoch is published to
+#: snapshot readers (``publish`` — a crash here must not let the epoch
+#: regress or expose a half-applied transaction on reopen); and after
+#: publication but before the log is eventually truncated
+#: (``checkpoint``).  All three sit *after* durability, so a crash at
+#: any of them redoes the whole transaction from the log on reopen.
 STORE_SITES = (
     "store.commit.apply",
     "store.commit.publish",

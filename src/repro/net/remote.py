@@ -575,6 +575,15 @@ class RemoteDatabase:
     def server_stats(self) -> Dict[str, Any]:
         return self.client.call(P.OP_STATS, {"db": self.name})
 
+    def group_commit_stats(self) -> Dict[str, Any]:
+        """The server store's commit-barrier numbers (batch sizes, the
+        one-fsync-per-batch counters, commit wait latency) — the remote
+        face of :meth:`repro.ode.store.ObjectStore.group_commit_stats`.
+        Writes from many clients batch on the server's barrier, so this
+        is where a tuning pass reads the effect of
+        ``group_commit_window_ms``."""
+        return self.server_stats().get("group_commit", {})
+
     def close(self) -> None:
         try:
             self.client.close()

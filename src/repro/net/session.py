@@ -19,8 +19,16 @@ Dispatch discipline (MVCC):
 * a session reading the database *it has an open transaction on* reads
   through the transaction overlay instead (read-your-writes);
 * write opcodes take the *write* lock, which now only serializes
-  writer against writer; an explicit transaction holds it from
-  ``begin`` until ``commit``/``abort``;
+  writer against writer — and only for the cheap part: overlay apply
+  and epoch mint (``commit_stage``).  The commit fsync happens on the
+  store's shared group-commit barrier **after** the write lock is
+  released, so concurrent sessions' commits batch into one
+  ``wal.group.sync`` instead of queueing at disk latency.  An explicit
+  transaction holds the lock from ``begin`` until ``commit``/``abort``
+  stages it;
+* no reply is sent (and no cache-visible epoch reported) until
+  ``commit_wait`` confirms the staged epoch is durable *and*
+  published, so clients never observe an unacknowledged commit;
 * a session that disconnects mid-transaction is aborted and its locks
   released, so a crashed client never wedges the database.
 """
@@ -115,7 +123,7 @@ class ServerSession:
             return handler(self, payload)
         hosted = self._hosted(payload)
         if opcode in P.WRITE_OPCODES:
-            return self._dispatch_write(handler, hosted, payload)
+            return self._dispatch_write(opcode, handler, hosted, payload)
         return self._dispatch_read(handler, hosted, payload)
 
     def _dispatch_read(self, handler, hosted: HostedDatabase,
@@ -139,7 +147,7 @@ class ServerSession:
             result.setdefault("epoch", snapshot.epoch)
         return result
 
-    def _dispatch_write(self, handler, hosted: HostedDatabase,
+    def _dispatch_write(self, opcode: int, handler, hosted: HostedDatabase,
                         payload: Dict[str, Any]) -> Dict[str, Any]:
         if self._tx_database is not None:
             if self._tx_database != hosted.database.name:
@@ -148,6 +156,34 @@ class ServerSession:
                     f"write {hosted.database.name!r}")
             # Already the writer (reentrant); run under the held lock.
             result = handler(self, payload)
+        elif opcode in _AUTOCOMMIT_OPCODES:
+            # Pipelined autocommit: the write lock covers only overlay
+            # apply + epoch mint (handler + commit_stage); the fsync
+            # happens on the shared group-commit barrier after the lock
+            # is released, so concurrent sessions' commits batch.
+            objects = hosted.database.objects
+            with hosted.lock.writing():
+                objects.begin()
+                try:
+                    result = handler(self, payload)
+                except BaseException:
+                    if hosted.database.store.in_transaction:
+                        objects.abort()
+                    raise
+                try:
+                    staged = objects.commit_stage()
+                except BaseException:
+                    if hosted.database.store.in_transaction:
+                        objects.abort()
+                    self._rebuild_indexes(hosted)
+                    raise
+            try:
+                objects.commit_wait(staged)
+            except BaseException:
+                # The handler updated the in-memory attribute indexes,
+                # but the store rolled back to committed state.
+                self._rebuild_indexes(hosted)
+                raise
         else:
             with hosted.lock.writing():
                 result = handler(self, payload)
@@ -158,6 +194,18 @@ class ServerSession:
         # cache learns about its own commits without an extra round trip.
         result.setdefault("epoch", hosted.database.store.epoch)
         return result
+
+    @staticmethod
+    def _rebuild_indexes(hosted: HostedDatabase) -> None:
+        """Re-derive every attribute index from committed state after a
+        failed commit rolled the store back under live index updates.
+        Best-effort: the commit's own error is the one to report."""
+        objects = hosted.database.objects
+        try:
+            for index in objects.indexes.indexes():
+                objects.indexes.rebuild(index.class_name, index.attribute)
+        except OdeError:
+            pass
 
     # -- handshake / catalog ------------------------------------------------------
 
@@ -307,14 +355,23 @@ class ServerSession:
         return {"txid": txid}
 
     def op_commit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Stage the commit under the write lock, release the lock, then
+        wait for durability on the shared barrier — so a long fsync never
+        blocks the next session's writes, only this session's reply."""
         hosted = self._hosted(payload)
         if self._tx_database != hosted.database.name:
             raise TransactionError("no transaction open on this session")
+        objects = hosted.database.objects
         try:
-            hosted.database.objects.commit()
+            staged = objects.commit_stage()
         finally:
             self._tx_database = None
             hosted.lock.release_write()
+        try:
+            objects.commit_wait(staged)
+        except OdeError:
+            self._rebuild_indexes(hosted)
+            raise
         return {}
 
     def op_abort(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -408,6 +465,7 @@ class ServerSession:
                 "prefetches": pool.stats.prefetches,
             },
             "epoch": database.store.epoch,
+            "group_commit": database.store.group_commit_stats(),
             "mvcc": {
                 "versions_live": registry.gauge("mvcc.versions_live").value,
                 "snapshots_open": registry.gauge("mvcc.snapshots_open").value,
@@ -431,6 +489,13 @@ class ServerSession:
 #: CURSOR_CLOSE only pops a session-local dict entry, so it needs none.
 _UNLOCKED_OPCODES = frozenset({
     P.OP_HELLO, P.OP_PING, P.OP_LIST_DATABASES, P.OP_CURSOR_CLOSE,
+})
+
+#: Single-op writes outside an explicit transaction: dispatched as
+#: begin + handler + commit_stage under the write lock, commit_wait on
+#: the shared group-commit barrier after it is released.
+_AUTOCOMMIT_OPCODES = frozenset({
+    P.OP_NEW_OBJECT, P.OP_UPDATE, P.OP_DELETE,
 })
 
 #: Cursor steps read through the cursor's own pinned snapshot, so they

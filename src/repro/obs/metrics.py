@@ -236,6 +236,15 @@ class MetricsRegistry:
         return {name: self._metrics[name].snapshot()
                 for name in self.names()}
 
+    def snapshot_prefix(
+            self, prefix: str,
+    ) -> Dict[str, Union[int, float, Dict[str, float]]]:
+        """Snapshot of every metric under a dotted prefix (e.g.
+        ``"wal.group."``) — how subsystem dashboards pick up their own
+        family of metrics without naming each one."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names() if name.startswith(prefix)}
+
     def reset(self) -> None:
         """Zero every metric (names and objects stay registered)."""
         for metric in self._metrics.values():

@@ -380,6 +380,16 @@ class ObjectManager:
     def commit(self) -> None:
         self._store.commit()
 
+    def commit_stage(self) -> int:
+        """Queue the open transaction on the group-commit barrier and
+        return its minted epoch; :meth:`commit_wait` makes it durable.
+        Splitting the two lets a caller release its own write lock while
+        the batch fsync happens on the shared barrier."""
+        return self._store.commit_stage()
+
+    def commit_wait(self, epoch: int) -> None:
+        self._store.commit_wait(epoch)
+
     def abort(self) -> None:
         self._store.abort()
         if self._version_manager is not None:

@@ -10,28 +10,40 @@ Because every record is self-describing (it embeds its OID), the object
 table and cluster indexes are rebuilt by scanning the pages at open; there
 is no separately persisted index to corrupt.
 
-Crash consistency.  Commit is: force the COMMIT record, apply the
-buffered writes to pages, flush (crash-atomically, through the page
-file's double-write journal), truncate the log.  A crash anywhere in
-that sequence recovers at reopen: if the COMMIT record is durable the
-transaction is redone from the log — and every on-disk record of an OID
-the log will redo is *purged* first, because a crash mid-apply can
-leave both the old and the new version live on disk (the delete of the
-old slot and the insert of the new one flush independently), and a
-rebuild that kept both could resurrect the stale one.  If the COMMIT
-record is not durable, apply never started and the pages are untouched.
+Crash consistency and group commit.  Commit is split in two:
+:meth:`ObjectStore.commit_stage` (under the store lock: validate, mint
+the commit epoch, queue the COMMIT record on the group-commit barrier)
+and :meth:`ObjectStore.commit_wait` (no store lock: park on the barrier
+until durable).  The batch *leader* — the first waiter to find no
+leader active — appends every queued COMMIT frame as one blob, pays a
+single ``wal.group.sync`` fsync for the whole batch, and then finishes
+each commit **in epoch order**: re-take the store lock, apply that
+commit's buffered writes to the pages, publish its epoch to snapshot
+readers.  Visibility is therefore granted strictly after durability,
+and the plain :meth:`ObjectStore.commit` is just stage + wait.  The log
+is truncated by a size-triggered checkpoint (``wal_checkpoint_bytes``,
+taken only when no transaction is open and the barrier is idle) and at
+close/vacuum — not per commit.  A crash anywhere recovers at reopen:
+if a COMMIT record is durable the transaction is redone from the log —
+and every on-disk record of an OID the log will redo is *purged* first,
+because a crash mid-apply can leave both the old and the new version
+live on disk, and a rebuild that kept both could resurrect the stale
+one.  If the COMMIT record is not durable, apply never started and the
+pages are untouched.
 
 Fault injection.  ``fault_gate`` (see :mod:`repro.faultsim.plan`) is
 threaded through to the page file and the WAL, and the store adds three
-pure crash points of its own: ``store.commit.apply`` (COMMIT durable,
-pages not yet touched), ``store.commit.publish`` (pages durable, the
+pure crash points of its own, crossed by the group-commit leader inside
+each commit's finish step: ``store.commit.apply`` (COMMIT durable,
+pages not yet touched), ``store.commit.publish`` (pages applied, the
 commit epoch not yet visible to readers) and ``store.commit.checkpoint``
 (epoch published, log not yet truncated).  If a transient
 :class:`~repro.errors.FaultInjectedError` (or any other ``Exception``)
 escapes mid-commit, the outcome is ambiguous — the COMMIT record may or
-may not be on disk — so the store rebuilds its volatile state from
-stable storage (:meth:`ObjectStore._recover_volatile`) before
-re-raising, which resolves the transaction the same way a reopen would.
+may not be on disk — so the store fails everything queued on the
+barrier, rebuilds its volatile state from stable storage
+(:meth:`ObjectStore._recover_volatile`) and re-raises, which resolves
+the transaction the same way a reopen would.
 
 Snapshot isolation (MVCC).  Every commit publishes a monotonically
 increasing *epoch* (stamped into WAL COMMIT and CHECKPOINT records, so
@@ -56,11 +68,17 @@ single-entry current-value chains are kept as a read cache bounded by
 from __future__ import annotations
 
 import bisect
+import itertools
 import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import ObjectNotFoundError, StorageError, TransactionError
+from repro.errors import (
+    GroupCommitError,
+    ObjectNotFoundError,
+    StorageError,
+    TransactionError,
+)
 from repro.obs import get_registry
 from repro.ode.bufferpool import BufferPool
 from repro.ode.codec import read_varint, write_varint
@@ -68,11 +86,11 @@ from repro.ode.oid import Oid, is_version_cluster
 from repro.ode.page import MAX_RECORD_SIZE, PAGE_SIZE
 from repro.ode.pagefile import PageFile
 from repro.ode.wal import (
-    OP_ABORT,
     OP_BEGIN,
     OP_COMMIT,
     OP_DELETE,
     OP_PUT,
+    GroupCommit,
     WalRecord,
     WriteAheadLog,
 )
@@ -220,17 +238,31 @@ class ObjectStore:
     def __init__(self, directory: Union[str, Path], pool_capacity: int = 64,
                  eviction_policy: str = "lru",
                  fault_gate: Optional[Callable[..., Any]] = None,
-                 mvcc_cache_limit: int = 4096):
+                 mvcc_cache_limit: int = 4096,
+                 group_commit_window_ms: float = 0.0,
+                 group_commit_max_batch: int = 64,
+                 wal_checkpoint_bytes: int = 1 << 20):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._eviction_policy = eviction_policy
         self._fault_gate = fault_gate
+        # Reads mutate shared state (buffer-pool frames, LRU order), so a
+        # store serving several server sessions needs every entry point
+        # serialized.  Reentrant: put()/delete() recurse through begin().
+        # Created first: the commit group holds it across a batch's
+        # finish callbacks.
+        self._lock = threading.RLock()
         self._pagefile = PageFile(self.directory / self.DATA_FILE,
                                   fault_gate=fault_gate)
         self._pool = BufferPool(self._pagefile, pool_capacity,
                                 policy=eviction_policy)
         self._wal = WriteAheadLog(self.directory / self.WAL_FILE,
                                   fault_gate=fault_gate)
+        self._commit_group = GroupCommit(self._wal,
+                                         window_ms=group_commit_window_ms,
+                                         max_batch=group_commit_max_batch,
+                                         finish_lock=self._lock)
+        self._wal_checkpoint_bytes = max(0, int(wal_checkpoint_bytes))
         registry = get_registry()
         self._m_gets = registry.counter("store.gets")
         self._m_puts = registry.counter("store.puts")
@@ -246,12 +278,12 @@ class ObjectStore:
         self._table: Dict[Oid, Location] = {}
         self._clusters: Dict[str, List[int]] = {}
         self._next_number: Dict[str, int] = {}
+        # Next-fit allocator state: index into data_page_numbers() where
+        # the last insert landed.  Purely a search-start hint — the scan
+        # wraps, so any page with space is still found.
+        self._insert_hint = 0
         self._txid: Optional[int] = None
         self._tx_counter = 0
-        # Reads mutate shared state (buffer-pool frames, LRU order), so a
-        # store serving several server sessions needs every entry point
-        # serialized.  Reentrant: put()/delete() recurse through begin().
-        self._lock = threading.RLock()
         # MVCC state.  _mvcc_lock is leaf-level: held briefly, never
         # while doing I/O, and always acquired after _lock when both are
         # needed — snapshot reads take it alone, which is what keeps
@@ -262,9 +294,18 @@ class ObjectStore:
         self._members: Dict[str, Tuple[Oid, ...]] = {}
         self._mvcc_cache_limit = mvcc_cache_limit
         self._epoch = 0
+        # A recovery mid-flight fails any commit staged before it (the
+        # log rebuild truncated that commit's operation records), and
+        # dooms any transaction left open across it.
+        self._generation = 0
+        self._tx_doomed = False
         self._rebuild_from_pages(purge=self._redo_oids())
         self._recover_from_wal()
         self._rebuild_members()
+        # Epochs are minted at stage time and published at finish time;
+        # the mint counter never regresses in-process, so a failed
+        # commit leaves at most a gap, never a reused epoch.
+        self._epoch_minted = self._epoch
 
     # -- recovery -------------------------------------------------------------
 
@@ -370,12 +411,24 @@ class ObjectStore:
     # -- page-level operations ------------------------------------------------------
 
     def _insert_record(self, record: bytes) -> Tuple[int, int]:
-        for page_no in self._pagefile.data_page_numbers():
+        # Next-fit: resume the scan where the last insert landed instead
+        # of first-fit from page one.  An append-heavy workload (the
+        # group-commit leader applying a batch) touches exactly one page
+        # instead of re-scanning every full page per record; the wrap
+        # keeps coverage identical — a new page is allocated only when
+        # truly no existing page fits.
+        pages = self._pagefile.data_page_numbers()
+        start = self._insert_hint if self._insert_hint < len(pages) else 0
+        for index in itertools.chain(range(start, len(pages)),
+                                     range(0, start)):
+            page_no = pages[index]
             page = self._pool.fetch(page_no)
             if page.fits(len(record)):
+                self._insert_hint = index
                 slot = page.insert(record)
                 return page_no, slot
         page_no = self._pool.new_page()
+        self._insert_hint = len(pages)
         page = self._pool.fetch(page_no)
         slot = page.insert(record)
         return page_no, slot
@@ -459,66 +512,150 @@ class ObjectStore:
     def begin(self) -> int:
         """Start an explicit transaction; raises if one is already open."""
         with self._lock:
+            self._check_doomed()
             if self._txid is not None:
                 raise TransactionError("a transaction is already in progress")
             self._tx_counter += 1
             txid = self._tx_counter
-            # Append before publishing the txid: if the write fails, no
-            # transaction is open and nothing needs aborting.
-            self._wal.append(WalRecord(op=OP_BEGIN, txid=txid))
+            # Log buffering: nothing touches the WAL until the commit
+            # stages.  An uncommitted transaction was always invisible
+            # to recovery (a BEGIN with no COMMIT replays as nothing),
+            # so keeping its records in memory until commit changes no
+            # crash outcome — and it removes every per-operation log
+            # write from the serialized stage path.
             self._txid = txid
             self._tx_writes: List[WalRecord] = []
             return txid
 
     def commit(self) -> None:
+        """Commit the open transaction and block until it is durable,
+        applied and published (stage + wait)."""
+        self.commit_wait(self.commit_stage())
+
+    def commit_stage(self) -> int:
+        """Mint this transaction's commit epoch and queue its COMMIT
+        record on the group-commit barrier; the transaction is over when
+        this returns (a new one may begin immediately — that pipelining
+        is the concurrency win).  Durability, page apply and epoch
+        publication all happen later, on the barrier: nothing this
+        commit wrote is visible to readers, and no ack may be sent,
+        until :meth:`commit_wait` returns for the minted epoch.
+        """
         with self._lock:
             if self._txid is None:
                 raise TransactionError("no transaction in progress")
             try:
-                epoch = self._epoch + 1
-                self._wal.append(WalRecord(op=OP_COMMIT, txid=self._txid,
-                                           epoch=epoch),
-                                 sync=True)
-                self._gate("store.commit.apply")
+                epoch = self._epoch_minted + 1
                 effects = self._tx_effects()
-                preimages = self._capture_preimages(effects)
-                for record in self._tx_writes:
-                    oid = Oid.parse(record.oid)
-                    if record.op == OP_PUT:
-                        self._put_to_pages(oid, record.payload)
-                    else:
-                        if oid in self._table:
-                            self._delete_from_pages(oid)
-                self._pool.flush_all()
-                self._gate("store.commit.publish")
-                self._publish_epoch(epoch, effects, preimages)
-                self._gate("store.commit.checkpoint")
-                self._wal.checkpoint(epoch)
-            except Exception:
-                # The outcome is ambiguous (the COMMIT record may or may
-                # not be durable) and the pages/pool may hold a partial
-                # apply.  Resolve exactly the way a reopen would: rebuild
-                # everything volatile from stable storage.  A
-                # SimulatedCrash is a BaseException and skips this — a
-                # dead process does not tidy up.
+                generation = self._generation
+                # The transaction's whole frame sequence rides the
+                # barrier: the batch leader writes it with one blob
+                # append, so this thread never touches the log file.
+                frames = [WalRecord(op=OP_BEGIN, txid=self._txid),
+                          *self._tx_writes,
+                          WalRecord(op=OP_COMMIT, txid=self._txid,
+                                    epoch=epoch)]
+                self._commit_group.submit(
+                    epoch, frames,
+                    lambda: self._commit_finish(epoch, effects, generation))
+                self._epoch_minted = epoch
+            finally:
+                # Success or not, this transaction is finished: a failed
+                # submit left nothing queued and nothing applied, so the
+                # BEGIN without COMMIT is simply invisible to recovery.
                 self._txid = None
                 self._tx_writes = []
+            return epoch
+
+    def commit_wait(self, epoch: int) -> None:
+        """Block until the staged *epoch* is durable and published.
+
+        On a transient flush failure the outcome is ambiguous (the
+        COMMIT record may or may not be on disk), so everything queued
+        on the barrier is failed and the volatile state is rebuilt from
+        stable storage — exactly what a reopen would decide.  A dead
+        leader (simulated process crash) propagates
+        :class:`~repro.errors.GroupCommitError` untouched: a dead
+        process does not tidy up.
+        """
+        try:
+            self._commit_group.wait_durable(epoch)
+        except GroupCommitError:
+            raise
+        except Exception as exc:
+            # Not under the store lock: the quiesce must wait out a
+            # leader whose finish callbacks take that lock.
+            self._commit_group.abort_pending(exc)
+            with self._lock:
                 self._recover_volatile()
-                raise
-            self._txid = None
-            self._tx_writes = []
+                self._commit_group.reset(self._epoch)
+            raise
+        self._maybe_checkpoint()
+
+    def _commit_finish(self, epoch: int, effects: Dict[Oid, Optional[bytes]],
+                       generation: int) -> None:
+        """Apply + publish one durable commit (runs on the batch leader,
+        in epoch order, after the batch fsync)."""
+        with self._lock:
+            if generation != self._generation:
+                # The store rebuilt itself from stable storage after this
+                # commit staged; the rebuild truncated its operation
+                # records, so finishing it would apply state the log can
+                # no longer redo.
+                raise StorageError(
+                    f"commit epoch {epoch} overtaken by store recovery")
+            self._gate("store.commit.apply")
+            preimages = self._capture_preimages(effects)
+            for oid, payload in effects.items():
+                if payload is None:
+                    if oid in self._table:
+                        self._delete_from_pages(oid)
+                else:
+                    self._put_to_pages(oid, payload)
+            self._gate("store.commit.publish")
+            self._publish_epoch(epoch, effects, preimages)
+            self._gate("store.commit.checkpoint")
+
+    def _maybe_checkpoint(self) -> None:
+        """Truncate the log when it has grown past the threshold.
+
+        Only when no transaction is open and the barrier is idle: a
+        queued commit's frames land *after* the truncation would run,
+        and a checkpoint frame wedged into the middle of a batch's
+        redo records would make recovery start replay halfway through
+        a commit.  Both guards are stable while we hold the store
+        lock: staging requires it.
+        """
+        if self._wal.size_bytes() < self._wal_checkpoint_bytes:
+            return
+        with self._lock:
+            if (self._txid is None and self._commit_group.idle()
+                    and self._wal.size_bytes() >= self._wal_checkpoint_bytes):
+                self._pool.flush_all()
+                self._wal.checkpoint(self._epoch)
+
+    def group_commit_stats(self) -> Dict[str, Any]:
+        """Batch-size/latency behaviour of this store's commit barrier."""
+        return self._commit_group.stats()
+
+    def _check_doomed(self) -> None:
+        """Raise (once) if a recovery destroyed the open transaction."""
+        if self._tx_doomed:
+            self._tx_doomed = False
+            raise TransactionError(
+                "transaction aborted by store recovery (its operation "
+                "records were truncated while another commit failed)")
 
     def abort(self) -> None:
         with self._lock:
             if self._txid is None:
                 raise TransactionError("no transaction in progress")
-            try:
-                self._wal.append(WalRecord(op=OP_ABORT, txid=self._txid))
-            finally:
-                # Even if the append failed the transaction is over: a
-                # BEGIN with no COMMIT is invisible to recovery.
-                self._txid = None
-                self._tx_writes = []
+            # The transaction's records are buffered in memory until
+            # commit, so dropping the buffer *is* the abort — the log
+            # never saw this transaction.  (ABORT records still replay
+            # correctly for logs written before buffering.)
+            self._txid = None
+            self._tx_writes = []
 
     def _recover_volatile(self) -> None:
         """Rebuild pool/table/indexes from disk after a failed commit.
@@ -534,6 +671,16 @@ class ObjectStore:
         stable storage, so a half-done attempt costs nothing — before
         the store gives up and reports itself broken.
         """
+        # Any commit staged before this point can no longer finish (its
+        # operation records are about to be truncated) ...
+        self._generation += 1
+        # ... and a transaction left open by a *different* pipelined
+        # writer is destroyed with it: doom it so that writer's next
+        # call fails loudly instead of silently losing its buffered ops.
+        if self._txid is not None:
+            self._txid = None
+            self._tx_writes = []
+            self._tx_doomed = True
         last: Optional[BaseException] = None
         for _attempt in range(5):
             try:
@@ -635,14 +782,18 @@ class ObjectStore:
         entirely after — never a mixture.
         """
         with self._mvcc_lock:
+            touched = []
             for oid, payload in effects.items():
                 chain = self._mvcc.get(oid)
                 if chain is None:
                     chain = self._mvcc[oid] = [(0, preimages.get(oid))]
+                    self._m_versions_live.inc()
                 chain.append((epoch, payload))
+                self._m_versions_live.inc()
+                touched.append(chain)
                 self._member_update_locked(oid, payload is not None)
             self._epoch = epoch
-            self._prune_locked()
+            self._prune_locked(touched)
 
     def _member_update_locked(self, oid: Oid, present: bool) -> None:
         members = self._members.get(oid.cluster, ())
@@ -659,7 +810,7 @@ class ObjectStore:
             else:
                 self._members.pop(oid.cluster, None)
 
-    def _prune_locked(self) -> None:
+    def _prune_locked(self, chains=None) -> None:
         """Drop versions no live snapshot can reach (``_mvcc_lock`` held).
 
         Within a chain, everything superseded by a newer entry at or
@@ -667,10 +818,20 @@ class ObjectStore:
         or below the watermark holds the OID's *current* committed value
         — it is kept as a lock-free read cache, evicted only past
         ``mvcc_cache_limit``.
+
+        *chains* limits the sweep to the chains one commit just grew —
+        the per-commit fast path, O(commit size) instead of O(cached
+        OIDs).  A full sweep (``chains=None``) runs when the watermark
+        moves (snapshot release) and also evicts cache overflow; the
+        fast path escalates to a full sweep itself when the cache has
+        outgrown its limit, so a write-only workload (no snapshots ever
+        released) still cannot grow the cache without bound.
         """
+        if chains is not None and len(self._mvcc) > self._mvcc_cache_limit:
+            chains = None
         watermark = min(self._pins) if self._pins else self._epoch
         pruned = 0
-        for chain in self._mvcc.values():
+        for chain in (self._mvcc.values() if chains is None else chains):
             keep_from = 0
             for index in range(len(chain) - 1, -1, -1):
                 if chain[index][0] <= watermark:
@@ -679,17 +840,16 @@ class ObjectStore:
             if keep_from:
                 pruned += keep_from
                 del chain[:keep_from]
-        overflow = len(self._mvcc) - self._mvcc_cache_limit
-        if overflow > 0:
-            evictable = [oid for oid, chain in self._mvcc.items()
-                         if len(chain) == 1 and chain[0][0] <= watermark]
-            for oid in evictable[:overflow]:
-                del self._mvcc[oid]
-                pruned += 1
+        if chains is None:
+            overflow = len(self._mvcc) - self._mvcc_cache_limit
+            if overflow > 0:
+                evictable = [oid for oid, chain in self._mvcc.items()
+                             if len(chain) == 1 and chain[0][0] <= watermark]
+                for oid in evictable[:overflow]:
+                    pruned += len(self._mvcc.pop(oid))
         if pruned:
             self._m_pruned.inc(pruned)
-        self._m_versions_live.set(
-            sum(len(chain) for chain in self._mvcc.values()))
+            self._m_versions_live.dec(pruned)
 
     @staticmethod
     def _chain_entry_at(chain: List[Tuple[int, Optional[bytes]]],
@@ -798,7 +958,6 @@ class ObjectStore:
             record = WalRecord(op=OP_PUT, txid=self._txid or 0, oid=str(oid),
                                payload=data)
             if self._txid is not None:
-                self._wal.append(record)
                 self._tx_writes.append(record)
                 return
             self.begin()
@@ -830,7 +989,6 @@ class ObjectStore:
             self._m_deletes.inc()
             record = WalRecord(op=OP_DELETE, txid=self._txid or 0, oid=str(oid))
             if self._txid is not None:
-                self._wal.append(record)
                 self._tx_writes.append(record)
                 return
             self.begin()
@@ -899,11 +1057,24 @@ class ObjectStore:
         into a fresh page file and atomically swaps it in.  Must run
         outside a transaction.  The whole swap runs under the store
         lock, like every other entry point: a concurrent reader sees the
-        store before or after the swap, never mid-swap.
+        store before or after the swap, never mid-swap.  The commit
+        barrier is drained first (outside the lock — the leader's finish
+        callbacks need it), and re-drained if a commit slips in between:
+        vacuum truncates the log, which must not orphan a commit whose
+        COMMIT record has not landed yet.
         """
+        while True:
+            self._commit_group.drain()
+            with self._lock:
+                if self._txid is not None:
+                    raise TransactionError(
+                        "cannot vacuum inside a transaction")
+                if not self._commit_group.idle():
+                    continue  # raced a new commit; release the lock, re-drain
+                return self._vacuum_locked()
+
+    def _vacuum_locked(self) -> int:
         with self._lock:
-            if self._txid is not None:
-                raise TransactionError("cannot vacuum inside a transaction")
             self._pool.flush_all()
             pages_before = self._pagefile.page_count
 
@@ -960,12 +1131,27 @@ class ObjectStore:
             self._pool.flush_all()
 
     def close(self) -> None:
-        with self._lock:
-            if self._txid is not None:
-                self.abort()
-            self._pool.flush_all()
-            self._wal.close()
-            self._pagefile.close()
+        """Drain the commit barrier, flush the pages, checkpoint, close.
+
+        The closing checkpoint replaces the per-commit one group commit
+        removed: once the pages are flushed the log's contents are
+        redundant, and truncating here keeps the reopen replay empty for
+        a cleanly closed store.
+        """
+        while True:
+            with self._lock:
+                if self._txid is not None:
+                    self.abort()
+            self._commit_group.drain()
+            with self._lock:
+                if not self._commit_group.idle():
+                    continue  # raced a new commit; re-drain
+                if not self._wal.closed:
+                    self._pool.flush_all()
+                    self._wal.checkpoint(self._epoch)
+                    self._wal.close()
+                self._pagefile.close()
+                return
 
     def __enter__(self) -> "ObjectStore":
         return self

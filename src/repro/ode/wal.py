@@ -10,24 +10,44 @@ Record format: ``length u32 | crc32 u32 | payload``, where the payload is a
 self-describing codec struct.  A torn final record (crash during append) is
 detected by the CRC and everything from it onward is ignored.
 
+Flush contract.  ``append`` returns with the frame *flushed to the OS*
+(``file.flush``, not ``fsync``): the bytes are visible to any reader of
+the file — including :meth:`WriteAheadLog.records` and a simulated
+crash, which preserves everything flushed — but they are **not durable**
+against a real power loss until :meth:`sync` or :meth:`group_sync` runs.
+Callers passing ``sync=False`` may therefore rely on *ordering* (earlier
+appends are never reordered after later ones; the log is written by one
+handle under one lock) but must not rely on durability until a sync
+covers their append.  The group-commit coordinator below is built on
+exactly this contract: operation records are appended unsynced as they
+happen, and only the batched COMMIT records pay an fsync.
+
 Fault injection.  Like :class:`~repro.ode.pagefile.PageFile`, the log
 takes an optional ``fault_gate`` (see :mod:`repro.faultsim.plan` for
-the contract) consulted at its two stable-storage sites, ``wal.append``
+the contract) consulted at its stable-storage sites: ``wal.append``
 (the frame bytes about to be written — a gate can tear the frame at any
-byte, which is how the torn-tail recovery path is tortured) and
-``wal.sync``.  ``None`` (the default) costs one ``is None`` test.
+byte, which is how the torn-tail recovery path is tortured; a batched
+group-commit append crosses this site once with the whole batch blob),
+``wal.sync`` (checkpoint/recovery syncs) and ``wal.group.sync`` (the
+single fsync that makes a group-commit batch durable).  ``None`` (the
+default) costs one ``is None`` test.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import struct
+import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import WalError
+from repro.errors import GroupCommitError, StorageError, WalError
+from repro.obs import get_registry
+from repro.obs.metrics import Histogram
 from repro.ode.codec import decode_value, encode_value
 
 _FRAME = struct.Struct(">II")
@@ -94,20 +114,70 @@ class WriteAheadLog:
         self.path = Path(path)
         self._fault_gate = fault_gate
         self._fh = open(self.path, "a+b")
+        # One handle, one writer at a time: concurrent committers go
+        # through the group-commit coordinator, but operation records
+        # from a staging writer can race the leader's batch append, so
+        # every file-touching method serializes here.  Reentrant:
+        # checkpoint() appends its own CHECKPOINT record.
+        self._io = threading.RLock()
+        self._fh.seek(0, os.SEEK_END)
+        # Cached log size, maintained at every append/truncate.  It
+        # exists so size_bytes() — polled by every committer to drive
+        # checkpoint scheduling — never takes the I/O lock: that lock is
+        # held across the group-commit fsync, and a seek-to-end behind
+        # it was a measurable stall for every waiting writer.
+        self._size = self._fh.tell()
 
     # -- append ------------------------------------------------------------------
 
-    def append(self, record: WalRecord, sync: bool = False) -> None:
+    @staticmethod
+    def encode_frame(record: WalRecord) -> bytes:
+        """The exact on-disk frame (header + CRC + codec payload) for a record."""
         payload = encode_value(record.to_value())
-        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
-        self._fh.seek(0, os.SEEK_END)
-        if self._fault_gate is None:
-            self._fh.write(frame)
-            self._fh.flush()
-        else:
-            self._fault_gate("wal.append", frame, self._append_through)
-        if sync:
-            self.sync()
+        return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def append(self, record: WalRecord, sync: bool = False) -> None:
+        """Append one record.
+
+        Returns with the frame flushed to the OS — immediately visible
+        to :meth:`records` and preserved by a simulated crash — but not
+        durable until a :meth:`sync`/:meth:`group_sync` covers it (see
+        the module docstring's flush contract).  ``sync=True`` pays that
+        fsync before returning.
+        """
+        frame = self.encode_frame(record)
+        with self._io:
+            self._fh.seek(0, os.SEEK_END)
+            if self._fault_gate is None:
+                self._fh.write(frame)
+                self._fh.flush()
+            else:
+                self._fault_gate("wal.append", frame, self._append_through)
+            self._size += len(frame)
+            if sync:
+                self.sync()
+
+    def append_batch(self, records: List[WalRecord]) -> None:
+        """Append several records as one contiguous write.
+
+        The frames are concatenated and cross the ``wal.append`` fault
+        gate as a *single* blob — one write, one crash point — which is
+        what makes a group-commit batch tear like one record sequence: a
+        fault can cut the blob at any byte, and recovery keeps exactly
+        the intact frame prefix.  Flushed on return, durable only after
+        :meth:`group_sync`.
+        """
+        if not records:
+            return
+        blob = b"".join(self.encode_frame(record) for record in records)
+        with self._io:
+            self._fh.seek(0, os.SEEK_END)
+            if self._fault_gate is None:
+                self._fh.write(blob)
+                self._fh.flush()
+            else:
+                self._fault_gate("wal.append", blob, self._append_through)
+            self._size += len(blob)
 
     def _append_through(self, frame: bytes) -> None:
         """Gated append continuation: write and flush, so a torn frame
@@ -116,14 +186,34 @@ class WriteAheadLog:
         self._fh.flush()
 
     def sync(self) -> None:
-        if self._fault_gate is None:
-            self._do_sync()
-        else:
-            self._fault_gate("wal.sync", None, self._do_sync)
+        with self._io:
+            if self._fault_gate is None:
+                self._do_sync()
+            else:
+                self._fault_gate("wal.sync", None, self._do_sync)
+
+    def group_sync(self) -> None:
+        """The group-commit fsync: same effect as :meth:`sync`, its own
+        fault-gate site (``wal.group.sync``) so crash schedules can
+        target the instant a whole batch becomes durable."""
+        with self._io:
+            if self._fault_gate is None:
+                self._do_sync()
+            else:
+                self._fault_gate("wal.group.sync", None, self._do_sync)
 
     def _do_sync(self) -> None:
         self._fh.flush()
         os.fsync(self._fh.fileno())
+
+    def size_bytes(self) -> int:
+        """Current log size (appended bytes; drives checkpoint scheduling).
+
+        Deliberately lock-free: reads the cached counter (a plain int —
+        atomic to read in CPython) so committers polling for the
+        checkpoint threshold never queue behind a leader's fsync.
+        """
+        return self._size
 
     # -- replay --------------------------------------------------------------------
 
@@ -134,8 +224,9 @@ class WriteAheadLog:
         as it writes, so iteration never needs to touch (or flush) the
         writer handle as a side effect.
         """
-        with open(self.path, "rb") as fh:
-            data = fh.read()
+        with self._io:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
         offset = 0
         while offset + _FRAME.size <= len(data):
             length, crc = _FRAME.unpack_from(data, offset)
@@ -191,18 +282,334 @@ class WriteAheadLog:
         ``epoch`` (the store's current commit epoch) is stamped into the
         CHECKPOINT record so the epoch counter never regresses across a
         reopen, even when the checkpoint removed every COMMIT record.
+        Holds the I/O lock across truncate + CHECKPOINT append, so a
+        concurrent group-commit batch lands entirely before the truncate
+        (and is dropped) or entirely after the CHECKPOINT — never half.
         """
-        self._fh.seek(0)
-        self._fh.truncate(0)
-        self.append(WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch), sync=True)
+        with self._io:
+            self._fh.seek(0)
+            self._fh.truncate(0)
+            self._size = 0
+            self.append(WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch),
+                        sync=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        with self._io:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+#: Batch-size histogram buckets: powers of two up to a generous cap.
+_BATCH_BOUNDS = [float(2 ** i) for i in range(11)]
+
+
+class GroupCommit:
+    """The commit barrier: many writers, one fsync per batch.
+
+    Writers *stage* a commit (mint an epoch, submit the transaction's
+    buffered WAL frames — BEGIN, operations, COMMIT — here) and then
+    *wait*.  The frames never touch the log before this point: the store
+    buffers them in memory, so the serialized stage path does no file
+    I/O at all.  The first waiter to find no leader becomes
+    the leader for everything pending: it optionally dallies up to
+    ``window_ms`` for more committers to arrive (only when at least two
+    are already queued — a lone writer never pays the window), appends
+    every queued transaction's frames as one epoch-ordered blob, issues a single
+    ``wal.group.sync`` fsync, and then runs each commit's ``on_durable``
+    callback **in epoch order** — the store's callback applies the
+    commit's pages and publishes its epoch, so visibility is granted
+    strictly after durability, oldest first.  Followers wake when the
+    durable watermark passes their epoch.
+
+    ``window_ms == 0`` is the escape hatch that reproduces per-commit
+    syncing exactly: each queued commit is flushed and fsynced on its
+    own, one ``wal.group.sync`` per commit.
+
+    Failure protocol: a *transient* ``Exception`` during a flush fails
+    the whole batch **and** everything still pending (the store recovers
+    from stable storage, which truncates their operation records); each
+    failed epoch's waiter receives the error.  A ``BaseException``
+    (e.g. a simulated process crash) marks the coordinator dead — the
+    leader re-raises its own crash, every other waiter gets
+    :class:`~repro.errors.GroupCommitError`, and no in-process recovery
+    is attempted.
+    """
+
+    def __init__(self, wal: WriteAheadLog, window_ms: float = 0.0,
+                 max_batch: int = 64,
+                 finish_lock: Optional[threading.RLock] = None):
+        self._wal = wal
+        self.window_ms = max(0.0, float(window_ms))
+        self.max_batch = max(1, int(max_batch))
+        # Held across a whole batch's finish callbacks (the store passes
+        # its own lock).  Each callback takes the same lock anyway; one
+        # hold per batch instead of one per commit stops the convoy
+        # where every release hands the lock to a staging writer and the
+        # leader re-queues behind it B times per flush.
+        self._finish_lock = finish_lock
+        # Two conditions, one mutex: submitters signal *arrivals* (at
+        # most one waiter — a dallying leader), the leader signals
+        # *_cond* when durability or leadership changes.  Keeping them
+        # separate means staging a commit wakes one thread, not every
+        # parked follower — at 16 writers that stampede was a measurable
+        # slice of the serialized commit path.
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._arrivals = threading.Condition(self._mutex)
+        # epoch-ascending (epoch, frames, on_durable) triples; *frames*
+        # is one transaction's full record sequence (BEGIN, ops, COMMIT)
+        self._pending: List[
+            Tuple[int, List[WalRecord], Optional[Callable[[], None]]]] = []
+        self._durable = 0
+        self._leader = False
+        self._dead: Optional[BaseException] = None
+        self._failed: Dict[int, BaseException] = {}
+        # per-coordinator counters for stats(); the registry mirrors are
+        # process-global (shared by every store in the process)
+        self._batches = 0
+        self._commits = 0
+        self._syncs = 0
+        self._largest_batch = 0
+        self._wait_hist = Histogram("group_commit.wait_seconds")
+        registry = get_registry()
+        self._m_batches = registry.counter("wal.group.batches")
+        self._m_commits = registry.counter("wal.group.commits")
+        self._m_syncs = registry.counter("wal.group.syncs")
+        self._m_batch_size = registry.histogram("wal.group.batch_size",
+                                                bounds=_BATCH_BOUNDS)
+        self._m_wait = registry.histogram("wal.group.wait_seconds")
+
+    # -- the writer-facing protocol ---------------------------------------------
+
+    def submit(self, epoch: int, frames: List[WalRecord],
+               on_durable: Optional[Callable[[], None]] = None) -> None:
+        """Queue one commit's buffered WAL frames (called at stage, under
+        the store lock; epochs therefore arrive in ascending order)."""
+        with self._cond:
+            if self._dead is not None:
+                raise GroupCommitError(
+                    "group-commit coordinator is dead (leader crashed)")
+            self._pending.append((epoch, frames, on_durable))
+            # Wake a dallying leader, if any.  Followers do not need
+            # this signal: a waiter only parks while a leader is active,
+            # and the leader's exit broadcasts on _cond.
+            self._arrivals.notify()
+
+    def wait_durable(self, epoch: int) -> None:
+        """Block until *epoch* is durable and finished (its ``on_durable``
+        ran), leading a flush if no leader is active.  Raises the batch's
+        error if the flush failed."""
+        start = time.perf_counter()
+        try:
+            self._settle(epoch)
+        finally:
+            elapsed = time.perf_counter() - start
+            self._wait_hist.observe(elapsed)
+            self._m_wait.observe(elapsed)
+
+    def drain(self) -> None:
+        """Flush everything pending and return once idle (close/vacuum).
+        Propagates a flush failure instead of recording it silently —
+        the caller must not truncate the log after a failed flush."""
+        while True:
+            with self._cond:
+                if self._dead is not None:
+                    raise GroupCommitError(
+                        "group-commit coordinator is dead (leader crashed)")
+                if not self._pending and not self._leader:
+                    return
+                if self._leader:
+                    self._cond.wait(0.05)
+                    continue
+                self._leader = True
+            try:
+                self._lead_once(use_window=False)
+            finally:
+                with self._cond:
+                    self._leader = False
+                    self._cond.notify_all()
+
+    def abort_pending(self, exc: BaseException) -> None:
+        """Fail every queued commit (store recovery is about to truncate
+        their operation records).  Waits out an active leader first; must
+        NOT be called holding the store lock — the leader's callbacks
+        take it."""
+        with self._cond:
+            while self._leader:
+                self._cond.wait(0.05)
+            for epoch, _frames, _cb in self._pending:
+                if epoch > self._durable:
+                    self._failed[epoch] = StorageError(
+                        f"commit epoch {epoch} aborted by store recovery: {exc}")
+            self._pending.clear()
+            self._cond.notify_all()
+
+    def reset(self, durable: int) -> None:
+        """Advance the durable watermark after a store recovery replayed
+        the log (never regresses it)."""
+        with self._cond:
+            if durable > self._durable:
+                self._durable = durable
+            self._cond.notify_all()
+
+    def idle(self) -> bool:
+        """True when nothing is queued and no leader is flushing."""
+        with self._cond:
+            return not self._pending and not self._leader
+
+    def stats(self) -> Dict[str, Any]:
+        """This coordinator's batching behaviour (process-local metrics
+        mirror these under ``wal.group.*``)."""
+        with self._cond:
+            batches, commits = self._batches, self._commits
+            syncs, largest = self._syncs, self._largest_batch
+        wait = self._wait_hist
+        return {
+            "window_ms": self.window_ms,
+            "max_batch": self.max_batch,
+            "batches": batches,
+            "commits": commits,
+            "syncs": syncs,
+            "batch_size_mean": (commits / batches) if batches else 0.0,
+            "batch_size_max": largest,
+            "wait_count": wait.count,
+            "wait_mean_ms": wait.mean * 1e3,
+            "wait_p95_ms": wait.percentile(95) * 1e3,
+        }
+
+    # -- leader internals --------------------------------------------------------
+
+    def _settle(self, epoch: int) -> None:
+        while True:
+            with self._cond:
+                if epoch in self._failed:
+                    raise self._failed.pop(epoch)
+                if epoch <= self._durable:
+                    return
+                if self._dead is not None:
+                    raise GroupCommitError(
+                        f"group-commit leader crashed; epoch {epoch} "
+                        f"outcome unknown until reopen")
+                if self._leader:
+                    self._cond.wait(0.05)
+                    continue
+                if not self._pending:
+                    # not durable, not failed, not queued, nobody flushing
+                    raise StorageError(
+                        f"commit epoch {epoch} was lost by the commit group")
+                self._leader = True
+            try:
+                self._lead_once(use_window=True)
+            except Exception:
+                # already recorded per-epoch in _failed; our own epoch
+                # resolves on the next loop iteration
+                pass
+            finally:
+                with self._cond:
+                    self._leader = False
+                    self._cond.notify_all()
+
+    def _lead_once(self, use_window: bool) -> None:
+        with self._cond:
+            if (use_window and self.window_ms > 0.0
+                    and len(self._pending) >= 2):
+                # Dally for stragglers — but only when a batch is already
+                # forming; a solo committer flushes immediately.  The
+                # window is a *ceiling*: the leader waits in short
+                # sixteenth-window slices and flushes on the first quiet
+                # one, so the dally costs roughly one arrival gap, not
+                # the whole window, and batching stays driven by actual
+                # concurrency rather than the timer.
+                deadline = time.monotonic() + self.window_ms / 1e3
+                while 0 < len(self._pending) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    before = len(self._pending)
+                    self._arrivals.wait(min(remaining, self.window_ms / 16e3))
+                    if len(self._pending) == before:
+                        break
+                    # woke to new arrivals: keep dallying until deadline/full
+            batch = self._pending[:self.max_batch]
+            del self._pending[:len(batch)]
+        if not batch:
+            return
+        try:
+            if self.window_ms > 0.0:
+                self._flush_group(batch)
+            else:
+                # window 0: per-commit append + fsync, the exact
+                # pre-group-commit write path
+                for entry in batch:
+                    self._flush_group([entry])
+        except Exception as exc:
+            with self._cond:
+                for failed_epoch, _frames, _cb in (*batch, *self._pending):
+                    if failed_epoch > self._durable:
+                        self._failed[failed_epoch] = exc
+                self._pending.clear()
+                self._cond.notify_all()
+            raise
+        except BaseException as exc:
+            with self._cond:
+                self._dead = exc
+                self._cond.notify_all()
+            raise
+
+    def _flush_group(
+            self,
+            batch: List[Tuple[int, List[WalRecord],
+                              Optional[Callable[[], None]]]],
+    ) -> None:
+        """Make one batch durable, then finish its commits in epoch order.
+
+        The blob holds every transaction's full frame sequence (BEGIN,
+        ops, COMMIT) back to back in epoch order, so a torn write keeps
+        an epoch-ordered prefix of whole commits — a transaction cut
+        mid-frames is missing its COMMIT and replays as nothing.
+
+        The durable watermark advances per commit as its callback
+        completes, so a callback failure mid-batch fails exactly the
+        unfinished suffix (`_lead_once` records epochs above the
+        watermark).
+        """
+        self._wal.append_batch([record for _epoch, frames, _cb in batch
+                                for record in frames])
+        self._wal.group_sync()
+        with self._cond:
+            self._batches += 1
+            self._syncs += 1
+            self._commits += len(batch)
+            self._largest_batch = max(self._largest_batch, len(batch))
+        self._m_batches.inc()
+        self._m_syncs.inc()
+        self._m_commits.inc(len(batch))
+        self._m_batch_size.observe(float(len(batch)))
+        # Advance the watermark per commit (a callback failure mid-batch
+        # must fail exactly the unfinished suffix) but wake the waiters
+        # once per *batch*: a notify_all per commit would stampede every
+        # parked follower through the condition B times per flush.
+        hold = (self._finish_lock if self._finish_lock is not None
+                else contextlib.nullcontext())
+        try:
+            with hold:
+                for epoch, _frames, on_durable in batch:
+                    if on_durable is not None:
+                        on_durable()
+                    with self._cond:
+                        if epoch > self._durable:
+                            self._durable = epoch
+        finally:
+            with self._cond:
+                self._cond.notify_all()

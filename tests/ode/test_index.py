@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SchemaError
 from repro.ode.index import AttributeIndex
+from repro.ode.oid import Oid
 
 
 class TestAttributeIndex:
@@ -140,3 +141,56 @@ class TestIndexManager:
         assert len(index) == 0
         lab_db.objects.indexes.rebuild("employee", "name")
         assert index.equal("rakesh") == [0]
+
+
+class TestIndexUnderConcurrentCommits:
+    """The live index vs a pinned snapshot (group-commit pipelining).
+
+    Index candidates come from the *live* AttributeIndex, but a reader
+    inside ``pinned()`` resolves buffers at the pin epoch.  The planner
+    re-checks the full predicate against snapshot-visible values, so a
+    select through the index must never surface an object — or a value —
+    newer than the snapshot epoch, no matter what commits land meanwhile.
+    """
+
+    def _select_ids(self, lab_db, expression):
+        from repro.core.queryplan import SelectionPlanner
+        from repro.ode.opp.parser import parse_expression
+
+        planner = SelectionPlanner(lab_db)
+        plan = planner.plan("employee", parse_expression(expression))
+        assert plan.access.startswith("index-"), plan.explain()
+        return {b.oid.number: b.value("name") for b in planner.execute(plan)}
+
+    def test_pinned_select_never_sees_post_snapshot_commits(self, lab_db):
+        import threading
+
+        lab_db.objects.indexes.create_index("employee", "id")
+        with lab_db.objects.pinned():
+            truth = self._select_ids(lab_db, "id < 5")
+            assert set(truth) == {0, 1, 2, 3, 4}
+
+            def concurrent_commits():
+                # all three mutate the live index into disagreeing with
+                # the pinned snapshot: an object *enters* the predicate,
+                # a brand-new object is born inside it, and a member's
+                # payload changes under it
+                objects = lab_db.objects
+                objects.update(Oid(lab_db.name, "employee", 10), {"id": 2})
+                objects.new_object("employee", {"id": 1, "name": "phantom"})
+                objects.update(Oid(lab_db.name, "employee", 2),
+                               {"name": "renamed"})
+
+            writer = threading.Thread(target=concurrent_commits)
+            writer.start()
+            writer.join(30)
+
+            pinned = self._select_ids(lab_db, "id < 5")
+            assert pinned == truth, (
+                "a pinned index select surfaced post-snapshot state")
+
+        # outside the pin, the same probe sees every new commit
+        live = self._select_ids(lab_db, "id < 5")
+        assert 10 in live          # entered the predicate
+        assert "phantom" in live.values()
+        assert live[2] == "renamed"

@@ -152,11 +152,16 @@ class TestPersistence:
         store = ObjectStore(directory)
         store.begin()
         store.put(oid, record(oid, name="durable"))
-        # Append the commit record (as commit() would) but "crash" before
-        # the pages are written.
-        from repro.ode.wal import OP_COMMIT, WalRecord
+        # Land the transaction's buffered frames as the batch leader
+        # would (one blob, one sync) but "crash" before the pages are
+        # written.
+        from repro.ode.wal import OP_BEGIN, OP_COMMIT, WalRecord
 
-        store._wal.append(WalRecord(op=OP_COMMIT, txid=store._txid), sync=True)
+        store._wal.append_batch(
+            [WalRecord(op=OP_BEGIN, txid=store._txid),
+             *store._tx_writes,
+             WalRecord(op=OP_COMMIT, txid=store._txid)])
+        store._wal.sync()
         store._wal.close()
         store._pagefile.close()
 

@@ -23,11 +23,21 @@ from repro.faultsim import CountingGate, SimulatedCrash, SiteCrash, crash_store
 from repro.ode.codec import encode_object
 from repro.ode.oid import Oid
 from repro.ode.store import ObjectStore
-from repro.ode.wal import OP_COMMIT, WalRecord
+from repro.ode.wal import OP_BEGIN, OP_COMMIT, WalRecord
 
 
 def record(oid: Oid, **values) -> bytes:
     return encode_object(oid, oid.cluster, values)
+
+
+def _land_buffered_commit(store: ObjectStore) -> None:
+    """Write the open transaction's buffered frames as the batch leader
+    would (one blob, one sync) — the moment right before page apply."""
+    store._wal.append_batch(
+        [WalRecord(op=OP_BEGIN, txid=store._txid),
+         *store._tx_writes,
+         WalRecord(op=OP_COMMIT, txid=store._txid)])
+    store._wal.sync()
 
 
 def _crash_after_commit(directory: Path, oid: Oid, payload: bytes) -> None:
@@ -35,7 +45,7 @@ def _crash_after_commit(directory: Path, oid: Oid, payload: bytes) -> None:
     store = ObjectStore(directory)
     store.begin()
     store.put(oid, payload)
-    store._wal.append(WalRecord(op=OP_COMMIT, txid=store._txid), sync=True)
+    _land_buffered_commit(store)
     store._wal.close()
     store._pagefile.close()
 
@@ -60,7 +70,7 @@ def test_corrupt_final_frame_ignored(tmp_path):
     bad = Oid("db", "employee", 1)
     store.begin()
     store.put(bad, record(bad, name="mangled"))
-    store._wal.append(WalRecord(op=OP_COMMIT, txid=store._txid), sync=True)
+    _land_buffered_commit(store)
     store._wal.close()
     store._pagefile.close()
     wal_path = directory / ObjectStore.WAL_FILE
@@ -114,21 +124,23 @@ def _two_transactions(directory: Path, fault_gate=None) -> ObjectStore:
     return store
 
 
-def _victim_commit_append_occurrence(directory: Path) -> int:
-    """Which ``wal.append`` crossing writes VICTIM's COMMIT record.
+def _victim_commit_occurrence(directory: Path, site: str) -> int:
+    """Which crossing of *site* belongs to VICTIM's commit.
 
     Counted from a silent pass rather than hardcoded, so the schedule
-    keeps aiming at the COMMIT frame if open/commit grow extra appends.
+    keeps aiming at the COMMIT frame (``wal.append`` — the group-commit
+    batch blob) or the batch fsync (``wal.group.sync``) if open/commit
+    grow extra crossings.
     """
     gate = CountingGate()
     store = ObjectStore(directory, fault_gate=gate)
     store.put(DURABLE, record(DURABLE, name="durable"))
     store.begin()
     store.put(VICTIM, record(VICTIM, name="victim"))
-    before = gate.calls.count("wal.append")
+    before = gate.calls.count(site)
     store.commit()
     store.close()
-    return before  # the next append after `before` is the COMMIT record
+    return before  # the next crossing after `before` belongs to the commit
 
 
 class TestScheduledTornCommit:
@@ -142,7 +154,8 @@ class TestScheduledTornCommit:
         ("crash", None),  # died before the write started
     ])
     def test_crash_writing_commit_record(self, tmp_path, flavor, cut):
-        occurrence = _victim_commit_append_occurrence(tmp_path / "count")
+        occurrence = _victim_commit_occurrence(tmp_path / "count",
+                                               "wal.append")
         gate = SiteCrash("wal.append", occurrence=occurrence,
                          flavor=flavor, cut=cut)
         with pytest.raises(SimulatedCrash) as info:
@@ -156,11 +169,14 @@ class TestScheduledTornCommit:
             assert not recovered.exists(VICTIM)
 
     def test_crash_after_commit_record_recovers_the_victim(self, tmp_path):
-        """One occurrence later, on the checkpoint's own append: the
-        COMMIT record is durable, so recovery must redo the victim —
-        the schedule twin of _crash_after_commit above."""
-        occurrence = _victim_commit_append_occurrence(tmp_path / "count") + 1
-        gate = SiteCrash("wal.append", occurrence=occurrence, flavor="lost")
+        """Crash at the batch fsync (``wal.group.sync``): the COMMIT
+        frame is already flushed — which the simulated-crash model
+        preserves — so recovery must redo the victim, the schedule twin
+        of _crash_after_commit above."""
+        occurrence = _victim_commit_occurrence(tmp_path / "count",
+                                               "wal.group.sync")
+        gate = SiteCrash("wal.group.sync", occurrence=occurrence,
+                         flavor="crash")
         with pytest.raises(SimulatedCrash) as info:
             _two_transactions(tmp_path / "db", fault_gate=gate)
         crash_store(None, info.value)
@@ -169,7 +185,8 @@ class TestScheduledTornCommit:
             assert recovered.get(VICTIM) == record(VICTIM, name="victim")
 
     def test_scheduled_recovery_is_idempotent(self, tmp_path):
-        occurrence = _victim_commit_append_occurrence(tmp_path / "count")
+        occurrence = _victim_commit_occurrence(tmp_path / "count",
+                                               "wal.append")
         gate = SiteCrash("wal.append", occurrence=occurrence,
                          flavor="torn", cut=5)
         with pytest.raises(SimulatedCrash) as info:

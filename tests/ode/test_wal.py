@@ -1,6 +1,7 @@
 """Tests for the write-ahead log."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import WalError
 from repro.ode.wal import (
@@ -114,6 +115,99 @@ def test_survives_reopen(tmp_path):
         _tx(log, 1, (OP_PUT, "db:c:0", b"persisted"))
     with WriteAheadLog(path) as log:
         assert len(log.committed_operations()) == 1
+
+
+_records = st.lists(
+    st.builds(
+        WalRecord,
+        op=st.sampled_from([OP_BEGIN, OP_PUT, OP_DELETE, OP_COMMIT,
+                            OP_ABORT]),
+        txid=st.integers(min_value=0, max_value=2 ** 31),
+        oid=st.text(max_size=40),
+        payload=st.binary(max_size=256),
+        epoch=st.integers(min_value=0, max_value=2 ** 31),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+class TestBatchAppend:
+    """``append_batch`` — the group-commit blob write."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(batch=_records)
+    def test_batch_roundtrips_byte_identically(self, batch, tmp_path_factory):
+        """A batch of arbitrary records lands on disk as exactly the
+        concatenation of its frames, and replays field-for-field."""
+        path = tmp_path_factory.mktemp("wal") / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append_batch(batch)
+        expected = b"".join(WriteAheadLog.encode_frame(r) for r in batch)
+        assert path.read_bytes() == expected
+        with WriteAheadLog(path) as log:
+            replayed = list(log.records())
+        assert [(r.op, r.txid, r.oid, r.payload, r.epoch)
+                for r in replayed] == \
+               [(r.op, r.txid, r.oid, r.payload, r.epoch) for r in batch]
+
+    def test_batch_spanning_the_buffer_boundary(self, tmp_path):
+        """Frames deliberately straddling the stdio buffer size (8 KiB):
+        the blob write must not split or reorder them."""
+        payloads = [bytes([n]) * 5000 for n in range(5)]  # ~25 KiB blob
+        batch = [WalRecord(op=OP_PUT, txid=1, oid=f"db:c:{n}",
+                           payload=payload)
+                 for n, payload in enumerate(payloads)]
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append_batch(batch)
+        with WriteAheadLog(path) as log:
+            replayed = list(log.records())
+        assert [r.payload for r in replayed] == payloads
+
+    def test_empty_batch_writes_nothing(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append_batch([])
+        assert path.read_bytes() == b""
+
+    def test_batch_interleaves_with_single_appends_in_order(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(WalRecord(op=OP_BEGIN, txid=1))
+            log.append_batch([WalRecord(op=OP_COMMIT, txid=1, epoch=1),
+                              WalRecord(op=OP_COMMIT, txid=2, epoch=2)])
+            log.append(WalRecord(op=OP_BEGIN, txid=3))
+        with WriteAheadLog(path) as log:
+            assert [(r.op, r.txid) for r in log.records()] == [
+                (OP_BEGIN, 1), (OP_COMMIT, 1), (OP_COMMIT, 2), (OP_BEGIN, 3)]
+
+
+class TestFlushContract:
+    """``append(sync=False)`` returns with the frame flushed to the OS —
+    ordered and visible, just not yet durable (see the module docstring).
+    Callers relying on implicit flush ordering get exactly that, no
+    more: a reader sees every appended record before any fsync."""
+
+    def test_unsynced_append_is_immediately_visible(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        try:
+            log.append(WalRecord(op=OP_BEGIN, txid=1))  # sync=False
+            # a second handle on the same file — the OS view, no fsync
+            with WriteAheadLog(path) as reader:
+                assert [r.op for r in reader.records()] == [OP_BEGIN]
+        finally:
+            log.close()
+
+    def test_unsynced_appends_keep_order_across_a_later_sync(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(WalRecord(op=OP_BEGIN, txid=1))
+            log.append(WalRecord(op=OP_PUT, txid=1, oid="db:c:0",
+                                 payload=b"x"))
+            log.append(WalRecord(op=OP_COMMIT, txid=1), sync=True)
+            assert [r.op for r in log.records()] == [
+                OP_BEGIN, OP_PUT, OP_COMMIT]
 
 
 class TestNativeBytesPayloads:
