@@ -37,6 +37,7 @@ Commands::
 Besides the REPL, two network entry points::
 
   python -m repro serve <root> [host] [port]    host databases over TCP
+      [--replica-of host:port]                  ... as a read replica
   python -m repro connect <host> <port> <db>    browse a served database
 """
 
@@ -369,20 +370,31 @@ class OdeViewCli:
 
 
 def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
-    """``python -m repro serve <root> [host] [port]``."""
+    """``python -m repro serve <root> [host] [port] [--replica-of host:port]``."""
     from repro.net.server import OdeServer
 
+    replica_of = None
+    if "--replica-of" in argv:
+        index = argv.index("--replica-of")
+        try:
+            upstream = argv[index + 1]
+            upstream_host, upstream_port = upstream.rsplit(":", 1)
+            replica_of = (upstream_host, int(upstream_port))
+        except (IndexError, ValueError):
+            print("--replica-of needs host:port", file=sys.stderr)
+            return 2
+        argv = argv[:index] + argv[index + 2:]
     if not argv:
-        print("usage: python -m repro serve <root> [host] [port]",
-              file=sys.stderr)
+        print("usage: python -m repro serve <root> [host] [port] "
+              "[--replica-of host:port]", file=sys.stderr)
         return 2
     root = argv[0]
     host = argv[1] if len(argv) > 1 else "127.0.0.1"
     port = int(argv[2]) if len(argv) > 2 else 6455  # 'Ode' on a phone pad
-    server = OdeServer(root, host=host, port=port)
+    server = OdeServer(root, host=host, port=port, replica_of=replica_of)
     server.start()
     print(f"serving {', '.join(server.database_names())} "
-          f"on {host}:{server.port} (ctrl-c to stop)")
+          f"on {host}:{server.port} as {server.role} (ctrl-c to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -205,6 +205,33 @@ class RemoteError(OdeError):
 
 
 # ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+class ReplicationError(OdeError):
+    """Base class for WAL-shipping replication failures."""
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A write reached a read replica; writes must go to the primary.
+
+    The message names the primary's address when the replica knows it,
+    so a misconfigured client can be redirected by hand.
+    """
+
+
+class ReplicaDivergedError(ReplicationError):
+    """A replica holds state the primary's stream cannot extend.
+
+    Applied epochs must form a contiguous prefix of the primary's
+    committed epochs; seeing an apply that would regress or leapfrog
+    the replica's epoch means the topology is wrong (two primaries, a
+    restored backup, a snapshot older than the replica) and blind
+    application would corrupt the replica silently.
+    """
+
+
+# ---------------------------------------------------------------------------
 # OdeView application layer
 # ---------------------------------------------------------------------------
 

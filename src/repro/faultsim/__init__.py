@@ -20,6 +20,10 @@ Three layers:
   run a seeded transactional workload, kill the store at an exact
   injection site, reopen, and model-check the survivors against a
   shadow dict.
+* :mod:`~repro.faultsim.replication` — the replicated torture runner:
+  the same workload against a gated primary while a replica streams
+  committed units, with the primary (and optionally the replica)
+  killed mid-run and the replication contract model-checked.
 * :mod:`~repro.faultsim.proxy` — :class:`FaultProxy`, a TCP shim
   between :class:`~repro.net.client.OdeClient` and
   :class:`~repro.net.server.OdeServer` that delays, drops, duplicates,
@@ -47,6 +51,10 @@ from repro.faultsim.plan import (
     SiteCrash,
 )
 from repro.faultsim.proxy import FaultProxy
+from repro.faultsim.replication import (
+    ReplicatedCrashOutcome,
+    run_replicated_crash,
+)
 from repro.faultsim.sites import (
     PAGEFILE_SITES,
     PROXY_ACTIONS,
@@ -63,10 +71,12 @@ __all__ = [
     "RandomFaultGate",
     "SimulatedCrash",
     "SiteCrash",
+    "ReplicatedCrashOutcome",
     "TortureWorkload",
     "crash_store",
     "enumerate_gate_calls",
     "run_one_crash",
+    "run_replicated_crash",
     "PAGEFILE_SITES",
     "PROXY_ACTIONS",
     "STORAGE_SITES",

@@ -32,7 +32,7 @@ from __future__ import annotations
 import os
 import random
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.faultsim.plan import (
     CountingGate,
@@ -165,8 +165,16 @@ class TortureWorkload:
             ops.append(("put", oid, payload))
         return ops
 
-    def run(self, store: ObjectStore) -> None:
-        """Run every transaction; a gate's SimulatedCrash flies through."""
+    def run(self, store: ObjectStore,
+            on_commit: Optional[Callable[[], None]] = None) -> None:
+        """Run every transaction; a gate's SimulatedCrash flies through.
+
+        ``on_commit`` runs after each successful commit, outside any
+        transaction — the replication torture harness uses it to ship
+        and apply units (and kill replicas) at quiescent points, where
+        a replica-side :class:`SimulatedCrash` cannot be mistaken for a
+        primary commit failure.
+        """
         rng = random.Random(derive_seed(self.seed, "workload"))
         for index in range(self.transactions):
             next_state = dict(self.committed)
@@ -183,6 +191,8 @@ class TortureWorkload:
             self.committed = next_state
             self.in_commit = False
             self.pending = None
+            if on_commit is not None:
+                on_commit()
 
     def acceptable_states(self) -> List[Dict[str, bytes]]:
         states = [self.committed]

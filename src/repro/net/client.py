@@ -35,10 +35,24 @@ Re-raised remote errors are tagged ``remote=True``: even when the class
 is a :class:`~repro.errors.NetworkError` subclass (the server validates
 requests with it), the connection itself is healthy and is not dropped
 or retried.
+
+Replica routing.  Constructed with ``replicas=[(host, port), ...]``,
+the client spreads per-object reads across the replica set, rotating
+round-robin, with the primary as the fallback of last resort.  The
+session invariant is *monotonic reads with read-your-writes*: the
+client tracks an **epoch floor** — the highest epoch any reply it has
+returned carried, commits included — and a routed reply below the
+floor is discarded unseen (the replica lags this session) and the read
+moves on to the next endpoint, ultimately the primary, whose epoch can
+never trail an epoch it acked.  A replica that fails to answer is put
+in a cooldown and the read fails over the same way.  Reads inside an
+open transaction and every write bypass routing entirely — they are
+session-affine to the primary.
 """
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
 import time
@@ -48,6 +62,31 @@ import repro.errors as errors
 from repro.errors import NetworkError, OdeError, RemoteError, SessionLostError
 from repro.net import protocol as P
 from repro.obs.metrics import get_registry
+
+#: Read opcodes the client may serve from a replica: per-object /
+#: per-cluster data reads, where "which epoch answered" is well defined
+#: and carried in the reply.  Catalog and maintenance reads (hello,
+#: stats, display modules, ...) describe *a particular server* and
+#: always go where the client points.
+ROUTED_OPCODES = frozenset({
+    P.OP_GET_OBJECT, P.OP_GET_OBJECTS, P.OP_SCAN_CLUSTER,
+    P.OP_CLUSTER_NUMBERS, P.OP_COUNT, P.OP_EXISTS, P.OP_VERSION_HISTORY,
+})
+
+#: How long a replica sits out after a connection failure.
+REPLICA_COOLDOWN_SECONDS = 1.0
+
+
+class _ReplicaEndpoint:
+    """One replica the client may route reads to."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.host = host
+        self.port = port
+        # No automatic retries: a flaky replica should fail over to the
+        # next endpoint immediately, not sit in a backoff loop.
+        self.client = OdeClient(host, port, timeout=timeout, retries=0)
+        self.down_until = 0.0
 
 
 def _raise_remote(payload: Dict[str, Any]) -> None:
@@ -73,15 +112,28 @@ class OdeClient:
     """A connection to an :class:`~repro.net.server.OdeServer`."""
 
     def __init__(self, host: str, port: int, timeout: float = 10.0,
-                 retries: int = 3, backoff: float = 0.05):
+                 retries: int = 3, backoff: float = 0.05,
+                 replicas: Optional[Sequence[Tuple[str, int]]] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff = backoff
         self._sock: Optional[socket.socket] = None
-        self._request_ids = iter(range(1, 2 ** 31))
+        # itertools.count, NOT iter(range(...)): a long-lived client
+        # must never exhaust its id space mid-session (StopIteration
+        # out of an exchange would be indistinguishable from a bug).
+        self._request_ids = itertools.count(1)
         self._lock = threading.Lock()
+        # Replica routing state, guarded by its own lock: routing
+        # decisions happen *before* the main request lock is taken.
+        self._route_lock = threading.Lock()
+        self._replicas = [
+            _ReplicaEndpoint(rhost, rport, timeout)
+            for rhost, rport in (replicas or [])
+        ]
+        self._route_next = 0
+        self._epoch_floor = 0
         self.server_info: Dict[str, Any] = {}
         #: Bumped every time the connection is dropped — the moment the
         #: server session (and its transaction/cursors) dies.  Session-
@@ -98,6 +150,10 @@ class OdeClient:
         self._m_reconnects = registry.counter("net.client.reconnects")
         self._m_request_seconds = registry.histogram("net.client.request_seconds")
         self._m_requests: Dict[int, Any] = {}
+        self._m_route_replica = registry.counter("net.route.replica")
+        self._m_route_primary = registry.counter("net.route.primary")
+        self._m_route_stale = registry.counter("net.route.stale")
+        self._m_route_failover = registry.counter("net.route.failover")
 
     # -- connection management ---------------------------------------------------
 
@@ -130,13 +186,15 @@ class OdeClient:
             try:
                 self._sock.close()
             except OSError:
-                pass
+                get_registry().counter("net.teardown_error").inc()
             self._sock = None
             self.generation += 1
 
     def close(self) -> None:
         with self._lock:
             self._drop_locked()
+        for endpoint in self._replicas:
+            endpoint.client.close()
 
     # -- session-affine state ----------------------------------------------------
 
@@ -178,6 +236,81 @@ class OdeClient:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    # -- replica routing ---------------------------------------------------------
+
+    @property
+    def epoch_floor(self) -> int:
+        """Highest epoch any reply returned by this client has carried.
+
+        The session's monotonic-read watermark: no read this client
+        returns will ever be served below it.
+        """
+        with self._route_lock:
+            return self._epoch_floor
+
+    def _observe_epoch(self, epoch: Any) -> None:
+        if isinstance(epoch, int):
+            with self._route_lock:
+                if epoch > self._epoch_floor:
+                    self._epoch_floor = epoch
+
+    def _routable(self, opcode: int) -> bool:
+        return (bool(self._replicas)
+                and opcode in ROUTED_OPCODES
+                # Transaction open: reads must see the session's own
+                # uncommitted writes, which live only on the primary.
+                and not self._session_resources)
+
+    def _route_read(self, opcode: int,
+                    payload: Optional[Dict[str, Any]]
+                    ) -> Optional[Dict[str, Any]]:
+        """Try the replica set; ``None`` means "ask the primary".
+
+        Serve-then-verify: the replica answers from whatever epoch it
+        has applied, and the reply is *discarded* if that epoch is below
+        the session floor — a stale answer is never returned, it only
+        costs the hop to the next endpoint.
+        """
+        with self._route_lock:
+            floor = self._epoch_floor
+            start = self._route_next
+            self._route_next = (self._route_next + 1) % len(self._replicas)
+            now = time.monotonic()
+            order = [
+                endpoint
+                for offset in range(len(self._replicas))
+                for endpoint in [
+                    self._replicas[(start + offset) % len(self._replicas)]]
+                if endpoint.down_until <= now
+            ]
+        for endpoint in order:
+            try:
+                reply = endpoint.client.call(opcode, payload)
+            except NetworkError as exc:
+                if getattr(exc, "remote", False):
+                    # The replica *served* the request and rejected it;
+                    # let the primary give the authoritative verdict.
+                    continue
+                with self._route_lock:
+                    endpoint.down_until = (
+                        time.monotonic() + REPLICA_COOLDOWN_SECONDS)
+                self._m_route_failover.inc()
+                continue
+            except OdeError:
+                # A data-level verdict (e.g. "no such object") from a
+                # replica that may simply not have applied the commit
+                # yet: only the primary can refuse authoritatively.
+                continue
+            epoch = reply.get("epoch")
+            if isinstance(epoch, int) and epoch < floor:
+                self._m_route_stale.inc()
+                continue
+            self._observe_epoch(epoch)
+            self._m_route_replica.inc()
+            return reply
+        self._m_route_primary.inc()
+        return None
+
     # -- request / reply ---------------------------------------------------------
 
     def _exchange_locked(self, opcode: int,
@@ -209,6 +342,10 @@ class OdeClient:
         state) raises :class:`~repro.errors.SessionLostError` instead.
         """
         self._count_request(opcode)
+        if self._routable(opcode):
+            reply = self._route_read(opcode, payload)
+            if reply is not None:
+                return reply
         attempts = 1 + (self.retries if opcode in P.READ_OPCODES else 0)
         delay = self.backoff
         with self._m_request_seconds.time():
@@ -217,7 +354,9 @@ class OdeClient:
                     try:
                         self._connect_locked()
                         self._check_session_locked()
-                        return self._exchange_locked(opcode, payload)
+                        result = self._exchange_locked(opcode, payload)
+                        self._observe_epoch(result.get("epoch"))
+                        return result
                     except errors.RemoteError:
                         raise
                     except SessionLostError:
@@ -299,6 +438,8 @@ class OdeClient:
                         results.append(frame.payload)
                 if error is not None:
                     _raise_remote(error)
+                for result in results:
+                    self._observe_epoch(result.get("epoch"))
                 return results
 
     def _count_request(self, opcode: int) -> None:

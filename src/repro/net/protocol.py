@@ -85,6 +85,9 @@ OP_CURSOR_CLOSE = 0x46
 OP_STATS = 0x50
 OP_VACUUM = 0x51
 
+OP_REPL_FETCH = 0x60
+OP_REPL_SNAPSHOT = 0x61
+
 OP_REPLY = 0x7E
 OP_ERROR = 0x7F
 
@@ -116,6 +119,8 @@ OPCODE_NAMES: Dict[int, str] = {
     OP_CURSOR_CLOSE: "cursor_close",
     OP_STATS: "stats",
     OP_VACUUM: "vacuum",
+    OP_REPL_FETCH: "repl_fetch",
+    OP_REPL_SNAPSHOT: "repl_snapshot",
     OP_REPLY: "reply",
     OP_ERROR: "error",
 }
@@ -126,6 +131,7 @@ READ_OPCODES = frozenset({
     OP_HELLO, OP_LIST_DATABASES, OP_OPEN_DATABASE, OP_GET_DISPLAY_MODULES,
     OP_PING, OP_GET_OBJECT, OP_GET_OBJECTS, OP_SCAN_CLUSTER,
     OP_CLUSTER_NUMBERS, OP_COUNT, OP_EXISTS, OP_VERSION_HISTORY, OP_STATS,
+    OP_REPL_FETCH, OP_REPL_SNAPSHOT,
 })
 
 #: Opcodes that mutate a database: the server takes the database's write

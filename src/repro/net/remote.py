@@ -537,8 +537,18 @@ class RemoteDatabase:
 
     @classmethod
     def connect(cls, host: str, port: int, name: str,
-                timeout: float = 10.0, **client_kwargs) -> "RemoteDatabase":
-        client = OdeClient(host, port, timeout=timeout, **client_kwargs)
+                timeout: float = 10.0, replicas=None,
+                **client_kwargs) -> "RemoteDatabase":
+        """Connect to *name* served at ``host:port`` (the primary).
+
+        ``replicas=[(host, port), ...]`` names read replicas the
+        client may route per-object reads to; the
+        :class:`~repro.net.client.OdeClient` epoch floor guarantees
+        the session still reads its own writes and never steps
+        backwards in time (see client docs).
+        """
+        client = OdeClient(host, port, timeout=timeout,
+                           replicas=replicas, **client_kwargs)
         client.connect()
         try:
             return cls(client, name)

@@ -17,10 +17,11 @@ closed and any open transactions aborted.
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import NetworkError, OdeError, StorageError
 from repro.net import protocol as P
@@ -28,6 +29,8 @@ from repro.net.rwlock import ReadWriteLock
 from repro.net.session import HostedDatabase, ServerSession
 from repro.obs.metrics import get_registry
 from repro.ode.database import Database
+from repro.repl.feed import ReplicationFeed
+from repro.repl.replica import ReplicaApplier, bootstrap_replica
 
 #: How long a connection thread blocks in recv before re-checking the
 #: server's stop flag.
@@ -42,6 +45,7 @@ class OdeServer:
 
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
                  port: int = 0, poll_seconds: float = _POLL_SECONDS,
+                 replica_of: Optional[Tuple[str, int]] = None,
                  **database_kwargs):
         self.root = Path(root)
         self.host = host
@@ -50,14 +54,23 @@ class OdeServer:
         #: Torture tests shrink it so a shutdown with stuck connections
         #: (e.g. behind a fault proxy) drains quickly.
         self.poll_seconds = poll_seconds
+        #: ``(host, port)`` of the primary when serving as a read
+        #: replica: databases are cloned from there at start, kept
+        #: current by one applier thread each, and writes are refused.
+        self.replica_of = replica_of
         self._database_kwargs = database_kwargs
         self._hosted: Dict[str, HostedDatabase] = {}
+        self._feeds: Dict[str, ReplicationFeed] = {}
+        self._appliers: Dict[str, ReplicaApplier] = {}
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._threads: List[threading.Thread] = []
         self._threads_lock = threading.Lock()
         self._stopping = threading.Event()
-        self._session_ids = iter(range(1, 2 ** 31))
+        # itertools.count, NOT iter(range(...)): a finite range would
+        # eventually StopIteration inside the accept loop and the server
+        # would silently stop taking connections.
+        self._session_ids = itertools.count(1)
         self._active_sessions = 0
         self._active_lock = threading.Lock()
 
@@ -92,12 +105,74 @@ class OdeServer:
             database = Database.open(path, **self._database_kwargs)
             self._hosted[database.name] = HostedDatabase(
                 database, ReadWriteLock())
+            # Every hosted database gets a feed, whatever the role: on
+            # a primary it serves replicas; on a replica it makes the
+            # node a valid upstream for chained replication (the
+            # store's subscribe hook fires on replicated applies too).
+            self._feeds[database.name] = ReplicationFeed(database.store)
+
+    def _bootstrap_from_primary(self) -> None:
+        """Clone the primary's databases that are missing under root."""
+        from repro.net.client import OdeClient
+
+        host, port = self.replica_of
+        client = OdeClient(host, port)
+        try:
+            names = client.call(P.OP_LIST_DATABASES, {})["databases"]
+            if not names:
+                raise StorageError(f"primary {host}:{port} hosts no databases")
+            for name in names:
+                if not (self.root / f"{name}.odb" / "catalog.json").exists():
+                    bootstrap_replica(self.root, name, client)
+        finally:
+            client.close()
+
+    def _start_appliers(self) -> None:
+        host, port = self.replica_of
+        for name, entry in self._hosted.items():
+            self._appliers[name] = ReplicaApplier(
+                entry.database, host, port).start()
 
     def hosted(self, name: str) -> HostedDatabase:
         entry = self._hosted.get(name)
         if entry is None:
             raise StorageError(f"server does not host a database named {name!r}")
         return entry
+
+    def feed(self, name: str) -> ReplicationFeed:
+        feed = self._feeds.get(name)
+        if feed is None:
+            raise StorageError(f"server does not host a database named {name!r}")
+        return feed
+
+    def applier(self, name: str) -> ReplicaApplier:
+        applier = self._appliers.get(name)
+        if applier is None:
+            raise StorageError(f"no replication applier for {name!r}")
+        return applier
+
+    @property
+    def role(self) -> str:
+        return "replica" if self.replica_of else "primary"
+
+    @property
+    def is_replica(self) -> bool:
+        return self.replica_of is not None
+
+    @property
+    def primary_address(self) -> Optional[str]:
+        if self.replica_of is None:
+            return None
+        host, port = self.replica_of
+        return f"{host}:{port}"
+
+    def replication_stats(self, name: str) -> Dict[str, Any]:
+        """Role-appropriate replication detail for one database."""
+        applier = self._appliers.get(name)
+        if applier is not None:
+            return applier.stats()
+        feed = self._feeds.get(name)
+        return feed.stats() if feed is not None else {}
 
     def database_names(self) -> List[str]:
         return sorted(self._hosted)
@@ -113,7 +188,12 @@ class OdeServer:
         """Open the databases and begin accepting connections."""
         if self._listener is not None:
             raise NetworkError("server already started")
+        if self.replica_of is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._bootstrap_from_primary()
         self._discover()
+        if self.replica_of is not None:
+            self._start_appliers()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
@@ -144,7 +224,10 @@ class OdeServer:
             try:
                 self._listener.close()
             except OSError:
-                pass
+                get_registry().counter("net.teardown_error").inc()
+        for applier in self._appliers.values():
+            applier.stop()
+        self._appliers.clear()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=drain)
         with self._threads_lock:
@@ -155,8 +238,11 @@ class OdeServer:
             try:
                 entry.database.close()
             except OdeError:
-                pass
+                # A simulated crash or failed recovery already tore the
+                # store down; the directory lock still gets released.
+                get_registry().counter("net.teardown_error").inc()
         self._hosted.clear()
+        self._feeds.clear()
         self._listener = None
         self._accept_thread = None
 
@@ -211,7 +297,7 @@ class OdeServer:
             try:
                 conn.close()
             except OSError:
-                pass
+                get_registry().counter("net.teardown_error").inc()
 
     def _handle_frame(self, conn: socket.socket, session: ServerSession,
                       frame: P.Frame) -> None:

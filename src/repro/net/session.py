@@ -41,6 +41,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import (
     NetworkError,
     OdeError,
+    ReadOnlyReplicaError,
     StorageError,
     TransactionError,
 )
@@ -100,7 +101,9 @@ class ServerSession:
             try:
                 hosted.database.objects.abort()
             except OdeError:
-                pass
+                # The store already resolved the transaction (e.g. a
+                # failed commit rolled back); nothing left to abort.
+                get_registry().counter("net.teardown_error").inc()
             finally:
                 hosted.lock.release_write()
                 self._tx_database = None
@@ -121,8 +124,19 @@ class ServerSession:
             # snapshot.
             self._m_read_lockfree.inc()
             return handler(self, payload)
+        if opcode in _REPL_OPCODES:
+            # Replication fetches long-poll; they must not hold an
+            # ambient snapshot pin (it would wedge MVCC pruning for the
+            # whole wait) and set their own epochs.
+            return handler(self, payload)
         hosted = self._hosted(payload)
         if opcode in P.WRITE_OPCODES:
+            if self.server.is_replica:
+                primary = self.server.primary_address
+                raise ReadOnlyReplicaError(
+                    f"{hosted.database.name!r} is a read replica"
+                    + (f"; writes go to the primary at {primary}"
+                       if primary else ""))
             return self._dispatch_write(opcode, handler, hosted, payload)
         return self._dispatch_read(handler, hosted, payload)
 
@@ -205,7 +219,7 @@ class ServerSession:
             for index in objects.indexes.indexes():
                 objects.indexes.rebuild(index.class_name, index.attribute)
         except OdeError:
-            pass
+            get_registry().counter("net.teardown_error").inc()
 
     # -- handshake / catalog ------------------------------------------------------
 
@@ -218,6 +232,7 @@ class ServerSession:
         return {
             "version": P.PROTOCOL_VERSION,
             "server": "repro.net",
+            "role": self.server.role,
             "databases": self.server.database_names(),
         }
 
@@ -437,6 +452,42 @@ class ServerSession:
             entry[1].close()  # release the cursor's snapshot pin
         return {}
 
+    # -- replication -------------------------------------------------------------------
+
+    def op_repl_fetch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Stream committed units to a replica (long-poll)."""
+        hosted = self._hosted(payload)
+        feed = self.server.feed(hosted.database.name)
+        after = payload.get("after", 0)
+        if not isinstance(after, int) or after < 0:
+            raise NetworkError(f"bad replication offset {after!r}")
+        return feed.fetch(
+            after,
+            max_units=int(payload.get("max", 64)),
+            wait_seconds=int(payload.get("wait_ms", 0)) / 1000.0,
+        )
+
+    def op_repl_snapshot(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Full state for replica bootstrap/resync, at one epoch."""
+        hosted = self._hosted(payload)
+        database = hosted.database
+        with database.objects.pinned() as snapshot:
+            objects = [[str(oid), snapshot.get(oid)]
+                       for oid in snapshot.oids()]
+            epoch = snapshot.epoch
+        modules: Dict[str, str] = {}
+        display_dir = database.display_dir
+        if display_dir.is_dir():
+            for path in sorted(display_dir.glob("*.py")):
+                modules[path.name] = path.read_text(encoding="utf-8")
+        return {
+            "epoch": epoch,
+            "objects": objects,
+            "schema": database.schema.to_dict(),
+            "icon": database.icon,
+            "modules": modules,
+        }
+
     # -- maintenance -------------------------------------------------------------------
 
     def op_stats(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -449,6 +500,9 @@ class ServerSession:
         }
         registry = get_registry()
         return {
+            "role": self.server.role,
+            "applied_epoch": database.store.epoch,
+            "replication": self.server.replication_stats(database.name),
             "schema_version": database.schema.version,
             "clusters": clusters,
             "indexes": [
@@ -505,6 +559,13 @@ _CURSOR_OPCODES = frozenset({
     P.OP_CURSOR_CURRENT, P.OP_CURSOR_SEEK,
 })
 
+#: Replication ops run lock-free with no ambient snapshot pin: a fetch
+#: may long-poll (a held pin would stall MVCC pruning for the wait) and
+#: a snapshot pins its own epoch for exactly the copy-out.
+_REPL_OPCODES = frozenset({
+    P.OP_REPL_FETCH, P.OP_REPL_SNAPSHOT,
+})
+
 _HANDLERS = {
     P.OP_HELLO: ServerSession.op_hello,
     P.OP_PING: ServerSession.op_ping,
@@ -533,4 +594,6 @@ _HANDLERS = {
     P.OP_CURSOR_CLOSE: ServerSession.op_cursor_close,
     P.OP_STATS: ServerSession.op_stats,
     P.OP_VACUUM: ServerSession.op_vacuum,
+    P.OP_REPL_FETCH: ServerSession.op_repl_fetch,
+    P.OP_REPL_SNAPSHOT: ServerSession.op_repl_snapshot,
 }

@@ -76,6 +76,7 @@ from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tup
 from repro.errors import (
     GroupCommitError,
     ObjectNotFoundError,
+    ReplicaDivergedError,
     StorageError,
     TransactionError,
 )
@@ -299,6 +300,11 @@ class ObjectStore:
         # dooms any transaction left open across it.
         self._generation = 0
         self._tx_doomed = False
+        # Listeners for commits that do NOT cross the group-commit
+        # barrier (replicated applies); subscribe_commits registers on
+        # both paths so a subscriber sees every published commit.
+        self._replication_listeners: List[
+            Callable[[int, List[WalRecord]], None]] = []
         self._rebuild_from_pages(purge=self._redo_oids())
         self._recover_from_wal()
         self._rebuild_members()
@@ -637,6 +643,140 @@ class ObjectStore:
     def group_commit_stats(self) -> Dict[str, Any]:
         """Batch-size/latency behaviour of this store's commit barrier."""
         return self._commit_group.stats()
+
+    # -- replication: shipping out, applying in ---------------------------------
+
+    def subscribe_commits(
+            self, listener: Callable[[int, List[WalRecord]], None]) -> None:
+        """Call ``listener(epoch, frames)`` for every published commit.
+
+        Registered on both commit paths: the group-commit barrier (local
+        writers) and :meth:`apply_replicated` (commits shipped from a
+        primary), so a chained replica can feed its own downstreams.
+        Notification order is epoch order; a commit is only ever
+        announced after it is durable in this store's WAL and its epoch
+        is visible to snapshot readers.
+        """
+        self._commit_group.subscribe(listener)
+        with self._lock:
+            self._replication_listeners.append(listener)
+
+    def replication_units(
+            self, after_epoch: int,
+    ) -> Tuple[List[Tuple[int, List[WalRecord]]], Optional[int]]:
+        """Committed units newer than *after_epoch* from the WAL, plus
+        the log's contiguity floor (see
+        :meth:`~repro.ode.wal.WriteAheadLog.committed_units`)."""
+        return self._wal.committed_units(after_epoch)
+
+    @staticmethod
+    def _unit_effects(frames: List[WalRecord]) -> Dict[Oid, Optional[bytes]]:
+        effects: Dict[Oid, Optional[bytes]] = {}
+        for record in frames:
+            if record.op == OP_PUT:
+                effects[Oid.parse(record.oid)] = record.payload
+            elif record.op == OP_DELETE:
+                effects[Oid.parse(record.oid)] = None
+        return effects
+
+    def apply_replicated(
+            self, units: List[Tuple[int, List[WalRecord]]]) -> int:
+        """Apply whole committed transactions shipped from a primary.
+
+        Each unit is one commit's frame sequence (BEGIN, ops, COMMIT)
+        tagged with the epoch the primary published it at; units must
+        arrive in ascending epoch order.  Units at or below this store's
+        epoch are skipped, so redelivery after a reconnect is idempotent.
+
+        Durability first, exactly like the primary's own commits: every
+        fresh unit's frames land in this replica's WAL as one blob and
+        one fsync *before* any page is touched, so a crash mid-apply
+        redoes the suffix from the log at reopen and the epoch counter
+        (carried by the COMMIT records) never regresses.  Then each unit
+        is applied and its epoch published in order — snapshot readers
+        on the replica see exactly the primary's commit boundaries, at
+        the primary's epochs.  Returns the new applied epoch.
+        """
+        with self._lock:
+            if self._txid is not None:
+                raise TransactionError(
+                    "cannot apply replicated commits with a transaction open")
+            fresh = [(epoch, frames) for epoch, frames in units
+                     if epoch > self._epoch]
+            if not fresh:
+                return self._epoch
+            # Epochs are minted one per commit, so the shipped window
+            # must extend this store's epoch with no hole: a skipped
+            # epoch means a committed transaction this replica would
+            # silently never see.
+            last = self._epoch
+            for epoch, _frames in fresh:
+                if epoch != last + 1:
+                    raise ReplicaDivergedError(
+                        f"replicated units skip an epoch: {epoch} "
+                        f"cannot extend {last}")
+                last = epoch
+            self._wal.append_batch([record for _epoch, frames in fresh
+                                    for record in frames])
+            self._wal.group_sync()
+            for epoch, frames in fresh:
+                effects = self._unit_effects(frames)
+                preimages = self._capture_preimages(effects)
+                for oid, payload in effects.items():
+                    if payload is None:
+                        if oid in self._table:
+                            self._delete_from_pages(oid)
+                    else:
+                        self._put_to_pages(oid, payload)
+                self._publish_epoch(epoch, effects, preimages)
+                if epoch > self._epoch_minted:
+                    self._epoch_minted = epoch
+                for listener in self._replication_listeners:
+                    try:
+                        listener(epoch, frames)
+                    except Exception:
+                        get_registry().counter(
+                            "wal.group.notify_errors").inc()
+            applied = self._epoch
+        self._maybe_checkpoint()
+        return applied
+
+    def install_replicated(self, epoch: int,
+                           records: List[Tuple[str, bytes]]) -> int:
+        """Replace the whole store with a primary snapshot (resync).
+
+        The catch-up path for a replica that fell behind the primary's
+        WAL window: every live object is dropped, the snapshot's records
+        are installed, and the store's epoch jumps to the snapshot's.
+        A snapshot *older* than this replica would make applied epochs
+        regress — that is a topology error
+        (:class:`~repro.errors.ReplicaDivergedError`), never silently
+        applied.  Live snapshot readers degrade to the installed state
+        (the same contract as a store recovery).  The closing checkpoint
+        stamps the new epoch durable.
+        """
+        with self._lock:
+            if self._txid is not None:
+                raise TransactionError(
+                    "cannot resync a store with a transaction open")
+            if epoch < self._epoch:
+                raise ReplicaDivergedError(
+                    f"resync snapshot at epoch {epoch} is older than this "
+                    f"replica (epoch {self._epoch})")
+            for oid in list(self._table):
+                self._delete_from_pages(oid)
+            for text, payload in records:
+                self._put_to_pages(Oid.parse(text), payload)
+            self._pool.flush_all()
+            with self._mvcc_lock:
+                self._mvcc.clear()
+                self._m_versions_live.set(0)
+                self._epoch = epoch
+            self._rebuild_members()
+            if epoch > self._epoch_minted:
+                self._epoch_minted = epoch
+            self._wal.checkpoint(epoch)
+            return epoch
 
     def _check_doomed(self) -> None:
         """Raise (once) if a recovery destroyed the open transaction."""

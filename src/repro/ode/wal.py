@@ -261,6 +261,51 @@ class WriteAheadLog:
                 pending.pop(record.txid, None)
         return committed
 
+    def committed_units(
+            self, after_epoch: int,
+    ) -> Tuple[List[Tuple[int, List[WalRecord]]], Optional[int]]:
+        """Whole committed transactions newer than *after_epoch*, from disk.
+
+        This is the replication catch-up reader: each returned *unit* is
+        one commit's full frame sequence (BEGIN, ops, COMMIT) exactly as
+        the group-commit leader appended it, keyed by its commit epoch,
+        in file order — which is epoch order.
+
+        The second value is the *floor*: the epoch stamped in the head
+        CHECKPOINT record, i.e. the point up to which the log has been
+        truncated.  The returned units are provably every committed
+        epoch in ``(after_epoch, tail]`` **iff** ``after_epoch >=
+        floor``; a caller further behind than the floor has lost its
+        window into the log and must resync from a snapshot.  ``None``
+        means the log has no head checkpoint (a pre-MVCC log) and
+        contiguity cannot be proven at all.
+        """
+        floor: Optional[int] = None
+        first = True
+        pending: Dict[int, List[WalRecord]] = {}
+        units: List[Tuple[int, List[WalRecord]]] = []
+        for record in self.records():
+            if first:
+                first = False
+                if record.op == OP_CHECKPOINT:
+                    floor = record.epoch
+            if record.op == OP_CHECKPOINT:
+                continue
+            if record.op == OP_BEGIN:
+                pending[record.txid] = [record]
+            elif record.op in (OP_PUT, OP_DELETE):
+                pending.setdefault(
+                    record.txid,
+                    [WalRecord(op=OP_BEGIN, txid=record.txid)],
+                ).append(record)
+            elif record.op == OP_COMMIT:
+                frames = pending.pop(record.txid, None)
+                if frames is not None and record.epoch > after_epoch:
+                    units.append((record.epoch, frames + [record]))
+            elif record.op == OP_ABORT:
+                pending.pop(record.txid, None)
+        return units, floor
+
     def max_epoch(self) -> int:
         """Highest commit epoch recorded in the log (0 for pre-MVCC logs).
 
@@ -282,16 +327,53 @@ class WriteAheadLog:
         ``epoch`` (the store's current commit epoch) is stamped into the
         CHECKPOINT record so the epoch counter never regresses across a
         reopen, even when the checkpoint removed every COMMIT record.
-        Holds the I/O lock across truncate + CHECKPOINT append, so a
-        concurrent group-commit batch lands entirely before the truncate
-        (and is dropped) or entirely after the CHECKPOINT — never half.
+
+        Atomic: the one-record replacement log is written and fsynced to
+        a side file, then renamed over the live log.  A crash at any
+        instant therefore leaves either the complete old log (every
+        committed record still replayable, epoch recoverable) or the new
+        checkpointed log — never the empty/torn-head log that an
+        in-place truncate-then-append leaves when the crash lands
+        between the truncate and the CHECKPOINT record's fsync.  That
+        window used to reset the epoch counter to zero at reopen, which
+        replication cannot tolerate: a replica would see its primary
+        travel back in time.
+
+        Holds the I/O lock across the swap, so a concurrent group-commit
+        batch lands entirely in the old log (and is dropped with it) or
+        entirely after the CHECKPOINT — never half.
         """
+        frame = self.encode_frame(
+            WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch))
+        side_path = self.path.with_name(self.path.name + ".ckpt")
         with self._io:
-            self._fh.seek(0)
-            self._fh.truncate(0)
-            self._size = 0
-            self.append(WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch),
-                        sync=True)
+            with open(side_path, "wb") as side:
+                def write_through(payload: bytes = frame) -> None:
+                    side.write(payload)
+                    side.flush()
+
+                def sync_through() -> None:
+                    os.fsync(side.fileno())
+
+                # Crossed under the existing WAL gate sites: a fault
+                # here tears/loses only the side file, and the live log
+                # — still holding everything — wins at recovery.
+                if self._fault_gate is None:
+                    write_through()
+                    sync_through()
+                else:
+                    self._fault_gate("wal.append", frame, write_through)
+                    self._fault_gate("wal.sync", None, sync_through)
+            self._fh.close()
+            os.replace(side_path, self.path)
+            dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+            self._fh = open(self.path, "a+b")
+            self._fh.seek(0, os.SEEK_END)
+            self._size = self._fh.tell()
 
     @property
     def closed(self) -> bool:
@@ -381,6 +463,10 @@ class GroupCommit:
         self._commits = 0
         self._syncs = 0
         self._largest_batch = 0
+        # Commit subscribers: called by the leader, per commit, in epoch
+        # order, strictly after the commit is durable *and* finished
+        # (its on_durable ran).  This is the replication shipping hook.
+        self._subscribers: List[Callable[[int, List[WalRecord]], None]] = []
         self._wait_hist = Histogram("group_commit.wait_seconds")
         registry = get_registry()
         self._m_batches = registry.counter("wal.group.batches")
@@ -405,6 +491,27 @@ class GroupCommit:
             # this signal: a waiter only parks while a leader is active,
             # and the leader's exit broadcasts on _cond.
             self._arrivals.notify()
+
+    def subscribe(self, listener: Callable[[int, List[WalRecord]], None]) -> None:
+        """Register ``listener(epoch, frames)`` for every finished commit.
+
+        The leader notifies in epoch order, after the commit's fsync and
+        ``on_durable`` callback — so a listener only ever sees commits
+        that are durable and published, which is exactly what may be
+        shipped to a replica.  Listeners run under the finish lock (the
+        store lock) and must be fast and exception-free; a listener
+        error is counted (``wal.group.notify_errors``) and swallowed so
+        it can never fail a batch that is already durable.
+        """
+        with self._cond:
+            self._subscribers.append(listener)
+
+    def _notify(self, epoch: int, frames: List[WalRecord]) -> None:
+        for listener in self._subscribers:
+            try:
+                listener(epoch, frames)
+            except Exception:
+                get_registry().counter("wal.group.notify_errors").inc()
 
     def wait_durable(self, epoch: int) -> None:
         """Block until *epoch* is durable and finished (its ``on_durable``
@@ -604,12 +711,13 @@ class GroupCommit:
                 else contextlib.nullcontext())
         try:
             with hold:
-                for epoch, _frames, on_durable in batch:
+                for epoch, frames, on_durable in batch:
                     if on_durable is not None:
                         on_durable()
                     with self._cond:
                         if epoch > self._durable:
                             self._durable = epoch
+                    self._notify(epoch, frames)
         finally:
             with self._cond:
                 self._cond.notify_all()

@@ -1,0 +1,30 @@
+"""WAL-shipping replication: primary feed, replica apply loop.
+
+The group-commit barrier already emits commits as epoch-ordered,
+batch-atomic WAL blobs (PR 5); this package turns that stream into read
+replicas.  A :class:`~repro.repl.feed.ReplicationFeed` on the primary
+buffers finished commits for long-polling fetchers and falls back to
+the WAL tail for stragglers; a :class:`~repro.repl.replica.ReplicaApplier`
+on each replica pulls units over the ordinary wire protocol and applies
+them with :meth:`~repro.ode.store.ObjectStore.apply_replicated`,
+publishing the primary's epochs to local snapshot readers.
+
+The invariant the whole design hangs on: a replica's applied epochs are
+always a contiguous prefix of the primary's committed epochs.  Shipping
+happens strictly after durability *and* publication on the primary, the
+apply path persists units to the replica's own WAL before touching
+pages, and any gap the feed cannot bridge (ring evicted + WAL
+checkpointed past the replica) forces a full snapshot resync instead of
+a silent hole.
+"""
+
+from repro.repl.feed import ReplicationFeed, units_from_wire, units_to_wire
+from repro.repl.replica import ReplicaApplier, bootstrap_replica
+
+__all__ = [
+    "ReplicationFeed",
+    "ReplicaApplier",
+    "bootstrap_replica",
+    "units_from_wire",
+    "units_to_wire",
+]

@@ -1,0 +1,144 @@
+"""The primary side of WAL shipping: a bounded feed of committed units.
+
+A *unit* is one committed transaction's WAL frame sequence (BEGIN, the
+ops, COMMIT) tagged with the epoch it was published at — exactly what
+:meth:`~repro.ode.wal.GroupCommit` hands its subscribers once a commit
+is durable and visible.  The feed keeps the most recent units in a ring
+so fetchers normally never touch the log, and answers three regimes:
+
+ring
+    ``after_epoch`` at or past the ring floor: serve buffered units,
+    long-polling when the fetcher is already caught up.
+log tail
+    ``after_epoch`` below the ring floor but at or past the WAL's head
+    checkpoint: re-read whole committed units from the log
+    (:meth:`~repro.ode.wal.WriteAheadLog.committed_units`).
+resync
+    the WAL has been checkpointed past ``after_epoch``; the gap is
+    unbridgeable and the fetcher must take a full snapshot.
+
+The ring floor only ever rises (eviction, checkpoint), so a fetcher
+that was streamable can become resync-only but never the reverse —
+which is what makes "units are a contiguous extension of your epoch"
+a safe reply contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Tuple
+
+from repro.obs import get_registry
+from repro.ode.store import ObjectStore
+from repro.ode.wal import WalRecord
+
+Unit = Tuple[int, List[WalRecord]]
+
+#: Long-poll waits are capped server-side so a dead fetcher cannot park
+#: a session thread forever.
+MAX_WAIT_SECONDS = 2.0
+
+
+def units_to_wire(units: List[Unit]) -> List[List[Any]]:
+    """Flatten units into codec-friendly lists for a wire reply."""
+    return [
+        [epoch, [[r.op, r.txid, r.oid, r.payload, r.epoch] for r in frames]]
+        for epoch, frames in units
+    ]
+
+
+def units_from_wire(wire: List[List[Any]]) -> List[Unit]:
+    """Inverse of :func:`units_to_wire`."""
+    return [
+        (epoch, [WalRecord(op=op, txid=txid, oid=oid, payload=payload,
+                           epoch=rec_epoch)
+                 for op, txid, oid, payload, rec_epoch in frames])
+        for epoch, frames in wire
+    ]
+
+
+class ReplicationFeed:
+    """Buffers a store's committed units for replica fetchers.
+
+    Subscribes to every published commit — local writers via the
+    group-commit barrier and (on a chained replica) replicated applies —
+    so the ring is filled on both paths.  All state lives behind one
+    condition variable; `fetch` is safe from any number of session
+    threads.
+    """
+
+    def __init__(self, store: ObjectStore, capacity: int = 256):
+        self._store = store
+        self._capacity = capacity
+        self._cond = threading.Condition()
+        self._ring: deque = deque()
+        # Epochs in the ring are exactly (floor, store tail]; starts at
+        # the store's current epoch because nothing older was observed.
+        self._floor = store.epoch
+        self._m_fetches = get_registry().counter("repl.feed.fetches")
+        self._m_log_reads = get_registry().counter("repl.feed.log_reads")
+        self._m_resyncs = get_registry().counter("repl.feed.resyncs")
+        store.subscribe_commits(self._on_commit)
+
+    @property
+    def floor(self) -> int:
+        """Oldest epoch the ring can extend from."""
+        with self._cond:
+            return self._floor
+
+    def _on_commit(self, epoch: int, frames: List[WalRecord]) -> None:
+        with self._cond:
+            self._ring.append((epoch, frames))
+            while len(self._ring) > self._capacity:
+                evicted_epoch, _frames = self._ring.popleft()
+                self._floor = evicted_epoch
+            self._cond.notify_all()
+
+    def fetch(self, after_epoch: int, max_units: int = 64,
+              wait_seconds: float = 0.0) -> Dict[str, Any]:
+        """Units extending ``after_epoch``, or a resync order.
+
+        Returns ``{"units": [...], "epoch": <primary epoch>,
+        "resync": bool}``.  When ``resync`` is true the fetcher's epoch
+        predates everything the primary can stream and it must install
+        a snapshot.  ``units`` (wire form) are guaranteed to be *every*
+        committed epoch in ``(after_epoch, last unit]``, in order — the
+        contiguity the replica's apply path insists on.
+        """
+        self._m_fetches.inc()
+        wait_seconds = min(max(wait_seconds, 0.0), MAX_WAIT_SECONDS)
+        with self._cond:
+            if after_epoch >= self._floor:
+                units = [u for u in self._ring if u[0] > after_epoch]
+                if not units and wait_seconds > 0.0:
+                    self._cond.wait(wait_seconds)
+                    units = [u for u in self._ring if u[0] > after_epoch]
+                return {
+                    "units": units_to_wire(units[:max_units]),
+                    "epoch": self._store.epoch,
+                    "resync": False,
+                }
+        # Ring can't reach back that far; try the WAL tail.  Outside
+        # the feed lock — log reads must not block commit notification.
+        self._m_log_reads.inc()
+        units, wal_floor = self._store.replication_units(after_epoch)
+        if wal_floor is not None and after_epoch >= wal_floor:
+            return {
+                "units": units_to_wire(units[:max_units]),
+                "epoch": self._store.epoch,
+                "resync": False,
+            }
+        self._m_resyncs.inc()
+        return {"units": [], "epoch": self._store.epoch, "resync": True}
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "floor": self._floor,
+                "buffered": len(self._ring),
+                "capacity": self._capacity,
+                "fetches": self._m_fetches.value,
+                "log_reads": self._m_log_reads.value,
+                "resyncs": self._m_resyncs.value,
+            }

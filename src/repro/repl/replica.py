@@ -1,0 +1,211 @@
+"""The replica side of WAL shipping: bootstrap and the apply loop.
+
+A replica is an ordinary server process whose databases are clones of a
+primary's, kept current by one :class:`ReplicaApplier` thread per
+database.  The applier long-polls the primary's replication feed over
+the normal wire protocol (``OP_REPL_FETCH``), applies each batch of
+committed units with :meth:`~repro.ode.store.ObjectStore.apply_replicated`
+— WAL-first, epoch-ordered, idempotent — and falls back to a full
+snapshot install (``OP_REPL_SNAPSHOT`` →
+:meth:`~repro.ode.store.ObjectStore.install_replicated`) when the
+primary reports the gap unbridgeable.
+
+The applier is deliberately pull-based: the primary keeps no per-replica
+state beyond the feed ring, a replica that dies simply stops fetching,
+and catch-up after a restart is the same code path as steady state
+(fetch from my epoch).  ``pause``/``resume`` exist so tests can hold a
+replica at a known lag.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import NetworkError, OdeError
+from repro.net import protocol as P
+from repro.net.client import OdeClient
+from repro.obs import get_registry
+from repro.ode.database import (
+    CATALOG_FILE,
+    DISPLAY_DIR,
+    ICON_FILE,
+    Database,
+)
+from repro.repl.feed import units_from_wire
+
+#: How long one fetch parks on the primary waiting for fresh commits.
+DEFAULT_POLL_SECONDS = 0.5
+
+#: Units requested per fetch; bounds the size of one apply batch.
+FETCH_BATCH = 64
+
+#: Backoff after the primary is unreachable, before the next attempt.
+RECONNECT_BACKOFF_SECONDS = 0.25
+
+
+def bootstrap_replica(root: Union[str, Path], name: str,
+                      client: OdeClient) -> None:
+    """Clone database *name* from the primary into *root*.
+
+    Writes the catalog (schema), icon and display modules, then installs
+    the primary's object snapshot at its epoch, so the first fetch the
+    applier issues streams from there.  The directory must not already
+    hold a database.
+    """
+    reply = client.call(P.OP_REPL_SNAPSHOT, {"db": name})
+    directory = Path(root) / f"{name}.odb"
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / CATALOG_FILE, "w", encoding="utf-8") as fh:
+        json.dump(reply["schema"], fh, indent=2, sort_keys=True)
+    (directory / ICON_FILE).write_text(reply["icon"], encoding="utf-8")
+    display_dir = directory / DISPLAY_DIR
+    display_dir.mkdir(exist_ok=True)
+    for filename, source in reply["modules"].items():
+        (display_dir / filename).write_text(source, encoding="utf-8")
+    database = Database.open(directory)
+    try:
+        database.store.install_replicated(
+            reply["epoch"],
+            [(text, payload) for text, payload in reply["objects"]])
+    finally:
+        database.close()
+
+
+class ReplicaApplier:
+    """Pulls committed units from the primary and applies them.
+
+    One thread per replicated database.  All network failures are
+    absorbed with a backoff — a replica outlives its primary's restarts —
+    and every apply error other than a lost connection is fatal for the
+    loop (a diverged replica must not keep serving quietly; the server
+    surfaces ``last_error`` in stats).
+    """
+
+    def __init__(self, database: Database, primary_host: str,
+                 primary_port: int,
+                 poll_seconds: float = DEFAULT_POLL_SECONDS):
+        self.database = database
+        self.primary_host = primary_host
+        self.primary_port = primary_port
+        self.poll_seconds = poll_seconds
+        self._client = OdeClient(primary_host, primary_port,
+                                 retries=1)
+        self._stop = threading.Event()
+        self._paused = threading.Event()
+        self._resumed = threading.Event()
+        self._resumed.set()
+        self._parked = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._primary_epoch = database.store.epoch
+        self.last_error: Optional[str] = None
+        self._m_applied = get_registry().counter("repl.apply.units")
+        self._m_resyncs = get_registry().counter("repl.apply.resyncs")
+        self._m_disconnects = get_registry().counter("repl.apply.disconnects")
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "ReplicaApplier":
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"repl-apply-{self.database.name}")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._resumed.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._client.close()
+
+    def pause(self, wait_seconds: float = 10.0) -> None:
+        """Hold the replica at its current epoch (test hook).
+
+        Blocks until the apply loop is actually parked — any in-flight
+        fetch has drained — so the applied epoch cannot advance until
+        :meth:`resume`.
+        """
+        self._paused.set()
+        self._resumed.clear()
+        if self._thread is not None:
+            self._parked.wait(wait_seconds)
+
+    def resume(self) -> None:
+        self._paused.clear()
+        self._resumed.set()
+
+    # -- the loop ---------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self._paused.is_set():
+                self._parked.set()
+                self._resumed.wait()
+                self._parked.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self.step()
+            except NetworkError:
+                self._m_disconnects.inc()
+                self._stop.wait(RECONNECT_BACKOFF_SECONDS)
+            except OdeError as exc:
+                # Divergence or local storage failure: stop applying,
+                # leave the evidence for stats.  Serving reads at the
+                # last good epoch is still safe — applied state is
+                # consistent — it just stops advancing.
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                return
+
+    def step(self) -> int:
+        """One fetch + apply round; returns the new applied epoch."""
+        store = self.database.store
+        reply = self._client.call(P.OP_REPL_FETCH, {
+            "db": self.database.name,
+            "after": store.epoch,
+            "max": FETCH_BATCH,
+            "wait_ms": int(self.poll_seconds * 1000),
+        })
+        self._primary_epoch = reply.get("epoch", store.epoch)
+        if reply.get("resync"):
+            self._m_resyncs.inc()
+            snapshot = self._client.call(
+                P.OP_REPL_SNAPSHOT, {"db": self.database.name})
+            return store.install_replicated(
+                snapshot["epoch"],
+                [(text, payload) for text, payload in snapshot["objects"]])
+        units = units_from_wire(reply.get("units", []))
+        if units:
+            applied = store.apply_replicated(units)
+            self._m_applied.inc(len(units))
+            return applied
+        return store.epoch
+
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def applied_epoch(self) -> int:
+        return self.database.store.epoch
+
+    @property
+    def lag(self) -> int:
+        """Epochs behind the primary, as of the last fetch reply."""
+        return max(0, self._primary_epoch - self.database.store.epoch)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "database": self.database.name,
+            "primary": f"{self.primary_host}:{self.primary_port}",
+            "applied_epoch": self.applied_epoch,
+            "primary_epoch": self._primary_epoch,
+            "lag": self.lag,
+            "paused": self._paused.is_set(),
+            "units_applied": self._m_applied.value,
+            "resyncs": self._m_resyncs.value,
+            "disconnects": self._m_disconnects.value,
+            "last_error": self.last_error,
+        }

@@ -189,7 +189,15 @@ def _write_workload(port: int, worker: int, seed: int,
             oid = HOT if i % 5 == 4 else owned[i % len(owned)]
             value = float(seed * 1000 + worker * 100 + i)
             with lock:
-                attempted[str(oid)] = value
+                if oid == HOT:
+                    # Every HOT send is kept: concurrent writers race on
+                    # this employee, and a value whose commit became
+                    # durable just before the crash may be acked to
+                    # nobody — overwriting it here (one shared key) made
+                    # the model check flaky under load.
+                    attempted[f"hot:{worker}:{i}"] = value
+                else:
+                    attempted[str(oid)] = value
             database.objects.update(oid, {"salary": value})
             with lock:
                 shadow[str(oid)] = value

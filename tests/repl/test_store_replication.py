@@ -1,0 +1,163 @@
+"""ObjectStore replication hooks: replication_units / apply / install.
+
+These tests exercise the storage half of WAL shipping in-process, with
+no server in the way: a writer store plays primary, a second store
+plays replica, and units travel between them by direct method call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicaDivergedError, TransactionError
+from repro.ode.codec import encode_object
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+
+
+def _payload(oid: Oid, n: int) -> bytes:
+    return encode_object(oid, "Rec", {"n": n})
+
+
+def _state(store: ObjectStore):
+    return {str(oid): store.get(oid) for oid in store.oids()}
+
+
+def _commit(store: ObjectStore, ops) -> None:
+    """One transaction: ops is [(oid, payload-or-None-for-delete), ...]."""
+    store.begin()
+    for oid, payload in ops:
+        if payload is None:
+            store.delete(oid)
+        else:
+            store.put(oid, payload)
+    store.commit()
+
+
+@pytest.fixture
+def primary(tmp_path):
+    store = ObjectStore(tmp_path / "primary")
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def replica(tmp_path):
+    store = ObjectStore(tmp_path / "replica")
+    yield store
+    store.close()
+
+
+def _fill(primary: ObjectStore, transactions: int = 3) -> None:
+    for index in range(transactions):
+        oid = Oid("db", "emp", index)
+        _commit(primary, [(oid, _payload(oid, index))])
+
+
+class TestApply:
+    def test_units_stream_and_apply(self, primary, replica):
+        _fill(primary)
+        units, floor = primary.replication_units(replica.epoch)
+        assert floor == 0
+        assert [epoch for epoch, _frames in units] == [1, 2, 3]
+        applied = replica.apply_replicated(units)
+        assert applied == primary.epoch
+        assert _state(replica) == _state(primary)
+
+    def test_apply_is_idempotent(self, primary, replica):
+        _fill(primary)
+        units, _floor = primary.replication_units(0)
+        replica.apply_replicated(units)
+        before = _state(replica)
+        # Redelivery of an already-applied window is a no-op, not an
+        # error: at-least-once shipping must be safe.
+        assert replica.apply_replicated(units) == primary.epoch
+        assert _state(replica) == before
+
+    def test_apply_rejects_epoch_gap(self, primary, replica):
+        _fill(primary)
+        units, _floor = primary.replication_units(0)
+        with pytest.raises(ReplicaDivergedError):
+            replica.apply_replicated(units[1:])
+
+    def test_apply_rejects_open_transaction(self, primary, replica):
+        _fill(primary)
+        units, _floor = primary.replication_units(0)
+        replica.begin()
+        try:
+            with pytest.raises(TransactionError):
+                replica.apply_replicated(units)
+        finally:
+            replica.abort()
+
+    def test_deletes_replicate(self, primary, replica):
+        _fill(primary)
+        _commit(primary, [(Oid("db", "emp", 1), None)])
+        units, _floor = primary.replication_units(0)
+        replica.apply_replicated(units)
+        assert not replica.exists(Oid("db", "emp", 1))
+        assert _state(replica) == _state(primary)
+
+    def test_applied_state_survives_reopen(self, primary, tmp_path):
+        _fill(primary)
+        replica = ObjectStore(tmp_path / "replica")
+        units, _floor = primary.replication_units(0)
+        replica.apply_replicated(units)
+        epoch = replica.epoch
+        replica.close()
+        reopened = ObjectStore(tmp_path / "replica")
+        try:
+            # Units went through the replica's own WAL before its pages,
+            # so a reopen replays them: same state, same epoch.
+            assert reopened.epoch == epoch
+            assert _state(reopened) == _state(primary)
+        finally:
+            reopened.close()
+
+    def test_subscribers_fire_on_replicated_applies(self, primary, replica):
+        """A replica is a valid upstream: its commit subscription sees
+        replicated units too, which is what chained replication rides."""
+        _fill(primary)
+        seen = []
+        replica.subscribe_commits(lambda epoch, _frames: seen.append(epoch))
+        units, _floor = primary.replication_units(0)
+        replica.apply_replicated(units)
+        assert seen == [1, 2, 3]
+
+
+class TestInstall:
+    def test_install_replaces_state(self, primary, replica):
+        _fill(primary)
+        stale = Oid("db", "old", 7)
+        _commit(replica, [(stale, _payload(stale, 7))])
+        with primary.snapshot() as snapshot:
+            records = [(str(oid), snapshot.get(oid))
+                       for oid in snapshot.oids()]
+            replica.install_replicated(snapshot.epoch, records)
+        assert not replica.exists(stale)
+        assert _state(replica) == _state(primary)
+        assert replica.epoch == primary.epoch
+
+    def test_install_rejects_epoch_regression(self, primary, replica):
+        _fill(primary)
+        units, _floor = primary.replication_units(0)
+        replica.apply_replicated(units)
+        with pytest.raises(ReplicaDivergedError):
+            replica.install_replicated(replica.epoch - 1, [])
+
+    def test_installed_state_survives_reopen(self, primary, tmp_path):
+        _fill(primary)
+        replica = ObjectStore(tmp_path / "replica")
+        with primary.snapshot() as snapshot:
+            records = [(str(oid), snapshot.get(oid))
+                       for oid in snapshot.oids()]
+            replica.install_replicated(snapshot.epoch, records)
+        replica.close()
+        reopened = ObjectStore(tmp_path / "replica")
+        try:
+            # install checkpoints the WAL at the installed epoch, so the
+            # counter survives even though no COMMIT records exist.
+            assert reopened.epoch == primary.epoch
+            assert _state(reopened) == _state(primary)
+        finally:
+            reopened.close()
