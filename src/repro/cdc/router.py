@@ -1,0 +1,259 @@
+"""ChangeRouter: fan committed deltas out to push subscribers.
+
+One router per hosted database.  It subscribes to the store's commit
+stream (:meth:`~repro.ode.store.ObjectStore.subscribe_commits` — which
+fires for local group commits *and* replicated applies, so a replica
+routes CDC from its own applied feed), summarizes each unit once, and
+offers the summary to every registered subscriber.
+
+The contract that keeps "millions of browsers" from touching the write
+path:
+
+* :meth:`_on_commit` runs on the committer's thread under the store
+  lock; it does O(subscribers) *enqueues* and nothing else — no socket
+  I/O, no waiting.  A subscriber's pump thread does the actual frame
+  writes.
+* Every subscriber's queue is **bounded**.  When a slow consumer falls
+  ``capacity`` summaries behind, the queue collapses into one pending
+  *resync* marker ("delta detail lost; wholesale-invalidate from epoch
+  E") instead of blocking the committer or growing without bound — and
+  later commits keep folding into that marker until the consumer
+  drains it.  Degradation is graceful and explicit, never a silent
+  drop: the consumer always learns *that* it missed changes.
+* A dead subscriber (send failed, connection closed) is unregistered;
+  its queue is garbage, not backpressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs import get_registry
+from repro.cdc.summary import ChangeSummary, summarize_unit
+
+#: Summaries a subscriber may fall behind before its queue coalesces
+#: into a single resync event.
+DEFAULT_QUEUE_CAPACITY = 128
+
+#: Server-side ceiling on what a subscriber may ask for.
+MAX_QUEUE_CAPACITY = 4096
+
+
+class CdcSubscriber:
+    """One connection's bounded, coalescing delta queue.
+
+    ``offer`` is the commit-path side: filter, enqueue (or coalesce),
+    notify — it never blocks and never raises.  ``take`` is the pump
+    side: wait for the next event to ship.  The two meet only at this
+    object's condition variable.
+    """
+
+    def __init__(self, sub_id: int, db_name: str,
+                 clusters: Optional[Sequence[str]] = None,
+                 capacity: int = DEFAULT_QUEUE_CAPACITY):
+        self.sub_id = sub_id
+        self.db_name = db_name
+        self.clusters = frozenset(clusters) if clusters is not None else None
+        self.capacity = max(1, min(int(capacity), MAX_QUEUE_CAPACITY))
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        self._resync_from: Optional[int] = None
+        self._closed = False
+        self.delivered = 0
+        self.coalesced = 0
+
+    # -- commit path -------------------------------------------------------------
+
+    def offer(self, summary: ChangeSummary) -> bool:
+        """Enqueue one summary; returns False if filtered out or closed.
+
+        Overflow policy: the queue never exceeds ``capacity``.  The
+        summary that would overflow it replaces the whole backlog with
+        one resync marker at its epoch; while the marker is pending,
+        further summaries just advance the marker's epoch (the consumer
+        is told the *newest* state it must catch up to).
+        """
+        narrowed = summary.restrict(self.clusters)
+        if not narrowed.resync and not narrowed.changes:
+            return False
+        with self._cond:
+            if self._closed:
+                return False
+            if self._resync_from is not None or narrowed.resync:
+                self._resync_from = max(self._resync_from or 0,
+                                        narrowed.epoch)
+                self._queue.clear()
+            elif len(self._queue) >= self.capacity:
+                self._queue.clear()
+                self._resync_from = narrowed.epoch
+                self.coalesced += 1
+            else:
+                self._queue.append(narrowed)
+            self._cond.notify_all()
+        return True
+
+    # -- pump path ---------------------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[ChangeSummary]:
+        """Next summary to ship, or None on timeout/close.
+
+        A pending resync marker outranks everything: it is delivered as
+        a ``resync`` summary and cleared, so the consumer's first sight
+        of the backlog gap is the instruction to heal it.
+        """
+        with self._cond:
+            while True:
+                if self._resync_from is not None:
+                    epoch = self._resync_from
+                    self._resync_from = None
+                    self.delivered += 1
+                    return ChangeSummary(epoch=epoch, resync=True)
+                if self._queue:
+                    self.delivered += 1
+                    return self._queue.popleft()
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._queue.clear()
+            self._resync_from = None
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def backlog(self) -> int:
+        with self._cond:
+            return len(self._queue) + (1 if self._resync_from is not None
+                                       else 0)
+
+
+class ChangeRouter:
+    """Per-database fan-out from the commit stream to subscribers."""
+
+    def __init__(self, db_name: str, store):
+        self.db_name = db_name
+        self._store = store
+        self._lock = threading.Lock()
+        self._subscribers: Dict[int, CdcSubscriber] = {}
+        registry = get_registry()
+        self._m_events = registry.counter("cdc.events")
+        self._m_enqueued = registry.counter("cdc.enqueued")
+        self._m_coalesced = registry.counter("cdc.coalesced")
+        self._g_subscribers = registry.gauge("cdc.subscribers")
+        store.subscribe_commits(self._on_commit)
+
+    # -- the commit hook ---------------------------------------------------------
+
+    def _on_commit(self, epoch: int, frames) -> None:
+        """Called on the committer's thread, under the store lock.
+
+        Must stay cheap and exception-free: one summarize, then an
+        enqueue per subscriber.  Socket writes happen elsewhere.
+        """
+        with self._lock:
+            subscribers = list(self._subscribers.values())
+        if not subscribers:
+            return
+        self._m_events.inc()
+        summary = summarize_unit(epoch, frames)
+        for subscriber in subscribers:
+            before = subscriber.coalesced
+            if subscriber.offer(summary):
+                self._m_enqueued.inc()
+            if subscriber.coalesced > before:
+                self._m_coalesced.inc()
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, subscriber: CdcSubscriber) -> None:
+        # Keyed by object identity, not sub_id: sub ids are per-session
+        # counters and sessions share this per-database router.
+        with self._lock:
+            self._subscribers[id(subscriber)] = subscriber
+        self._g_subscribers.set(self.subscriber_count)
+
+    def unregister(self, subscriber: CdcSubscriber) -> None:
+        with self._lock:
+            removed = self._subscribers.pop(id(subscriber), None)
+        if removed is not None:
+            removed.close()
+        self._g_subscribers.set(self.subscriber_count)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def close(self) -> None:
+        """Detach from the store and drop every subscriber."""
+        unsubscribe = getattr(self._store, "unsubscribe_commits", None)
+        if callable(unsubscribe):
+            unsubscribe(self._on_commit)
+        with self._lock:
+            subscribers = list(self._subscribers.values())
+            self._subscribers.clear()
+        for subscriber in subscribers:
+            subscriber.close()
+        self._g_subscribers.set(0)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            subscribers = list(self._subscribers.values())
+        return {
+            "subscribers": len(subscribers),
+            "delivered": sum(s.delivered for s in subscribers),
+            "coalesced": sum(s.coalesced for s in subscribers),
+            "backlog": sum(s.backlog for s in subscribers),
+            "events": self._m_events.value,
+        }
+
+
+class SubscriberPump(threading.Thread):
+    """Drains one subscriber's queue onto its connection.
+
+    ``send`` is whatever writes one event payload to the wire (the
+    server's per-connection push channel).  A send failure means the
+    consumer is gone: the pump reports it via ``on_failure`` (which
+    unregisters the subscriber) and exits — the commit path never even
+    notices.
+    """
+
+    def __init__(self, subscriber: CdcSubscriber,
+                 send: Callable[[ChangeSummary], None],
+                 on_failure: Optional[Callable[[], None]] = None):
+        super().__init__(
+            name=f"cdc-pump-{subscriber.db_name}-{subscriber.sub_id}",
+            daemon=True)
+        self.subscriber = subscriber
+        self._send = send
+        self._on_failure = on_failure
+        self._m_send_errors = get_registry().counter("cdc.send_errors")
+
+    def run(self) -> None:
+        while True:
+            summary = self.subscriber.take(timeout=0.5)
+            if summary is None:
+                if self.subscriber.closed:
+                    return
+                continue
+            try:
+                self._send(summary)
+            except Exception:
+                self._m_send_errors.inc()
+                self.subscriber.close()
+                if self._on_failure is not None:
+                    try:
+                        self._on_failure()
+                    except Exception:
+                        get_registry().counter("net.teardown_error").inc()
+                return

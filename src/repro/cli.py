@@ -39,6 +39,8 @@ Besides the REPL, two network entry points::
   python -m repro serve <root> [host] [port]    host databases over TCP
       [--replica-of host:port]                  ... as a read replica
   python -m repro connect <host> <port> <db>    browse a served database
+  python -m repro connect <host> <port> <db> --follow [cluster,...]
+                                                tail the change feed (CDC)
 """
 
 from __future__ import annotations
@@ -404,14 +406,79 @@ def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
     return 0
 
 
+def _follow_changes(host: str, port: int, name: str,
+                    clusters: Optional[List[str]],
+                    max_events: Optional[int] = None,
+                    out=None) -> int:
+    """Tail a database's CDC feed to stdout (``connect --follow``).
+
+    One line per change event: epoch, then cluster=oid,oid pairs (or
+    ``resync`` / ``lost`` markers).  Stops after *max_events* lines if
+    given, else on ctrl-c or when the connection is lost.
+    """
+    from repro.net.remote import RemoteDatabase
+
+    out = out if out is not None else sys.stdout
+    database = RemoteDatabase.connect(host, port, name)
+    try:
+        subscription = database.subscribe(clusters=clusters)
+        which = ", ".join(clusters) if clusters else "all clusters"
+        print(f"following {name} at {host}:{port} ({which}) "
+              f"from epoch {subscription.epoch}", file=out, flush=True)
+        printed = 0
+        while max_events is None or printed < max_events:
+            event = subscription.get(timeout=1.0)
+            if event is None:
+                if not subscription.alive:
+                    print("connection lost", file=out, flush=True)
+                    return 1
+                continue
+            if event.lost:
+                print("connection lost", file=out, flush=True)
+                return 1
+            if event.resync:
+                print(f"epoch {event.epoch} resync "
+                      f"(delta detail lost; refresh everything)",
+                      file=out, flush=True)
+            else:
+                detail = " ".join(
+                    f"{cluster}={','.join(oids)}"
+                    for cluster, oids in sorted(event.changes.items()))
+                print(f"epoch {event.epoch} {detail}", file=out, flush=True)
+            printed += 1
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    finally:
+        database.close()
+
+
 def _main_connect(argv: List[str]) -> int:  # pragma: no cover - entry
-    """``python -m repro connect <host> <port> <db>``."""
+    """``python -m repro connect <host> <port> <db> [--follow [cluster,...]]``."""
     import tempfile
 
+    follow = None
+    if "--follow" in argv:
+        index = argv.index("--follow")
+        rest = argv[index + 1:index + 2]
+        if rest and not rest[0].startswith("-"):
+            follow = [name for name in rest[0].split(",") if name]
+            argv = argv[:index] + argv[index + 2:]
+        else:
+            follow = []  # no cluster filter: follow everything
+            argv = argv[:index] + argv[index + 1:]
     if len(argv) != 3:
-        print("usage: python -m repro connect <host> <port> <db>",
-              file=sys.stderr)
+        print("usage: python -m repro connect <host> <port> <db> "
+              "[--follow [cluster,...]]", file=sys.stderr)
         return 2
+    if follow is not None:
+        try:
+            port_number = int(argv[1])
+        except ValueError:
+            print(f"port must be a number, not {argv[1]!r}", file=sys.stderr)
+            return 2
+        return _follow_changes(argv[0], port_number, argv[2],
+                               clusters=follow or None)
     # The database window needs a root; a remote session browses none of it.
     cli = OdeViewCli(tempfile.mkdtemp(prefix="odeview-remote-"))
     print(cli.execute(f"connect {argv[0]} {argv[1]} {argv[2]}"))

@@ -11,7 +11,9 @@ from repro.core.selection import SelectionBuilder, select_objects, used_attribut
 from repro.core.selectionpanel import SelectionPanel
 from repro.core.session import UserSession
 from repro.core.statistics import StatisticsWindow, gather_statistics
-from repro.core.sync import SyncReport, network_paths, sequence
+from repro.core.sync import (
+    ReactiveBrowse, SyncReport, network_paths, sequence,
+)
 
 __all__ = [
     "DbSession",
@@ -22,6 +24,7 @@ __all__ = [
     "OdeView",
     "ProjectionPanel",
     "QueryPlan",
+    "ReactiveBrowse",
     "RefNode",
     "SchemaBrowser",
     "SelectionBuilder",

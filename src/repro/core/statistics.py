@@ -149,6 +149,13 @@ def _remote_statistics(database) -> List[Tuple[str, str]]:
                      f"{mvcc.get('read_fallbacks', 0)}"))
     if "read_lockfree" in stats:
         rows.append(("lock-free reads served", str(stats["read_lockfree"])))
+    cdc = stats.get("cdc", {})
+    if cdc:
+        rows.append(("server cdc subscribers", str(cdc.get("subscribers", 0))))
+        rows.append(("server cdc events / delivered",
+                     f"{cdc.get('events', 0)} / {cdc.get('delivered', 0)}"))
+        rows.append(("server cdc coalesced / backlog",
+                     f"{cdc.get('coalesced', 0)} / {cdc.get('backlog', 0)}"))
     cache = database.objects.cache
     rows.append(("object cache",
                  f"{len(cache)} buffers, {cache.hits} hits / "
@@ -156,9 +163,16 @@ def _remote_statistics(database) -> List[Tuple[str, str]]:
     rows.append(("cache invalidations", str(cache.invalidations)))
     rows.append(("cache epoch floor / latest",
                  f"{cache.floor} / {cache.latest}"))
+    if cache.cdc_epoch is not None:
+        rows.append(("cdc precise invalidation",
+                     f"{cache.delta_applied} deltas, "
+                     f"{cache.delta_evictions} evictions, "
+                     f"{cache.resyncs} resyncs "
+                     f"(basis epoch {cache.cdc_epoch})"))
     snapshot = get_registry().snapshot()
     for name in ("net.client.bytes_out", "net.client.bytes_in",
-                 "net.client.retries", "net.client.reconnects"):
+                 "net.client.retries", "net.client.reconnects",
+                 "net.client.push_events", "net.client.subscribes"):
         if name in snapshot:
             rows.append((name, str(snapshot[name])))
     timings = snapshot.get("net.client.request_seconds")

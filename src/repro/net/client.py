@@ -53,12 +53,14 @@ session-affine to the primary.
 from __future__ import annotations
 
 import itertools
+import select
 import socket
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import repro.errors as errors
+from repro.cdc import ChangeEvent, Subscription, summary_from_wire
 from repro.errors import NetworkError, OdeError, RemoteError, SessionLostError
 from repro.net import protocol as P
 from repro.obs.metrics import get_registry
@@ -75,6 +77,15 @@ ROUTED_OPCODES = frozenset({
 
 #: How long a replica sits out after a connection failure.
 REPLICA_COOLDOWN_SECONDS = 1.0
+
+#: Pump poll interval: how often the idle-delivery thread checks the
+#: socket for unsolicited push frames while no request is in flight.
+PUSH_POLL_SECONDS = 0.2
+
+#: Socket timeout while the pump drains a frame it believes is there.
+#: Short: if a concurrent caller consumed the bytes first, the pump's
+#: read must give up quickly (IdleTimeout) and release the lock.
+PUSH_READ_TIMEOUT = 0.25
 
 
 class _ReplicaEndpoint:
@@ -142,6 +153,16 @@ class OdeClient:
         self.generation = 0
         self._session_resources = 0   # live session-affine resources
         self._session_generation: Optional[int] = None
+        # Push demux state.  _push_lock guards the two dicts; event
+        # delivery itself happens outside it (Subscription has its own
+        # condition).  Orphans hold events whose OP_CDC_EVENT frame
+        # arrived before the subscribe reply was processed — the server
+        # pump races the reply writer on purpose (register-then-ack).
+        self._push_lock = threading.Lock()
+        self._push_subs: Dict[int, Subscription] = {}
+        self._orphan_events: Dict[int, List[ChangeEvent]] = {}
+        self._pump: Optional[threading.Thread] = None
+        self._pump_stop = threading.Event()
 
         registry = get_registry()
         self._m_bytes_in = registry.counter("net.client.bytes_in")
@@ -154,6 +175,8 @@ class OdeClient:
         self._m_route_primary = registry.counter("net.route.primary")
         self._m_route_stale = registry.counter("net.route.stale")
         self._m_route_failover = registry.counter("net.route.failover")
+        self._m_push_events = registry.counter("net.client.push_events")
+        self._m_subscribes = registry.counter("net.client.subscribes")
 
     # -- connection management ---------------------------------------------------
 
@@ -189,10 +212,22 @@ class OdeClient:
                 get_registry().counter("net.teardown_error").inc()
             self._sock = None
             self.generation += 1
+            # Subscriptions are session-affine: the server side died
+            # with the connection, so every local one is now lost.
+            with self._push_lock:
+                lost = list(self._push_subs.values())
+                self._push_subs.clear()
+                self._orphan_events.clear()
+            for subscription in lost:
+                subscription.connection_lost()
 
     def close(self) -> None:
+        self._pump_stop.set()
+        pump = self._pump
         with self._lock:
             self._drop_locked()
+        if pump is not None and pump is not threading.current_thread():
+            pump.join(timeout=2.0)
         for endpoint in self._replicas:
             endpoint.client.close()
 
@@ -313,14 +348,28 @@ class OdeClient:
 
     # -- request / reply ---------------------------------------------------------
 
+    def _read_reply_locked(self) -> P.Frame:
+        """Read the next *reply* frame, dispatching any push frames.
+
+        Unsolicited ``OP_CDC_EVENT`` frames interleave with pipelined
+        replies on the same socket; every reply reader must demux by
+        opcode, not assume the next frame answers its request.
+        """
+        while True:
+            frame = P.read_frame(self._sock)
+            self._m_bytes_in.inc(frame.wire_size)
+            if frame.opcode in P.PUSH_OPCODES:
+                self._dispatch_push(frame)
+                continue
+            return frame
+
     def _exchange_locked(self, opcode: int,
                          payload: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         """One request and its reply on the open socket.  Lock held."""
         request_id = next(self._request_ids)
         sent = P.write_frame(self._sock, request_id, opcode, payload)
         self._m_bytes_out.inc(sent)
-        frame = P.read_frame(self._sock)
-        self._m_bytes_in.inc(frame.wire_size)
+        frame = self._read_reply_locked()
         if frame.request_id != request_id:
             raise errors.ProtocolError(
                 f"reply for request {frame.request_id}, expected {request_id}")
@@ -405,8 +454,7 @@ class OdeClient:
                         self._m_bytes_out.inc(sent)
                     by_id: Dict[int, P.Frame] = {}
                     for _ in ids:
-                        frame = P.read_frame(self._sock)
-                        self._m_bytes_in.inc(frame.wire_size)
+                        frame = self._read_reply_locked()
                         by_id[frame.request_id] = frame
                 except NetworkError as exc:
                     self._drop_locked()
@@ -441,6 +489,145 @@ class OdeClient:
                 for result in results:
                     self._observe_epoch(result.get("epoch"))
                 return results
+
+    # -- server push (CDC) --------------------------------------------------------
+
+    def subscribe(self, db: str,
+                  clusters: Optional[Sequence[str]] = None,
+                  on_event=None,
+                  capacity: Optional[int] = None) -> Subscription:
+        """Open a push subscription: change events for *db* arrive on
+        this connection as unsolicited frames instead of being polled.
+
+        *on_event* (if given) runs on a network thread while the request
+        lock is held — it must be fast, must not raise, and must never
+        call back into this client; heavier consumers should drain
+        :meth:`Subscription.get` from their own thread.
+
+        Subscriptions are session-affine: if the connection drops, the
+        subscription is marked lost (a terminal ``lost`` event is
+        delivered) and the caller must resubscribe — there is no
+        transparent re-subscribe, because the server cannot honor delta
+        continuity across sessions.
+        """
+        payload: Dict[str, Any] = {"db": db}
+        if clusters is not None:
+            payload["clusters"] = [str(name) for name in clusters]
+        if capacity is not None:
+            payload["capacity"] = int(capacity)
+        reply = self.call(P.OP_CDC_SUBSCRIBE, payload)
+        sub_id = int(reply["sub"])
+        subscription = Subscription(
+            self, sub_id, db, clusters=clusters,
+            epoch=int(reply.get("epoch", 0)), on_event=on_event)
+        # Register and drain stashed orphans atomically: the server's
+        # pump may have pushed events for this sub before the subscribe
+        # reply was processed, and a reader may push more the moment the
+        # dict entry is visible — draining inside the lock keeps the
+        # delivery order epoch-monotonic.
+        with self._push_lock:
+            self._push_subs[sub_id] = subscription
+            orphans = self._orphan_events.pop(sub_id, [])
+            for event in orphans:
+                subscription.deliver(event)
+        self._ensure_pump()
+        self._m_subscribes.inc()
+        return subscription
+
+    def _unsubscribe(self, subscription: Subscription) -> None:
+        """Called by :meth:`Subscription.close`; best-effort server side."""
+        with self._push_lock:
+            if self._push_subs.get(subscription.sub_id) is subscription:
+                del self._push_subs[subscription.sub_id]
+        if subscription.lost or not self.connected:
+            return  # the server-side subscription died with the session
+        try:
+            self.call(P.OP_CDC_UNSUBSCRIBE, {"sub": subscription.sub_id})
+        except OdeError:
+            get_registry().counter("net.teardown_error").inc()
+
+    def _dispatch_push(self, frame: P.Frame) -> None:
+        """Route one unsolicited push frame; never blocks, never raises."""
+        payload = frame.payload
+        summary = summary_from_wire(payload)
+        event = ChangeEvent(
+            db=str(payload.get("db", "")), epoch=summary.epoch,
+            changes=summary.changes, resync=summary.resync)
+        self._m_push_events.inc()
+        # Push epochs raise the session floor: once a delta at epoch E
+        # is seen, a routed read must never be served below E — else a
+        # lagging replica could quietly reinstate the purged stale copy.
+        self._observe_epoch(summary.epoch)
+        sub_id = payload.get("sub")
+        with self._push_lock:
+            subscription = self._push_subs.get(sub_id)
+            if subscription is None:
+                # Raced ahead of its own subscribe reply: stash, bounded.
+                stash = self._orphan_events.setdefault(sub_id, [])
+                stash.append(event)
+                if len(stash) > 64:
+                    top = max(item.epoch for item in stash)
+                    stash[:] = [ChangeEvent(db=event.db, epoch=top,
+                                            resync=True)]
+                return
+        subscription.deliver(event)
+
+    def _ensure_pump(self) -> None:
+        """Start the idle-delivery thread if it is not already running."""
+        with self._push_lock:
+            if self._pump is not None and self._pump.is_alive():
+                return
+            self._pump_stop.clear()
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="ode-client-push", daemon=True)
+            self._pump.start()
+
+    def _pump_loop(self) -> None:
+        """Deliver push frames while no request is in flight.
+
+        Waits on ``select`` *without* the request lock (so callers are
+        never blocked by an idle pump), then takes the lock and reads
+        with a short timeout: if a concurrent caller consumed the bytes
+        first, the read idles out harmlessly at the frame boundary.
+        """
+        while not self._pump_stop.is_set():
+            sock = self._sock  # racy peek; re-verified under the lock
+            if sock is None:
+                time.sleep(PUSH_POLL_SECONDS)
+                continue
+            try:
+                readable, _, _ = select.select(
+                    [sock], [], [], PUSH_POLL_SECONDS)
+            except (OSError, ValueError):
+                time.sleep(PUSH_POLL_SECONDS)  # socket closed under us
+                continue
+            if not readable:
+                continue
+            with self._lock:
+                if self._sock is not sock:
+                    continue  # the connection churned while we waited
+                try:
+                    sock.settimeout(PUSH_READ_TIMEOUT)
+                    try:
+                        frame = P.read_frame(sock, idle_ok=True)
+                    finally:
+                        if self._sock is sock:
+                            sock.settimeout(self.timeout)
+                except P.IdleTimeout:
+                    continue  # a caller beat us to the bytes; benign
+                except (NetworkError, OSError):
+                    # OSError: the descriptor died between the select
+                    # and the read (close from another thread)
+                    self._drop_locked()
+                    continue
+                self._m_bytes_in.inc(frame.wire_size)
+                if frame.opcode in P.PUSH_OPCODES:
+                    self._dispatch_push(frame)
+                else:
+                    # A reply nobody is waiting for: the stream is out
+                    # of step and any future exchange would mispair
+                    # requests with replies.  The connection must die.
+                    self._drop_locked()
 
     def _count_request(self, opcode: int) -> None:
         counter = self._m_requests.get(opcode)

@@ -88,6 +88,14 @@ OP_VACUUM = 0x51
 OP_REPL_FETCH = 0x60
 OP_REPL_SNAPSHOT = 0x61
 
+OP_CDC_SUBSCRIBE = 0x70
+OP_CDC_UNSUBSCRIBE = 0x71
+#: Unsolicited server push: a change-data-capture event.  Always sent
+#: with request id 0 (no request to echo); interleaves freely with
+#: replies on the same connection, and the client demultiplexes by
+#: opcode before matching request ids.
+OP_CDC_EVENT = 0x72
+
 OP_REPLY = 0x7E
 OP_ERROR = 0x7F
 
@@ -121,6 +129,9 @@ OPCODE_NAMES: Dict[int, str] = {
     OP_VACUUM: "vacuum",
     OP_REPL_FETCH: "repl_fetch",
     OP_REPL_SNAPSHOT: "repl_snapshot",
+    OP_CDC_SUBSCRIBE: "cdc_subscribe",
+    OP_CDC_UNSUBSCRIBE: "cdc_unsubscribe",
+    OP_CDC_EVENT: "cdc_event",
     OP_REPLY: "reply",
     OP_ERROR: "error",
 }
@@ -140,6 +151,13 @@ WRITE_OPCODES = frozenset({
     OP_NEW_OBJECT, OP_UPDATE, OP_DELETE,
     OP_BEGIN, OP_COMMIT, OP_ABORT, OP_VACUUM,
 })
+
+#: Unsolicited server-push opcodes: never a reply to anything, so the
+#: client's reply readers dispatch these out of band and keep reading.
+#: (CDC subscribe/unsubscribe are deliberately NOT read opcodes — a
+#: subscription is session-affine state, and transparently retrying it
+#: on a fresh session would fake a continuity the delta stream lost.)
+PUSH_OPCODES = frozenset({OP_CDC_EVENT})
 
 
 def opcode_name(opcode: int) -> str:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from contextlib import contextmanager
@@ -78,66 +79,168 @@ class BufferCache:
     :meth:`purge` keeps the old drop-everything semantics for the paths
     where epochs cannot express staleness: uncommitted transaction
     overlay state, and abort (which reverts without minting an epoch).
+
+    **CDC precise invalidation.**  With a push subscription attached
+    (:meth:`RemoteObjectManager.watch`), the cache stops invalidating
+    wholesale: each delta event names exactly the OIDs that changed at
+    its epoch, so :meth:`apply_delta` evicts those and *re-certifies*
+    every other entry at the delta's epoch.  ``_cdc_epoch`` tracks how
+    far the contiguous delta stream has been consumed; re-certification
+    is only sound for entries tagged at or above the previous basis —
+    an entry cached from a lagging replica *below* the basis might have
+    been written after its naming delta was already consumed, so it is
+    killed by the floor instead of certified.  Overflow downgrades to
+    wholesale (:meth:`note_resync`) and a lost connection to
+    :meth:`purge` — precision degrades, correctness never does.
+
+    All methods are thread-safe: push deliveries mutate the cache from
+    a network thread while the application reads it.
     """
 
     def __init__(self, capacity: int = CACHE_CAPACITY):
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Oid, Tuple[int, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.delta_evictions = 0   # OIDs evicted by name via apply_delta
+        self.delta_applied = 0     # delta events consumed precisely
+        self.resyncs = 0           # wholesale fallbacks (overflow/lost)
         self.floor = 0    # entries tagged below this epoch are dead
         self.latest = 0   # newest server epoch observed in any reply
+        #: Delta-consumption basis: epoch the contiguous CDC stream has
+        #: been consumed through; ``None`` until a subscription attaches.
+        self._cdc_epoch: Optional[int] = None
+
+    @property
+    def cdc_epoch(self) -> Optional[int]:
+        with self._lock:
+            return self._cdc_epoch
 
     def observe_epoch(self, epoch: Any) -> None:
-        if isinstance(epoch, int) and epoch > self.latest:
-            self.latest = epoch
+        with self._lock:
+            if isinstance(epoch, int) and epoch > self.latest:
+                self.latest = epoch
 
     def get(self, oid: Oid):
-        entry = self._entries.get(oid)
-        if entry is not None and entry[0] < self.floor:
-            del self._entries[oid]   # lazily drop an invalidated entry
-            entry = None
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(oid)
-        self.hits += 1
-        return entry[1]
+        with self._lock:
+            entry = self._entries.get(oid)
+            if entry is not None and entry[0] < self.floor:
+                del self._entries[oid]   # lazily drop an invalidated entry
+                entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(oid)
+            self.hits += 1
+            return entry[1]
 
     def put(self, buffer, epoch: Optional[int] = None) -> None:
-        tag = self.latest if epoch is None else epoch
-        if tag < self.floor:
-            return  # the epoch this was read at is already invalidated
-        self._entries[buffer.oid] = (tag, buffer)
-        self._entries.move_to_end(buffer.oid)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            tag = self.latest if epoch is None else epoch
+            if tag < self.floor:
+                return  # the epoch this was read at is already invalidated
+            self._entries[buffer.oid] = (tag, buffer)
+            self._entries.move_to_end(buffer.oid)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def evict(self, oid: Oid) -> None:
-        self._entries.pop(oid, None)
+        with self._lock:
+            self._entries.pop(oid, None)
 
     def invalidate(self) -> None:
         """Advance the floor: entries older than ``latest`` stop serving."""
-        if self._entries:
-            self.invalidations += 1
-        self.floor = max(self.floor, self.latest)
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+            self._raise_floor(self.latest)
+
+    def purge(self) -> None:
+        """Unconditionally drop every entry (epoch bookkeeping kept)."""
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+
+    #: Back-compat alias: external callers asking for a hard clear get one.
+    clear = purge
+
+    # -- CDC precise invalidation -------------------------------------------------
+
+    def _raise_floor(self, epoch: int) -> None:
+        """Lock held.  Raise the floor and drop everything beneath it."""
+        self.floor = max(self.floor, epoch)
         stale = [oid for oid, (tag, _) in self._entries.items()
                  if tag < self.floor]
         for oid in stale:
             del self._entries[oid]
 
-    def purge(self) -> None:
-        """Unconditionally drop every entry (epoch bookkeeping kept)."""
-        if self._entries:
-            self.invalidations += 1
-        self._entries.clear()
+    def begin_deltas(self, epoch: int) -> None:
+        """A subscription acked at *epoch*: deltas are contiguous from
+        here.  Entries below the ack cannot be certified by any future
+        delta (their changes predate the stream), so the floor rises to
+        the ack — the one wholesale cut that buys precision forever
+        after."""
+        with self._lock:
+            self.observe_epoch(epoch)
+            self._raise_floor(epoch)
+            self._cdc_epoch = (epoch if self._cdc_epoch is None
+                               else max(self._cdc_epoch, epoch))
 
-    #: Back-compat alias: external callers asking for a hard clear get one.
-    clear = purge
+    def apply_delta(self, epoch: int, oids) -> int:
+        """Consume one delta event: evict exactly the named OIDs and
+        re-certify every surviving entry at *epoch*.
+
+        Returns the number of entries evicted by name.  A delta at or
+        below the basis (the subscribe-gap duplicate) still evicts —
+        a harmless extra miss — but certifies nothing.  Without a basis
+        (no ``begin_deltas`` yet: the event raced the subscribe reply)
+        the delta degrades to a wholesale cut at its epoch, which is
+        always sound.
+        """
+        with self._lock:
+            self.observe_epoch(epoch)
+            purged = 0
+            for oid in oids:
+                key = Oid.parse(oid) if isinstance(oid, str) else oid
+                if self._entries.pop(key, None) is not None:
+                    purged += 1
+            self.delta_evictions += purged
+            basis = self._cdc_epoch
+            if basis is None:
+                self.resyncs += 1
+                self._raise_floor(epoch)
+                return purged
+            if epoch > basis:
+                # Every survivor tagged in [basis, epoch) is proven
+                # unchanged through *epoch* by the contiguous stream.
+                for key, (tag, buffer) in self._entries.items():
+                    if basis <= tag < epoch:
+                        self._entries[key] = (epoch, buffer)
+                self._cdc_epoch = epoch
+            # Entries below the old basis (stale-replica strays) die here.
+            self._raise_floor(epoch)
+            self.delta_applied += 1
+            return purged
+
+    def note_resync(self, epoch: int) -> None:
+        """Delta detail was lost (overflow): invalidate wholesale up to
+        *epoch* and resume precise consumption from there."""
+        with self._lock:
+            self.observe_epoch(epoch)
+            self.resyncs += 1
+            # Only up to the resync epoch: the marker's epoch already
+            # covers every coalesced commit, and entries cached above it
+            # are as fresh as a re-fetch would be.
+            self._raise_floor(epoch)
+            if self._cdc_epoch is not None:
+                self._cdc_epoch = max(self._cdc_epoch, epoch)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class RemoteIndexManager:
@@ -420,6 +523,44 @@ class RemoteObjectManager:
     def cursor(self, class_name: str, predicate=None) -> RemoteCursor:
         return RemoteCursor(self, class_name, predicate)
 
+    def watch(self, clusters: Optional[List[str]] = None, on_refresh=None):
+        """Attach a CDC push subscription that keeps this cache fresh.
+
+        From here on the cache invalidates *precisely*: each server
+        push evicts exactly the OIDs that changed and re-certifies the
+        rest, so a browse over a hot database stops re-fetching objects
+        that did not move.  *on_refresh* (optional) is called after the
+        cache has absorbed each event — on a network thread, so it must
+        be quick and must not call back into the connection; UIs should
+        post to their event loop (see ``core.sync.ReactiveBrowse``).
+
+        Returns the :class:`~repro.cdc.Subscription`; closing it stops
+        the pushes and the cache falls back to wholesale invalidation.
+        """
+        cache = self.cache
+
+        def _absorb(event) -> None:
+            if event.lost:
+                cache.purge()  # no delta knowledge survives the session
+            elif event.resync:
+                cache.note_resync(event.epoch)
+            else:
+                cache.apply_delta(event.epoch, event.oids())
+            if on_refresh is not None:
+                try:
+                    on_refresh(event)
+                except Exception:
+                    from repro.obs import get_registry
+                    get_registry().counter(
+                        "cdc.client.callback_errors").inc()
+
+        subscription = self.database.client.subscribe(
+            self.database.name, clusters=clusters, on_event=_absorb)
+        # Events racing this call are already sound: apply_delta with
+        # no basis degrades to a wholesale cut at the event's epoch.
+        cache.begin_deltas(subscription.epoch)
+        return subscription
+
     def select(self, class_name: str, predicate=None) -> Iterator[Any]:
         for buffer in self.scan(class_name):
             if predicate is None or predicate(buffer):
@@ -576,6 +717,17 @@ class RemoteDatabase:
         return self._display_dir
 
     # -- maintenance ---------------------------------------------------------------
+
+    def subscribe(self, clusters=None, on_event=None):
+        """Raw change feed for this database (no cache coupling); see
+        :meth:`RemoteObjectManager.watch` for the cache-coupled form."""
+        return self.client.subscribe(
+            self.name, clusters=clusters, on_event=on_event)
+
+    def watch(self, clusters=None, on_refresh=None):
+        """Reactive browsing: push-invalidate the object cache; see
+        :meth:`RemoteObjectManager.watch`."""
+        return self.objects.watch(clusters=clusters, on_refresh=on_refresh)
 
     def vacuum(self) -> int:
         reclaimed = self.client.call(P.OP_VACUUM, {"db": self.name})["reclaimed"]

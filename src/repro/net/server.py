@@ -23,6 +23,7 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.cdc.router import ChangeRouter
 from repro.errors import NetworkError, OdeError, StorageError
 from repro.net import protocol as P
 from repro.net.rwlock import ReadWriteLock
@@ -38,6 +39,30 @@ _POLL_SECONDS = 0.5
 
 #: How long shutdown waits for in-flight connection threads to drain.
 _DRAIN_SECONDS = 5.0
+
+
+class PushChannel:
+    """Serialized frame writes to one connection's socket.
+
+    Replies (the connection thread) and unsolicited CDC events (one
+    pump thread per subscription) share a socket; the channel's lock
+    keeps their frames from interleaving mid-write.  A wedged peer can
+    only wedge its own channel — every other connection, and the commit
+    path, write elsewhere.
+    """
+
+    def __init__(self, conn: socket.socket):
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, request_id: int, opcode: int,
+             payload: Optional[Dict[str, Any]] = None) -> int:
+        with self._lock:
+            return P.write_frame(self._conn, request_id, opcode, payload)
+
+    def send_push(self, opcode: int, payload: Dict[str, Any]) -> int:
+        """An unsolicited frame: request id 0 marks it as no one's reply."""
+        return self.send(0, opcode, payload)
 
 
 class OdeServer:
@@ -61,6 +86,7 @@ class OdeServer:
         self._database_kwargs = database_kwargs
         self._hosted: Dict[str, HostedDatabase] = {}
         self._feeds: Dict[str, ReplicationFeed] = {}
+        self._routers: Dict[str, ChangeRouter] = {}
         self._appliers: Dict[str, ReplicaApplier] = {}
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -110,6 +136,12 @@ class OdeServer:
             # node a valid upstream for chained replication (the
             # store's subscribe hook fires on replicated applies too).
             self._feeds[database.name] = ReplicationFeed(database.store)
+            # ... and a change router, for the same reason: a replica
+            # serves CDC from its own applied feed, so push fan-out
+            # scales with the replica set instead of piling onto the
+            # primary.
+            self._routers[database.name] = ChangeRouter(
+                database.name, database.store)
 
     def _bootstrap_from_primary(self) -> None:
         """Clone the primary's databases that are missing under root."""
@@ -144,6 +176,12 @@ class OdeServer:
         if feed is None:
             raise StorageError(f"server does not host a database named {name!r}")
         return feed
+
+    def router(self, name: str) -> ChangeRouter:
+        router = self._routers.get(name)
+        if router is None:
+            raise StorageError(f"server does not host a database named {name!r}")
+        return router
 
     def applier(self, name: str) -> ReplicaApplier:
         applier = self._appliers.get(name)
@@ -234,6 +272,8 @@ class OdeServer:
             threads = list(self._threads)
         for thread in threads:
             thread.join(timeout=drain)
+        for router in self._routers.values():
+            router.close()
         for entry in self._hosted.values():
             try:
                 entry.database.close()
@@ -243,6 +283,7 @@ class OdeServer:
                 get_registry().counter("net.teardown_error").inc()
         self._hosted.clear()
         self._feeds.clear()
+        self._routers.clear()
         self._listener = None
         self._accept_thread = None
 
@@ -276,7 +317,7 @@ class OdeServer:
 
     def _serve_connection(self, conn: socket.socket, session_id: int) -> None:
         conn.settimeout(self.poll_seconds)
-        session = ServerSession(self, session_id)
+        session = ServerSession(self, session_id, channel=PushChannel(conn))
         self._m_sessions_opened.inc()
         with self._active_lock:
             self._active_sessions += 1
@@ -288,7 +329,7 @@ class OdeServer:
                     continue  # no frame started; re-check the stop flag
                 except NetworkError:
                     break  # closed, stalled, or corrupt: drop the connection
-                self._handle_frame(conn, session, frame)
+                self._handle_frame(session, frame)
         finally:
             session.close()
             with self._active_lock:
@@ -299,8 +340,7 @@ class OdeServer:
             except OSError:
                 get_registry().counter("net.teardown_error").inc()
 
-    def _handle_frame(self, conn: socket.socket, session: ServerSession,
-                      frame: P.Frame) -> None:
+    def _handle_frame(self, session: ServerSession, frame: P.Frame) -> None:
         self._m_bytes_in.inc(frame.wire_size)
         counter = self._m_requests.get(frame.opcode)
         if counter is None:
@@ -317,7 +357,9 @@ class OdeServer:
                 reply_op = P.OP_ERROR
                 reply = {"kind": type(exc).__name__, "message": str(exc)}
         try:
-            sent = P.write_frame(conn, frame.request_id, reply_op, reply)
+            # Through the channel: replies must not tear a CDC push
+            # frame a subscription pump is writing concurrently.
+            sent = session.channel.send(frame.request_id, reply_op, reply)
             self._m_bytes_out.inc(sent)
         except NetworkError:
             pass  # client vanished mid-reply; the finally block cleans up

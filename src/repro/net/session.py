@@ -38,6 +38,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Optional, Tuple
 
+from repro.cdc import CdcSubscriber, SubscriberPump, summary_to_wire
 from repro.errors import (
     NetworkError,
     OdeError,
@@ -64,12 +65,17 @@ class HostedDatabase:
 class ServerSession:
     """Per-connection request dispatcher."""
 
-    def __init__(self, server, session_id: int):
+    def __init__(self, server, session_id: int, channel=None):
         self.server = server
         self.session_id = session_id
+        self.channel = channel  # serialized writer shared with CDC pumps
         self._cursors: Dict[int, Tuple[str, Any]] = {}  # id -> (db, cursor)
         self._cursor_ids = itertools.count(1)
         self._tx_database: Optional[str] = None  # db holding our write lock
+        # sub id -> (db, subscriber, pump); subscriptions are
+        # session-affine and die with the connection.
+        self._subscriptions: Dict[int, Tuple[str, Any, Any]] = {}
+        self._sub_ids = itertools.count(1)
         self._m_read_lockfree = get_registry().counter("net.read_lockfree")
 
     # -- helpers ----------------------------------------------------------------
@@ -92,7 +98,15 @@ class ServerSession:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Connection gone: drop cursors, abort any open transaction."""
+        """Connection gone: drop cursors, subscriptions, open transaction."""
+        for db_name, subscriber, pump in list(self._subscriptions.values()):
+            subscriber.close()  # unparks the pump so it can exit
+            try:
+                self.server.router(db_name).unregister(subscriber)
+            except OdeError:
+                pass  # server shutting down; the router is already gone
+            pump.join(timeout=2.0)
+        self._subscriptions.clear()
         for _db, cursor in self._cursors.values():
             cursor.close()  # releases the cursor's snapshot pin
         self._cursors.clear()
@@ -124,10 +138,11 @@ class ServerSession:
             # snapshot.
             self._m_read_lockfree.inc()
             return handler(self, payload)
-        if opcode in _REPL_OPCODES:
+        if opcode in _REPL_OPCODES or opcode in _CDC_OPCODES:
             # Replication fetches long-poll; they must not hold an
             # ambient snapshot pin (it would wedge MVCC pruning for the
-            # whole wait) and set their own epochs.
+            # whole wait) and set their own epochs.  CDC subscribe
+            # likewise manages its own epoch read ordering.
             return handler(self, payload)
         hosted = self._hosted(payload)
         if opcode in P.WRITE_OPCODES:
@@ -488,6 +503,66 @@ class ServerSession:
             "modules": modules,
         }
 
+    # -- change-data-capture -----------------------------------------------------------
+
+    def op_cdc_subscribe(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Open a push subscription on this connection.
+
+        Ordering is the whole soundness story: the subscriber is
+        registered with the router *before* the ack epoch is read, so
+        every commit after the ack is guaranteed to reach the client.
+        A commit that lands in the gap is delivered too — a duplicate
+        event at or below the ack epoch is a harmless extra eviction,
+        whereas the reverse order would silently lose deltas.
+        """
+        if self.channel is None:
+            raise NetworkError("connection does not support server push")
+        hosted = self._hosted(payload)
+        database = hosted.database
+        clusters = payload.get("clusters")
+        if clusters is not None:
+            clusters = tuple(str(c) for c in clusters)
+            for name in clusters:
+                database.schema.get_class(name)  # raises on unknown class
+        capacity = payload.get("capacity")
+        sub_id = next(self._sub_ids)
+        subscriber = CdcSubscriber(sub_id, database.name, clusters=clusters,
+                                   **({"capacity": capacity}
+                                      if isinstance(capacity, int) else {}))
+        router = self.server.router(database.name)
+        db_name = database.name
+        channel = self.channel
+
+        def send(summary) -> None:
+            channel.send_push(P.OP_CDC_EVENT, {
+                "db": db_name, "sub": sub_id, **summary_to_wire(summary)})
+
+        def on_failure() -> None:
+            # Connection is dead from the push side; the reader thread
+            # will notice on its next read and run close() for real.
+            router.unregister(subscriber)
+
+        pump = SubscriberPump(subscriber, send, on_failure=on_failure)
+        router.register(subscriber)
+        epoch = database.store.epoch  # AFTER register: no missed window
+        self._subscriptions[sub_id] = (db_name, subscriber, pump)
+        pump.start()
+        return {"sub": sub_id, "epoch": epoch}
+
+    def op_cdc_unsubscribe(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        sub_id = payload.get("sub")
+        entry = self._subscriptions.pop(sub_id, None)
+        if entry is None:
+            return {"closed": False}
+        db_name, subscriber, pump = entry
+        subscriber.close()
+        try:
+            self.server.router(db_name).unregister(subscriber)
+        except OdeError:
+            pass
+        pump.join(timeout=2.0)
+        return {"closed": True}
+
     # -- maintenance -------------------------------------------------------------------
 
     def op_stats(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -530,6 +605,7 @@ class ServerSession:
                     registry.histogram("mvcc.snapshot_age").percentile(95),
             },
             "read_lockfree": self._m_read_lockfree.value,
+            "cdc": self.server.router(database.name).stats(),
         }
 
     def op_vacuum(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -566,6 +642,13 @@ _REPL_OPCODES = frozenset({
     P.OP_REPL_FETCH, P.OP_REPL_SNAPSHOT,
 })
 
+#: CDC subscription management: lock-free and session-affine.  These
+#: are deliberately not read opcodes — a transparent client retry on a
+#: new connection would fake delta continuity the server cannot honor.
+_CDC_OPCODES = frozenset({
+    P.OP_CDC_SUBSCRIBE, P.OP_CDC_UNSUBSCRIBE,
+})
+
 _HANDLERS = {
     P.OP_HELLO: ServerSession.op_hello,
     P.OP_PING: ServerSession.op_ping,
@@ -596,4 +679,6 @@ _HANDLERS = {
     P.OP_VACUUM: ServerSession.op_vacuum,
     P.OP_REPL_FETCH: ServerSession.op_repl_fetch,
     P.OP_REPL_SNAPSHOT: ServerSession.op_repl_snapshot,
+    P.OP_CDC_SUBSCRIBE: ServerSession.op_cdc_subscribe,
+    P.OP_CDC_UNSUBSCRIBE: ServerSession.op_cdc_unsubscribe,
 }

@@ -661,6 +661,20 @@ class ObjectStore:
         with self._lock:
             self._replication_listeners.append(listener)
 
+    def unsubscribe_commits(
+            self, listener: Callable[[int, List[WalRecord]], None]) -> None:
+        """Detach a :meth:`subscribe_commits` listener from both paths.
+
+        Idempotent; a listener that was never registered is ignored.  A
+        commit already in flight may still notify the listener once.
+        """
+        self._commit_group.unsubscribe(listener)
+        with self._lock:
+            self._replication_listeners = [
+                entry for entry in self._replication_listeners
+                if entry is not listener
+            ]
+
     def replication_units(
             self, after_epoch: int,
     ) -> Tuple[List[Tuple[int, List[WalRecord]]], Optional[int]]:

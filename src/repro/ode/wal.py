@@ -506,6 +506,13 @@ class GroupCommit:
         with self._cond:
             self._subscribers.append(listener)
 
+    def unsubscribe(self, listener: Callable[[int, List[WalRecord]], None]) -> None:
+        """Remove a listener registered by :meth:`subscribe` (idempotent)."""
+        with self._cond:
+            self._subscribers = [
+                entry for entry in self._subscribers if entry is not listener
+            ]
+
     def _notify(self, epoch: int, frames: List[WalRecord]) -> None:
         for listener in self._subscribers:
             try:

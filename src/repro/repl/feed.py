@@ -105,6 +105,13 @@ class ReplicationFeed:
         a snapshot.  ``units`` (wire form) are guaranteed to be *every*
         committed epoch in ``(after_epoch, last unit]``, in order — the
         contiguity the replica's apply path insists on.
+
+        No missed-wakeup window in the long poll: the emptiness check
+        and the ``wait`` both run under ``self._cond``, and
+        ``_on_commit`` appends and notifies under the same condition —
+        a commit therefore either lands before the check (and is seen)
+        or blocks on the lock until the waiter is parked (and wakes
+        it).  ``tests/repl/test_feed_wakeup.py`` pins this down.
         """
         self._m_fetches.inc()
         wait_seconds = min(max(wait_seconds, 0.0), MAX_WAIT_SECONDS)

@@ -1,6 +1,8 @@
 """Generic windowing: the display protocol's window types plus backends."""
 
-from repro.windowing.events import Click, Drag, Event, EventLoop, KeyInput, MenuSelect
+from repro.windowing.events import (
+    Click, DataChanged, Drag, Event, EventLoop, KeyInput, MenuSelect,
+)
 from repro.windowing.nullbackend import NullBackend
 from repro.windowing.raster import RasterImage, procedural_portrait
 from repro.windowing.screen import Screen
@@ -33,6 +35,7 @@ from repro.windowing.wintypes import (
 
 __all__ = [
     "Click",
+    "DataChanged",
     "DisplayResources",
     "Drag",
     "Event",

@@ -50,6 +50,21 @@ class KeyInput(Event):
     text: str = ""
 
 
+@dataclass(frozen=True)
+class DataChanged(Event):
+    """Committed changes reached the displayed network via server push.
+
+    Posted by :class:`~repro.core.sync.ReactiveBrowse` from the network
+    thread; the handler (UI thread) calls ``apply_pending()`` to refresh
+    the affected subtrees.  ``resync=True`` means delta detail was lost
+    (overflow or reconnect) and the whole network should refresh.
+    """
+
+    epoch: int = 0
+    clusters: tuple = ()
+    resync: bool = False
+
+
 Handler = Callable[[Event], None]
 
 

@@ -1,0 +1,37 @@
+"""Fixtures: a running OdeServer over a lab database (CDC tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.labdb import make_lab_database
+from repro.net.remote import RemoteDatabase
+from repro.net.server import OdeServer
+
+
+@pytest.fixture
+def served_lab(tmp_path):
+    """A lab database hosted by a running server; yields the server."""
+    make_lab_database(tmp_path).close()
+    server = OdeServer(tmp_path)
+    server.start()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture
+def remote_lab(served_lab):
+    """A RemoteDatabase connected to the served lab database."""
+    database = RemoteDatabase.connect(
+        "127.0.0.1", served_lab.port, "lab")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def writer_lab(served_lab):
+    """A second connection for making commits the first one observes."""
+    database = RemoteDatabase.connect(
+        "127.0.0.1", served_lab.port, "lab")
+    yield database
+    database.close()

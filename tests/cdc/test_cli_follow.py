@@ -1,0 +1,74 @@
+"""``python -m repro connect --follow``: tail the CDC feed to stdout."""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+from repro.cli import _follow_changes
+
+
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition never became true")
+
+
+def test_follow_prints_change_lines(served_lab, writer_lab):
+    out = io.StringIO()
+    result = {}
+
+    def follow():
+        result["rc"] = _follow_changes(
+            "127.0.0.1", served_lab.port, "lab",
+            clusters=None, max_events=2, out=out)
+
+    tail = threading.Thread(target=follow, daemon=True)
+    tail.start()
+    _wait_until(lambda: out.getvalue().startswith("following lab"))
+    oid = writer_lab.objects.cluster("employee").first()
+    for _ in range(2):
+        buffer = writer_lab.objects.get_buffer(oid)
+        writer_lab.objects.update(oid, {"name": buffer.value("name")})
+    tail.join(timeout=15.0)
+    assert not tail.is_alive()
+    assert result["rc"] == 0
+    lines = out.getvalue().splitlines()
+    assert lines[0].startswith("following lab at 127.0.0.1:")
+    assert "(all clusters)" in lines[0]
+    change_lines = lines[1:]
+    assert len(change_lines) == 2
+    for line in change_lines:
+        assert line.startswith("epoch ")
+        assert f"employee={oid}" in line
+
+
+def test_follow_honours_a_cluster_filter(served_lab, writer_lab):
+    out = io.StringIO()
+    result = {}
+
+    def follow():
+        result["rc"] = _follow_changes(
+            "127.0.0.1", served_lab.port, "lab",
+            clusters=["department"], max_events=1, out=out)
+
+    tail = threading.Thread(target=follow, daemon=True)
+    tail.start()
+    _wait_until(lambda: out.getvalue().startswith("following lab"))
+    assert "(department)" in out.getvalue()
+    employee = writer_lab.objects.cluster("employee").first()
+    department = writer_lab.objects.cluster("department").first()
+    buffer = writer_lab.objects.get_buffer(employee)
+    writer_lab.objects.update(employee, {"name": buffer.value("name")})
+    writer_lab.objects.update(department, {})
+    tail.join(timeout=15.0)
+    assert not tail.is_alive()
+    assert result["rc"] == 0
+    change_lines = out.getvalue().splitlines()[1:]
+    assert len(change_lines) == 1
+    assert "department=" in change_lines[0]
+    assert "employee=" not in change_lines[0]

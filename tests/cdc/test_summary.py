@@ -1,0 +1,68 @@
+"""ChangeSummary: unit summarization, filtering, wire round trip."""
+
+from __future__ import annotations
+
+from repro.cdc import (
+    ChangeSummary,
+    summarize_unit,
+    summary_from_wire,
+    summary_to_wire,
+)
+from repro.ode.wal import OP_BEGIN, OP_COMMIT, OP_DELETE, OP_PUT, WalRecord
+
+
+def _unit():
+    return [
+        WalRecord(op=OP_BEGIN, txid=7, epoch=0),
+        WalRecord(op=OP_PUT, txid=7, oid="lab:employee:3", payload=b"x",
+                  epoch=0),
+        WalRecord(op=OP_PUT, txid=7, oid="lab:department:1", payload=b"y",
+                  epoch=0),
+        WalRecord(op=OP_DELETE, txid=7, oid="lab:employee:9", epoch=0),
+        # second touch of the same object folds into the first
+        WalRecord(op=OP_PUT, txid=7, oid="lab:employee:3", payload=b"z",
+                  epoch=0),
+        WalRecord(op=OP_COMMIT, txid=7, epoch=42),
+    ]
+
+
+def test_summarize_unit_groups_by_cluster_and_dedups():
+    summary = summarize_unit(42, _unit())
+    assert summary.epoch == 42
+    assert not summary.resync
+    assert summary.changes == {
+        "employee": ("lab:employee:3", "lab:employee:9"),
+        "department": ("lab:department:1",),
+    }
+    assert summary.oid_count == 3
+    assert set(summary.clusters()) == {"employee", "department"}
+
+
+def test_framing_records_carry_no_changes():
+    summary = summarize_unit(5, [
+        WalRecord(op=OP_BEGIN, txid=1, epoch=0),
+        WalRecord(op=OP_COMMIT, txid=1, epoch=5),
+    ])
+    assert summary.changes == {}
+    assert summary.oid_count == 0
+
+
+def test_restrict_filters_clusters():
+    summary = summarize_unit(42, _unit())
+    narrowed = summary.restrict(frozenset({"employee"}))
+    assert set(narrowed.changes) == {"employee"}
+    assert narrowed.epoch == 42
+    # no filter means everything
+    assert summary.restrict(None) is summary
+
+
+def test_resync_passes_any_filter():
+    marker = ChangeSummary(epoch=9, resync=True)
+    assert marker.restrict(frozenset({"nothing"})) is marker
+
+
+def test_wire_round_trip():
+    summary = summarize_unit(42, _unit())
+    assert summary_from_wire(summary_to_wire(summary)) == summary
+    marker = ChangeSummary(epoch=7, resync=True)
+    assert summary_from_wire(summary_to_wire(marker)) == marker

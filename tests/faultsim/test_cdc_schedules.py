@@ -1,0 +1,194 @@
+"""Subscriber-fate schedules against the CDC fan-out path.
+
+The contract under torture: the commit path never blocks on a
+subscriber, whatever its fate.  A seeded schedule assigns each of a
+fleet of subscribers one fate — killed mid-stream (socket closed with
+no goodbye), wedged (never reads; its tiny server queue overflows into
+a resync marker), cleanly unsubscribed mid-stream, or healthy — while a
+writer commits continuously.  Afterwards:
+
+* every commit completed within a hard latency bound (the writer never
+  waited on any subscriber's queue, socket, or corpse);
+* every *healthy* subscriber converged: it can account for the final
+  epoch via deltas or a resync marker;
+* the router reaped every non-healthy subscriber and ends consistent.
+
+Reproduce a failure with the seed in its message (``FAULTSIM_SEED``
+selects an extra one).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.cdc import CdcSubscriber
+from repro.data.labdb import make_lab_database
+from repro.net.client import OdeClient
+from repro.net.remote import RemoteDatabase
+from repro.net.server import OdeServer
+
+DEFAULT_SEEDS = [0, 1]
+FLEET = 8
+COMMITS = 30
+#: One autocommit round trip is ~2ms on loopback; a commit that takes a
+#: second waited on *something* — and the only new thing in its path is
+#: the fan-out, which must be non-blocking.
+COMMIT_BOUND_SECONDS = 2.0
+
+
+def _seeds():
+    seeds = list(DEFAULT_SEEDS)
+    extra = os.environ.get("FAULTSIM_SEED")
+    if extra is not None and int(extra) not in seeds:
+        seeds.append(int(extra))
+    return seeds
+
+
+def _wait_until(predicate, timeout: float = 15.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition never became true")
+
+
+@pytest.fixture
+def served_lab(tmp_path):
+    make_lab_database(tmp_path).close()
+    server = OdeServer(tmp_path)
+    server.start()
+    yield server
+    server.shutdown()
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_subscriber_fates_never_block_commits(served_lab, seed):
+    rng = random.Random(seed)
+    fates = [rng.choice(["healthy", "killed", "wedged", "unsubscribed"])
+             for _ in range(FLEET)]
+    if "healthy" not in fates:  # always at least one survivor to verify
+        fates[rng.randrange(FLEET)] = "healthy"
+
+    healthy = []      # (database, subscription)
+    killed = []       # raw clients whose sockets we will close
+    wedged = []       # router-level subscribers nobody ever drains
+    unsubscribed = [] # (database, subscription) to close mid-stream
+    router = served_lab.router("lab")
+    for fate in fates:
+        if fate in ("healthy", "unsubscribed"):
+            database = RemoteDatabase.connect(
+                "127.0.0.1", served_lab.port, "lab")
+            subscription = database.subscribe()
+            (healthy if fate == "healthy" else unsubscribed).append(
+                (database, subscription))
+        elif fate == "killed":
+            client = OdeClient("127.0.0.1", served_lab.port).connect()
+            client.subscribe("lab")
+            killed.append(client)
+        else:
+            # The worst slow consumer: a subscriber whose queue nothing
+            # ever drains (a pump stuck in a dead-peer sendall looks
+            # exactly like this to the router).  Tiny capacity so the
+            # overflow-to-marker degradation must fire.
+            subscriber = CdcSubscriber(900 + len(wedged), "lab",
+                                       capacity=2)
+            router.register(subscriber)
+            wedged.append(subscriber)
+
+    writer = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+    try:
+        oid = writer.objects.cluster("employee").first()
+        kill_at = rng.randrange(1, COMMITS)
+        unsub_at = rng.randrange(1, COMMITS)
+        worst = 0.0
+        for index in range(COMMITS):
+            if index == kill_at:
+                for client in killed:
+                    client._sock.close()  # mid-stream death, no goodbye
+            if index == unsub_at:
+                for _database, subscription in unsubscribed:
+                    subscription.close()
+            started = time.monotonic()
+            writer.objects.update(oid, {"name": f"s{seed}-c{index}"})
+            worst = max(worst, time.monotonic() - started)
+        assert worst < COMMIT_BOUND_SECONDS, (
+            f"seed={seed} fates={fates}: a commit took {worst:.2f}s — "
+            f"the fan-out blocked the commit path")
+
+        tip = served_lab.hosted("lab").database.store.epoch
+        for _database, subscription in healthy:
+            # convergence: deltas (possibly coalesced to a resync
+            # marker) account for every epoch through the tip
+            _wait_until(lambda: subscription.epoch >= tip)
+            events = []
+            while True:
+                event = subscription.get(timeout=0)
+                if event is None:
+                    break
+                events.append(event)
+            assert events, f"seed={seed}: a healthy subscriber saw nothing"
+            assert max(e.epoch for e in events) >= tip
+
+        # the router reaped the killed (their sessions died) and the
+        # unsubscribed; wedged ones are alive-but-slow, still registered
+        expected = len(healthy) + len(wedged)
+        _wait_until(lambda: served_lab.router("lab").stats()[
+            "subscribers"] == expected)
+        for subscriber in wedged:
+            # capacity 2 against ~30 commits: the queue degraded to one
+            # resync marker folding every overflowed epoch
+            assert subscriber.coalesced > 0
+            assert subscriber.backlog <= 3  # queue + marker, never more
+            events = []
+            while True:
+                event = subscriber.take(timeout=0)
+                if event is None:
+                    break
+                events.append(event)
+            markers = [event for event in events if event.resync]
+            assert len(markers) == 1 and markers[0].epoch >= tip
+    finally:
+        writer.close()
+        for database, _subscription in healthy + unsubscribed:
+            database.close()
+        for subscriber in wedged:
+            router.unregister(subscriber)
+        for client in killed:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+
+def test_overflow_marker_is_single_and_newest(served_lab):
+    """A never-drained subscriber's queue degrades to exactly one resync
+    at the newest folded epoch, however large the burst."""
+    router = served_lab.router("lab")
+    subscriber = CdcSubscriber(1, "lab", capacity=1)
+    router.register(subscriber)
+    writer = RemoteDatabase.connect("127.0.0.1", served_lab.port, "lab")
+    try:
+        oid = writer.objects.cluster("employee").first()
+        for index in range(10):
+            writer.objects.update(oid, {"name": f"burst-{index}"})
+        tip = served_lab.hosted("lab").database.store.epoch
+        _wait_until(lambda: subscriber.coalesced > 0)
+        # the backlog never exceeds queue + marker no matter the burst
+        assert subscriber.backlog <= 2
+        events = []
+        while True:
+            event = subscriber.take(timeout=0)
+            if event is None:
+                break
+            events.append(event)
+        resyncs = [event for event in events if event.resync]
+        assert len(resyncs) == 1           # one marker, not a pile
+        assert resyncs[-1].epoch == tip    # folded through the newest
+    finally:
+        writer.close()
+        router.unregister(subscriber)

@@ -1,0 +1,164 @@
+"""ReplicationFeed long poll: no missed-wakeup window, deterministically.
+
+The claimed invariant (see the ``fetch`` docstring): the emptiness check
+and the ``Condition.wait`` run under the feed lock, and ``_on_commit``
+appends + notifies under the same lock, so a racing commit either lands
+before the check (and is returned without waiting) or blocks on the
+lock until the waiter is parked (and then wakes it).  These tests pin
+both arms down by instrumenting the condition so the commit thread can
+be *held* until the fetcher is provably parked inside ``wait`` — the
+exact interleaving a missed-wakeup bug would need.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.ode.codec import encode_object
+from repro.ode.oid import Oid
+from repro.ode.store import ObjectStore
+from repro.repl.feed import MAX_WAIT_SECONDS, ReplicationFeed, units_from_wire
+
+
+def _put(store: ObjectStore, index: int) -> Oid:
+    oid = Oid("db", "emp", index)
+    store.put(oid, encode_object(oid, "Rec", {"n": index}))
+    return oid
+
+
+class _ParkSignallingCondition(threading.Condition):
+    """A Condition that reports when a waiter has actually parked.
+
+    ``wait`` holds the lock right up to the park, so by the time
+    ``parked`` is set, any thread stuck in ``_on_commit`` is blocked on
+    this lock — the adversarial schedule is now forced, not hoped for.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.parked = threading.Event()
+
+    def wait(self, timeout=None):
+        self.parked.set()
+        return super().wait(timeout)
+
+
+def _instrument(feed: ReplicationFeed) -> _ParkSignallingCondition:
+    """Swap the feed's condition while it is quiescent."""
+    cond = _ParkSignallingCondition()
+    feed._cond = cond
+    return cond
+
+
+def test_commit_wakes_a_parked_long_poll(tmp_path):
+    store = ObjectStore(tmp_path)
+    feed = ReplicationFeed(store)
+    cond = _instrument(feed)
+    result = {}
+    try:
+        tail = store.epoch
+
+        def fetch():
+            started = time.monotonic()
+            result["reply"] = feed.fetch(tail, wait_seconds=MAX_WAIT_SECONDS)
+            result["elapsed"] = time.monotonic() - started
+
+        fetcher = threading.Thread(target=fetch, daemon=True)
+        fetcher.start()
+        # Only commit once the fetcher is provably inside wait(): the
+        # window a missed-wakeup bug would need is now wide open.
+        assert cond.parked.wait(5.0)
+        _put(store, 1)
+        fetcher.join(timeout=5.0)
+        assert not fetcher.is_alive()
+        reply = result["reply"]
+        assert not reply["resync"]
+        epochs = [epoch for epoch, _f in units_from_wire(reply["units"])]
+        assert epochs == [tail + 1]
+        # woken by the notify, not the timeout
+        assert result["elapsed"] < MAX_WAIT_SECONDS
+    finally:
+        store.close()
+
+
+def test_commit_before_the_check_returns_without_parking(tmp_path):
+    store = ObjectStore(tmp_path)
+    feed = ReplicationFeed(store)
+    cond = _instrument(feed)
+    try:
+        tail = store.epoch
+        _put(store, 1)  # lands before fetch even takes the lock
+        reply = feed.fetch(tail, wait_seconds=MAX_WAIT_SECONDS)
+        epochs = [epoch for epoch, _f in units_from_wire(reply["units"])]
+        assert epochs == [tail + 1]
+        assert not cond.parked.is_set()  # the other arm: no wait at all
+    finally:
+        store.close()
+
+
+def test_quiet_feed_times_out_empty_not_resync(tmp_path):
+    store = ObjectStore(tmp_path)
+    feed = ReplicationFeed(store)
+    try:
+        started = time.monotonic()
+        reply = feed.fetch(store.epoch, wait_seconds=0.2)
+        elapsed = time.monotonic() - started
+        assert reply["units"] == [] and not reply["resync"]
+        assert 0.15 <= elapsed < MAX_WAIT_SECONDS
+    finally:
+        store.close()
+
+
+def test_wait_is_clamped_to_the_server_cap(tmp_path):
+    store = ObjectStore(tmp_path)
+    feed = ReplicationFeed(store)
+    try:
+        started = time.monotonic()
+        reply = feed.fetch(store.epoch, wait_seconds=3600.0)
+        elapsed = time.monotonic() - started
+        assert reply["units"] == []
+        assert elapsed < MAX_WAIT_SECONDS + 1.0  # capped, not an hour
+    finally:
+        store.close()
+
+
+def test_every_parked_waiter_wakes_on_one_commit(tmp_path):
+    """notify_all: N concurrent long-pollers all see the same commit."""
+    store = ObjectStore(tmp_path)
+    feed = ReplicationFeed(store)
+    cond = _instrument(feed)
+    replies = []
+    replies_lock = threading.Lock()
+    try:
+        tail = store.epoch
+
+        def fetch():
+            reply = feed.fetch(tail, wait_seconds=MAX_WAIT_SECONDS)
+            with replies_lock:
+                replies.append(reply)
+
+        fetchers = [threading.Thread(target=fetch, daemon=True)
+                    for _ in range(4)]
+        for fetcher in fetchers:
+            fetcher.start()
+        # parked signals at least one waiter; give the rest a beat to
+        # pile onto the same condition, then commit once.
+        assert cond.parked.wait(5.0)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with cond:
+                waiting = len(cond._waiters)  # CPython internal; test-only
+            if waiting == len(fetchers):
+                break
+            time.sleep(0.01)
+        _put(store, 1)
+        for fetcher in fetchers:
+            fetcher.join(timeout=5.0)
+            assert not fetcher.is_alive()
+        assert len(replies) == 4
+        for reply in replies:
+            epochs = [epoch for epoch, _f in units_from_wire(reply["units"])]
+            assert epochs == [tail + 1]
+    finally:
+        store.close()
