@@ -1,0 +1,316 @@
+"""INDEX-SELECT: probe vs scan across selectivities, plus placement.
+
+Two experiments in one artifact (``BENCH_index.json``):
+
+**Selectivity sweep** — the planner's reason to exist.  One synthetic
+cluster, one attribute index, five predicates from 0.1 % to 100 %
+selectivity; each is executed through a forced index probe, a forced
+scan, and the planner's own cost-based choice.  The acceptance shape:
+probes win big when selective (≥ 5× at ≤ 1 %), and the planner's
+choice never regresses an unselective query below the plain scan —
+because it *picks* the scan there.
+
+**Placement ablation** — the Darmont–Gruenwald OODB-clustering
+question (PAPERS.md), asked of this store's physical layer.  Record
+placement is pure next-fit over shared pages, so *insertion order is
+the placement policy*.  The same logical data is laid out twice:
+
+* ``by-cluster``: each cluster contiguous (what a by-cluster next-fit
+  placer produces) — sequential cluster scans touch the fewest pages;
+* ``ref-locality``: each department adjacent to the employees that
+  reference it (what a reference-graph placer produces) — navigational
+  traversals touch the fewest pages.
+
+Both layouts run both workloads against a deliberately small buffer
+pool; the buffer-pool miss counts are the result (time follows them).
+
+Run directly for the full measurement::
+
+    PYTHONPATH=src python benchmarks/bench_index_select.py
+
+or via pytest (smaller sizes) with the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.queryplan import SelectionPlanner
+from repro.ode.classdef import Attribute, OdeClass
+from repro.ode.codec import encode_object
+from repro.ode.database import Database
+from repro.ode.oid import Oid
+from repro.ode.opp.parser import parse_expression
+from repro.ode.store import ObjectStore
+from repro.ode.types import IntType, StringType
+
+# -- the selectivity sweep ----------------------------------------------------
+
+CLUSTER_SIZE = 4000
+DISTINCT_KEYS = 1000  # key = number % 1000: one equality hits 0.1 %
+
+#: (predicate, nominal selectivity) — matches = selectivity * CLUSTER_SIZE.
+SELECTIVITY_QUERIES = (
+    ("key == 42", 0.001),
+    ("key < 10", 0.01),
+    ("key < 100", 0.10),
+    ("key < 500", 0.50),
+    ("key < 1000", 1.00),
+)
+
+
+def build_indexed_db(root: Path, cluster_size: int) -> Database:
+    database = Database.create(root / "sweep.odb")
+    database.define_class(OdeClass("reading", attributes=(
+        Attribute("key", IntType()),
+        Attribute("pad", StringType(64)),
+    )))
+    database.objects.begin()
+    for number in range(cluster_size):
+        database.objects.new_object("reading", {
+            "key": number % DISTINCT_KEYS,
+            "pad": f"r{number:06d}" + "x" * 48,
+        })
+    database.objects.commit()
+    database.objects.indexes.create_index("reading", "key")
+    return database
+
+
+def _timed(run, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_selectivity_sweep(root: Path, cluster_size: int = CLUSTER_SIZE,
+                          repeats: int = 3) -> List[Dict]:
+    database = build_indexed_db(root, cluster_size)
+    try:
+        planner = SelectionPlanner(database)
+        rows: List[Dict] = []
+        for source, selectivity in SELECTIVITY_QUERIES:
+            expr = parse_expression(source)
+
+            def execute(force=None):
+                return sum(1 for _ in planner.execute(
+                    planner.plan("reading", expr, force=force)))
+
+            matches = execute(force="scan")
+            assert matches == execute(force="index"), source
+            chosen_plan = planner.plan("reading", expr)
+            scan_s = _timed(lambda: execute(force="scan"), repeats)
+            probe_s = _timed(lambda: execute(force="index"), repeats)
+            chosen_s = _timed(lambda: execute(), repeats)
+            rows.append({
+                "predicate": source,
+                "selectivity": selectivity,
+                "matches": matches,
+                "scan_ms": scan_s * 1e3,
+                "probe_ms": probe_s * 1e3,
+                "chosen_access": chosen_plan.access,
+                "chosen_ms": chosen_s * 1e3,
+                "probe_speedup": scan_s / probe_s if probe_s else 0.0,
+            })
+        return rows
+    finally:
+        database.close()
+
+
+# -- the placement ablation ---------------------------------------------------
+
+DEPARTMENTS = 48
+EMPLOYEES_PER = 9
+PAD_BYTES = 260       # ~10 records per 4 KiB page
+POOL_CAPACITY = 8     # far smaller than either layout's page count
+
+LAYOUTS = ("by-cluster", "ref-locality")
+
+
+def _dept_oid(number: int) -> Oid:
+    return Oid("place", "department", number)
+
+
+def _emp_oid(number: int) -> Oid:
+    return Oid("place", "employee", number)
+
+
+def _emp_numbers_of(dept: int, departments: int, per: int) -> List[int]:
+    # Employee e reports to department e % departments: number order is
+    # maximally interleaved with respect to the reference graph.
+    return [dept + slot * departments for slot in range(per)]
+
+
+def _payload(oid: Oid, dept: int) -> bytes:
+    return encode_object(oid, oid.cluster,
+                         {"dept": dept, "pad": "y" * PAD_BYTES})
+
+
+def build_placement(root: Path, layout: str, departments: int,
+                    per: int) -> Path:
+    """Write the same logical objects in the layout's insertion order."""
+    directory = root / f"placement-{layout}"
+    store = ObjectStore(directory)
+    try:
+        store.begin()
+        if layout == "by-cluster":
+            for dept in range(departments):
+                store.put(_dept_oid(dept), _payload(_dept_oid(dept), dept))
+            for emp in range(departments * per):
+                store.put(_emp_oid(emp),
+                          _payload(_emp_oid(emp), emp % departments))
+        else:
+            for dept in range(departments):
+                store.put(_dept_oid(dept), _payload(_dept_oid(dept), dept))
+                for emp in _emp_numbers_of(dept, departments, per):
+                    store.put(_emp_oid(emp), _payload(_emp_oid(emp), dept))
+        store.commit()
+    finally:
+        store.close()
+    return directory
+
+
+def _measure(directory: Path, workload) -> Dict[str, float]:
+    """Run one workload against a cold, tiny pool; report time + misses."""
+    store = ObjectStore(directory, pool_capacity=POOL_CAPACITY)
+    try:
+        base = store.pool.stats.misses
+        start = time.perf_counter()
+        touched = workload(store)
+        elapsed = time.perf_counter() - start
+        return {"ms": elapsed * 1e3, "misses": store.pool.stats.misses - base,
+                "objects": touched}
+    finally:
+        store.close()
+
+
+def run_placement_ablation(root: Path, departments: int = DEPARTMENTS,
+                           per: int = EMPLOYEES_PER) -> List[Dict]:
+    def traversal(store: ObjectStore) -> int:
+        touched = 0
+        for dept in range(departments):
+            store.get(_dept_oid(dept))
+            touched += 1
+            for emp in _emp_numbers_of(dept, departments, per):
+                store.get(_emp_oid(emp))
+                touched += 1
+        return touched
+
+    def cluster_scan(store: ObjectStore) -> int:
+        touched = 0
+        for emp in range(departments * per):
+            store.get(_emp_oid(emp))
+            touched += 1
+        return touched
+
+    rows: List[Dict] = []
+    for layout in LAYOUTS:
+        directory = build_placement(root, layout, departments, per)
+        traverse = _measure(directory, traversal)
+        scan = _measure(directory, cluster_scan)
+        rows.append({
+            "layout": layout,
+            "traversal_ms": traverse["ms"],
+            "traversal_misses": traverse["misses"],
+            "scan_ms": scan["ms"],
+            "scan_misses": scan["misses"],
+            "objects": traverse["objects"],
+        })
+    return rows
+
+
+# -- artifact -----------------------------------------------------------------
+
+
+def format_results(sweep: List[Dict], placement: List[Dict]) -> str:
+    lines = ["predicate     select%  matches  scan(ms)  probe(ms)  "
+             "speedup  chosen"]
+    for row in sweep:
+        lines.append(
+            f"{row['predicate']:<13} {row['selectivity'] * 100:>6.1f}  "
+            f"{row['matches']:>7}  {row['scan_ms']:>8.2f}  "
+            f"{row['probe_ms']:>9.2f}  {row['probe_speedup']:>6.1f}x  "
+            f"{row['chosen_access']}")
+    lines.append("")
+    lines.append("layout        traverse-misses  traverse(ms)  "
+                 "scan-misses  scan(ms)")
+    for row in placement:
+        lines.append(
+            f"{row['layout']:<13} {row['traversal_misses']:>15}  "
+            f"{row['traversal_ms']:>12.2f}  {row['scan_misses']:>11}  "
+            f"{row['scan_ms']:>8.2f}")
+    return "\n".join(lines)
+
+
+def write_artifact(sweep: List[Dict], placement: List[Dict],
+                   cluster_size: int) -> Path:
+    artifacts = Path(__file__).parent / "artifacts"
+    artifacts.mkdir(exist_ok=True)
+    path = artifacts / "BENCH_index.json"
+    path.write_text(json.dumps({
+        "benchmark": "index_select",
+        "cluster_size": cluster_size,
+        "pool_capacity": POOL_CAPACITY,
+        "selectivity_sweep": sweep,
+        "placement_ablation": placement,
+    }, indent=2) + "\n")
+    return path
+
+
+# -- pytest entry point (smaller sizes, same assertions) ----------------------
+
+
+def _assert_shapes(sweep: List[Dict], placement: List[Dict]) -> None:
+    for row in sweep:
+        if row["selectivity"] <= 0.01:
+            assert row["probe_speedup"] >= 5.0, (
+                f"{row['predicate']}: probe only "
+                f"{row['probe_speedup']:.1f}x over scan")
+            assert row["chosen_access"].startswith("index-"), row
+    full = next(r for r in sweep if r["selectivity"] == 1.00)
+    # No full-scan regression: the planner picks the scan and pays no
+    # more than the forced scan modulo noise.
+    assert full["chosen_access"] == "scan", full
+    assert full["chosen_ms"] <= full["scan_ms"] * 1.6, full
+
+    by_cluster = next(r for r in placement if r["layout"] == "by-cluster")
+    ref = next(r for r in placement if r["layout"] == "ref-locality")
+    assert ref["traversal_misses"] < by_cluster["traversal_misses"], (
+        "reference-locality placement should win the traversal")
+    assert by_cluster["scan_misses"] <= ref["scan_misses"], (
+        "by-cluster placement should win (or tie) the cluster scan")
+
+
+def test_index_select_smoke(tmp_path):
+    sweep = run_selectivity_sweep(tmp_path, cluster_size=2000, repeats=2)
+    placement = run_placement_ablation(tmp_path)
+    _assert_shapes(sweep, placement)
+    write_artifact(sweep, placement, 2000)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cluster-size", type=int, default=CLUSTER_SIZE)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+    import tempfile
+
+    root = Path(tempfile.mkdtemp(prefix="odeview-bench-index-"))
+    sweep = run_selectivity_sweep(root, cluster_size=args.cluster_size,
+                                  repeats=args.repeats)
+    placement = run_placement_ablation(root)
+    print(format_results(sweep, placement))
+    _assert_shapes(sweep, placement)
+    path = write_artifact(sweep, placement, args.cluster_size)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

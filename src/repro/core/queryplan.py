@@ -1,20 +1,44 @@
-"""Index-aware planning for pushed-down selections.
+"""Statistics-driven planning for pushed-down selections.
 
 The object manager filters objects during cluster scans (paper §5.2); when
 an :class:`~repro.ode.index.AttributeIndex` exists for an attribute used
-in a sargable conjunct (``attr op literal``), the planner probes the index
-to fetch only candidate OIDs and evaluates the *residual* predicate on
-those.  The ABL-INDEX benchmark measures the scan-vs-probe shape.
+in a sargable conjunct (``attr op literal``), the planner *may* probe the
+index to fetch only candidate OIDs and evaluate the *residual* predicate
+on those.  Whether it does is a cost decision, not a reflex: the
+:class:`~repro.core.statistics.StatisticsCatalog` estimates how many rows
+each candidate probe returns, and the probe is chosen only when its
+estimated cost beats the full scan's.
 
-The planner is deliberately simple — one index probe per query, best
-conjunct chosen by kind (equality beats range beats nothing) — which is
-all a browsing workload needs.
+The cost model is deliberately small:
+
+* ``cost(scan)  = cardinality * SCAN_ROW_COST``
+* ``cost(probe) = PROBE_BASE_COST + estimated_rows * PROBE_ROW_COST``
+
+A probed row costs more than a scanned row (random OID lookups vs a
+sequential cluster sweep) and the probe pays a fixed setup cost, so the
+break-even lands near half the cluster — very selective predicates probe,
+unselective ones scan, exactly the shape the BENCH_index ablation
+measures.
+
+Snapshot correctness: a probe answers *as of the reader's epoch*.  When
+the calling thread holds a ``pinned()`` snapshot, the probe passes that
+epoch to the index, whose epoch-versioned entries reconstruct the set of
+matches visible at the pin — never entries a newer commit added.  Two
+situations force a scan regardless of cost, because the index cannot
+answer correctly: an open transaction (uncommitted writes are invisible
+to the commit-driven index) and a pin older than the index's
+``built_epoch`` (pre-build deletes left no entries to version).
+
+Every plan renders an ``EXPLAIN`` text naming the chosen access path,
+the estimated rows and costs it was chosen on, and the reader's epoch;
+the most recent one is kept on the statistics catalog and surfaced in
+the statistics window (and over the wire via OP_EXPLAIN).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.ode.database import Database
 from repro.ode.objectmanager import ObjectBuffer
@@ -24,6 +48,20 @@ from repro.ode.opp.predicate import PredicateEvaluator
 
 _EQ = "=="
 _RANGE_OPS = ("<", "<=", ">", ">=")
+
+#: Relative row costs (see module docstring).  Tuned only to place the
+#: break-even sensibly: probing is ~2x the per-row price of scanning.
+SCAN_ROW_COST = 1.0
+PROBE_ROW_COST = 2.0
+PROBE_BASE_COST = 2.0
+
+#: Bounds keyword sets for each range operator, as the index expects.
+_RANGE_BOUNDS = {
+    "<": dict(high=None, include_high=False),
+    "<=": dict(high=None, include_high=True),
+    ">": dict(low=None, include_low=False),
+    ">=": dict(low=None, include_low=True),
+}
 
 
 def split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
@@ -63,22 +101,40 @@ def sargable(conjunct: ast.Expr) -> Optional[Tuple[str, str, Any]]:
     return attribute, op, literal
 
 
+def _probe_bounds(op: str, literal: Any) -> dict:
+    bounds = dict(_RANGE_BOUNDS[op])
+    for side in ("low", "high"):
+        if side in bounds:
+            bounds[side] = literal
+    return bounds
+
+
 @dataclass
 class QueryPlan:
-    """How one selection will be executed."""
+    """How one selection will be executed, and why."""
 
     class_name: str
     access: str                         # "index-eq" | "index-range" | "scan"
     index_attribute: Optional[str]
     candidates: Optional[List[int]]     # OID numbers from the probe
     residual: Optional[ast.Expr]        # still checked per object
-    #: The whole predicate.  The index probe answers against the *live*
-    #: index, but execution may read through a pinned snapshot (an older
-    #: epoch) — so every candidate is re-checked against the full
-    #: predicate, not just the residual, and an object whose
-    #: snapshot-visible value no longer satisfies the probed conjunct is
-    #: filtered out instead of surfacing post-snapshot state.
+    #: The whole predicate.  The index probe answers as of the reader's
+    #: epoch, but raw store mutations can still bypass the commit path —
+    #: so every candidate is re-checked against the full predicate, not
+    #: just the residual, and a candidate whose snapshot-visible value no
+    #: longer satisfies the probed conjunct is filtered out.
     expr: Optional[ast.Expr] = None
+    #: Cost-model inputs and outputs, for EXPLAIN and the regression
+    #: battery.  ``estimated_rows`` is the statistics estimate the
+    #: decision was made on (not the actual probe size).
+    estimated_rows: float = 0.0
+    estimated_cost: float = 0.0
+    scan_cost: float = 0.0
+    cardinality: int = 0
+    #: The snapshot epoch the probe answered at (None = head).
+    epoch: Optional[int] = None
+    #: One phrase of why this access path won.
+    reason: str = ""
 
     def explain(self) -> str:
         """Human-readable plan, in the EXPLAIN tradition."""
@@ -87,13 +143,24 @@ class QueryPlan:
         parts = [f"select from cluster {self.class_name!r}"]
         if self.access == "scan":
             parts.append("  access: full cluster scan")
+            parts.append(
+                f"  estimated rows: {self.cardinality} of "
+                f"{self.cardinality} (cost {self.scan_cost:.1f})")
         else:
             parts.append(
                 f"  access: {self.access} probe on "
                 f"{self.class_name}.{self.index_attribute} "
                 f"({len(self.candidates or [])} candidates)")
+            parts.append(
+                f"  estimated rows: {self.estimated_rows:.1f} of "
+                f"{self.cardinality} (cost {self.estimated_cost:.1f} "
+                f"vs scan {self.scan_cost:.1f})")
+        if self.reason:
+            parts.append(f"  reason: {self.reason}")
         if self.residual is not None:
             parts.append(f"  filter: {expr_to_source(self.residual)}")
+        parts.append("  epoch: head" if self.epoch is None
+                     else f"  epoch: pinned @ {self.epoch}")
         return "\n".join(parts)
 
 
@@ -106,43 +173,113 @@ class SelectionPlanner:
         self._evaluator = PredicateEvaluator(database.objects,
                                              privileged=privileged)
 
-    def plan(self, class_name: str, expr: ast.Expr) -> QueryPlan:
-        indexes = self.database.objects.indexes
+    def plan(self, class_name: str, expr: ast.Expr,
+             force: Optional[str] = None) -> QueryPlan:
+        """Choose an access path for ``select class_name where expr``.
+
+        ``force`` overrides the cost decision: ``"scan"`` never probes,
+        ``"index"`` probes the best usable index even when the model
+        says scan (still scans when no index can answer at all) — the
+        equivalence battery uses both to pit every path against each
+        other.
+        """
+        objects = self.database.objects
+        # A RemoteObjectManager has no local statistics, store, or
+        # ambient pin — the server plans for it (select_pushdown); a
+        # planner built against one anyway degrades to head-epoch
+        # scans with a throwaway catalog.
+        stats = getattr(objects, "statistics", None)
+        if stats is None:
+            from repro.core.statistics import StatisticsCatalog
+
+            stats = StatisticsCatalog(objects)
+        ambient = getattr(objects, "ambient_snapshot", None)
+        snapshot = ambient() if ambient is not None else None
+        epoch = snapshot.epoch if snapshot is not None else None
+        cardinality = stats.cardinality(class_name)
+        scan_cost = cardinality * SCAN_ROW_COST
+
+        def scan(reason: str) -> QueryPlan:
+            plan = QueryPlan(
+                class_name=class_name, access="scan", index_attribute=None,
+                candidates=None, residual=expr, expr=expr,
+                estimated_rows=float(cardinality), estimated_cost=scan_cost,
+                scan_cost=scan_cost, cardinality=cardinality, epoch=epoch,
+                reason=reason)
+            stats.last_explain = plan.explain()
+            return plan
+
+        if force == "scan":
+            return scan("forced scan")
+        if getattr(getattr(objects, "store", None), "in_transaction", False):
+            # The commit-driven index cannot see this transaction's
+            # uncommitted overlay; only the scan path reads through it.
+            return scan("open transaction: uncommitted writes "
+                        "are invisible to indexes")
+
         conjuncts = split_conjuncts(expr)
-        best: Optional[Tuple[int, int, Tuple[str, str, Any]]] = None
+        # Every usable (indexed, sargable, epoch-answerable) conjunct,
+        # costed: (estimated probe cost, rank, position, probe, index).
+        choices: List[Tuple[float, int, int, Tuple[str, str, Any], Any]] = []
+        stale_index = False
         for position, conjunct in enumerate(conjuncts):
             probe = sargable(conjunct)
             if probe is None:
                 continue
-            attribute, op, _literal = probe
-            if indexes.get(class_name, attribute) is None:
+            attribute, op, literal = probe
+            index = objects.indexes.get(class_name, attribute)
+            if index is None:
                 continue
-            rank = 0 if op == _EQ else 1  # prefer equality probes
-            if best is None or rank < best[0]:
-                best = (rank, position, probe)
-        if best is None:
-            return QueryPlan(class_name=class_name, access="scan",
-                             index_attribute=None, candidates=None,
-                             residual=expr, expr=expr)
-        _rank, position, (attribute, op, literal) = best
-        index = indexes.get(class_name, attribute)
+            if epoch is not None and epoch < index.built_epoch:
+                # The build only saw live state: this pin predates it,
+                # so the index cannot reconstruct the pin's matches.
+                stale_index = True
+                continue
+            if op == _EQ:
+                est = stats.estimate_equal(class_name, attribute, literal)
+                rank = 0
+            else:
+                bounds = _probe_bounds(op, literal)
+                est = stats.estimate_range(
+                    class_name, attribute,
+                    low=bounds.get("low"), high=bounds.get("high"))
+                rank = 1
+            cost = PROBE_BASE_COST + est * PROBE_ROW_COST
+            choices.append((cost, rank, position, probe, index))
+
+        if not choices:
+            if stale_index:
+                return scan("snapshot predates index build")
+            return scan("no usable index")
+        choices.sort(key=lambda c: (c[0], c[1], c[2]))
+        cost, _rank, position, (attribute, op, literal), index = choices[0]
+        if force != "index" and cost >= scan_cost:
+            return scan(f"scan is cheaper (probe cost {cost:.1f} "
+                        f">= scan cost {scan_cost:.1f})")
+
         if op == _EQ:
-            numbers = index.equal(literal)
+            numbers = index.equal(literal, epoch=epoch)
             access = "index-eq"
+            est = stats.estimate_equal(class_name, attribute, literal)
         else:
-            bounds = {
-                "<": dict(high=literal, include_high=False),
-                "<=": dict(high=literal, include_high=True),
-                ">": dict(low=literal, include_low=False),
-                ">=": dict(low=literal, include_low=True),
-            }[op]
-            numbers = index.range(**bounds)
+            bounds = _probe_bounds(op, literal)
+            numbers = index.range(epoch=epoch, **bounds)
             access = "index-range"
+            est = stats.estimate_range(class_name, attribute,
+                                       low=bounds.get("low"),
+                                       high=bounds.get("high"))
         residual = join_conjuncts(
             [c for i, c in enumerate(conjuncts) if i != position])
-        return QueryPlan(class_name=class_name, access=access,
-                         index_attribute=attribute, candidates=numbers,
-                         residual=residual, expr=expr)
+        plan = QueryPlan(
+            class_name=class_name, access=access, index_attribute=attribute,
+            candidates=numbers, residual=residual, expr=expr,
+            estimated_rows=est, estimated_cost=cost, scan_cost=scan_cost,
+            cardinality=cardinality, epoch=epoch,
+            reason=("forced index probe" if force == "index"
+                    else f"probe cost {cost:.1f} < scan cost "
+                         f"{scan_cost:.1f}"))
+        stats.last_explain = plan.explain()
+        return plan
 
     def execute(self, plan: QueryPlan) -> Iterator[ObjectBuffer]:
         objects = self.database.objects
@@ -154,9 +291,9 @@ class SelectionPlanner:
             return
         database_name = objects.database
         # Full-predicate recheck, not residual-only: the candidates came
-        # from the live index, but the buffers are read at the caller's
-        # (possibly pinned) epoch, and the two may disagree about the
-        # probed attribute under concurrent commits.
+        # from the index at the plan's epoch, but the buffers are read at
+        # the caller's current view, and raw store mutations can bypass
+        # the commit-driven maintenance entirely.
         check = plan.expr if plan.expr is not None else plan.residual
         for number in plan.candidates or ():
             oid = Oid(database_name, plan.class_name, number)
@@ -166,5 +303,21 @@ class SelectionPlanner:
             if check is None or self._evaluator.matches(check, buffer):
                 yield buffer
 
-    def select(self, class_name: str, expr: ast.Expr) -> List[ObjectBuffer]:
-        return list(self.execute(self.plan(class_name, expr)))
+    def select(self, class_name: str, expr: ast.Expr,
+               force: Optional[str] = None) -> List[ObjectBuffer]:
+        """Plan and execute under ONE pinned snapshot.
+
+        The pin makes the probe epoch and the buffer reads agree: a
+        commit that lands between planning and execution changes
+        neither the candidate set nor the rechecked values.  An ambient
+        pin already in effect is reused (pinning afresh would jump
+        forward to head — the opposite of what the caller pinned for).
+        """
+        objects = self.database.objects
+        ambient = getattr(objects, "ambient_snapshot", None)
+        if ambient is not None and ambient() is not None:
+            return list(self.execute(self.plan(class_name, expr,
+                                               force=force)))
+        with objects.pinned():
+            return list(self.execute(self.plan(class_name, expr,
+                                               force=force)))

@@ -164,23 +164,51 @@ class SelectionBuilder:
 
     # -- index-aware execution ---------------------------------------------------
 
-    def plan(self):
+    def plan(self, force: Optional[str] = None):
         """An index-aware :class:`~repro.core.queryplan.QueryPlan`."""
         from repro.core.queryplan import SelectionPlanner
 
         expr = self.expression()
         self._validate(expr)
         planner = SelectionPlanner(self.database, privileged=self.privileged)
-        return planner.plan(self.class_name, expr)
+        return planner.plan(self.class_name, expr, force=force)
 
-    def execute(self):
-        """Validate, plan, and run the selection (index probe when possible)."""
+    def execute(self, force: Optional[str] = None):
+        """Validate, plan, and run the selection (index probe when the
+        cost model prefers it).
+
+        Against a remote database the whole selection crosses the wire:
+        the *server* plans against its statistics and indexes and
+        returns only the matches — §5.2's pushdown with index
+        acceleration, instead of the client scanning the cluster over
+        the network.
+        """
         from repro.core.queryplan import SelectionPlanner
 
         expr = self.expression()
         self._validate(expr)
+        if getattr(self.database, "remote", False):
+            return self.database.objects.select_pushdown(
+                self.class_name, expr_to_source(expr),
+                force=force, privileged=self.privileged)
         planner = SelectionPlanner(self.database, privileged=self.privileged)
-        return list(planner.execute(planner.plan(self.class_name, expr)))
+        return planner.select(self.class_name, expr, force=force)
+
+    def explain(self, force: Optional[str] = None) -> str:
+        """The EXPLAIN text for this selection as currently built.
+
+        Local databases plan locally; remote ones ask the server (one
+        OP_EXPLAIN round trip), whose statistics drive the plan that
+        :meth:`execute` would actually run.
+        """
+        expr = self.expression()
+        self._validate(expr)
+        if getattr(self.database, "remote", False):
+            reply = self.database.objects.explain(
+                self.class_name, expr_to_source(expr),
+                force=force, privileged=self.privileged)
+            return str(reply.get("explain", ""))
+        return self.plan(force=force).explain()
 
 
 def select_objects(database: Database, class_name: str, condition: str,

@@ -1,16 +1,248 @@
-"""The database statistics window.
+"""Database statistics: the planner's catalog and the statistics window.
 
-Not a paper figure, but the kind of companion window a production release
-of OdeView would ship: one glance at the open database's clusters, index
-coverage, buffer-pool behaviour, and dynamic-linker cache — the numbers
-the EXPERIMENTS.md ablations are about, live.
+Two layers share this module:
+
+* :class:`StatisticsCatalog` — per-cluster cardinality and per-attribute
+  selectivity estimates, the numbers the query planner's cost model runs
+  on.  Cardinality is maintained incrementally on every commit (the
+  index manager's apply hook feeds it from inside the commit path);
+  attribute statistics (row count, distinct keys, min/max bounds) are
+  refreshed from the covering index whenever a commit touches it.
+  ``seed()`` lets tests and fixtures pin estimates without building
+  data, which is how the planner regression suite forces probe-wins /
+  scan-wins / break-even shapes.
+* The statistics *window* — not a paper figure, but the kind of
+  companion window a production release of OdeView would ship: one
+  glance at the open database's clusters, index coverage, planner
+  estimates, buffer-pool behaviour, and dynamic-linker cache.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.windowing.wintypes import at, panel, text_window
+
+
+# -- the planner's catalog ----------------------------------------------------
+
+@dataclass(frozen=True)
+class AttributeStatistics:
+    """Summary of one indexed attribute's value distribution."""
+
+    rows: int                      # live entries (= live cluster members)
+    distinct: int                  # distinct live keys
+    min_key: Optional[Tuple]       # smallest live sort key (rank, value)
+    max_key: Optional[Tuple]       # largest live sort key
+    source: str = "index"          # "index" (observed) | "seed" (pinned)
+
+
+class StatisticsCatalog:
+    """Cardinality and selectivity estimates for one database.
+
+    Thread-safe; written from inside the store's commit path (via the
+    index manager's apply hook) and read lock-free-ish by planners.
+    Seeded values are pinned: they win over observed numbers until
+    :meth:`unseed`, which is what planner regression fixtures rely on.
+    """
+
+    #: Fallback selectivities when no statistics cover an attribute.
+    DEFAULT_EQ_SELECTIVITY = 0.05
+    DEFAULT_RANGE_SELECTIVITY = 0.30
+
+    def __init__(self, objects=None):
+        self._objects = objects    # ObjectManager, for lazy first counts
+        self._lock = threading.RLock()
+        self._cardinality: Dict[str, int] = {}
+        self._attributes: Dict[Tuple[str, str], AttributeStatistics] = {}
+        self._seeded_cardinality: Dict[str, int] = {}
+        self._seeded_attributes: Dict[Tuple[str, str],
+                                      AttributeStatistics] = {}
+        self.commits_observed = 0
+        #: The most recent EXPLAIN text a planner produced against this
+        #: database — surfaced in the statistics window.
+        self.last_explain: Optional[str] = None
+
+    # -- cardinality -----------------------------------------------------------
+
+    def cardinality(self, class_name: str) -> int:
+        """Estimated live members of a cluster (exact when tracked)."""
+        with self._lock:
+            if class_name in self._seeded_cardinality:
+                return self._seeded_cardinality[class_name]
+            if class_name in self._cardinality:
+                return self._cardinality[class_name]
+        count = 0
+        if self._objects is not None:
+            try:
+                count = self._objects.count(class_name)
+            except Exception:  # unknown class / closed store: estimate 0
+                count = 0
+        with self._lock:
+            self._cardinality.setdefault(class_name, count)
+            return self._cardinality[class_name]
+
+    def adjust_cardinality(self, class_name: str, delta: int) -> None:
+        """Incremental maintenance from the commit path."""
+        with self._lock:
+            self.commits_observed += 1
+            if class_name in self._cardinality:
+                self._cardinality[class_name] = max(
+                    0, self._cardinality[class_name] + delta)
+                return
+        # First sight of this cluster: initialize from the store (the
+        # commit that triggered us is already applied, so the count is
+        # current — no delta to add on top).
+        self.cardinality(class_name)
+
+    # -- attribute statistics --------------------------------------------------
+
+    def attribute(self, class_name: str,
+                  attribute: str) -> Optional[AttributeStatistics]:
+        with self._lock:
+            seeded = self._seeded_attributes.get((class_name, attribute))
+            if seeded is not None:
+                return seeded
+            return self._attributes.get((class_name, attribute))
+
+    def observe_index(self, index) -> None:
+        """Refresh one attribute's statistics from its covering index."""
+        bounds = index.live_bounds()
+        stats = AttributeStatistics(
+            rows=len(index),
+            distinct=index.distinct_count(),
+            min_key=bounds[0] if bounds else None,
+            max_key=bounds[1] if bounds else None,
+        )
+        with self._lock:
+            self._attributes[(index.class_name, index.attribute)] = stats
+
+    def forget_attribute(self, class_name: str, attribute: str) -> None:
+        with self._lock:
+            self._attributes.pop((class_name, attribute), None)
+
+    # -- fixtures --------------------------------------------------------------
+
+    def seed(self, class_name: str, cardinality: Optional[int] = None,
+             attributes: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
+        """Pin estimates for planner fixtures.
+
+        ``attributes`` maps attribute name to keyword arguments of
+        :class:`AttributeStatistics` (``rows`` defaults to the seeded
+        cardinality).  Seeded numbers beat observed ones until
+        :meth:`unseed`.
+        """
+        with self._lock:
+            if cardinality is not None:
+                self._seeded_cardinality[class_name] = int(cardinality)
+            for name, spec in (attributes or {}).items():
+                spec = dict(spec)
+                spec.setdefault("rows", self._seeded_cardinality.get(
+                    class_name, self._cardinality.get(class_name, 0)))
+                spec.setdefault("distinct", spec["rows"])
+                spec.setdefault("min_key", None)
+                spec.setdefault("max_key", None)
+                spec["source"] = "seed"
+                self._seeded_attributes[(class_name, name)] = (
+                    AttributeStatistics(**spec))
+
+    def unseed(self, class_name: Optional[str] = None) -> None:
+        with self._lock:
+            if class_name is None:
+                self._seeded_cardinality.clear()
+                self._seeded_attributes.clear()
+                return
+            self._seeded_cardinality.pop(class_name, None)
+            for key in [k for k in self._seeded_attributes
+                        if k[0] == class_name]:
+                del self._seeded_attributes[key]
+
+    def invalidate(self) -> None:
+        """Drop observed numbers (store recovered/resynced); keep seeds."""
+        with self._lock:
+            self._cardinality.clear()
+            self._attributes.clear()
+
+    # -- selectivity estimators ------------------------------------------------
+
+    def estimate_equal(self, class_name: str, attribute: str,
+                       value: Any) -> float:
+        """Estimated rows matching ``attribute == value``."""
+        total = self.cardinality(class_name)
+        stats = self.attribute(class_name, attribute)
+        if stats is not None and stats.distinct > 0 and stats.rows > 0:
+            return min(float(total), stats.rows / stats.distinct)
+        return max(1.0, total * self.DEFAULT_EQ_SELECTIVITY) if total else 0.0
+
+    def estimate_range(self, class_name: str, attribute: str,
+                       low: Any = None, high: Any = None) -> float:
+        """Estimated rows in a (half-)bounded range over *attribute*.
+
+        Interpolates within the observed [min, max] when the bounds and
+        the probe are on the same numeric rank (ints/floats and dates);
+        otherwise falls back to a fixed selectivity.
+        """
+        total = self.cardinality(class_name)
+        if not total:
+            return 0.0
+        stats = self.attribute(class_name, attribute)
+        fraction = self._range_fraction(stats, low, high)
+        if fraction is None:
+            fraction = self.DEFAULT_RANGE_SELECTIVITY
+            if low is None or high is None:
+                fraction = min(1.0, fraction * 1.5)  # half-open: wider
+        rows = stats.rows if stats is not None and stats.rows else total
+        return max(1.0, min(float(total), rows * fraction))
+
+    @staticmethod
+    def _range_fraction(stats: Optional[AttributeStatistics],
+                        low: Any, high: Any) -> Optional[float]:
+        if stats is None or stats.min_key is None or stats.max_key is None:
+            return None
+        # Import here: the catalog must stay importable without ode.
+        from repro.ode.index import _sort_key
+
+        lo_key = stats.min_key if low is None else _sort_key(low)
+        hi_key = stats.max_key if high is None else _sort_key(high)
+        ranks = {stats.min_key[0], stats.max_key[0], lo_key[0], hi_key[0]}
+        if len(ranks) != 1:
+            return None
+        span = stats.max_key[1] - stats.min_key[1]
+        if not isinstance(span, (int, float)):
+            return None
+        if span <= 0:
+            # Degenerate domain: everything matches or nothing does.
+            covers = lo_key <= stats.min_key <= hi_key
+            return 1.0 if covers else 0.0
+        lo = max(lo_key[1], stats.min_key[1])
+        hi = min(hi_key[1], stats.max_key[1])
+        if lo > hi:
+            return 0.0
+        return max(0.0, min(1.0, (hi - lo) / span))
+
+    # -- display ---------------------------------------------------------------
+
+    def describe_rows(self) -> List[Tuple[str, str]]:
+        """(label, value) rows for the statistics window."""
+        rows: List[Tuple[str, str]] = []
+        with self._lock:
+            rows.append(("planner commits observed",
+                         str(self.commits_observed)))
+            for key in sorted(set(self._attributes)
+                              | set(self._seeded_attributes)):
+                stats = self._seeded_attributes.get(key,
+                                                    self._attributes.get(key))
+                rows.append((
+                    f"stats {key[0]}.{key[1]}",
+                    f"{stats.rows} rows, {stats.distinct} distinct "
+                    f"({stats.source})"))
+            if self.last_explain:
+                for i, line in enumerate(self.last_explain.splitlines()):
+                    rows.append(("last explain" if i == 0 else "",
+                                 line.strip()))
+        return rows
 
 
 def gather_statistics(db_session) -> List[Tuple[str, str]]:
@@ -38,6 +270,9 @@ def gather_statistics(db_session) -> List[Tuple[str, str]]:
                              f"{len(index)} entries"))
         else:
             rows.append(("indexes", "(none)"))
+        catalog = getattr(objects, "statistics", None)
+        if catalog is not None:
+            rows.extend(catalog.describe_rows())
         rows.append(("fragmentation",
                      f"{database.store.fragmentation():.0%} of page space dead"))
         pool = database.store.pool
@@ -129,6 +364,8 @@ def _remote_statistics(database) -> List[Tuple[str, str]]:
                          f"{index['entries']} entries (server)"))
     else:
         rows.append(("indexes", "(none)"))
+    for label, value in stats.get("statistics", []):
+        rows.append((f"server {label}" if label else "", str(value)))
     rows.append(("fragmentation",
                  f"{stats.get('fragmentation', 0.0):.0%} of page space dead "
                  f"(server)"))

@@ -42,14 +42,19 @@ WAL_SITES = (
 #: commit-finish sequence, crossed by the group-commit leader after the
 #: batch fsync, once per commit in epoch order: after the commit record
 #: is durable but before the pages are touched (``apply``); after the
-#: pages are applied but before the commit epoch is published to
-#: snapshot readers (``publish`` — a crash here must not let the epoch
-#: regress or expose a half-applied transaction on reopen); and after
-#: publication but before the log is eventually truncated
-#: (``checkpoint``).  All three sit *after* durability, so a crash at
-#: any of them redoes the whole transaction from the log on reopen.
+#: pages are applied but before the secondary indexes absorb the
+#: commit's effects (``index`` — a crash here reopens with indexes
+#: rebuilt from the recovered base data, so index and cluster must
+#: agree exactly); after the index apply but before the commit epoch is
+#: published to snapshot readers (``publish`` — a crash here must not
+#: let the epoch regress or expose a half-applied transaction on
+#: reopen); and after publication but before the log is eventually
+#: truncated (``checkpoint``).  All four sit *after* durability, so a
+#: crash at any of them redoes the whole transaction from the log on
+#: reopen.
 STORE_SITES = (
     "store.commit.apply",
+    "store.commit.index",
     "store.commit.publish",
     "store.commit.checkpoint",
 )

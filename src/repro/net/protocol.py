@@ -65,10 +65,14 @@ OP_CLUSTER_NUMBERS = 0x13
 OP_COUNT = 0x14
 OP_EXISTS = 0x15
 OP_VERSION_HISTORY = 0x16
+OP_SELECT = 0x17
+OP_EXPLAIN = 0x18
 
 OP_NEW_OBJECT = 0x20
 OP_UPDATE = 0x21
 OP_DELETE = 0x22
+OP_CREATE_INDEX = 0x23
+OP_DROP_INDEX = 0x24
 
 OP_BEGIN = 0x30
 OP_COMMIT = 0x31
@@ -112,9 +116,13 @@ OPCODE_NAMES: Dict[int, str] = {
     OP_COUNT: "count",
     OP_EXISTS: "exists",
     OP_VERSION_HISTORY: "version_history",
+    OP_SELECT: "select",
+    OP_EXPLAIN: "explain",
     OP_NEW_OBJECT: "new_object",
     OP_UPDATE: "update",
     OP_DELETE: "delete",
+    OP_CREATE_INDEX: "create_index",
+    OP_DROP_INDEX: "drop_index",
     OP_BEGIN: "begin",
     OP_COMMIT: "commit",
     OP_ABORT: "abort",
@@ -141,14 +149,14 @@ OPCODE_NAMES: Dict[int, str] = {
 READ_OPCODES = frozenset({
     OP_HELLO, OP_LIST_DATABASES, OP_OPEN_DATABASE, OP_GET_DISPLAY_MODULES,
     OP_PING, OP_GET_OBJECT, OP_GET_OBJECTS, OP_SCAN_CLUSTER,
-    OP_CLUSTER_NUMBERS, OP_COUNT, OP_EXISTS, OP_VERSION_HISTORY, OP_STATS,
-    OP_REPL_FETCH, OP_REPL_SNAPSHOT,
+    OP_CLUSTER_NUMBERS, OP_COUNT, OP_EXISTS, OP_VERSION_HISTORY, OP_SELECT,
+    OP_EXPLAIN, OP_STATS, OP_REPL_FETCH, OP_REPL_SNAPSHOT,
 })
 
 #: Opcodes that mutate a database: the server takes the database's write
 #: lock for these (and holds it across an open transaction).
 WRITE_OPCODES = frozenset({
-    OP_NEW_OBJECT, OP_UPDATE, OP_DELETE,
+    OP_NEW_OBJECT, OP_UPDATE, OP_DELETE, OP_CREATE_INDEX, OP_DROP_INDEX,
     OP_BEGIN, OP_COMMIT, OP_ABORT, OP_VACUUM,
 })
 

@@ -45,7 +45,6 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import (
     NetworkError,
-    SchemaError,
     SessionLostError,
     StorageError,
     TransactionError,
@@ -244,12 +243,15 @@ class BufferCache:
 
 
 class RemoteIndexManager:
-    """Read-only view of the server's attribute indexes.
+    """The server's attribute indexes, managed over the wire.
 
-    Index *maintenance* happens on the server, inside the object manager
-    that applies the writes; the client sees definitions and sizes (for
-    the statistics window) but plans queries as scans — predicates still
-    evaluate correctly, just without index acceleration.
+    Index *structures and maintenance* live on the server, inside the
+    object manager that applies the writes; the client sees definitions
+    and sizes (for the statistics window) and creates/drops indexes with
+    one round trip.  A client-side planner plans scans (``get`` returns
+    no probe-able structure) — index-accelerated selection crosses the
+    wire whole via :meth:`RemoteObjectManager.select_pushdown`, where
+    the *server's* cost model picks probe vs scan.
     """
 
     def __init__(self, manager: "RemoteObjectManager"):
@@ -270,12 +272,12 @@ class RemoteIndexManager:
         return None  # no client-side index structure: planner falls back to scan
 
     def create_index(self, class_name: str, attribute: str) -> None:
-        raise SchemaError(
-            "indexes on a remote database are managed by the server")
+        self._manager._call(P.OP_CREATE_INDEX,
+                            {"class": class_name, "attribute": attribute})
 
     def drop_index(self, class_name: str, attribute: str) -> None:
-        raise SchemaError(
-            "indexes on a remote database are managed by the server")
+        self._manager._call(P.OP_DROP_INDEX,
+                            {"class": class_name, "attribute": attribute})
 
 
 class RemoteIndexInfo:
@@ -439,6 +441,10 @@ class RemoteObjectManager:
         self.schema = database.schema
         self.cache = BufferCache()
         self.indexes = RemoteIndexManager(self)
+        #: EXPLAIN text of the last server-planned selection (see
+        #: select_pushdown/explain); the statistics window shows the
+        #: server's own via the STATS "statistics" rows.
+        self.last_explain: Optional[str] = None
         self._version_manager: Optional[RemoteVersionManager] = None
         self._txid: Optional[int] = None         # open remote transaction
         self._tx_generation: Optional[int] = None  # connection it lives on
@@ -565,6 +571,44 @@ class RemoteObjectManager:
         for buffer in self.scan(class_name):
             if predicate is None or predicate(buffer):
                 yield buffer
+
+    def select_pushdown(self, class_name: str, condition: str,
+                        force: Optional[str] = None,
+                        privileged: bool = False) -> List[Any]:
+        """Planned selection on the *server*: one round trip ships the
+        condition string; the server's cost model picks index-probe vs
+        scan against its statistics and returns only the matches (the
+        paper's §5.2 pushdown, now with index acceleration).  The plan's
+        EXPLAIN text is kept at ``last_explain`` for the statistics
+        window."""
+        payload: Dict[str, Any] = {"class": class_name,
+                                   "condition": condition}
+        if force is not None:
+            payload["force"] = force
+        if privileged:
+            payload["privileged"] = True
+        reply = self._call(P.OP_SELECT, payload)
+        self.last_explain = reply.get("explain")
+        buffers = []
+        for value in reply["buffers"]:
+            buffer = P.buffer_from_value(value)
+            self.cache.put(buffer, reply.get("epoch"))
+            buffers.append(buffer)
+        return buffers
+
+    def explain(self, class_name: str, condition: str,
+                force: Optional[str] = None,
+                privileged: bool = False) -> Dict[str, Any]:
+        """The server's plan for a condition, without executing it."""
+        payload: Dict[str, Any] = {"class": class_name,
+                                   "condition": condition}
+        if force is not None:
+            payload["force"] = force
+        if privileged:
+            payload["privileged"] = True
+        reply = self._call(P.OP_EXPLAIN, payload)
+        self.last_explain = reply.get("explain")
+        return reply
 
     # -- writes ------------------------------------------------------------------
 

@@ -204,15 +204,12 @@ class ServerSession:
                 except BaseException:
                     if hosted.database.store.in_transaction:
                         objects.abort()
-                    self._rebuild_indexes(hosted)
                     raise
-            try:
-                objects.commit_wait(staged)
-            except BaseException:
-                # The handler updated the in-memory attribute indexes,
-                # but the store rolled back to committed state.
-                self._rebuild_indexes(hosted)
-                raise
+            # Index maintenance is commit-driven (the store's apply
+            # listener), so a failed commit never touched an index and
+            # the store's own recovery re-derives them — nothing to
+            # clean up here beyond propagating the error.
+            objects.commit_wait(staged)
         else:
             with hosted.lock.writing():
                 result = handler(self, payload)
@@ -223,18 +220,6 @@ class ServerSession:
         # cache learns about its own commits without an extra round trip.
         result.setdefault("epoch", hosted.database.store.epoch)
         return result
-
-    @staticmethod
-    def _rebuild_indexes(hosted: HostedDatabase) -> None:
-        """Re-derive every attribute index from committed state after a
-        failed commit rolled the store back under live index updates.
-        Best-effort: the commit's own error is the one to report."""
-        objects = hosted.database.objects
-        try:
-            for index in objects.indexes.indexes():
-                objects.indexes.rebuild(index.class_name, index.attribute)
-        except OdeError:
-            get_registry().counter("net.teardown_error").inc()
 
     # -- handshake / catalog ------------------------------------------------------
 
@@ -352,6 +337,49 @@ class ServerSession:
             ],
         }
 
+    # -- planned selection (pushdown over the wire) --------------------------------
+
+    def _planned(self, hosted: HostedDatabase, payload: Dict[str, Any]):
+        """Parse and plan one wire selection; runs inside the request's
+        pinned snapshot, so the probe answers at the request's epoch."""
+        from repro.core.queryplan import SelectionPlanner
+        from repro.ode.opp.parser import parse_expression
+
+        class_name = payload.get("class", "")
+        hosted.database.schema.get_class(class_name)
+        expr = parse_expression(str(payload.get("condition", "")))
+        force = payload.get("force") or None
+        if force not in (None, "scan", "index"):
+            raise NetworkError(f"bad plan force {force!r}")
+        planner = SelectionPlanner(
+            hosted.database, privileged=bool(payload.get("privileged")))
+        return planner, planner.plan(class_name, expr, force=force)
+
+    def op_select(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Server-side planned selection: the client ships the condition
+        string, the server plans (cost model + indexes + statistics) and
+        executes, and the reply carries the matching buffers plus the
+        EXPLAIN text of the plan that produced them."""
+        hosted = self._hosted(payload)
+        planner, plan = self._planned(hosted, payload)
+        buffers = [P.buffer_to_value(b) for b in planner.execute(plan)]
+        return {"buffers": buffers, "access": plan.access,
+                "explain": plan.explain()}
+
+    def op_explain(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Plan only — the wire face of EXPLAIN."""
+        hosted = self._hosted(payload)
+        _planner, plan = self._planned(hosted, payload)
+        return {
+            "explain": plan.explain(),
+            "access": plan.access,
+            "index_attribute": plan.index_attribute,
+            "estimated_rows": plan.estimated_rows,
+            "estimated_cost": plan.estimated_cost,
+            "scan_cost": plan.scan_cost,
+            "cardinality": plan.cardinality,
+        }
+
     # -- writes ---------------------------------------------------------------------
 
     def op_new_object(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -371,6 +399,20 @@ class ServerSession:
     def op_delete(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         hosted = self._hosted(payload)
         hosted.database.objects.delete(self._oid(payload))
+        return {}
+
+    def op_create_index(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Create (and persist) a server-side index; the build runs under
+        the database's write lock so it captures one committed state."""
+        hosted = self._hosted(payload)
+        hosted.database.create_index(
+            payload.get("class", ""), payload.get("attribute", ""))
+        return {}
+
+    def op_drop_index(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        hosted = self._hosted(payload)
+        hosted.database.drop_index(
+            payload.get("class", ""), payload.get("attribute", ""))
         return {}
 
     # -- transactions -----------------------------------------------------------------
@@ -397,11 +439,7 @@ class ServerSession:
         finally:
             self._tx_database = None
             hosted.lock.release_write()
-        try:
-            objects.commit_wait(staged)
-        except OdeError:
-            self._rebuild_indexes(hosted)
-            raise
+        objects.commit_wait(staged)
         return {}
 
     def op_abort(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -501,6 +539,11 @@ class ServerSession:
             "schema": database.schema.to_dict(),
             "icon": database.icon,
             "modules": modules,
+            # Index *definitions* ship with the snapshot so the replica
+            # builds (and then maintains, via its apply listener) the
+            # same indexes the primary serves.
+            "indexes": [[class_name, attribute] for class_name, attribute
+                        in database.objects.indexes.definitions()],
         }
 
     # -- change-data-capture -----------------------------------------------------------
@@ -585,6 +628,10 @@ class ServerSession:
                  "entries": len(index)}
                 for index in database.objects.indexes.indexes()
             ],
+            "statistics": [
+                [label, value]
+                for label, value in database.objects.statistics.describe_rows()
+            ],
             "fragmentation": database.store.fragmentation(),
             "pool": {
                 "policy": pool.policy_name,
@@ -662,9 +709,13 @@ _HANDLERS = {
     P.OP_COUNT: ServerSession.op_count,
     P.OP_EXISTS: ServerSession.op_exists,
     P.OP_VERSION_HISTORY: ServerSession.op_version_history,
+    P.OP_SELECT: ServerSession.op_select,
+    P.OP_EXPLAIN: ServerSession.op_explain,
     P.OP_NEW_OBJECT: ServerSession.op_new_object,
     P.OP_UPDATE: ServerSession.op_update,
     P.OP_DELETE: ServerSession.op_delete,
+    P.OP_CREATE_INDEX: ServerSession.op_create_index,
+    P.OP_DROP_INDEX: ServerSession.op_drop_index,
     P.OP_BEGIN: ServerSession.op_begin,
     P.OP_COMMIT: ServerSession.op_commit,
     P.OP_ABORT: ServerSession.op_abort,

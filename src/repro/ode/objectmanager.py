@@ -106,6 +106,12 @@ class ObjectManager:
         )
 
         self.indexes = IndexManager(self)
+        # Index maintenance rides the commit blob: the store calls back
+        # between page apply and epoch publish, so index entries become
+        # visible atomically with the data they index (and are re-derived
+        # wholesale after a recovery or resync).
+        store.add_apply_listener(self.indexes.apply_effects)
+        store.add_rebuild_listener(self.indexes.on_store_rebuilt)
         self._compiled_constraints = CompiledConstraintCache(schema)
         self._compiled_triggers = CompiledTriggerCache(schema)
         from repro.obs import get_registry
@@ -154,6 +160,21 @@ class ObjectManager:
     def _current_snapshot(self) -> Optional[Snapshot]:
         stack = getattr(self._pin_stack, "stack", None)
         return stack[-1] if stack else None
+
+    def ambient_snapshot(self) -> Optional[Snapshot]:
+        """The innermost :meth:`pinned` snapshot on this thread, if any.
+
+        The planner uses this to probe indexes at the reader's epoch
+        instead of at head, so a pinned select never sees index entries
+        newer than its snapshot.
+        """
+        return self._current_snapshot()
+
+    @property
+    def statistics(self):
+        """The per-cluster/per-attribute statistics catalog the planner
+        costs plans against (see :mod:`repro.core.statistics`)."""
+        return self.indexes.statistics
 
     def _read_record(self, oid: Oid,
                      snapshot: Optional[Snapshot] = None) -> bytes:
@@ -248,7 +269,6 @@ class ObjectManager:
                 f"OID cluster {oid.cluster!r} does not match class {class_name!r}"
             )
         self._store.put(oid, encode_object(oid, class_name, complete))
-        self.indexes.on_new_object(oid, complete)
         return oid
 
     def get_buffer(self, oid: Oid,
@@ -299,13 +319,11 @@ class ObjectManager:
         values = self._fire_triggers(buffer.class_name, values)
         self._enforce_constraints(buffer.class_name, values)
         self._store.put(oid, encode_object(oid, buffer.class_name, values))
-        self.indexes.on_update(oid, values)
         return self.get_buffer(oid)
 
     def delete(self, oid: Oid) -> None:
         self._store.get(oid)  # raises ObjectNotFoundError if absent
         self._store.delete(oid)
-        self.indexes.on_delete(oid)
 
     def exists(self, oid: Oid) -> bool:
         snapshot = self._current_snapshot()

@@ -305,6 +305,16 @@ class ObjectStore:
         # both paths so a subscriber sees every published commit.
         self._replication_listeners: List[
             Callable[[int, List[WalRecord]], None]] = []
+        # Derived-structure maintenance (attribute indexes, statistics).
+        # Apply listeners run INSIDE the commit path — under the store
+        # lock, after the pages are applied, before the epoch publishes
+        # — so they can stamp the commit's epoch on their own updates
+        # before any reader can see it.  Rebuild listeners run after
+        # wholesale state replacement (recovery, replica resync), when
+        # incremental deltas are no longer trustworthy.
+        self._apply_listeners: List[Callable[
+            [int, Dict[Oid, Optional[bytes]], Dict[Oid, bool]], None]] = []
+        self._rebuild_listeners: List[Callable[[], None]] = []
         self._rebuild_from_pages(purge=self._redo_oids())
         self._recover_from_wal()
         self._rebuild_members()
@@ -612,12 +622,21 @@ class ObjectStore:
                     f"commit epoch {epoch} overtaken by store recovery")
             self._gate("store.commit.apply")
             preimages = self._capture_preimages(effects)
+            existed = {oid: oid in self._table for oid in effects}
             for oid, payload in effects.items():
                 if payload is None:
                     if oid in self._table:
                         self._delete_from_pages(oid)
                 else:
                     self._put_to_pages(oid, payload)
+            # Index maintenance rides the commit blob: same durability
+            # (the WAL already holds the whole unit), same crash matrix
+            # (the gate), same atomicity (a failure here fails the
+            # commit, recovery rebuilds pages AND indexes from the log).
+            # Crossed even with no listeners registered so the torture
+            # workload covers the site unconditionally.
+            self._gate("store.commit.index")
+            self._notify_apply(epoch, effects, existed)
             self._gate("store.commit.publish")
             self._publish_epoch(epoch, effects, preimages)
             self._gate("store.commit.checkpoint")
@@ -674,6 +693,43 @@ class ObjectStore:
                 entry for entry in self._replication_listeners
                 if entry is not listener
             ]
+
+    # -- derived state (secondary indexes): apply/rebuild listeners --------------
+
+    def add_apply_listener(
+            self,
+            listener: Callable[[int, Dict[Oid, Optional[bytes]],
+                                Dict[Oid, bool]], None]) -> None:
+        """Call ``listener(epoch, effects, existed)`` inside every commit.
+
+        The listener runs under the store lock *between* the page apply
+        and the epoch publish — both on the local commit path and on
+        :meth:`apply_replicated` — so derived structures (secondary
+        indexes) update atomically with the commit blob: a reader that
+        can see epoch N's data can see epoch N's index entries, and
+        vice versa.  ``existed`` maps each affected OID to whether it
+        was present before this commit (the delta signal for
+        cardinality statistics).
+        """
+        with self._lock:
+            self._apply_listeners.append(listener)
+
+    def add_rebuild_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener()`` whenever the store's contents are rebuilt
+        wholesale (crash recovery, snapshot resync) and incremental
+        derived state must be re-derived from the recovered truth."""
+        with self._lock:
+            self._rebuild_listeners.append(listener)
+
+    def _notify_apply(self, epoch: int,
+                      effects: Dict[Oid, Optional[bytes]],
+                      existed: Dict[Oid, bool]) -> None:
+        for listener in self._apply_listeners:
+            listener(epoch, effects, existed)
+
+    def _notify_rebuild(self) -> None:
+        for listener in self._rebuild_listeners:
+            listener()
 
     def replication_units(
             self, after_epoch: int,
@@ -736,13 +792,30 @@ class ObjectStore:
             for epoch, frames in fresh:
                 effects = self._unit_effects(frames)
                 preimages = self._capture_preimages(effects)
+                existed = {oid: oid in self._table for oid in effects}
                 for oid, payload in effects.items():
                     if payload is None:
                         if oid in self._table:
                             self._delete_from_pages(oid)
                     else:
                         self._put_to_pages(oid, payload)
+                # Replica-side index maintenance: the same hook the
+                # primary's commit path runs, at the primary's epoch,
+                # before the epoch publishes — a replica-local probe at
+                # a pinned epoch answers exactly like the primary's.
+                self._gate("store.commit.index")
+                index_ok = True
+                try:
+                    self._notify_apply(epoch, effects, existed)
+                except Exception:
+                    # Derived state only: do not wedge replication on a
+                    # listener bug.  Rebuilt from committed state below,
+                    # after the unit's epoch is published.
+                    index_ok = False
+                    get_registry().counter("store.index.apply_errors").inc()
                 self._publish_epoch(epoch, effects, preimages)
+                if not index_ok:
+                    self._notify_rebuild()
                 if epoch > self._epoch_minted:
                     self._epoch_minted = epoch
                 for listener in self._replication_listeners:
@@ -787,6 +860,7 @@ class ObjectStore:
                 self._m_versions_live.set(0)
                 self._epoch = epoch
             self._rebuild_members()
+            self._notify_rebuild()
             if epoch > self._epoch_minted:
                 self._epoch_minted = epoch
             self._wal.checkpoint(epoch)
@@ -852,6 +926,7 @@ class ObjectStore:
                     self._mvcc.clear()
                     self._m_versions_live.set(0)
                 self._rebuild_members()
+                self._notify_rebuild()
                 return
             except StorageError as exc:
                 last = exc
@@ -875,6 +950,24 @@ class ObjectStore:
     def epoch(self) -> int:
         """The last published commit epoch (0 on a fresh store)."""
         return self._epoch
+
+    @property
+    def watermark(self) -> int:
+        """The oldest epoch any live snapshot can still observe.
+
+        Versions retired at or before this epoch are invisible to every
+        current and future reader; derived structures (index entries,
+        version chains) may discard them.
+        """
+        with self._mvcc_lock:
+            return min(self._pins) if self._pins else self._epoch
+
+    @property
+    def lock(self):
+        """The store's commit/structure lock, for callers that must keep
+        a multi-step read of store state consistent (e.g. an index
+        rebuild that scans a cluster and stamps ``built_epoch``)."""
+        return self._lock
 
     def snapshot(self) -> Snapshot:
         """Pin the current epoch and return a consistent read view."""

@@ -32,6 +32,7 @@ from repro.ode.database import (
     CATALOG_FILE,
     DISPLAY_DIR,
     ICON_FILE,
+    INDEXES_FILE,
     Database,
 )
 from repro.repl.feed import units_from_wire
@@ -65,6 +66,14 @@ def bootstrap_replica(root: Union[str, Path], name: str,
     display_dir.mkdir(exist_ok=True)
     for filename, source in reply["modules"].items():
         (display_dir / filename).write_text(source, encoding="utf-8")
+    # The primary's index definitions, written BEFORE the open: the
+    # open builds these indexes, and the applier's commit-driven
+    # maintenance keeps them current at the primary's epochs — so a
+    # replica-local probe answers exactly like the primary's.
+    definitions = [[str(c), str(a)] for c, a in reply.get("indexes", [])]
+    if definitions:
+        with open(directory / INDEXES_FILE, "w", encoding="utf-8") as fh:
+            json.dump(definitions, fh, indent=2)
     database = Database.open(directory)
     try:
         database.store.install_replicated(

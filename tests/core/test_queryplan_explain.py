@@ -1,0 +1,171 @@
+"""Planner regression battery: seeded statistics drive the plan.
+
+Each test pins the :class:`StatisticsCatalog` with a fixture
+(`seed()` beats observed numbers until `unseed()`) and asserts the
+exact access path the cost model must choose — probe-wins, scan-wins,
+and the break-even tie — plus the EXPLAIN text those decisions render.
+
+Cost arithmetic under test (module constants in queryplan):
+
+    cost(scan)  = cardinality * 1.0
+    cost(probe) = 2.0 + estimated_rows * 2.0
+
+with ``estimated_rows = rows / distinct`` for an equality and numeric
+min/max interpolation for a range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queryplan import SelectionPlanner
+from repro.ode.opp.parser import parse_expression
+
+
+@pytest.fixture
+def planner(lab_db):
+    lab_db.objects.indexes.create_index("employee", "id")
+    try:
+        yield SelectionPlanner(lab_db)
+    finally:
+        lab_db.objects.statistics.unseed()
+
+
+def _plan(planner, source, force=None):
+    return planner.plan("employee", parse_expression(source), force=force)
+
+
+class TestCostDecisions:
+    def test_probe_wins_on_selective_equality(self, lab_db, planner):
+        # 10 of 10000 rows expected: probe cost 22 obliterates scan 10000.
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1000}})
+        plan = _plan(planner, "id == 7")
+        assert plan.access == "index-eq"
+        assert plan.index_attribute == "id"
+        assert plan.estimated_rows == pytest.approx(10.0)
+        assert plan.estimated_cost == pytest.approx(22.0)
+        assert plan.scan_cost == pytest.approx(10000.0)
+        assert "probe cost 22.0 < scan cost 10000.0" in plan.reason
+
+    def test_scan_wins_on_unselective_equality(self, lab_db, planner):
+        # Every row shares one key: the probe would fetch the whole
+        # cluster at double the per-row price.
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1}})
+        plan = _plan(planner, "id == 7")
+        assert plan.access == "scan"
+        assert "scan is cheaper (probe cost 20002.0 >= scan cost 10000.0)" \
+            in plan.reason
+
+    def test_break_even_goes_to_scan(self, lab_db, planner):
+        # probe = 2 + 20*2 = 42 exactly equals scan = 42: ties go to the
+        # sequential sweep (>=, never flapping on equal estimates).
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=42,
+            attributes={"id": {"rows": 40, "distinct": 2}})
+        plan = _plan(planner, "id == 7")
+        assert plan.access == "scan"
+        assert "probe cost 42.0 >= scan cost 42.0" in plan.reason
+
+    def test_force_index_overrides_the_model(self, lab_db, planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1}})
+        plan = _plan(planner, "id == 7", force="index")
+        assert plan.access == "index-eq"
+        assert plan.reason == "forced index probe"
+
+    def test_force_scan_never_probes(self, lab_db, planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1000}})
+        plan = _plan(planner, "id == 7", force="scan")
+        assert plan.access == "scan"
+        assert plan.reason == "forced scan"
+
+    def test_range_interpolation_switches_probe_to_scan(self, lab_db,
+                                                        planner):
+        # Observed domain id in [0, 99] over 1000 rows.  ``id < 5``
+        # interpolates to ~5% (probe), ``id < 95`` to ~96% (scan): the
+        # same query shape flips on the literal alone.
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=1000,
+            attributes={"id": {"rows": 1000, "distinct": 100,
+                               "min_key": (2, 0), "max_key": (2, 99)}})
+        narrow = _plan(planner, "id < 5")
+        assert narrow.access == "index-range"
+        assert narrow.estimated_rows < 100
+        assert narrow.estimated_cost < narrow.scan_cost
+        wide = _plan(planner, "id < 95")
+        assert wide.access == "scan"
+        assert "scan is cheaper" in wide.reason
+
+    def test_unseed_restores_live_statistics(self, lab_db, planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1}})
+        assert _plan(planner, "id == 7").access == "scan"
+        lab_db.objects.statistics.unseed("employee")
+        # Live lab data: 55 rows, all ids distinct — the probe wins.
+        plan = _plan(planner, "id == 7")
+        assert plan.access == "index-eq"
+        assert plan.cardinality == 55
+
+    def test_equality_beats_range_when_both_are_probeable(self, lab_db,
+                                                          planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=1000,
+            attributes={"id": {"rows": 1000, "distinct": 100,
+                               "min_key": (2, 0), "max_key": (2, 99)}})
+        plan = _plan(planner, "id >= 7 && id == 7")
+        assert plan.access == "index-eq"
+        # The range conjunct survives as the residual filter.
+        assert plan.residual is not None
+
+
+class TestExplainRendering:
+    def test_probe_explain_names_index_rows_and_costs(self, lab_db,
+                                                      planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1000}})
+        text = _plan(planner, 'id == 7 && name != "x"').explain()
+        assert "select from cluster 'employee'" in text
+        assert "index-eq probe on employee.id" in text
+        assert "estimated rows: 10.0 of 10000" in text
+        assert "cost 22.0 vs scan 10000.0" in text
+        assert 'filter: name != "x"' in text
+        assert "epoch: head" in text
+
+    def test_scan_explain_names_cost_and_reason(self, lab_db, planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=10000,
+            attributes={"id": {"rows": 10000, "distinct": 1}})
+        text = _plan(planner, "id == 7").explain()
+        assert "access: full cluster scan" in text
+        assert "estimated rows: 10000 of 10000 (cost 10000.0)" in text
+        assert "reason: scan is cheaper" in text
+
+    def test_last_explain_lands_on_the_statistics_catalog(self, lab_db,
+                                                          planner):
+        stats = lab_db.objects.statistics
+        plan = _plan(planner, "id == 7")
+        assert stats.last_explain == plan.explain()
+        _plan(planner, "id == 9", force="scan")
+        assert "full cluster scan" in stats.last_explain
+
+    def test_statistics_window_rows_show_seeded_stats(self, lab_db,
+                                                      planner):
+        lab_db.objects.statistics.seed(
+            "employee", cardinality=123,
+            attributes={"id": {"rows": 123, "distinct": 41}})
+        rows = dict(lab_db.objects.statistics.describe_rows())
+        assert rows["stats employee.id"] == "123 rows, 41 distinct (seed)"
+
+    def test_pinned_plan_reports_its_epoch(self, lab_db, planner):
+        with lab_db.objects.pinned() as snapshot:
+            text = _plan(planner, "id == 7").explain()
+        assert f"epoch: pinned @ {snapshot.epoch}" in text

@@ -1,0 +1,189 @@
+"""The index-apply crash matrix.
+
+Secondary indexes are maintained inside the commit pipeline (gate site
+``store.commit.index`` sits between the page apply and the epoch
+publish), so every storage gate crossing during an indexed commit is a
+place where a crash could strand an index that disagrees with its base
+cluster.  This matrix kills the database at every such crossing —
+torn/lost/skipped write, seeded — reopens without a gate, and asserts
+the one invariant commit-driven maintenance promises: **after recovery
+the index agrees exactly with the recovered base data**, no matter
+which side of the crash the transaction landed on.
+
+Unlike the storage torture matrix there is no acceptable-states model
+to check against: :meth:`IndexManager.verify_against` compares the
+index to whatever cluster content actually survived, which is the
+whole contract.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+
+import pytest
+
+from repro.data.labdb import make_lab_database
+from repro.faultsim.harness import crash_store
+from repro.faultsim.plan import (
+    CountingGate,
+    CrashSchedule,
+    SimulatedCrash,
+    derive_seed,
+)
+from repro.ode.database import Database
+from repro.ode.oid import Oid
+
+DEFAULT_SEEDS = [0]
+
+#: Autocommit steps per schedule; each one is a full indexed commit, so
+#: this bounds the size of the crash matrix (one run per gate crossing).
+WORKLOAD_STEPS = 5
+
+
+def _schedule(seed: int, steps: int = WORKLOAD_STEPS):
+    """A seeded mix of creates, overwrites and deletes over employee
+    numbers that partly exist (the lab db seeds 0..54) and partly
+    don't — values stay >= 0 for the schema's ``id >= 0`` constraint."""
+    rng = random.Random(derive_seed(seed, "index-workload"))
+    return [(rng.randint(0, 1), rng.randrange(0, 70), rng.randrange(0, 70))
+            for _ in range(steps)]
+
+
+def _die(database, exc: SimulatedCrash) -> None:
+    """Finish the simulated process death.
+
+    :func:`crash_store` drops the unflushed buffers; a real ``kill -9``
+    would also vacate the single-writer lock (a dead pid's lock file is
+    stolen on the next open, and the per-process open-set dies with the
+    process) — in-process we must vacate it by hand or the reopen is
+    refused.
+    """
+    crash_store(database.store if database is not None else None, exc)
+    if database is not None:
+        database._release_lock()
+
+
+def _apply(database: Database, schedule) -> None:
+    objects = database.objects
+    for kind, number, value in schedule:
+        oid = Oid(database.name, "employee", number)
+        if kind == 0:
+            if objects.exists(oid):
+                objects.update(oid, {"id": value})
+            else:
+                objects.new_object("employee", {"id": value}, oid=oid)
+        elif objects.exists(oid):
+            objects.delete(oid)
+
+
+def _verify_index_matches_cluster(directory, context: str) -> None:
+    """Reopen without a gate and hold the index to its base cluster."""
+    reopened = Database.open(directory)
+    try:
+        members = [(buffer.oid.number, buffer.values["id"])
+                   for buffer in reopened.objects.select(
+                       "employee", lambda _buffer: True)]
+        problems = reopened.objects.indexes.verify_against(
+            "employee", "id", members)
+        assert not problems, f"{context}: " + "; ".join(problems)
+        # And the recovered index must still answer: a fresh indexed
+        # commit round-trips through probe and scan alike.
+        oid = reopened.objects.new_object("employee", {"id": 999})
+        index = reopened.objects.indexes.get("employee", "id")
+        assert oid.number in set(index.equal(999)), (
+            f"{context}: reopened index missed a fresh commit")
+        reopened.objects.delete(oid)
+        assert oid.number not in set(index.equal(999)), (
+            f"{context}: reopened index kept a deleted object")
+    finally:
+        reopened.close()
+
+
+def _template(tmp_path):
+    """One lab database with an index, built once and cloned per run."""
+    database = make_lab_database(tmp_path / "template")
+    # The Database-level create persists the definition, so every
+    # post-crash reopen rebuilds the index before we check it.
+    database.create_index("employee", "id")
+    database.close()
+    return database.directory
+
+
+@pytest.mark.parametrize("seed", DEFAULT_SEEDS)
+def test_index_agrees_with_cluster_after_every_crash_point(tmp_path, seed):
+    source = _template(tmp_path)
+    schedule = _schedule(seed)
+
+    # Pass 1: the same workload over an armed-but-silent gate enumerates
+    # the schedule space.  The index-apply site must be on it — if the
+    # commit pipeline stopped crossing it, this matrix would silently
+    # stop testing index recovery.
+    gate = CountingGate()
+    # The database name is the directory name, and stored OIDs
+    # embed it — every clone must keep the template's "lab.odb" leaf
+    # or the reopened manager builds OIDs for a database that is not
+    # on disk.
+    enum_dir = tmp_path / "enumerate" / "lab.odb" / "lab.odb"
+    shutil.copytree(source, enum_dir)
+    database = Database.open(enum_dir, fault_gate=gate)
+    _apply(database, schedule)
+    database.close()
+    assert "store.commit.index" in gate.calls, (
+        f"seed={seed}: indexed commits never crossed store.commit.index")
+
+    for crash_at in range(len(gate.calls)):
+        directory = tmp_path / f"crash{crash_at}" / "lab.odb"
+        shutil.copytree(source, directory)
+        crash = CrashSchedule(crash_at, seed)
+        database = None
+        fired = True
+        try:
+            database = Database.open(directory, fault_gate=crash)
+            _apply(database, schedule)
+            database.close()
+            fired = False
+        except SimulatedCrash as exc:
+            _die(database, exc)
+        assert fired, (
+            f"seed={seed} crash_at={crash_at}: schedule never fired "
+            f"(pass 1 saw {len(gate.calls)} calls)")
+        site = crash.fired[0] if crash.fired else "-"
+        _verify_index_matches_cluster(
+            directory, f"seed={seed} crash_at={crash_at} site={site}")
+
+
+def test_crash_exactly_at_the_index_apply_site(tmp_path):
+    """The headline schedule, pinned: die *at* ``store.commit.index`` —
+    pages applied, index not yet — and recover to exact agreement."""
+    seed = DEFAULT_SEEDS[0]
+    source = _template(tmp_path)
+    schedule = _schedule(seed)
+
+    gate = CountingGate()
+    enum_dir = tmp_path / "enumerate" / "lab.odb"
+    shutil.copytree(source, enum_dir)
+    database = Database.open(enum_dir, fault_gate=gate)
+    _apply(database, schedule)
+    database.close()
+    index_crossings = [call_index for call_index, site
+                       in enumerate(gate.calls)
+                       if site == "store.commit.index"]
+    assert index_crossings
+
+    for crash_at in index_crossings:
+        directory = tmp_path / f"at-index-{crash_at}" / "lab.odb"
+        shutil.copytree(source, directory)
+        crash = CrashSchedule(crash_at, seed)
+        database = None
+        try:
+            database = Database.open(directory, fault_gate=crash)
+            _apply(database, schedule)
+            database.close()
+            raise AssertionError(f"crash_at={crash_at} never fired")
+        except SimulatedCrash as exc:
+            _die(database, exc)
+        assert crash.fired is not None
+        assert crash.fired[0] == "store.commit.index"
+        _verify_index_matches_cluster(
+            directory, f"crash at store.commit.index (call {crash_at})")
