@@ -23,6 +23,7 @@ from repro.cdc.router import (
 from repro.cdc.subscription import ChangeEvent, Subscription
 from repro.cdc.summary import (
     ChangeSummary,
+    merge_summaries,
     summarize_unit,
     summary_from_wire,
     summary_to_wire,
@@ -36,6 +37,7 @@ __all__ = [
     "ChangeSummary",
     "SubscriberPump",
     "Subscription",
+    "merge_summaries",
     "summarize_unit",
     "summary_from_wire",
     "summary_to_wire",

@@ -27,11 +27,12 @@ path:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.obs import get_registry
-from repro.cdc.summary import ChangeSummary, summarize_unit
+from repro.cdc.summary import ChangeSummary, merge_summaries, summarize_unit
 
 #: Summaries a subscriber may fall behind before its queue coalesces
 #: into a single resync event.
@@ -61,8 +62,29 @@ class CdcSubscriber:
         self._queue: deque = deque()
         self._resync_from: Optional[int] = None
         self._closed = False
+        self._notify_cb: Optional[Callable[[], None]] = None
         self.delivered = 0
         self.coalesced = 0
+
+    def set_notifier(self, notify: Optional[Callable[[], None]]) -> None:
+        """Register a wakeup callback fired after every enqueue and on
+        close.
+
+        This is how the event-loop server parks without a thread: the
+        callback (``loop.call_soon_threadsafe`` setting an event) runs
+        on the committer's thread, so it must be cheap and must not
+        raise — exceptions are swallowed, a lost wakeup is not.
+        """
+        with self._cond:
+            self._notify_cb = notify
+
+    def _fire_notifier(self) -> None:
+        cb = self._notify_cb
+        if cb is not None:
+            try:
+                cb()
+            except Exception:
+                get_registry().counter("cdc.notify_errors").inc()
 
     # -- commit path -------------------------------------------------------------
 
@@ -92,6 +114,7 @@ class CdcSubscriber:
             else:
                 self._queue.append(narrowed)
             self._cond.notify_all()
+        self._fire_notifier()
         return True
 
     # -- pump path ---------------------------------------------------------------
@@ -118,12 +141,32 @@ class CdcSubscriber:
                 if not self._cond.wait(timeout):
                     return None
 
+    def drain(self) -> List[ChangeSummary]:
+        """Everything pending right now, without blocking.
+
+        A pending resync marker outranks the queue, exactly as in
+        :meth:`take`; the queue behind it was already cleared when the
+        marker formed, so the marker is the whole batch.  This is the
+        batching pump's bulk form of ``take``.
+        """
+        with self._cond:
+            if self._resync_from is not None:
+                epoch = self._resync_from
+                self._resync_from = None
+                self.delivered += 1
+                return [ChangeSummary(epoch=epoch, resync=True)]
+            batch = list(self._queue)
+            self._queue.clear()
+            self.delivered += len(batch)
+            return batch
+
     def close(self) -> None:
         with self._cond:
             self._closed = True
             self._queue.clear()
             self._resync_from = None
             self._cond.notify_all()
+        self._fire_notifier()
 
     @property
     def closed(self) -> bool:
@@ -150,7 +193,10 @@ class ChangeRouter:
         self._m_enqueued = registry.counter("cdc.enqueued")
         self._m_coalesced = registry.counter("cdc.coalesced")
         self._g_subscribers = registry.gauge("cdc.subscribers")
-        store.subscribe_commits(self._on_commit)
+        # One bound-method object, kept: the store unsubscribes by
+        # identity, and each ``self._on_commit`` access mints a fresh one.
+        self._listener = self._on_commit
+        store.subscribe_commits(self._listener)
 
     # -- the commit hook ---------------------------------------------------------
 
@@ -198,7 +244,7 @@ class ChangeRouter:
         """Detach from the store and drop every subscriber."""
         unsubscribe = getattr(self._store, "unsubscribe_commits", None)
         if callable(unsubscribe):
-            unsubscribe(self._on_commit)
+            unsubscribe(self._listener)
         with self._lock:
             subscribers = list(self._subscribers.values())
             self._subscribers.clear()
@@ -226,28 +272,50 @@ class SubscriberPump(threading.Thread):
     consumer is gone: the pump reports it via ``on_failure`` (which
     unregisters the subscriber) and exits — the commit path never even
     notices.
+
+    The pump parks on the subscriber's condition variable (``close``
+    wakes it) — no recv-poll-style idle timeout, an idle pump costs
+    zero wakeups.  With ``flush_seconds`` set, the pump batches: after
+    the first event of a burst it sleeps one flush tick, then drains
+    the whole backlog and ships it merged as a single frame
+    (:func:`~repro.cdc.summary.merge_summaries` — no epoch is skipped,
+    the union invalidates everything the burst touched at the newest
+    epoch).  ``flush_seconds=None`` (the default) preserves exact
+    one-frame-per-commit delivery.
     """
 
     def __init__(self, subscriber: CdcSubscriber,
                  send: Callable[[ChangeSummary], None],
-                 on_failure: Optional[Callable[[], None]] = None):
+                 on_failure: Optional[Callable[[], None]] = None,
+                 flush_seconds: Optional[float] = None):
         super().__init__(
             name=f"cdc-pump-{subscriber.db_name}-{subscriber.sub_id}",
             daemon=True)
         self.subscriber = subscriber
         self._send = send
         self._on_failure = on_failure
-        self._m_send_errors = get_registry().counter("cdc.send_errors")
+        self.flush_seconds = flush_seconds
+        registry = get_registry()
+        self._m_send_errors = registry.counter("cdc.send_errors")
+        self._m_batch_events = registry.counter("cdc.batch.events_in")
+        self._m_batch_frames = registry.counter("cdc.batch.frames_out")
+        self._m_batch_merged = registry.counter("cdc.batch.merged")
 
     def run(self) -> None:
         while True:
-            summary = self.subscriber.take(timeout=0.5)
+            summary = self.subscriber.take(timeout=None)
             if summary is None:
                 if self.subscriber.closed:
                     return
                 continue
+            if self.flush_seconds is None:
+                batch = [summary]
+            else:
+                if self.flush_seconds > 0.0:
+                    time.sleep(self.flush_seconds)  # let the burst land
+                batch = [summary, *self.subscriber.drain()]
             try:
-                self._send(summary)
+                self._send(merge_summaries(batch))
             except Exception:
                 self._m_send_errors.inc()
                 self.subscriber.close()
@@ -257,3 +325,7 @@ class SubscriberPump(threading.Thread):
                     except Exception:
                         get_registry().counter("net.teardown_error").inc()
                 return
+            self._m_batch_events.inc(len(batch))
+            self._m_batch_frames.inc()
+            if len(batch) > 1:
+                self._m_batch_merged.inc(len(batch) - 1)

@@ -38,6 +38,9 @@ Besides the REPL, two network entry points::
 
   python -m repro serve <root> [host] [port]    host databases over TCP
       [--replica-of host:port]                  ... as a read replica
+      [--io-model async|threaded]               event-loop (default) or
+                                                thread-per-connection core
+      [--cdc-flush-ms N]                        batch CDC pushes per tick
   python -m repro connect <host> <port> <db>    browse a served database
   python -m repro connect <host> <port> <db> --follow [cluster,...]
                                                 tail the change feed (CDC)
@@ -372,7 +375,8 @@ class OdeViewCli:
 
 
 def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
-    """``python -m repro serve <root> [host] [port] [--replica-of host:port]``."""
+    """``python -m repro serve <root> [host] [port] [--replica-of host:port]
+    [--io-model async|threaded] [--cdc-flush-ms N]``."""
     from repro.net.server import OdeServer
 
     replica_of = None
@@ -386,14 +390,35 @@ def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
             print("--replica-of needs host:port", file=sys.stderr)
             return 2
         argv = argv[:index] + argv[index + 2:]
+    io_model = None
+    if "--io-model" in argv:
+        index = argv.index("--io-model")
+        try:
+            io_model = argv[index + 1]
+        except IndexError:
+            print("--io-model needs 'async' or 'threaded'", file=sys.stderr)
+            return 2
+        argv = argv[:index] + argv[index + 2:]
+    cdc_flush_seconds = None
+    if "--cdc-flush-ms" in argv:
+        index = argv.index("--cdc-flush-ms")
+        try:
+            cdc_flush_seconds = float(argv[index + 1]) / 1000.0
+        except (IndexError, ValueError):
+            print("--cdc-flush-ms needs a number", file=sys.stderr)
+            return 2
+        argv = argv[:index] + argv[index + 2:]
     if not argv:
         print("usage: python -m repro serve <root> [host] [port] "
-              "[--replica-of host:port]", file=sys.stderr)
+              "[--replica-of host:port] [--io-model async|threaded] "
+              "[--cdc-flush-ms N]", file=sys.stderr)
         return 2
     root = argv[0]
     host = argv[1] if len(argv) > 1 else "127.0.0.1"
     port = int(argv[2]) if len(argv) > 2 else 6455  # 'Ode' on a phone pad
-    server = OdeServer(root, host=host, port=port, replica_of=replica_of)
+    server = OdeServer(root, host=host, port=port, replica_of=replica_of,
+                       io_model=io_model,
+                       cdc_flush_seconds=cdc_flush_seconds)
     server.start()
     print(f"serving {', '.join(server.database_names())} "
           f"on {host}:{server.port} as {server.role} (ctrl-c to stop)")

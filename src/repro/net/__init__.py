@@ -7,7 +7,10 @@ reproduction the same shape over a real network boundary:
 * :mod:`repro.net.protocol` — a length-prefixed binary wire protocol
   (request id, opcode, CRC) whose payloads are
   :mod:`repro.ode.codec` values;
-* :mod:`repro.net.server` — :class:`OdeServer`, a threaded socket server
+* :mod:`repro.net.server` / :mod:`repro.net.aserver` — the
+  :func:`OdeServer` factory and its two I/O cores: the default
+  event-loop :class:`AsyncOdeServer` and the legacy
+  :class:`ThreadedOdeServer` baseline (``io_model="threaded"``), both
   hosting one or more databases with concurrent readers and serialized
   writers;
 * :mod:`repro.net.session` — the per-connection server session (the
@@ -22,13 +25,16 @@ reproduction the same shape over a real network boundary:
   network.
 """
 
+from repro.net.aserver import AsyncOdeServer
 from repro.net.client import OdeClient
 from repro.net.remote import RemoteDatabase, RemoteObjectManager
-from repro.net.server import OdeServer
+from repro.net.server import OdeServer, ThreadedOdeServer
 
 __all__ = [
+    "AsyncOdeServer",
     "OdeClient",
     "OdeServer",
     "RemoteDatabase",
     "RemoteObjectManager",
+    "ThreadedOdeServer",
 ]

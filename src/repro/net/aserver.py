@@ -1,0 +1,601 @@
+"""AsyncOdeServer: the event-loop I/O core.
+
+One ``asyncio`` loop on one background thread replaces the accept
+thread and the thread-per-connection fleet.  Connections are
+coroutines, so their cost is a file descriptor and a small heap object
+— the connection-count ceiling moves from "how many OS threads can the
+box stand" to the fd limit.
+
+Division of labour around the loop:
+
+reads
+    dispatched inline on the loop.  MVCC makes them lock-free (each
+    request pins a snapshot), so there is nothing to wait on and a hop
+    to another thread would only add latency.
+writes
+    serialized per database by an ``asyncio.Lock`` (the thread-affine
+    rw-lock cannot follow a request across executor threads) and run on
+    a small thread pool in two steps: ``write_prepare`` — overlay apply
+    plus ``commit_stage`` — under the lock, then ``commit_wait`` with
+    the lock *released*, so the loop never blocks on an fsync and
+    concurrent sessions' commits batch into one ``wal.group.sync``.
+CDC push
+    loop-native pump tasks.  The subscriber's wakeup notifier posts to
+    the loop (``call_soon_threadsafe``), the pump drains the bounded
+    queue and writes frames through the connection's serialized writer
+    — an idle subscription parks on an event and costs zero wakeups.
+replication long-poll
+    loop-native too: an ``OP_REPL_FETCH`` with nothing to stream parks
+    an ``asyncio.Event`` registered as a feed waiter instead of a
+    thread in the feed's condition variable.
+
+Backpressure is the transport's: replies and pushes go through
+``StreamWriter.drain()``, so a peer that stops reading suspends only
+its own connection's coroutines at the transport high-water mark; the
+commit path and every other connection keep moving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.cdc import CdcSubscriber, merge_summaries, summary_to_wire
+from repro.errors import NetworkError, OdeError
+from repro.net import protocol as P
+from repro.net.server import (
+    _DRAIN_SECONDS,
+    _LISTEN_BACKLOG,
+    _POLL_SECONDS,
+    ServerCore,
+)
+from repro.net.session import ServerSession
+from repro.obs import get_registry
+from repro.repl.feed import MAX_WAIT_SECONDS
+
+#: Bytes asked of the transport per reader iteration.  Large enough
+#: that a bulk reply's worth of requests arrives in few syscalls, small
+#: enough not to hoard buffers per connection.
+_READ_CHUNK = 64 * 1024
+
+#: Executor threads for the blocking slice of the write path
+#: (``write_prepare`` + ``commit_wait``) and replica snapshots.  A
+#: commit_wait parks a worker for at most one group flush — and the
+#: barrier elects one of its own waiters as leader, so progress never
+#: depends on a free worker beyond those already parked.
+_EXECUTOR_WORKERS = 16
+
+
+class _AsyncSubscription:
+    """One CDC subscription's loop-side state (queue + pump task)."""
+
+    __slots__ = ("sub_id", "db_name", "subscriber", "wake", "task")
+
+    def __init__(self, sub_id: int, db_name: str,
+                 subscriber: CdcSubscriber, wake: asyncio.Event):
+        self.sub_id = sub_id
+        self.db_name = db_name
+        self.subscriber = subscriber
+        self.wake = wake
+        self.task: Optional[asyncio.Task] = None
+
+
+class _AsyncConnection:
+    """One client connection: reader coroutine, dispatcher, pumps."""
+
+    def __init__(self, server: "AsyncOdeServer",
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, session_id: int):
+        self._server = server
+        self._reader = reader
+        self._writer = writer
+        # No rw-lock participation (thread_locks=False): writes hop
+        # executor threads, serialization is the server's asyncio lock.
+        self._session = ServerSession(server, session_id, channel=None,
+                                      thread_locks=False)
+        #: Frame writes interleave from the dispatcher and any number of
+        #: CDC pump tasks; the lock keeps them whole on the wire.
+        self._wlock = asyncio.Lock()
+        #: The per-database writer lock held across this session's open
+        #: transaction (BEGIN..COMMIT/ABORT), else None.
+        self._tx_lock: Optional[asyncio.Lock] = None
+        self._subscriptions: Dict[int, _AsyncSubscription] = {}
+        self._sub_ids = itertools.count(1)
+        self._closing = False
+        self._handling = False
+        self.task: Optional[asyncio.Task] = None
+
+    # -- reader loop -------------------------------------------------------------
+
+    async def run(self) -> None:
+        server = self._server
+        server._session_started()
+        reassembler = P.FrameReassembler()
+        try:
+            while not self._closing and not server._stopping.is_set():
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break  # peer closed; EOF, not a poll timeout
+                server._m_wakeups.inc()
+                self._handling = True
+                try:
+                    reassembler.feed(data)
+                    while True:
+                        frame = reassembler.next_frame()
+                        if frame is None:
+                            break
+                        await self._handle_frame(frame)
+                except P.ProtocolError:
+                    break  # corrupt stream: drop the connection
+                finally:
+                    self._handling = False
+        finally:
+            self._teardown()
+
+    def request_close(self) -> None:
+        """Shutdown's wind-down signal (runs on the loop, no await).
+
+        A connection mid-request finishes it — and gets its reply —
+        before the loop condition breaks; one parked in ``read`` has no
+        request in flight, so closing the transport just unparks it.
+        """
+        self._closing = True
+        if not self._handling:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+
+    def _teardown(self) -> None:
+        """Synchronous cleanup — safe even when the task was cancelled
+        (no awaits, so it cannot be re-interrupted mid-flight)."""
+        server = self._server
+        for sub in list(self._subscriptions.values()):
+            sub.subscriber.close()
+            try:
+                server.router(sub.db_name).unregister(sub.subscriber)
+            except OdeError:
+                pass  # server shutting down; the router is already gone
+            if sub.task is not None and not sub.task.done():
+                sub.task.cancel()
+        self._subscriptions.clear()
+        try:
+            self._session.close()  # aborts an open tx, drops cursor pins
+        except Exception:
+            get_registry().counter("net.teardown_error").inc()
+        if self._tx_lock is not None:
+            lock, self._tx_lock = self._tx_lock, None
+            if lock.locked():
+                lock.release()
+        server._session_finished()
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+
+    # -- frame handling ----------------------------------------------------------
+
+    async def _handle_frame(self, frame: P.Frame) -> None:
+        server = self._server
+        server._m_bytes_in.inc(frame.wire_size)
+        server._request_counter(frame.opcode).inc()
+        with server._m_request_seconds.time():
+            try:
+                result = await self._dispatch(frame.opcode, frame.payload)
+                reply_op, reply = P.OP_REPLY, result
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # marshal any failure to the client
+                server._m_errors.inc()
+                reply_op = P.OP_ERROR
+                reply = {"kind": type(exc).__name__, "message": str(exc)}
+        try:
+            sent = await self._send(frame.request_id, reply_op, reply)
+            server._m_bytes_out.inc(sent)
+        except (NetworkError, OSError, ConnectionError):
+            pass  # client vanished mid-reply; the reader loop cleans up
+
+    async def _send(self, request_id: int, opcode: int,
+                    payload: Optional[Dict[str, Any]]) -> int:
+        data = P.encode_frame(request_id, opcode, payload)
+        async with self._wlock:
+            self._writer.write(data)
+            await self._writer.drain()
+        return len(data)
+
+    async def _dispatch(self, opcode: int,
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session
+        if opcode == P.OP_CDC_SUBSCRIBE:
+            return await self._cdc_subscribe(payload)
+        if opcode == P.OP_CDC_UNSUBSCRIBE:
+            return await self._cdc_unsubscribe(payload)
+        if opcode == P.OP_REPL_FETCH:
+            return await self._repl_fetch(payload)
+        if opcode == P.OP_REPL_SNAPSHOT:
+            # A full-state copy-out: too much CPU for the loop.
+            return await asyncio.get_running_loop().run_in_executor(
+                self._server._executor, session.dispatch, opcode, payload)
+        if opcode in P.WRITE_OPCODES:
+            return await self._dispatch_write(opcode, payload)
+        # Everything else is a lock-free snapshot read (or session-local
+        # cursor work): inline on the loop, no hop.
+        return session.dispatch(opcode, payload)
+
+    # -- writes ------------------------------------------------------------------
+
+    async def _dispatch_write(self, opcode: int,
+                              payload: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session
+        loop = asyncio.get_running_loop()
+        lock = self._tx_lock
+        if lock is None:
+            hosted = session.resolve_hosted(payload)
+            lock = self._server._write_lock_for(hosted.database.name)
+            await lock.acquire()
+        staged: Optional[int] = None
+        hosted = None
+        try:
+            result, staged, hosted = await loop.run_in_executor(
+                self._server._executor, session.write_prepare, opcode,
+                payload)
+        finally:
+            if session.tx_database is not None:
+                # BEGIN (or a write inside the tx): the transaction owns
+                # the writer lock until COMMIT/ABORT or disconnect.
+                self._tx_lock = lock
+            else:
+                self._tx_lock = None
+                lock.release()
+        if staged is not None:
+            # Writer lock is down: the fsync wait happens on the shared
+            # group-commit barrier, where concurrent commits batch.
+            await loop.run_in_executor(
+                self._server._executor,
+                hosted.database.objects.commit_wait, staged)
+        result.setdefault("epoch", hosted.database.store.epoch)
+        return result
+
+    # -- replication long-poll ---------------------------------------------------
+
+    async def _repl_fetch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session
+        hosted = session.resolve_hosted(payload)
+        feed = self._server.feed(hosted.database.name)
+        after = payload.get("after", 0)
+        if not isinstance(after, int) or after < 0:
+            raise NetworkError(f"bad replication offset {after!r}")
+        max_units = int(payload.get("max", 64))
+        wait_seconds = min(
+            max(int(payload.get("wait_ms", 0)) / 1000.0, 0.0),
+            MAX_WAIT_SECONDS)
+        loop = asyncio.get_running_loop()
+        fetch = functools.partial(feed.fetch, after, max_units=max_units,
+                                  wait_seconds=0.0)
+        # In the executor, not inline: a fetch below the ring floor
+        # re-reads units from the WAL file.
+        result = await loop.run_in_executor(self._server._executor, fetch)
+        if result["units"] or wait_seconds <= 0.0:
+            return result
+        # Nothing to stream yet: park loop-natively as a feed waiter.
+        # The waiter fires on the committer's thread (and on feed
+        # close), so it only posts the event back to the loop.
+        wake = asyncio.Event()
+
+        def notify() -> None:
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:
+                pass  # loop already shut down
+
+        feed.add_waiter(notify)
+        try:
+            try:
+                await asyncio.wait_for(wake.wait(), wait_seconds)
+            except asyncio.TimeoutError:
+                pass  # empty long-poll: reply with no units
+        finally:
+            feed.remove_waiter(notify)
+        # A closed feed (server shutdown) raises a clean NetworkError
+        # here rather than leaving the poller parked past the drain.
+        return await loop.run_in_executor(self._server._executor, fetch)
+
+    # -- change-data-capture -----------------------------------------------------
+
+    async def _cdc_subscribe(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session
+        hosted = session.resolve_hosted(payload)
+        database = hosted.database
+        clusters = payload.get("clusters")
+        if clusters is not None:
+            clusters = tuple(str(c) for c in clusters)
+            for name in clusters:
+                database.schema.get_class(name)  # raises on unknown class
+        capacity = payload.get("capacity")
+        sub_id = next(self._sub_ids)
+        subscriber = CdcSubscriber(sub_id, database.name, clusters=clusters,
+                                   **({"capacity": capacity}
+                                      if isinstance(capacity, int) else {}))
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+
+        def notify() -> None:
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:
+                pass  # loop already shut down
+
+        subscriber.set_notifier(notify)
+        sub = _AsyncSubscription(sub_id, database.name, subscriber, wake)
+        router = self._server.router(database.name)
+        # Same ordering proof as the threaded path: register BEFORE
+        # reading the ack epoch, so no commit can fall between them
+        # unseen — a duplicate at/below the ack epoch is harmless.
+        router.register(subscriber)
+        epoch = database.store.epoch
+        self._subscriptions[sub_id] = sub
+        sub.task = asyncio.create_task(self._pump(sub))
+        return {"sub": sub_id, "epoch": epoch}
+
+    async def _cdc_unsubscribe(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        sub = self._subscriptions.pop(payload.get("sub"), None)
+        if sub is None:
+            return {"closed": False}
+        sub.subscriber.close()
+        try:
+            self._server.router(sub.db_name).unregister(sub.subscriber)
+        except OdeError:
+            pass
+        if sub.task is not None:
+            try:
+                await asyncio.wait_for(sub.task, timeout=2.0)
+            except asyncio.TimeoutError:
+                sub.task.cancel()
+            except Exception:
+                pass
+        return {"closed": True}
+
+    async def _pump(self, sub: _AsyncSubscription) -> None:
+        """Loop-native SubscriberPump: drain the queue, write frames.
+
+        Parks on the subscription's wake event — zero idle wakeups.
+        With the server's CDC flush tick set, a burst is merged into one
+        frame per tick (:func:`~repro.cdc.summary.merge_summaries`);
+        otherwise delivery is exactly one frame per commit.
+        """
+        registry = get_registry()
+        m_events = registry.counter("cdc.batch.events_in")
+        m_frames = registry.counter("cdc.batch.frames_out")
+        m_merged = registry.counter("cdc.batch.merged")
+        m_send_errors = registry.counter("cdc.send_errors")
+        flush = self._server.cdc_flush_seconds
+        subscriber = sub.subscriber
+        while True:
+            await sub.wake.wait()
+            sub.wake.clear()
+            if flush is not None and flush > 0.0 and not subscriber.closed:
+                await asyncio.sleep(flush)  # let the burst land
+            while True:
+                batch = subscriber.drain()
+                if not batch:
+                    break
+                if flush is None:
+                    summaries = batch
+                else:
+                    summaries = [merge_summaries(batch)]
+                    if len(batch) > 1:
+                        m_merged.inc(len(batch) - 1)
+                try:
+                    for summary in summaries:
+                        sent = await self._send(0, P.OP_CDC_EVENT, {
+                            "db": sub.db_name, "sub": sub.sub_id,
+                            **summary_to_wire(summary)})
+                        self._server._m_bytes_out.inc(sent)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    m_send_errors.inc()
+                    subscriber.close()
+                    try:
+                        self._server.router(sub.db_name).unregister(
+                            subscriber)
+                    except OdeError:
+                        pass
+                    return
+                m_events.inc(len(batch))
+                m_frames.inc(len(summaries))
+            if subscriber.closed:
+                return
+
+
+class AsyncOdeServer(ServerCore):
+    """The event-loop core: one loop thread, coroutine connections."""
+
+    def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
+                 port: int = 0, poll_seconds: float = _POLL_SECONDS,
+                 replica_of: Optional[Tuple[str, int]] = None,
+                 cdc_flush_seconds: Optional[float] = None,
+                 **database_kwargs):
+        super().__init__(root, host=host, port=port,
+                         poll_seconds=poll_seconds, replica_of=replica_of,
+                         cdc_flush_seconds=cdc_flush_seconds,
+                         **database_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._aserver: Optional[asyncio.AbstractServer] = None
+        self._port: Optional[int] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._connections: set = set()
+        self._write_locks: Dict[str, asyncio.Lock] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=_EXECUTOR_WORKERS,
+            thread_name_prefix="ode-server-exec")
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the databases, then bring the loop up on its thread.
+
+        Discovery/bootstrap runs synchronously here (same as the
+        threaded core), so a bad root or a crashed open raises in the
+        caller, not on a background thread.
+        """
+        if self._loop_thread is not None:
+            raise NetworkError("server already started")
+        if self.replica_of is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._bootstrap_from_primary()
+        self._discover()
+        if self.replica_of is not None:
+            self._start_appliers()
+        self._ready.clear()
+        self._startup_error = None
+        thread = threading.Thread(target=self._run_loop,
+                                  name="ode-server-loop", daemon=True)
+        self._loop_thread = thread
+        thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            exc = self._startup_error
+            thread.join(timeout=1.0)
+            self._loop_thread = None
+            self._loop = None
+            self._stop_appliers()
+            self._close_feeds()
+            self._close_hosted()
+            raise exc
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                server = loop.run_until_complete(asyncio.start_server(
+                    self._on_connect, self.host, self._requested_port,
+                    backlog=_LISTEN_BACKLOG))
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            self._aserver = server
+            self._port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                # Straggler tasks (cancelled pumps, dying connections)
+                # get one chance to unwind before the loop closes.
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(asyncio.gather(
+                        *pending, return_exceptions=True))
+        finally:
+            self._ready.set()
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    @property
+    def started(self) -> bool:
+        return self._loop_thread is not None
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise NetworkError("server not started")
+        return self._port
+
+    def shutdown(self, drain: float = _DRAIN_SECONDS) -> None:
+        """Stop accepting, drain in-flight requests, close databases."""
+        self._stopping.set()
+        self._stop_appliers()
+        loop, thread = self._loop, self._loop_thread
+        if loop is None or thread is None or not thread.is_alive():
+            # Never started (or the loop already died): just tear down
+            # whatever hosting state exists.
+            self._close_feeds()
+            self._close_hosted()
+            self._loop = None
+            self._loop_thread = None
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown_async(drain), loop)
+            future.result(timeout=drain + 5.0)
+        except Exception:
+            get_registry().counter("net.teardown_error").inc()
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:
+            pass  # loop already stopped
+        thread.join(timeout=drain)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._close_hosted()
+        self._loop = None
+        self._loop_thread = None
+        self._aserver = None
+
+    async def _shutdown_async(self, drain: float) -> None:
+        if self._aserver is not None:
+            self._aserver.close()
+            await self._aserver.wait_closed()
+        # Feeds first: a replication long-poll parked on a feed waiter
+        # wakes immediately with a clean error instead of riding out
+        # its wait against the drain budget.
+        self._close_feeds()
+        for conn in list(self._connections):
+            conn.request_close()
+        tasks = [conn.task for conn in list(self._connections)
+                 if conn.task is not None and not conn.task.done()]
+        if tasks:
+            _done, pending = await asyncio.wait(tasks, timeout=drain)
+            if pending:
+                # Something is parked past the drain deadline — most
+                # likely a commit_wait behind a wedged peer.  Cancel the
+                # barrier's waiters (clean GroupCommitError), then give
+                # the tasks one more beat before cancelling them.
+                self._cancel_commit_waiters()
+                _done2, still = await asyncio.wait(pending, timeout=1.0)
+                for task in still:
+                    task.cancel()
+                if still:
+                    await asyncio.wait(still, timeout=1.0)
+
+    # -- connections -------------------------------------------------------------
+
+    def _write_lock_for(self, name: str) -> asyncio.Lock:
+        # Loop-thread only, so plain dict ops need no lock.
+        lock = self._write_locks.get(name)
+        if lock is None:
+            lock = self._write_locks.setdefault(name, asyncio.Lock())
+        return lock
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        if self._stopping.is_set():
+            writer.close()
+            return
+        session_id = next(self._session_ids)
+        conn = _AsyncConnection(self, reader, writer, session_id)
+        conn.task = asyncio.current_task()
+        self._connections.add(conn)
+        try:
+            await conn.run()
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            # Includes simulated crashes from faultsim: the coordinator
+            # (GroupCommit) already recorded the damage; here it only
+            # kills this one connection, exactly like the thread it
+            # replaced.
+            get_registry().counter("net.teardown_error").inc()
+        finally:
+            self._connections.discard(conn)

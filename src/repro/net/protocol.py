@@ -215,6 +215,63 @@ def decode_frame(data: bytes) -> Tuple[Frame, int]:
     return Frame(request_id, opcode, payload), end
 
 
+class FrameReassembler:
+    """Incremental frame decoder for non-blocking readers.
+
+    The event-loop server reads whatever the socket has and feeds it
+    here; ``next_frame`` yields complete frames as they form, holding
+    partial bytes across feeds.  Unlike :func:`read_frame` there is no
+    blocking and no timeout policy — pacing belongs to the reader.
+
+    Corruption policy matches the blocking path: an oversized length
+    prefix is rejected the moment the header is visible (a 2 GiB claim
+    is treated as corruption, never as an allocation request), and a
+    CRC mismatch raises :class:`~repro.errors.ProtocolError`.  After
+    any error the stream is desynced and the connection must be
+    dropped; the reassembler makes no attempt to resynchronize.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def _check_header(self) -> Optional[int]:
+        """Claimed payload length once the header is complete, else None."""
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        length = _HEADER.unpack_from(self._buffer)[0]
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(f"frame claims {length} payload bytes")
+        return length
+
+    def feed(self, data: bytes) -> None:
+        """Buffer raw stream bytes; validates the length prefix eagerly."""
+        self._buffer.extend(data)
+        self._check_header()
+
+    def next_frame(self) -> Optional[Frame]:
+        """Pop one complete frame, or None if more bytes are needed."""
+        length = self._check_header()
+        if length is None:
+            return None
+        end = HEADER_SIZE + length
+        if len(self._buffer) < end:
+            return None
+        _length, request_id, opcode, crc = _HEADER.unpack_from(self._buffer)
+        body = bytes(self._buffer[HEADER_SIZE:end])
+        del self._buffer[:end]
+        if zlib.crc32(body) != crc:
+            raise ProtocolError("frame CRC mismatch")
+        payload, consumed = decode_value(body, 0) if length else ({}, 0)
+        if consumed != length or not isinstance(payload, dict):
+            raise ProtocolError("frame payload is not a single codec dict")
+        return Frame(request_id, opcode, payload, wire_size=end)
+
+
 # -- object-buffer marshalling --------------------------------------------------
 
 def buffer_to_value(buffer) -> Dict[str, Any]:

@@ -1,23 +1,42 @@
-"""OdeServer: a threaded socket server hosting Ode databases.
+"""OdeServer: socket servers hosting Ode databases over the wire protocol.
 
 One server process owns the databases (and therefore their directory
 locks); any number of OdeView front ends connect and browse the same
 data concurrently — the paper's multi-user premise made literal.
 
-Threading model: an accept thread plus one thread per connection.  Each
-connection gets a :class:`~repro.net.session.ServerSession`; the session
-takes the target database's read lock per request and its write lock per
-mutation (held across an open transaction), so readers run concurrently
-and writers are serialized.
+Two I/O cores share one hosting layer (:class:`ServerCore`) and one
+request dispatcher (:class:`~repro.net.session.ServerSession`):
 
-Shutdown drains gracefully: the listener closes first (no new
-connections), in-flight requests finish, then idle connections are
-closed and any open transactions aborted.
+:class:`AsyncOdeServer` (the default)
+    an ``asyncio`` event loop on one background thread.  Connections
+    are coroutines, frames reassemble incrementally from whatever the
+    socket has, snapshot reads run inline on the loop, and writes hop
+    to a small executor for the group-commit stage/wait so the loop
+    never blocks on an fsync.  Connection count is bounded by file
+    descriptors, not OS threads.
+
+:class:`ThreadedOdeServer`
+    the original accept-thread + thread-per-connection core, kept for
+    one release as the A/B baseline (``--io-model threaded``).  Each
+    connection's session takes the target database's write lock per
+    mutation; readers are lock-free either way (MVCC snapshots).
+
+``OdeServer(...)`` is a factory: it honours the ``io_model`` keyword,
+then the ``ODE_IO_MODEL`` environment variable, and defaults to the
+event-loop core — so every existing caller (tests, CLI, benchmarks)
+exercises the async server without change.
+
+Shutdown drains gracefully on both cores: the listener closes first
+(no new connections), in-flight requests finish, replication feeds
+close (unparking long-pollers with a clean error), and if connections
+fail to drain the group-commit barrier cancels its parked waiters
+rather than leaking them past the drain deadline.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 from pathlib import Path
@@ -33,12 +52,17 @@ from repro.ode.database import Database
 from repro.repl.feed import ReplicationFeed
 from repro.repl.replica import ReplicaApplier, bootstrap_replica
 
-#: How long a connection thread blocks in recv before re-checking the
-#: server's stop flag.
+#: How long a threaded connection blocks in recv before re-checking the
+#: server's stop flag.  The event-loop core has no such poll — its
+#: readers park on the selector — but keeps the knob for API parity.
 _POLL_SECONDS = 0.5
 
 #: How long shutdown waits for in-flight connection threads to drain.
 _DRAIN_SECONDS = 5.0
+
+#: Listen backlog.  Sized for the connection-count sweep: a 4096-client
+#: ramp connects in waves larger than the old backlog of 32.
+_LISTEN_BACKLOG = 512
 
 
 class PushChannel:
@@ -65,20 +89,31 @@ class PushChannel:
         return self.send(0, opcode, payload)
 
 
-class OdeServer:
-    """Serve one or more databases found under *root* over TCP."""
+class ServerCore:
+    """Everything both I/O cores share: hosting, replication, stats.
+
+    Owns the databases, their replication feeds and change routers, the
+    replica appliers, the session-id well, and the request metrics.
+    Subclasses provide the transport: ``start``, ``port``, ``shutdown``
+    and whatever moves frames.
+    """
 
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
                  port: int = 0, poll_seconds: float = _POLL_SECONDS,
                  replica_of: Optional[Tuple[str, int]] = None,
+                 cdc_flush_seconds: Optional[float] = None,
                  **database_kwargs):
         self.root = Path(root)
         self.host = host
         self._requested_port = port
-        #: Stop-flag poll interval, also the per-connection recv timeout.
-        #: Torture tests shrink it so a shutdown with stuck connections
-        #: (e.g. behind a fault proxy) drains quickly.
+        #: Stop-flag poll interval, also the threaded core's per-
+        #: connection recv timeout.  Torture tests shrink it so a
+        #: shutdown with stuck connections drains quickly.
         self.poll_seconds = poll_seconds
+        #: CDC flush tick: with a value set, each subscriber's pump
+        #: batches a burst of commits into one merged OP_CDC_EVENT per
+        #: tick.  None (the default) ships one frame per commit.
+        self.cdc_flush_seconds = cdc_flush_seconds
         #: ``(host, port)`` of the primary when serving as a read
         #: replica: databases are cloned from there at start, kept
         #: current by one applier thread each, and writes are refused.
@@ -88,13 +123,9 @@ class OdeServer:
         self._feeds: Dict[str, ReplicationFeed] = {}
         self._routers: Dict[str, ChangeRouter] = {}
         self._appliers: Dict[str, ReplicaApplier] = {}
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._threads: List[threading.Thread] = []
-        self._threads_lock = threading.Lock()
         self._stopping = threading.Event()
         # itertools.count, NOT iter(range(...)): a finite range would
-        # eventually StopIteration inside the accept loop and the server
+        # eventually StopIteration inside the accept path and the server
         # would silently stop taking connections.
         self._session_ids = itertools.count(1)
         self._active_sessions = 0
@@ -107,6 +138,9 @@ class OdeServer:
         self._m_sessions_closed = registry.counter("net.server.sessions.closed")
         self._m_errors = registry.counter("net.server.errors")
         self._m_request_seconds = registry.histogram("net.server.request_seconds")
+        #: Reader loop iterations; on an idle server this should sit
+        #: still — the "no recv-poll wakeups" contract has a test.
+        self._m_wakeups = registry.counter("net.server.wakeups")
         self._m_requests: Dict[int, object] = {}
 
     # -- database hosting --------------------------------------------------------
@@ -165,6 +199,46 @@ class OdeServer:
             self._appliers[name] = ReplicaApplier(
                 entry.database, host, port).start()
 
+    def _stop_appliers(self) -> None:
+        for applier in self._appliers.values():
+            applier.stop()
+        self._appliers.clear()
+
+    def _close_feeds(self) -> None:
+        """Close the replication feeds, unparking long-pollers cleanly."""
+        for feed in self._feeds.values():
+            feed.close()
+
+    def _cancel_commit_waiters(self) -> None:
+        """Fail parked ``commit_wait`` callers with a clean error.
+
+        The drain-deadline escape hatch: a connection wedged on the
+        group-commit barrier (e.g. behind a fault proxy) must not leak
+        past shutdown — cancelling the barrier wakes it with a typed
+        :class:`~repro.errors.GroupCommitError` instead.
+        """
+        for entry in self._hosted.values():
+            try:
+                entry.database.store.cancel_commit_waits(
+                    "server shutting down")
+            except Exception:
+                get_registry().counter("net.teardown_error").inc()
+
+    def _close_hosted(self) -> None:
+        """Tear down routers and databases (run from the caller's thread)."""
+        for router in self._routers.values():
+            router.close()
+        for entry in self._hosted.values():
+            try:
+                entry.database.close()
+            except OdeError:
+                # A simulated crash or failed recovery already tore the
+                # store down; the directory lock still gets released.
+                get_registry().counter("net.teardown_error").inc()
+        self._hosted.clear()
+        self._feeds.clear()
+        self._routers.clear()
+
     def hosted(self, name: str) -> HostedDatabase:
         entry = self._hosted.get(name)
         if entry is None:
@@ -220,6 +294,73 @@ class OdeServer:
         with self._active_lock:
             return self._active_sessions
 
+    def _session_started(self) -> None:
+        self._m_sessions_opened.inc()
+        with self._active_lock:
+            self._active_sessions += 1
+
+    def _session_finished(self) -> None:
+        with self._active_lock:
+            self._active_sessions -= 1
+        self._m_sessions_closed.inc()
+
+    def _request_counter(self, opcode: int):
+        counter = self._m_requests.get(opcode)
+        if counter is None:
+            counter = get_registry().counter(
+                f"net.server.requests.{P.opcode_name(opcode)}")
+            self._m_requests[opcode] = counter
+        return counter
+
+    # -- lifecycle (shared surface) ----------------------------------------------
+
+    def start(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def shutdown(self, drain: float = _DRAIN_SECONDS) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` is called (e.g. from a signal).
+
+        No busy poll: the stop event parks this thread.  The wait is
+        chunked only so the main thread stays promptly interruptible by
+        KeyboardInterrupt — one wakeup a minute, not two a second.
+        """
+        if not self.started:
+            self.start()
+        while not self._stopping.is_set():
+            self._stopping.wait(60.0)
+
+    @property
+    def started(self) -> bool:  # pragma: no cover - trivial override hook
+        return False
+
+    def __enter__(self) -> "ServerCore":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+
+class ThreadedOdeServer(ServerCore):
+    """The original threaded core: accept thread + thread per connection."""
+
+    def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
+                 port: int = 0, poll_seconds: float = _POLL_SECONDS,
+                 replica_of: Optional[Tuple[str, int]] = None,
+                 cdc_flush_seconds: Optional[float] = None,
+                 **database_kwargs):
+        super().__init__(root, host=host, port=port,
+                         poll_seconds=poll_seconds, replica_of=replica_of,
+                         cdc_flush_seconds=cdc_flush_seconds,
+                         **database_kwargs)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._threads_lock = threading.Lock()
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
@@ -235,7 +376,7 @@ class OdeServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
-        listener.listen(32)
+        listener.listen(_LISTEN_BACKLOG)
         listener.settimeout(self.poll_seconds)
         self._listener = listener
         self._accept_thread = threading.Thread(
@@ -243,17 +384,14 @@ class OdeServer:
         self._accept_thread.start()
 
     @property
+    def started(self) -> bool:
+        return self._accept_thread is not None
+
+    @property
     def port(self) -> int:
         if self._listener is None:
             raise NetworkError("server not started")
         return self._listener.getsockname()[1]
-
-    def serve_forever(self) -> None:
-        """Block until :meth:`shutdown` is called (e.g. from a signal)."""
-        if self._accept_thread is None:
-            self.start()
-        while not self._stopping.is_set():
-            self._stopping.wait(self.poll_seconds)
 
     def shutdown(self, drain: float = _DRAIN_SECONDS) -> None:
         """Stop accepting, let in-flight requests finish, close databases."""
@@ -263,36 +401,28 @@ class OdeServer:
                 self._listener.close()
             except OSError:
                 get_registry().counter("net.teardown_error").inc()
-        for applier in self._appliers.values():
-            applier.stop()
-        self._appliers.clear()
+        self._stop_appliers()
+        # Before joining connection threads: a fetch parked on a feed's
+        # long poll wakes immediately with a clean error instead of
+        # riding out its wait against the drain budget.
+        self._close_feeds()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=drain)
         with self._threads_lock:
             threads = list(self._threads)
         for thread in threads:
             thread.join(timeout=drain)
-        for router in self._routers.values():
-            router.close()
-        for entry in self._hosted.values():
-            try:
-                entry.database.close()
-            except OdeError:
-                # A simulated crash or failed recovery already tore the
-                # store down; the directory lock still gets released.
-                get_registry().counter("net.teardown_error").inc()
-        self._hosted.clear()
-        self._feeds.clear()
-        self._routers.clear()
+        if any(thread.is_alive() for thread in threads):
+            # Something is still parked past the drain deadline — most
+            # likely on the group-commit barrier behind a wedged peer.
+            # Cancel the waiters (clean GroupCommitError) and give the
+            # threads one more beat to exit.
+            self._cancel_commit_waiters()
+            for thread in threads:
+                thread.join(timeout=1.0)
+        self._close_hosted()
         self._listener = None
         self._accept_thread = None
-
-    def __enter__(self) -> "OdeServer":
-        self.start()
-        return self
-
-    def __exit__(self, *_exc) -> None:
-        self.shutdown()
 
     # -- connection handling -----------------------------------------------------
 
@@ -318,23 +448,20 @@ class OdeServer:
     def _serve_connection(self, conn: socket.socket, session_id: int) -> None:
         conn.settimeout(self.poll_seconds)
         session = ServerSession(self, session_id, channel=PushChannel(conn))
-        self._m_sessions_opened.inc()
-        with self._active_lock:
-            self._active_sessions += 1
+        self._session_started()
         try:
             while not self._stopping.is_set():
                 try:
                     frame = P.read_frame(conn, idle_ok=True)
                 except P.IdleTimeout:
+                    self._m_wakeups.inc()
                     continue  # no frame started; re-check the stop flag
                 except NetworkError:
                     break  # closed, stalled, or corrupt: drop the connection
                 self._handle_frame(session, frame)
         finally:
             session.close()
-            with self._active_lock:
-                self._active_sessions -= 1
-            self._m_sessions_closed.inc()
+            self._session_finished()
             try:
                 conn.close()
             except OSError:
@@ -342,12 +469,7 @@ class OdeServer:
 
     def _handle_frame(self, session: ServerSession, frame: P.Frame) -> None:
         self._m_bytes_in.inc(frame.wire_size)
-        counter = self._m_requests.get(frame.opcode)
-        if counter is None:
-            counter = get_registry().counter(
-                f"net.server.requests.{P.opcode_name(frame.opcode)}")
-            self._m_requests[frame.opcode] = counter
-        counter.inc()
+        self._request_counter(frame.opcode).inc()
         with self._m_request_seconds.time():
             try:
                 result = session.dispatch(frame.opcode, frame.payload)
@@ -363,3 +485,26 @@ class OdeServer:
             self._m_bytes_out.inc(sent)
         except NetworkError:
             pass  # client vanished mid-reply; the finally block cleans up
+
+
+def OdeServer(root: Union[str, Path], host: str = "127.0.0.1",
+              port: int = 0, io_model: Optional[str] = None,
+              **kwargs) -> ServerCore:
+    """Build a server with the selected I/O core.
+
+    Selection order: the ``io_model`` keyword, then the ``ODE_IO_MODEL``
+    environment variable, then the default (``async``).  Keeping the
+    constructor-shaped factory under the old name means every existing
+    call site — tests, fixtures, the CLI, benchmarks — runs against the
+    event-loop core unchanged, and can pin the threaded baseline with
+    one keyword or one environment variable.
+    """
+    model = (io_model or os.environ.get("ODE_IO_MODEL") or "async").lower()
+    if model in ("threaded", "thread", "threads"):
+        return ThreadedOdeServer(root, host=host, port=port, **kwargs)
+    if model in ("async", "asyncio", "loop"):
+        from repro.net.aserver import AsyncOdeServer
+
+        return AsyncOdeServer(root, host=host, port=port, **kwargs)
+    raise NetworkError(
+        f"unknown io model {model!r}; expected 'async' or 'threaded'")

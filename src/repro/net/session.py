@@ -35,6 +35,7 @@ Dispatch discipline (MVCC):
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from typing import Any, Dict, Optional, Tuple
 
@@ -65,10 +66,18 @@ class HostedDatabase:
 class ServerSession:
     """Per-connection request dispatcher."""
 
-    def __init__(self, server, session_id: int, channel=None):
+    def __init__(self, server, session_id: int, channel=None,
+                 thread_locks: bool = True):
         self.server = server
         self.session_id = session_id
         self.channel = channel  # serialized writer shared with CDC pumps
+        #: Whether writes serialize on the hosted database's thread-affine
+        #: rw-lock.  The threaded server says yes; the event-loop server
+        #: says no — its write path hops executor threads, which the
+        #: thread-affine lock forbids, so it serializes writers with a
+        #: per-database asyncio lock instead and the session skips the
+        #: rw-lock entirely.
+        self.thread_locks = thread_locks
         self._cursors: Dict[int, Tuple[str, Any]] = {}  # id -> (db, cursor)
         self._cursor_ids = itertools.count(1)
         self._tx_database: Optional[str] = None  # db holding our write lock
@@ -85,6 +94,15 @@ class ServerSession:
         if not isinstance(name, str) or not name:
             raise NetworkError("request names no database")
         return self.server.hosted(name)
+
+    def resolve_hosted(self, payload: Dict[str, Any]) -> HostedDatabase:
+        """Public face of :meth:`_hosted` for the dispatch layers."""
+        return self._hosted(payload)
+
+    @property
+    def tx_database(self) -> Optional[str]:
+        """Name of the database this session has a transaction open on."""
+        return self._tx_database
 
     @staticmethod
     def _oid(payload: Dict[str, Any], key: str = "oid") -> Oid:
@@ -119,7 +137,8 @@ class ServerSession:
                 # failed commit rolled back); nothing left to abort.
                 get_registry().counter("net.teardown_error").inc()
             finally:
-                hosted.lock.release_write()
+                if self.thread_locks:
+                    hosted.lock.release_write()
                 self._tx_database = None
 
     # -- dispatch ----------------------------------------------------------------
@@ -146,13 +165,7 @@ class ServerSession:
             return handler(self, payload)
         hosted = self._hosted(payload)
         if opcode in P.WRITE_OPCODES:
-            if self.server.is_replica:
-                primary = self.server.primary_address
-                raise ReadOnlyReplicaError(
-                    f"{hosted.database.name!r} is a read replica"
-                    + (f"; writes go to the primary at {primary}"
-                       if primary else ""))
-            return self._dispatch_write(opcode, handler, hosted, payload)
+            return self._dispatch_write(opcode, payload)
         return self._dispatch_read(handler, hosted, payload)
 
     def _dispatch_read(self, handler, hosted: HostedDatabase,
@@ -176,22 +189,101 @@ class ServerSession:
             result.setdefault("epoch", snapshot.epoch)
         return result
 
-    def _dispatch_write(self, opcode: int, handler, hosted: HostedDatabase,
+    def _dispatch_write(self, opcode: int,
                         payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The threaded write path: prepare under the rw-lock, then wait.
+
+        ``write_prepare`` covers everything up to (and including) commit
+        staging; the durability wait runs here, after the rw-lock is
+        back down, so concurrent sessions' commits batch on the shared
+        group-commit barrier.
+        """
+        result, staged, hosted = self.write_prepare(opcode, payload)
+        if staged is not None:
+            # Index maintenance is commit-driven (the store's apply
+            # listener), so a failed commit never touched an index and
+            # the store's own recovery re-derives them — nothing to
+            # clean up here beyond propagating the error.
+            hosted.database.objects.commit_wait(staged)
+        # Report the epoch after the write so the client's epoch-keyed
+        # cache learns about its own commits without an extra round trip.
+        result.setdefault("epoch", hosted.database.store.epoch)
+        return result
+
+    def _writing(self, hosted: HostedDatabase):
+        """The write-serialization guard for ``write_prepare``.
+
+        The event-loop server serializes writers per database with its
+        own asyncio lock *around* the executor hop, so under it this is
+        a no-op — the thread-affine rw-lock cannot span threads.
+        """
+        if self.thread_locks:
+            return hosted.lock.writing()
+        return contextlib.nullcontext()
+
+    def _release_tx(self, hosted: HostedDatabase) -> None:
+        self._tx_database = None
+        if self.thread_locks:
+            hosted.lock.release_write()
+
+    def write_prepare(
+            self, opcode: int, payload: Dict[str, Any],
+    ) -> Tuple[Dict[str, Any], Optional[int], HostedDatabase]:
+        """Run one write opcode up to (and including) commit staging.
+
+        Returns ``(result, staged_epoch, hosted)``.  ``staged_epoch``
+        is the epoch ``commit_stage`` minted when the op staged a
+        commit (autocommit ops, ``OP_COMMIT``), else None.  The caller
+        owns the rest of the pipeline: release whatever serializes
+        writers, then ``objects.commit_wait(staged_epoch)`` — in that
+        order, so a long fsync never blocks the next session's writes
+        and concurrent commits batch into one ``wal.group.sync``.
+
+        This split is exactly what lets the threaded and event-loop
+        servers share one write path: the cheap serialized part (overlay
+        apply + epoch mint) is here, the blocking part is the caller's.
+        """
+        hosted = self._hosted(payload)
+        if self.server.is_replica:
+            primary = self.server.primary_address
+            raise ReadOnlyReplicaError(
+                f"{hosted.database.name!r} is a read replica"
+                + (f"; writes go to the primary at {primary}"
+                   if primary else ""))
+        handler = _HANDLERS[opcode]
+        objects = hosted.database.objects
+        name = hosted.database.name
+        staged: Optional[int] = None
         if self._tx_database is not None:
-            if self._tx_database != hosted.database.name:
+            if self._tx_database != name:
                 raise TransactionError(
                     f"transaction open on {self._tx_database!r}; cannot "
-                    f"write {hosted.database.name!r}")
-            # Already the writer (reentrant); run under the held lock.
-            result = handler(self, payload)
+                    f"write {name!r}")
+            if opcode == P.OP_COMMIT:
+                # Stage under the held lock, release, wait in the caller:
+                # a long fsync blocks only this session's reply.
+                try:
+                    staged = objects.commit_stage()
+                finally:
+                    self._release_tx(hosted)
+                result = {}
+            elif opcode == P.OP_ABORT:
+                try:
+                    objects.abort()
+                finally:
+                    self._release_tx(hosted)
+                result = {}
+            else:
+                # Already the writer (reentrant); run under the held lock.
+                result = handler(self, payload)
+        elif opcode in (P.OP_COMMIT, P.OP_ABORT):
+            raise TransactionError("no transaction open on this session")
         elif opcode in _AUTOCOMMIT_OPCODES:
-            # Pipelined autocommit: the write lock covers only overlay
+            # Pipelined autocommit: the writer guard covers only overlay
             # apply + epoch mint (handler + commit_stage); the fsync
-            # happens on the shared group-commit barrier after the lock
+            # happens on the shared group-commit barrier after the guard
             # is released, so concurrent sessions' commits batch.
-            objects = hosted.database.objects
-            with hosted.lock.writing():
+            with self._writing(hosted):
                 objects.begin()
                 try:
                     result = handler(self, payload)
@@ -205,21 +297,13 @@ class ServerSession:
                     if hosted.database.store.in_transaction:
                         objects.abort()
                     raise
-            # Index maintenance is commit-driven (the store's apply
-            # listener), so a failed commit never touched an index and
-            # the store's own recovery re-derives them — nothing to
-            # clean up here beyond propagating the error.
-            objects.commit_wait(staged)
         else:
-            with hosted.lock.writing():
+            with self._writing(hosted):
                 result = handler(self, payload)
-                if self._tx_database is not None:
+                if self._tx_database is not None and self.thread_locks:
                     # BEGIN succeeded: keep the write lock until commit/abort.
                     hosted.lock.acquire_write()
-        # Report the epoch after the write so the client's epoch-keyed
-        # cache learns about its own commits without an extra round trip.
-        result.setdefault("epoch", hosted.database.store.epoch)
-        return result
+        return result, staged, hosted
 
     # -- handshake / catalog ------------------------------------------------------
 
@@ -427,31 +511,13 @@ class ServerSession:
         return {"txid": txid}
 
     def op_commit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Stage the commit under the write lock, release the lock, then
-        wait for durability on the shared barrier — so a long fsync never
-        blocks the next session's writes, only this session's reply."""
-        hosted = self._hosted(payload)
-        if self._tx_database != hosted.database.name:
-            raise TransactionError("no transaction open on this session")
-        objects = hosted.database.objects
-        try:
-            staged = objects.commit_stage()
-        finally:
-            self._tx_database = None
-            hosted.lock.release_write()
-        objects.commit_wait(staged)
-        return {}
+        # COMMIT with a transaction open is handled entirely inside
+        # write_prepare (stage under the writer guard, wait in the
+        # dispatcher); reaching the handler means there was none.
+        raise TransactionError("no transaction open on this session")
 
     def op_abort(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        hosted = self._hosted(payload)
-        if self._tx_database != hosted.database.name:
-            raise TransactionError("no transaction open on this session")
-        try:
-            hosted.database.objects.abort()
-        finally:
-            self._tx_database = None
-            hosted.lock.release_write()
-        return {}
+        raise TransactionError("no transaction open on this session")
 
     # -- server-side sequencing cursors (the object-interactor's cursor) -----------
 
@@ -585,7 +651,9 @@ class ServerSession:
             # will notice on its next read and run close() for real.
             router.unregister(subscriber)
 
-        pump = SubscriberPump(subscriber, send, on_failure=on_failure)
+        pump = SubscriberPump(
+            subscriber, send, on_failure=on_failure,
+            flush_seconds=getattr(self.server, "cdc_flush_seconds", None))
         router.register(subscriber)
         epoch = database.store.epoch  # AFTER register: no missed window
         self._subscriptions[sub_id] = (db_name, subscriber, pump)

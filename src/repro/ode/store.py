@@ -663,6 +663,12 @@ class ObjectStore:
         """Batch-size/latency behaviour of this store's commit barrier."""
         return self._commit_group.stats()
 
+    def cancel_commit_waits(self, message: str) -> None:
+        """Release every thread parked on the commit barrier with a clean
+        :class:`~repro.errors.GroupCommitError` (server shutdown path).
+        Already-durable commits are unaffected."""
+        self._commit_group.shutdown_cancel(message)
+
     # -- replication: shipping out, applying in ---------------------------------
 
     def subscribe_commits(

@@ -456,6 +456,7 @@ class GroupCommit:
         self._durable = 0
         self._leader = False
         self._dead: Optional[BaseException] = None
+        self._cancelled: Optional[str] = None
         self._failed: Dict[int, BaseException] = {}
         # per-coordinator counters for stats(); the registry mirrors are
         # process-global (shared by every store in the process)
@@ -486,6 +487,9 @@ class GroupCommit:
             if self._dead is not None:
                 raise GroupCommitError(
                     "group-commit coordinator is dead (leader crashed)")
+            if self._cancelled is not None:
+                raise GroupCommitError(
+                    f"commit group cancelled: {self._cancelled}")
             self._pending.append((epoch, frames, on_durable))
             # Wake a dallying leader, if any.  Followers do not need
             # this signal: a waiter only parks while a leader is active,
@@ -577,6 +581,26 @@ class GroupCommit:
                 self._durable = durable
             self._cond.notify_all()
 
+    def shutdown_cancel(self, message: str) -> None:
+        """Cancel every parked waiter with a clean error (server shutdown).
+
+        Commits that are already durable stay durable — their waiters
+        return normally — but anything still queued is failed with a
+        :class:`~repro.errors.GroupCommitError` naming *message*, and
+        from here on new submits and waits fail fast.  This is what lets
+        a draining server release commit-barrier waiters instead of
+        leaking their sessions past the drain deadline.
+        """
+        with self._cond:
+            self._cancelled = message
+            for epoch, _frames, _cb in self._pending:
+                if epoch > self._durable:
+                    self._failed.setdefault(epoch, GroupCommitError(
+                        f"commit epoch {epoch} cancelled: {message}"))
+            self._pending.clear()
+            self._cond.notify_all()
+            self._arrivals.notify_all()
+
     def idle(self) -> bool:
         """True when nothing is queued and no leader is flushing."""
         with self._cond:
@@ -615,6 +639,9 @@ class GroupCommit:
                     raise GroupCommitError(
                         f"group-commit leader crashed; epoch {epoch} "
                         f"outcome unknown until reopen")
+                if self._cancelled is not None:
+                    raise GroupCommitError(
+                        f"commit epoch {epoch} cancelled: {self._cancelled}")
                 if self._leader:
                     self._cond.wait(0.05)
                     continue

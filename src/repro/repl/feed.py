@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
+from repro.errors import NetworkError
 from repro.obs import get_registry
 from repro.ode.store import ObjectStore
 from repro.ode.wal import WalRecord
@@ -73,13 +74,18 @@ class ReplicationFeed:
         self._capacity = capacity
         self._cond = threading.Condition()
         self._ring: deque = deque()
+        self._closed = False
+        self._waiters: List[Callable[[], None]] = []
         # Epochs in the ring are exactly (floor, store tail]; starts at
         # the store's current epoch because nothing older was observed.
         self._floor = store.epoch
         self._m_fetches = get_registry().counter("repl.feed.fetches")
         self._m_log_reads = get_registry().counter("repl.feed.log_reads")
         self._m_resyncs = get_registry().counter("repl.feed.resyncs")
-        store.subscribe_commits(self._on_commit)
+        # One bound-method object, kept: the store unsubscribes by
+        # identity, and each ``self._on_commit`` access mints a fresh one.
+        self._listener = self._on_commit
+        store.subscribe_commits(self._listener)
 
     @property
     def floor(self) -> int:
@@ -94,6 +100,60 @@ class ReplicationFeed:
                 evicted_epoch, _frames = self._ring.popleft()
                 self._floor = evicted_epoch
             self._cond.notify_all()
+        self._fire_waiters()
+
+    # -- loop-native wakeups -----------------------------------------------------
+
+    def add_waiter(self, notify: Callable[[], None]) -> None:
+        """Register a one-shot-style wakeup hook for loop-native fetchers.
+
+        The callback fires (on the committer's thread) after every new
+        unit and when the feed closes; exceptions are swallowed so a
+        broken waiter never stalls a commit.  The event-loop server uses
+        this instead of parking a thread in the long poll.
+        """
+        with self._cond:
+            self._waiters.append(notify)
+
+    def remove_waiter(self, notify: Callable[[], None]) -> None:
+        with self._cond:
+            try:
+                self._waiters.remove(notify)
+            except ValueError:
+                pass
+
+    def _fire_waiters(self) -> None:
+        with self._cond:
+            waiters = list(self._waiters)
+        for notify in waiters:
+            try:
+                notify()
+            except Exception:
+                get_registry().counter("repl.feed.notify_errors").inc()
+
+    def close(self) -> None:
+        """Shut the feed down: detach from the store and wake everyone.
+
+        Long-pollers parked in :meth:`fetch` are released immediately
+        and observe the closed flag — they get a clean
+        :class:`~repro.errors.NetworkError`, not a silent park past the
+        server's drain deadline.
+        """
+        unsubscribe = getattr(self._store, "unsubscribe_commits", None)
+        if callable(unsubscribe):
+            try:
+                unsubscribe(self._listener)
+            except Exception:
+                pass
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._fire_waiters()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
 
     def fetch(self, after_epoch: int, max_units: int = 64,
               wait_seconds: float = 0.0) -> Dict[str, Any]:
@@ -116,10 +176,14 @@ class ReplicationFeed:
         self._m_fetches.inc()
         wait_seconds = min(max(wait_seconds, 0.0), MAX_WAIT_SECONDS)
         with self._cond:
+            if self._closed:
+                raise NetworkError("replication feed closed")
             if after_epoch >= self._floor:
                 units = [u for u in self._ring if u[0] > after_epoch]
                 if not units and wait_seconds > 0.0:
                     self._cond.wait(wait_seconds)
+                    if self._closed:
+                        raise NetworkError("replication feed closed")
                     units = [u for u in self._ring if u[0] > after_epoch]
                 return {
                     "units": units_to_wire(units[:max_units]),

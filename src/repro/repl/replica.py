@@ -43,8 +43,13 @@ DEFAULT_POLL_SECONDS = 0.5
 #: Units requested per fetch; bounds the size of one apply batch.
 FETCH_BATCH = 64
 
-#: Backoff after the primary is unreachable, before the next attempt.
+#: Initial backoff after the primary is unreachable; doubles per
+#: consecutive failure (capped) so a long primary outage costs a
+#: handful of reconnect attempts, not a steady 4 Hz retry hammer.
 RECONNECT_BACKOFF_SECONDS = 0.25
+
+#: Ceiling for the exponential reconnect backoff.
+MAX_RECONNECT_BACKOFF_SECONDS = 5.0
 
 
 def bootstrap_replica(root: Union[str, Path], name: str,
@@ -150,6 +155,7 @@ class ReplicaApplier:
     # -- the loop ---------------------------------------------------------------
 
     def _run(self) -> None:
+        backoff = RECONNECT_BACKOFF_SECONDS
         while not self._stop.is_set():
             if self._paused.is_set():
                 self._parked.set()
@@ -159,9 +165,11 @@ class ReplicaApplier:
                 return
             try:
                 self.step()
+                backoff = RECONNECT_BACKOFF_SECONDS
             except NetworkError:
                 self._m_disconnects.inc()
-                self._stop.wait(RECONNECT_BACKOFF_SECONDS)
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2.0, MAX_RECONNECT_BACKOFF_SECONDS)
             except OdeError as exc:
                 # Divergence or local storage failure: stop applying,
                 # leave the evidence for stats.  Serving reads at the

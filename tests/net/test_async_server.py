@@ -1,0 +1,247 @@
+"""The event-loop server core: selection, serialization, clean drains.
+
+``served_lab`` (the shared fixture) already runs the async core — the
+whole suite exercises it — so these tests pin down what is *specific*
+to the event loop: the factory's model selection, writer serialization
+via the per-database asyncio lock, the zero-idle-wakeup contract that
+replaced the recv-poll, and the shutdown paths that must release parked
+waiters (replication long-polls, group-commit barriers) with a typed
+error instead of leaking them past the drain deadline.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.data.labdb import make_lab_database
+from repro.errors import GroupCommitError, NetworkError, OdeError
+from repro.net import protocol as P
+from repro.net.aserver import AsyncOdeServer
+from repro.net.client import OdeClient
+from repro.net.server import OdeServer, ThreadedOdeServer
+from repro.obs import get_registry
+
+
+class TestFactorySelection:
+    def test_default_is_async(self, tmp_path):
+        make_lab_database(tmp_path).close()
+        assert isinstance(OdeServer(tmp_path), AsyncOdeServer)
+
+    def test_keyword_selects_threaded(self, tmp_path):
+        make_lab_database(tmp_path).close()
+        assert isinstance(OdeServer(tmp_path, io_model="threaded"),
+                          ThreadedOdeServer)
+
+    def test_environment_selects_model(self, tmp_path, monkeypatch):
+        make_lab_database(tmp_path).close()
+        monkeypatch.setenv("ODE_IO_MODEL", "threaded")
+        assert isinstance(OdeServer(tmp_path), ThreadedOdeServer)
+        monkeypatch.setenv("ODE_IO_MODEL", "async")
+        assert isinstance(OdeServer(tmp_path), AsyncOdeServer)
+
+    def test_unknown_model_rejected(self, tmp_path):
+        make_lab_database(tmp_path).close()
+        with pytest.raises(NetworkError, match="io model"):
+            OdeServer(tmp_path, io_model="fibers")
+
+
+def _first_employee(client) -> str:
+    numbers = client.call(
+        P.OP_CLUSTER_NUMBERS, {"db": "lab", "class": "employee"})["numbers"]
+    return f"lab:employee:{numbers[0]}"
+
+
+class TestWriterSerialization:
+    def test_transaction_blocks_other_writers_until_commit(self, served_lab):
+        """The per-database asyncio lock must hold across an explicit
+        transaction: a second connection's autocommit write parks until
+        the first commits, then lands — last writer wins."""
+        a = OdeClient("127.0.0.1", served_lab.port)
+        b = OdeClient("127.0.0.1", served_lab.port)
+        try:
+            oid = _first_employee(a)
+            a.call(P.OP_BEGIN, {"db": "lab"})
+            a.call(P.OP_UPDATE, {"db": "lab", "oid": oid,
+                                 "updates": {"name": "tx-a"}})
+            landed = []
+
+            def other_writer():
+                b.call(P.OP_UPDATE, {"db": "lab", "oid": oid,
+                                     "updates": {"name": "tx-b"}})
+                landed.append(time.monotonic())
+
+            thread = threading.Thread(target=other_writer, daemon=True)
+            thread.start()
+            time.sleep(0.3)
+            assert not landed  # parked behind the open transaction
+            a.call(P.OP_COMMIT, {"db": "lab"})
+            thread.join(timeout=5.0)
+            assert landed
+            reply = a.call(P.OP_GET_OBJECT, {"db": "lab", "oid": oid})
+            assert P.buffer_from_value(reply["buffer"]).value("name") == "tx-b"
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_autocommits_all_land(self, served_lab):
+        oid_client = OdeClient("127.0.0.1", served_lab.port)
+        numbers = oid_client.call(
+            P.OP_CLUSTER_NUMBERS,
+            {"db": "lab", "class": "employee"})["numbers"][:4]
+        before = oid_client.call(
+            P.OP_COUNT, {"db": "lab", "class": "employee"})["epoch"]
+        errors = []
+
+        def writer(number):
+            client = OdeClient("127.0.0.1", served_lab.port)
+            try:
+                for round_index in range(3):
+                    client.call(P.OP_UPDATE, {
+                        "db": "lab", "oid": f"lab:employee:{number}",
+                        "updates": {"name": f"w{number}-{round_index}"}})
+            except OdeError as exc:
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=writer, args=(n,), daemon=True)
+                   for n in numbers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        after = oid_client.call(
+            P.OP_COUNT, {"db": "lab", "class": "employee"})["epoch"]
+        assert after == before + len(numbers) * 3  # one epoch per commit
+        for number in numbers:
+            reply = oid_client.call(
+                P.OP_GET_OBJECT, {"db": "lab", "oid": f"lab:employee:{number}"})
+            assert P.buffer_from_value(
+                reply["buffer"]).value("name") == f"w{number}-2"
+        oid_client.close()
+
+
+class TestIdleCost:
+    def test_idle_async_connections_cost_zero_wakeups(self, served_lab):
+        """The recv-poll is gone: an idle connection parks on the
+        selector, so the wakeup counter must sit still."""
+        client = OdeClient("127.0.0.1", served_lab.port)
+        try:
+            client.call(P.OP_PING, {})
+            counter = get_registry().counter("net.server.wakeups")
+            before = counter.value
+            time.sleep(1.5)  # three recv-poll periods, were there any
+            assert counter.value - before == 0
+        finally:
+            client.close()
+
+    def test_threaded_baseline_still_polls(self, tmp_path):
+        """Contrast case proving the metric measures what it claims:
+        the threaded core's idle connections wake on the recv timeout."""
+        make_lab_database(tmp_path).close()
+        server = OdeServer(tmp_path, io_model="threaded", poll_seconds=0.1)
+        server.start()
+        client = OdeClient("127.0.0.1", server.port)
+        try:
+            client.call(P.OP_PING, {})
+            counter = get_registry().counter("net.server.wakeups")
+            before = counter.value
+            time.sleep(1.0)
+            assert counter.value - before >= 3
+        finally:
+            client.close()
+            server.shutdown()
+
+
+class TestTornConnections:
+    def test_half_frame_disconnect_leaves_server_healthy(self, served_lab):
+        data = P.encode_frame(1, P.OP_PING, {})
+        raw = socket.create_connection(("127.0.0.1", served_lab.port))
+        raw.sendall(data[:7])  # half a header, then vanish
+        raw.close()
+        client = OdeClient("127.0.0.1", served_lab.port)
+        try:
+            reply = client.call(P.OP_COUNT, {"db": "lab", "class": "employee"})
+            assert reply["count"] > 0
+        finally:
+            client.close()
+
+    def test_corrupt_frame_drops_only_that_connection(self, served_lab):
+        bad = bytearray(P.encode_frame(1, P.OP_PING, {"x": 1}))
+        bad[-1] ^= 0xFF  # CRC mismatch
+        raw = socket.create_connection(("127.0.0.1", served_lab.port))
+        raw.sendall(bytes(bad))
+        # The server must close this connection (no reply), not die.
+        raw.settimeout(5.0)
+        assert raw.recv(64) == b""
+        raw.close()
+        client = OdeClient("127.0.0.1", served_lab.port)
+        try:
+            assert client.call(P.OP_PING, {}) == {}
+        finally:
+            client.close()
+
+
+class TestShutdownReleasesWaiters:
+    def test_parked_long_poll_released_by_shutdown(self, tmp_path):
+        """A replication fetch parked in its long poll must come back
+        (reply or typed error) the moment the server drains — never ride
+        out its wait against the drain budget."""
+        make_lab_database(tmp_path).close()
+        server = OdeServer(tmp_path)
+        server.start()
+        client = OdeClient("127.0.0.1", server.port)
+        epoch = client.call(P.OP_COUNT, {"db": "lab",
+                                         "class": "employee"})["epoch"]
+        outcomes = []
+
+        def poller():
+            started = time.monotonic()
+            try:
+                client.call(P.OP_REPL_FETCH, {
+                    "db": "lab", "after": epoch, "wait_ms": 2000})
+                outcomes.append(("reply", time.monotonic() - started))
+            except OdeError as exc:
+                outcomes.append((type(exc).__name__,
+                                 time.monotonic() - started))
+
+        thread = threading.Thread(target=poller, daemon=True)
+        thread.start()
+        time.sleep(0.3)  # let the poll park on the feed
+        started = time.monotonic()
+        server.shutdown()
+        shutdown_seconds = time.monotonic() - started
+        thread.join(timeout=5.0)
+        client.close()
+        assert outcomes, "long-poller never returned"
+        assert shutdown_seconds < 3.0  # did not wait out drain + poll
+        assert outcomes[0][1] < 3.0
+
+    def test_cancel_commit_waits_fails_staged_commit_cleanly(self, tmp_path):
+        """The drain-deadline escape hatch: a commit staged but not yet
+        flushed is failed with a typed GroupCommitError naming the
+        shutdown, and later submits fail fast instead of parking."""
+        database = make_lab_database(tmp_path)
+        try:
+            objects = database.objects
+            oid = objects.cluster("employee").first()
+            name = objects.get_buffer(oid).value("name")
+            objects.begin()
+            objects.update(oid, {"name": name})
+            staged = objects.commit_stage()
+            database.store.cancel_commit_waits("server shutting down")
+            with pytest.raises(GroupCommitError, match="cancelled"):
+                objects.commit_wait(staged)
+            objects.begin()
+            objects.update(oid, {"name": name})
+            with pytest.raises(GroupCommitError, match="cancelled"):
+                objects.commit_stage()
+            if database.store.in_transaction:
+                objects.abort()
+        finally:
+            database.close()

@@ -1,0 +1,116 @@
+"""FrameReassembler: incremental decoding under adversarial arrival.
+
+The event-loop server feeds the reassembler whatever the transport
+hands it, so frames must survive any split the network can produce —
+one byte at a time, cut inside the header's CRC field, several frames
+glued into one read — and a hostile length prefix must be rejected from
+the header alone, before any payload is buffered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import protocol as P
+
+
+def _frame_bytes(request_id=1, opcode=P.OP_PING, payload=None):
+    return P.encode_frame(request_id, opcode,
+                          payload if payload is not None else {"x": 1})
+
+
+class TestTrickle:
+    def test_byte_at_a_time(self):
+        data = _frame_bytes(7, P.OP_GET_OBJECT, {"oid": "lab:employee:3"})
+        reassembler = P.FrameReassembler()
+        frames = []
+        for index in range(len(data)):
+            reassembler.feed(data[index:index + 1])
+            frame = reassembler.next_frame()
+            if frame is not None:
+                frames.append((index, frame))
+        assert len(frames) == 1
+        index, frame = frames[0]
+        assert index == len(data) - 1  # completes only on the last byte
+        assert frame.request_id == 7
+        assert frame.opcode == P.OP_GET_OBJECT
+        assert frame.payload == {"oid": "lab:employee:3"}
+        assert frame.wire_size == len(data)
+        assert reassembler.pending_bytes == 0
+
+    def test_split_inside_the_header_crc_field(self):
+        # Header layout is (length, request_id, opcode, crc); cutting
+        # two bytes from the end of the header splits the CRC itself.
+        data = _frame_bytes(5, P.OP_PING, {"n": 42})
+        cut = P.HEADER_SIZE - 2
+        reassembler = P.FrameReassembler()
+        reassembler.feed(data[:cut])
+        assert reassembler.next_frame() is None
+        reassembler.feed(data[cut:])
+        frame = reassembler.next_frame()
+        assert frame is not None and frame.payload == {"n": 42}
+
+    def test_back_to_back_frames_in_one_feed(self):
+        glued = (_frame_bytes(1, payload={"n": 1})
+                 + _frame_bytes(2, payload={"n": 2})
+                 + _frame_bytes(3, payload={"n": 3}))
+        reassembler = P.FrameReassembler()
+        reassembler.feed(glued)
+        payloads = []
+        while True:
+            frame = reassembler.next_frame()
+            if frame is None:
+                break
+            payloads.append(frame.payload["n"])
+        assert payloads == [1, 2, 3]
+        assert reassembler.pending_bytes == 0
+
+    def test_frame_boundary_straddles_two_feeds(self):
+        first = _frame_bytes(1, payload={"n": 1})
+        second = _frame_bytes(2, payload={"n": 2})
+        glued = first + second
+        reassembler = P.FrameReassembler()
+        reassembler.feed(glued[:len(first) + 4])  # frame 1 + a sliver of 2
+        assert reassembler.next_frame().payload == {"n": 1}
+        assert reassembler.next_frame() is None
+        reassembler.feed(glued[len(first) + 4:])
+        assert reassembler.next_frame().payload == {"n": 2}
+
+
+class TestDisconnects:
+    def test_mid_frame_disconnect_never_yields_a_frame(self):
+        data = _frame_bytes()
+        reassembler = P.FrameReassembler()
+        reassembler.feed(data[:len(data) // 2])
+        # The peer vanishes here; the partial stays visible (the server
+        # counts it as the connection's debris) and never decodes.
+        assert reassembler.next_frame() is None
+        assert 0 < reassembler.pending_bytes < len(data)
+        assert reassembler.next_frame() is None
+
+
+class TestHostileLengths:
+    def test_two_gib_length_prefix_rejected(self):
+        header = P._HEADER.pack(2 ** 31, 1, P.OP_PING, 0)
+        reassembler = P.FrameReassembler()
+        with pytest.raises(ProtocolError, match="claims"):
+            reassembler.feed(header)
+
+    def test_rejection_needs_only_the_header(self):
+        # The verdict lands as soon as the length field is whole — no
+        # payload is ever buffered for an oversized claim.
+        header = P._HEADER.pack(P.MAX_PAYLOAD + 1, 1, P.OP_PING, 0)
+        reassembler = P.FrameReassembler()
+        reassembler.feed(header[:3])  # length field still incomplete
+        assert reassembler.next_frame() is None
+        with pytest.raises(ProtocolError, match="claims"):
+            reassembler.feed(header[3:])
+
+    def test_crc_mismatch_raises(self):
+        data = bytearray(_frame_bytes())
+        data[-1] ^= 0xFF
+        reassembler = P.FrameReassembler()
+        reassembler.feed(bytes(data))
+        with pytest.raises(ProtocolError, match="CRC"):
+            reassembler.next_frame()
