@@ -38,12 +38,16 @@ Besides the REPL, two network entry points::
 
   python -m repro serve <root> [host] [port]    host databases over TCP
       [--replica-of host:port]                  ... as a read replica
+      [--replica-peers host:port,...]           failover candidates the
+                                                applier may re-home to
       [--io-model async|threaded]               event-loop (default) or
                                                 thread-per-connection core
       [--cdc-flush-ms N]                        batch CDC pushes per tick
   python -m repro connect <host> <port> <db>    browse a served database
   python -m repro connect <host> <port> <db> --follow [cluster,...]
                                                 tail the change feed (CDC)
+  python -m repro promote <host> <port>         promote a replica to
+                                                primary at the next term
 """
 
 from __future__ import annotations
@@ -376,7 +380,8 @@ class OdeViewCli:
 
 def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
     """``python -m repro serve <root> [host] [port] [--replica-of host:port]
-    [--io-model async|threaded] [--cdc-flush-ms N]``."""
+    [--replica-peers host:port,...] [--io-model async|threaded]
+    [--cdc-flush-ms N]``."""
     from repro.net.server import OdeServer
 
     replica_of = None
@@ -388,6 +393,19 @@ def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
             replica_of = (upstream_host, int(upstream_port))
         except (IndexError, ValueError):
             print("--replica-of needs host:port", file=sys.stderr)
+            return 2
+        argv = argv[:index] + argv[index + 2:]
+    replica_peers = None
+    if "--replica-peers" in argv:
+        index = argv.index("--replica-peers")
+        try:
+            replica_peers = []
+            for peer in argv[index + 1].split(","):
+                peer_host, peer_port = peer.rsplit(":", 1)
+                replica_peers.append((peer_host, int(peer_port)))
+        except (IndexError, ValueError):
+            print("--replica-peers needs host:port[,host:port...]",
+                  file=sys.stderr)
             return 2
         argv = argv[:index] + argv[index + 2:]
     io_model = None
@@ -410,14 +428,15 @@ def _main_serve(argv: List[str]) -> int:  # pragma: no cover - entry
         argv = argv[:index] + argv[index + 2:]
     if not argv:
         print("usage: python -m repro serve <root> [host] [port] "
-              "[--replica-of host:port] [--io-model async|threaded] "
-              "[--cdc-flush-ms N]", file=sys.stderr)
+              "[--replica-of host:port] [--replica-peers host:port,...] "
+              "[--io-model async|threaded] [--cdc-flush-ms N]",
+              file=sys.stderr)
         return 2
     root = argv[0]
     host = argv[1] if len(argv) > 1 else "127.0.0.1"
     port = int(argv[2]) if len(argv) > 2 else 6455  # 'Ode' on a phone pad
     server = OdeServer(root, host=host, port=port, replica_of=replica_of,
-                       io_model=io_model,
+                       replica_peers=replica_peers, io_model=io_model,
                        cdc_flush_seconds=cdc_flush_seconds)
     server.start()
     print(f"serving {', '.join(server.database_names())} "
@@ -478,6 +497,44 @@ def _follow_changes(host: str, port: int, name: str,
         database.close()
 
 
+def _main_promote(argv: List[str], out=None) -> int:
+    """``python -m repro promote <host> <port>`` — controlled failover.
+
+    Tells a running replica server to stop following its upstream,
+    durably mint the next fenced primary term in every database's WAL,
+    and start accepting writes.  Prints the new per-database terms; by
+    the time they print, the fence is on disk.
+    """
+    from repro.errors import OdeError
+    from repro.net import protocol as P
+    from repro.net.client import OdeClient
+
+    out = out if out is not None else sys.stdout
+    if len(argv) != 2:
+        print("usage: python -m repro promote <host> <port>",
+              file=sys.stderr)
+        return 2
+    host = argv[0]
+    try:
+        port = int(argv[1])
+    except ValueError:
+        print(f"port must be a number, not {argv[1]!r}", file=sys.stderr)
+        return 2
+    client = OdeClient(host, port, retries=0)
+    try:
+        reply = client.call(P.OP_REPL_PROMOTE, {})
+    except OdeError as exc:
+        print(f"promotion failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    was = reply.get("role", "replica")
+    for name, term in sorted((reply.get("terms") or {}).items()):
+        print(f"{name}: promoted to primary at term {term} (was {was})",
+              file=out, flush=True)
+    return 0
+
+
 def _main_connect(argv: List[str]) -> int:  # pragma: no cover - entry
     """``python -m repro connect <host> <port> <db> [--follow [cluster,...]]``."""
     import tempfile
@@ -517,9 +574,12 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - entry
         return _main_serve(argv[1:])
     if argv and argv[0] == "connect":
         return _main_connect(argv[1:])
+    if argv and argv[0] == "promote":
+        return _main_promote(argv[1:])
     if len(argv) != 1:
         print("usage: python -m repro <root-directory> | "
-              "serve <root> [host] [port] | connect <host> <port> <db>",
+              "serve <root> [host] [port] | connect <host> <port> <db> | "
+              "promote <host> <port>",
               file=sys.stderr)
         return 2
     cli = OdeViewCli(argv[0])

@@ -231,6 +231,18 @@ class ReplicaDivergedError(ReplicationError):
     """
 
 
+class StalePrimaryError(ReplicationError):
+    """A node claiming to be primary carries a superseded term.
+
+    Primary terms are durably minted at promotion and only ever rise;
+    a unit, snapshot, or hello stamped with a term below one this node
+    has already observed comes from a primary that was failed over
+    away from — accepting its writes (or writing through it) would
+    split-brain the cluster.  The stale node must be fenced: demoted
+    to a replica of the current-term primary and resynced.
+    """
+
+
 # ---------------------------------------------------------------------------
 # OdeView application layer
 # ---------------------------------------------------------------------------

@@ -24,6 +24,10 @@ Three layers:
   the same workload against a gated primary while a replica streams
   committed units, with the primary (and optionally the replica)
   killed mid-run and the replication contract model-checked.
+* :mod:`~repro.faultsim.promotion` — the failover torture runner: the
+  primary killed at an exact site, a chosen replica promoted under a
+  fenced term (salvaging the dead primary's acked tail), optionally the
+  old primary resurrected mid-schedule and proven fenced.
 * :mod:`~repro.faultsim.proxy` — :class:`FaultProxy`, a TCP shim
   between :class:`~repro.net.client.OdeClient` and
   :class:`~repro.net.server.OdeServer` that delays, drops, duplicates,
@@ -50,6 +54,10 @@ from repro.faultsim.plan import (
     SimulatedCrash,
     SiteCrash,
 )
+from repro.faultsim.promotion import (
+    PromotionCrashOutcome,
+    run_promotion_crash,
+)
 from repro.faultsim.proxy import FaultProxy
 from repro.faultsim.replication import (
     ReplicatedCrashOutcome,
@@ -71,7 +79,9 @@ __all__ = [
     "RandomFaultGate",
     "SimulatedCrash",
     "SiteCrash",
+    "PromotionCrashOutcome",
     "ReplicatedCrashOutcome",
+    "run_promotion_crash",
     "TortureWorkload",
     "crash_store",
     "enumerate_gate_calls",

@@ -127,6 +127,13 @@ class TortureWorkload:
 
     DATABASE = "torture"
 
+    #: Cluster-name prefix for generated OIDs.  A second workload aimed
+    #: at the *same* store must override this (not just ``DATABASE``):
+    #: a store hosts one database, so its cluster membership is keyed by
+    #: ``(cluster, number)`` alone — two workloads sharing cluster names
+    #: would collide there even with distinct database prefixes.
+    CLUSTER_PREFIX = "c"
+
     def __init__(self, seed: int, transactions: int = 4):
         self.seed = seed
         self.transactions = transactions
@@ -150,7 +157,8 @@ class TortureWorkload:
             if live and roll < 0.45:
                 oid = rng.choice(live)
             else:
-                oid = str(Oid(self.DATABASE, f"c{rng.randrange(2)}",
+                oid = str(Oid(self.DATABASE,
+                              f"{self.CLUSTER_PREFIX}{rng.randrange(2)}",
                               index * 10 + op_index))
             if index == self.transactions // 2 and op_index == 0:
                 size = MAX_RECORD_SIZE * 2 + rng.randint(1, 64)

@@ -43,7 +43,7 @@ import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cdc import CdcSubscriber, merge_summaries, summary_to_wire
 from repro.errors import NetworkError, OdeError
@@ -217,8 +217,10 @@ class _AsyncConnection:
             return await self._cdc_unsubscribe(payload)
         if opcode == P.OP_REPL_FETCH:
             return await self._repl_fetch(payload)
-        if opcode == P.OP_REPL_SNAPSHOT:
-            # A full-state copy-out: too much CPU for the loop.
+        if opcode in (P.OP_REPL_SNAPSHOT, P.OP_REPL_PROMOTE):
+            # Snapshot: a full-state copy-out, too much CPU for the
+            # loop.  Promote: fsyncs a TERM record per database — the
+            # loop must never block on an fsync.
             return await asyncio.get_running_loop().run_in_executor(
                 self._server._executor, session.dispatch, opcode, payload)
         if opcode in P.WRITE_OPCODES:
@@ -419,10 +421,12 @@ class AsyncOdeServer(ServerCore):
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
                  port: int = 0, poll_seconds: float = _POLL_SECONDS,
                  replica_of: Optional[Tuple[str, int]] = None,
+                 replica_peers: Optional[List[Tuple[str, int]]] = None,
                  cdc_flush_seconds: Optional[float] = None,
                  **database_kwargs):
         super().__init__(root, host=host, port=port,
                          poll_seconds=poll_seconds, replica_of=replica_of,
+                         replica_peers=replica_peers,
                          cdc_flush_seconds=cdc_flush_seconds,
                          **database_kwargs)
         self._loop: Optional[asyncio.AbstractEventLoop] = None

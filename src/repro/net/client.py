@@ -14,7 +14,14 @@ Failure policy: requests whose opcode is in
 after a connection failure — bounded attempts, exponential backoff,
 reconnecting in between.  Writes are never retried automatically: the
 frame may have been applied before the connection died, and replaying it
-would double-apply.
+would double-apply.  The one exception is a failed *connect* — the frame
+provably never left this process — which triggers primary failover when
+a replica set is configured: the client probes the replicas for the
+highest-term node now serving as primary (``OP_REPL_PROMOTE`` made one),
+re-points at it, keeps its epoch floor (read-your-writes survives the
+switch) and re-sends.  A resurrected old primary is refused at the
+handshake with :class:`~repro.errors.StalePrimaryError`: its fenced term
+is below one this session has already observed.
 
 Reconnecting creates a *new server session*, and session-affine state
 (an open transaction, sequencing cursors) does not survive: the server
@@ -61,7 +68,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import repro.errors as errors
 from repro.cdc import ChangeEvent, Subscription, summary_from_wire
-from repro.errors import NetworkError, OdeError, RemoteError, SessionLostError
+from repro.errors import (
+    NetworkError,
+    OdeError,
+    RemoteError,
+    SessionLostError,
+    StalePrimaryError,
+)
 from repro.net import protocol as P
 from repro.obs.metrics import get_registry
 
@@ -145,6 +158,11 @@ class OdeClient:
         ]
         self._route_next = 0
         self._epoch_floor = 0
+        # Highest fenced primary term this session has observed (from
+        # hellos and failover probes).  A node claiming to be primary at
+        # a lower term was failed over away from — writing through it
+        # would split-brain, so the connect is refused.
+        self._term_floor = 0
         self.server_info: Dict[str, Any] = {}
         #: Bumped every time the connection is dropped — the moment the
         #: server session (and its transaction/cursors) dies.  Session-
@@ -193,8 +211,12 @@ class OdeClient:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout)
         except OSError as exc:
-            raise NetworkError(
-                f"cannot connect to {self.host}:{self.port}: {exc}") from exc
+            failure = NetworkError(
+                f"cannot connect to {self.host}:{self.port}: {exc}")
+            # The frame was provably never sent, so even a write is
+            # safe to re-send elsewhere — the failover path keys on it.
+            failure.connect_failure = True
+            raise failure from exc
         sock.settimeout(self.timeout)
         self._sock = sock
         try:
@@ -203,6 +225,30 @@ class OdeClient:
         except OdeError:
             self._drop_locked()
             raise
+        self._check_term_locked(self.server_info)
+
+    def _check_term_locked(self, info: Dict[str, Any]) -> None:
+        """Fence a resurrected old primary at the handshake.
+
+        Terms only rise; a *primary* announcing a term below one this
+        session has already observed was failed over away from, and a
+        write through it would split-brain.  Replicas are not fenced
+        here — their terms legitimately lag until the stream catches
+        them up — the epoch floor already guards routed reads.
+        """
+        term = info.get("term")
+        if not isinstance(term, int) or term <= 0:
+            return
+        with self._route_lock:
+            if (info.get("role") == "primary" and term < self._term_floor):
+                stale = StalePrimaryError(
+                    f"{self.host}:{self.port} claims primary at term "
+                    f"{term}, but this session has observed term "
+                    f"{self._term_floor}")
+                self._drop_locked()
+                raise stale
+            if term > self._term_floor:
+                self._term_floor = term
 
     def _drop_locked(self) -> None:
         if self._sock is not None:
@@ -283,11 +329,62 @@ class OdeClient:
         with self._route_lock:
             return self._epoch_floor
 
+    @property
+    def term_floor(self) -> int:
+        """Highest fenced primary term this session has observed."""
+        with self._route_lock:
+            return self._term_floor
+
     def _observe_epoch(self, epoch: Any) -> None:
         if isinstance(epoch, int):
             with self._route_lock:
                 if epoch > self._epoch_floor:
                     self._epoch_floor = epoch
+
+    def _failover_locked(self) -> bool:
+        """Probe the replica set for a promoted primary and re-point.
+
+        Runs after a *connect* failure (no frame reached the old
+        primary, so re-sending is safe even for writes).  Every replica
+        endpoint is asked for a fresh hello — cooldowns ignored, a dead
+        probe fails fast — and the highest-term node now serving as
+        primary becomes this client's primary.  The old primary's
+        address joins the replica set in its place: once fenced and
+        re-subscribed it will serve routed reads again.  The epoch
+        floor is deliberately kept across the switch — read-your-writes
+        outlives the failover.  Returns True when the primary changed.
+        """
+        if not self._replicas:
+            return False
+        with self._route_lock:
+            floor = self._term_floor
+        best: Optional[_ReplicaEndpoint] = None
+        best_term = 0
+        for endpoint in self._replicas:
+            try:
+                info = endpoint.client.call(
+                    P.OP_HELLO, {"version": P.PROTOCOL_VERSION})
+            except OdeError:
+                continue
+            term = info.get("term")
+            term = term if isinstance(term, int) and term > 0 else 1
+            if info.get("role") != "primary" or term < max(floor, 1):
+                continue
+            if term > best_term:
+                best, best_term = endpoint, term
+        if best is None:
+            return False
+        old = _ReplicaEndpoint(self.host, self.port, self.timeout)
+        with self._route_lock:
+            old.down_until = time.monotonic() + REPLICA_COOLDOWN_SECONDS
+            self._replicas = [old if entry is best else entry
+                              for entry in self._replicas]
+            if best_term > self._term_floor:
+                self._term_floor = best_term
+        self.host, self.port = best.host, best.port
+        best.client.close()
+        self._m_route_failover.inc()
+        return True
 
     def _routable(self, opcode: int) -> bool:
         return (bool(self._replicas)
@@ -389,6 +486,13 @@ class OdeClient:
         — unless session-affine state is registered, in which case any
         connection failure (and any reconnect that would discard that
         state) raises :class:`~repro.errors.SessionLostError` instead.
+
+        Failover: when the *connect itself* fails — the frame provably
+        never left this process, so nothing may have been applied — and
+        a replica set is configured, the client probes it for a
+        promoted (highest-term) primary and re-sends there, writes
+        included.  At most one failover per call; any later failure
+        follows the normal policy.
         """
         self._count_request(opcode)
         if self._routable(opcode):
@@ -397,9 +501,11 @@ class OdeClient:
                 return reply
         attempts = 1 + (self.retries if opcode in P.READ_OPCODES else 0)
         delay = self.backoff
+        failed_over = False
         with self._m_request_seconds.time():
             with self._lock:
-                for attempt in range(attempts):
+                attempt = 0
+                while True:
                     try:
                         self._connect_locked()
                         self._check_session_locked()
@@ -420,13 +526,20 @@ class OdeClient:
                             raise SessionLostError(
                                 "connection lost with a transaction open; "
                                 "the server rolled it back") from exc
-                        if attempt + 1 >= attempts:
+                        if (getattr(exc, "connect_failure", False)
+                                and not failed_over
+                                and self._failover_locked()):
+                            # Doesn't consume a retry attempt: the
+                            # re-send goes to a *different* server.
+                            failed_over = True
+                            continue
+                        attempt += 1
+                        if attempt >= attempts:
                             raise
                         self._m_retries.inc()
                         self._m_reconnects.inc()
                         time.sleep(delay)
                         delay *= 2
-        raise NetworkError("unreachable")  # pragma: no cover
 
     def call_many(self, requests: Sequence[Tuple[int, Dict[str, Any]]]
                   ) -> List[Dict[str, Any]]:

@@ -91,6 +91,12 @@ OP_VACUUM = 0x51
 
 OP_REPL_FETCH = 0x60
 OP_REPL_SNAPSHOT = 0x61
+#: Admin: promote this (replica) server to primary — stop its appliers
+#: and durably mint the next fenced primary term in every database's
+#: WAL.  Deliberately in neither READ_OPCODES (not idempotent: each call
+#: mints a term) nor WRITE_OPCODES (no database write lock; it must cut
+#: in even while writers are blocked on a dead upstream).
+OP_REPL_PROMOTE = 0x62
 
 OP_CDC_SUBSCRIBE = 0x70
 OP_CDC_UNSUBSCRIBE = 0x71
@@ -137,6 +143,7 @@ OPCODE_NAMES: Dict[int, str] = {
     OP_VACUUM: "vacuum",
     OP_REPL_FETCH: "repl_fetch",
     OP_REPL_SNAPSHOT: "repl_snapshot",
+    OP_REPL_PROMOTE: "repl_promote",
     OP_CDC_SUBSCRIBE: "cdc_subscribe",
     OP_CDC_UNSUBSCRIBE: "cdc_unsubscribe",
     OP_CDC_EVENT: "cdc_event",

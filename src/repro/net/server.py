@@ -101,6 +101,7 @@ class ServerCore:
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
                  port: int = 0, poll_seconds: float = _POLL_SECONDS,
                  replica_of: Optional[Tuple[str, int]] = None,
+                 replica_peers: Optional[List[Tuple[str, int]]] = None,
                  cdc_flush_seconds: Optional[float] = None,
                  **database_kwargs):
         self.root = Path(root)
@@ -118,6 +119,10 @@ class ServerCore:
         #: replica: databases are cloned from there at start, kept
         #: current by one applier thread each, and writes are refused.
         self.replica_of = replica_of
+        #: Other members of the replica set (``(host, port)`` pairs).
+        #: Appliers probe these after losing the upstream to discover a
+        #: promoted, higher-term primary and re-target themselves.
+        self.replica_peers = list(replica_peers or [])
         self._database_kwargs = database_kwargs
         self._hosted: Dict[str, HostedDatabase] = {}
         self._feeds: Dict[str, ReplicationFeed] = {}
@@ -197,12 +202,33 @@ class ServerCore:
         host, port = self.replica_of
         for name, entry in self._hosted.items():
             self._appliers[name] = ReplicaApplier(
-                entry.database, host, port).start()
+                entry.database, host, port,
+                peers=self.replica_peers).start()
 
     def _stop_appliers(self) -> None:
         for applier in self._appliers.values():
             applier.stop()
         self._appliers.clear()
+
+    def promote(self) -> Dict[str, int]:
+        """Promote this replica to primary; returns ``{db: new term}``.
+
+        Stops the appliers (no more units pulled from the dead or
+        demoted upstream), flips the role to primary (write_prepare
+        stops refusing), and durably mints the next fenced term in every
+        database's WAL — in that order, so by the time a write can be
+        accepted its term fence is already on disk.  Idempotent on a
+        primary: no appliers to stop, but a fresh term is still minted
+        (each call is one promotion; callers must not blind-retry it).
+        The feeds and change routers were created at start regardless of
+        role, so replicas and CDC subscribers of this node keep working
+        across the flip — downstream appliers see the raised term in
+        their next fetch and resync under it.
+        """
+        self._stop_appliers()
+        self.replica_of = None
+        return {name: entry.database.store.promote_term()
+                for name, entry in sorted(self._hosted.items())}
 
     def _close_feeds(self) -> None:
         """Close the replication feeds, unparking long-pollers cleanly."""
@@ -350,10 +376,12 @@ class ThreadedOdeServer(ServerCore):
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
                  port: int = 0, poll_seconds: float = _POLL_SECONDS,
                  replica_of: Optional[Tuple[str, int]] = None,
+                 replica_peers: Optional[List[Tuple[str, int]]] = None,
                  cdc_flush_seconds: Optional[float] = None,
                  **database_kwargs):
         super().__init__(root, host=host, port=port,
                          poll_seconds=poll_seconds, replica_of=replica_of,
+                         replica_peers=replica_peers,
                          cdc_flush_seconds=cdc_flush_seconds,
                          **database_kwargs)
         self._listener: Optional[socket.socket] = None

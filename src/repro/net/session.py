@@ -313,11 +313,18 @@ class ServerSession:
             raise NetworkError(
                 f"protocol version mismatch: client {version!r}, "
                 f"server {P.PROTOCOL_VERSION}")
+        # Per-database fenced terms, plus their max as the node's
+        # headline term: what failover probes compare and what a client
+        # checks against its term floor before trusting a "primary".
+        terms = {name: self.server.hosted(name).database.store.term
+                 for name in self.server.database_names()}
         return {
             "version": P.PROTOCOL_VERSION,
             "server": "repro.net",
             "role": self.server.role,
             "databases": self.server.database_names(),
+            "term": max(terms.values()) if terms else 1,
+            "terms": terms,
         }
 
     def op_ping(self, _payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -601,6 +608,7 @@ class ServerSession:
                 modules[path.name] = path.read_text(encoding="utf-8")
         return {
             "epoch": epoch,
+            "term": database.store.term,
             "objects": objects,
             "schema": database.schema.to_dict(),
             "icon": database.icon,
@@ -687,6 +695,7 @@ class ServerSession:
         registry = get_registry()
         return {
             "role": self.server.role,
+            "term": database.store.term,
             "applied_epoch": database.store.epoch,
             "replication": self.server.replication_stats(database.name),
             "schema_version": database.schema.version,
@@ -729,6 +738,17 @@ class ServerSession:
             raise StorageError("cannot vacuum with a transaction open")
         return {"reclaimed": hosted.database.vacuum()}
 
+    def op_repl_promote(self, _payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admin: promote this replica server to primary.
+
+        Whole-server, not per-database: a primary serving half its
+        databases writable and half read-only following a dead upstream
+        is not a topology anyone asked for.  Returns the freshly minted
+        per-database terms; they are already fsynced when the reply is
+        sent, so a client that sees this ack may rely on the fence.
+        """
+        return {"role": self.server.role, "terms": self.server.promote()}
+
 
 #: Opcodes handled without touching a specific database (no lock).
 #: CURSOR_CLOSE only pops a session-local dict entry, so it needs none.
@@ -754,7 +774,7 @@ _CURSOR_OPCODES = frozenset({
 #: may long-poll (a held pin would stall MVCC pruning for the wait) and
 #: a snapshot pins its own epoch for exactly the copy-out.
 _REPL_OPCODES = frozenset({
-    P.OP_REPL_FETCH, P.OP_REPL_SNAPSHOT,
+    P.OP_REPL_FETCH, P.OP_REPL_SNAPSHOT, P.OP_REPL_PROMOTE,
 })
 
 #: CDC subscription management: lock-free and session-affine.  These
@@ -798,6 +818,7 @@ _HANDLERS = {
     P.OP_VACUUM: ServerSession.op_vacuum,
     P.OP_REPL_FETCH: ServerSession.op_repl_fetch,
     P.OP_REPL_SNAPSHOT: ServerSession.op_repl_snapshot,
+    P.OP_REPL_PROMOTE: ServerSession.op_repl_promote,
     P.OP_CDC_SUBSCRIBE: ServerSession.op_cdc_subscribe,
     P.OP_CDC_UNSUBSCRIBE: ServerSession.op_cdc_unsubscribe,
 }

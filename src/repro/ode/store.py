@@ -77,6 +77,7 @@ from repro.errors import (
     GroupCommitError,
     ObjectNotFoundError,
     ReplicaDivergedError,
+    StalePrimaryError,
     StorageError,
     TransactionError,
 )
@@ -295,6 +296,10 @@ class ObjectStore:
         self._members: Dict[str, Tuple[Oid, ...]] = {}
         self._mvcc_cache_limit = mvcc_cache_limit
         self._epoch = 0
+        # Fenced primary term (see DESIGN.md §Replication).  Recovered
+        # from the WAL below; a fresh store — and any log written before
+        # terms existed — starts at term 1.
+        self._term = 1
         # A recovery mid-flight fails any commit staged before it (the
         # log rebuild truncated that commit's operation records), and
         # dooms any transaction left open across it.
@@ -375,6 +380,11 @@ class ObjectStore:
         # the log: COMMIT records carry the epoch they published, the
         # previous CHECKPOINT record the epoch current at truncation.
         self._epoch = max(self._epoch, self._wal.max_epoch())
+        # Likewise the primary term: TERM records (the durable mint at
+        # promotion), COMMIT records (the term each commit was accepted
+        # under) and CHECKPOINT records (the term at truncation) all
+        # carry it.  Pre-term logs decode as 0, hence the floor of 1.
+        self._term = max(self._term, self._wal.max_term())
         operations = self._wal.committed_operations()
         for record in operations:
             oid = Oid.parse(record.oid)
@@ -383,7 +393,7 @@ class ObjectStore:
             elif record.op == OP_DELETE and oid in self._table:
                 self._delete_from_pages(oid)
         self._pool.flush_all()
-        self._wal.checkpoint(self._epoch)
+        self._wal.checkpoint(self._epoch, term=self._term)
 
     def _rebuild_members(self) -> None:
         """Publish the committed cluster membership for snapshot readers."""
@@ -570,7 +580,7 @@ class ObjectStore:
                 frames = [WalRecord(op=OP_BEGIN, txid=self._txid),
                           *self._tx_writes,
                           WalRecord(op=OP_COMMIT, txid=self._txid,
-                                    epoch=epoch)]
+                                    epoch=epoch, term=self._term)]
                 self._commit_group.submit(
                     epoch, frames,
                     lambda: self._commit_finish(epoch, effects, generation))
@@ -657,7 +667,7 @@ class ObjectStore:
             if (self._txid is None and self._commit_group.idle()
                     and self._wal.size_bytes() >= self._wal_checkpoint_bytes):
                 self._pool.flush_all()
-                self._wal.checkpoint(self._epoch)
+                self._wal.checkpoint(self._epoch, term=self._term)
 
     def group_commit_stats(self) -> Dict[str, Any]:
         """Batch-size/latency behaviour of this store's commit barrier."""
@@ -755,6 +765,18 @@ class ObjectStore:
                 effects[Oid.parse(record.oid)] = None
         return effects
 
+    @staticmethod
+    def _unit_term(frames: List[WalRecord]) -> int:
+        """The fenced primary term a shipped unit was committed under.
+
+        Carried by the unit's COMMIT record; units from a primary that
+        predates terms decode as 0 and are treated as term 1.
+        """
+        for record in reversed(frames):
+            if record.op == OP_COMMIT:
+                return max(1, record.term)
+        return 1
+
     def apply_replicated(
             self, units: List[Tuple[int, List[WalRecord]]]) -> int:
         """Apply whole committed transactions shipped from a primary.
@@ -784,9 +806,22 @@ class ObjectStore:
             # Epochs are minted one per commit, so the shipped window
             # must extend this store's epoch with no hole: a skipped
             # epoch means a committed transaction this replica would
-            # silently never see.
+            # silently never see.  Terms fence the other direction: a
+            # unit committed under a term below this store's comes from
+            # a primary that was failed over away from, and applying it
+            # would split-brain — rejected before anything is written.
             last = self._epoch
-            for epoch, _frames in fresh:
+            term = self._term
+            for epoch, frames in fresh:
+                # Term first: a stale unit that also breaks contiguity
+                # should report the root cause (a fenced primary), not
+                # the symptom.
+                unit_term = self._unit_term(frames)
+                if unit_term < term:
+                    raise StalePrimaryError(
+                        f"replicated unit at epoch {epoch} carries term "
+                        f"{unit_term}, below this store's term {term}")
+                term = unit_term
                 if epoch != last + 1:
                     raise ReplicaDivergedError(
                         f"replicated units skip an epoch: {epoch} "
@@ -795,6 +830,10 @@ class ObjectStore:
             self._wal.append_batch([record for _epoch, frames in fresh
                                     for record in frames])
             self._wal.group_sync()
+            # Adopt a higher term arriving in the stream.  Durable for
+            # free: the COMMIT records just fsynced above carry it, and
+            # recovery reads the term back out of them.
+            self._term = term
             for epoch, frames in fresh:
                 effects = self._unit_effects(frames)
                 preimages = self._capture_preimages(effects)
@@ -835,7 +874,8 @@ class ObjectStore:
         return applied
 
     def install_replicated(self, epoch: int,
-                           records: List[Tuple[str, bytes]]) -> int:
+                           records: List[Tuple[str, bytes]],
+                           term: Optional[int] = None) -> int:
         """Replace the whole store with a primary snapshot (resync).
 
         The catch-up path for a replica that fell behind the primary's
@@ -844,18 +884,34 @@ class ObjectStore:
         A snapshot *older* than this replica would make applied epochs
         regress — that is a topology error
         (:class:`~repro.errors.ReplicaDivergedError`), never silently
-        applied.  Live snapshot readers degrade to the installed state
-        (the same contract as a store recovery).  The closing checkpoint
-        stamps the new epoch durable.
+        applied.  ``term`` is the primary's fenced term: below this
+        store's term the snapshot comes from a failed-over-away-from
+        primary (:class:`~repro.errors.StalePrimaryError`); *above* it,
+        the snapshot is the rejoin path for a fenced node, and the epoch
+        may legitimately rewind — progress is ordered by
+        ``(term, epoch)``, so a higher term re-licenses any epoch.
+        ``None`` means the caller predates terms and keeps the pure
+        epoch rule.  Live snapshot readers degrade to the installed
+        state (the same contract as a store recovery).  The closing
+        checkpoint stamps the new epoch and term durable.
         """
         with self._lock:
             if self._txid is not None:
                 raise TransactionError(
                     "cannot resync a store with a transaction open")
-            if epoch < self._epoch:
+            if term is not None:
+                term = max(1, term)
+                if term < self._term:
+                    raise StalePrimaryError(
+                        f"resync snapshot carries term {term}, below this "
+                        f"store's term {self._term}")
+            if epoch < self._epoch and not (term is not None
+                                            and term > self._term):
                 raise ReplicaDivergedError(
                     f"resync snapshot at epoch {epoch} is older than this "
                     f"replica (epoch {self._epoch})")
+            if term is not None:
+                self._term = term
             for oid in list(self._table):
                 self._delete_from_pages(oid)
             for text, payload in records:
@@ -867,9 +923,12 @@ class ObjectStore:
                 self._epoch = epoch
             self._rebuild_members()
             self._notify_rebuild()
-            if epoch > self._epoch_minted:
-                self._epoch_minted = epoch
-            self._wal.checkpoint(epoch)
+            # Wholesale replacement: the mint counter tracks the
+            # installed epoch exactly, including *down* on a term-raise
+            # rewind — anything minted above it belongs to the fenced
+            # past and must not shadow the new primary's epochs.
+            self._epoch_minted = epoch
+            self._wal.checkpoint(epoch, term=self._term)
             return epoch
 
     def _check_doomed(self) -> None:
@@ -956,6 +1015,33 @@ class ObjectStore:
     def epoch(self) -> int:
         """The last published commit epoch (0 on a fresh store)."""
         return self._epoch
+
+    @property
+    def term(self) -> int:
+        """The fenced primary term this store operates under (≥ 1).
+
+        Minted durably at promotion (:meth:`promote_term`) or adopted
+        from a higher-term primary's replicated units/snapshot; never
+        decreases.  Progress across the cluster is ordered by
+        ``(term, epoch)`` lexicographically — an epoch may only rewind
+        when the term rises (a fenced node resyncing under the new
+        primary).
+        """
+        return self._term
+
+    def promote_term(self) -> int:
+        """Mint the next fenced primary term durably and return it.
+
+        The TERM record is appended and fsynced before this returns, so
+        the new term survives a crash an instant later: the fence must
+        never be weaker than the writes it guards.  Every commit staged
+        after this carries the new term in its COMMIT record.
+        """
+        with self._lock:
+            minted = self._term + 1
+            self._wal.mint_term(minted)
+            self._term = minted
+            return minted
 
     @property
     def watermark(self) -> int:
@@ -1370,7 +1456,7 @@ class ObjectStore:
             self._table = {}
             self._clusters = {}
             self._rebuild_from_pages()
-            self._wal.checkpoint(self._epoch)
+            self._wal.checkpoint(self._epoch, term=self._term)
             return pages_before - self._pagefile.page_count
 
     # -- lifecycle --------------------------------------------------------------------------
@@ -1401,7 +1487,7 @@ class ObjectStore:
                     continue  # raced a new commit; re-drain
                 if not self._wal.closed:
                     self._pool.flush_all()
-                    self._wal.checkpoint(self._epoch)
+                    self._wal.checkpoint(self._epoch, term=self._term)
                     self._wal.close()
                 self._pagefile.close()
                 return

@@ -58,8 +58,10 @@ OP_DELETE = "delete"
 OP_COMMIT = "commit"
 OP_ABORT = "abort"
 OP_CHECKPOINT = "checkpoint"
+OP_TERM = "term"
 
-_KNOWN_OPS = {OP_BEGIN, OP_PUT, OP_DELETE, OP_COMMIT, OP_ABORT, OP_CHECKPOINT}
+_KNOWN_OPS = {OP_BEGIN, OP_PUT, OP_DELETE, OP_COMMIT, OP_ABORT, OP_CHECKPOINT,
+              OP_TERM}
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,13 @@ class WalRecord:
     store's commit epoch as of that record, used to recover the epoch
     counter on reopen.  Logs written before MVCC carry no epoch field
     and decode as epoch 0.
+
+    ``term`` is the fenced primary term: minted durably by a TERM
+    record at promotion, stamped on every COMMIT (the term the commit
+    was accepted under — this is what replication units carry on the
+    wire) and on CHECKPOINT records (so the counter survives log
+    truncation).  Logs written before promotion existed decode as
+    term 0, which the store treats as term 1.
     """
 
     op: str
@@ -77,6 +86,7 @@ class WalRecord:
     oid: str = ""
     payload: bytes = b""
     epoch: int = 0
+    term: int = 0
 
     def to_value(self) -> Dict[str, Any]:
         return {
@@ -85,6 +95,7 @@ class WalRecord:
             "oid": self.oid,
             "payload": self.payload,
             "epoch": self.epoch,
+            "term": self.term,
         }
 
     @classmethod
@@ -103,6 +114,7 @@ class WalRecord:
             oid=value.get("oid", ""),
             payload=payload,
             epoch=int(value.get("epoch", 0)),
+            term=int(value.get("term", 0)),
         )
 
 
@@ -289,7 +301,7 @@ class WriteAheadLog:
                 first = False
                 if record.op == OP_CHECKPOINT:
                     floor = record.epoch
-            if record.op == OP_CHECKPOINT:
+            if record.op in (OP_CHECKPOINT, OP_TERM):
                 continue
             if record.op == OP_BEGIN:
                 pending[record.txid] = [record]
@@ -319,14 +331,40 @@ class WriteAheadLog:
                 highest = max(highest, record.epoch)
         return highest
 
+    def max_term(self) -> int:
+        """Highest primary term recorded in the log (0 for older logs).
+
+        TERM records are the durable mint at promotion; COMMIT records
+        carry the term each commit was accepted under (including
+        replicated commits, whose frames land here verbatim — so a
+        replica's adopted term survives its own restarts); CHECKPOINT
+        records carry the term current at truncation, so the counter
+        survives a checkpoint that empties the log.
+        """
+        highest = 0
+        for record in self.records():
+            if record.op in (OP_TERM, OP_COMMIT, OP_CHECKPOINT):
+                highest = max(highest, record.term)
+        return highest
+
+    def mint_term(self, term: int) -> None:
+        """Durably record a newly minted (or adopted) primary term.
+
+        The TERM record is appended and fsynced before this returns —
+        the term is the fence, so it must never be weaker than the
+        writes it fences.
+        """
+        self.append(WalRecord(op=OP_TERM, txid=0, term=term), sync=True)
+
     # -- checkpoint ------------------------------------------------------------------
 
-    def checkpoint(self, epoch: int = 0) -> None:
+    def checkpoint(self, epoch: int = 0, term: int = 0) -> None:
         """Truncate the log once all committed work is safely in the pages.
 
-        ``epoch`` (the store's current commit epoch) is stamped into the
-        CHECKPOINT record so the epoch counter never regresses across a
-        reopen, even when the checkpoint removed every COMMIT record.
+        ``epoch`` (the store's current commit epoch) and ``term`` (its
+        fenced primary term) are stamped into the CHECKPOINT record so
+        neither counter regresses across a reopen, even when the
+        checkpoint removed every COMMIT and TERM record.
 
         Atomic: the one-record replacement log is written and fsynced to
         a side file, then renamed over the live log.  A crash at any
@@ -344,7 +382,7 @@ class WriteAheadLog:
         entirely after the CHECKPOINT — never half.
         """
         frame = self.encode_frame(
-            WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch))
+            WalRecord(op=OP_CHECKPOINT, txid=0, epoch=epoch, term=term))
         side_path = self.path.with_name(self.path.name + ".ckpt")
         with self._io:
             with open(side_path, "wb") as side:

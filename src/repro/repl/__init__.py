@@ -16,15 +16,32 @@ apply path persists units to the replica's own WAL before touching
 pages, and any gap the feed cannot bridge (ring evicted + WAL
 checkpointed past the replica) forces a full snapshot resync instead of
 a silent hole.
+
+Failover (:mod:`repro.repl.promote`): a replica can be promoted to
+primary — controlled, or crash-forced with the dead primary's durable
+WAL tail salvaged first — under a *fenced term* durably minted at
+promotion.  Cluster progress is ordered by ``(term, epoch)``; a
+resurrected old primary's lower term is rejected everywhere
+(:class:`~repro.errors.StalePrimaryError`) instead of split-braining.
 """
 
 from repro.repl.feed import ReplicationFeed, units_from_wire, units_to_wire
+from repro.repl.promote import (
+    PromotionResult,
+    find_primary,
+    promote_store,
+    salvage_units,
+)
 from repro.repl.replica import ReplicaApplier, bootstrap_replica
 
 __all__ = [
     "ReplicationFeed",
     "ReplicaApplier",
+    "PromotionResult",
     "bootstrap_replica",
+    "find_primary",
+    "promote_store",
+    "salvage_units",
     "units_from_wire",
     "units_to_wire",
 ]

@@ -44,17 +44,24 @@ MAX_WAIT_SECONDS = 2.0
 def units_to_wire(units: List[Unit]) -> List[List[Any]]:
     """Flatten units into codec-friendly lists for a wire reply."""
     return [
-        [epoch, [[r.op, r.txid, r.oid, r.payload, r.epoch] for r in frames]]
+        [epoch, [[r.op, r.txid, r.oid, r.payload, r.epoch, r.term]
+                 for r in frames]]
         for epoch, frames in units
     ]
 
 
 def units_from_wire(wire: List[List[Any]]) -> List[Unit]:
-    """Inverse of :func:`units_to_wire`."""
+    """Inverse of :func:`units_to_wire`.
+
+    Accepts the pre-term 5-element frame shape too (term defaults to 0,
+    which the store treats as term 1), so a new replica can follow an
+    old primary mid-upgrade.
+    """
     return [
-        (epoch, [WalRecord(op=op, txid=txid, oid=oid, payload=payload,
-                           epoch=rec_epoch)
-                 for op, txid, oid, payload, rec_epoch in frames])
+        (epoch, [WalRecord(op=frame[0], txid=frame[1], oid=frame[2],
+                           payload=frame[3], epoch=frame[4],
+                           term=frame[5] if len(frame) > 5 else 0)
+                 for frame in frames])
         for epoch, frames in wire
     ]
 
@@ -160,9 +167,12 @@ class ReplicationFeed:
         """Units extending ``after_epoch``, or a resync order.
 
         Returns ``{"units": [...], "epoch": <primary epoch>,
-        "resync": bool}``.  When ``resync`` is true the fetcher's epoch
-        predates everything the primary can stream and it must install
-        a snapshot.  ``units`` (wire form) are guaranteed to be *every*
+        "term": <primary term>, "resync": bool}``.  When ``resync`` is
+        true the fetcher's epoch predates everything the primary can
+        stream and it must install a snapshot.  ``term`` lets a fetcher
+        detect a superseded upstream (term below its own) or a term
+        raise it must resync under — streaming across a promotion could
+        silently skip same-epoch divergence.  ``units`` (wire form) are guaranteed to be *every*
         committed epoch in ``(after_epoch, last unit]``, in order — the
         contiguity the replica's apply path insists on.
 
@@ -188,6 +198,7 @@ class ReplicationFeed:
                 return {
                     "units": units_to_wire(units[:max_units]),
                     "epoch": self._store.epoch,
+                    "term": self._store.term,
                     "resync": False,
                 }
         # Ring can't reach back that far; try the WAL tail.  Outside
@@ -198,10 +209,12 @@ class ReplicationFeed:
             return {
                 "units": units_to_wire(units[:max_units]),
                 "epoch": self._store.epoch,
+                "term": self._store.term,
                 "resync": False,
             }
         self._m_resyncs.inc()
-        return {"units": [], "epoch": self._store.epoch, "resync": True}
+        return {"units": [], "epoch": self._store.epoch,
+                "term": self._store.term, "resync": True}
 
     def stats(self) -> Dict[str, Any]:
         with self._cond:

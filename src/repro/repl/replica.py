@@ -22,9 +22,9 @@ from __future__ import annotations
 import json
 import threading
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import NetworkError, OdeError
+from repro.errors import NetworkError, OdeError, StalePrimaryError
 from repro.net import protocol as P
 from repro.net.client import OdeClient
 from repro.obs import get_registry
@@ -83,7 +83,8 @@ def bootstrap_replica(root: Union[str, Path], name: str,
     try:
         database.store.install_replicated(
             reply["epoch"],
-            [(text, payload) for text, payload in reply["objects"]])
+            [(text, payload) for text, payload in reply["objects"]],
+            term=reply.get("term"))
     finally:
         database.close()
 
@@ -100,11 +101,17 @@ class ReplicaApplier:
 
     def __init__(self, database: Database, primary_host: str,
                  primary_port: int,
-                 poll_seconds: float = DEFAULT_POLL_SECONDS):
+                 poll_seconds: float = DEFAULT_POLL_SECONDS,
+                 peers: Optional[Sequence[Tuple[str, int]]] = None):
         self.database = database
         self.primary_host = primary_host
         self.primary_port = primary_port
         self.poll_seconds = poll_seconds
+        #: Other replica-set members, probed after the upstream is lost
+        #: or fenced: whichever now serves as primary at the highest
+        #: term (at least this replica's own) becomes the new upstream.
+        self.peers: List[Tuple[str, int]] = [
+            (str(host), int(port)) for host, port in (peers or [])]
         self._client = OdeClient(primary_host, primary_port,
                                  retries=1)
         self._stop = threading.Event()
@@ -114,10 +121,13 @@ class ReplicaApplier:
         self._parked = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._primary_epoch = database.store.epoch
+        self._primary_term = database.store.term
         self.last_error: Optional[str] = None
         self._m_applied = get_registry().counter("repl.apply.units")
         self._m_resyncs = get_registry().counter("repl.apply.resyncs")
         self._m_disconnects = get_registry().counter("repl.apply.disconnects")
+        self._m_retargets = get_registry().counter("repl.apply.retargets")
+        self._m_fenced = get_registry().counter("repl.apply.fenced_upstreams")
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -168,6 +178,23 @@ class ReplicaApplier:
                 backoff = RECONNECT_BACKOFF_SECONDS
             except NetworkError:
                 self._m_disconnects.inc()
+                if self._retarget():
+                    backoff = RECONNECT_BACKOFF_SECONDS
+                    continue
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2.0, MAX_RECONNECT_BACKOFF_SECONDS)
+            except StalePrimaryError as exc:
+                # The upstream was failed over away from.  Its data is
+                # not trusted, but the condition is recoverable: the
+                # real (higher-term) primary is somewhere in the peer
+                # set — probe for it, or back off and probe again (it
+                # may still be mid-promotion).
+                self._m_fenced.inc()
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if self._retarget():
+                    self.last_error = None
+                    backoff = RECONNECT_BACKOFF_SECONDS
+                    continue
                 self._stop.wait(backoff)
                 backoff = min(backoff * 2.0, MAX_RECONNECT_BACKOFF_SECONDS)
             except OdeError as exc:
@@ -177,6 +204,49 @@ class ReplicaApplier:
                 # consistent — it just stops advancing.
                 self.last_error = f"{type(exc).__name__}: {exc}"
                 return
+
+    def _retarget(self) -> bool:
+        """Probe the peer set for the live highest-term primary.
+
+        Returns True after switching the upstream client to a peer that
+        (a) answers, (b) serves as primary, and (c) carries a term no
+        lower than this replica's own — the fence: a resurrected old
+        primary fails (c) and is never re-adopted.  The actual catch-up
+        happens on the next :meth:`step` against the new upstream
+        (snapshot resync if its term is higher — see there).
+        """
+        if not self.peers:
+            return False
+        own_term = self.database.store.term
+        best: Optional[Tuple[str, int]] = None
+        best_term = 0
+        for host, port in self.peers:
+            if (host, port) == (self.primary_host, self.primary_port):
+                continue
+            probe = OdeClient(host, port, retries=0)
+            try:
+                info = probe.call(P.OP_HELLO,
+                                  {"version": P.PROTOCOL_VERSION})
+            except OdeError:
+                continue
+            finally:
+                probe.close()
+            terms = info.get("terms")
+            term = (terms or {}).get(self.database.name, info.get("term"))
+            term = term if isinstance(term, int) and term > 0 else 1
+            if info.get("role") != "primary" or term < own_term:
+                continue
+            if term > best_term:
+                best, best_term = (host, port), term
+        if best is None:
+            return False
+        self._client.close()
+        self.primary_host, self.primary_port = best
+        self._primary_term = best_term
+        self._client = OdeClient(self.primary_host, self.primary_port,
+                                 retries=1)
+        self._m_retargets.inc()
+        return True
 
     def step(self) -> int:
         """One fetch + apply round; returns the new applied epoch."""
@@ -188,13 +258,32 @@ class ReplicaApplier:
             "wait_ms": int(self.poll_seconds * 1000),
         })
         self._primary_epoch = reply.get("epoch", store.epoch)
-        if reply.get("resync"):
+        upstream_term = reply.get("term")
+        upstream_term = (upstream_term
+                         if isinstance(upstream_term, int)
+                         and upstream_term > 0 else 1)
+        self._primary_term = upstream_term
+        if upstream_term < store.term:
+            raise StalePrimaryError(
+                f"upstream {self.primary_host}:{self.primary_port} serves "
+                f"{self.database.name!r} at term {upstream_term}, below "
+                f"this replica's term {store.term}")
+        resync = bool(reply.get("resync"))
+        if upstream_term > store.term:
+            # Term raised: the upstream was promoted since our last
+            # fetch.  Epoch contiguity cannot prove continuity across a
+            # promotion — the fenced primary and the new one can both
+            # hold a *different* commit at the same next epoch — so the
+            # only sound catch-up is a snapshot under the new term.
+            resync = True
+        if resync:
             self._m_resyncs.inc()
             snapshot = self._client.call(
                 P.OP_REPL_SNAPSHOT, {"db": self.database.name})
             return store.install_replicated(
                 snapshot["epoch"],
-                [(text, payload) for text, payload in snapshot["objects"]])
+                [(text, payload) for text, payload in snapshot["objects"]],
+                term=snapshot.get("term"))
         units = units_from_wire(reply.get("units", []))
         if units:
             applied = store.apply_replicated(units)
@@ -219,10 +308,13 @@ class ReplicaApplier:
             "primary": f"{self.primary_host}:{self.primary_port}",
             "applied_epoch": self.applied_epoch,
             "primary_epoch": self._primary_epoch,
+            "term": self.database.store.term,
+            "primary_term": self._primary_term,
             "lag": self.lag,
             "paused": self._paused.is_set(),
             "units_applied": self._m_applied.value,
             "resyncs": self._m_resyncs.value,
             "disconnects": self._m_disconnects.value,
+            "retargets": self._m_retargets.value,
             "last_error": self.last_error,
         }

@@ -1,0 +1,98 @@
+"""Property-based check of the merge_summaries coalescing algebra.
+
+Random batches of summaries — plain invalidations mixed with resync
+markers — fed through :func:`merge_summaries`.  Four invariants:
+
+* **union** — the merged summary names exactly the union of the input
+  OIDs (when no resync poisons the batch);
+* **newest-epoch wins** — the merged epoch is the max of the inputs,
+  so a consumer's floor only ever advances;
+* **markers survive** — a resync anywhere in the batch yields a resync
+  at the newest epoch; coalesced detail is never half-kept;
+* **associativity** — merging is order-of-batching independent, so
+  the router may flush its queue in any chunking without changing what
+  the subscriber invalidates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdc import ChangeSummary, merge_summaries
+
+_CLUSTERS = ["employee", "department", "manager"]
+
+
+def _summary():
+    def build(epoch, picks, resync):
+        if resync:
+            return ChangeSummary(epoch=epoch, resync=True)
+        changes = {}
+        for cluster_index, number in picks:
+            cluster = _CLUSTERS[cluster_index]
+            oid = f"lab:{cluster}:{number}"
+            bucket = changes.setdefault(cluster, [])
+            if oid not in bucket:
+                bucket.append(oid)
+        return ChangeSummary(
+            epoch=epoch,
+            changes={name: tuple(oids) for name, oids in changes.items()})
+
+    return st.builds(
+        build,
+        st.integers(min_value=1, max_value=50),
+        st.lists(st.tuples(st.integers(0, len(_CLUSTERS) - 1),
+                           st.integers(0, 9)), max_size=6),
+        st.booleans())
+
+
+def _oid_set(summary):
+    return {oid for oids in summary.changes.values() for oid in oids}
+
+
+@settings(max_examples=200)
+@given(st.lists(_summary(), min_size=1, max_size=8))
+def test_merge_is_the_union_at_the_newest_epoch(summaries):
+    merged = merge_summaries(summaries)
+    assert merged.epoch == max(summary.epoch for summary in summaries)
+    if any(summary.resync for summary in summaries):
+        # A resync marker is never dropped, and poisoned detail is
+        # never half-kept.
+        assert merged.resync
+        assert merged.changes == {}
+    else:
+        assert not merged.resync
+        assert _oid_set(merged) == set().union(
+            *(_oid_set(summary) for summary in summaries))
+        # Grouping stays honest: every OID sits under its own cluster.
+        for cluster, oids in merged.changes.items():
+            assert oids, "empty cluster buckets must be elided"
+            for oid in oids:
+                assert oid.split(":")[1] == cluster
+                assert oids.count(oid) == 1
+
+
+@settings(max_examples=200)
+@given(st.lists(_summary(), min_size=2, max_size=8),
+       st.data())
+def test_merge_is_associative(summaries, data):
+    split = data.draw(st.integers(1, len(summaries) - 1), label="split")
+    whole = merge_summaries(summaries)
+    left = merge_summaries(summaries[:split])
+    right = merge_summaries(summaries[split:])
+    rebatched = merge_summaries([left, right])
+    assert rebatched.epoch == whole.epoch
+    assert rebatched.resync == whole.resync
+    assert _oid_set(rebatched) == _oid_set(whole)
+    assert set(rebatched.changes) == set(whole.changes)
+
+
+@given(_summary())
+def test_merging_one_summary_is_the_identity(summary):
+    assert merge_summaries([summary]) is summary
+
+
+def test_merging_nothing_is_an_error():
+    with pytest.raises(ValueError):
+        merge_summaries([])

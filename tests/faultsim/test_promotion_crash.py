@@ -1,0 +1,141 @@
+"""The promotion/failover crash matrix and its property-based check.
+
+Same shape as ``test_replication_crash``: pass 1 enumerates the
+primary's gate crossings, then schedules kill the primary at sampled
+crossings — with and without resurrecting it afterwards — promote a
+seeded choice of replica, and the harness model-checks the failover
+contract (no acked write lost across the promotion, (term, epoch)
+monotone on every node, one mint per term, the old primary fenced,
+full convergence).
+
+Knobs: ``FAULTSIM_SEED`` (extra seed), ``FAULTSIM_TRANSACTIONS``
+(workload length), ``FAULTSIM_REPL_STRIDE`` (1 = the full matrix; the
+default samples every other crossing to keep the tier-1 run fast), and
+``FAULTSIM_PROMOTION_REPORT`` (append one line per matrix run counting
+the schedules proven — CI uploads it as the coverage artifact).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.faultsim import enumerate_gate_calls, run_promotion_crash
+
+DEFAULT_SEEDS = [0, 1]
+
+
+def _seeds():
+    seeds = list(DEFAULT_SEEDS)
+    extra = os.environ.get("FAULTSIM_SEED")
+    if extra is not None:
+        seed = int(extra)
+        if seed not in seeds:
+            seeds.append(seed)
+    return seeds
+
+
+def _transactions():
+    return int(os.environ.get("FAULTSIM_TRANSACTIONS", "4"))
+
+
+def _stride():
+    return max(1, int(os.environ.get("FAULTSIM_REPL_STRIDE", "2")))
+
+
+def _report(seed: int, resurrect: bool, schedules: int) -> None:
+    path = os.environ.get("FAULTSIM_PROMOTION_REPORT")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(f"seed={seed} resurrect={resurrect} "
+                 f"schedules={schedules}\n")
+
+
+@pytest.mark.parametrize("resurrect", [False, True])
+@pytest.mark.parametrize("seed", _seeds())
+def test_promotion_crash_matrix(tmp_path, seed, resurrect):
+    transactions = _transactions()
+    calls = enumerate_gate_calls(tmp_path / "enumerate", seed,
+                                 transactions=transactions)
+    assert calls, "workload crossed no gates — the hooks are dead"
+    # Sampled crossings plus the edges: the last gate (close-time
+    # checkpoint) and one past the end — the never-crashes schedule,
+    # which exercises the controlled-handoff promotion path.
+    points = sorted(set(
+        list(range(0, len(calls), _stride())) + [len(calls) - 1, len(calls)]))
+    for crash_at in points:
+        outcome = run_promotion_crash(
+            tmp_path / f"crash{crash_at}", seed, crash_at,
+            transactions=transactions, resurrect=resurrect)
+        assert outcome.crashed == (crash_at < len(calls)), outcome.describe()
+        assert outcome.ok, outcome.describe()
+        assert outcome.term >= 2, outcome.describe()
+    _report(seed, resurrect, len(points))
+
+
+def test_promotion_schedules_are_reproducible(tmp_path):
+    seed, crash_at = DEFAULT_SEEDS[0], 11
+    first = run_promotion_crash(tmp_path / "a", seed, crash_at,
+                                resurrect=True)
+    second = run_promotion_crash(tmp_path / "b", seed, crash_at,
+                                 resurrect=True)
+    assert first.ok and second.ok
+    assert first.promoted == second.promoted
+    assert first.term == second.term
+    assert first.salvaged == second.salvaged
+
+
+def test_salvage_covers_unshipped_tail(tmp_path):
+    """A schedule crashing at the very last gate has committed (and
+    acked) epochs the laggy replicas may never have fetched; the
+    promotion must salvage them rather than lose them."""
+    seed = DEFAULT_SEEDS[0]
+    calls = enumerate_gate_calls(tmp_path / "enumerate", seed)
+    outcome = run_promotion_crash(tmp_path / "run", seed, len(calls) - 1)
+    assert outcome.crashed, outcome.describe()
+    assert outcome.ok, outcome.describe()
+
+
+# -- property-based: the failover contract holds at any crossing ----------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+_GATE_CALL_COUNTS: Dict[int, int] = {}
+
+
+def _gate_call_count(seed: int) -> int:
+    if seed not in _GATE_CALL_COUNTS:
+        scratch = Path(tempfile.mkdtemp(prefix="promo-enum-"))
+        try:
+            _GATE_CALL_COUNTS[seed] = len(
+                enumerate_gate_calls(scratch, seed,
+                                     transactions=_transactions()))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return _GATE_CALL_COUNTS[seed]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 3), point=st.integers(0, 10_000),
+       resurrect=st.booleans())
+def test_failover_contract_any_crossing(seed, point, resurrect):
+    """For any schedule: promotion loses no acked write, (term, epoch)
+    never regresses on any node, terms are minted once, a resurrected
+    primary is fenced, and the cluster converges."""
+    crash_at = point % (_gate_call_count(seed) + 1)
+    scratch = Path(tempfile.mkdtemp(prefix="promo-prop-"))
+    try:
+        outcome = run_promotion_crash(
+            scratch, seed, crash_at, transactions=_transactions(),
+            resurrect=resurrect)
+        assert outcome.ok, outcome.describe()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

@@ -1,0 +1,288 @@
+"""End-to-end failover: promotion, client re-routing, term fencing.
+
+A three-node cluster (primary + two replicas) built from the lab
+database, exercised through the real wire protocol: controlled
+promotion via ``OP_REPL_PROMOTE`` (and the CLI front door), the
+client's connect-failure failover to the highest-term primary with the
+read-your-writes floor intact, handshake fencing of a resurrected old
+primary, applier re-targeting, and the fenced old primary rejoining as
+a replica of the new one.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import pytest
+
+from repro.cli import _main_promote
+from repro.data.labdb import make_lab_database
+from repro.errors import NetworkError, StalePrimaryError
+from repro.net import protocol as P
+from repro.net.client import OdeClient
+from repro.net.remote import RemoteDatabase
+from repro.net.server import OdeServer
+from repro.obs.metrics import get_registry
+
+
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition never became true")
+
+
+def _counter(name: str) -> int:
+    return get_registry().counter(name).value
+
+
+class _Cluster:
+    def __init__(self, primary, replica_one, replica_two):
+        self.primary = primary
+        self.replica_one = replica_one
+        self.replica_two = replica_two
+        self.primary_port = primary.port
+
+    def wait_caught_up(self) -> None:
+        target = self.primary.hosted("lab").database.store.epoch
+        for server in (self.replica_one, self.replica_two):
+            applier = server.applier("lab")
+            _wait_until(lambda a=applier: a.applied_epoch >= target)
+
+    def shutdown(self) -> None:
+        for server in (self.primary, self.replica_one, self.replica_two):
+            try:
+                server.shutdown()
+            except Exception:
+                pass
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    """Primary + two replicas; replica two knows replica one as a peer."""
+    make_lab_database(tmp_path / "primary-root").close()
+    primary = OdeServer(tmp_path / "primary-root")
+    primary.start()
+    replica_one = OdeServer(tmp_path / "r1-root",
+                            replica_of=("127.0.0.1", primary.port))
+    replica_one.start()
+    replica_two = OdeServer(tmp_path / "r2-root",
+                            replica_of=("127.0.0.1", primary.port),
+                            replica_peers=[("127.0.0.1", replica_one.port)])
+    replica_two.start()
+    built = _Cluster(primary, replica_one, replica_two)
+    yield built
+    built.shutdown()
+
+
+def _promote(port: int) -> dict:
+    with OdeClient("127.0.0.1", port, retries=0) as admin:
+        return admin.call(P.OP_REPL_PROMOTE, {})
+
+
+class TestControlledPromotion:
+    def test_promote_opcode_flips_role_and_mints_term(self, cluster):
+        cluster.wait_caught_up()
+        reply = _promote(cluster.replica_one.port)
+        assert reply["role"] == "replica"          # what it was
+        assert reply["terms"] == {"lab": 2}
+        assert cluster.replica_one.role == "primary"
+        with OdeClient("127.0.0.1", cluster.replica_one.port) as client:
+            info = client.server_info
+            assert info["role"] == "primary"
+            assert info["term"] == 2
+            assert info["terms"] == {"lab": 2}
+        # The fence is durable: the store itself carries the term.
+        store = cluster.replica_one.hosted("lab").database.store
+        assert store.term == 2
+
+    def test_promoted_node_accepts_writes(self, cluster):
+        cluster.wait_caught_up()
+        _promote(cluster.replica_one.port)
+        remote = RemoteDatabase.connect(
+            "127.0.0.1", cluster.replica_one.port, "lab")
+        try:
+            oid = remote.objects.new_object(
+                "employee", {"name": "post-promo", "id": 990, "salary": 1.0})
+            assert remote.objects.get_buffer(oid).value("name") == "post-promo"
+        finally:
+            remote.close()
+
+    def test_cli_promote_prints_the_minted_terms(self, cluster):
+        cluster.wait_caught_up()
+        out = io.StringIO()
+        code = _main_promote(
+            ["127.0.0.1", str(cluster.replica_one.port)], out=out)
+        assert code == 0
+        assert out.getvalue() == (
+            "lab: promoted to primary at term 2 (was replica)\n")
+
+    def test_cli_promote_rejects_bad_usage(self, capsys):
+        assert _main_promote([]) == 2
+        assert _main_promote(["127.0.0.1", "not-a-port"]) == 2
+        capsys.readouterr()
+
+
+class TestClientFailover:
+    def test_writes_survive_kill_promote_failover(self, cluster):
+        """The acceptance path: a client completes writes through
+        primary kill -> replica promotion -> automatic failover, with
+        the read-your-writes floor intact across the switch."""
+        database = RemoteDatabase.connect(
+            "127.0.0.1", cluster.primary_port, "lab",
+            replicas=[("127.0.0.1", cluster.replica_one.port),
+                      ("127.0.0.1", cluster.replica_two.port)])
+        try:
+            before_oid = database.objects.new_object(
+                "employee", {"name": "pre-kill", "id": 991, "salary": 1.0})
+            floor_before = database.client.epoch_floor
+            assert floor_before > 0
+            cluster.wait_caught_up()
+            cluster.primary.shutdown()
+            _promote(cluster.replica_one.port)
+            # The established connection died with the primary; the
+            # first write on it fails per the never-replay-writes rule
+            # (the frame may have reached the dying server).
+            with pytest.raises(NetworkError):
+                database.objects.new_object(
+                    "employee", {"name": "lost", "id": 992, "salary": 1.0})
+            # The next write finds no primary to connect to — provably
+            # unsent — so the client probes the replica set, adopts the
+            # promoted node, and completes.  Exactly one switch.
+            failover_before = _counter("net.route.failover")
+            after_oid = database.objects.new_object(
+                "employee", {"name": "post-failover", "id": 993,
+                             "salary": 2.0})
+            assert _counter("net.route.failover") == failover_before + 1
+            assert database.client.port == cluster.replica_one.port
+            assert database.client.term_floor == 2
+            # Read-your-writes outlives the failover: the floor never
+            # dropped, and both writes are visible through the new
+            # primary.
+            assert database.client.epoch_floor > floor_before
+            database.objects.cache.purge()
+            assert database.objects.get_buffer(
+                before_oid).value("name") == "pre-kill"
+            assert database.objects.get_buffer(
+                after_oid).value("name") == "post-failover"
+        finally:
+            database.close()
+
+
+class TestFencing:
+    def test_resurrected_primary_refused_at_handshake(self, cluster,
+                                                      tmp_path):
+        cluster.wait_caught_up()
+        old_port = cluster.primary_port
+        cluster.primary.shutdown()
+        _promote(cluster.replica_one.port)
+        # The old primary comes back on its old address, oblivious,
+        # still at term 1.
+        revenant = OdeServer(tmp_path / "primary-root", port=old_port)
+        revenant.start()
+        try:
+            probe = OdeClient("127.0.0.1", cluster.replica_one.port)
+            probe.connect()
+            assert probe.term_floor == 2
+            # Simulated failback (a DNS flip, a floating IP returning):
+            # the same session now reaches the resurrected node, whose
+            # fenced term is below one the session has observed.
+            probe.close()
+            probe.host, probe.port = "127.0.0.1", old_port
+            with pytest.raises(StalePrimaryError):
+                probe.call(P.OP_HELLO, {"version": P.PROTOCOL_VERSION})
+            probe.close()
+            # A session with no history accepts it — fencing is a
+            # session floor, not a global registry.
+            with OdeClient("127.0.0.1", old_port) as fresh:
+                assert fresh.server_info["term"] == 1
+        finally:
+            revenant.shutdown()
+
+    def test_old_primary_rejoins_as_replica_of_promoted(self, cluster,
+                                                        tmp_path):
+        cluster.wait_caught_up()
+        cluster.primary.shutdown()
+        _promote(cluster.replica_one.port)
+        remote = RemoteDatabase.connect(
+            "127.0.0.1", cluster.replica_one.port, "lab")
+        try:
+            remote.objects.new_object(
+                "employee", {"name": "new-reign", "id": 994, "salary": 1.0})
+        finally:
+            remote.close()
+        # Re-subscribe the fenced node under the new primary: its
+        # applier sees the higher term on the first fetch and resyncs
+        # beneath it.
+        rejoined = OdeServer(
+            tmp_path / "primary-root",
+            replica_of=("127.0.0.1", cluster.replica_one.port))
+        rejoined.start()
+        try:
+            store = rejoined.hosted("lab").database.store
+            promoted = cluster.replica_one.hosted("lab").database.store
+            _wait_until(lambda: store.term == promoted.term
+                        and store.epoch >= promoted.epoch)
+            reader = RemoteDatabase.connect(
+                "127.0.0.1", rejoined.port, "lab")
+            try:
+                assert reader.objects.count("employee") == 56
+            finally:
+                reader.close()
+        finally:
+            rejoined.shutdown()
+
+
+class TestApplierRetarget:
+    def test_applier_retargets_to_promoted_peer(self, cluster):
+        """Replica two loses its upstream, probes its peer set, adopts
+        the promoted replica one, and converges under the new term."""
+        cluster.wait_caught_up()
+        cluster.primary.shutdown()
+        _promote(cluster.replica_one.port)
+        remote = RemoteDatabase.connect(
+            "127.0.0.1", cluster.replica_one.port, "lab")
+        try:
+            remote.objects.new_object(
+                "employee", {"name": "chained", "id": 995, "salary": 1.0})
+        finally:
+            remote.close()
+        applier = cluster.replica_two.applier("lab")
+        promoted = cluster.replica_one.hosted("lab").database.store
+        follower = cluster.replica_two.hosted("lab").database.store
+        _wait_until(lambda: follower.term == promoted.term
+                    and follower.epoch >= promoted.epoch)
+        stats = applier.stats()
+        assert stats["retargets"] >= 1
+        assert stats["primary"].endswith(str(cluster.replica_one.port))
+        assert stats["term"] == 2
+
+
+class TestRoutingMetrics:
+    def test_stale_retries_are_bounded(self, cluster):
+        """A routed read against a fully lagging replica set costs at
+        most one stale-discarded answer per replica, then lands on the
+        primary — never a retry loop."""
+        cluster.wait_caught_up()
+        database = RemoteDatabase.connect(
+            "127.0.0.1", cluster.primary_port, "lab",
+            replicas=[("127.0.0.1", cluster.replica_one.port),
+                      ("127.0.0.1", cluster.replica_two.port)])
+        try:
+            cluster.replica_one.applier("lab").pause()
+            cluster.replica_two.applier("lab").pause()
+            database.objects.new_object(
+                "employee", {"name": "ahead", "id": 996, "salary": 1.0})
+            stale_before = _counter("net.route.stale")
+            primary_before = _counter("net.route.primary")
+            database.objects.cache.purge()
+            assert database.objects.count("employee") == 56
+            assert _counter("net.route.stale") - stale_before <= 2
+            assert _counter("net.route.primary") == primary_before + 1
+        finally:
+            cluster.replica_one.applier("lab").resume()
+            cluster.replica_two.applier("lab").resume()
+            database.close()
